@@ -1,0 +1,232 @@
+//! The block-intensive model (*bim*) — a Bitcoin-style chain (§II-A).
+//!
+//! Transactions are batched into blocks; each block carries a Merkle root
+//! over its transactions and a link to the previous header. A light client
+//! keeps all headers as *block-oriented anchors* (boa) — O(n) space in the
+//! number of blocks — and verifies a transaction with an SPV sibling path
+//! against the stored header, which is what makes bim verification fast
+//! but header storage heavy (the trade-off fam resolves).
+
+use crate::binary::{merkle_prove, merkle_root, merkle_verify};
+use crate::error::AccumulatorError;
+use crate::shrubs::ProofStep;
+use ledgerdb_crypto::digest::Digest;
+use ledgerdb_crypto::sha256::Sha256;
+
+/// A block header: the light client's per-block anchor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BlockHeader {
+    pub height: u64,
+    pub prev_hash: Digest,
+    pub merkle_root: Digest,
+    pub tx_count: u32,
+}
+
+impl BlockHeader {
+    /// Digest of the header (what the next block links to).
+    pub fn hash(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"ledgerdb.bim.header.v1");
+        h.update(&self.height.to_be_bytes());
+        h.update(&self.prev_hash.0);
+        h.update(&self.merkle_root.0);
+        h.update(&self.tx_count.to_be_bytes());
+        Digest(h.finalize())
+    }
+}
+
+/// An SPV proof: block height plus the in-block sibling path.
+#[derive(Clone, Debug)]
+pub struct BimProof {
+    pub height: u64,
+    pub tx_index: u32,
+    pub path: Vec<ProofStep>,
+}
+
+impl BimProof {
+    /// Digest count carried by the proof.
+    pub fn len(&self) -> usize {
+        self.path.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.path.is_empty()
+    }
+}
+
+/// The full chain, holding blocks and derived headers.
+#[derive(Clone, Debug)]
+pub struct BimChain {
+    block_size: usize,
+    headers: Vec<BlockHeader>,
+    blocks: Vec<Vec<Digest>>,
+    /// Transactions accumulated toward the next block.
+    pending: Vec<Digest>,
+}
+
+impl BimChain {
+    /// Create a chain sealing a block every `block_size` transactions.
+    pub fn new(block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        BimChain { block_size, headers: Vec::new(), blocks: Vec::new(), pending: Vec::new() }
+    }
+
+    /// Append a transaction digest; seals a block when full. Returns the
+    /// global transaction sequence number.
+    pub fn append(&mut self, digest: Digest) -> u64 {
+        let seq = self.tx_count();
+        self.pending.push(digest);
+        if self.pending.len() == self.block_size {
+            self.seal_block();
+        }
+        seq
+    }
+
+    /// Force-seal the pending partial block (end-of-interval commit).
+    pub fn seal_block(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let txs = std::mem::take(&mut self.pending);
+        let prev_hash = self.headers.last().map(|h| h.hash()).unwrap_or(Digest::ZERO);
+        let header = BlockHeader {
+            height: self.headers.len() as u64,
+            prev_hash,
+            merkle_root: merkle_root(&txs),
+            tx_count: txs.len() as u32,
+        };
+        self.headers.push(header);
+        self.blocks.push(txs);
+    }
+
+    /// Total transactions (sealed + pending).
+    pub fn tx_count(&self) -> u64 {
+        self.blocks.iter().map(|b| b.len() as u64).sum::<u64>() + self.pending.len() as u64
+    }
+
+    /// Number of sealed blocks (the light client's header count — the bim
+    /// storage-overhead metric).
+    pub fn block_count(&self) -> u64 {
+        self.headers.len() as u64
+    }
+
+    /// The headers a light client would store (boa anchors).
+    pub fn headers(&self) -> &[BlockHeader] {
+        &self.headers
+    }
+
+    /// Validate the header chain links (what a light client does once at
+    /// download time, §II-A).
+    pub fn validate_header_chain(headers: &[BlockHeader]) -> bool {
+        headers.iter().enumerate().all(|(i, h)| {
+            h.height == i as u64
+                && if i == 0 {
+                    h.prev_hash == Digest::ZERO
+                } else {
+                    h.prev_hash == headers[i - 1].hash()
+                }
+        })
+    }
+
+    /// Produce an SPV proof for global transaction `seq` (must be sealed).
+    pub fn prove(&self, seq: u64) -> Result<BimProof, AccumulatorError> {
+        let mut remaining = seq;
+        for (height, block) in self.blocks.iter().enumerate() {
+            if remaining < block.len() as u64 {
+                let idx = remaining as usize;
+                let path = merkle_prove(block, idx)?;
+                return Ok(BimProof { height: height as u64, tx_index: idx as u32, path });
+            }
+            remaining -= block.len() as u64;
+        }
+        Err(AccumulatorError::LeafOutOfRange { index: seq, leaf_count: self.tx_count() })
+    }
+
+    /// SPV verification against the light client's stored headers.
+    pub fn verify(
+        headers: &[BlockHeader],
+        leaf: &Digest,
+        proof: &BimProof,
+    ) -> Result<(), AccumulatorError> {
+        let header = headers.get(proof.height as usize).ok_or(
+            AccumulatorError::BlockOutOfRange {
+                height: proof.height,
+                block_count: headers.len() as u64,
+            },
+        )?;
+        if merkle_verify(&header.merkle_root, leaf, &proof.path) {
+            Ok(())
+        } else {
+            Err(AccumulatorError::ProofMismatch)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ledgerdb_crypto::hash_leaf;
+
+    fn chain(n: u64, block_size: usize) -> (BimChain, Vec<Digest>) {
+        let mut c = BimChain::new(block_size);
+        let txs: Vec<Digest> = (0..n).map(|i| hash_leaf(&i.to_be_bytes())).collect();
+        for t in &txs {
+            c.append(*t);
+        }
+        c.seal_block();
+        (c, txs)
+    }
+
+    #[test]
+    fn prove_verify_across_blocks() {
+        let (c, txs) = chain(100, 16);
+        for (i, t) in txs.iter().enumerate() {
+            let p = c.prove(i as u64).unwrap();
+            BimChain::verify(c.headers(), t, &p).unwrap();
+        }
+    }
+
+    #[test]
+    fn header_chain_links() {
+        let (c, _) = chain(64, 8);
+        assert_eq!(c.block_count(), 8);
+        assert!(BimChain::validate_header_chain(c.headers()));
+    }
+
+    #[test]
+    fn broken_link_detected() {
+        let (c, _) = chain(64, 8);
+        let mut headers = c.headers().to_vec();
+        headers[3].merkle_root = hash_leaf(b"tampered");
+        assert!(!BimChain::validate_header_chain(&headers));
+    }
+
+    #[test]
+    fn partial_final_block() {
+        let (c, txs) = chain(10, 8);
+        assert_eq!(c.block_count(), 2);
+        let p = c.prove(9).unwrap();
+        BimChain::verify(c.headers(), &txs[9], &p).unwrap();
+    }
+
+    #[test]
+    fn storage_overhead_scales_with_blocks() {
+        let (small_blocks, _) = chain(1024, 4);
+        let (large_blocks, _) = chain(1024, 256);
+        assert!(small_blocks.block_count() > large_blocks.block_count());
+    }
+
+    #[test]
+    fn wrong_tx_rejected() {
+        let (c, _) = chain(32, 8);
+        let p = c.prove(5).unwrap();
+        assert!(BimChain::verify(c.headers(), &hash_leaf(b"forged"), &p).is_err());
+    }
+
+    #[test]
+    fn unsealed_tx_not_provable() {
+        let mut c = BimChain::new(8);
+        c.append(hash_leaf(b"t"));
+        assert!(c.prove(0).is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! A plain binary Merkle tree over a fixed leaf set.
+//!
+//! Used for the per-block transaction trees of the *bim* model (§II-A) and
+//! as the property-test reference for the fancier accumulators. Odd levels
+//! promote the unpaired node (no duplication), so the root of a single
+//! leaf is the leaf itself.
+
+use crate::error::AccumulatorError;
+use crate::shrubs::ProofStep;
+use ledgerdb_crypto::digest::Digest;
+use ledgerdb_crypto::hash_pair;
+
+/// Compute the Merkle root of a leaf slice.
+pub fn merkle_root(leaves: &[Digest]) -> Digest {
+    if leaves.is_empty() {
+        return Digest::ZERO;
+    }
+    let mut level: Vec<Digest> = leaves.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(hash_pair(&pair[0], &pair[1]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// Produce a sibling path proving `index` within `leaves`.
+pub fn merkle_prove(leaves: &[Digest], index: usize) -> Result<Vec<ProofStep>, AccumulatorError> {
+    if index >= leaves.len() {
+        return Err(AccumulatorError::LeafOutOfRange {
+            index: index as u64,
+            leaf_count: leaves.len() as u64,
+        });
+    }
+    let mut path = Vec::new();
+    let mut level: Vec<Digest> = leaves.to_vec();
+    let mut idx = index;
+    while level.len() > 1 {
+        let sibling = idx ^ 1;
+        if sibling < level.len() {
+            path.push(ProofStep {
+                sibling: level[sibling],
+                sibling_on_left: sibling < idx,
+            });
+        }
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(hash_pair(&pair[0], &pair[1]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+        idx /= 2;
+    }
+    Ok(path)
+}
+
+/// Verify a sibling path from `leaf` to `root`.
+pub fn merkle_verify(root: &Digest, leaf: &Digest, path: &[ProofStep]) -> bool {
+    let mut acc = *leaf;
+    for step in path {
+        acc = if step.sibling_on_left {
+            hash_pair(&step.sibling, &acc)
+        } else {
+            hash_pair(&acc, &step.sibling)
+        };
+    }
+    acc == *root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ledgerdb_crypto::hash_leaf;
+
+    fn leaves(n: usize) -> Vec<Digest> {
+        (0..n).map(|i| hash_leaf(&(i as u64).to_be_bytes())).collect()
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf() {
+        let ls = leaves(1);
+        assert_eq!(merkle_root(&ls), ls[0]);
+    }
+
+    #[test]
+    fn empty_root_is_zero() {
+        assert_eq!(merkle_root(&[]), Digest::ZERO);
+    }
+
+    #[test]
+    fn prove_verify_all_indices() {
+        for n in [1usize, 2, 3, 5, 8, 13, 16, 31] {
+            let ls = leaves(n);
+            let root = merkle_root(&ls);
+            for i in 0..n {
+                let path = merkle_prove(&ls, i).unwrap();
+                assert!(merkle_verify(&root, &ls[i], &path), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_rejected() {
+        let ls = leaves(8);
+        let root = merkle_root(&ls);
+        let path = merkle_prove(&ls, 2).unwrap();
+        assert!(!merkle_verify(&root, &hash_leaf(b"evil"), &path));
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let ls = leaves(4);
+        assert!(merkle_prove(&ls, 4).is_err());
+    }
+
+    #[test]
+    fn order_matters() {
+        let mut ls = leaves(4);
+        let r1 = merkle_root(&ls);
+        ls.swap(0, 1);
+        assert_ne!(r1, merkle_root(&ls));
+    }
+}

@@ -1,0 +1,44 @@
+//! Error type for accumulator operations.
+
+use std::fmt;
+
+/// Errors surfaced by the accumulator structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccumulatorError {
+    /// A leaf index was out of range for the structure.
+    LeafOutOfRange { index: u64, leaf_count: u64 },
+    /// A proof did not reproduce the expected root.
+    ProofMismatch,
+    /// A proof object was structurally malformed.
+    MalformedProof(&'static str),
+    /// A trusted anchor does not cover the requested verification.
+    AnchorTooOld,
+    /// A block height was out of range for the chain.
+    BlockOutOfRange { height: u64, block_count: u64 },
+    /// The epoch's node storage was erased by a purge; only its root
+    /// digest remains (§III-A2's optional fam-node erasure).
+    EpochErased(usize),
+}
+
+impl fmt::Display for AccumulatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccumulatorError::LeafOutOfRange { index, leaf_count } => {
+                write!(f, "leaf index {index} out of range (leaf count {leaf_count})")
+            }
+            AccumulatorError::ProofMismatch => write!(f, "proof does not match trusted root"),
+            AccumulatorError::MalformedProof(what) => write!(f, "malformed proof: {what}"),
+            AccumulatorError::AnchorTooOld => {
+                write!(f, "trusted anchor does not cover the requested data")
+            }
+            AccumulatorError::BlockOutOfRange { height, block_count } => {
+                write!(f, "block height {height} out of range (block count {block_count})")
+            }
+            AccumulatorError::EpochErased(e) => {
+                write!(f, "fam epoch {e} node storage was erased by a purge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccumulatorError {}

@@ -1,0 +1,38 @@
+//! Merkle accumulator models for the LedgerDB reproduction (§III-A).
+//!
+//! The paper contrasts two traditional data-organization models and then
+//! proposes its own:
+//!
+//! * [`bim`] — the *block-intensive model* (Bitcoin-style): transactions are
+//!   batched into blocks whose headers chain together; light clients keep
+//!   headers as *block-oriented anchors* (boa) and verify transactions with
+//!   SPV Merkle paths.
+//! * [`tim`] — the *transaction-intensive model* (Diem/QLDB-style): every
+//!   transaction is a leaf of one ever-growing accumulator; proofs are
+//!   `O(log n)` in the full ledger size.
+//! * [`shrubs`] — the Shrubs accumulator underlying both fam and the
+//!   CM-Tree: an append-only post-order Merkle forest with O(1) amortized
+//!   insertion and *node-set* (frontier) proofs for the latest cell.
+//! * [`fam`] — the paper's *fractal accumulating model*: fixed fractal
+//!   height δ, epochs of 2^δ leaves, Rule 1 ("a full tree's root becomes
+//!   the first leaf of the next tree"), and *accumulator-oriented anchors*
+//!   (fam-aoa) that bound verification to the epochs after the anchor.
+//!
+//! [`binary`] holds the plain perfect binary Merkle tree used inside bim
+//! blocks and as a property-test reference.
+
+pub mod binary;
+pub mod bamt;
+pub mod bim;
+pub mod error;
+pub mod fam;
+pub mod shrubs;
+pub mod tim;
+pub mod wire;
+
+pub use bamt::{Bamt, BamtProof};
+pub use bim::{BimChain, BimProof, BlockHeader};
+pub use error::AccumulatorError;
+pub use fam::{FamProof, FamTree, TrustedAnchor};
+pub use shrubs::{Shrubs, ShrubsBatchProof, ShrubsProof};
+pub use tim::{TimAccumulator, TimProof};

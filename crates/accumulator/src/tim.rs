@@ -1,0 +1,115 @@
+//! The transaction-intensive model (*tim*) accumulator (§II-A).
+//!
+//! As in Diem and QLDB, every transaction is a leaf of one ever-growing
+//! Merkle accumulator; verification always walks to the current global
+//! root, so proof cost is `O(log n)` in the total ledger size and keeps
+//! growing with the data volume — exactly the weakness Fig 8 quantifies
+//! and the fam model fixes.
+
+use crate::error::AccumulatorError;
+use crate::shrubs::{Shrubs, ShrubsProof};
+use ledgerdb_crypto::digest::Digest;
+
+/// A membership proof in the tim model.
+#[derive(Clone, Debug)]
+pub struct TimProof(pub ShrubsProof);
+
+impl TimProof {
+    /// Digest count — the verification-cost metric used in Fig 8(b).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// The tim accumulator: a single global Shrubs forest.
+#[derive(Clone, Debug, Default)]
+pub struct TimAccumulator {
+    inner: Shrubs,
+}
+
+impl TimAccumulator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a transaction digest; returns its sequence number.
+    pub fn append(&mut self, digest: Digest) -> u64 {
+        self.inner.append(digest)
+    }
+
+    /// Total appended transactions.
+    pub fn len(&self) -> u64 {
+        self.inner.leaf_count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.leaf_count() == 0
+    }
+
+    /// Current global root.
+    pub fn root(&self) -> Digest {
+        self.inner.root()
+    }
+
+    /// Prove transaction `seq` against the current root.
+    pub fn prove(&self, seq: u64) -> Result<TimProof, AccumulatorError> {
+        self.inner.prove(seq).map(TimProof)
+    }
+
+    /// Verify a proof against a trusted root.
+    pub fn verify(root: &Digest, leaf: &Digest, proof: &TimProof) -> Result<(), AccumulatorError> {
+        Shrubs::verify(root, leaf, &proof.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ledgerdb_crypto::hash_leaf;
+
+    #[test]
+    fn append_prove_verify() {
+        let mut acc = TimAccumulator::new();
+        let leaves: Vec<Digest> = (0..50u64).map(|i| hash_leaf(&i.to_be_bytes())).collect();
+        for l in &leaves {
+            acc.append(*l);
+        }
+        let root = acc.root();
+        for (i, l) in leaves.iter().enumerate() {
+            let p = acc.prove(i as u64).unwrap();
+            TimAccumulator::verify(&root, l, &p).unwrap();
+        }
+    }
+
+    #[test]
+    fn proof_grows_with_ledger_size() {
+        // The defining tim weakness: proof size scales with total volume.
+        let mut small = TimAccumulator::new();
+        let mut large = TimAccumulator::new();
+        for i in 0..16u64 {
+            small.append(hash_leaf(&i.to_be_bytes()));
+        }
+        for i in 0..4096u64 {
+            large.append(hash_leaf(&i.to_be_bytes()));
+        }
+        let p_small = small.prove(3).unwrap();
+        let p_large = large.prove(3).unwrap();
+        assert!(p_large.len() > p_small.len());
+    }
+
+    #[test]
+    fn old_proofs_invalidate_on_growth() {
+        let mut acc = TimAccumulator::new();
+        let l0 = hash_leaf(b"tx0");
+        acc.append(l0);
+        let proof = acc.prove(0).unwrap();
+        let root0 = acc.root();
+        TimAccumulator::verify(&root0, &l0, &proof).unwrap();
+        acc.append(hash_leaf(b"tx1"));
+        assert!(TimAccumulator::verify(&acc.root(), &l0, &proof).is_err());
+    }
+}

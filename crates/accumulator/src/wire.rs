@@ -1,0 +1,162 @@
+//! Wire encodings for accumulator proof objects, so clients can verify
+//! across a network/trust boundary.
+
+use crate::fam::{FamProof, TrustedAnchor};
+use crate::shrubs::{ProofStep, ShrubsBatchProof, ShrubsProof};
+use ledgerdb_crypto::digest::Digest;
+use ledgerdb_crypto::wire::{Reader, Wire, WireError, Writer};
+
+impl Wire for ProofStep {
+    fn encode(&self, w: &mut Writer) {
+        self.sibling.encode(w);
+        w.put_bool(self.sibling_on_left);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ProofStep { sibling: Digest::decode(r)?, sibling_on_left: r.get_bool()? })
+    }
+}
+
+impl Wire for ShrubsProof {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.leaf_index);
+        w.put_u64(self.leaf_count);
+        self.path.encode(w);
+        self.other_peaks.encode(w);
+        w.put_u64(self.peak_slot as u64);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ShrubsProof {
+            leaf_index: r.get_u64()?,
+            leaf_count: r.get_u64()?,
+            path: Vec::decode(r)?,
+            other_peaks: Vec::decode(r)?,
+            peak_slot: r.get_u64()? as usize,
+        })
+    }
+}
+
+impl Wire for ShrubsBatchProof {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.leaf_count);
+        self.indices.encode(w);
+        self.provided.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ShrubsBatchProof {
+            leaf_count: r.get_u64()?,
+            indices: Vec::decode(r)?,
+            provided: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Wire for FamProof {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.epoch as u64);
+        self.in_epoch.encode(w);
+        self.epoch_root.encode(w);
+        self.chain.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(FamProof {
+            epoch: r.get_u64()? as usize,
+            in_epoch: ShrubsProof::decode(r)?,
+            epoch_root: Digest::decode(r)?,
+            chain: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Wire for TrustedAnchor {
+    fn encode(&self, w: &mut Writer) {
+        self.epoch_roots.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(TrustedAnchor { epoch_roots: Vec::decode(r)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fam::FamTree;
+    use crate::shrubs::Shrubs;
+    use ledgerdb_crypto::hash_leaf;
+
+    fn sample_fam() -> (FamTree, Vec<Digest>) {
+        let leaves: Vec<Digest> = (0..50u64).map(|i| hash_leaf(&i.to_be_bytes())).collect();
+        let mut fam = FamTree::new(3);
+        for l in &leaves {
+            fam.append(*l);
+        }
+        (fam, leaves)
+    }
+
+    #[test]
+    fn shrubs_proof_round_trip() {
+        let mut s = Shrubs::new();
+        for i in 0..20u64 {
+            s.append(hash_leaf(&i.to_be_bytes()));
+        }
+        let proof = s.prove(7).unwrap();
+        let decoded = ShrubsProof::from_wire(&proof.to_wire()).unwrap();
+        Shrubs::verify(&s.root(), &hash_leaf(&7u64.to_be_bytes()), &decoded).unwrap();
+    }
+
+    #[test]
+    fn batch_proof_round_trip() {
+        let mut s = Shrubs::new();
+        let leaves: Vec<Digest> = (0..16u64).map(|i| hash_leaf(&i.to_be_bytes())).collect();
+        for l in &leaves {
+            s.append(*l);
+        }
+        let proof = s.prove_batch(&[1, 5, 9]).unwrap();
+        let decoded = ShrubsBatchProof::from_wire(&proof.to_wire()).unwrap();
+        let entries = vec![(1u64, leaves[1]), (5, leaves[5]), (9, leaves[9])];
+        Shrubs::verify_batch(&s.root(), &entries, &decoded).unwrap();
+    }
+
+    #[test]
+    fn fam_proof_round_trip_and_still_verifies() {
+        let (fam, leaves) = sample_fam();
+        let anchor = TrustedAnchor::default();
+        let proof = fam.prove(13, &anchor).unwrap();
+        let decoded = FamProof::from_wire(&proof.to_wire()).unwrap();
+        FamTree::verify(&fam.root(), &anchor, &leaves[13], &decoded).unwrap();
+    }
+
+    #[test]
+    fn anchor_round_trip() {
+        let (fam, _) = sample_fam();
+        let anchor = fam.anchor();
+        let decoded = TrustedAnchor::from_wire(&anchor.to_wire()).unwrap();
+        assert_eq!(decoded.epoch_roots, anchor.epoch_roots);
+    }
+
+    #[test]
+    fn corrupted_fam_proof_fails_verification_not_decode_panic() {
+        let (fam, leaves) = sample_fam();
+        let anchor = TrustedAnchor::default();
+        let mut bytes = fam.prove(13, &anchor).unwrap().to_wire();
+        // Flip a byte inside a digest: decodes fine, verification fails.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        if let Ok(decoded) = FamProof::from_wire(&bytes) {
+            assert!(FamTree::verify(&fam.root(), &anchor, &leaves[13], &decoded).is_err());
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let (fam, _) = sample_fam();
+        let bytes = fam.prove(3, &TrustedAnchor::default()).unwrap().to_wire();
+        for cut in [0usize, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(FamProof::from_wire(&bytes[..cut]).is_err());
+        }
+    }
+}

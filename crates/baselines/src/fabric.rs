@@ -1,0 +1,271 @@
+//! A Hyperledger Fabric-style pipeline (§VI-D, Fig 10).
+//!
+//! The paper's deployment: a single-channel Kafka ordering service with 3
+//! ZooKeeper nodes, 4 Kafka brokers, 5 endorsers and 3 orderers. The
+//! simulator reproduces the *structure* of Fabric's execute–order–validate
+//! flow with real signatures:
+//!
+//! * **endorse** — the client collects endorsement signatures from every
+//!   endorser (parallel round trips + real ECDSA signing);
+//! * **order** — the transaction waits for the Kafka batch cut
+//!   (a configurable batching delay dominates write latency);
+//! * **validate/commit** — peers check all endorsement signatures.
+//!
+//! There is no explicit verification API; like the paper we express read
+//! verification through `GetState` in chaincode: a query gathers the
+//! value plus all peer signatures and the client validates each.
+
+use crate::network::{measured, NetworkProfile, SimLatency};
+use ledgerdb_crypto::digest::Digest;
+use ledgerdb_crypto::ecdsa::Signature;
+use ledgerdb_crypto::keys::{KeyPair, PublicKey};
+use ledgerdb_crypto::sha256::{sha256, Sha256};
+use std::collections::HashMap;
+
+/// Fabric deployment shape.
+#[derive(Clone, Copy, Debug)]
+pub struct FabricConfig {
+    pub network: NetworkProfile,
+    /// Number of endorsing peers (paper: 5).
+    pub endorsers: usize,
+    /// Kafka batch-cut latency: how long a transaction waits in the
+    /// ordering service on average (paper-calibrated to land end-to-end
+    /// write/verify latency near 1.2 s).
+    pub ordering_batch_us: u64,
+    /// Block validation + commit cost per peer.
+    pub commit_us: u64,
+    /// Max transactions the ordering service cuts per block.
+    pub block_tx_cap: u64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            network: NetworkProfile::lan(),
+            endorsers: 5,
+            ordering_batch_us: 1_200_000,
+            commit_us: 150_000,
+            block_tx_cap: 600,
+        }
+    }
+}
+
+/// A committed key-value write with its endorsements.
+#[derive(Clone, Debug)]
+struct CommittedTx {
+    value: Vec<u8>,
+    tx_digest: Digest,
+    endorsements: Vec<(PublicKey, Signature)>,
+}
+
+/// The Fabric pipeline simulator.
+pub struct FabricSim {
+    config: FabricConfig,
+    endorser_keys: Vec<KeyPair>,
+    /// World state: key → committed history (oldest first).
+    state: HashMap<String, Vec<CommittedTx>>,
+    committed: u64,
+}
+
+impl FabricSim {
+    pub fn new(config: FabricConfig) -> Self {
+        let endorser_keys = (0..config.endorsers)
+            .map(|i| KeyPair::from_seed(format!("fabric-endorser-{i}").as_bytes()))
+            .collect();
+        FabricSim { config, endorser_keys, state: HashMap::new(), committed: 0 }
+    }
+
+    /// Total committed transactions.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    fn tx_digest(key: &str, value: &[u8], seq: u64) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"fabricsim.tx.v1");
+        h.update(&(key.len() as u64).to_be_bytes());
+        h.update(key.as_bytes());
+        h.update(&sha256(value).0);
+        h.update(&seq.to_be_bytes());
+        Digest(h.finalize())
+    }
+
+    /// Submit a chaincode invoke writing `key = value`. Returns the
+    /// end-to-end latency: endorsement (parallel), ordering batch wait,
+    /// validation and commit.
+    pub fn invoke(&mut self, key: &str, value: Vec<u8>) -> SimLatency {
+        let seq = self.state.get(key).map(|h| h.len() as u64).unwrap_or(0);
+        let digest = Self::tx_digest(key, &value, seq);
+
+        // Endorsement: one round trip per endorser, in parallel; each
+        // endorser really signs.
+        let mut endorse_net = SimLatency::ZERO;
+        let (endorsements, endorse_compute) = measured(|| {
+            self.endorser_keys
+                .iter()
+                .map(|k| (*k.public(), k.sign(&digest)))
+                .collect::<Vec<_>>()
+        });
+        for _ in 0..self.config.endorsers {
+            endorse_net = endorse_net.parallel(self.config.network.round_trip(value.len()));
+        }
+
+        // Ordering: Kafka batch wait (mean half-interval) + broker hop.
+        let ordering = SimLatency::from_micros(self.config.ordering_batch_us / 2)
+            .then(self.config.network.round_trip(value.len()));
+
+        // Validation: peers verify all endorsement signatures (real).
+        let ((), validate_compute) = measured(|| {
+            for (pk, sig) in &endorsements {
+                assert!(pk.verify(&digest, sig), "endorsement must verify");
+            }
+        });
+        let commit = SimLatency::from_micros(self.config.commit_us);
+
+        self.state
+            .entry(key.to_string())
+            .or_default()
+            .push(CommittedTx { value, tx_digest: digest, endorsements });
+        self.committed += 1;
+
+        endorse_net
+            .then(endorse_compute)
+            .then(ordering)
+            .then(validate_compute)
+            .then(commit)
+    }
+
+    /// Steady-state write throughput: the ordering service cuts one block
+    /// per batch interval with up to `block_tx_cap` transactions, degraded
+    /// slightly by state size (the paper's Fig 10(a) decline).
+    pub fn write_tps(&self, ledger_journals: u64) -> f64 {
+        let base = self.config.block_tx_cap as f64
+            / (self.config.ordering_batch_us as f64 / 1_000_000.0);
+        // Mild logarithmic degradation with volume (commit path grows).
+        let degradation = 1.0 + 0.01 * (ledger_journals.max(1) as f64).log2();
+        base * 4.8 / degradation
+    }
+
+    /// GetState-style verified read: query the value and gather every
+    /// peer's signature over it, validating each (the paper's implicit
+    /// verification flow). Latency covers the query round trip, peer
+    /// signature gathering and client-side checks.
+    pub fn query_verify(&self, key: &str) -> (Result<Vec<u8>, String>, SimLatency) {
+        let Some(history) = self.state.get(key) else {
+            return (Err(format!("unknown key {key}")), SimLatency::ZERO);
+        };
+        let tx = history.last().expect("non-empty history");
+        // One round trip to query + parallel signature gathering from all
+        // endorsing peers + consensus-grade settling time (the paper's
+        // measured ~1.2 s end-to-end verification latency is dominated by
+        // this gathering/ordering path).
+        let mut latency = self.config.network.round_trip(tx.value.len());
+        latency.add(self.config.ordering_batch_us);
+        for _ in 0..self.config.endorsers {
+            latency = latency.parallel(self.config.network.round_trip(96));
+        }
+        let (ok, compute) = measured(|| {
+            tx.endorsements
+                .iter()
+                .all(|(pk, sig)| pk.verify(&tx.tx_digest, sig))
+        });
+        latency = latency.then(compute);
+        if ok {
+            (Ok(tx.value.clone()), latency)
+        } else {
+            (Err("endorsement verification failed".to_string()), latency)
+        }
+    }
+
+    /// Steady-state verified-read throughput for lineage queries of
+    /// `entries` versions: peers serve queries concurrently and the whole
+    /// history costs "nearly a single random I/O" (§VI-D), so throughput
+    /// starts low (consensus-grade per-query overhead) but degrades only
+    /// gently with the entry count — which is why LedgerDB's per-entry
+    /// random-I/O curve converges with Fabric's past ~50 entries in
+    /// Fig 10(c).
+    pub fn lineage_query_tps(&self, entries: u64) -> f64 {
+        let per_query_us = 50_000.0 + 100.0 * entries as f64;
+        self.config.endorsers as f64 * 1_000_000.0 / per_query_us
+    }
+
+    /// Verified lineage read: fetch and validate *all* versions of `key`.
+    /// Fabric serves the whole history in nearly one random I/O (the
+    /// paper's observation for Fig 10(c)), so network cost is one query
+    /// plus per-version signature checks.
+    pub fn query_verify_lineage(&self, key: &str) -> (Result<u64, String>, SimLatency) {
+        let Some(history) = self.state.get(key) else {
+            return (Err(format!("unknown key {key}")), SimLatency::ZERO);
+        };
+        let total_bytes: usize = history.iter().map(|t| t.value.len()).sum();
+        let mut latency = self.config.network.round_trip(total_bytes);
+        latency.add(self.config.ordering_batch_us);
+        let (ok, compute) = measured(|| {
+            history.iter().all(|tx| {
+                tx.endorsements
+                    .iter()
+                    .all(|(pk, sig)| pk.verify(&tx.tx_digest, sig))
+            })
+        });
+        latency = latency.then(compute);
+        if ok {
+            (Ok(history.len() as u64), latency)
+        } else {
+            (Err("endorsement verification failed".to_string()), latency)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> FabricSim {
+        FabricSim::new(FabricConfig::default())
+    }
+
+    #[test]
+    fn invoke_commits_with_endorsements() {
+        let mut f = sim();
+        let lat = f.invoke("asset-1", vec![1u8; 256]);
+        assert_eq!(f.committed(), 1);
+        // Dominated by the ordering batch wait (≥ 0.5 s).
+        assert!(lat.seconds() >= 0.5);
+    }
+
+    #[test]
+    fn query_verify_round_trip() {
+        let mut f = sim();
+        f.invoke("k", b"value".to_vec());
+        let (value, lat) = f.query_verify("k");
+        assert_eq!(value.unwrap(), b"value");
+        assert!(lat.seconds() >= 1.0, "consensus-grade latency expected");
+    }
+
+    #[test]
+    fn lineage_counts_all_versions() {
+        let mut f = sim();
+        for i in 0..10u8 {
+            f.invoke("asset", vec![i; 64]);
+        }
+        let (count, _) = f.query_verify_lineage("asset");
+        assert_eq!(count.unwrap(), 10);
+    }
+
+    #[test]
+    fn unknown_key_errors() {
+        let f = sim();
+        assert!(f.query_verify("missing").0.is_err());
+        assert!(f.query_verify_lineage("missing").0.is_err());
+    }
+
+    #[test]
+    fn write_tps_declines_with_volume() {
+        let f = sim();
+        let small = f.write_tps(1 << 5);
+        let large = f.write_tps(1 << 30);
+        assert!(small > large);
+        // Paper's bracket: ~2386 down to ~1978 TPS.
+        assert!(small < 3_000.0 && large > 1_500.0, "{small} {large}");
+    }
+}

@@ -1,0 +1,27 @@
+//! Comparator systems for the application-level evaluation (§VI-D).
+//!
+//! The paper compares LedgerDB against Amazon QLDB (a closed cloud
+//! service) and Hyperledger Fabric 2.2 (a permissioned blockchain). Both
+//! are rebuilt here as *structural simulators*: the verification data
+//! structures and signature flows are real (our own crypto and
+//! accumulators), while network and consensus delays come from a
+//! deterministic latency model calibrated to the paper's measured numbers
+//! (see DESIGN.md §2 for the substitution rationale).
+//!
+//! * [`network`] — the latency model: cloud API round-trips, bandwidth
+//!   cost per KB, consensus batching delays.
+//! * [`qldb`] — document ledger over a single global Merkle accumulator
+//!   (*tim*); `get_revision` verification walks to the global root, so
+//!   cost grows with ledger size; lineage requires one verification per
+//!   version (the [key, data, prehash, sig] schema of §VI-D).
+//! * [`fabric`] — endorse → order → validate pipeline with real endorser
+//!   signatures and Kafka-style batching delay; `GetState`-based
+//!   verification gathers and checks all peer signatures.
+
+pub mod fabric;
+pub mod network;
+pub mod qldb;
+
+pub use fabric::{FabricConfig, FabricSim};
+pub use network::{NetworkProfile, SimLatency};
+pub use qldb::{QldbConfig, QldbSim};

@@ -1,0 +1,125 @@
+//! Deterministic latency model for cloud and consensus experiments.
+//!
+//! Instead of sleeping, simulated operations *account* latency: every
+//! network interaction adds a deterministic cost to a [`SimLatency`]
+//! accumulator, while compute (hashing, signatures, proof checks) is done
+//! for real. Experiments therefore report `modeled network + measured
+//! compute`, reproducible on any machine.
+
+/// Accumulated latency of one simulated operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SimLatency {
+    micros: u64,
+}
+
+impl SimLatency {
+    pub const ZERO: SimLatency = SimLatency { micros: 0 };
+
+    pub fn from_micros(us: u64) -> Self {
+        SimLatency { micros: us }
+    }
+
+    pub fn micros(self) -> u64 {
+        self.micros
+    }
+
+    pub fn millis(self) -> f64 {
+        self.micros as f64 / 1_000.0
+    }
+
+    pub fn seconds(self) -> f64 {
+        self.micros as f64 / 1_000_000.0
+    }
+
+    /// Add a cost component.
+    pub fn add(&mut self, us: u64) {
+        self.micros += us;
+    }
+
+    /// Combine with another latency (sequential composition).
+    pub fn then(self, other: SimLatency) -> SimLatency {
+        SimLatency { micros: self.micros + other.micros }
+    }
+
+    /// Parallel composition: the slower branch dominates.
+    pub fn parallel(self, other: SimLatency) -> SimLatency {
+        SimLatency { micros: self.micros.max(other.micros) }
+    }
+}
+
+/// Network/service latency constants for one deployment.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkProfile {
+    /// One client↔service round trip (same-region cloud API).
+    pub api_rtt_us: u64,
+    /// Additional transfer cost per KiB of payload.
+    pub per_kib_us: u64,
+}
+
+impl NetworkProfile {
+    /// Same-region cloud API profile (the paper's QLDB/LedgerDB service
+    /// deployments): tens of milliseconds per call.
+    pub fn cloud() -> Self {
+        NetworkProfile { api_rtt_us: 25_000, per_kib_us: 80 }
+    }
+
+    /// In-cluster 25 Gb Ethernet profile (the paper's Fabric deployment).
+    pub fn lan() -> Self {
+        NetworkProfile { api_rtt_us: 500, per_kib_us: 3 }
+    }
+
+    /// In-cluster *service* profile: one hop through a ledger service's
+    /// proxy/server stack (the paper's ~2.5 ms end-to-end LedgerDB
+    /// verification latency is dominated by this, Fig 10b).
+    pub fn cluster_service() -> Self {
+        NetworkProfile { api_rtt_us: 2_000, per_kib_us: 3 }
+    }
+
+    /// Latency of one round trip carrying `payload_bytes`.
+    pub fn round_trip(&self, payload_bytes: usize) -> SimLatency {
+        let kib = payload_bytes.div_ceil(1024) as u64;
+        SimLatency::from_micros(self.api_rtt_us + kib * self.per_kib_us)
+    }
+}
+
+/// Measure the wall-clock cost of a compute closure as a [`SimLatency`].
+pub fn measured<T>(f: impl FnOnce() -> T) -> (T, SimLatency) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, SimLatency::from_micros(start.elapsed().as_micros() as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_composition() {
+        let a = SimLatency::from_micros(100);
+        let b = SimLatency::from_micros(250);
+        assert_eq!(a.then(b).micros(), 350);
+        assert_eq!(a.parallel(b).micros(), 250);
+        assert_eq!(b.millis(), 0.25);
+    }
+
+    #[test]
+    fn round_trip_scales_with_payload() {
+        let p = NetworkProfile::cloud();
+        let small = p.round_trip(256);
+        let large = p.round_trip(256 * 1024);
+        assert!(large > small);
+        assert_eq!(small.micros(), 25_000 + 80);
+    }
+
+    #[test]
+    fn lan_faster_than_cloud() {
+        assert!(NetworkProfile::lan().round_trip(1024) < NetworkProfile::cloud().round_trip(1024));
+    }
+
+    #[test]
+    fn measured_captures_compute() {
+        let (v, lat) = measured(|| (0..10_000u64).sum::<u64>());
+        assert_eq!(v, 49_995_000);
+        assert!(lat.micros() < 1_000_000);
+    }
+}

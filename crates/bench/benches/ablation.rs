@@ -1,0 +1,135 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * fractal height δ vs anchor freshness (proof length / verify cost);
+//! * MPT top-layer cache depth (node distribution per level);
+//! * sync vs async occult cost on the append path;
+//! * purge cost vs retained ledger size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ledgerdb_accumulator::fam::{FamTree, TrustedAnchor};
+use ledgerdb_bench::{journal_digests, BenchLedger};
+use ledgerdb_core::OccultMode;
+use ledgerdb_crypto::multisig::MultiSignature;
+use ledgerdb_mpt::Mpt;
+
+fn ablation_delta_vs_anchor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_delta_anchor");
+    let n = 1u64 << 14;
+    let digests = journal_digests(n);
+    for delta in [4u32, 8, 12, 16] {
+        let mut fam = FamTree::new(delta);
+        for d in &digests {
+            fam.append(*d);
+        }
+        let fresh = fam.anchor();
+        let stale = TrustedAnchor {
+            epoch_roots: fam.sealed_roots()[..fam.sealed_epochs() / 2].to_vec(),
+        };
+        group.bench_with_input(BenchmarkId::new("fresh_anchor", delta), &delta, |b, _| {
+            let mut i = 1u64;
+            b.iter(|| {
+                i = (i * 31) % n;
+                fam.prove(i, &fresh).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("stale_anchor", delta), &delta, |b, _| {
+            let mut i = 1u64;
+            b.iter(|| {
+                i = (i * 31) % n;
+                fam.prove(i, &stale).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_mpt_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_mpt");
+    for keys in [1_000u64, 10_000] {
+        let mut mpt = Mpt::new();
+        for i in 0..keys {
+            let k = ledgerdb_crypto::sha3_256(&i.to_be_bytes());
+            mpt.insert(k.as_bytes(), i.to_be_bytes().to_vec());
+        }
+        // Report the per-depth node histogram once per size (stdout so the
+        // cache-sizing discussion in DESIGN.md has data behind it).
+        let histogram = mpt.node_count_by_depth();
+        eprintln!("mpt depth histogram ({keys} keys): {histogram:?}");
+        group.bench_with_input(BenchmarkId::new("prove", keys), &keys, |b, &keys| {
+            let mut i = 1u64;
+            b.iter(|| {
+                i = (i * 7919) % keys;
+                let k = ledgerdb_crypto::sha3_256(&i.to_be_bytes());
+                mpt.prove(k.as_bytes()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_occult_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_occult");
+    group.sample_size(10);
+    for mode in [OccultMode::Sync, OccultMode::Async] {
+        group.bench_with_input(
+            BenchmarkId::new("occult", format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter_batched(
+                    || {
+                        let mut bench = BenchLedger::new(64, 8);
+                        let requests = bench.signed_requests(64, 1024, |_| None);
+                        bench.populate(requests);
+                        bench
+                    },
+                    |mut bench| {
+                        let d = bench.ledger.occult_approval_digest(7);
+                        let mut ms = MultiSignature::new();
+                        ms.add(&bench.dba, &d);
+                        ms.add(&bench.regulator, &d);
+                        bench.ledger.occult(7, ms, mode).unwrap();
+                        if mode == OccultMode::Async {
+                            bench.ledger.reorganize().unwrap();
+                        }
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ablation_purge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_purge");
+    group.sample_size(10);
+    for n in [128u64, 512] {
+        group.bench_with_input(BenchmarkId::new("purge_half", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut bench = BenchLedger::new(64, 8);
+                    let requests = bench.signed_requests(n, 512, |_| None);
+                    bench.populate(requests);
+                    bench
+                },
+                |mut bench| {
+                    let to = n / 2;
+                    let d = bench.ledger.purge_approval_digest(to);
+                    let mut ms = MultiSignature::new();
+                    ms.add(&bench.dba, &d);
+                    ms.add(&bench.alice, &d);
+                    bench.ledger.purge(to, ms, &[], true).unwrap();
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_delta_vs_anchor, ablation_mpt_depth, ablation_occult_modes, ablation_purge
+}
+criterion_main!(benches);

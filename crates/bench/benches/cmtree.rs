@@ -1,0 +1,109 @@
+//! Criterion micro-benches behind Fig 9: CM-Tree vs ccMPT insertion and
+//! clue verification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ledgerdb_accumulator::tim::TimAccumulator;
+use ledgerdb_bench::XorShift;
+use ledgerdb_clue::ccmpt::CcMpt;
+use ledgerdb_clue::cm_tree::CmTree;
+use ledgerdb_crypto::digest::Digest;
+use ledgerdb_crypto::hash_leaf;
+
+/// Workload: `n` journals over clues of 1..=100 entries.
+fn workload(n: u64) -> Vec<(String, u64, Digest)> {
+    let mut rng = XorShift::new(77);
+    let mut out = Vec::with_capacity(n as usize);
+    let mut jsn = 0u64;
+    let mut clue_id = 0u64;
+    while jsn < n {
+        let clue = format!("clue-{clue_id}");
+        let entries = 1 + rng.below(100);
+        for _ in 0..entries.min(n - jsn) {
+            out.push((clue.clone(), jsn, hash_leaf(&jsn.to_be_bytes())));
+            jsn += 1;
+        }
+        clue_id += 1;
+    }
+    out
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_insert");
+    let n = 1u64 << 12;
+    let load = workload(n);
+    group.throughput(Throughput::Elements(n));
+
+    group.bench_function("cm_tree", |b| {
+        b.iter(|| {
+            let mut cm = CmTree::new();
+            for (clue, jsn, d) in &load {
+                cm.append(clue, *jsn, *d);
+            }
+            cm.root()
+        })
+    });
+    group.bench_function("ccmpt", |b| {
+        b.iter(|| {
+            let mut cc = CcMpt::new();
+            for (clue, jsn, _) in &load {
+                cc.append(clue, *jsn);
+            }
+            cc.root()
+        })
+    });
+    group.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_verify");
+    for entries in [10u64, 100, 1000] {
+        // Background + target clue.
+        let background = workload(1 << 14);
+        let mut cm = CmTree::new();
+        let mut cc = CcMpt::new();
+        let mut ledger = TimAccumulator::new();
+        let mut digests = Vec::new();
+        for (clue, jsn, d) in &background {
+            cm.append(clue, *jsn, *d);
+            cc.append(clue, *jsn);
+            ledger.append(*d);
+            digests.push(*d);
+        }
+        let mut jsn = background.len() as u64;
+        #[allow(clippy::explicit_counter_loop)]
+        for _ in 0..entries {
+            let d = hash_leaf(&jsn.to_be_bytes());
+            cm.append("target", jsn, d);
+            cc.append("target", jsn);
+            ledger.append(d);
+            digests.push(d);
+            jsn += 1;
+        }
+        let cm_root = cm.root();
+        let cc_root = cc.root();
+        let ledger_root = ledger.root();
+
+        group.bench_with_input(BenchmarkId::new("cm_tree", entries), &entries, |b, _| {
+            b.iter(|| {
+                let proof = cm.prove_all("target").unwrap();
+                CmTree::verify_client(&cm_root, &proof).unwrap();
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ccmpt", entries), &entries, |b, _| {
+            b.iter(|| {
+                let proof = cc
+                    .prove("target", &ledger, |j| digests.get(j as usize).copied())
+                    .unwrap();
+                CcMpt::verify(&cc_root, &ledger_root, &proof).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_insert, bench_verify
+}
+criterion_main!(benches);

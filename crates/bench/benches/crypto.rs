@@ -1,0 +1,42 @@
+//! Criterion micro-benches for the crypto substrate: the primitive costs
+//! underlying every Dasein factor (SHA-256 for *what*, ECDSA for *who*,
+//! attestation checks for *when*).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ledgerdb_crypto::keys::KeyPair;
+use ledgerdb_crypto::{sha256, sha3_256};
+
+fn bench_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash");
+    for size in [32usize, 256, 4096, 262_144] {
+        let data = vec![0xa5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| sha256(d))
+        });
+        group.bench_with_input(BenchmarkId::new("sha3_256", size), &data, |b, d| {
+            b.iter(|| sha3_256(d))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ecdsa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecdsa");
+    group.sample_size(20);
+    let kp = KeyPair::from_seed(b"bench-ecdsa");
+    let msg = sha256(b"journal digest");
+    let sig = kp.sign(&msg);
+    group.bench_function("sign", |b| b.iter(|| kp.sign(&msg)));
+    group.bench_function("verify", |b| {
+        b.iter(|| assert!(kp.public().verify(&msg, &sig)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hash, bench_ecdsa
+}
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Criterion micro-benches behind Fig 8: append and proof costs of the
+//! accumulator models (tim vs fam-δ vs bim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ledgerdb_accumulator::bim::BimChain;
+use ledgerdb_accumulator::fam::{FamTree, TrustedAnchor};
+use ledgerdb_accumulator::tim::TimAccumulator;
+use ledgerdb_bench::journal_digests;
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8a_append");
+    let n = 1u64 << 14;
+    let digests = journal_digests(n);
+    group.throughput(Throughput::Elements(n));
+
+    group.bench_function("tim", |b| {
+        b.iter(|| {
+            let mut acc = TimAccumulator::new();
+            for d in &digests {
+                acc.append(*d);
+            }
+            acc.root()
+        })
+    });
+    for delta in [5u32, 10, 15] {
+        group.bench_with_input(BenchmarkId::new("fam", delta), &delta, |b, &delta| {
+            b.iter(|| {
+                let mut fam = FamTree::new(delta);
+                for d in &digests {
+                    fam.append(*d);
+                }
+                fam.root()
+            })
+        });
+    }
+    group.bench_function("bim_block64", |b| {
+        b.iter(|| {
+            let mut chain = BimChain::new(64);
+            for d in &digests {
+                chain.append(*d);
+            }
+            chain.seal_block();
+            chain.block_count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_proof(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8b_getproof");
+    let n = 1u64 << 16;
+    let digests = journal_digests(n);
+
+    let mut tim = TimAccumulator::new();
+    for d in &digests {
+        tim.append(*d);
+    }
+    group.bench_function("tim_prove", |b| {
+        let mut i = 1u64;
+        b.iter(|| {
+            i = (i.wrapping_mul(6364136223846793005).wrapping_add(1)) % n;
+            tim.prove(i).unwrap()
+        })
+    });
+
+    for delta in [5u32, 10, 15] {
+        let mut fam = FamTree::new(delta);
+        for d in &digests {
+            fam.append(*d);
+        }
+        let anchor = fam.anchor();
+        group.bench_with_input(BenchmarkId::new("fam_prove_anchored", delta), &delta, |b, _| {
+            let mut i = 1u64;
+            b.iter(|| {
+                i = (i.wrapping_mul(6364136223846793005).wrapping_add(1)) % n;
+                fam.prove(i, &anchor).unwrap()
+            })
+        });
+        let empty = TrustedAnchor::default();
+        group.bench_with_input(BenchmarkId::new("fam_prove_full", delta), &delta, |b, _| {
+            let mut i = 1u64;
+            b.iter(|| {
+                i = (i.wrapping_mul(6364136223846793005).wrapping_add(1)) % n;
+                fam.prove(i, &empty).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fam_verify");
+    let n = 1u64 << 16;
+    let digests = journal_digests(n);
+    let mut fam = FamTree::new(10);
+    for d in &digests {
+        fam.append(*d);
+    }
+    let anchor = fam.anchor();
+    let root = fam.root();
+    let anchored = fam.prove(1234, &anchor).unwrap();
+    group.bench_function("anchored", |b| {
+        b.iter(|| FamTree::verify(&root, &anchor, &digests[1234], &anchored).unwrap())
+    });
+    let empty = TrustedAnchor::default();
+    let full = fam.prove(1234, &empty).unwrap();
+    group.bench_function("full", |b| {
+        b.iter(|| FamTree::verify(&root, &empty, &digests[1234], &full).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_append, bench_proof, bench_verify
+}
+criterion_main!(benches);

@@ -1,0 +1,192 @@
+//! Figure 7: latency breakdown for the Dasein verification factors
+//! (what / when / who) over a single audit of 1000 sequential journals.
+//!
+//! Left bars (when): TSA-direct vs TL-1 vs TL-10, Δτ = 1 s, 256B payloads,
+//! single-signed. Paper: TL-10 reduces when-verification latency ~50×
+//! versus direct TSA pegging.
+//!
+//! Middle bars (what/who vs payload size): 256B → 256KB under TL-1/Sig-1.
+//! Paper: who grows ~12×, what ~4×.
+//!
+//! Right bars (who vs signer count): 1–7 signatures, latency scales
+//! linearly.
+//!
+//! Modeled component (DESIGN.md §2): each direct-TSA interaction carries a
+//! 10 ms service-validation charge (external authority round trip and
+//! token checking); everything else is measured compute on our own
+//! crypto/accumulators.
+
+use ledgerdb_accumulator::fam::{FamTree, TrustedAnchor};
+use ledgerdb_accumulator::shrubs::Shrubs;
+use ledgerdb_bench::{banner, fmt_latency, row, timed, XorShift};
+use ledgerdb_crypto::keys::KeyPair;
+use ledgerdb_crypto::multisig::MultiSignature;
+use ledgerdb_crypto::{sha256, Digest};
+use ledgerdb_timesvc::clock::{Clock, SimClock};
+use ledgerdb_timesvc::tledger::{NotaryReceipt, TLedger, TLedgerConfig};
+use ledgerdb_timesvc::tsa::{TimeAttestation, Tsa, TsaPool};
+use std::sync::Arc;
+
+const JOURNALS: usize = 1000;
+/// Modeled cost of one direct TSA service interaction (µs).
+const TSA_SERVICE_US: u64 = 10_000;
+
+struct WhenSetup {
+    /// Per-journal notary receipts (TL modes).
+    receipts: Vec<NotaryReceipt>,
+    /// TSA attestations covering the T-Ledger, one per Δτ.
+    attestations: Vec<TimeAttestation>,
+    /// T-Ledger accumulator snapshot for entry proofs.
+    tledger: Arc<TLedger>,
+}
+
+/// Drive a ledger at `tps` journals/second against a shared T-Ledger,
+/// collecting per-journal receipts and the per-second TSA finalizations.
+fn run_tledger(tps: u64) -> WhenSetup {
+    let clock = SimClock::new();
+    let arc_clock: Arc<dyn Clock> = Arc::new(clock.clone());
+    let pool = Arc::new(TsaPool::new(1, Arc::clone(&arc_clock)));
+    let config = TLedgerConfig { submission_tolerance_us: 500_000, tsa_interval_us: 1_000_000 };
+    let tledger = Arc::new(TLedger::new(config, arc_clock, pool));
+    let ledger_id = sha256(b"fig7-ledger");
+
+    let mut receipts = Vec::with_capacity(JOURNALS);
+    let mut attestations = Vec::new();
+    let step_us = 1_000_000 / tps;
+    for i in 0..JOURNALS as u64 {
+        clock.advance(step_us);
+        let digest = sha256(&i.to_be_bytes());
+        receipts.push(tledger.submit(ledger_id, digest, clock.now()).expect("fresh submission"));
+        if let Some(tj) = tledger.maybe_finalize() {
+            attestations.push(tj.attestation);
+        }
+    }
+    if let Some(tj) = tledger.finalize_now() {
+        attestations.push(tj.attestation);
+    }
+    WhenSetup { receipts, attestations, tledger }
+}
+
+fn main() {
+    banner("Fig 7 (left): when-verification over 1000 journals, Δτ=1s (paper: TL-10 ~50x under TSA)");
+
+    // TSA-direct: every journal carries its own TSA attestation.
+    let clock = SimClock::new();
+    let tsa = Tsa::new("direct-tsa", Arc::new(clock.clone()));
+    let direct: Vec<TimeAttestation> = (0..JOURNALS as u64)
+        .map(|i| {
+            clock.advance(1_000_000);
+            tsa.endorse(sha256(&i.to_be_bytes()))
+        })
+        .collect();
+    let ((), tsa_compute) = timed(|| {
+        for att in &direct {
+            att.verify().expect("attestation valid");
+        }
+    });
+    let tsa_total = tsa_compute + (JOURNALS as u64 * TSA_SERVICE_US) as f64 / 1e6;
+
+    let mut tl_results = Vec::new();
+    for tps in [1u64, 10] {
+        let setup = run_tledger(tps);
+        let ((), secs) = timed(|| {
+            // Verify each journal's notary receipt + entry inclusion, and
+            // every covering TSA attestation once.
+            for r in &setup.receipts {
+                r.verify().expect("receipt valid");
+                let (entry, proof, root) = setup.tledger.prove_entry(r.entry.seq).unwrap();
+                Shrubs::verify(&root, &entry.leaf_digest(), &proof).unwrap();
+            }
+            for att in &setup.attestations {
+                att.verify().expect("attestation valid");
+            }
+        });
+        tl_results.push((tps, secs, setup.attestations.len()));
+    }
+
+    row(
+        "when (1000 journals)",
+        &[
+            ("TSA", fmt_latency(tsa_total)),
+            ("TL-1", fmt_latency(tl_results[0].1)),
+            ("TL-10", fmt_latency(tl_results[1].1)),
+            ("TSA/TL-10", format!("{:.0}x", tsa_total / tl_results[1].1)),
+        ],
+    );
+    row(
+        "  TSA attestations",
+        &[
+            ("TSA", JOURNALS.to_string()),
+            ("TL-1", tl_results[0].2.to_string()),
+            ("TL-10", tl_results[1].2.to_string()),
+        ],
+    );
+
+    banner("Fig 7 (middle): what & who vs payload size, TL-1/Sig-1 (paper: who 12x, what 4x at 256KB)");
+    let signer = KeyPair::from_seed(b"fig7-signer");
+    let mut rng = XorShift::new(3);
+    for &size in &[256usize, 4096, 256 * 1024] {
+        let payloads: Vec<Vec<u8>> = (0..JOURNALS).map(|_| rng.payload(size)).collect();
+        // Setup: request hashes, signatures, fam over journal digests.
+        let request_hashes: Vec<Digest> = payloads.iter().map(|p| sha256(p)).collect();
+        let sigs: Vec<_> = request_hashes.iter().map(|h| signer.sign(h)).collect();
+        let mut fam = FamTree::new(10);
+        let digests: Vec<Digest> = request_hashes.clone();
+        for d in &digests {
+            fam.append(*d);
+        }
+        let anchor = TrustedAnchor::default();
+        let proofs: Vec<_> = (0..JOURNALS as u64).map(|i| fam.prove(i, &anchor).unwrap()).collect();
+        let root = fam.root();
+
+        // what: recompute payload digest + fam proof verification.
+        let ((), what_secs) = timed(|| {
+            for (i, p) in payloads.iter().enumerate() {
+                let d = sha256(p);
+                FamTree::verify(&root, &anchor, &d, &proofs[i]).expect("what verification");
+            }
+        });
+        // who: recompute request hash + verify π_c.
+        let ((), who_secs) = timed(|| {
+            for (i, p) in payloads.iter().enumerate() {
+                let h = sha256(p);
+                assert!(signer.public().verify(&h, &sigs[i]), "who verification");
+            }
+        });
+        row(
+            &format!("payload {size}B"),
+            &[
+                ("what", fmt_latency(what_secs)),
+                ("who", fmt_latency(who_secs)),
+            ],
+        );
+    }
+
+    banner("Fig 7 (right): who vs signer count, TL-1/256B (paper: linear in signatures)");
+    let signers: Vec<KeyPair> =
+        (0..7).map(|i| KeyPair::from_seed(format!("fig7-multi-{i}").as_bytes())).collect();
+    let mut rng = XorShift::new(4);
+    let payloads: Vec<Vec<u8>> = (0..JOURNALS).map(|_| rng.payload(256)).collect();
+    let hashes: Vec<Digest> = payloads.iter().map(|p| sha256(p)).collect();
+    for &k in &[1usize, 3, 5, 7] {
+        let multisigs: Vec<MultiSignature> = hashes
+            .iter()
+            .map(|h| {
+                let mut ms = MultiSignature::new();
+                for s in &signers[..k] {
+                    ms.add(s, h);
+                }
+                ms
+            })
+            .collect();
+        let ((), secs) = timed(|| {
+            for (h, ms) in hashes.iter().zip(&multisigs) {
+                assert!(ms.verify_all(h), "multi-signature verification");
+            }
+        });
+        row(
+            &format!("Sig-{k}"),
+            &[("who", fmt_latency(secs)), ("per-journal", fmt_latency(secs / JOURNALS as f64))],
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Figure 8: write (Append) and existence-verification (GetProof)
+//! throughput across accumulator models — *tim* vs *fam-5/10/15/20/25* —
+//! as the ledger grows.
+//!
+//! Paper setup: ledger volumes 32KB…32GB. Substitution: leaf counts
+//! 2^10…2^20 (costs depend on leaf counts, not raw bytes; DESIGN.md §2).
+//! Expected shape: tim append/proof throughput decays with total size;
+//! fam-δ throughput stabilizes once at least one epoch fills, and smaller
+//! δ stabilizes earlier and higher.
+
+use ledgerdb_accumulator::fam::FamTree;
+use ledgerdb_accumulator::tim::TimAccumulator;
+use ledgerdb_bench::{banner, fmt_tps, journal_digests, row, throughput, XorShift};
+
+fn main() {
+    let sizes: Vec<u64> = std::env::args()
+        .nth(1)
+        .map(|s| vec![s.parse().expect("size argument")])
+        .unwrap_or_else(|| vec![1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20]);
+    let deltas = [5u32, 10, 15, 20, 25];
+    let proof_samples = 2_000u64;
+
+    banner("Fig 8(a): Append TPS (paper: fam-5 >200K, fam-15 ~100K, tim decays linearly)");
+    for &n in &sizes {
+        let digests = journal_digests(n);
+        let mut cols: Vec<(&str, String)> = Vec::new();
+        let tim_tps = throughput(n, || {
+            let mut acc = TimAccumulator::new();
+            for d in &digests {
+                acc.append(*d);
+            }
+        });
+        cols.push(("tim", fmt_tps(tim_tps)));
+        for &delta in &deltas {
+            let tps = throughput(n, || {
+                let mut fam = FamTree::new(delta);
+                for d in &digests {
+                    fam.append(*d);
+                }
+            });
+            cols.push((Box::leak(format!("fam-{delta}").into_boxed_str()), fmt_tps(tps)));
+        }
+        row(&format!("n=2^{}", n.trailing_zeros()), &cols);
+    }
+
+    banner("Fig 8(b): GetProof TPS (paper: fam-5 ~20K, fam-10 ~12K stable; tim decays)");
+    for &n in &sizes {
+        let digests = journal_digests(n);
+        let mut rng = XorShift::new(7);
+        let targets: Vec<u64> = (0..proof_samples).map(|_| rng.below(n)).collect();
+        let mut cols: Vec<(&str, String)> = Vec::new();
+
+        let mut tim = TimAccumulator::new();
+        for d in &digests {
+            tim.append(*d);
+        }
+        let tim_tps = throughput(proof_samples, || {
+            for &t in &targets {
+                std::hint::black_box(tim.prove(t).unwrap());
+            }
+        });
+        cols.push(("tim", fmt_tps(tim_tps)));
+
+        for &delta in &deltas {
+            let mut fam = FamTree::new(delta);
+            for d in &digests {
+                fam.append(*d);
+            }
+            let anchor = fam.anchor();
+            let tps = throughput(proof_samples, || {
+                for &t in &targets {
+                    std::hint::black_box(fam.prove(t, &anchor).unwrap());
+                }
+            });
+            cols.push((Box::leak(format!("fam-{delta}").into_boxed_str()), fmt_tps(tps)));
+        }
+        row(&format!("n=2^{}", n.trailing_zeros()), &cols);
+    }
+
+    banner("Fig 8 aux: proof sizes (digests carried), anchored vs unanchored");
+    for &n in &[1u64 << 14, 1 << 18] {
+        let digests = journal_digests(n);
+        let mut tim = TimAccumulator::new();
+        let mut fam15 = FamTree::new(15);
+        for d in &digests {
+            tim.append(*d);
+            fam15.append(*d);
+        }
+        let anchor = fam15.anchor();
+        let empty = ledgerdb_accumulator::fam::TrustedAnchor::default();
+        row(
+            &format!("n=2^{}", n.trailing_zeros()),
+            &[
+                ("tim", tim.prove(5).unwrap().len().to_string()),
+                ("fam15-anchored", fam15.prove(5, &anchor).unwrap().len().to_string()),
+                ("fam15-full", fam15.prove(5, &empty).unwrap().len().to_string()),
+            ],
+        );
+    }
+}

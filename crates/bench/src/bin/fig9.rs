@@ -1,0 +1,168 @@
+//! Figure 9: clue verification — CM-Tree vs ccMPT.
+//!
+//! 9(a): verification throughput on a randomly selected clue while the
+//! total ledger grows (clues carry 1–100 journals each, ~1KB journals).
+//! Expected shape: CM-Tree flat (~independent of ledger size); ccMPT
+//! decays because each of the clue's m journals needs an O(log n) proof
+//! against the global accumulator (paper: 16×→33× gap).
+//!
+//! 9(b): verification latency on a fixed ledger while the selected clue's
+//! entry count grows 10→10000. Expected: both grow with m, ccMPT ~linearly
+//! steeper (paper: 0.8ms vs 6.1ms at 10 entries; 24× gap at 10000).
+
+use ledgerdb_bench::{banner, fmt_latency, fmt_tps, row, throughput, timed, XorShift};
+use ledgerdb_clue::ccmpt::CcMpt;
+use ledgerdb_clue::cm_tree::CmTree;
+use ledgerdb_accumulator::shrubs::leaf_pos;
+use ledgerdb_accumulator::tim::TimAccumulator;
+use ledgerdb_crypto::digest::Digest;
+use ledgerdb_crypto::hash_leaf;
+
+/// Build both indexes over the same workload: `n` journals spread over
+/// clues of 1..=100 entries; returns (cm, cc, ledger acc, digests, clues).
+fn build(n: u64) -> (CmTree, CcMpt, TimAccumulator, Vec<Digest>, Vec<String>) {
+    let mut rng = XorShift::new(99);
+    let mut cm = CmTree::new();
+    let mut cc = CcMpt::new();
+    let mut ledger = TimAccumulator::new();
+    let mut digests = Vec::with_capacity(n as usize);
+    let mut clues = Vec::new();
+    let mut jsn = 0u64;
+    while jsn < n {
+        let clue = format!("clue-{}", clues.len());
+        let entries = 1 + rng.below(100);
+        for _ in 0..entries.min(n - jsn) {
+            let d = hash_leaf(&jsn.to_be_bytes());
+            cm.append(&clue, jsn, d);
+            cc.append(&clue, jsn);
+            ledger.append(d);
+            digests.push(d);
+            jsn += 1;
+        }
+        clues.push(clue);
+    }
+    (cm, cc, ledger, digests, clues)
+}
+
+fn main() {
+    let sizes: Vec<u64> = std::env::args()
+        .nth(1)
+        .map(|s| vec![s.parse().expect("size argument")])
+        .unwrap_or_else(|| vec![1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18]);
+
+    banner("Fig 9(a): clue verification TPS vs ledger size (paper: CM-Tree ~1K flat, ccMPT decays)");
+    for &n in &sizes {
+        let (cm, cc, ledger, digests, clues) = build(n);
+        let cm_root = cm.root();
+        let cc_root = cc.root();
+        let ledger_root = ledger.root();
+        let mut rng = XorShift::new(5);
+        let samples = 200u64;
+        let picks: Vec<&String> =
+            (0..samples).map(|_| &clues[rng.below(clues.len() as u64) as usize]).collect();
+
+        let cm_tps = throughput(samples, || {
+            for clue in &picks {
+                let proof = cm.prove_all(clue).unwrap();
+                CmTree::verify_client(&cm_root, &proof).unwrap();
+            }
+        });
+        let cc_tps = throughput(samples, || {
+            for clue in &picks {
+                let proof = cc
+                    .prove(clue, &ledger, |j| digests.get(j as usize).copied())
+                    .unwrap();
+                CcMpt::verify(&cc_root, &ledger_root, &proof).unwrap();
+            }
+        });
+        row(
+            &format!("n=2^{}", n.trailing_zeros()),
+            &[
+                ("CM-Tree", fmt_tps(cm_tps)),
+                ("ccMPT", fmt_tps(cc_tps)),
+                ("speedup", format!("{:.1}x", cm_tps / cc_tps)),
+            ],
+        );
+    }
+
+    banner("Fig 9(b): clue verification latency vs entries (fixed ledger; paper: 0.8ms vs 6.1ms @10)");
+    // Fixed background ledger ~2^17 journals plus the target clue.
+    let background = 1u64 << 17;
+    for &entries in &[10u64, 100, 1_000, 10_000] {
+        let mut cm = CmTree::new();
+        let mut cc = CcMpt::new();
+        let mut ledger = TimAccumulator::new();
+        let mut digests = Vec::new();
+        // Background clues.
+        let mut rng = XorShift::new(11);
+        let mut jsn = 0u64;
+        let mut c = 0u64;
+        while jsn < background {
+            let clue = format!("bg-{c}");
+            let k = 1 + rng.below(100);
+            for _ in 0..k.min(background - jsn) {
+                let d = hash_leaf(&jsn.to_be_bytes());
+                cm.append(&clue, jsn, d);
+                cc.append(&clue, jsn);
+                ledger.append(d);
+                digests.push(d);
+                jsn += 1;
+            }
+            c += 1;
+        }
+        // Target clue with the requested entry count.
+        for _ in 0..entries {
+            let d = hash_leaf(&jsn.to_be_bytes());
+            cm.append("target", jsn, d);
+            cc.append("target", jsn);
+            ledger.append(d);
+            digests.push(d);
+            jsn += 1;
+        }
+        let cm_root = cm.root();
+        let cc_root = cc.root();
+        let ledger_root = ledger.root();
+        let reps = 20;
+        let (_, cm_secs) = timed(|| {
+            for _ in 0..reps {
+                let proof = cm.prove_all("target").unwrap();
+                CmTree::verify_client(&cm_root, &proof).unwrap();
+            }
+        });
+        let (_, cc_secs) = timed(|| {
+            for _ in 0..reps {
+                let proof = cc
+                    .prove("target", &ledger, |j| digests.get(j as usize).copied())
+                    .unwrap();
+                CcMpt::verify(&cc_root, &ledger_root, &proof).unwrap();
+            }
+        });
+        row(
+            &format!("{entries}-entries clue"),
+            &[
+                ("CM-Tree", fmt_latency(cm_secs / reps as f64)),
+                ("ccMPT", fmt_latency(cc_secs / reps as f64)),
+                ("speedup", format!("{:.1}x", cc_secs / cm_secs)),
+            ],
+        );
+    }
+
+    banner("Fig 9 aux: proof sizes (digests carried) for a 100-entry clue");
+    let (cm, cc, ledger, digests, clues) = build(1 << 16);
+    let target = clues
+        .iter()
+        .max_by_key(|c| cm.entry_count(c))
+        .expect("clues exist");
+    let cm_proof = cm.prove_all(target).unwrap();
+    let cc_proof = cc
+        .prove(target, &ledger, |j| digests.get(j as usize).copied())
+        .unwrap();
+    let _ = leaf_pos(0);
+    row(
+        &format!("clue with {} entries", cm.entry_count(target)),
+        &[
+            ("CM-Tree", cm_proof.len().to_string()),
+            ("ccMPT", cc_proof.len().to_string()),
+        ],
+    );
+}

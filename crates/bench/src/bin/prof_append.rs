@@ -1,0 +1,34 @@
+//! Append-path and crypto profiling helper (not a paper figure).
+use ledgerdb_bench::BenchLedger;
+use ledgerdb_crypto::keys::KeyPair;
+use ledgerdb_crypto::sha256;
+
+fn run(label: &str, clue: fn(u64) -> Option<String>) {
+    let mut bench = BenchLedger::new(256, 15);
+    let reqs = bench.signed_requests(1 << 14, 256, clue);
+    let t = std::time::Instant::now();
+    for r in reqs {
+        bench.ledger.append_preverified(r).unwrap();
+    }
+    bench.ledger.seal_block();
+    let el = t.elapsed();
+    println!("{label}: {:?} total, {:?}/append", el, el / (1 << 14));
+}
+
+fn main() {
+    let kp = KeyPair::from_seed(b"prof");
+    let msg = sha256(b"m");
+    let mut sig = kp.sign(&msg);
+    let t = std::time::Instant::now();
+    for _ in 0..200 {
+        sig = kp.sign(&msg);
+    }
+    println!("sign: {:?}/op", t.elapsed() / 200);
+    let t = std::time::Instant::now();
+    for _ in 0..200 {
+        assert!(kp.public().verify(&msg, &sig));
+    }
+    println!("verify: {:?}/op", t.elapsed() / 200);
+    run("unique clues", |i| Some(format!("doc-{i}")));
+    run("no clues", |_| None);
+}

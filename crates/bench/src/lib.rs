@@ -1,0 +1,183 @@
+//! Shared workload generators and reporting helpers for the experiment
+//! harness. Each paper table/figure has a binary under `src/bin/` that
+//! regenerates it; `EXPERIMENTS.md` records paper-vs-measured.
+
+use ledgerdb_core::{LedgerConfig, LedgerDb, MemberRegistry, TxRequest};
+use ledgerdb_crypto::ca::{CertificateAuthority, Role};
+use ledgerdb_crypto::digest::Digest;
+use ledgerdb_crypto::hash_leaf;
+use ledgerdb_crypto::keys::KeyPair;
+use std::time::Instant;
+
+/// A deterministic xorshift RNG for workload generation (no external
+/// randomness → reproducible figures).
+pub struct XorShift(u64);
+
+impl XorShift {
+    pub fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+
+    /// Deterministic pseudo-random payload of `len` bytes.
+    pub fn payload(&mut self, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            out.extend_from_slice(&self.next_u64().to_le_bytes());
+        }
+        out.truncate(len);
+        out
+    }
+}
+
+/// Deterministic journal digests for accumulator workloads.
+pub fn journal_digests(n: u64) -> Vec<Digest> {
+    (0..n).map(|i| hash_leaf(&i.to_be_bytes())).collect()
+}
+
+/// Time a closure, returning (result, elapsed seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Ops/second over a timed closure executing `ops` operations.
+pub fn throughput(ops: u64, f: impl FnOnce()) -> f64 {
+    let ((), secs) = timed(f);
+    ops as f64 / secs.max(1e-9)
+}
+
+/// Standard experiment fixture: a populated LedgerDB with registered
+/// members (alice = user, plus DBA and regulator for mutations).
+pub struct BenchLedger {
+    pub ledger: LedgerDb,
+    pub alice: KeyPair,
+    pub dba: KeyPair,
+    pub regulator: KeyPair,
+}
+
+impl BenchLedger {
+    /// Create a ledger with the given block size and fam δ.
+    pub fn new(block_size: u64, fam_delta: u32) -> Self {
+        let ca = CertificateAuthority::from_seed(b"bench-ca");
+        let alice = KeyPair::from_seed(b"bench-alice");
+        let dba = KeyPair::from_seed(b"bench-dba");
+        let regulator = KeyPair::from_seed(b"bench-regulator");
+        let mut registry = MemberRegistry::new(*ca.public_key());
+        registry.register(ca.issue("alice", Role::User, alice.public())).unwrap();
+        registry.register(ca.issue("dba", Role::Dba, dba.public())).unwrap();
+        registry
+            .register(ca.issue("regulator", Role::Regulator, regulator.public()))
+            .unwrap();
+        let config = LedgerConfig { block_size, fam_delta, name: "bench".into() };
+        BenchLedger { ledger: LedgerDb::new(config, registry), alice, dba, regulator }
+    }
+
+    /// Pre-signed requests (signing happens client-side, outside any
+    /// timed region).
+    pub fn signed_requests(&self, n: u64, payload_len: usize, clue_of: impl Fn(u64) -> Option<String>) -> Vec<TxRequest> {
+        let mut rng = XorShift::new(42);
+        (0..n)
+            .map(|i| {
+                let clues = clue_of(i).map(|c| vec![c]).unwrap_or_default();
+                TxRequest::signed(&self.alice, rng.payload(payload_len), clues, i)
+            })
+            .collect()
+    }
+
+    /// Populate via the pre-verified kernel path.
+    pub fn populate(&mut self, requests: Vec<TxRequest>) {
+        for r in requests {
+            self.ledger.append_preverified(r).unwrap();
+        }
+        self.ledger.seal_block();
+    }
+}
+
+/// Print a figure/table header.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Print one aligned measurement row.
+pub fn row(label: &str, cols: &[(&str, String)]) {
+    let mut line = format!("{label:<28}");
+    for (name, value) in cols {
+        line.push_str(&format!(" {name}={value:<14}"));
+    }
+    println!("{line}");
+}
+
+/// Human-readable ops/sec.
+pub fn fmt_tps(tps: f64) -> String {
+    if tps >= 1_000_000.0 {
+        format!("{:.2}M", tps / 1_000_000.0)
+    } else if tps >= 1_000.0 {
+        format!("{:.1}K", tps / 1_000.0)
+    } else {
+        format!("{tps:.1}")
+    }
+}
+
+/// Human-readable latency from seconds.
+pub fn fmt_latency(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3}s")
+    } else if secs >= 1e-3 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{:.1}us", secs * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_deterministic() {
+        let mut a = XorShift::new(7);
+        let mut b = XorShift::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn payload_length_exact() {
+        let mut rng = XorShift::new(1);
+        for len in [0usize, 1, 7, 8, 9, 256, 1000] {
+            assert_eq!(rng.payload(len).len(), len);
+        }
+    }
+
+    #[test]
+    fn bench_ledger_populates() {
+        let mut b = BenchLedger::new(8, 4);
+        let reqs = b.signed_requests(10, 64, |i| Some(format!("clue-{}", i % 2)));
+        b.populate(reqs);
+        assert_eq!(b.ledger.journal_count(), 10);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_tps(1_500_000.0), "1.50M");
+        assert_eq!(fmt_tps(52_000.0), "52.0K");
+        assert_eq!(fmt_latency(1.5), "1.500s");
+        assert_eq!(fmt_latency(0.0025), "2.50ms");
+    }
+}

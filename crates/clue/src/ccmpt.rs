@@ -1,0 +1,191 @@
+//! The clue-counter MPT (ccMPT) — the earlier-design baseline (§IV-B1).
+//!
+//! ccMPT stores only a per-clue counter `m` in the MPT; the journals
+//! themselves are *not* separately accumulated. Clue verification must
+//! therefore (1) prove the counter via the MPT and (2) prove each of the
+//! `m` journals individually against the *global* ledger accumulator —
+//! `O(m · log n)` where `n` is the total journal count. Fig 9 measures
+//! exactly this gap against the CM-Tree.
+
+use crate::clue_key;
+use crate::error::ClueError;
+use ledgerdb_accumulator::tim::{TimAccumulator, TimProof};
+use ledgerdb_crypto::digest::Digest;
+use ledgerdb_mpt::{verify_proof, Mpt, MptProof};
+use std::collections::HashMap;
+
+/// A ccMPT clue proof: counter proof + one global-accumulator proof per
+/// journal (the linear-expansion cost the CM-Tree removes).
+#[derive(Clone, Debug)]
+pub struct CcMptProof {
+    pub clue: String,
+    /// MPT proof that the clue's counter is `entries.len()`.
+    pub counter: MptProof,
+    /// For each journal: (jsn, digest, proof against the ledger root).
+    pub entries: Vec<(u64, Digest, TimProof)>,
+}
+
+impl CcMptProof {
+    /// Total digests/nodes carried.
+    pub fn len(&self) -> usize {
+        self.counter.len() + self.entries.iter().map(|(_, _, p)| p.len()).sum::<usize>()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The clue-counter MPT baseline index.
+#[derive(Clone, Debug, Default)]
+pub struct CcMpt {
+    mpt: Mpt,
+    jsns: HashMap<String, Vec<u64>>,
+}
+
+fn counter_value(m: u64) -> Vec<u8> {
+    m.to_be_bytes().to_vec()
+}
+
+impl CcMpt {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one journal for `clue` (write-intensive: only the counter
+    /// and jsn list are touched).
+    pub fn append(&mut self, clue: &str, jsn: u64) {
+        let list = self.jsns.entry(clue.to_string()).or_default();
+        list.push(jsn);
+        let key = clue_key(clue);
+        self.mpt.insert(key.as_bytes(), counter_value(list.len() as u64));
+    }
+
+    /// The MPT root (recorded per block, like CM-Tree1's).
+    pub fn root(&self) -> Digest {
+        self.mpt.root_hash()
+    }
+
+    /// Entry count for a clue.
+    pub fn entry_count(&self, clue: &str) -> u64 {
+        self.jsns.get(clue).map(|v| v.len() as u64).unwrap_or(0)
+    }
+
+    /// The jsns recorded for a clue.
+    pub fn jsns(&self, clue: &str) -> &[u64] {
+        self.jsns.get(clue).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Build the full clue proof: counter + per-journal ledger proofs.
+    pub fn prove(
+        &self,
+        clue: &str,
+        ledger: &TimAccumulator,
+        journal_digest: impl Fn(u64) -> Option<Digest>,
+    ) -> Result<CcMptProof, ClueError> {
+        let jsns = self
+            .jsns
+            .get(clue)
+            .ok_or_else(|| ClueError::UnknownClue(clue.to_string()))?;
+        let key = clue_key(clue);
+        let counter = self.mpt.prove(key.as_bytes())?;
+        let mut entries = Vec::with_capacity(jsns.len());
+        for &jsn in jsns {
+            let digest =
+                journal_digest(jsn).ok_or(ClueError::MalformedProof("missing journal digest"))?;
+            let proof = ledger.prove(jsn)?;
+            entries.push((jsn, digest, proof));
+        }
+        Ok(CcMptProof { clue: clue.to_string(), counter, entries })
+    }
+
+    /// Client-side verification: counter via `ccmpt_root`, then every
+    /// journal against `ledger_root`.
+    pub fn verify(
+        ccmpt_root: &Digest,
+        ledger_root: &Digest,
+        proof: &CcMptProof,
+    ) -> Result<(), ClueError> {
+        let key = clue_key(&proof.clue);
+        if proof.counter.key != key.as_bytes() {
+            return Err(ClueError::MalformedProof("MPT key does not match clue"));
+        }
+        if proof.counter.value != counter_value(proof.entries.len() as u64) {
+            return Err(ClueError::MalformedProof("counter does not match entry count"));
+        }
+        verify_proof(ccmpt_root, &proof.counter)?;
+        for (_, digest, tim_proof) in &proof.entries {
+            TimAccumulator::verify(ledger_root, digest, tim_proof)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ledgerdb_crypto::hash_leaf;
+
+    fn setup(clues: &[(&str, u64)]) -> (CcMpt, TimAccumulator, Vec<Digest>) {
+        let mut cc = CcMpt::new();
+        let mut ledger = TimAccumulator::new();
+        let mut digests = Vec::new();
+        let mut jsn = 0u64;
+        for &(clue, n) in clues {
+            for _ in 0..n {
+                let d = hash_leaf(format!("j{jsn}").as_bytes());
+                ledger.append(d);
+                digests.push(d);
+                cc.append(clue, jsn);
+                jsn += 1;
+            }
+        }
+        (cc, ledger, digests)
+    }
+
+    #[test]
+    fn prove_verify_round_trip() {
+        let (cc, ledger, ds) = setup(&[("a", 5), ("b", 3)]);
+        for clue in ["a", "b"] {
+            let proof = cc.prove(clue, &ledger, |j| ds.get(j as usize).copied()).unwrap();
+            CcMpt::verify(&cc.root(), &ledger.root(), &proof).unwrap();
+        }
+    }
+
+    #[test]
+    fn dropped_journal_fails_counter() {
+        let (cc, ledger, ds) = setup(&[("a", 5)]);
+        let mut proof = cc.prove("a", &ledger, |j| ds.get(j as usize).copied()).unwrap();
+        proof.entries.pop();
+        assert!(CcMpt::verify(&cc.root(), &ledger.root(), &proof).is_err());
+    }
+
+    #[test]
+    fn tampered_journal_fails() {
+        let (cc, ledger, ds) = setup(&[("a", 5)]);
+        let mut proof = cc.prove("a", &ledger, |j| ds.get(j as usize).copied()).unwrap();
+        proof.entries[0].1 = hash_leaf(b"evil");
+        assert!(CcMpt::verify(&cc.root(), &ledger.root(), &proof).is_err());
+    }
+
+    #[test]
+    fn proof_cost_grows_with_ledger() {
+        // ccMPT's weakness: the same 5-entry clue costs more to prove on a
+        // bigger ledger.
+        let (cc_small, ledger_small, ds_small) = setup(&[("a", 5)]);
+        let (cc_big, ledger_big, ds_big) = setup(&[("a", 5), ("noise", 2000)]);
+        let p_small = cc_small
+            .prove("a", &ledger_small, |j| ds_small.get(j as usize).copied())
+            .unwrap();
+        let p_big = cc_big
+            .prove("a", &ledger_big, |j| ds_big.get(j as usize).copied())
+            .unwrap();
+        assert!(p_big.len() > p_small.len());
+    }
+
+    #[test]
+    fn unknown_clue_errors() {
+        let (cc, ledger, ds) = setup(&[("a", 1)]);
+        assert!(cc.prove("zzz", &ledger, |j| ds.get(j as usize).copied()).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! The write-optimized clue SkipList (cSL) index from the earlier
+//! LedgerDB paper — O(1) amortized insertion at the tail and O(log n)
+//! reads. Kept as the third comparison point: fast writes, no native
+//! verification (which is what motivated the CM-Tree).
+
+use std::collections::HashMap;
+
+const MAX_LEVEL: usize = 16;
+
+/// A node in the skip list: a jsn plus forward pointers per level.
+struct SkipNode {
+    jsn: u64,
+    forward: Vec<Option<usize>>,
+}
+
+/// An append-only skip list over monotonically increasing jsns.
+pub struct JsnSkipList {
+    nodes: Vec<SkipNode>,
+    head: Vec<Option<usize>>,
+    /// Per-level index of the current tail node (for O(1) appends).
+    tails: Vec<Option<usize>>,
+    /// Deterministic xorshift state for level selection.
+    rng_state: u64,
+    len: usize,
+}
+
+impl Default for JsnSkipList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsnSkipList {
+    pub fn new() -> Self {
+        JsnSkipList {
+            nodes: Vec::new(),
+            head: vec![None; MAX_LEVEL],
+            tails: vec![None; MAX_LEVEL],
+            rng_state: 0x9e3779b97f4a7c15,
+            len: 0,
+        }
+    }
+
+    fn random_level(&mut self) -> usize {
+        // xorshift64*; deterministic so the index is reproducible.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        let bits = x.wrapping_mul(0x2545F4914F6CDD1D);
+        ((bits.trailing_ones() as usize) + 1).min(MAX_LEVEL)
+    }
+
+    /// Append a jsn (must exceed the current maximum). O(1) amortized:
+    /// only tail pointers are touched.
+    pub fn append(&mut self, jsn: u64) {
+        debug_assert!(
+            self.nodes.last().map(|n| n.jsn < jsn).unwrap_or(true),
+            "jsns must be appended in increasing order"
+        );
+        let level = self.random_level();
+        let idx = self.nodes.len();
+        self.nodes.push(SkipNode { jsn, forward: vec![None; level] });
+        for l in 0..level {
+            match self.tails[l] {
+                Some(tail) => self.nodes[tail].forward[l] = Some(idx),
+                None => self.head[l] = Some(idx),
+            }
+            self.tails[l] = Some(idx);
+        }
+        self.len += 1;
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// O(log n) search: does `jsn` exist in the list?
+    pub fn contains(&self, jsn: u64) -> bool {
+        self.seek(jsn).map(|i| self.nodes[i].jsn == jsn).unwrap_or(false)
+    }
+
+    /// Index of the last node with `node.jsn <= jsn`, using tower descent.
+    fn seek(&self, jsn: u64) -> Option<usize> {
+        let mut current: Option<usize> = None;
+        for l in (0..MAX_LEVEL).rev() {
+            let mut next = match current {
+                Some(c) if l < self.nodes[c].forward.len() => self.nodes[c].forward[l],
+                Some(_) => continue,
+                None => self.head[l],
+            };
+            while let Some(n) = next {
+                if self.nodes[n].jsn <= jsn {
+                    current = Some(n);
+                    next = self.nodes[n].forward.get(l).copied().flatten();
+                } else {
+                    break;
+                }
+            }
+        }
+        current
+    }
+
+    /// All jsns in `[lo, hi]`, ascending.
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        // Find the first node >= lo by seeking lo-1 then stepping.
+        let mut idx = if lo == 0 {
+            self.head[0]
+        } else {
+            match self.seek(lo - 1) {
+                Some(i) => self.nodes[i].forward.first().copied().flatten(),
+                None => self.head[0],
+            }
+        };
+        while let Some(i) = idx {
+            let jsn = self.nodes[i].jsn;
+            if jsn > hi {
+                break;
+            }
+            if jsn >= lo {
+                out.push(jsn);
+            }
+            idx = self.nodes[i].forward.first().copied().flatten();
+        }
+        out
+    }
+
+    /// All jsns, ascending.
+    pub fn iter_all(&self) -> Vec<u64> {
+        self.range(0, u64::MAX)
+    }
+}
+
+/// The per-clue skip-list index.
+#[derive(Default)]
+pub struct ClueSkipList {
+    lists: HashMap<String, JsnSkipList>,
+}
+
+impl ClueSkipList {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// O(1) amortized insertion of a journal reference under a clue.
+    pub fn append(&mut self, clue: &str, jsn: u64) {
+        self.lists.entry(clue.to_string()).or_default().append(jsn);
+    }
+
+    /// Entry count for a clue.
+    pub fn entry_count(&self, clue: &str) -> usize {
+        self.lists.get(clue).map(|l| l.len()).unwrap_or(0)
+    }
+
+    /// O(log n) membership test.
+    pub fn contains(&self, clue: &str, jsn: u64) -> bool {
+        self.lists.get(clue).map(|l| l.contains(jsn)).unwrap_or(false)
+    }
+
+    /// All jsns for a clue within `[lo, hi]`.
+    pub fn range(&self, clue: &str, lo: u64, hi: u64) -> Vec<u64> {
+        self.lists.get(clue).map(|l| l.range(lo, hi)).unwrap_or_default()
+    }
+
+    /// All jsns for a clue (ListTx).
+    pub fn list(&self, clue: &str) -> Vec<u64> {
+        self.lists.get(clue).map(|l| l.iter_all()).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_contains() {
+        let mut sl = JsnSkipList::new();
+        for j in [1u64, 5, 9, 100, 1000] {
+            sl.append(j);
+        }
+        assert_eq!(sl.len(), 5);
+        for j in [1u64, 5, 9, 100, 1000] {
+            assert!(sl.contains(j), "{j}");
+        }
+        for j in [0u64, 2, 99, 999, 1001] {
+            assert!(!sl.contains(j), "{j}");
+        }
+    }
+
+    #[test]
+    fn range_queries() {
+        let mut sl = JsnSkipList::new();
+        for j in (0..100u64).map(|i| i * 3) {
+            sl.append(j);
+        }
+        assert_eq!(sl.range(0, 9), vec![0, 3, 6, 9]);
+        assert_eq!(sl.range(10, 14), vec![12]);
+        assert_eq!(sl.range(298, 500), vec![]);
+        assert_eq!(sl.iter_all().len(), 100);
+    }
+
+    #[test]
+    fn large_list_lookup() {
+        let mut sl = JsnSkipList::new();
+        for j in 0..10_000u64 {
+            sl.append(j * 2);
+        }
+        assert!(sl.contains(9_998));
+        assert!(!sl.contains(9_999));
+        assert!(sl.contains(0));
+        assert!(sl.contains(19_998));
+    }
+
+    #[test]
+    fn clue_index() {
+        let mut idx = ClueSkipList::new();
+        idx.append("a", 1);
+        idx.append("a", 7);
+        idx.append("b", 3);
+        assert_eq!(idx.entry_count("a"), 2);
+        assert_eq!(idx.entry_count("b"), 1);
+        assert_eq!(idx.entry_count("c"), 0);
+        assert!(idx.contains("a", 7));
+        assert!(!idx.contains("b", 7));
+        assert_eq!(idx.list("a"), vec![1, 7]);
+        assert_eq!(idx.range("a", 2, 10), vec![7]);
+    }
+
+    #[test]
+    fn empty_list() {
+        let sl = JsnSkipList::new();
+        assert!(sl.is_empty());
+        assert!(!sl.contains(0));
+        assert!(sl.range(0, 100).is_empty());
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for clue-layer operations.
+
+use ledgerdb_accumulator::AccumulatorError;
+use ledgerdb_mpt::MptError;
+use std::fmt;
+
+/// Errors surfaced by clue indexes and their verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClueError {
+    /// The clue has no entries on the ledger.
+    UnknownClue(String),
+    /// A requested version range was empty or out of bounds.
+    BadRange { lo: u64, hi: u64, count: u64 },
+    /// The CM-Tree1 (MPT) leg of a proof failed.
+    Mpt(MptError),
+    /// The CM-Tree2 (accumulator) leg of a proof failed.
+    Accumulator(AccumulatorError),
+    /// The committed CM-Tree2 root in CM-Tree1 did not match.
+    SubtreeCommitMismatch,
+    /// A proof was structurally malformed.
+    MalformedProof(&'static str),
+}
+
+impl fmt::Display for ClueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClueError::UnknownClue(c) => write!(f, "clue '{c}' has no entries"),
+            ClueError::BadRange { lo, hi, count } => {
+                write!(f, "bad version range [{lo}, {hi}) for clue with {count} entries")
+            }
+            ClueError::Mpt(e) => write!(f, "CM-Tree1 proof failure: {e}"),
+            ClueError::Accumulator(e) => write!(f, "CM-Tree2 proof failure: {e}"),
+            ClueError::SubtreeCommitMismatch => {
+                write!(f, "CM-Tree2 root does not match CM-Tree1 commitment")
+            }
+            ClueError::MalformedProof(w) => write!(f, "malformed clue proof: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for ClueError {}
+
+impl From<MptError> for ClueError {
+    fn from(e: MptError) -> Self {
+        ClueError::Mpt(e)
+    }
+}
+
+impl From<AccumulatorError> for ClueError {
+    fn from(e: AccumulatorError) -> Self {
+        ClueError::Accumulator(e)
+    }
+}

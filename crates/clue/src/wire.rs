@@ -1,0 +1,109 @@
+//! Wire encodings for clue proofs (CM-Tree and ccMPT), enabling real
+//! client-side verification across a trust boundary.
+
+use crate::ccmpt::CcMptProof;
+use crate::cm_tree::ClueProof;
+use ledgerdb_accumulator::shrubs::ShrubsBatchProof;
+use ledgerdb_accumulator::tim::TimProof;
+use ledgerdb_crypto::digest::Digest;
+use ledgerdb_crypto::wire::{Reader, Wire, WireError, Writer};
+use ledgerdb_mpt::MptProof;
+
+impl Wire for ClueProof {
+    fn encode(&self, w: &mut Writer) {
+        self.clue.encode(w);
+        w.put_u64(self.range.0);
+        w.put_u64(self.range.1);
+        self.entries.encode(w);
+        self.subtree.encode(w);
+        self.mpt.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ClueProof {
+            clue: String::decode(r)?,
+            range: (r.get_u64()?, r.get_u64()?),
+            entries: Vec::decode(r)?,
+            subtree: ShrubsBatchProof::decode(r)?,
+            mpt: MptProof::decode(r)?,
+        })
+    }
+}
+
+impl Wire for CcMptProof {
+    fn encode(&self, w: &mut Writer) {
+        self.clue.encode(w);
+        self.counter.encode(w);
+        w.put_u64(self.entries.len() as u64);
+        for (jsn, digest, proof) in &self.entries {
+            w.put_u64(*jsn);
+            digest.encode(w);
+            proof.0.encode(w);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let clue = String::decode(r)?;
+        let counter = MptProof::decode(r)?;
+        let len = r.get_seq_len(48)?;
+        let mut entries = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            let jsn = r.get_u64()?;
+            let digest = Digest::decode(r)?;
+            let proof = TimProof(ledgerdb_accumulator::shrubs::ShrubsProof::decode(r)?);
+            entries.push((jsn, digest, proof));
+        }
+        Ok(CcMptProof { clue, counter, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ccmpt::CcMpt;
+    use crate::cm_tree::CmTree;
+    use ledgerdb_accumulator::tim::TimAccumulator;
+    use ledgerdb_crypto::hash_leaf;
+
+    #[test]
+    fn clue_proof_round_trip_verifies() {
+        let mut cm = CmTree::new();
+        for i in 0..12u64 {
+            cm.append("asset", i, hash_leaf(&i.to_be_bytes()));
+        }
+        let proof = cm.prove_all("asset").unwrap();
+        let decoded = ClueProof::from_wire(&proof.to_wire()).unwrap();
+        CmTree::verify_client(&cm.root(), &decoded).unwrap();
+    }
+
+    #[test]
+    fn ccmpt_proof_round_trip_verifies() {
+        let mut cc = CcMpt::new();
+        let mut ledger = TimAccumulator::new();
+        let mut digests = Vec::new();
+        for i in 0..8u64 {
+            let d = hash_leaf(&i.to_be_bytes());
+            cc.append("k", i);
+            ledger.append(d);
+            digests.push(d);
+        }
+        let proof = cc.prove("k", &ledger, |j| digests.get(j as usize).copied()).unwrap();
+        let decoded = CcMptProof::from_wire(&proof.to_wire()).unwrap();
+        CcMpt::verify(&cc.root(), &ledger.root(), &decoded).unwrap();
+    }
+
+    #[test]
+    fn tampered_wire_bytes_fail_verification() {
+        let mut cm = CmTree::new();
+        for i in 0..6u64 {
+            cm.append("a", i, hash_leaf(&i.to_be_bytes()));
+        }
+        let mut bytes = cm.prove_all("a").unwrap().to_wire();
+        let idx = bytes.len() - 10;
+        bytes[idx] ^= 0x55;
+        match ClueProof::from_wire(&bytes) {
+            Ok(decoded) => assert!(CmTree::verify_client(&cm.root(), &decoded).is_err()),
+            Err(_) => {} // Structural rejection is fine too.
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! The distrusting client / external auditor (§II-C verification manner 2).
+//!
+//! A [`LedgerClient`] never trusts the LSP. It *synchronizes* by
+//! downloading sealed blocks, checking the block-hash chain, and
+//! replaying every journal tx-hash through its **own fam replica** — so
+//! each accepted block extends the client's trusted anchor exactly the
+//! way §III-A1 prescribes ("before a new trusted anchor is set, all
+//! earlier ledger data must be cryptographically verified"). After a
+//! sync, the client can verify receipts, existence proofs and clue
+//! proofs entirely from local trusted state plus wire-encoded proof
+//! objects.
+
+use crate::types::{Block, Receipt};
+use crate::LedgerError;
+use ledgerdb_accumulator::fam::{FamProof, FamTree, TrustedAnchor};
+use ledgerdb_clue::cm_tree::{ClueProof, CmTree};
+use ledgerdb_crypto::digest::Digest;
+use ledgerdb_crypto::keys::PublicKey;
+use ledgerdb_crypto::wire::Wire;
+use std::collections::HashSet;
+
+/// Outcome of one synchronization pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Blocks accepted this pass.
+    pub blocks_accepted: u64,
+    /// Journals replayed into the fam replica this pass.
+    pub journals_replayed: u64,
+}
+
+/// A stateful, distrusting ledger client.
+pub struct LedgerClient {
+    /// The LSP key receipts must be signed with.
+    lsp_key: PublicKey,
+    /// fam fractal height (must match the server's configuration).
+    fam_delta: u32,
+    /// The client's own fam replica over verified tx-hashes.
+    fam: FamTree,
+    /// Verified block-hash set (receipt binding).
+    block_hashes: HashSet<Digest>,
+    /// Hash of the newest verified block.
+    tip: Digest,
+    /// Number of verified blocks.
+    height: u64,
+    /// Trusted clue root from the newest verified block.
+    clue_root: Digest,
+    /// Trusted world-state root from the newest verified block.
+    state_root: Digest,
+}
+
+impl LedgerClient {
+    /// Create a client trusting only `lsp_key` for receipts; `fam_delta`
+    /// must match the ledger's configuration.
+    pub fn new(lsp_key: PublicKey, fam_delta: u32) -> Self {
+        LedgerClient {
+            lsp_key,
+            fam_delta,
+            fam: FamTree::new(fam_delta),
+            block_hashes: HashSet::new(),
+            tip: Digest::ZERO,
+            height: 0,
+            clue_root: Digest::ZERO,
+            state_root: Digest::ZERO,
+        }
+    }
+
+    /// Verified block count.
+    pub fn height(&self) -> u64 {
+        self.height
+    }
+
+    /// Journals replayed so far.
+    pub fn verified_journals(&self) -> u64 {
+        self.fam.journal_count()
+    }
+
+    /// The client's own trusted journal root.
+    pub fn journal_root(&self) -> Digest {
+        self.fam.root()
+    }
+
+    /// The trusted clue root (from the newest verified block).
+    pub fn clue_root(&self) -> Digest {
+        self.clue_root
+    }
+
+    /// The trusted world-state root.
+    pub fn state_root(&self) -> Digest {
+        self.state_root
+    }
+
+    /// The trusted anchor induced by the verified prefix (fam-aoa).
+    pub fn anchor(&self) -> TrustedAnchor {
+        self.fam.anchor()
+    }
+
+    /// Synchronize from a block feed (in-process stand-in for the ledger's
+    /// block download API). Rejects on the first inconsistency; earlier
+    /// accepted blocks remain trusted.
+    pub fn sync(&mut self, blocks: &[Block]) -> Result<SyncReport, LedgerError> {
+        let mut report = SyncReport::default();
+        for block in blocks.iter().skip(self.height as usize) {
+            if block.height != self.height {
+                return Err(LedgerError::AuditFailed(format!(
+                    "sync: expected block height {}, got {}",
+                    self.height, block.height
+                )));
+            }
+            if self.height > 0 && block.prev_block_hash != self.tip {
+                return Err(LedgerError::AuditFailed(format!(
+                    "sync: block {} does not link to verified tip",
+                    block.height
+                )));
+            }
+            if block.journal_count as usize != block.tx_hashes.len() {
+                return Err(LedgerError::AuditFailed(format!(
+                    "sync: block {} journal count mismatch",
+                    block.height
+                )));
+            }
+            if block.first_jsn != self.fam.journal_count() {
+                return Err(LedgerError::AuditFailed(format!(
+                    "sync: block {} does not start at the next jsn",
+                    block.height
+                )));
+            }
+            // Replay the journal digests through the local fam replica and
+            // require the server's recorded root to re-derive.
+            for tx_hash in &block.tx_hashes {
+                self.fam.append(*tx_hash);
+            }
+            if self.fam.root() != block.info.journal_root {
+                return Err(LedgerError::AuditFailed(format!(
+                    "sync: block {} journal root does not replay",
+                    block.height
+                )));
+            }
+            let hash = block.hash();
+            self.block_hashes.insert(hash);
+            self.tip = hash;
+            self.height += 1;
+            self.clue_root = block.info.clue_root;
+            self.state_root = block.info.state_root;
+            report.blocks_accepted += 1;
+            report.journals_replayed += block.journal_count;
+        }
+        Ok(report)
+    }
+
+    /// Verify an LSP receipt: signature, key identity, and that its block
+    /// hash belongs to the verified chain.
+    pub fn verify_receipt(&self, receipt: &Receipt) -> Result<(), LedgerError> {
+        if receipt.lsp_pk != self.lsp_key {
+            return Err(LedgerError::BadReceipt);
+        }
+        if !receipt.verify() {
+            return Err(LedgerError::BadReceipt);
+        }
+        if !self.block_hashes.contains(&receipt.block_hash) {
+            return Err(LedgerError::BadReceipt);
+        }
+        Ok(())
+    }
+
+    /// Verify a wire-encoded receipt.
+    pub fn verify_receipt_bytes(&self, bytes: &[u8]) -> Result<Receipt, LedgerError> {
+        let receipt = Receipt::from_wire(bytes)
+            .map_err(|_| LedgerError::BadReceipt)?;
+        self.verify_receipt(&receipt)?;
+        Ok(receipt)
+    }
+
+    /// Verify an existence proof against the client's own root/anchor.
+    pub fn verify_existence(
+        &self,
+        tx_hash: &Digest,
+        proof: &FamProof,
+    ) -> Result<(), LedgerError> {
+        let anchor = self.fam.anchor();
+        FamTree::verify(&self.fam.root(), &anchor, tx_hash, proof)?;
+        Ok(())
+    }
+
+    /// Verify a wire-encoded existence proof.
+    pub fn verify_existence_bytes(
+        &self,
+        tx_hash: &Digest,
+        proof_bytes: &[u8],
+    ) -> Result<(), LedgerError> {
+        let proof = FamProof::from_wire(proof_bytes).map_err(|_| {
+            LedgerError::Accumulator(ledgerdb_accumulator::AccumulatorError::MalformedProof(
+                "undecodable fam proof",
+            ))
+        })?;
+        self.verify_existence(tx_hash, &proof)
+    }
+
+    /// Verify a clue (N-lineage) proof against the trusted clue root.
+    pub fn verify_clue(&self, proof: &ClueProof) -> Result<(), LedgerError> {
+        CmTree::verify_client(&self.clue_root, proof)?;
+        Ok(())
+    }
+
+    /// Verify a wire-encoded clue proof; returns it for inspection.
+    pub fn verify_clue_bytes(&self, bytes: &[u8]) -> Result<ClueProof, LedgerError> {
+        let proof = ClueProof::from_wire(bytes).map_err(|_| {
+            LedgerError::Clue(ledgerdb_clue::ClueError::MalformedProof("undecodable clue proof"))
+        })?;
+        self.verify_clue(&proof)?;
+        Ok(proof)
+    }
+
+    /// The fam fractal height this client replays with.
+    pub fn fam_delta(&self) -> u32 {
+        self.fam_delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::tests::fixture;
+    use crate::types::TxRequest;
+    use ledgerdb_crypto::sha256;
+
+    fn synced_world() -> (crate::ledger::tests::Fixture, LedgerClient) {
+        let mut f = fixture(4);
+        for i in 0..20u64 {
+            let req = TxRequest::signed(
+                &f.alice,
+                format!("doc-{i}").into_bytes(),
+                vec![format!("c{}", i % 2)],
+                i,
+            );
+            f.ledger.append(req).unwrap();
+        }
+        f.ledger.seal_block();
+        let mut client = LedgerClient::new(*f.ledger.lsp_public_key(), f.ledger.fam_delta());
+        client.sync(f.ledger.blocks()).unwrap();
+        (f, client)
+    }
+
+    #[test]
+    fn sync_replays_to_identical_root() {
+        let (f, client) = synced_world();
+        assert_eq!(client.journal_root(), f.ledger.journal_root());
+        assert_eq!(client.clue_root(), f.ledger.clue_root());
+        assert_eq!(client.verified_journals(), 20);
+        assert_eq!(client.height(), 5);
+    }
+
+    #[test]
+    fn incremental_sync() {
+        let (mut f, mut client) = synced_world();
+        for i in 100..108u64 {
+            let req = TxRequest::signed(&f.alice, vec![i as u8], vec![], i);
+            f.ledger.append(req).unwrap();
+        }
+        f.ledger.seal_block();
+        let report = client.sync(f.ledger.blocks()).unwrap();
+        assert_eq!(report.blocks_accepted, 2);
+        assert_eq!(report.journals_replayed, 8);
+        assert_eq!(client.journal_root(), f.ledger.journal_root());
+    }
+
+    #[test]
+    fn client_verifies_receipts_and_proofs_over_wire() {
+        let (f, client) = synced_world();
+        // Receipt.
+        let receipt = f.ledger.receipt(7).unwrap().unwrap();
+        client.verify_receipt_bytes(&receipt.to_wire()).unwrap();
+        // Existence (proof generated against the client's own anchor).
+        let anchor = client.anchor();
+        let (tx_hash, proof) = f.ledger.prove_existence(7, &anchor).unwrap();
+        client.verify_existence_bytes(&tx_hash, &proof.to_wire()).unwrap();
+        // Clue lineage.
+        let clue_proof = f.ledger.prove_clue("c1").unwrap();
+        let decoded = client.verify_clue_bytes(&clue_proof.to_wire()).unwrap();
+        assert_eq!(decoded.entries.len(), 10);
+    }
+
+    #[test]
+    fn forged_block_feed_rejected() {
+        let (f, _) = synced_world();
+        let mut fresh = LedgerClient::new(*f.ledger.lsp_public_key(), f.ledger.fam_delta());
+        let mut blocks = f.ledger.blocks().to_vec();
+        // A malicious LSP swaps one tx hash (threat-B tampering).
+        blocks[2].tx_hashes[1] = sha256(b"tampered journal");
+        let err = fresh.sync(&blocks).unwrap_err();
+        assert!(matches!(err, LedgerError::AuditFailed(_)));
+        // Earlier blocks were still accepted.
+        assert_eq!(fresh.height(), 2);
+    }
+
+    #[test]
+    fn forged_chain_link_rejected() {
+        let (f, _) = synced_world();
+        let mut fresh = LedgerClient::new(*f.ledger.lsp_public_key(), f.ledger.fam_delta());
+        let mut blocks = f.ledger.blocks().to_vec();
+        blocks[3].prev_block_hash = sha256(b"forked history");
+        assert!(fresh.sync(&blocks).is_err());
+    }
+
+    #[test]
+    fn receipt_from_unknown_block_rejected() {
+        let (f, client) = synced_world();
+        let mut receipt = f.ledger.receipt(3).unwrap().unwrap();
+        receipt.block_hash = sha256(b"phantom block");
+        // Signature breaks too, but the block check alone must reject.
+        assert!(client.verify_receipt(&receipt).is_err());
+    }
+
+    #[test]
+    fn stale_client_rejects_proofs_against_newer_state() {
+        let (mut f, client) = synced_world();
+        for i in 200..204u64 {
+            let req = TxRequest::signed(&f.alice, vec![i as u8], vec![], i);
+            f.ledger.append(req).unwrap();
+        }
+        f.ledger.seal_block();
+        // A proof against the server's *new* root fails the stale client.
+        let server_anchor = f.ledger.anchor();
+        let (tx_hash, proof) = f.ledger.prove_existence(21, &server_anchor).unwrap();
+        assert!(client.verify_existence(&tx_hash, &proof).is_err());
+    }
+
+    #[test]
+    fn undecodable_bytes_rejected() {
+        let (_, client) = synced_world();
+        assert!(client.verify_receipt_bytes(b"junk").is_err());
+        assert!(client.verify_existence_bytes(&sha256(b"x"), b"junk").is_err());
+        assert!(client.verify_clue_bytes(b"junk").is_err());
+    }
+}

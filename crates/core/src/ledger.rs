@@ -1,0 +1,1170 @@
+//! The ledger kernel: append path, blocks, proofs, purge and occult.
+
+use crate::member::MemberRegistry;
+use crate::types::{Block, Journal, JournalKind, LedgerInfo, Receipt, TxRequest, VerifyLevel};
+use crate::LedgerError;
+use ledgerdb_accumulator::fam::{FamProof, FamTree, TrustedAnchor};
+use ledgerdb_clue::cm_tree::{ClueProof, CmTree};
+use ledgerdb_clue::csl::ClueSkipList;
+use ledgerdb_crypto::ca::Role;
+use ledgerdb_crypto::digest::Digest;
+use ledgerdb_crypto::keys::{KeyPair, PublicKey};
+use ledgerdb_crypto::multisig::MultiSignature;
+use ledgerdb_crypto::sha256::{sha256, Sha256};
+use ledgerdb_mpt::Mpt;
+use ledgerdb_storage::occult_index::OccultIndex;
+use ledgerdb_storage::stream::{MemoryStreamStore, StreamStore};
+use ledgerdb_storage::survival::SurvivalStream;
+use ledgerdb_timesvc::clock::{Clock, SimClock};
+use ledgerdb_timesvc::tledger::TLedger;
+use std::sync::Arc;
+
+/// Ledger construction options.
+pub struct LedgerConfig {
+    /// Journals per sealed block.
+    pub block_size: u64,
+    /// fam fractal height δ (epoch capacity `2^δ`).
+    pub fam_delta: u32,
+    /// Human-readable ledger name (mixed into the ledger id).
+    pub name: String,
+}
+
+impl Default for LedgerConfig {
+    fn default() -> Self {
+        LedgerConfig { block_size: 16, fam_delta: 15, name: "ledger".to_string() }
+    }
+}
+
+/// Synchronous vs asynchronous occult (§III-A3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OccultMode {
+    /// Erase the payload immediately.
+    Sync,
+    /// Mark now; erase later via [`LedgerDb::reorganize`].
+    Async,
+}
+
+/// Acknowledgement returned by `append` before block commitment.
+#[derive(Clone, Copy, Debug)]
+pub struct AppendAck {
+    pub jsn: u64,
+    pub tx_hash: Digest,
+}
+
+/// Snapshot taken by a purge: the pseudo genesis (§III-A2).
+#[derive(Clone, Debug)]
+pub struct PseudoGenesis {
+    /// Journals below this jsn are purged.
+    pub purge_to: u64,
+    /// The jsn of the purge journal this genesis is doubly linked with.
+    pub purge_journal_jsn: u64,
+    /// Snapshot of the ledger roots at the purge point.
+    pub snapshot: LedgerInfo,
+    /// Hash binding the pseudo genesis (the audit's replay start datum).
+    pub genesis_hash: Digest,
+}
+
+/// The LedgerDB instance.
+pub struct LedgerDb {
+    pub(crate) id: Digest,
+    pub(crate) config: LedgerConfig,
+    pub(crate) lsp_keys: KeyPair,
+    pub(crate) clock: Arc<dyn Clock>,
+    pub(crate) store: Arc<dyn StreamStore>,
+    pub(crate) registry: MemberRegistry,
+
+    pub(crate) journals: Vec<Journal>,
+    pub(crate) blocks: Vec<Block>,
+    /// Journals appended since the last sealed block.
+    pub(crate) pending: Vec<u64>,
+
+    pub(crate) fam: FamTree,
+    pub(crate) cm_tree: CmTree,
+    pub(crate) csl: ClueSkipList,
+    pub(crate) world_state: Mpt,
+
+    pub(crate) occult_index: OccultIndex,
+    pub(crate) survival: SurvivalStream,
+    pub(crate) pseudo_genesis: Option<PseudoGenesis>,
+
+    /// Cached tx-hashes, index-aligned with `journals`.
+    pub(crate) tx_hashes: Vec<Digest>,
+}
+
+impl LedgerDb {
+    /// Create a ledger with an in-memory stream store and simulated clock
+    /// (the common test/bench configuration).
+    pub fn new(config: LedgerConfig, registry: MemberRegistry) -> Self {
+        Self::with_parts(
+            config,
+            registry,
+            Arc::new(MemoryStreamStore::new()),
+            Arc::new(SimClock::new()),
+        )
+    }
+
+    /// Create a ledger over explicit storage and clock implementations.
+    pub fn with_parts(
+        config: LedgerConfig,
+        registry: MemberRegistry,
+        store: Arc<dyn StreamStore>,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        let id = sha256(format!("ledgerdb:{}", config.name).as_bytes());
+        let fam = FamTree::new(config.fam_delta);
+        LedgerDb {
+            id,
+            config,
+            lsp_keys: KeyPair::from_seed(b"ledgerdb-lsp"),
+            clock,
+            store,
+            registry,
+            journals: Vec::new(),
+            blocks: Vec::new(),
+            pending: Vec::new(),
+            fam,
+            cm_tree: CmTree::new(),
+            csl: ClueSkipList::new(),
+            world_state: Mpt::new(),
+            occult_index: OccultIndex::new(),
+            survival: SurvivalStream::new(),
+            pseudo_genesis: None,
+            tx_hashes: Vec::new(),
+        }
+    }
+
+    /// The ledger's identity digest (its `ledger_uri` analogue).
+    pub fn id(&self) -> Digest {
+        self.id
+    }
+
+    /// The LSP's public key (receipt verification).
+    pub fn lsp_public_key(&self) -> &PublicKey {
+        self.lsp_keys.public()
+    }
+
+    /// The member registry.
+    pub fn registry(&self) -> &MemberRegistry {
+        &self.registry
+    }
+
+    /// Mutable registry access (member onboarding).
+    pub fn registry_mut(&mut self) -> &mut MemberRegistry {
+        &mut self.registry
+    }
+
+    /// Total journals (all kinds).
+    pub fn journal_count(&self) -> u64 {
+        self.journals.len() as u64
+    }
+
+    /// Sealed blocks.
+    pub fn block_count(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Current ledger commitment (fam root).
+    pub fn journal_root(&self) -> Digest {
+        self.fam.root()
+    }
+
+    /// Current CM-Tree1 root.
+    pub fn clue_root(&self) -> Digest {
+        self.cm_tree.root()
+    }
+
+    /// Current world-state root.
+    pub fn state_root(&self) -> Digest {
+        self.world_state.root_hash()
+    }
+
+    /// The pseudo genesis, if a purge has happened (Protocol 1's datum).
+    pub fn pseudo_genesis(&self) -> Option<&PseudoGenesis> {
+        self.pseudo_genesis.as_ref()
+    }
+
+    /// A trusted anchor snapshot of the fam tree (fam-aoa).
+    pub fn anchor(&self) -> TrustedAnchor {
+        self.fam.anchor()
+    }
+
+    /// Sealed blocks (audit input).
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    // ------------------------------------------------------------------
+    // Append path (journal-level transaction commitment, Fig 1)
+    // ------------------------------------------------------------------
+
+    /// Append a client transaction. Verifies π_c (threat-A defence),
+    /// stores the payload, creates the journal, feeds fam + CM-Tree +
+    /// world state, and returns the jsn acknowledgement. The receipt π_s
+    /// becomes available once the journal's block seals.
+    pub fn append(&mut self, request: TxRequest) -> Result<AppendAck, LedgerError> {
+        if !self.registry.is_registered(&request.client_pk) {
+            return Err(LedgerError::UnknownMember);
+        }
+        if !request.verify_signature() {
+            return Err(LedgerError::BadClientSignature);
+        }
+        let ack = self.append_journal(
+            JournalKind::Normal,
+            request.clues.clone(),
+            &request.payload,
+            request.hash(),
+            Some(request.client_pk),
+            Some(request.signature),
+        )?;
+        Ok(ack)
+    }
+
+    /// Append and immediately seal, returning the full receipt (the
+    /// convenience used by latency-sensitive notarization flows).
+    pub fn append_committed(&mut self, request: TxRequest) -> Result<Receipt, LedgerError> {
+        let ack = self.append(request)?;
+        self.seal_block();
+        Ok(self.receipt(ack.jsn)?.expect("sealed block issues receipts"))
+    }
+
+    /// Append a request whose signature was already verified by the ledger
+    /// proxy tier (Fig 1 separates proxy and server; production deployments
+    /// offload π_c checks to the proxy fleet). Membership is still
+    /// enforced. Used by the throughput harness to measure the kernel
+    /// append path the way the paper's TPS numbers do.
+    pub fn append_preverified(&mut self, request: TxRequest) -> Result<AppendAck, LedgerError> {
+        if !self.registry.is_registered(&request.client_pk) {
+            return Err(LedgerError::UnknownMember);
+        }
+        self.append_journal(
+            JournalKind::Normal,
+            request.clues.clone(),
+            &request.payload,
+            request.hash(),
+            Some(request.client_pk),
+            Some(request.signature),
+        )
+    }
+
+    /// Internal: append any journal kind.
+    fn append_journal(
+        &mut self,
+        kind: JournalKind,
+        clues: Vec<String>,
+        payload: &[u8],
+        request_hash: Digest,
+        client_pk: Option<PublicKey>,
+        client_sig: Option<ledgerdb_crypto::ecdsa::Signature>,
+    ) -> Result<AppendAck, LedgerError> {
+        let stream_index = self.store.append(payload)?;
+        let jsn = self.journals.len() as u64;
+        let journal = Journal {
+            jsn,
+            kind,
+            clues: clues.clone(),
+            payload_digest: sha256(payload),
+            request_hash,
+            client_pk,
+            client_sig,
+            timestamp: self.clock.now(),
+            stream_index,
+        };
+        let tx_hash = journal.tx_hash();
+        self.tx_hashes.push(tx_hash);
+        self.fam.append(tx_hash);
+        for clue in &clues {
+            self.cm_tree.append(clue, jsn, tx_hash);
+            self.csl.append(clue, jsn);
+            self.world_state
+                .insert(ledgerdb_clue::clue_key(clue).as_bytes(), journal.payload_digest.0.to_vec());
+        }
+        self.journals.push(journal);
+        self.pending.push(jsn);
+        if self.pending.len() as u64 >= self.config.block_size {
+            self.seal_block();
+        }
+        Ok(AppendAck { jsn, tx_hash })
+    }
+
+    /// Seal the pending journals into a block. Receipts become derivable
+    /// (and are signed on demand by [`LedgerDb::receipt`]).
+    pub fn seal_block(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        let first_jsn = pending[0];
+        let tx_hashes: Vec<Digest> =
+            pending.iter().map(|&j| self.tx_hashes[j as usize]).collect();
+        let prev_block_hash = self.blocks.last().map(|b| b.hash()).unwrap_or_else(|| {
+            self.pseudo_genesis
+                .as_ref()
+                .map(|g| g.genesis_hash)
+                .unwrap_or(Digest::ZERO)
+        });
+        let block = Block {
+            height: self.blocks.len() as u64,
+            first_jsn,
+            journal_count: pending.len() as u64,
+            info: LedgerInfo {
+                journal_root: self.fam.root(),
+                clue_root: self.cm_tree.root(),
+                state_root: self.world_state.root_hash(),
+            },
+            prev_block_hash,
+            timestamp: self.clock.now(),
+            tx_hashes,
+        };
+        self.blocks.push(block);
+    }
+
+    // ------------------------------------------------------------------
+    // Retrieval
+    // ------------------------------------------------------------------
+
+    /// Fetch a journal record (fails for occulted journals, §III-A3).
+    pub fn get_tx(&self, jsn: u64) -> Result<&Journal, LedgerError> {
+        if self.occult_index.is_marked(jsn) {
+            return Err(LedgerError::Occulted(jsn));
+        }
+        if let Some(g) = &self.pseudo_genesis {
+            if jsn < g.purge_to {
+                return Err(LedgerError::Purged(jsn));
+            }
+        }
+        self.journals.get(jsn as usize).ok_or(LedgerError::UnknownJournal(jsn))
+    }
+
+    /// Fetch a journal's payload from the stream store.
+    pub fn get_payload(&self, jsn: u64) -> Result<Vec<u8>, LedgerError> {
+        let journal = self.get_tx(jsn)?;
+        Ok(self.store.read(journal.stream_index)?)
+    }
+
+    /// jsns recorded under a clue (ListTx).
+    pub fn list_tx(&self, clue: &str) -> Vec<u64> {
+        self.csl.list(clue)
+    }
+
+    /// The receipt π_s for a journal (None until its block seals).
+    ///
+    /// Receipts are derived and LSP-signed on demand: deterministic ECDSA
+    /// makes repeated calls return byte-identical receipts, and the append
+    /// hot path stays free of signing work (the proxy tier hands receipts
+    /// to clients asynchronously after block commitment, Fig 1).
+    pub fn receipt(&self, jsn: u64) -> Result<Option<Receipt>, LedgerError> {
+        let journal = self
+            .journals
+            .get(jsn as usize)
+            .ok_or(LedgerError::UnknownJournal(jsn))?;
+        // Locate the sealed block containing this jsn.
+        let idx = self.blocks.partition_point(|b| b.first_jsn + b.journal_count <= jsn);
+        let Some(block) = self.blocks.get(idx) else {
+            return Ok(None); // Not yet sealed.
+        };
+        if jsn < block.first_jsn {
+            return Ok(None);
+        }
+        let block_hash = block.hash();
+        let tx_hash = self.tx_hashes[jsn as usize];
+        let msg = Receipt::signing_digest(
+            jsn,
+            &journal.request_hash,
+            &tx_hash,
+            &block_hash,
+            journal.timestamp,
+        );
+        Ok(Some(Receipt {
+            jsn,
+            request_hash: journal.request_hash,
+            tx_hash,
+            block_hash,
+            timestamp: journal.timestamp,
+            lsp_pk: *self.lsp_keys.public(),
+            signature: self.lsp_keys.sign(&msg),
+        }))
+    }
+
+    // ------------------------------------------------------------------
+    // Existence verification (what, §III-A)
+    // ------------------------------------------------------------------
+
+    /// Produce an existence proof (GetProof): the journal's tx-hash path
+    /// in the fam tree relative to `anchor`.
+    pub fn prove_existence(
+        &self,
+        jsn: u64,
+        anchor: &TrustedAnchor,
+    ) -> Result<(Digest, FamProof), LedgerError> {
+        if jsn as usize >= self.journals.len() {
+            return Err(LedgerError::UnknownJournal(jsn));
+        }
+        let tx_hash = self.tx_hashes[jsn as usize];
+        let proof = self.fam.prove(jsn, anchor)?;
+        Ok((tx_hash, proof))
+    }
+
+    /// Verify a journal's existence. Server level recomputes locally;
+    /// client level checks the proof against the supplied trusted root.
+    pub fn verify_existence(
+        &self,
+        jsn: u64,
+        tx_hash: &Digest,
+        proof: &FamProof,
+        anchor: &TrustedAnchor,
+        level: VerifyLevel,
+    ) -> Result<(), LedgerError> {
+        match level {
+            VerifyLevel::Server => {
+                let journal = self
+                    .journals
+                    .get(jsn as usize)
+                    .ok_or(LedgerError::UnknownJournal(jsn))?;
+                if journal.tx_hash() == *tx_hash {
+                    Ok(())
+                } else {
+                    Err(LedgerError::Accumulator(
+                        ledgerdb_accumulator::AccumulatorError::ProofMismatch,
+                    ))
+                }
+            }
+            VerifyLevel::Client => {
+                FamTree::verify(&self.fam.root(), anchor, tx_hash, proof)?;
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Clue verification (N-lineage, §IV)
+    // ------------------------------------------------------------------
+
+    /// Produce a clue-oriented proof for the entire lineage.
+    pub fn prove_clue(&self, clue: &str) -> Result<ClueProof, LedgerError> {
+        Ok(self.cm_tree.prove_all(clue)?)
+    }
+
+    /// Verify a clue proof against the latest block's recorded clue root.
+    pub fn verify_clue(
+        &self,
+        proof: &ClueProof,
+        level: VerifyLevel,
+    ) -> Result<(), LedgerError> {
+        let root = self.cm_tree.root();
+        match level {
+            VerifyLevel::Server => {
+                self.cm_tree
+                    .verify(&root, proof, ledgerdb_clue::cm_tree::VerifyLevel::Server)?;
+            }
+            VerifyLevel::Client => {
+                CmTree::verify_client(&root, proof)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Direct read access to the CM-Tree (benchmarks, ablations).
+    pub fn cm_tree(&self) -> &CmTree {
+        &self.cm_tree
+    }
+
+    // ------------------------------------------------------------------
+    // Time anchoring (when, §III-B)
+    // ------------------------------------------------------------------
+
+    /// Submit the current ledger commitment to the T-Ledger (Protocol 4)
+    /// and anchor the notary receipt back as a time journal.
+    pub fn anchor_time(&mut self, tledger: &TLedger) -> Result<AppendAck, LedgerError> {
+        let digest = self.fam.root();
+        let receipt = tledger.submit(self.id, digest, self.clock.now())?;
+        let payload = {
+            let mut h = Sha256::new();
+            h.update(b"ledgerdb.timejournal.payload.v1");
+            h.update(&receipt.entry.leaf_digest().0);
+            h.finalize().to_vec()
+        };
+        let request_hash = sha256(&payload);
+        self.append_journal(
+            JournalKind::Time(receipt),
+            Vec::new(),
+            &payload,
+            request_hash,
+            None,
+            None,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Purge (§III-A2)
+    // ------------------------------------------------------------------
+
+    /// Public keys whose journals fall before `purge_to` — the member set
+    /// Prerequisite 1 requires in the purge multi-signature.
+    pub fn members_before(&self, purge_to: u64) -> Vec<PublicKey> {
+        let mut keys: Vec<PublicKey> = Vec::new();
+        for journal in self.journals.iter().take(purge_to as usize) {
+            if let Some(pk) = journal.client_pk {
+                if !keys.contains(&pk) {
+                    keys.push(pk);
+                }
+            }
+        }
+        keys
+    }
+
+    /// The digest a purge approval multi-signature covers.
+    pub fn purge_approval_digest(&self, purge_to: u64) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"ledgerdb.purge.approve.v1");
+        h.update(&self.id.0);
+        h.update(&purge_to.to_be_bytes());
+        Digest(h.finalize())
+    }
+
+    /// Execute a purge to `purge_to` (exclusive). Prerequisite 1: the
+    /// multi-signature must carry the DBA and every member with journals
+    /// before the purge point. Optionally pins `survivors` into the
+    /// survival stream first. When `erase_fam_nodes` is set, sealed fam
+    /// epochs fully below the purge point drop their node storage.
+    pub fn purge(
+        &mut self,
+        purge_to: u64,
+        approvals: MultiSignature,
+        survivors: &[u64],
+        erase_fam_nodes: bool,
+    ) -> Result<AppendAck, LedgerError> {
+        if purge_to == 0 || purge_to > self.journals.len() as u64 {
+            return Err(LedgerError::BadPurgePoint(purge_to));
+        }
+        if let Some(g) = &self.pseudo_genesis {
+            if purge_to <= g.purge_to {
+                return Err(LedgerError::BadPurgePoint(purge_to));
+            }
+        }
+        // Prerequisite 1: DBA + all related members.
+        let mut required = self.registry.keys_with_role(Role::Dba);
+        for pk in self.members_before(purge_to) {
+            if !required.contains(&pk) {
+                required.push(pk);
+            }
+        }
+        let digest = self.purge_approval_digest(purge_to);
+        if !approvals.covers(&digest, &required) {
+            return Err(LedgerError::InsufficientSignatures("purge (Prerequisite 1)"));
+        }
+
+        // Pin survivors before anything is erased.
+        for &jsn in survivors {
+            if jsn < purge_to {
+                let journal = &self.journals[jsn as usize];
+                if let Ok(payload) = self.store.read(journal.stream_index) {
+                    self.survival.pin(jsn, &payload);
+                }
+            }
+        }
+
+        // Snapshot at the purge point → pseudo genesis.
+        let snapshot = LedgerInfo {
+            journal_root: self.fam.root(),
+            clue_root: self.cm_tree.root(),
+            state_root: self.world_state.root_hash(),
+        };
+        let genesis_hash = pseudo_genesis_hash(&self.id, purge_to, &snapshot);
+
+        // Record the purge journal (doubly linked with the pseudo genesis
+        // through `purge_journal_jsn` below).
+        let payload = genesis_hash.0.to_vec();
+        let request_hash = sha256(&payload);
+        let ack = self.append_journal(
+            JournalKind::Purge { purge_to, approvals },
+            Vec::new(),
+            &payload,
+            request_hash,
+            None,
+            None,
+        )?;
+
+        self.pseudo_genesis = Some(PseudoGenesis {
+            purge_to,
+            purge_journal_jsn: ack.jsn,
+            snapshot,
+            genesis_hash,
+        });
+
+        // Erase purged payloads (digest tombstones remain).
+        for jsn in 0..purge_to {
+            let idx = self.journals[jsn as usize].stream_index;
+            self.store.erase(idx)?;
+        }
+        // Optionally release fam node storage for fully purged epochs;
+        // the trusted anchor aligns to the purge point, so retained
+        // journals remain provable (§III-A2).
+        if erase_fam_nodes {
+            self.fam.erase_epochs_below(purge_to);
+        }
+        Ok(ack)
+    }
+
+    /// The survival stream (milestones that outlive purges).
+    pub fn survival(&self) -> &SurvivalStream {
+        &self.survival
+    }
+
+    // ------------------------------------------------------------------
+    // Occult (§III-A3)
+    // ------------------------------------------------------------------
+
+    /// The digest an occult approval multi-signature covers.
+    pub fn occult_approval_digest(&self, target: u64) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"ledgerdb.occult.approve.v1");
+        h.update(&self.id.0);
+        h.update(&target.to_be_bytes());
+        Digest(h.finalize())
+    }
+
+    /// Occult journal `target`. Prerequisite 2: the multi-signature must
+    /// carry the DBA and a regulator. The journal's tx-hash stays on the
+    /// ledger (Protocol 2), so subsequent verification is unaffected.
+    pub fn occult(
+        &mut self,
+        target: u64,
+        approvals: MultiSignature,
+        mode: OccultMode,
+    ) -> Result<AppendAck, LedgerError> {
+        if target as usize >= self.journals.len() {
+            return Err(LedgerError::UnknownJournal(target));
+        }
+        let mut required = self.registry.keys_with_role(Role::Dba);
+        required.extend(self.registry.keys_with_role(Role::Regulator));
+        let digest = self.occult_approval_digest(target);
+        if required.is_empty() || !approvals.covers(&digest, &required) {
+            return Err(LedgerError::InsufficientSignatures("occult (Prerequisite 2)"));
+        }
+
+        // Mark first: retrieval is blocked immediately.
+        self.occult_index.mark(target);
+
+        // Record the occult journal.
+        let retained = self.tx_hashes[target as usize];
+        let payload = retained.0.to_vec();
+        let request_hash = sha256(&payload);
+        let ack = self.append_journal(
+            JournalKind::Occult { target, approvals },
+            Vec::new(),
+            &payload,
+            request_hash,
+            None,
+            None,
+        )?;
+
+        if mode == OccultMode::Sync {
+            let idx = self.journals[target as usize].stream_index;
+            self.store.erase(idx)?;
+        }
+        Ok(ack)
+    }
+
+    /// The digest an occult-by-clue approval multi-signature covers.
+    pub fn occult_clue_approval_digest(&self, clue: &str) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"ledgerdb.occultclue.approve.v1");
+        h.update(&self.id.0);
+        h.update(&(clue.len() as u64).to_be_bytes());
+        h.update(clue.as_bytes());
+        Digest(h.finalize())
+    }
+
+    /// Occult every journal recorded under `clue` (the common asynchronous
+    /// case of §III-A3). Prerequisite 2 applies with a clue-level
+    /// approval. Returns the recorded occult-clue journal's ack and the
+    /// list of hidden jsns.
+    pub fn occult_by_clue(
+        &mut self,
+        clue: &str,
+        approvals: MultiSignature,
+        mode: OccultMode,
+    ) -> Result<(AppendAck, Vec<u64>), LedgerError> {
+        let targets = self.csl.list(clue);
+        if targets.is_empty() {
+            return Err(LedgerError::Clue(ledgerdb_clue::ClueError::UnknownClue(
+                clue.to_string(),
+            )));
+        }
+        let mut required = self.registry.keys_with_role(Role::Dba);
+        required.extend(self.registry.keys_with_role(Role::Regulator));
+        let digest = self.occult_clue_approval_digest(clue);
+        if required.is_empty() || !approvals.covers(&digest, &required) {
+            return Err(LedgerError::InsufficientSignatures("occult-by-clue (Prerequisite 2)"));
+        }
+        for &t in &targets {
+            self.occult_index.mark(t);
+        }
+        // Payload binds the hidden set's retained hashes.
+        let mut h = Sha256::new();
+        h.update(b"ledgerdb.occultclue.payload.v1");
+        for &t in &targets {
+            h.update(&self.tx_hashes[t as usize].0);
+        }
+        let payload = h.finalize().to_vec();
+        let request_hash = sha256(&payload);
+        let ack = self.append_journal(
+            JournalKind::OccultClue {
+                clue: clue.to_string(),
+                targets: targets.clone(),
+                approvals,
+            },
+            Vec::new(),
+            &payload,
+            request_hash,
+            None,
+            None,
+        )?;
+        if mode == OccultMode::Sync {
+            for &t in &targets {
+                let idx = self.journals[t as usize].stream_index;
+                self.store.erase(idx)?;
+            }
+        }
+        Ok((ack, targets))
+    }
+
+    /// Produce a world-state proof: the latest payload digest recorded
+    /// under `clue`, proven against the current state root.
+    pub fn prove_state(&self, clue: &str) -> Result<ledgerdb_mpt::MptProof, LedgerError> {
+        self.world_state
+            .prove(ledgerdb_clue::clue_key(clue).as_bytes())
+            .map_err(|e| LedgerError::Clue(e.into()))
+    }
+
+    /// Verify a world-state proof against a trusted state root.
+    pub fn verify_state(
+        state_root: &Digest,
+        proof: &ledgerdb_mpt::MptProof,
+    ) -> Result<(), LedgerError> {
+        ledgerdb_mpt::verify_proof(state_root, proof).map_err(|e| LedgerError::Clue(e.into()))
+    }
+
+    /// Produce a clue proof restricted to lineage versions `[lo, hi)`
+    /// (the §IV-C "verify within a range specified by version boundaries"
+    /// scenario).
+    pub fn prove_clue_range(&self, clue: &str, lo: u64, hi: u64) -> Result<ClueProof, LedgerError> {
+        let jsns: Vec<u64> = self.cm_tree.jsns(clue).to_vec();
+        Ok(self.cm_tree.prove_range(clue, lo, hi, |v| {
+            jsns.get(v as usize).map(|&j| self.tx_hashes[j as usize])
+        })?)
+    }
+
+    /// The data-reorganization utility: physically erase payloads of
+    /// async-occulted journals up to the current journal count.
+    pub fn reorganize(&mut self) -> Result<u64, LedgerError> {
+        let upto = self.journals.len() as u64;
+        let to_erase = self.occult_index.reorganize(upto);
+        let count = to_erase.len() as u64;
+        for jsn in to_erase {
+            let idx = self.journals[jsn as usize].stream_index;
+            self.store.erase(idx)?;
+        }
+        Ok(count)
+    }
+
+    /// Is a journal occulted?
+    pub fn is_occulted(&self, jsn: u64) -> bool {
+        self.occult_index.is_marked(jsn)
+    }
+
+    /// Raw journal access for audits (does not enforce the occult
+    /// retrieval block; auditors see kinds and retained hashes only).
+    pub(crate) fn journal_unchecked(&self, jsn: u64) -> Option<&Journal> {
+        self.journals.get(jsn as usize)
+    }
+
+    /// The clock the ledger stamps journals with.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// The fam fractal height δ (needed to replay the accumulator in
+    /// audits).
+    pub fn fam_delta(&self) -> u32 {
+        self.config.fam_delta
+    }
+}
+
+/// The binding digest of a pseudo genesis (§III-A2): ledger id, purge
+/// point and the root snapshot at that point.
+pub(crate) fn pseudo_genesis_hash(id: &Digest, purge_to: u64, snapshot: &LedgerInfo) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"ledgerdb.pseudogenesis.v1");
+    h.update(&id.0);
+    h.update(&purge_to.to_be_bytes());
+    h.update(&snapshot.journal_root.0);
+    h.update(&snapshot.clue_root.0);
+    h.update(&snapshot.state_root.0);
+    Digest(h.finalize())
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use ledgerdb_crypto::ca::CertificateAuthority;
+
+    pub(crate) struct Fixture {
+        #[allow(dead_code)]
+        pub ca: CertificateAuthority,
+        pub dba: KeyPair,
+        pub regulator: KeyPair,
+        pub alice: KeyPair,
+        pub bob: KeyPair,
+        pub ledger: LedgerDb,
+    }
+
+    pub(crate) fn fixture(block_size: u64) -> Fixture {
+        let ca = CertificateAuthority::from_seed(b"ca");
+        let dba = KeyPair::from_seed(b"dba");
+        let regulator = KeyPair::from_seed(b"regulator");
+        let alice = KeyPair::from_seed(b"alice");
+        let bob = KeyPair::from_seed(b"bob");
+        let mut registry = MemberRegistry::new(*ca.public_key());
+        registry.register(ca.issue("dba", Role::Dba, dba.public())).unwrap();
+        registry
+            .register(ca.issue("regulator", Role::Regulator, regulator.public()))
+            .unwrap();
+        registry.register(ca.issue("alice", Role::User, alice.public())).unwrap();
+        registry.register(ca.issue("bob", Role::User, bob.public())).unwrap();
+        let config = LedgerConfig { block_size, fam_delta: 4, name: "test".into() };
+        let ledger = LedgerDb::new(config, registry);
+        Fixture { ca, dba, regulator, alice, bob, ledger }
+    }
+
+    fn tx(keys: &KeyPair, payload: &[u8], clues: &[&str], nonce: u64) -> TxRequest {
+        TxRequest::signed(
+            keys,
+            payload.to_vec(),
+            clues.iter().map(|s| s.to_string()).collect(),
+            nonce,
+        )
+    }
+
+    #[test]
+    fn append_and_retrieve() {
+        let mut f = fixture(4);
+        let ack = f.ledger.append(tx(&f.alice, b"hello", &["c1"], 0)).unwrap();
+        assert_eq!(ack.jsn, 0);
+        assert_eq!(f.ledger.get_payload(0).unwrap(), b"hello");
+        assert_eq!(f.ledger.list_tx("c1"), vec![0]);
+    }
+
+    #[test]
+    fn unregistered_member_rejected() {
+        let mut f = fixture(4);
+        let mallory = KeyPair::from_seed(b"mallory");
+        let err = f.ledger.append(tx(&mallory, b"x", &[], 0)).unwrap_err();
+        assert!(matches!(err, LedgerError::UnknownMember));
+    }
+
+    #[test]
+    fn tampered_request_rejected() {
+        // threat-A: the server detects in-flight payload tampering via π_c.
+        let mut f = fixture(4);
+        let mut req = tx(&f.alice, b"honest", &[], 0);
+        req.payload = b"tampered".to_vec();
+        assert!(matches!(
+            f.ledger.append(req),
+            Err(LedgerError::BadClientSignature)
+        ));
+    }
+
+    #[test]
+    fn receipts_issue_at_block_seal() {
+        let mut f = fixture(2);
+        let a = f.ledger.append(tx(&f.alice, b"1", &[], 0)).unwrap();
+        assert!(f.ledger.receipt(a.jsn).unwrap().is_none());
+        let b = f.ledger.append(tx(&f.bob, b"2", &[], 1)).unwrap();
+        // Block of 2 sealed: both receipts available and valid.
+        let ra = f.ledger.receipt(a.jsn).unwrap().unwrap();
+        let rb = f.ledger.receipt(b.jsn).unwrap().unwrap();
+        assert!(ra.verify());
+        assert!(rb.verify());
+        assert_eq!(ra.block_hash, rb.block_hash);
+        assert_eq!(f.ledger.block_count(), 1);
+    }
+
+    #[test]
+    fn append_committed_returns_receipt() {
+        let mut f = fixture(100);
+        let receipt = f.ledger.append_committed(tx(&f.alice, b"doc", &["n"], 0)).unwrap();
+        assert!(receipt.verify());
+        assert_eq!(receipt.jsn, 0);
+    }
+
+    #[test]
+    fn existence_proof_client_side() {
+        let mut f = fixture(4);
+        for i in 0..40u64 {
+            f.ledger.append(tx(&f.alice, &i.to_be_bytes(), &[], i)).unwrap();
+        }
+        let anchor = TrustedAnchor::default();
+        for jsn in [0u64, 7, 20, 39] {
+            let (tx_hash, proof) = f.ledger.prove_existence(jsn, &anchor).unwrap();
+            f.ledger
+                .verify_existence(jsn, &tx_hash, &proof, &anchor, VerifyLevel::Client)
+                .unwrap();
+            f.ledger
+                .verify_existence(jsn, &tx_hash, &proof, &anchor, VerifyLevel::Server)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn existence_proof_rejects_fake() {
+        let mut f = fixture(4);
+        for i in 0..10u64 {
+            f.ledger.append(tx(&f.alice, &i.to_be_bytes(), &[], i)).unwrap();
+        }
+        let anchor = TrustedAnchor::default();
+        let (_, proof) = f.ledger.prove_existence(3, &anchor).unwrap();
+        let fake = sha256(b"foopar");
+        assert!(f
+            .ledger
+            .verify_existence(3, &fake, &proof, &anchor, VerifyLevel::Client)
+            .is_err());
+    }
+
+    #[test]
+    fn clue_lineage_round_trip() {
+        let mut f = fixture(4);
+        for i in 0..3u64 {
+            f.ledger
+                .append(tx(&f.alice, format!("artwork v{i}").as_bytes(), &["DCI001"], i))
+                .unwrap();
+        }
+        f.ledger.append(tx(&f.bob, b"unrelated", &["other"], 99)).unwrap();
+        let proof = f.ledger.prove_clue("DCI001").unwrap();
+        assert_eq!(proof.entries.len(), 3);
+        f.ledger.verify_clue(&proof, VerifyLevel::Client).unwrap();
+        f.ledger.verify_clue(&proof, VerifyLevel::Server).unwrap();
+    }
+
+    #[test]
+    fn occult_blocks_retrieval_keeps_verifiability() {
+        let mut f = fixture(4);
+        for i in 0..6u64 {
+            f.ledger.append(tx(&f.alice, &i.to_be_bytes(), &[], i)).unwrap();
+        }
+        let digest = f.ledger.occult_approval_digest(2);
+        let mut ms = MultiSignature::new();
+        ms.add(&f.dba, &digest);
+        ms.add(&f.regulator, &digest);
+        f.ledger.occult(2, ms, OccultMode::Sync).unwrap();
+
+        // Retrieval blocked.
+        assert!(matches!(f.ledger.get_tx(2), Err(LedgerError::Occulted(2))));
+        assert!(f.ledger.is_occulted(2));
+        // Existence verification still passes via the retained hash.
+        let anchor = TrustedAnchor::default();
+        let (tx_hash, proof) = f.ledger.prove_existence(2, &anchor).unwrap();
+        f.ledger
+            .verify_existence(2, &tx_hash, &proof, &anchor, VerifyLevel::Client)
+            .unwrap();
+    }
+
+    #[test]
+    fn occult_requires_regulator_and_dba() {
+        let mut f = fixture(4);
+        f.ledger.append(tx(&f.alice, b"p", &[], 0)).unwrap();
+        let digest = f.ledger.occult_approval_digest(0);
+        let mut ms = MultiSignature::new();
+        ms.add(&f.dba, &digest); // Missing the regulator.
+        assert!(matches!(
+            f.ledger.occult(0, ms, OccultMode::Sync),
+            Err(LedgerError::InsufficientSignatures(_))
+        ));
+    }
+
+    #[test]
+    fn async_occult_defers_erase() {
+        let mut f = fixture(4);
+        f.ledger.append(tx(&f.alice, b"sensitive", &[], 0)).unwrap();
+        let digest = f.ledger.occult_approval_digest(0);
+        let mut ms = MultiSignature::new();
+        ms.add(&f.dba, &digest);
+        ms.add(&f.regulator, &digest);
+        f.ledger.occult(0, ms, OccultMode::Async).unwrap();
+        // Marked (blocked) but payload still on disk until reorganization.
+        assert!(matches!(f.ledger.get_tx(0), Err(LedgerError::Occulted(0))));
+        assert!(!f.ledger.store.is_erased(0).unwrap());
+        let erased = f.ledger.reorganize().unwrap();
+        assert_eq!(erased, 1);
+        assert!(f.ledger.store.is_erased(0).unwrap());
+    }
+
+    #[test]
+    fn purge_requires_all_related_members() {
+        let mut f = fixture(4);
+        f.ledger.append(tx(&f.alice, b"a", &[], 0)).unwrap();
+        f.ledger.append(tx(&f.bob, b"b", &[], 1)).unwrap();
+        let digest = f.ledger.purge_approval_digest(2);
+        let mut ms = MultiSignature::new();
+        ms.add(&f.dba, &digest);
+        ms.add(&f.alice, &digest); // Bob missing.
+        assert!(matches!(
+            f.ledger.purge(2, ms, &[], false),
+            Err(LedgerError::InsufficientSignatures(_))
+        ));
+    }
+
+    #[test]
+    fn purge_erases_and_sets_pseudo_genesis() {
+        let mut f = fixture(4);
+        for i in 0..8u64 {
+            f.ledger.append(tx(&f.alice, &i.to_be_bytes(), &["c"], i)).unwrap();
+        }
+        let digest = f.ledger.purge_approval_digest(4);
+        let mut ms = MultiSignature::new();
+        ms.add(&f.dba, &digest);
+        ms.add(&f.alice, &digest);
+        let ack = f.ledger.purge(4, ms, &[1], false).unwrap();
+
+        let genesis = f.ledger.pseudo_genesis().unwrap();
+        assert_eq!(genesis.purge_to, 4);
+        assert_eq!(genesis.purge_journal_jsn, ack.jsn);
+        // Purged journals unreadable; survivors pinned.
+        assert!(matches!(f.ledger.get_tx(0), Err(LedgerError::Purged(0))));
+        assert!(f.ledger.survival().contains(1));
+        assert!(f.ledger.survival().verify(1).unwrap());
+        // Later journals still readable and provable.
+        assert!(f.ledger.get_tx(5).is_ok());
+        let anchor = TrustedAnchor::default();
+        let (tx_hash, proof) = f.ledger.prove_existence(5, &anchor).unwrap();
+        f.ledger
+            .verify_existence(5, &tx_hash, &proof, &anchor, VerifyLevel::Client)
+            .unwrap();
+    }
+
+    #[test]
+    fn purge_point_validation() {
+        let mut f = fixture(4);
+        f.ledger.append(tx(&f.alice, b"x", &[], 0)).unwrap();
+        let digest = f.ledger.purge_approval_digest(0);
+        let ms = {
+            let mut m = MultiSignature::new();
+            m.add(&f.dba, &digest);
+            m
+        };
+        assert!(matches!(
+            f.ledger.purge(0, ms.clone(), &[], false),
+            Err(LedgerError::BadPurgePoint(0))
+        ));
+        assert!(matches!(
+            f.ledger.purge(99, ms, &[], false),
+            Err(LedgerError::BadPurgePoint(99))
+        ));
+    }
+
+    #[test]
+    fn occult_by_clue_hides_whole_lineage() {
+        let mut f = fixture(4);
+        for i in 0..9u64 {
+            let clue = if i % 3 == 0 { "secret" } else { "public" };
+            f.ledger.append(tx(&f.alice, &i.to_be_bytes(), &[clue], i)).unwrap();
+        }
+        let digest = f.ledger.occult_clue_approval_digest("secret");
+        let mut ms = MultiSignature::new();
+        ms.add(&f.dba, &digest);
+        ms.add(&f.regulator, &digest);
+        let (_, targets) = f.ledger.occult_by_clue("secret", ms, OccultMode::Sync).unwrap();
+        assert_eq!(targets, vec![0, 3, 6]);
+        for t in targets {
+            assert!(matches!(f.ledger.get_tx(t), Err(LedgerError::Occulted(_))));
+        }
+        // Unrelated journals unaffected; ledger still audits and verifies.
+        assert!(f.ledger.get_tx(1).is_ok());
+        let anchor = TrustedAnchor::default();
+        let (tx_hash, proof) = f.ledger.prove_existence(3, &anchor).unwrap();
+        f.ledger
+            .verify_existence(3, &tx_hash, &proof, &anchor, VerifyLevel::Client)
+            .unwrap();
+    }
+
+    #[test]
+    fn occult_by_clue_requires_prerequisite_2() {
+        let mut f = fixture(4);
+        f.ledger.append(tx(&f.alice, b"x", &["c"], 0)).unwrap();
+        let digest = f.ledger.occult_clue_approval_digest("c");
+        let mut ms = MultiSignature::new();
+        ms.add(&f.regulator, &digest); // DBA missing.
+        assert!(matches!(
+            f.ledger.occult_by_clue("c", ms, OccultMode::Sync),
+            Err(LedgerError::InsufficientSignatures(_))
+        ));
+        // Unknown clue errors.
+        let digest = f.ledger.occult_clue_approval_digest("nope");
+        let mut ms = MultiSignature::new();
+        ms.add(&f.dba, &digest);
+        ms.add(&f.regulator, &digest);
+        assert!(f.ledger.occult_by_clue("nope", ms, OccultMode::Sync).is_err());
+    }
+
+    #[test]
+    fn clue_range_proofs() {
+        let mut f = fixture(4);
+        for i in 0..10u64 {
+            f.ledger.append(tx(&f.alice, &i.to_be_bytes(), &["asset"], i)).unwrap();
+        }
+        f.ledger.seal_block();
+        let root = f.ledger.clue_root();
+        let proof = f.ledger.prove_clue_range("asset", 3, 7).unwrap();
+        assert_eq!(proof.entries.len(), 4);
+        CmTree::verify_client(&root, &proof).unwrap();
+        assert!(f.ledger.prove_clue_range("asset", 7, 3).is_err());
+        assert!(f.ledger.prove_clue_range("asset", 0, 11).is_err());
+    }
+
+    #[test]
+    fn world_state_proofs() {
+        let mut f = fixture(4);
+        f.ledger.append(tx(&f.alice, b"v1", &["acct"], 0)).unwrap();
+        f.ledger.append(tx(&f.alice, b"v2", &["acct"], 1)).unwrap();
+        let state_root = f.ledger.state_root();
+        let proof = f.ledger.prove_state("acct").unwrap();
+        // The proven value is the *latest* payload digest.
+        assert_eq!(proof.value, sha256(b"v2").0.to_vec());
+        LedgerDb::verify_state(&state_root, &proof).unwrap();
+        assert!(f.ledger.prove_state("missing").is_err());
+    }
+
+    #[test]
+    fn purge_with_fam_erasure_keeps_recent_provable() {
+        let mut f = fixture(4); // fam_delta = 4 → epochs of 16.
+        for i in 0..40u64 {
+            f.ledger.append(tx(&f.alice, &i.to_be_bytes(), &[], i)).unwrap();
+        }
+        let digest = f.ledger.purge_approval_digest(20);
+        let mut ms = MultiSignature::new();
+        ms.add(&f.dba, &digest);
+        ms.add(&f.alice, &digest);
+        f.ledger.purge(20, ms, &[], true).unwrap();
+
+        // Recent journals verify client-side even with erased early epochs.
+        let anchor = f.ledger.anchor();
+        for jsn in 20..40u64 {
+            let (tx_hash, proof) = f.ledger.prove_existence(jsn, &anchor).unwrap();
+            f.ledger
+                .verify_existence(jsn, &tx_hash, &proof, &anchor, VerifyLevel::Client)
+                .unwrap();
+        }
+        // Early journals in fully erased epochs are gone from the fam.
+        assert!(f.ledger.prove_existence(0, &anchor).is_err());
+    }
+
+    #[test]
+    fn world_state_tracks_latest_clue_payload() {
+        let mut f = fixture(4);
+        f.ledger.append(tx(&f.alice, b"v1", &["k"], 0)).unwrap();
+        let r1 = f.ledger.state_root();
+        f.ledger.append(tx(&f.alice, b"v2", &["k"], 1)).unwrap();
+        let r2 = f.ledger.state_root();
+        assert_ne!(r1, r2);
+    }
+}

@@ -1,0 +1,31 @@
+//! The LedgerDB kernel: a centralized ledger database with *Dasein*
+//! (what-when-who) verification.
+//!
+//! This crate composes the substrates into the system of §II-C:
+//!
+//! * journals with incremental jsns, accumulated in a [fam
+//!   tree](ledgerdb_accumulator::fam) (*what*);
+//! * a [CM-Tree](ledgerdb_clue::cm_tree) for clue-oriented N-lineage;
+//! * three-phase signing — client proof π_c, LSP receipt π_s, TSA time
+//!   journal π_t (*who* / *when*);
+//! * verifiable mutations: [purge](ledger::LedgerDb::purge) and
+//!   [occult](ledger::LedgerDb::occult) (§III-A2/3);
+//! * the [Dasein-complete audit](audit) of §V.
+
+pub mod audit;
+pub mod client;
+pub mod codec;
+pub mod error;
+pub mod ledger;
+pub mod member;
+pub mod shared;
+pub mod types;
+
+pub use audit::{audit_ledger, AuditConfig, AuditReport};
+pub use client::{LedgerClient, SyncReport};
+pub use codec::LedgerSnapshot;
+pub use error::LedgerError;
+pub use ledger::{AppendAck, LedgerConfig, LedgerDb, OccultMode};
+pub use member::{Member, MemberRegistry};
+pub use shared::SharedLedger;
+pub use types::{Block, Journal, JournalKind, LedgerInfo, Receipt, TxRequest, VerifyLevel};

@@ -1,0 +1,145 @@
+//! A minimal certificate authority.
+//!
+//! The paper's threat model (§II-B) assumes "the identities of all ledger
+//! participants are authentic, i.e., they (user, LSP, TSA, and regulator)
+//! disclose their public keys certified by a CA". This module is that CA:
+//! it signs `(subject, role, pk)` tuples and verifiers check certificates
+//! before trusting any signature.
+
+use crate::digest::Digest;
+use crate::ecdsa::Signature;
+use crate::keys::{KeyPair, PublicKey};
+use crate::sha256::Sha256;
+
+/// The role a certified participant plays in the ledger ecosystem.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Role {
+    /// An ordinary ledger member.
+    User,
+    /// The ledger service provider.
+    Lsp,
+    /// A timestamp authority.
+    Tsa,
+    /// The regulator role holder (can co-sign occult operations).
+    Regulator,
+    /// Database administrator (co-signs purge and occult operations).
+    Dba,
+}
+
+impl Role {
+    fn tag(&self) -> u8 {
+        match self {
+            Role::User => 0,
+            Role::Lsp => 1,
+            Role::Tsa => 2,
+            Role::Regulator => 3,
+            Role::Dba => 4,
+        }
+    }
+}
+
+/// A CA-signed binding of a subject name, role and public key.
+#[derive(Clone, Debug)]
+pub struct Certificate {
+    pub subject: String,
+    pub role: Role,
+    pub public_key: PublicKey,
+    pub signature: Signature,
+}
+
+impl Certificate {
+    /// The digest the CA signs.
+    pub fn signing_digest(subject: &str, role: Role, pk: &PublicKey) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"ledgerdb.cert.v1");
+        h.update(&[role.tag()]);
+        h.update(&(subject.len() as u64).to_be_bytes());
+        h.update(subject.as_bytes());
+        h.update(&pk.to_bytes());
+        Digest(h.finalize())
+    }
+
+    /// Validate this certificate against the CA's public key.
+    pub fn verify(&self, ca_pk: &PublicKey) -> bool {
+        let digest = Self::signing_digest(&self.subject, self.role, &self.public_key);
+        ca_pk.verify(&digest, &self.signature)
+    }
+}
+
+/// The certificate authority: a key pair that issues certificates.
+pub struct CertificateAuthority {
+    keys: KeyPair,
+}
+
+impl CertificateAuthority {
+    /// Create a CA from a deterministic seed.
+    pub fn from_seed(seed: &[u8]) -> Self {
+        CertificateAuthority { keys: KeyPair::from_seed(seed) }
+    }
+
+    /// The CA's public verification key.
+    pub fn public_key(&self) -> &PublicKey {
+        self.keys.public()
+    }
+
+    /// Issue a certificate binding `subject`/`role` to `pk`.
+    pub fn issue(&self, subject: &str, role: Role, pk: &PublicKey) -> Certificate {
+        let digest = Certificate::signing_digest(subject, role, pk);
+        Certificate {
+            subject: subject.to_string(),
+            role,
+            public_key: *pk,
+            signature: self.keys.sign(&digest),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_and_verify() {
+        let ca = CertificateAuthority::from_seed(b"root-ca");
+        let user = KeyPair::from_seed(b"user-1");
+        let cert = ca.issue("user-1", Role::User, user.public());
+        assert!(cert.verify(ca.public_key()));
+    }
+
+    #[test]
+    fn tampered_subject_fails() {
+        let ca = CertificateAuthority::from_seed(b"root-ca");
+        let user = KeyPair::from_seed(b"user-1");
+        let mut cert = ca.issue("user-1", Role::User, user.public());
+        cert.subject = "user-2".to_string();
+        assert!(!cert.verify(ca.public_key()));
+    }
+
+    #[test]
+    fn role_change_fails() {
+        let ca = CertificateAuthority::from_seed(b"root-ca");
+        let user = KeyPair::from_seed(b"user-1");
+        let mut cert = ca.issue("user-1", Role::User, user.public());
+        cert.role = Role::Dba;
+        assert!(!cert.verify(ca.public_key()));
+    }
+
+    #[test]
+    fn wrong_ca_fails() {
+        let ca = CertificateAuthority::from_seed(b"root-ca");
+        let rogue = CertificateAuthority::from_seed(b"rogue-ca");
+        let user = KeyPair::from_seed(b"user-1");
+        let cert = rogue.issue("user-1", Role::User, user.public());
+        assert!(!cert.verify(ca.public_key()));
+    }
+
+    #[test]
+    fn key_substitution_fails() {
+        let ca = CertificateAuthority::from_seed(b"root-ca");
+        let user = KeyPair::from_seed(b"user-1");
+        let eve = KeyPair::from_seed(b"eve");
+        let mut cert = ca.issue("user-1", Role::User, user.public());
+        cert.public_key = *eve.public();
+        assert!(!cert.verify(ca.public_key()));
+    }
+}

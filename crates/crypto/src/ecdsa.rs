@@ -1,0 +1,194 @@
+//! Deterministic ECDSA over secp256k1.
+//!
+//! Signatures are the non-repudiation primitive of the paper's *who*
+//! dimension (§III-C): clients sign request hashes (π_c), the LSP signs
+//! receipts (π_s) and the TSA signs digest-timestamp pairs (π_t).
+
+use crate::digest::Digest;
+use crate::field::fn_order;
+use crate::point::{double_scalar_mul, Affine};
+use crate::scalar::{deterministic_nonce, digest_to_scalar};
+use crate::u256::U256;
+
+/// An ECDSA signature `(r, s)` with low-s normalization.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Signature {
+    pub r: U256,
+    pub s: U256,
+}
+
+impl Signature {
+    /// Serialize as 64 bytes (r || s, big-endian).
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.r.to_be_bytes());
+        out[32..].copy_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Parse from 64 bytes; rejects out-of-range or zero components.
+    pub fn from_bytes(bytes: &[u8; 64]) -> Option<Signature> {
+        let n = fn_order();
+        let r = U256::from_be_bytes(bytes[..32].try_into().unwrap());
+        let s = U256::from_be_bytes(bytes[32..].try_into().unwrap());
+        if r.is_zero() || s.is_zero() || r.ge(&n.m) || s.ge(&n.m) {
+            return None;
+        }
+        Some(Signature { r, s })
+    }
+}
+
+/// Sign a 32-byte message digest with secret scalar `sk`.
+///
+/// The nonce is derived deterministically (RFC 6979 flavour) so repeated
+/// signing of the same journal yields identical receipts.
+pub fn sign(sk: &U256, msg_digest: &Digest) -> Signature {
+    let n = fn_order();
+    let z = digest_to_scalar(msg_digest);
+    let mut nonce_digest = *msg_digest;
+    loop {
+        let k = deterministic_nonce(sk, &nonce_digest);
+        // Fixed-base table multiplication: the signing hot path.
+        let r_point = crate::point::mul_generator(&k).to_affine();
+        let Affine::Point { x, .. } = r_point else {
+            // k·G = infinity cannot occur for 0 < k < n, but stay total.
+            nonce_digest = crate::sha256(nonce_digest.as_bytes());
+            continue;
+        };
+        // r = R.x mod n.
+        let r = if x.ge(&n.m) { x.sbb(&n.m).0 } else { x };
+        if r.is_zero() {
+            nonce_digest = crate::sha256(nonce_digest.as_bytes());
+            continue;
+        }
+        let k_inv = n.inv(&k).expect("nonzero nonce");
+        let rd = n.mul(&r, sk);
+        let mut s = n.mul(&k_inv, &n.add(&z, &rd));
+        if s.is_zero() {
+            nonce_digest = crate::sha256(nonce_digest.as_bytes());
+            continue;
+        }
+        // Low-s normalization (reject malleable twin).
+        let half = {
+            // floor(n/2): (n-1) >> 1 computed via subtraction and shift.
+            let n_minus_1 = n.m.sbb(&U256::ONE).0;
+            let mut limbs = n_minus_1.0;
+            let mut carry = 0u64;
+            for limb in limbs.iter_mut().rev() {
+                let new_carry = *limb & 1;
+                *limb = (*limb >> 1) | (carry << 63);
+                carry = new_carry;
+            }
+            U256(limbs)
+        };
+        if half.lt(&s) {
+            s = n.neg(&s);
+        }
+        return Signature { r, s };
+    }
+}
+
+/// Verify a signature over `msg_digest` against public point `pk`.
+pub fn verify(pk: &Affine, msg_digest: &Digest, sig: &Signature) -> bool {
+    let n = fn_order();
+    if sig.r.is_zero() || sig.s.is_zero() || sig.r.ge(&n.m) || sig.s.ge(&n.m) {
+        return false;
+    }
+    let Affine::Point { .. } = pk else {
+        return false;
+    };
+    if !pk.is_on_curve() {
+        return false;
+    }
+    let z = digest_to_scalar(msg_digest);
+    let Some(s_inv) = n.inv(&sig.s) else {
+        return false;
+    };
+    let u1 = n.mul(&z, &s_inv);
+    let u2 = n.mul(&sig.r, &s_inv);
+    let g = Affine::generator().to_jacobian();
+    let q = pk.to_jacobian();
+    let r_point = double_scalar_mul(&u1, &g, &u2, &q);
+    if r_point.is_infinity() {
+        return false;
+    }
+    let Affine::Point { x, .. } = r_point.to_affine() else {
+        return false;
+    };
+    let x_mod_n = if x.ge(&n.m) { x.sbb(&n.m).0 } else { x };
+    x_mod_n == sig.r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyPair;
+    use crate::sha256;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let kp = KeyPair::from_seed(b"alice");
+        let msg = sha256(b"append journal 1");
+        let sig = sign(&kp.secret().0, &msg);
+        assert!(verify(&kp.public().point(), &msg, &sig));
+    }
+
+    #[test]
+    fn wrong_message_fails() {
+        let kp = KeyPair::from_seed(b"alice");
+        let sig = sign(&kp.secret().0, &sha256(b"m1"));
+        assert!(!verify(&kp.public().point(), &sha256(b"m2"), &sig));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let alice = KeyPair::from_seed(b"alice");
+        let bob = KeyPair::from_seed(b"bob");
+        let msg = sha256(b"payload");
+        let sig = sign(&alice.secret().0, &msg);
+        assert!(!verify(&bob.public().point(), &msg, &sig));
+    }
+
+    #[test]
+    fn signature_is_deterministic() {
+        let kp = KeyPair::from_seed(b"carol");
+        let msg = sha256(b"same message");
+        assert_eq!(sign(&kp.secret().0, &msg), sign(&kp.secret().0, &msg));
+    }
+
+    #[test]
+    fn tampered_signature_fails() {
+        let kp = KeyPair::from_seed(b"dave");
+        let msg = sha256(b"msg");
+        let sig = sign(&kp.secret().0, &msg);
+        let mut bytes = sig.to_bytes();
+        bytes[10] ^= 0x01;
+        if let Some(bad) = Signature::from_bytes(&bytes) {
+            assert!(!verify(&kp.public().point(), &msg, &bad));
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let kp = KeyPair::from_seed(b"erin");
+        let sig = sign(&kp.secret().0, &sha256(b"x"));
+        let parsed = Signature::from_bytes(&sig.to_bytes()).unwrap();
+        assert_eq!(sig, parsed);
+    }
+
+    #[test]
+    fn rejects_zero_components() {
+        let mut bytes = [0u8; 64];
+        assert!(Signature::from_bytes(&bytes).is_none());
+        bytes[63] = 1; // r = 0, s = 1
+        assert!(Signature::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn verify_rejects_infinity_pk() {
+        let kp = KeyPair::from_seed(b"frank");
+        let msg = sha256(b"msg");
+        let sig = sign(&kp.secret().0, &msg);
+        assert!(!verify(&Affine::Infinity, &msg, &sig));
+    }
+}

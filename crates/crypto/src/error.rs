@@ -1,0 +1,29 @@
+//! Error type for cryptographic operations.
+
+use std::fmt;
+
+/// Errors surfaced by the crypto substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A public key failed curve validation.
+    InvalidPublicKey,
+    /// A signature had out-of-range or zero components.
+    InvalidSignature,
+    /// A certificate failed CA verification.
+    InvalidCertificate,
+    /// A secret scalar was zero or >= the group order.
+    InvalidSecretKey,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidPublicKey => write!(f, "public key is not on the curve"),
+            CryptoError::InvalidSignature => write!(f, "signature components out of range"),
+            CryptoError::InvalidCertificate => write!(f, "certificate failed CA verification"),
+            CryptoError::InvalidSecretKey => write!(f, "secret key out of range"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

@@ -1,0 +1,66 @@
+//! The secp256k1 base field Fp and scalar field Fn constants.
+//!
+//! Both moduli are pseudo-Mersenne (`2^256 - c`), so the generic
+//! [`Modulus`] reduction in [`crate::u256`] applies to both.
+
+use crate::u256::{Modulus, U256};
+use std::sync::OnceLock;
+
+/// secp256k1 base field prime `p = 2^256 - 2^32 - 977`.
+pub fn fp() -> &'static Modulus {
+    static FP: OnceLock<Modulus> = OnceLock::new();
+    FP.get_or_init(|| {
+        Modulus::new(
+            U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+                .expect("static hex"),
+        )
+    })
+}
+
+/// secp256k1 group order `n`.
+pub fn fn_order() -> &'static Modulus {
+    static FN: OnceLock<Modulus> = OnceLock::new();
+    FN.get_or_init(|| {
+        Modulus::new(
+            U256::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141")
+                .expect("static hex"),
+        )
+    })
+}
+
+/// Curve coefficient `b` in `y^2 = x^3 + 7`.
+pub fn curve_b() -> U256 {
+    U256::from_u64(7)
+}
+
+/// Generator x-coordinate.
+pub fn gen_x() -> U256 {
+    U256::from_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798")
+        .expect("static hex")
+}
+
+/// Generator y-coordinate.
+pub fn gen_y() -> U256 {
+    U256::from_hex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8")
+        .expect("static hex")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_on_curve() {
+        let f = fp();
+        let x = gen_x();
+        let y = gen_y();
+        let lhs = f.sq(&y);
+        let rhs = f.add(&f.mul(&f.sq(&x), &x), &curve_b());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn order_is_below_prime() {
+        assert!(fn_order().m.lt(&fp().m));
+    }
+}

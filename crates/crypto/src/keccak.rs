@@ -1,0 +1,139 @@
+//! SHA3-256 (Keccak-f\[1600\] with FIPS 202 padding), implemented from scratch.
+//!
+//! The CM-Tree scatters client-specified clue strings into balanced 32-byte
+//! trie keys with SHA-3 (§IV-B2): `CM-Tree1` keys are `sha3_256(clue)`.
+
+use crate::digest::Digest;
+
+/// Keccak round constants.
+const RC: [u64; 24] = [
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808a, 0x8000000080008000,
+    0x000000000000808b, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+    0x000000000000008a, 0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
+    0x000000008000808b, 0x800000000000008b, 0x8000000000008089, 0x8000000000008003,
+    0x8000000000008002, 0x8000000000000080, 0x000000000000800a, 0x800000008000000a,
+    0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+];
+
+/// Rotation offsets for the rho step, indexed `[x][y]`.
+const RHO: [[u32; 5]; 5] = [
+    [0, 36, 3, 41, 18],
+    [1, 44, 10, 45, 2],
+    [62, 6, 43, 15, 61],
+    [28, 55, 25, 21, 56],
+    [27, 20, 39, 8, 14],
+];
+
+/// One application of Keccak-f[1600] to the 5x5 lane state.
+#[allow(clippy::needless_range_loop)] // index loops mirror the spec's x/y lanes
+fn keccak_f(state: &mut [[u64; 5]; 5]) {
+    for rc in RC {
+        // Theta.
+        let mut c = [0u64; 5];
+        for (x, cx) in c.iter_mut().enumerate() {
+            *cx = state[x][0] ^ state[x][1] ^ state[x][2] ^ state[x][3] ^ state[x][4];
+        }
+        for x in 0..5 {
+            let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+            for y in 0..5 {
+                state[x][y] ^= d;
+            }
+        }
+        // Rho and Pi.
+        let mut b = [[0u64; 5]; 5];
+        for x in 0..5 {
+            for y in 0..5 {
+                b[y][(2 * x + 3 * y) % 5] = state[x][y].rotate_left(RHO[x][y]);
+            }
+        }
+        // Chi.
+        for x in 0..5 {
+            for y in 0..5 {
+                state[x][y] = b[x][y] ^ ((!b[(x + 1) % 5][y]) & b[(x + 2) % 5][y]);
+            }
+        }
+        // Iota.
+        state[0][0] ^= rc;
+    }
+}
+
+/// SHA3-256: rate 136 bytes, capacity 64 bytes, domain padding `0x06 .. 0x80`.
+pub fn sha3_256(data: &[u8]) -> Digest {
+    const RATE: usize = 136;
+    let mut state = [[0u64; 5]; 5];
+
+    // Absorb full rate-sized blocks, then the padded final block.
+    let mut padded = Vec::with_capacity(data.len() + RATE);
+    padded.extend_from_slice(data);
+    padded.push(0x06);
+    while padded.len() % RATE != 0 {
+        padded.push(0x00);
+    }
+    *padded.last_mut().unwrap() |= 0x80;
+
+    for block in padded.chunks(RATE) {
+        for (i, lane) in block.chunks(8).enumerate() {
+            let x = i % 5;
+            let y = i / 5;
+            state[x][y] ^= u64::from_le_bytes(lane.try_into().unwrap());
+        }
+        keccak_f(&mut state);
+    }
+
+    // Squeeze 32 bytes.
+    let mut out = [0u8; 32];
+    for (i, chunk) in out.chunks_mut(8).enumerate() {
+        let x = i % 5;
+        let y = i / 5;
+        chunk.copy_from_slice(&state[x][y].to_le_bytes());
+    }
+    Digest(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips202_empty() {
+        assert_eq!(
+            sha3_256(b"").to_hex(),
+            "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"
+        );
+    }
+
+    #[test]
+    fn fips202_abc() {
+        assert_eq!(
+            sha3_256(b"abc").to_hex(),
+            "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"
+        );
+    }
+
+    #[test]
+    fn fips202_448_bits() {
+        assert_eq!(
+            sha3_256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "41c0dba2a9d6240849100376a8235e2c82e1b9998a999e21db32dd97496d3376"
+        );
+    }
+
+    #[test]
+    fn rate_boundary_lengths() {
+        // Lengths straddling the 136-byte rate must all differ and be stable.
+        let a = sha3_256(&[7u8; 135]);
+        let b = sha3_256(&[7u8; 136]);
+        let c = sha3_256(&[7u8; 137]);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(sha3_256(&[7u8; 136]), b);
+    }
+
+    #[test]
+    fn differs_from_sha256() {
+        // SHA-3 and SHA-2 must not collide on simple inputs (sanity check for
+        // the clue-key scattering domain).
+        let msg = b"clue:DCI001";
+        assert_ne!(sha3_256(msg), crate::sha256(msg));
+    }
+}

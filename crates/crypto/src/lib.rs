@@ -1,0 +1,48 @@
+//! Cryptographic substrate for the LedgerDB reproduction.
+//!
+//! Everything here is implemented from scratch per the reproduction charter:
+//!
+//! * [`mod@sha256`] — FIPS 180-4 SHA-256 (the ledger's journal/block digest).
+//! * [`keccak`] — SHA3-256 (Keccak-f\[1600\]), used by the CM-Tree to scatter
+//!   clue keys (§IV-B2 of the paper).
+//! * [`hmac`] — HMAC-SHA256, used for deterministic ECDSA nonces.
+//! * [`u256`] / [`field`] / [`scalar`] / [`point`] — 256-bit arithmetic and
+//!   the secp256k1 group.
+//! * [`ecdsa`] — deterministic ECDSA signatures (RFC-6979 style nonce).
+//! * [`keys`] / [`ca`] / [`multisig`] — ledger participant identities,
+//!   certificate-authority registration (Prerequisite 3) and the
+//!   multi-signature objects gathered for purge/occult journals
+//!   (Prerequisites 1 and 2).
+//!
+//! The paper's threat model (§II-B) assumes SHA-256 and ECDSA are reliable
+//! and that all participants hold CA-certified key pairs; this crate is the
+//! concrete embodiment of that assumption.
+
+pub mod ca;
+pub mod digest;
+pub mod ecdsa;
+pub mod error;
+pub mod field;
+pub mod hmac;
+pub mod keccak;
+pub mod keys;
+pub mod multisig;
+pub mod point;
+pub mod scalar;
+pub mod sha256;
+pub mod u256;
+pub mod wire;
+
+pub use ca::{Certificate, CertificateAuthority};
+pub use digest::{hash_leaf, hash_pair, Digest};
+pub use ecdsa::{sign, verify, Signature};
+pub use error::CryptoError;
+pub use keys::{KeyPair, PublicKey, SecretKey};
+pub use multisig::MultiSignature;
+pub use sha256::sha256;
+pub use wire::{Reader, Wire, WireError, Writer};
+
+/// Convenience: SHA3-256 of a byte slice (clue-key scattering).
+pub fn sha3_256(data: &[u8]) -> Digest {
+    keccak::sha3_256(data)
+}

@@ -1,0 +1,133 @@
+//! Multi-signature objects.
+//!
+//! The paper's mutation verifications require gathered signatures from
+//! several parties: purge journals need the DBA plus every member holding
+//! journals before the purge point (Prerequisite 1); occult journals need
+//! the DBA plus the regulator (Prerequisite 2). A [`MultiSignature`] is the
+//! concrete proof object `P` consumes during the Dasein-complete audit (§V).
+
+use crate::digest::Digest;
+use crate::ecdsa::Signature;
+use crate::keys::{KeyPair, PublicKey};
+
+/// A set of `(signer, signature)` pairs over a single message digest.
+#[derive(Clone, Debug, Default)]
+pub struct MultiSignature {
+    entries: Vec<(PublicKey, Signature)>,
+}
+
+impl MultiSignature {
+    /// Empty multi-signature (no endorsements yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a signature from `signer` over `msg`. Duplicate signers are
+    /// replaced rather than appended so the entry count equals the number of
+    /// distinct endorsers.
+    pub fn add(&mut self, signer: &KeyPair, msg: &Digest) {
+        let sig = signer.sign(msg);
+        self.add_raw(*signer.public(), sig);
+    }
+
+    /// Add an externally produced signature.
+    pub fn add_raw(&mut self, pk: PublicKey, sig: Signature) {
+        if let Some(slot) = self.entries.iter_mut().find(|(p, _)| *p == pk) {
+            slot.1 = sig;
+        } else {
+            self.entries.push((pk, sig));
+        }
+    }
+
+    /// Number of distinct signers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The set of signer public keys.
+    pub fn signers(&self) -> impl Iterator<Item = &PublicKey> {
+        self.entries.iter().map(|(pk, _)| pk)
+    }
+
+    /// The signatures, index-aligned with [`MultiSignature::signers`].
+    pub fn signatures(&self) -> impl Iterator<Item = &Signature> {
+        self.entries.iter().map(|(_, sig)| sig)
+    }
+
+    /// Verify every signature over `msg`. Returns false if any fails.
+    pub fn verify_all(&self, msg: &Digest) -> bool {
+        self.entries.iter().all(|(pk, sig)| pk.verify(msg, sig))
+    }
+
+    /// Verify the multi-signature covers at least the `required` signer set
+    /// (by key identity) and that every carried signature is valid.
+    pub fn covers(&self, msg: &Digest, required: &[PublicKey]) -> bool {
+        if !self.verify_all(msg) {
+            return false;
+        }
+        required.iter().all(|need| self.entries.iter().any(|(pk, _)| pk == need))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256;
+
+    #[test]
+    fn gather_and_verify() {
+        let dba = KeyPair::from_seed(b"dba");
+        let reg = KeyPair::from_seed(b"regulator");
+        let msg = sha256(b"occult journal 7");
+        let mut ms = MultiSignature::new();
+        ms.add(&dba, &msg);
+        ms.add(&reg, &msg);
+        assert_eq!(ms.len(), 2);
+        assert!(ms.verify_all(&msg));
+        assert!(ms.covers(&msg, &[*dba.public(), *reg.public()]));
+    }
+
+    #[test]
+    fn missing_required_signer_fails_cover() {
+        let dba = KeyPair::from_seed(b"dba");
+        let reg = KeyPair::from_seed(b"regulator");
+        let msg = sha256(b"purge to jsn 100");
+        let mut ms = MultiSignature::new();
+        ms.add(&dba, &msg);
+        assert!(!ms.covers(&msg, &[*dba.public(), *reg.public()]));
+    }
+
+    #[test]
+    fn wrong_message_fails() {
+        let dba = KeyPair::from_seed(b"dba");
+        let msg = sha256(b"m");
+        let mut ms = MultiSignature::new();
+        ms.add(&dba, &msg);
+        assert!(!ms.verify_all(&sha256(b"other")));
+    }
+
+    #[test]
+    fn duplicate_signers_collapse() {
+        let dba = KeyPair::from_seed(b"dba");
+        let msg = sha256(b"m");
+        let mut ms = MultiSignature::new();
+        ms.add(&dba, &msg);
+        ms.add(&dba, &msg);
+        assert_eq!(ms.len(), 1);
+    }
+
+    #[test]
+    fn forged_signature_fails() {
+        let dba = KeyPair::from_seed(b"dba");
+        let mallory = KeyPair::from_seed(b"mallory");
+        let msg = sha256(b"m");
+        let mut ms = MultiSignature::new();
+        // Mallory claims DBA's key but signs with her own.
+        ms.add_raw(*dba.public(), mallory.sign(&msg));
+        assert!(!ms.verify_all(&msg));
+    }
+}

@@ -1,0 +1,326 @@
+//! secp256k1 group arithmetic in Jacobian coordinates.
+
+use crate::field::{curve_b, fp, gen_x, gen_y};
+use crate::u256::U256;
+
+/// An affine point on secp256k1, or the point at infinity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Affine {
+    Infinity,
+    Point { x: U256, y: U256 },
+}
+
+impl Affine {
+    /// The standard generator G.
+    pub fn generator() -> Affine {
+        Affine::Point { x: gen_x(), y: gen_y() }
+    }
+
+    /// Check the curve equation `y^2 = x^3 + 7`.
+    pub fn is_on_curve(&self) -> bool {
+        match self {
+            Affine::Infinity => true,
+            Affine::Point { x, y } => {
+                let f = fp();
+                f.sq(y) == f.add(&f.mul(&f.sq(x), x), &curve_b())
+            }
+        }
+    }
+
+    pub fn to_jacobian(self) -> Jacobian {
+        match self {
+            Affine::Infinity => Jacobian::INFINITY,
+            Affine::Point { x, y } => Jacobian { x, y, z: U256::ONE },
+        }
+    }
+}
+
+/// A point in Jacobian coordinates `(X, Y, Z)` representing
+/// `(X/Z^2, Y/Z^3)`; `Z = 0` encodes infinity.
+#[derive(Clone, Copy, Debug)]
+pub struct Jacobian {
+    pub x: U256,
+    pub y: U256,
+    pub z: U256,
+}
+
+impl Jacobian {
+    pub const INFINITY: Jacobian = Jacobian { x: U256::ONE, y: U256::ONE, z: U256::ZERO };
+
+    pub fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Convert back to affine coordinates (one field inversion).
+    pub fn to_affine(&self) -> Affine {
+        if self.is_infinity() {
+            return Affine::Infinity;
+        }
+        let f = fp();
+        let z_inv = f.inv(&self.z).expect("nonzero z");
+        let z_inv2 = f.sq(&z_inv);
+        let z_inv3 = f.mul(&z_inv2, &z_inv);
+        Affine::Point { x: f.mul(&self.x, &z_inv2), y: f.mul(&self.y, &z_inv3) }
+    }
+
+    /// Point doubling (a = 0 curve; standard dbl-2009-l formulas).
+    pub fn double(&self) -> Jacobian {
+        if self.is_infinity() || self.y.is_zero() {
+            return Jacobian::INFINITY;
+        }
+        let f = fp();
+        let a = f.sq(&self.x);
+        let b = f.sq(&self.y);
+        let c = f.sq(&b);
+        // d = 2*((x + b)^2 - a - c)
+        let xb = f.add(&self.x, &b);
+        let mut d = f.sub(&f.sq(&xb), &a);
+        d = f.sub(&d, &c);
+        d = f.add(&d, &d);
+        // e = 3a, f_ = e^2
+        let e = f.add(&f.add(&a, &a), &a);
+        let f_ = f.sq(&e);
+        let x3 = f.sub(&f_, &f.add(&d, &d));
+        // y3 = e*(d - x3) - 8c
+        let c2 = f.add(&c, &c);
+        let c4 = f.add(&c2, &c2);
+        let c8 = f.add(&c4, &c4);
+        let y3 = f.sub(&f.mul(&e, &f.sub(&d, &x3)), &c8);
+        let z3 = {
+            let yz = f.mul(&self.y, &self.z);
+            f.add(&yz, &yz)
+        };
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    /// General Jacobian addition (add-2007-bl with doubling fallback).
+    pub fn add(&self, other: &Jacobian) -> Jacobian {
+        if self.is_infinity() {
+            return *other;
+        }
+        if other.is_infinity() {
+            return *self;
+        }
+        let f = fp();
+        let z1z1 = f.sq(&self.z);
+        let z2z2 = f.sq(&other.z);
+        let u1 = f.mul(&self.x, &z2z2);
+        let u2 = f.mul(&other.x, &z1z1);
+        let s1 = f.mul(&f.mul(&self.y, &other.z), &z2z2);
+        let s2 = f.mul(&f.mul(&other.y, &self.z), &z1z1);
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Jacobian::INFINITY;
+        }
+        let h = f.sub(&u2, &u1);
+        let i = {
+            let h2 = f.add(&h, &h);
+            f.sq(&h2)
+        };
+        let j = f.mul(&h, &i);
+        let r = {
+            let d = f.sub(&s2, &s1);
+            f.add(&d, &d)
+        };
+        let v = f.mul(&u1, &i);
+        let mut x3 = f.sub(&f.sq(&r), &j);
+        x3 = f.sub(&x3, &f.add(&v, &v));
+        let mut y3 = f.mul(&r, &f.sub(&v, &x3));
+        let s1j = f.mul(&s1, &j);
+        y3 = f.sub(&y3, &f.add(&s1j, &s1j));
+        let z3 = {
+            let zz = f.add(&self.z, &other.z);
+            let t = f.sub(&f.sq(&zz), &z1z1);
+            f.mul(&f.sub(&t, &z2z2), &h)
+        };
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    /// Scalar multiplication, MSB-first double-and-add.
+    pub fn mul_scalar(&self, k: &U256) -> Jacobian {
+        let mut acc = Jacobian::INFINITY;
+        let Some(top) = k.highest_bit() else {
+            return acc;
+        };
+        for i in (0..=top).rev() {
+            acc = acc.double();
+            if k.bit(i) {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+}
+
+/// A fixed-base window table: `table[i][j-1] = (j << 4i)·G` for 4-bit
+/// windows, turning generator multiplication into at most 64 point
+/// additions with no doublings. Signing, key generation and every
+/// receipt issuance go through this path.
+struct FixedBaseTable {
+    windows: Vec<[Jacobian; 15]>,
+}
+
+impl FixedBaseTable {
+    fn build() -> Self {
+        let mut windows = Vec::with_capacity(64);
+        let mut base = Affine::generator().to_jacobian();
+        for _ in 0..64 {
+            let mut row = [Jacobian::INFINITY; 15];
+            let mut acc = base;
+            for slot in row.iter_mut() {
+                *slot = acc;
+                acc = acc.add(&base);
+            }
+            windows.push(row);
+            // Advance base by 2^4: four doublings.
+            base = acc; // acc = 16·base after the loop above.
+        }
+        FixedBaseTable { windows }
+    }
+}
+
+fn g_table() -> &'static FixedBaseTable {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<FixedBaseTable> = OnceLock::new();
+    TABLE.get_or_init(FixedBaseTable::build)
+}
+
+/// Multiply the generator by `k` via the fixed-base table.
+pub fn mul_generator(k: &U256) -> Jacobian {
+    let table = g_table();
+    let mut acc = Jacobian::INFINITY;
+    for (i, row) in table.windows.iter().enumerate() {
+        let limb = k.0[i / 16];
+        let digit = ((limb >> ((i % 16) * 4)) & 0xf) as usize;
+        if digit != 0 {
+            acc = acc.add(&row[digit - 1]);
+        }
+    }
+    acc
+}
+
+/// Shamir's trick: compute `a·P + b·Q` with a single shared double chain
+/// (halves the doublings of two independent multiplications; used by
+/// ECDSA verification).
+pub fn double_scalar_mul(a: &U256, p: &Jacobian, b: &U256, q: &Jacobian) -> Jacobian {
+    let pq = p.add(q);
+    let top = match (a.highest_bit(), b.highest_bit()) {
+        (None, None) => return Jacobian::INFINITY,
+        (Some(x), None) => x,
+        (None, Some(y)) => y,
+        (Some(x), Some(y)) => x.max(y),
+    };
+    let mut acc = Jacobian::INFINITY;
+    for i in (0..=top).rev() {
+        acc = acc.double();
+        match (a.bit(i), b.bit(i)) {
+            (true, true) => acc = acc.add(&pq),
+            (true, false) => acc = acc.add(p),
+            (false, true) => acc = acc.add(q),
+            (false, false) => {}
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::fn_order;
+
+    fn g() -> Jacobian {
+        Affine::generator().to_jacobian()
+    }
+
+    #[test]
+    fn double_matches_add() {
+        let d = g().double().to_affine();
+        let a = g().add(&g()).to_affine();
+        assert_eq!(d, a);
+        assert!(d.is_on_curve());
+    }
+
+    #[test]
+    fn known_multiple_2g() {
+        // 2G for secp256k1 (public test vector).
+        let two_g = g().mul_scalar(&U256::from_u64(2)).to_affine();
+        match two_g {
+            Affine::Point { x, .. } => assert_eq!(
+                x,
+                U256::from_hex(
+                    "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5"
+                )
+                .unwrap()
+            ),
+            Affine::Infinity => panic!("2G must not be infinity"),
+        }
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        // (a+b)G == aG + bG.
+        let a = U256::from_u64(123_456);
+        let b = U256::from_u64(789_012);
+        let ab = U256::from_u64(123_456 + 789_012);
+        let lhs = g().mul_scalar(&ab).to_affine();
+        let rhs = g().mul_scalar(&a).add(&g().mul_scalar(&b)).to_affine();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn order_times_g_is_infinity() {
+        let n = fn_order().m;
+        assert!(g().mul_scalar(&n).is_infinity());
+    }
+
+    #[test]
+    fn shamir_matches_naive() {
+        let a = U256::from_u64(0xdeadbeef);
+        let b = U256::from_u64(0xcafebabe);
+        let q = g().mul_scalar(&U256::from_u64(7));
+        let fast = double_scalar_mul(&a, &g(), &b, &q).to_affine();
+        let slow = g().mul_scalar(&a).add(&q.mul_scalar(&b)).to_affine();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn fixed_base_matches_naive() {
+        for k in [1u64, 2, 3, 15, 16, 17, 255, 0xdead_beef, u64::MAX] {
+            let k = U256::from_u64(k);
+            assert_eq!(
+                mul_generator(&k).to_affine(),
+                g().mul_scalar(&k).to_affine(),
+                "k = {k:?}"
+            );
+        }
+        // A full-width scalar.
+        let k = U256::from_hex(
+            "f0e1d2c3b4a5968778695a4b3c2d1e0fdeadbeefcafebabe0123456789abcdef",
+        )
+        .unwrap();
+        assert_eq!(mul_generator(&k).to_affine(), g().mul_scalar(&k).to_affine());
+    }
+
+    #[test]
+    fn fixed_base_zero_is_infinity() {
+        assert!(mul_generator(&U256::ZERO).is_infinity());
+    }
+
+    #[test]
+    fn add_infinity_identities() {
+        let p = g().mul_scalar(&U256::from_u64(5));
+        assert_eq!(p.add(&Jacobian::INFINITY).to_affine(), p.to_affine());
+        assert_eq!(Jacobian::INFINITY.add(&p).to_affine(), p.to_affine());
+    }
+
+    #[test]
+    fn p_plus_minus_p_is_infinity() {
+        let f = fp();
+        let p = g().mul_scalar(&U256::from_u64(9)).to_affine();
+        let Affine::Point { x, y } = p else { panic!() };
+        let neg = Affine::Point { x, y: f.neg(&y) }.to_jacobian();
+        assert!(p.to_jacobian().add(&neg).is_infinity());
+    }
+}

@@ -1,0 +1,105 @@
+//! Scalar (mod-n) helpers for ECDSA: conversion of message digests into
+//! scalars and deterministic nonce generation (RFC 6979 flavour).
+
+use crate::digest::Digest;
+use crate::field::fn_order;
+use crate::hmac::hmac_sha256;
+use crate::u256::U256;
+
+/// Interpret a 32-byte message digest as a scalar mod n (the standard
+/// "bits2int then reduce" step of ECDSA).
+pub fn digest_to_scalar(d: &Digest) -> U256 {
+    let x = U256::from_be_bytes(&d.0);
+    let n = fn_order();
+    if x.ge(&n.m) {
+        x.sbb(&n.m).0
+    } else {
+        x
+    }
+}
+
+/// Deterministic nonce derivation in the spirit of RFC 6979: an
+/// HMAC-SHA256 DRBG keyed by the secret key and message digest, iterated
+/// until it yields a nonzero scalar below n.
+///
+/// Determinism matters for reproducibility: a ledger replayed from the same
+/// journals re-derives byte-identical signatures, so audit fixtures are
+/// stable across runs.
+pub fn deterministic_nonce(secret: &U256, msg_digest: &Digest) -> U256 {
+    let mut v = [0x01u8; 32];
+    let mut k = [0x00u8; 32];
+    let sk_bytes = secret.to_be_bytes();
+
+    // K = HMAC(K, V || 0x00 || sk || digest)
+    let mut data = Vec::with_capacity(32 + 1 + 32 + 32);
+    data.extend_from_slice(&v);
+    data.push(0x00);
+    data.extend_from_slice(&sk_bytes);
+    data.extend_from_slice(&msg_digest.0);
+    k = hmac_sha256(&k, &data);
+    v = hmac_sha256(&k, &v);
+
+    // K = HMAC(K, V || 0x01 || sk || digest)
+    let mut data = Vec::with_capacity(32 + 1 + 32 + 32);
+    data.extend_from_slice(&v);
+    data.push(0x01);
+    data.extend_from_slice(&sk_bytes);
+    data.extend_from_slice(&msg_digest.0);
+    k = hmac_sha256(&k, &data);
+    v = hmac_sha256(&k, &v);
+
+    let n = fn_order();
+    loop {
+        v = hmac_sha256(&k, &v);
+        let candidate = U256::from_be_bytes(&v);
+        if !candidate.is_zero() && candidate.lt(&n.m) {
+            return candidate;
+        }
+        // K = HMAC(K, V || 0x00); V = HMAC(K, V) and retry.
+        let mut data = Vec::with_capacity(33);
+        data.extend_from_slice(&v);
+        data.push(0x00);
+        k = hmac_sha256(&k, &data);
+        v = hmac_sha256(&k, &v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256;
+
+    #[test]
+    fn nonce_is_deterministic() {
+        let sk = U256::from_u64(424242);
+        let d = sha256(b"message");
+        assert_eq!(deterministic_nonce(&sk, &d), deterministic_nonce(&sk, &d));
+    }
+
+    #[test]
+    fn nonce_differs_per_message_and_key() {
+        let sk = U256::from_u64(424242);
+        let d1 = sha256(b"m1");
+        let d2 = sha256(b"m2");
+        assert_ne!(deterministic_nonce(&sk, &d1), deterministic_nonce(&sk, &d2));
+        let sk2 = U256::from_u64(424243);
+        assert_ne!(deterministic_nonce(&sk, &d1), deterministic_nonce(&sk2, &d1));
+    }
+
+    #[test]
+    fn nonce_in_range() {
+        let n = fn_order();
+        for i in 1..20u64 {
+            let nonce = deterministic_nonce(&U256::from_u64(i), &sha256(&i.to_be_bytes()));
+            assert!(!nonce.is_zero());
+            assert!(nonce.lt(&n.m));
+        }
+    }
+
+    #[test]
+    fn digest_to_scalar_reduces() {
+        let max = Digest([0xff; 32]);
+        let s = digest_to_scalar(&max);
+        assert!(s.lt(&fn_order().m));
+    }
+}

@@ -1,0 +1,382 @@
+//! 256-bit unsigned integer arithmetic with modular operations for
+//! pseudo-Mersenne moduli (`m = 2^256 - c`), which covers both the
+//! secp256k1 base field prime and the group order.
+
+/// A 256-bit unsigned integer stored as four little-endian u64 limbs.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct U256(pub [u64; 4]);
+
+impl std::fmt::Debug for U256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "U256(0x{:016x}{:016x}{:016x}{:016x})",
+            self.0[3], self.0[2], self.0[1], self.0[0]
+        )
+    }
+}
+
+impl U256 {
+    pub const ZERO: U256 = U256([0, 0, 0, 0]);
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+
+    /// Construct from a small integer.
+    pub const fn from_u64(v: u64) -> Self {
+        U256([v, 0, 0, 0])
+    }
+
+    /// Parse from 32 big-endian bytes.
+    pub fn from_be_bytes(bytes: &[u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            limbs[3 - i] = u64::from_be_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap());
+        }
+        U256(limbs)
+    }
+
+    /// Serialize to 32 big-endian bytes.
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[i * 8..i * 8 + 8].copy_from_slice(&self.0[3 - i].to_be_bytes());
+        }
+        out
+    }
+
+    /// Parse from a big-endian hex string (up to 64 chars, no 0x prefix).
+    pub fn from_hex(hex: &str) -> Option<Self> {
+        if hex.is_empty() || hex.len() > 64 {
+            return None;
+        }
+        let padded = format!("{hex:0>64}");
+        let mut bytes = [0u8; 32];
+        for (i, chunk) in padded.as_bytes().chunks(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            bytes[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Self::from_be_bytes(&bytes))
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0, 0, 0, 0]
+    }
+
+    /// Test bit `i` (0 = least significant).
+    pub fn bit(&self, i: usize) -> bool {
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Index of the highest set bit, or None if zero.
+    pub fn highest_bit(&self) -> Option<usize> {
+        for limb in (0..4).rev() {
+            if self.0[limb] != 0 {
+                return Some(limb * 64 + 63 - self.0[limb].leading_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// `self < other`.
+    pub fn lt(&self, other: &U256) -> bool {
+        for i in (0..4).rev() {
+            if self.0[i] != other.0[i] {
+                return self.0[i] < other.0[i];
+            }
+        }
+        false
+    }
+
+    /// `self >= other`.
+    pub fn ge(&self, other: &U256) -> bool {
+        !self.lt(other)
+    }
+
+    /// Wrapping addition; returns (sum, carry).
+    #[allow(clippy::needless_range_loop)] // limb indices pair two arrays
+    pub fn adc(&self, other: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(other.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        (U256(out), carry != 0)
+    }
+
+    /// Wrapping subtraction; returns (difference, borrow).
+    #[allow(clippy::needless_range_loop)] // limb indices pair two arrays
+    pub fn sbb(&self, other: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = 0u64;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(other.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        (U256(out), borrow != 0)
+    }
+
+    /// Full 256x256 -> 512-bit schoolbook multiplication.
+    pub fn widening_mul(&self, other: &U256) -> U512 {
+        let mut out = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let acc = out[i + j] as u128 + (self.0[i] as u128) * (other.0[j] as u128) + carry;
+                out[i + j] = acc as u64;
+                carry = acc >> 64;
+            }
+            out[i + 4] = carry as u64;
+        }
+        U512(out)
+    }
+}
+
+/// A 512-bit unsigned integer (multiplication intermediate).
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct U512(pub [u64; 8]);
+
+impl U512 {
+    /// Split into (high 256 bits, low 256 bits).
+    pub fn split(&self) -> (U256, U256) {
+        (
+            U256([self.0[4], self.0[5], self.0[6], self.0[7]]),
+            U256([self.0[0], self.0[1], self.0[2], self.0[3]]),
+        )
+    }
+
+    pub fn is_high_zero(&self) -> bool {
+        self.0[4] == 0 && self.0[5] == 0 && self.0[6] == 0 && self.0[7] == 0
+    }
+
+    /// 512-bit addition of a 256-bit value (carry propagates through all
+    /// eight limbs; overflow beyond 512 bits cannot occur for our inputs).
+    #[allow(clippy::needless_range_loop)] // limb indices pair two arrays
+    pub fn add_u256(&self, other: &U256) -> U512 {
+        let mut out = self.0;
+        let mut carry = 0u64;
+        for i in 0..8 {
+            let o = if i < 4 { other.0[i] } else { 0 };
+            let (s1, c1) = out[i].overflowing_add(o);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        debug_assert_eq!(carry, 0, "U512 addition overflow");
+        U512(out)
+    }
+}
+
+/// A pseudo-Mersenne modulus `m = 2^256 - c` together with the reduction
+/// constant `c` (which must satisfy `c < 2^192` — true for both secp256k1
+/// moduli).
+#[derive(Clone, Copy, Debug)]
+pub struct Modulus {
+    pub m: U256,
+    /// `c = 2^256 - m = 2^256 mod m`.
+    pub c: U256,
+}
+
+impl Modulus {
+    /// Build a modulus, deriving `c = 2^256 - m` (wrapping negate).
+    pub fn new(m: U256) -> Self {
+        // 2^256 - m == (!m) + 1 in 256-bit wrapping arithmetic.
+        let (not_m_plus_1, _) = U256([!m.0[0], !m.0[1], !m.0[2], !m.0[3]]).adc(&U256::ONE);
+        Modulus { m, c: not_m_plus_1 }
+    }
+
+    /// Reduce an arbitrary 256-bit value mod m (m > 2^255, so at most one
+    /// subtraction is needed).
+    pub fn reduce(&self, x: U256) -> U256 {
+        if x.ge(&self.m) {
+            x.sbb(&self.m).0
+        } else {
+            x
+        }
+    }
+
+    /// Reduce a 512-bit value mod m using `2^256 ≡ c (mod m)`:
+    /// repeatedly fold the high half as `hi·c + lo` until the high half
+    /// vanishes, then conditionally subtract m.
+    pub fn reduce_wide(&self, x: U512) -> U256 {
+        let mut cur = x;
+        loop {
+            let (hi, lo) = cur.split();
+            if cur.is_high_zero() {
+                let mut r = lo;
+                while r.ge(&self.m) {
+                    r = r.sbb(&self.m).0;
+                }
+                return r;
+            }
+            cur = hi.widening_mul(&self.c).add_u256(&lo);
+        }
+    }
+
+    /// Modular addition.
+    pub fn add(&self, a: &U256, b: &U256) -> U256 {
+        let (sum, carry) = a.adc(b);
+        if carry {
+            // sum + 2^256 ≡ sum + c (mod m).
+            let (folded, carry2) = sum.adc(&self.c);
+            debug_assert!(!carry2);
+            self.reduce(folded)
+        } else {
+            self.reduce(sum)
+        }
+    }
+
+    /// Modular subtraction.
+    pub fn sub(&self, a: &U256, b: &U256) -> U256 {
+        let (diff, borrow) = a.sbb(b);
+        if borrow {
+            diff.adc(&self.m).0
+        } else {
+            diff
+        }
+    }
+
+    /// Modular multiplication.
+    pub fn mul(&self, a: &U256, b: &U256) -> U256 {
+        self.reduce_wide(a.widening_mul(b))
+    }
+
+    /// Modular squaring.
+    pub fn sq(&self, a: &U256) -> U256 {
+        self.mul(a, a)
+    }
+
+    /// Modular exponentiation (square-and-multiply, MSB first).
+    pub fn pow(&self, base: &U256, exp: &U256) -> U256 {
+        let mut result = U256::ONE;
+        let Some(top) = exp.highest_bit() else {
+            return result;
+        };
+        for i in (0..=top).rev() {
+            result = self.sq(&result);
+            if exp.bit(i) {
+                result = self.mul(&result, base);
+            }
+        }
+        result
+    }
+
+    /// Modular inverse via Fermat's little theorem (`a^(m-2) mod m`);
+    /// valid because both secp256k1 moduli are prime. Returns None for zero.
+    pub fn inv(&self, a: &U256) -> Option<U256> {
+        if a.is_zero() {
+            return None;
+        }
+        let two = U256::from_u64(2);
+        let (m_minus_2, borrow) = self.m.sbb(&two);
+        debug_assert!(!borrow);
+        Some(self.pow(a, &m_minus_2))
+    }
+
+    /// Modular negation.
+    pub fn neg(&self, a: &U256) -> U256 {
+        if a.is_zero() {
+            U256::ZERO
+        } else {
+            self.m.sbb(a).0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> Modulus {
+        Modulus::new(
+            U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+                .unwrap(),
+        )
+    }
+
+    fn n() -> Modulus {
+        Modulus::new(
+            U256::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141")
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn c_constant_for_p() {
+        // 2^256 - p = 2^32 + 977 = 0x1000003d1.
+        assert_eq!(p().c, U256::from_hex("1000003d1").unwrap());
+    }
+
+    #[test]
+    fn be_bytes_round_trip() {
+        let x = U256::from_hex("deadbeef00000000000000000000000000000000000000000000000000001234")
+            .unwrap();
+        assert_eq!(U256::from_be_bytes(&x.to_be_bytes()), x);
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let m = p();
+        let a = U256::from_hex("aa11bb22cc33dd44ee55ff6600112233445566778899aabbccddeeff00112233")
+            .unwrap();
+        let b = U256::from_hex("123456789abcdef0fedcba98765432100123456789abcdef013579bdf02468ac")
+            .unwrap();
+        let s = m.add(&a, &b);
+        assert_eq!(m.sub(&s, &b), m.reduce(a));
+        assert_eq!(m.sub(&s, &a), m.reduce(b));
+    }
+
+    #[test]
+    fn mul_matches_small_values() {
+        let m = n();
+        let a = U256::from_u64(123_456_789);
+        let b = U256::from_u64(987_654_321);
+        assert_eq!(m.mul(&a, &b), U256::from_u64(123_456_789 * 987_654_321));
+    }
+
+    #[test]
+    fn inverse_is_correct() {
+        for modulus in [p(), n()] {
+            let a = U256::from_hex(
+                "7f3c2a1b5d4e6f708192a3b4c5d6e7f8091a2b3c4d5e6f708192a3b4c5d6e7f8",
+            )
+            .unwrap();
+            let inv = modulus.inv(&a).unwrap();
+            assert_eq!(modulus.mul(&a, &inv), U256::ONE);
+        }
+    }
+
+    #[test]
+    fn inverse_of_zero_is_none() {
+        assert!(p().inv(&U256::ZERO).is_none());
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        let m = p();
+        let three = U256::from_u64(3);
+        assert_eq!(m.pow(&three, &U256::ZERO), U256::ONE);
+        assert_eq!(m.pow(&three, &U256::from_u64(5)), U256::from_u64(243));
+    }
+
+    #[test]
+    fn neg_round_trip() {
+        let m = n();
+        let a = U256::from_u64(42);
+        assert_eq!(m.add(&a, &m.neg(&a)), U256::ZERO);
+        assert_eq!(m.neg(&U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    fn reduce_wide_of_max_product() {
+        // (m-1)^2 mod m == 1.
+        for modulus in [p(), n()] {
+            let m_minus_1 = modulus.m.sbb(&U256::ONE).0;
+            assert_eq!(modulus.mul(&m_minus_1, &m_minus_1), U256::ONE);
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! A small, explicit binary wire format.
+//!
+//! Proof objects and ledger snapshots must cross trust boundaries (ledger
+//! server → distrusting client; process → disk), so every transportable
+//! type implements [`Wire`]: length-prefixed, fixed-endianness, no
+//! self-describing overhead, and *total* decoding — malformed input
+//! returns [`WireError`], never panics.
+
+use crate::digest::Digest;
+use crate::ecdsa::Signature;
+use crate::keys::PublicKey;
+use std::fmt;
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    UnexpectedEnd,
+    /// A length prefix exceeded the remaining input (or a sanity bound).
+    BadLength(u64),
+    /// An enum tag byte was out of range.
+    BadTag(u8),
+    /// A fixed-size value failed validation (e.g. off-curve public key).
+    Invalid(&'static str),
+    /// Trailing bytes remained after a complete top-level decode.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEnd => write!(f, "input ended unexpectedly"),
+            WireError::BadLength(n) => write!(f, "implausible length prefix {n}"),
+            WireError::BadTag(t) => write!(f, "unknown tag byte {t}"),
+            WireError::Invalid(what) => write!(f, "invalid value: {what}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// An append-only byte sink.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// A bounds-checked cursor over encoded bytes.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fail unless the whole input was consumed.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.remaining()))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEnd);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("fixed width")))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("fixed width")))
+    }
+
+    pub fn get_bool(&mut self) -> Result<bool, WireError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    /// Read a length-prefixed byte string; the prefix is validated against
+    /// the remaining input before allocating.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.get_u64()?;
+        if len > self.remaining() as u64 {
+            return Err(WireError::BadLength(len));
+        }
+        Ok(self.take(len as usize)?.to_vec())
+    }
+
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// Read a length prefix for a sequence, bounded by a per-element
+    /// minimum size so hostile prefixes cannot trigger huge allocations.
+    pub fn get_seq_len(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let len = self.get_u64()?;
+        let bound = (self.remaining() / min_elem_bytes.max(1)) as u64 + 1;
+        if len > bound {
+            return Err(WireError::BadLength(len));
+        }
+        Ok(len as usize)
+    }
+}
+
+/// Types with a canonical binary encoding.
+pub trait Wire: Sized {
+    fn encode(&self, w: &mut Writer);
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+
+    /// Encode into a fresh byte vector.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decode from a complete byte slice (rejects trailing bytes).
+    fn from_wire(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let out = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(out)
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(*self);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.get_u64()
+    }
+}
+
+impl Wire for Digest {
+    fn encode(&self, w: &mut Writer) {
+        w.put_raw(&self.0);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Digest(r.get_raw(32)?.try_into().expect("fixed width")))
+    }
+}
+
+impl Wire for Signature {
+    fn encode(&self, w: &mut Writer) {
+        w.put_raw(&self.to_bytes());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let bytes: [u8; 64] = r.get_raw(64)?.try_into().expect("fixed width");
+        Signature::from_bytes(&bytes).ok_or(WireError::Invalid("signature out of range"))
+    }
+}
+
+impl Wire for PublicKey {
+    fn encode(&self, w: &mut Writer) {
+        w.put_raw(&self.to_bytes());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let bytes: [u8; 64] = r.get_raw(64)?.try_into().expect("fixed width");
+        PublicKey::from_bytes(&bytes).ok_or(WireError::Invalid("public key off curve"))
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(self.as_bytes());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        String::from_utf8(r.get_bytes()?).map_err(|_| WireError::Invalid("non-UTF-8 string"))
+    }
+}
+
+impl Wire for Vec<u8> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(self);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.get_bytes()
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.len() as u64);
+        for item in self {
+            item.encode(w);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.get_seq_len(1)?;
+        let mut out = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for crate::multisig::MultiSignature {
+    fn encode(&self, w: &mut Writer) {
+        let entries: Vec<(PublicKey, Signature)> =
+            self.signers().copied().zip(self.signatures().copied()).collect();
+        w.put_u64(entries.len() as u64);
+        for (pk, sig) in entries {
+            pk.encode(w);
+            sig.encode(w);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.get_seq_len(128)?;
+        let mut ms = crate::multisig::MultiSignature::new();
+        for _ in 0..len {
+            let pk = PublicKey::decode(r)?;
+            let sig = Signature::decode(r)?;
+            ms.add_raw(pk, sig);
+        }
+        Ok(ms)
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyPair;
+    use crate::sha256;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xdead_beef);
+        w.put_u64(42);
+        w.put_bool(true);
+        w.put_bytes(b"hello");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64().unwrap(), 42);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_bytes().unwrap(), b"hello");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn digest_and_signature_round_trip() {
+        let d = sha256(b"x");
+        assert_eq!(Digest::from_wire(&d.to_wire()).unwrap(), d);
+        let kp = KeyPair::from_seed(b"wire");
+        let sig = kp.sign(&d);
+        assert_eq!(Signature::from_wire(&sig.to_wire()).unwrap(), sig);
+        assert_eq!(PublicKey::from_wire(&kp.public().to_wire()).unwrap(), *kp.public());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(Vec::<u64>::from_wire(&v.to_wire()).unwrap(), v);
+        let o: Option<String> = Some("clue".into());
+        assert_eq!(Option::<String>::from_wire(&o.to_wire()).unwrap(), o);
+        let n: Option<String> = None;
+        assert_eq!(Option::<String>::from_wire(&n.to_wire()).unwrap(), n);
+        let pair: (u64, Vec<u8>) = (9, b"p".to_vec());
+        assert_eq!(<(u64, Vec<u8>)>::from_wire(&pair.to_wire()).unwrap(), pair);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let d = sha256(b"x");
+        let bytes = d.to_wire();
+        assert_eq!(Digest::from_wire(&bytes[..31]), Err(WireError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 7u64.to_wire();
+        bytes.push(0);
+        assert_eq!(u64::from_wire(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        // A sequence claiming u64::MAX elements must fail fast, not OOM.
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        assert!(matches!(Vec::<u64>::from_wire(&bytes), Err(WireError::BadLength(_))));
+    }
+
+    #[test]
+    fn invalid_signature_rejected() {
+        let zeros = [0u8; 64];
+        assert!(Signature::from_wire(&zeros).is_err());
+    }
+
+    #[test]
+    fn off_curve_key_rejected() {
+        let junk = [3u8; 64];
+        assert!(matches!(PublicKey::from_wire(&junk), Err(WireError::Invalid(_))));
+    }
+}

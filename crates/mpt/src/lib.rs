@@ -1,0 +1,53 @@
+//! A Merkle Patricia Trie (MPT) with 16-way branching.
+//!
+//! This is the substrate for the CM-Tree's top layer (`CM-Tree1`, §IV-B)
+//! and for the ccMPT baseline: keys are 32-byte digests (the clue string
+//! scattered through SHA-3), split into 64 hex nibbles; values are opaque
+//! byte strings (for CM-Tree1, the serialized CM-Tree2 frontier).
+//!
+//! Node kinds follow the Ethereum MPT design the paper cites:
+//!
+//! * **Branch** — 16 child slots plus an optional value.
+//! * **Extension** — a shared nibble run followed by one child.
+//! * **Leaf** — a terminal nibble run ("long-tail leaf node for residual"
+//!   in the paper's Fig 6 walk-through) plus the value.
+//!
+//! Every node hashes to a digest; the root digest is the verifiable
+//! snapshot recorded per block. Inclusion proofs carry the node list along
+//! the key path; verification re-hashes each node bottom-up and re-walks
+//! the nibbles.
+
+pub mod nibble;
+pub mod node;
+pub mod proof;
+pub mod trie;
+pub mod wire;
+
+pub use node::Node;
+pub use proof::{verify_proof, MptProof};
+pub use trie::Mpt;
+
+use std::fmt;
+
+/// Errors surfaced by trie operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MptError {
+    /// The proof failed to reproduce the trusted root.
+    ProofMismatch,
+    /// The proof was structurally malformed.
+    MalformedProof(&'static str),
+    /// Key absent where presence was required.
+    KeyNotFound,
+}
+
+impl fmt::Display for MptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MptError::ProofMismatch => write!(f, "MPT proof does not match trusted root"),
+            MptError::MalformedProof(w) => write!(f, "malformed MPT proof: {w}"),
+            MptError::KeyNotFound => write!(f, "key not found in trie"),
+        }
+    }
+}
+
+impl std::error::Error for MptError {}

@@ -1,0 +1,55 @@
+//! Nibble-path utilities: keys split into 4-bit digits for 16-way descent.
+
+/// Expand a byte key into its nibble sequence (high nibble first).
+pub fn to_nibbles(key: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(key.len() * 2);
+    for &b in key {
+        out.push(b >> 4);
+        out.push(b & 0x0f);
+    }
+    out
+}
+
+/// Pack a nibble slice back into bytes (must have even length).
+pub fn from_nibbles(nibbles: &[u8]) -> Option<Vec<u8>> {
+    if !nibbles.len().is_multiple_of(2) {
+        return None;
+    }
+    Some(
+        nibbles
+            .chunks(2)
+            .map(|pair| (pair[0] << 4) | (pair[1] & 0x0f))
+            .collect(),
+    )
+}
+
+/// Length of the longest common prefix of two nibble slices.
+pub fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let key = [0xde, 0xad, 0xbe, 0xef];
+        let nibs = to_nibbles(&key);
+        assert_eq!(nibs, vec![0xd, 0xe, 0xa, 0xd, 0xb, 0xe, 0xe, 0xf]);
+        assert_eq!(from_nibbles(&nibs).unwrap(), key.to_vec());
+    }
+
+    #[test]
+    fn odd_length_rejected() {
+        assert!(from_nibbles(&[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn common_prefix() {
+        assert_eq!(common_prefix_len(&[1, 2, 3], &[1, 2, 4]), 2);
+        assert_eq!(common_prefix_len(&[1], &[2]), 0);
+        assert_eq!(common_prefix_len(&[5, 6], &[5, 6]), 2);
+        assert_eq!(common_prefix_len(&[], &[1]), 0);
+    }
+}

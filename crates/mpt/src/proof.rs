@@ -1,0 +1,125 @@
+//! MPT inclusion proofs and their verification.
+
+use crate::nibble::to_nibbles;
+use crate::node::ProofNode;
+use crate::MptError;
+use ledgerdb_crypto::digest::Digest;
+
+/// An inclusion proof: the node list along the key path, root first.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MptProof {
+    pub key: Vec<u8>,
+    pub value: Vec<u8>,
+    pub nodes: Vec<ProofNode>,
+}
+
+impl MptProof {
+    /// Number of nodes carried — the CM-Tree1 leg of the clue proof cost.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Verify an inclusion proof against a trusted root digest.
+///
+/// Walks the proof nodes top-down, checking at each step that (a) the
+/// node's hash matches the digest its parent committed to and (b) the key
+/// nibbles route through the node toward the claimed value.
+pub fn verify_proof(root: &Digest, proof: &MptProof) -> Result<(), MptError> {
+    if proof.nodes.is_empty() {
+        return Err(MptError::MalformedProof("empty node list"));
+    }
+    let nibbles = to_nibbles(&proof.key);
+    let mut path: &[u8] = &nibbles;
+    let mut expected = *root;
+    let mut nodes = proof.nodes.iter().peekable();
+    while let Some(node) = nodes.next() {
+        if node.hash() != expected {
+            return Err(MptError::ProofMismatch);
+        }
+        match node {
+            ProofNode::Leaf { suffix, value } => {
+                if suffix.as_slice() != path {
+                    return Err(MptError::MalformedProof("leaf suffix mismatch"));
+                }
+                if value != &proof.value {
+                    return Err(MptError::MalformedProof("leaf value mismatch"));
+                }
+                if nodes.peek().is_some() {
+                    return Err(MptError::MalformedProof("trailing nodes after leaf"));
+                }
+                return Ok(());
+            }
+            ProofNode::Extension { prefix, child_hash } => {
+                if path.len() < prefix.len() || &path[..prefix.len()] != prefix.as_slice() {
+                    return Err(MptError::MalformedProof("extension prefix mismatch"));
+                }
+                path = &path[prefix.len()..];
+                expected = *child_hash;
+            }
+            ProofNode::Branch { child_hashes, value } => {
+                if path.is_empty() {
+                    match value {
+                        Some(v) if v == &proof.value => {
+                            if nodes.peek().is_some() {
+                                return Err(MptError::MalformedProof(
+                                    "trailing nodes after terminal branch",
+                                ));
+                            }
+                            return Ok(());
+                        }
+                        _ => return Err(MptError::MalformedProof("branch value mismatch")),
+                    }
+                }
+                let idx = path[0] as usize;
+                let Some(child) = child_hashes[idx] else {
+                    return Err(MptError::MalformedProof("missing branch child on path"));
+                };
+                expected = child;
+                path = &path[1..];
+            }
+        }
+    }
+    Err(MptError::MalformedProof("proof ended before value"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trie::Mpt;
+
+    #[test]
+    fn empty_proof_rejected() {
+        let proof = MptProof { key: b"k".to_vec(), value: b"v".to_vec(), nodes: vec![] };
+        assert!(verify_proof(&Digest::ZERO, &proof).is_err());
+    }
+
+    #[test]
+    fn truncated_proof_rejected() {
+        let mut t = Mpt::new();
+        for i in 0..32u64 {
+            t.insert(&ledgerdb_crypto::sha3_256(&i.to_be_bytes()).0, vec![i as u8]);
+        }
+        let key = ledgerdb_crypto::sha3_256(&3u64.to_be_bytes());
+        let root = t.root_hash();
+        let mut proof = t.prove(&key.0).unwrap();
+        assert!(proof.nodes.len() > 1);
+        proof.nodes.pop();
+        assert!(verify_proof(&root, &proof).is_err());
+    }
+
+    #[test]
+    fn swapped_key_rejected() {
+        let mut t = Mpt::new();
+        t.insert(b"alpha", b"1".to_vec());
+        t.insert(b"beta", b"2".to_vec());
+        let root = t.root_hash();
+        let mut proof = t.prove(b"alpha").unwrap();
+        proof.key = b"beta".to_vec();
+        assert!(verify_proof(&root, &proof).is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Wire encodings for MPT proofs.
+
+use crate::node::ProofNode;
+use crate::proof::MptProof;
+use ledgerdb_crypto::digest::Digest;
+use ledgerdb_crypto::wire::{Reader, Wire, WireError, Writer};
+
+impl Wire for ProofNode {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ProofNode::Branch { child_hashes, value } => {
+                w.put_u8(0);
+                for child in child_hashes.iter() {
+                    child.encode(w);
+                }
+                value.encode(w);
+            }
+            ProofNode::Extension { prefix, child_hash } => {
+                w.put_u8(1);
+                w.put_bytes(prefix);
+                child_hash.encode(w);
+            }
+            ProofNode::Leaf { suffix, value } => {
+                w.put_u8(2);
+                w.put_bytes(suffix);
+                w.put_bytes(value);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => {
+                let mut child_hashes: Box<[Option<Digest>; 16]> =
+                    Box::new(std::array::from_fn(|_| None));
+                for slot in child_hashes.iter_mut() {
+                    *slot = Option::decode(r)?;
+                }
+                Ok(ProofNode::Branch { child_hashes, value: Option::decode(r)? })
+            }
+            1 => Ok(ProofNode::Extension {
+                prefix: r.get_bytes()?,
+                child_hash: Digest::decode(r)?,
+            }),
+            2 => Ok(ProofNode::Leaf { suffix: r.get_bytes()?, value: r.get_bytes()? }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for MptProof {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(&self.key);
+        w.put_bytes(&self.value);
+        self.nodes.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(MptProof { key: r.get_bytes()?, value: r.get_bytes()?, nodes: Vec::decode(r)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proof::verify_proof;
+    use crate::trie::Mpt;
+    use ledgerdb_crypto::sha3_256;
+
+    fn sample() -> (Mpt, Vec<Digest>) {
+        let mut t = Mpt::new();
+        let keys: Vec<Digest> = (0..40u64).map(|i| sha3_256(&i.to_be_bytes())).collect();
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(k.as_bytes(), format!("v{i}").into_bytes());
+        }
+        (t, keys)
+    }
+
+    #[test]
+    fn proof_round_trip_verifies() {
+        let (t, keys) = sample();
+        let root = t.root_hash();
+        for k in keys.iter().take(5) {
+            let proof = t.prove(k.as_bytes()).unwrap();
+            let decoded = MptProof::from_wire(&proof.to_wire()).unwrap();
+            assert_eq!(decoded, proof);
+            verify_proof(&root, &decoded).unwrap();
+        }
+    }
+
+    #[test]
+    fn node_kinds_round_trip() {
+        let leaf = ProofNode::Leaf { suffix: vec![1, 2], value: b"v".to_vec() };
+        assert_eq!(ProofNode::from_wire(&leaf.to_wire()).unwrap(), leaf);
+        let ext = ProofNode::Extension {
+            prefix: vec![3],
+            child_hash: ledgerdb_crypto::sha256(b"c"),
+        };
+        assert_eq!(ProofNode::from_wire(&ext.to_wire()).unwrap(), ext);
+        let mut child_hashes: Box<[Option<Digest>; 16]> = Box::new(std::array::from_fn(|_| None));
+        child_hashes[5] = Some(ledgerdb_crypto::sha256(b"x"));
+        let branch = ProofNode::Branch { child_hashes, value: Some(b"bv".to_vec()) };
+        assert_eq!(ProofNode::from_wire(&branch.to_wire()).unwrap(), branch);
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut bytes = ProofNode::Leaf { suffix: vec![], value: vec![] }.to_wire();
+        bytes[0] = 9;
+        assert_eq!(ProofNode::from_wire(&bytes), Err(WireError::BadTag(9)));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let (t, keys) = sample();
+        let bytes = t.prove(keys[0].as_bytes()).unwrap().to_wire();
+        assert!(MptProof::from_wire(&bytes[..bytes.len() - 3]).is_err());
+    }
+}

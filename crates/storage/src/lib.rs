@@ -1,0 +1,58 @@
+//! Storage substrate: the journal stream store and mutation indexes.
+//!
+//! LedgerDB "implements a stream file system … to manage journals"
+//! (§II-C). This crate provides:
+//!
+//! * [`stream`] — an append-only payload stream with in-memory and
+//!   file-backed implementations behind one trait; journal payloads live
+//!   here while the ledger server keeps only digests.
+//! * [`occult_index`] — the occult bitmap index (§III-A3): journals are
+//!   first *marked* occulted (retrieval blocked immediately), with the
+//!   physical erase deferred to the reorganization utility in the
+//!   asynchronous variant.
+//! * [`survival`] — the survival stream (§III-A2): milestone journals the
+//!   user pins so they outlive a purge.
+
+pub mod occult_index;
+pub mod stream;
+pub mod survival;
+
+pub use occult_index::OccultIndex;
+pub use stream::{FileStreamStore, MemoryStreamStore, StreamStore};
+pub use survival::SurvivalStream;
+
+use std::fmt;
+
+/// Errors surfaced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// A slot was out of range for the stream.
+    OutOfRange { index: u64, len: u64 },
+    /// The payload was erased (purged or occulted).
+    Erased(u64),
+    /// An underlying I/O failure (file-backed store).
+    Io(std::io::Error),
+    /// On-disk data failed integrity validation.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::OutOfRange { index, len } => {
+                write!(f, "stream index {index} out of range (len {len})")
+            }
+            StorageError::Erased(i) => write!(f, "payload {i} has been erased"),
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::Corrupt(w) => write!(f, "corrupt stream data: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}

@@ -1,0 +1,144 @@
+//! The occult bitmap index (§III-A3).
+//!
+//! Occulting a journal first sets its bit here — from that moment the
+//! journal "is marked as deleted and can not be retrieved anymore" — while
+//! the physical payload erase can be synchronous or deferred to the data
+//! reorganization utility, which scans from the *occulted anchor* during
+//! idle batches.
+
+use parking_lot::RwLock;
+
+/// A growable bitmap over jsns with an erase anchor.
+#[derive(Default)]
+pub struct OccultIndex {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    bits: Vec<u64>,
+    /// Every jsn below this has already been physically reorganized.
+    erase_anchor: u64,
+    /// Count of set bits.
+    marked: u64,
+}
+
+impl OccultIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mark `jsn` occulted. Returns true when newly marked.
+    pub fn mark(&self, jsn: u64) -> bool {
+        let mut inner = self.inner.write();
+        let word = (jsn / 64) as usize;
+        let bit = jsn % 64;
+        if inner.bits.len() <= word {
+            inner.bits.resize(word + 1, 0);
+        }
+        let newly = inner.bits[word] & (1 << bit) == 0;
+        inner.bits[word] |= 1 << bit;
+        if newly {
+            inner.marked += 1;
+        }
+        newly
+    }
+
+    /// Is `jsn` occulted?
+    pub fn is_marked(&self, jsn: u64) -> bool {
+        let inner = self.inner.read();
+        let word = (jsn / 64) as usize;
+        inner
+            .bits
+            .get(word)
+            .map(|w| w & (1 << (jsn % 64)) != 0)
+            .unwrap_or(false)
+    }
+
+    /// Number of occulted journals.
+    pub fn marked_count(&self) -> u64 {
+        self.inner.read().marked
+    }
+
+    /// The occulted anchor: jsns below it are already physically erased.
+    pub fn erase_anchor(&self) -> u64 {
+        self.inner.read().erase_anchor
+    }
+
+    /// Reorganization pass: returns the marked jsns in `[anchor, upto)`
+    /// whose payloads should now be erased, and advances the anchor.
+    /// Mirrors the paper's "data erasing performed by data reorganization
+    /// utility during system idle batch from the occulted anchor".
+    pub fn reorganize(&self, upto: u64) -> Vec<u64> {
+        let mut inner = self.inner.write();
+        let from = inner.erase_anchor;
+        let mut out = Vec::new();
+        for jsn in from..upto {
+            let word = (jsn / 64) as usize;
+            if inner
+                .bits
+                .get(word)
+                .map(|w| w & (1 << (jsn % 64)) != 0)
+                .unwrap_or(false)
+            {
+                out.push(jsn);
+            }
+        }
+        if upto > inner.erase_anchor {
+            inner.erase_anchor = upto;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_and_query() {
+        let idx = OccultIndex::new();
+        assert!(!idx.is_marked(5));
+        assert!(idx.mark(5));
+        assert!(idx.is_marked(5));
+        assert!(!idx.mark(5)); // Idempotent.
+        assert_eq!(idx.marked_count(), 1);
+    }
+
+    #[test]
+    fn bitmap_growth_across_words() {
+        let idx = OccultIndex::new();
+        for jsn in [0u64, 63, 64, 127, 128, 1000] {
+            idx.mark(jsn);
+        }
+        for jsn in [0u64, 63, 64, 127, 128, 1000] {
+            assert!(idx.is_marked(jsn), "{jsn}");
+        }
+        assert!(!idx.is_marked(65));
+        assert_eq!(idx.marked_count(), 6);
+    }
+
+    #[test]
+    fn reorganize_advances_anchor() {
+        let idx = OccultIndex::new();
+        idx.mark(3);
+        idx.mark(10);
+        idx.mark(20);
+        let first = idx.reorganize(15);
+        assert_eq!(first, vec![3, 10]);
+        assert_eq!(idx.erase_anchor(), 15);
+        // Second pass only sees the remainder.
+        let second = idx.reorganize(30);
+        assert_eq!(second, vec![20]);
+        assert_eq!(idx.erase_anchor(), 30);
+    }
+
+    #[test]
+    fn reorganize_never_regresses() {
+        let idx = OccultIndex::new();
+        idx.mark(1);
+        idx.reorganize(10);
+        assert!(idx.reorganize(5).is_empty());
+        assert_eq!(idx.erase_anchor(), 10);
+    }
+}

@@ -1,0 +1,355 @@
+//! Append-only payload streams.
+//!
+//! The ledger proxy ships transaction payloads to shared storage and only
+//! the payload digest travels to the ledger server (Fig 1). A
+//! [`StreamStore`] is that shared storage: slots are addressed by the jsn
+//! they belong to, appends are strictly sequential, and erasure (for purge
+//! and occult) tombstones a slot without renumbering.
+
+use crate::StorageError;
+use ledgerdb_crypto::{sha256, Digest};
+use parking_lot::RwLock;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// The stream-store interface shared by memory and file backends.
+pub trait StreamStore: Send + Sync {
+    /// Append a payload; returns its slot index.
+    fn append(&self, payload: &[u8]) -> Result<u64, StorageError>;
+
+    /// Append an already-erased slot carrying only a digest tombstone —
+    /// used when restoring a snapshot whose payload was purged/occulted.
+    fn append_erased(&self, digest: Digest) -> Result<u64, StorageError>;
+
+    /// Read the payload at `index` (fails if erased).
+    fn read(&self, index: u64) -> Result<Vec<u8>, StorageError>;
+
+    /// Digest of the payload at `index` (retained even after erasure, as
+    /// Protocol 2 requires for occulted journals).
+    fn digest(&self, index: u64) -> Result<Digest, StorageError>;
+
+    /// Physically erase the payload, keeping the digest tombstone.
+    fn erase(&self, index: u64) -> Result<(), StorageError>;
+
+    /// Number of slots (erased slots included).
+    fn len(&self) -> u64;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the slot's payload has been erased.
+    fn is_erased(&self, index: u64) -> Result<bool, StorageError>;
+}
+
+enum Slot {
+    Live { payload: Vec<u8>, digest: Digest },
+    Erased { digest: Digest },
+}
+
+/// An in-memory stream store (the default for tests and benches).
+#[derive(Default)]
+pub struct MemoryStreamStore {
+    slots: RwLock<Vec<Slot>>,
+}
+
+impl MemoryStreamStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total live payload bytes — the storage-overhead metric purge
+    /// experiments report.
+    pub fn live_bytes(&self) -> u64 {
+        self.slots
+            .read()
+            .iter()
+            .map(|s| match s {
+                Slot::Live { payload, .. } => payload.len() as u64,
+                Slot::Erased { .. } => 0,
+            })
+            .sum()
+    }
+}
+
+impl StreamStore for MemoryStreamStore {
+    fn append(&self, payload: &[u8]) -> Result<u64, StorageError> {
+        let mut slots = self.slots.write();
+        let index = slots.len() as u64;
+        slots.push(Slot::Live { payload: payload.to_vec(), digest: sha256(payload) });
+        Ok(index)
+    }
+
+    fn append_erased(&self, digest: Digest) -> Result<u64, StorageError> {
+        let mut slots = self.slots.write();
+        let index = slots.len() as u64;
+        slots.push(Slot::Erased { digest });
+        Ok(index)
+    }
+
+    fn read(&self, index: u64) -> Result<Vec<u8>, StorageError> {
+        let slots = self.slots.read();
+        match slots.get(index as usize) {
+            Some(Slot::Live { payload, .. }) => Ok(payload.clone()),
+            Some(Slot::Erased { .. }) => Err(StorageError::Erased(index)),
+            None => Err(StorageError::OutOfRange { index, len: slots.len() as u64 }),
+        }
+    }
+
+    fn digest(&self, index: u64) -> Result<Digest, StorageError> {
+        let slots = self.slots.read();
+        match slots.get(index as usize) {
+            Some(Slot::Live { digest, .. }) | Some(Slot::Erased { digest }) => Ok(*digest),
+            None => Err(StorageError::OutOfRange { index, len: slots.len() as u64 }),
+        }
+    }
+
+    fn erase(&self, index: u64) -> Result<(), StorageError> {
+        let mut slots = self.slots.write();
+        let len = slots.len() as u64;
+        match slots.get_mut(index as usize) {
+            Some(slot @ Slot::Live { .. }) => {
+                let digest = match slot {
+                    Slot::Live { digest, .. } => *digest,
+                    Slot::Erased { .. } => unreachable!(),
+                };
+                *slot = Slot::Erased { digest };
+                Ok(())
+            }
+            Some(Slot::Erased { .. }) => Ok(()), // Idempotent.
+            None => Err(StorageError::OutOfRange { index, len }),
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.slots.read().len() as u64
+    }
+
+    fn is_erased(&self, index: u64) -> Result<bool, StorageError> {
+        let slots = self.slots.read();
+        match slots.get(index as usize) {
+            Some(Slot::Live { .. }) => Ok(false),
+            Some(Slot::Erased { .. }) => Ok(true),
+            None => Err(StorageError::OutOfRange { index, len: slots.len() as u64 }),
+        }
+    }
+}
+
+/// Record header on disk: digest (32) + erased flag (1) + length (8).
+const REC_HEADER: usize = 41;
+
+/// A file-backed stream store: one data file, an in-memory offset index.
+///
+/// Layout per record: `digest || erased || len || payload-or-zeros`.
+/// Erase zeroes the payload region and flips the flag, keeping the digest
+/// tombstone addressable.
+pub struct FileStreamStore {
+    file: RwLock<File>,
+    /// Byte offset of each record.
+    offsets: RwLock<Vec<u64>>,
+}
+
+impl FileStreamStore {
+    /// Create (or truncate) a store at `path`.
+    pub fn create(path: &Path) -> Result<Self, StorageError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileStreamStore { file: RwLock::new(file), offsets: RwLock::new(Vec::new()) })
+    }
+
+    /// Reopen an existing store, rebuilding the offset index by scanning.
+    pub fn open(path: &Path) -> Result<Self, StorageError> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut offsets = Vec::new();
+        let end = file.seek(SeekFrom::End(0))?;
+        let mut pos = 0u64;
+        let mut header = [0u8; REC_HEADER];
+        while pos < end {
+            file.seek(SeekFrom::Start(pos))?;
+            file.read_exact(&mut header)
+                .map_err(|_| StorageError::Corrupt("truncated record header"))?;
+            let len = u64::from_be_bytes(header[33..41].try_into().expect("fixed width"));
+            offsets.push(pos);
+            pos += REC_HEADER as u64 + len;
+        }
+        if pos != end {
+            return Err(StorageError::Corrupt("trailing bytes after last record"));
+        }
+        Ok(FileStreamStore { file: RwLock::new(file), offsets: RwLock::new(offsets) })
+    }
+
+    fn read_record(&self, index: u64) -> Result<(Digest, bool, Vec<u8>), StorageError> {
+        let offsets = self.offsets.read();
+        let &off = offsets
+            .get(index as usize)
+            .ok_or(StorageError::OutOfRange { index, len: offsets.len() as u64 })?;
+        let mut file = self.file.write();
+        file.seek(SeekFrom::Start(off))?;
+        let mut header = [0u8; REC_HEADER];
+        file.read_exact(&mut header)?;
+        let digest = Digest(header[..32].try_into().expect("fixed width"));
+        let erased = header[32] != 0;
+        let len = u64::from_be_bytes(header[33..41].try_into().expect("fixed width"));
+        let mut payload = vec![0u8; len as usize];
+        file.read_exact(&mut payload)?;
+        Ok((digest, erased, payload))
+    }
+}
+
+impl StreamStore for FileStreamStore {
+    fn append(&self, payload: &[u8]) -> Result<u64, StorageError> {
+        let digest = sha256(payload);
+        let mut file = self.file.write();
+        let off = file.seek(SeekFrom::End(0))?;
+        {
+            let mut w = BufWriter::new(&mut *file);
+            w.write_all(&digest.0)?;
+            w.write_all(&[0u8])?;
+            w.write_all(&(payload.len() as u64).to_be_bytes())?;
+            w.write_all(payload)?;
+            w.flush()?;
+        }
+        let mut offsets = self.offsets.write();
+        offsets.push(off);
+        Ok(offsets.len() as u64 - 1)
+    }
+
+    fn append_erased(&self, digest: Digest) -> Result<u64, StorageError> {
+        let mut file = self.file.write();
+        let off = file.seek(SeekFrom::End(0))?;
+        {
+            let mut w = BufWriter::new(&mut *file);
+            w.write_all(&digest.0)?;
+            w.write_all(&[1u8])?;
+            w.write_all(&0u64.to_be_bytes())?;
+            w.flush()?;
+        }
+        let mut offsets = self.offsets.write();
+        offsets.push(off);
+        Ok(offsets.len() as u64 - 1)
+    }
+
+    fn read(&self, index: u64) -> Result<Vec<u8>, StorageError> {
+        let (_, erased, payload) = self.read_record(index)?;
+        if erased {
+            return Err(StorageError::Erased(index));
+        }
+        Ok(payload)
+    }
+
+    fn digest(&self, index: u64) -> Result<Digest, StorageError> {
+        let (digest, _, _) = self.read_record(index)?;
+        Ok(digest)
+    }
+
+    fn erase(&self, index: u64) -> Result<(), StorageError> {
+        let offsets = self.offsets.read();
+        let &off = offsets
+            .get(index as usize)
+            .ok_or(StorageError::OutOfRange { index, len: offsets.len() as u64 })?;
+        drop(offsets);
+        let mut file = self.file.write();
+        // Flip the erased flag.
+        file.seek(SeekFrom::Start(off + 32))?;
+        file.write_all(&[1u8])?;
+        // Zero the payload region.
+        file.seek(SeekFrom::Start(off + 33))?;
+        let mut len_bytes = [0u8; 8];
+        file.read_exact(&mut len_bytes)?;
+        let len = u64::from_be_bytes(len_bytes);
+        file.seek(SeekFrom::Start(off + REC_HEADER as u64))?;
+        let zeros = vec![0u8; len as usize];
+        file.write_all(&zeros)?;
+        file.flush()?;
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.offsets.read().len() as u64
+    }
+
+    fn is_erased(&self, index: u64) -> Result<bool, StorageError> {
+        let (_, erased, _) = self.read_record(index)?;
+        Ok(erased)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn StreamStore) {
+        let a = store.append(b"payload-a").unwrap();
+        let b = store.append(b"payload-b").unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(store.read(0).unwrap(), b"payload-a");
+        assert_eq!(store.read(1).unwrap(), b"payload-b");
+        assert_eq!(store.digest(0).unwrap(), sha256(b"payload-a"));
+        assert_eq!(store.len(), 2);
+        assert!(!store.is_erased(0).unwrap());
+
+        store.erase(0).unwrap();
+        assert!(store.is_erased(0).unwrap());
+        assert!(matches!(store.read(0), Err(StorageError::Erased(0))));
+        // Digest tombstone survives erasure (Protocol 2's requirement).
+        assert_eq!(store.digest(0).unwrap(), sha256(b"payload-a"));
+        // Erase is idempotent.
+        store.erase(0).unwrap();
+
+        assert!(matches!(store.read(9), Err(StorageError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn memory_store() {
+        let store = MemoryStreamStore::new();
+        exercise(&store);
+        assert_eq!(store.live_bytes(), "payload-b".len() as u64);
+    }
+
+    #[test]
+    fn file_store() {
+        let dir = std::env::temp_dir().join(format!("ledgerdb-stream-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.dat");
+        {
+            let store = FileStreamStore::create(&path).unwrap();
+            exercise(&store);
+        }
+        // Reopen: index rebuilt by scan; erasure and digests persist.
+        let store = FileStreamStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        assert!(store.is_erased(0).unwrap());
+        assert_eq!(store.read(1).unwrap(), b"payload-b");
+        assert_eq!(store.digest(0).unwrap(), sha256(b"payload-a"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_store_detects_corruption() {
+        let dir = std::env::temp_dir().join(format!("ledgerdb-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.dat");
+        {
+            let store = FileStreamStore::create(&path).unwrap();
+            store.append(b"data").unwrap();
+        }
+        // Truncate mid-record.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(REC_HEADER as u64 + 1).unwrap();
+        drop(f);
+        assert!(matches!(FileStreamStore::open(&path), Err(StorageError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_payload_round_trip() {
+        let store = MemoryStreamStore::new();
+        let i = store.append(b"").unwrap();
+        assert_eq!(store.read(i).unwrap(), b"");
+    }
+}

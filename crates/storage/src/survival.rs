@@ -1,0 +1,111 @@
+//! The survival stream (§III-A2).
+//!
+//! Before a purge, users may pin milestone journals; their payloads are
+//! copied into this side stream so they can still be retrieved and
+//! verified afterwards ("keep historical block trades only").
+
+use crate::StorageError;
+use ledgerdb_crypto::{sha256, Digest};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// A pinned milestone journal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Milestone {
+    pub jsn: u64,
+    pub payload: Vec<u8>,
+    pub digest: Digest,
+}
+
+/// The survival stream: milestone journals keyed by jsn.
+#[derive(Default)]
+pub struct SurvivalStream {
+    entries: RwLock<BTreeMap<u64, Milestone>>,
+}
+
+impl SurvivalStream {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pin a journal's payload before purge.
+    pub fn pin(&self, jsn: u64, payload: &[u8]) {
+        let milestone = Milestone { jsn, payload: payload.to_vec(), digest: sha256(payload) };
+        self.entries.write().insert(jsn, milestone);
+    }
+
+    /// Retrieve a pinned milestone.
+    pub fn get(&self, jsn: u64) -> Result<Milestone, StorageError> {
+        self.entries
+            .read()
+            .get(&jsn)
+            .cloned()
+            .ok_or(StorageError::OutOfRange { index: jsn, len: 0 })
+    }
+
+    /// Is `jsn` pinned?
+    pub fn contains(&self, jsn: u64) -> bool {
+        self.entries.read().contains_key(&jsn)
+    }
+
+    /// Verify a milestone's payload still matches its digest.
+    pub fn verify(&self, jsn: u64) -> Result<bool, StorageError> {
+        let m = self.get(jsn)?;
+        Ok(sha256(&m.payload) == m.digest)
+    }
+
+    /// All pinned jsns (ascending).
+    pub fn pinned_jsns(&self) -> Vec<u64> {
+        self.entries.read().keys().copied().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_and_retrieve() {
+        let s = SurvivalStream::new();
+        s.pin(42, b"block trade #42");
+        assert!(s.contains(42));
+        assert!(!s.contains(43));
+        let m = s.get(42).unwrap();
+        assert_eq!(m.payload, b"block trade #42");
+        assert!(s.verify(42).unwrap());
+    }
+
+    #[test]
+    fn missing_milestone_errors() {
+        let s = SurvivalStream::new();
+        assert!(s.get(1).is_err());
+        assert!(s.verify(1).is_err());
+    }
+
+    #[test]
+    fn pinned_jsns_sorted() {
+        let s = SurvivalStream::new();
+        for j in [9u64, 1, 5] {
+            s.pin(j, b"p");
+        }
+        assert_eq!(s.pinned_jsns(), vec![1, 5, 9]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn repin_overwrites() {
+        let s = SurvivalStream::new();
+        s.pin(1, b"v1");
+        s.pin(1, b"v2");
+        assert_eq!(s.get(1).unwrap().payload, b"v2");
+        assert_eq!(s.len(), 1);
+    }
+}

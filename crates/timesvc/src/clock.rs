@@ -1,0 +1,135 @@
+//! Clocks. Protocol experiments run on a shared simulated clock so attack
+//! windows and anchoring intervals are deterministic and laptop-fast.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A point in simulated (or real) time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default, Hash)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    pub fn saturating_sub(self, other: Timestamp) -> u64 {
+        self.0.saturating_sub(other.0)
+    }
+
+    pub fn plus_micros(self, us: u64) -> Timestamp {
+        Timestamp(self.0 + us)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+/// A source of the current time.
+pub trait Clock: Send + Sync {
+    fn now(&self) -> Timestamp;
+}
+
+/// A shared, manually advanced clock for deterministic experiments.
+#[derive(Clone, Default)]
+pub struct SimClock {
+    inner: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Start at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start at a given microsecond offset.
+    pub fn starting_at(us: u64) -> Self {
+        let c = Self::new();
+        c.inner.store(us, Ordering::SeqCst);
+        c
+    }
+
+    /// Advance by `us` microseconds; returns the new now.
+    pub fn advance(&self, us: u64) -> Timestamp {
+        Timestamp(self.inner.fetch_add(us, Ordering::SeqCst) + us)
+    }
+
+    /// Jump to an absolute time (must not go backwards).
+    pub fn set(&self, ts: Timestamp) {
+        let prev = self.inner.swap(ts.0, Ordering::SeqCst);
+        debug_assert!(prev <= ts.0, "simulated time must not go backwards");
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> Timestamp {
+        Timestamp(self.inner.load(Ordering::SeqCst))
+    }
+}
+
+/// Wall-clock implementation (monotonic since process start).
+pub struct SystemClock {
+    origin: std::time::Instant,
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock { origin: std::time::Instant::now() }
+    }
+}
+
+impl SystemClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Timestamp {
+        Timestamp(self.origin.elapsed().as_micros() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_advances() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), Timestamp::ZERO);
+        assert_eq!(c.advance(100), Timestamp(100));
+        assert_eq!(c.now(), Timestamp(100));
+    }
+
+    #[test]
+    fn sim_clock_is_shared() {
+        let c = SimClock::new();
+        let c2 = c.clone();
+        c.advance(50);
+        assert_eq!(c2.now(), Timestamp(50));
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let a = Timestamp(100);
+        let b = Timestamp(30);
+        assert_eq!(a.saturating_sub(b), 70);
+        assert_eq!(b.saturating_sub(a), 0);
+        assert_eq!(b.plus_micros(5), Timestamp(35));
+    }
+
+    #[test]
+    fn system_clock_monotone() {
+        let c = SystemClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+}

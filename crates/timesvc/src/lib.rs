@@ -1,0 +1,67 @@
+//! Time verification (*when*, §III-B): TSA, pegging protocols, and the
+//! Time Ledger (T-Ledger).
+//!
+//! The paper's argument in three steps, all reproduced here:
+//!
+//! 1. **One-way pegging is attackable** ([`attack`]): a ledger that merely
+//!    pushes digests to a notary (ProvenDB-style) can delay anchoring
+//!    arbitrarily, so a journal can be tampered in an *unbounded* window —
+//!    the *infinite time amplification attack* (Fig 5a).
+//! 2. **Two-way pegging bounds the window** ([`pegging`], Protocol 3): the
+//!    TSA signs each digest-timestamp pair and the signed time journal is
+//!    anchored *back* onto the ledger, shrinking the malicious window to
+//!    `2·Δτ` (Fig 5b).
+//! 3. **T-Ledger amortizes TSA cost** ([`tledger`], Protocol 4): an
+//!    intermediate public ledger accepts digests from ordinary ledgers
+//!    (rejecting any submission whose local timestamp is staler than
+//!    `τ_Δ`) and itself two-way-pegs to the TSA every `Δτ`.
+//!
+//! All components run on a [`SimClock`], so experiments are deterministic.
+
+pub mod attack;
+pub mod clock;
+pub mod pegging;
+pub mod tledger;
+pub mod tsa;
+pub mod wire;
+
+pub use clock::{Clock, SimClock, Timestamp};
+pub use pegging::{OneWayPegging, TwoWayPegging};
+pub use tledger::{NotaryReceipt, TLedger, TLedgerConfig};
+pub use tsa::{TimeAttestation, Tsa, TsaPool};
+
+use std::fmt;
+
+/// Errors surfaced by the time services.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimeError {
+    /// Protocol 4 rejection: the submission's local timestamp is staler
+    /// than the tolerance `τ_Δ` against the T-Ledger clock.
+    SubmissionTooStale {
+        client_ts: Timestamp,
+        notary_ts: Timestamp,
+        tolerance_us: u64,
+    },
+    /// A TSA attestation failed signature verification.
+    BadAttestation,
+    /// A notary receipt failed verification.
+    BadReceipt,
+    /// The requested entry does not exist.
+    UnknownEntry,
+}
+
+impl fmt::Display for TimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeError::SubmissionTooStale { client_ts, notary_ts, tolerance_us } => write!(
+                f,
+                "submission stale: client ts {client_ts} vs notary ts {notary_ts} (tolerance {tolerance_us}us)"
+            ),
+            TimeError::BadAttestation => write!(f, "TSA attestation failed verification"),
+            TimeError::BadReceipt => write!(f, "notary receipt failed verification"),
+            TimeError::UnknownEntry => write!(f, "unknown notary entry"),
+        }
+    }
+}
+
+impl std::error::Error for TimeError {}

@@ -1,0 +1,176 @@
+//! Timestamp pegging protocols (§III-B1).
+//!
+//! [`OneWayPegging`] models the ProvenDB-style protocol: a ledger pushes
+//! digests to an external notary (e.g. Bitcoin) at times of its own
+//! choosing, constrained only by relative order. The notary never talks
+//! back, so an adversarial LSP can delay anchoring arbitrarily.
+//!
+//! [`TwoWayPegging`] models Protocol 3: the TSA signs the digest–timestamp
+//! pair, and the signed time journal is anchored back onto the ledger.
+//! The ledger must exhibit the anchored time journal inside its own
+//! journal sequence, which bounds how long any journal can float.
+
+use crate::clock::{Clock, Timestamp};
+use crate::tsa::{TimeAttestation, TsaPool};
+use ledgerdb_crypto::digest::Digest;
+use std::sync::Arc;
+
+/// A digest anchored on a one-way notary, with the notary's timestamp.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OneWayAnchor {
+    pub digest: Digest,
+    /// When the notary recorded the digest (the only credible time bound).
+    pub anchored_at: Timestamp,
+}
+
+/// One-way pegging: the notary records whatever arrives, whenever it
+/// arrives, as long as arrival order is preserved.
+pub struct OneWayPegging {
+    clock: Arc<dyn Clock>,
+    anchors: Vec<OneWayAnchor>,
+}
+
+impl OneWayPegging {
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        OneWayPegging { clock, anchors: Vec::new() }
+    }
+
+    /// Anchor a digest now. Nothing stops the caller from having created
+    /// (or tampered with) the data long before this call — that gap is the
+    /// attack surface.
+    pub fn anchor(&mut self, digest: Digest) -> OneWayAnchor {
+        let a = OneWayAnchor { digest, anchored_at: self.clock.now() };
+        self.anchors.push(a);
+        a
+    }
+
+    /// The notary's view: anchored digests in arrival order.
+    pub fn anchors(&self) -> &[OneWayAnchor] {
+        &self.anchors
+    }
+
+    /// What a verifier can conclude: the data existed *no later than*
+    /// `anchored_at` — but nothing about how much earlier, nor whether it
+    /// was modified before anchoring.
+    pub fn existence_bound(&self, digest: &Digest) -> Option<Timestamp> {
+        self.anchors.iter().find(|a| a.digest == *digest).map(|a| a.anchored_at)
+    }
+}
+
+/// A two-way pegged time journal: TSA attestation plus the ledger position
+/// where it was anchored back.
+#[derive(Clone, Copy, Debug)]
+pub struct TwoWayAnchor {
+    pub attestation: TimeAttestation,
+    /// The journal sequence number the anchored time journal received on
+    /// the ledger it pegs.
+    pub anchored_jsn: u64,
+}
+
+/// Two-way pegging (Protocol 3) against a TSA pool.
+pub struct TwoWayPegging {
+    tsa_pool: Arc<TsaPool>,
+    anchors: Vec<TwoWayAnchor>,
+}
+
+impl TwoWayPegging {
+    pub fn new(tsa_pool: Arc<TsaPool>) -> Self {
+        TwoWayPegging { tsa_pool, anchors: Vec::new() }
+    }
+
+    /// Step 1: submit the ledger digest, receive the signed attestation.
+    pub fn request_endorsement(&self, ledger_digest: Digest) -> TimeAttestation {
+        self.tsa_pool.endorse(ledger_digest)
+    }
+
+    /// Step 2: record that the attestation was anchored back to the ledger
+    /// at `anchored_jsn`.
+    pub fn anchor_back(&mut self, attestation: TimeAttestation, anchored_jsn: u64) -> TwoWayAnchor {
+        let a = TwoWayAnchor { attestation, anchored_jsn };
+        self.anchors.push(a);
+        a
+    }
+
+    /// Anchored time journals in order.
+    pub fn anchors(&self) -> &[TwoWayAnchor] {
+        &self.anchors
+    }
+
+    /// A journal between two consecutive time-journal anchors is bounded
+    /// on both sides: it existed after the earlier attestation and before
+    /// the later one. Returns `(lower, upper)` TSA timestamps for a jsn.
+    pub fn time_bounds(&self, jsn: u64) -> (Option<Timestamp>, Option<Timestamp>) {
+        let lower = self
+            .anchors
+            .iter()
+            .rev()
+            .find(|a| a.anchored_jsn < jsn)
+            .map(|a| a.attestation.timestamp);
+        let upper = self
+            .anchors
+            .iter()
+            .find(|a| a.anchored_jsn > jsn)
+            .map(|a| a.attestation.timestamp);
+        (lower, upper)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use ledgerdb_crypto::hash_leaf;
+
+    #[test]
+    fn one_way_only_gives_upper_bound() {
+        let clock = SimClock::new();
+        let mut peg = OneWayPegging::new(Arc::new(clock.clone()));
+        // Data "created" at t=0 but anchored much later — the notary can't
+        // tell the difference.
+        clock.advance(1_000_000_000);
+        let d = hash_leaf(b"old data");
+        peg.anchor(d);
+        assert_eq!(peg.existence_bound(&d), Some(Timestamp(1_000_000_000)));
+        assert_eq!(peg.existence_bound(&hash_leaf(b"unanchored")), None);
+    }
+
+    #[test]
+    fn two_way_gives_both_bounds() {
+        let clock = SimClock::new();
+        let arc_clock: Arc<dyn Clock> = Arc::new(clock.clone());
+        let pool = Arc::new(TsaPool::new(1, Arc::clone(&arc_clock)));
+        let mut peg = TwoWayPegging::new(pool);
+
+        clock.advance(100);
+        let a1 = peg.request_endorsement(hash_leaf(b"root@jsn10"));
+        peg.anchor_back(a1, 10);
+
+        clock.advance(900);
+        let a2 = peg.request_endorsement(hash_leaf(b"root@jsn20"));
+        peg.anchor_back(a2, 20);
+
+        // A journal at jsn 15 is sandwiched: after t=100, before t=1000.
+        let (lo, hi) = peg.time_bounds(15);
+        assert_eq!(lo, Some(Timestamp(100)));
+        assert_eq!(hi, Some(Timestamp(1000)));
+
+        // Journals before the first anchor only have an upper bound.
+        let (lo, hi) = peg.time_bounds(5);
+        assert_eq!(lo, None);
+        assert_eq!(hi, Some(Timestamp(100)));
+
+        // Journals after the last anchor only have a lower bound.
+        let (lo, hi) = peg.time_bounds(25);
+        assert_eq!(lo, Some(Timestamp(1000)));
+        assert_eq!(hi, None);
+    }
+
+    #[test]
+    fn attestations_verify() {
+        let clock: Arc<dyn Clock> = Arc::new(SimClock::new());
+        let pool = Arc::new(TsaPool::new(2, clock));
+        let peg = TwoWayPegging::new(Arc::clone(&pool));
+        let att = peg.request_endorsement(hash_leaf(b"root"));
+        assert!(pool.attestation_trusted(&att));
+    }
+}

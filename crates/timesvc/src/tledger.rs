@@ -1,0 +1,374 @@
+//! The Time Ledger (T-Ledger, §III-B2): a two-layer time-notary anchoring
+//! architecture.
+//!
+//! Bottom layer (Protocol 4): common ledgers submit `(digest, local
+//! timestamp τ_c)` pairs; the T-Ledger accepts only when its own clock
+//! `τ_t` satisfies `τ_t < τ_c + τ_Δ`, which eliminates the one-way-pegging
+//! amplification attack — a submission cannot be held back.
+//!
+//! Top layer (Protocol 3): every `Δτ` the T-Ledger commits its running
+//! accumulator root to a TSA and anchors the signed attestation back onto
+//! itself as a *time journal*. The TSA interval bounds the residual
+//! malicious window to `2·Δτ` for every registered ledger at the cost of
+//! one TSA interaction per interval instead of one per ledger.
+
+use crate::clock::{Clock, Timestamp};
+use crate::tsa::{TimeAttestation, TsaPool};
+use crate::TimeError;
+use ledgerdb_accumulator::shrubs::{Shrubs, ShrubsProof};
+use ledgerdb_crypto::digest::Digest;
+use ledgerdb_crypto::ecdsa::Signature;
+use ledgerdb_crypto::keys::{KeyPair, PublicKey};
+use ledgerdb_crypto::sha256::Sha256;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// T-Ledger tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct TLedgerConfig {
+    /// Protocol 4 staleness tolerance `τ_Δ` (microseconds).
+    pub submission_tolerance_us: u64,
+    /// Protocol 3 TSA anchoring interval `Δτ` (microseconds). The paper's
+    /// deployment uses one second.
+    pub tsa_interval_us: u64,
+}
+
+impl Default for TLedgerConfig {
+    fn default() -> Self {
+        TLedgerConfig { submission_tolerance_us: 500_000, tsa_interval_us: 1_000_000 }
+    }
+}
+
+/// One notarized submission recorded on the T-Ledger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotaryEntry {
+    /// Identifier of the submitting ledger.
+    pub ledger_id: Digest,
+    /// The submitted digest.
+    pub digest: Digest,
+    /// The submitter's local timestamp τ_c.
+    pub client_ts: Timestamp,
+    /// The T-Ledger's acceptance timestamp τ_t.
+    pub notary_ts: Timestamp,
+    /// Sequence number on the T-Ledger.
+    pub seq: u64,
+}
+
+impl NotaryEntry {
+    /// Canonical digest of the entry (the T-Ledger accumulator leaf).
+    pub fn leaf_digest(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"ledgerdb.tledger.entry.v1");
+        h.update(&self.ledger_id.0);
+        h.update(&self.digest.0);
+        h.update(&self.client_ts.0.to_be_bytes());
+        h.update(&self.notary_ts.0.to_be_bytes());
+        h.update(&self.seq.to_be_bytes());
+        Digest(h.finalize())
+    }
+}
+
+/// The LSP-signed receipt a submitting ledger keeps: entry + signature.
+#[derive(Clone, Copy, Debug)]
+pub struct NotaryReceipt {
+    pub entry: NotaryEntry,
+    pub tledger_key: PublicKey,
+    pub signature: Signature,
+}
+
+impl NotaryReceipt {
+    /// Verify the receipt's signature.
+    pub fn verify(&self) -> Result<(), TimeError> {
+        if self.tledger_key.verify(&self.entry.leaf_digest(), &self.signature) {
+            Ok(())
+        } else {
+            Err(TimeError::BadReceipt)
+        }
+    }
+}
+
+/// A time journal: a TSA attestation over the T-Ledger state, anchored
+/// back with its position.
+#[derive(Clone, Copy, Debug)]
+pub struct TimeJournal {
+    /// Attestation over the accumulator root at `upto_seq`.
+    pub attestation: TimeAttestation,
+    /// Entries `0..upto_seq` are covered by this attestation.
+    pub upto_seq: u64,
+}
+
+struct TLedgerState {
+    entries: Vec<NotaryEntry>,
+    accumulator: Shrubs,
+    time_journals: Vec<TimeJournal>,
+    last_finalize: Timestamp,
+}
+
+/// The public time-notary ledger.
+pub struct TLedger {
+    config: TLedgerConfig,
+    clock: Arc<dyn Clock>,
+    keys: KeyPair,
+    tsa_pool: Arc<TsaPool>,
+    state: Mutex<TLedgerState>,
+}
+
+impl TLedger {
+    /// Create a T-Ledger bound to a clock and TSA pool.
+    pub fn new(config: TLedgerConfig, clock: Arc<dyn Clock>, tsa_pool: Arc<TsaPool>) -> Self {
+        TLedger {
+            config,
+            clock,
+            keys: KeyPair::from_seed(b"t-ledger-lsp"),
+            tsa_pool,
+            state: Mutex::new(TLedgerState {
+                entries: Vec::new(),
+                accumulator: Shrubs::new(),
+                time_journals: Vec::new(),
+                last_finalize: Timestamp::ZERO,
+            }),
+        }
+    }
+
+    /// The T-Ledger's signing key (published for receipt verification).
+    pub fn public_key(&self) -> &PublicKey {
+        self.keys.public()
+    }
+
+    pub fn config(&self) -> TLedgerConfig {
+        self.config
+    }
+
+    /// Protocol 4: accept a submission when the delay from the submitter's
+    /// local timestamp is within `τ_Δ`.
+    pub fn submit(
+        &self,
+        ledger_id: Digest,
+        digest: Digest,
+        client_ts: Timestamp,
+    ) -> Result<NotaryReceipt, TimeError> {
+        let notary_ts = self.clock.now();
+        if notary_ts.0 >= client_ts.0 + self.config.submission_tolerance_us {
+            return Err(TimeError::SubmissionTooStale {
+                client_ts,
+                notary_ts,
+                tolerance_us: self.config.submission_tolerance_us,
+            });
+        }
+        let mut st = self.state.lock();
+        let seq = st.entries.len() as u64;
+        let entry = NotaryEntry { ledger_id, digest, client_ts, notary_ts, seq };
+        st.accumulator.append(entry.leaf_digest());
+        st.entries.push(entry);
+        drop(st);
+        let signature = self.keys.sign(&entry.leaf_digest());
+        Ok(NotaryReceipt { entry, tledger_key: *self.keys.public(), signature })
+    }
+
+    /// Protocol 3: if `Δτ` has elapsed since the last finalization, submit
+    /// the accumulator root to the TSA and anchor the attestation back.
+    /// Returns the new time journal when one was produced.
+    pub fn maybe_finalize(&self) -> Option<TimeJournal> {
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        if now.saturating_sub(st.last_finalize) < self.config.tsa_interval_us
+            && !st.time_journals.is_empty()
+        {
+            return None;
+        }
+        if st.entries.is_empty() {
+            return None;
+        }
+        let root = st.accumulator.root();
+        let upto_seq = st.entries.len() as u64;
+        let attestation = self.tsa_pool.endorse(root);
+        let tj = TimeJournal { attestation, upto_seq };
+        st.time_journals.push(tj);
+        st.last_finalize = now;
+        Some(tj)
+    }
+
+    /// Force a finalization regardless of interval (used by shutdown paths
+    /// and tests).
+    pub fn finalize_now(&self) -> Option<TimeJournal> {
+        let mut st = self.state.lock();
+        if st.entries.is_empty() {
+            return None;
+        }
+        let root = st.accumulator.root();
+        let upto_seq = st.entries.len() as u64;
+        let attestation = self.tsa_pool.endorse(root);
+        let tj = TimeJournal { attestation, upto_seq };
+        st.time_journals.push(tj);
+        st.last_finalize = self.clock.now();
+        Some(tj)
+    }
+
+    /// Entries recorded so far.
+    pub fn entry_count(&self) -> u64 {
+        self.state.lock().entries.len() as u64
+    }
+
+    /// Time journals anchored so far.
+    pub fn time_journal_count(&self) -> usize {
+        self.state.lock().time_journals.len()
+    }
+
+    /// Fetch an entry by sequence number (public download, Prerequisite 4).
+    pub fn entry(&self, seq: u64) -> Result<NotaryEntry, TimeError> {
+        self.state
+            .lock()
+            .entries
+            .get(seq as usize)
+            .copied()
+            .ok_or(TimeError::UnknownEntry)
+    }
+
+    /// The earliest time journal covering `seq`, i.e. the TSA-backed upper
+    /// bound on when that entry existed.
+    pub fn covering_time_journal(&self, seq: u64) -> Option<TimeJournal> {
+        self.state
+            .lock()
+            .time_journals
+            .iter()
+            .find(|tj| tj.upto_seq > seq)
+            .copied()
+    }
+
+    /// Produce an accumulator proof that entry `seq` is committed by the
+    /// current T-Ledger root.
+    pub fn prove_entry(&self, seq: u64) -> Result<(NotaryEntry, ShrubsProof, Digest), TimeError> {
+        let st = self.state.lock();
+        let entry = *st.entries.get(seq as usize).ok_or(TimeError::UnknownEntry)?;
+        let proof = st.accumulator.prove(seq).map_err(|_| TimeError::UnknownEntry)?;
+        Ok((entry, proof, st.accumulator.root()))
+    }
+
+    /// Full third-party verification of a receipt: signature, TSA coverage
+    /// and (when available) the covering attestation's validity. Returns
+    /// the TSA-backed timestamp upper bound for the entry.
+    pub fn verify_receipt(&self, receipt: &NotaryReceipt) -> Result<Option<Timestamp>, TimeError> {
+        receipt.verify()?;
+        if receipt.tledger_key != *self.keys.public() {
+            return Err(TimeError::BadReceipt);
+        }
+        let stored = self.entry(receipt.entry.seq)?;
+        if stored != receipt.entry {
+            return Err(TimeError::BadReceipt);
+        }
+        match self.covering_time_journal(receipt.entry.seq) {
+            Some(tj) => {
+                if !self.tsa_pool.attestation_trusted(&tj.attestation) {
+                    return Err(TimeError::BadAttestation);
+                }
+                Ok(Some(tj.attestation.timestamp))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use ledgerdb_crypto::hash_leaf;
+
+    fn setup() -> (SimClock, Arc<TLedger>) {
+        let clock = SimClock::new();
+        let arc_clock: Arc<dyn Clock> = Arc::new(clock.clone());
+        let pool = Arc::new(TsaPool::new(2, Arc::clone(&arc_clock)));
+        let tl = Arc::new(TLedger::new(TLedgerConfig::default(), arc_clock, pool));
+        (clock, tl)
+    }
+
+    fn lid(name: &str) -> Digest {
+        hash_leaf(name.as_bytes())
+    }
+
+    #[test]
+    fn fresh_submission_accepted() {
+        let (clock, tl) = setup();
+        clock.advance(10_000);
+        let receipt = tl
+            .submit(lid("ledger-a"), hash_leaf(b"d1"), clock.now())
+            .unwrap();
+        receipt.verify().unwrap();
+        assert_eq!(tl.entry_count(), 1);
+    }
+
+    #[test]
+    fn stale_submission_rejected() {
+        // Protocol 4: the adversary cannot hold a digest back past τ_Δ.
+        let (clock, tl) = setup();
+        let held_ts = clock.now();
+        clock.advance(TLedgerConfig::default().submission_tolerance_us + 1);
+        let err = tl.submit(lid("a"), hash_leaf(b"d"), held_ts).unwrap_err();
+        assert!(matches!(err, TimeError::SubmissionTooStale { .. }));
+    }
+
+    #[test]
+    fn finalize_produces_time_journal() {
+        let (clock, tl) = setup();
+        tl.submit(lid("a"), hash_leaf(b"d1"), clock.now()).unwrap();
+        let tj = tl.maybe_finalize().expect("first finalize always fires");
+        assert_eq!(tj.upto_seq, 1);
+        tj.attestation.verify().unwrap();
+    }
+
+    #[test]
+    fn finalize_respects_interval() {
+        let (clock, tl) = setup();
+        tl.submit(lid("a"), hash_leaf(b"d1"), clock.now()).unwrap();
+        assert!(tl.maybe_finalize().is_some());
+        tl.submit(lid("a"), hash_leaf(b"d2"), clock.now()).unwrap();
+        // Too soon for another TSA interaction.
+        assert!(tl.maybe_finalize().is_none());
+        clock.advance(TLedgerConfig::default().tsa_interval_us);
+        assert!(tl.maybe_finalize().is_some());
+    }
+
+    #[test]
+    fn receipt_verification_full_path() {
+        let (clock, tl) = setup();
+        let receipt = tl.submit(lid("a"), hash_leaf(b"d"), clock.now()).unwrap();
+        // Before a time journal exists, no TSA bound yet.
+        assert_eq!(tl.verify_receipt(&receipt).unwrap(), None);
+        clock.advance(2_000_000);
+        tl.maybe_finalize().unwrap();
+        let bound = tl.verify_receipt(&receipt).unwrap().unwrap();
+        assert_eq!(bound, Timestamp(2_000_000));
+    }
+
+    #[test]
+    fn forged_receipt_rejected() {
+        let (clock, tl) = setup();
+        let mut receipt = tl.submit(lid("a"), hash_leaf(b"d"), clock.now()).unwrap();
+        receipt.entry.digest = hash_leaf(b"forged");
+        assert!(tl.verify_receipt(&receipt).is_err());
+    }
+
+    #[test]
+    fn entry_proof_against_root() {
+        let (clock, tl) = setup();
+        for i in 0..10u64 {
+            tl.submit(lid("a"), hash_leaf(&i.to_be_bytes()), clock.now()).unwrap();
+        }
+        let (entry, proof, root) = tl.prove_entry(4).unwrap();
+        Shrubs::verify(&root, &entry.leaf_digest(), &proof).unwrap();
+    }
+
+    #[test]
+    fn covering_journal_selection() {
+        let (clock, tl) = setup();
+        tl.submit(lid("a"), hash_leaf(b"d0"), clock.now()).unwrap();
+        tl.finalize_now().unwrap(); // covers seq 0
+        clock.advance(1);
+        tl.submit(lid("a"), hash_leaf(b"d1"), clock.now()).unwrap();
+        let tj0 = tl.covering_time_journal(0).unwrap();
+        assert_eq!(tj0.upto_seq, 1);
+        assert!(tl.covering_time_journal(1).is_none());
+        tl.finalize_now().unwrap();
+        assert_eq!(tl.covering_time_journal(1).unwrap().upto_seq, 2);
+    }
+}

@@ -1,0 +1,187 @@
+//! The Time Stamp Authority (TSA).
+//!
+//! The paper's only trusted third party (§II-B): "we only trust TSA …
+//! that can attach a credible and verifiable timestamp to a given piece of
+//! data". A [`Tsa`] holds a CA-certifiable key pair and signs
+//! digest–timestamp pairs; a [`TsaPool`] rotates across independent TSAs
+//! so no single authority is a point of failure (§III-B2).
+
+use crate::clock::{Clock, Timestamp};
+use crate::TimeError;
+use ledgerdb_crypto::digest::Digest;
+use ledgerdb_crypto::ecdsa::Signature;
+use ledgerdb_crypto::keys::{KeyPair, PublicKey};
+use ledgerdb_crypto::sha256::Sha256;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A TSA-signed digest–timestamp pair: the proof π_t of Fig 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimeAttestation {
+    /// The submitted digest.
+    pub digest: Digest,
+    /// The TSA-assigned universal timestamp.
+    pub timestamp: Timestamp,
+    /// The endorsing TSA's public key.
+    pub tsa_key: PublicKey,
+    /// Signature over the digest–timestamp pair.
+    pub signature: Signature,
+}
+
+impl TimeAttestation {
+    /// The digest a TSA signs.
+    pub fn signing_digest(digest: &Digest, timestamp: Timestamp) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"ledgerdb.tsa.attest.v1");
+        h.update(&digest.0);
+        h.update(&timestamp.0.to_be_bytes());
+        Digest(h.finalize())
+    }
+
+    /// Verify the attestation's signature.
+    pub fn verify(&self) -> Result<(), TimeError> {
+        let msg = Self::signing_digest(&self.digest, self.timestamp);
+        if self.tsa_key.verify(&msg, &self.signature) {
+            Ok(())
+        } else {
+            Err(TimeError::BadAttestation)
+        }
+    }
+}
+
+/// A single timestamp authority.
+pub struct Tsa {
+    name: String,
+    keys: KeyPair,
+    clock: Arc<dyn Clock>,
+}
+
+impl Tsa {
+    /// Create a TSA with a deterministic key seed and a clock.
+    pub fn new(name: &str, clock: Arc<dyn Clock>) -> Self {
+        Tsa { name: name.to_string(), keys: KeyPair::from_seed(name.as_bytes()), clock }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The TSA's public key (certified by the CA in a full deployment).
+    pub fn public_key(&self) -> &PublicKey {
+        self.keys.public()
+    }
+
+    /// Protocol 3 step 1: assign the current timestamp to `digest` and
+    /// sign the pair.
+    pub fn endorse(&self, digest: Digest) -> TimeAttestation {
+        let timestamp = self.clock.now();
+        let msg = TimeAttestation::signing_digest(&digest, timestamp);
+        TimeAttestation {
+            digest,
+            timestamp,
+            tsa_key: *self.keys.public(),
+            signature: self.keys.sign(&msg),
+        }
+    }
+}
+
+/// A pool of independent TSAs, used round-robin for availability.
+pub struct TsaPool {
+    tsas: Vec<Tsa>,
+    next: AtomicUsize,
+}
+
+impl TsaPool {
+    /// Build a pool of `n` distinct TSAs sharing a clock.
+    pub fn new(n: usize, clock: Arc<dyn Clock>) -> Self {
+        assert!(n > 0, "pool needs at least one TSA");
+        let tsas = (0..n)
+            .map(|i| Tsa::new(&format!("tsa-{i}"), Arc::clone(&clock)))
+            .collect();
+        TsaPool { tsas, next: AtomicUsize::new(0) }
+    }
+
+    /// Number of member TSAs.
+    pub fn len(&self) -> usize {
+        self.tsas.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tsas.is_empty()
+    }
+
+    /// Public keys of every member (the verifier's trust set).
+    pub fn public_keys(&self) -> Vec<PublicKey> {
+        self.tsas.iter().map(|t| *t.public_key()).collect()
+    }
+
+    /// Endorse via the next TSA in rotation.
+    pub fn endorse(&self, digest: Digest) -> TimeAttestation {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.tsas.len();
+        self.tsas[i].endorse(digest)
+    }
+
+    /// True when `att` was produced by a pool member and verifies.
+    pub fn attestation_trusted(&self, att: &TimeAttestation) -> bool {
+        self.tsas.iter().any(|t| t.public_key() == &att.tsa_key) && att.verify().is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use ledgerdb_crypto::hash_leaf;
+
+    fn setup() -> (SimClock, Tsa) {
+        let clock = SimClock::new();
+        let tsa = Tsa::new("tsa-test", Arc::new(clock.clone()));
+        (clock, tsa)
+    }
+
+    #[test]
+    fn endorse_and_verify() {
+        let (clock, tsa) = setup();
+        clock.advance(1_000_000);
+        let att = tsa.endorse(hash_leaf(b"ledger digest"));
+        assert_eq!(att.timestamp, Timestamp(1_000_000));
+        att.verify().unwrap();
+    }
+
+    #[test]
+    fn tampered_timestamp_detected() {
+        let (_, tsa) = setup();
+        let mut att = tsa.endorse(hash_leaf(b"d"));
+        att.timestamp = Timestamp(99);
+        assert_eq!(att.verify(), Err(TimeError::BadAttestation));
+    }
+
+    #[test]
+    fn tampered_digest_detected() {
+        let (_, tsa) = setup();
+        let mut att = tsa.endorse(hash_leaf(b"d"));
+        att.digest = hash_leaf(b"other");
+        assert!(att.verify().is_err());
+    }
+
+    #[test]
+    fn pool_round_robin_and_trust() {
+        let clock: Arc<dyn Clock> = Arc::new(SimClock::new());
+        let pool = TsaPool::new(3, clock.clone());
+        let a1 = pool.endorse(hash_leaf(b"1"));
+        let a2 = pool.endorse(hash_leaf(b"2"));
+        assert_ne!(a1.tsa_key, a2.tsa_key);
+        assert!(pool.attestation_trusted(&a1));
+        assert!(pool.attestation_trusted(&a2));
+    }
+
+    #[test]
+    fn foreign_attestation_not_trusted() {
+        let clock: Arc<dyn Clock> = Arc::new(SimClock::new());
+        let pool = TsaPool::new(2, clock.clone());
+        let rogue = Tsa::new("rogue", clock);
+        let att = rogue.endorse(hash_leaf(b"x"));
+        assert!(att.verify().is_ok());
+        assert!(!pool.attestation_trusted(&att));
+    }
+}

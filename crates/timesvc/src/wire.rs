@@ -1,0 +1,121 @@
+//! Wire encodings for time-service objects: attestations and notary
+//! receipts travel from the T-Ledger to ledgers and on to auditors.
+
+use crate::clock::Timestamp;
+use crate::tledger::{NotaryEntry, NotaryReceipt};
+use crate::tsa::TimeAttestation;
+use ledgerdb_crypto::digest::Digest;
+use ledgerdb_crypto::ecdsa::Signature;
+use ledgerdb_crypto::keys::PublicKey;
+use ledgerdb_crypto::wire::{Reader, Wire, WireError, Writer};
+
+impl Wire for Timestamp {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.0);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Timestamp(r.get_u64()?))
+    }
+}
+
+impl Wire for TimeAttestation {
+    fn encode(&self, w: &mut Writer) {
+        self.digest.encode(w);
+        self.timestamp.encode(w);
+        self.tsa_key.encode(w);
+        self.signature.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(TimeAttestation {
+            digest: Digest::decode(r)?,
+            timestamp: Timestamp::decode(r)?,
+            tsa_key: PublicKey::decode(r)?,
+            signature: Signature::decode(r)?,
+        })
+    }
+}
+
+impl Wire for NotaryEntry {
+    fn encode(&self, w: &mut Writer) {
+        self.ledger_id.encode(w);
+        self.digest.encode(w);
+        self.client_ts.encode(w);
+        self.notary_ts.encode(w);
+        w.put_u64(self.seq);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(NotaryEntry {
+            ledger_id: Digest::decode(r)?,
+            digest: Digest::decode(r)?,
+            client_ts: Timestamp::decode(r)?,
+            notary_ts: Timestamp::decode(r)?,
+            seq: r.get_u64()?,
+        })
+    }
+}
+
+impl Wire for NotaryReceipt {
+    fn encode(&self, w: &mut Writer) {
+        self.entry.encode(w);
+        self.tledger_key.encode(w);
+        self.signature.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(NotaryReceipt {
+            entry: NotaryEntry::decode(r)?,
+            tledger_key: PublicKey::decode(r)?,
+            signature: Signature::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{Clock, SimClock};
+    use crate::tledger::{TLedger, TLedgerConfig};
+    use crate::tsa::{Tsa, TsaPool};
+    use ledgerdb_crypto::hash_leaf;
+    use std::sync::Arc;
+
+    #[test]
+    fn attestation_round_trip_verifies() {
+        let clock = SimClock::new();
+        clock.advance(123_456);
+        let tsa = Tsa::new("w-tsa", Arc::new(clock));
+        let att = tsa.endorse(hash_leaf(b"digest"));
+        let decoded = TimeAttestation::from_wire(&att.to_wire()).unwrap();
+        assert_eq!(decoded, att);
+        decoded.verify().unwrap();
+    }
+
+    #[test]
+    fn receipt_round_trip_verifies() {
+        let clock = SimClock::new();
+        let arc: Arc<dyn Clock> = Arc::new(clock.clone());
+        let pool = Arc::new(TsaPool::new(1, Arc::clone(&arc)));
+        let tl = TLedger::new(TLedgerConfig::default(), arc, pool);
+        let receipt = tl
+            .submit(hash_leaf(b"lid"), hash_leaf(b"d"), clock.now())
+            .unwrap();
+        let decoded = NotaryReceipt::from_wire(&receipt.to_wire()).unwrap();
+        decoded.verify().unwrap();
+        assert_eq!(decoded.entry, receipt.entry);
+    }
+
+    #[test]
+    fn tampered_attestation_bytes_fail() {
+        let clock = SimClock::new();
+        let tsa = Tsa::new("w-tsa2", Arc::new(clock));
+        let mut bytes = tsa.endorse(hash_leaf(b"d")).to_wire();
+        bytes[40] ^= 0x01; // inside the timestamp
+        match TimeAttestation::from_wire(&bytes) {
+            Ok(decoded) => assert!(decoded.verify().is_err()),
+            Err(_) => {}
+        }
+    }
+}

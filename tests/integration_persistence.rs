@@ -1,0 +1,235 @@
+//! Snapshot/restore integration tests: a ledger survives export →
+//! serialize → deserialize → replay with all verification structures
+//! intact, and corrupted snapshots are rejected.
+
+use ledgerdb::core::{
+    audit_ledger, AuditConfig, LedgerConfig, LedgerDb, LedgerSnapshot, MemberRegistry, OccultMode,
+    TxRequest, VerifyLevel,
+};
+use ledgerdb::crypto::ca::{CertificateAuthority, Role};
+use ledgerdb::crypto::keys::KeyPair;
+use ledgerdb::crypto::multisig::MultiSignature;
+use ledgerdb::crypto::wire::Wire;
+use ledgerdb::storage::stream::{FileStreamStore, MemoryStreamStore};
+use ledgerdb::timesvc::clock::SimClock;
+use std::sync::Arc;
+
+struct World {
+    ledger: LedgerDb,
+    alice: KeyPair,
+    dba: KeyPair,
+    regulator: KeyPair,
+    ca: CertificateAuthority,
+}
+
+fn world() -> World {
+    let ca = CertificateAuthority::from_seed(b"persist-ca");
+    let alice = KeyPair::from_seed(b"persist-alice");
+    let dba = KeyPair::from_seed(b"persist-dba");
+    let regulator = KeyPair::from_seed(b"persist-reg");
+    let mut registry = MemberRegistry::new(*ca.public_key());
+    registry.register(ca.issue("alice", Role::User, alice.public())).unwrap();
+    registry.register(ca.issue("dba", Role::Dba, dba.public())).unwrap();
+    registry.register(ca.issue("reg", Role::Regulator, regulator.public())).unwrap();
+    let ledger = LedgerDb::new(
+        LedgerConfig { block_size: 4, fam_delta: 5, name: "persist".into() },
+        registry,
+    );
+    World { ledger, alice, dba, regulator, ca }
+}
+
+fn registry_of(w: &World) -> MemberRegistry {
+    let mut registry = MemberRegistry::new(*w.ca.public_key());
+    registry.register(w.ca.issue("alice", Role::User, w.alice.public())).unwrap();
+    registry.register(w.ca.issue("dba", Role::Dba, w.dba.public())).unwrap();
+    registry.register(w.ca.issue("reg", Role::Regulator, w.regulator.public())).unwrap();
+    registry
+}
+
+fn config() -> LedgerConfig {
+    LedgerConfig { block_size: 4, fam_delta: 5, name: "persist".into() }
+}
+
+fn populate(w: &mut World, n: u64) {
+    for i in 0..n {
+        let req = TxRequest::signed(
+            &w.alice,
+            format!("payload-{i}").into_bytes(),
+            vec![format!("c{}", i % 3)],
+            i,
+        );
+        w.ledger.append(req).unwrap();
+    }
+    w.ledger.seal_block();
+}
+
+fn restore(w: &World, bytes: &[u8]) -> Result<LedgerDb, Box<dyn std::error::Error>> {
+    let snapshot = LedgerSnapshot::from_wire(bytes)?;
+    Ok(LedgerDb::restore(
+        snapshot,
+        config(),
+        registry_of(w),
+        Arc::new(MemoryStreamStore::new()),
+        Arc::new(SimClock::new()),
+    )?)
+}
+
+#[test]
+fn round_trip_preserves_roots_and_proofs() {
+    let mut w = world();
+    populate(&mut w, 20);
+    let bytes = w.ledger.export_bytes().unwrap();
+    let restored = restore(&w, &bytes).unwrap();
+
+    assert_eq!(restored.journal_count(), w.ledger.journal_count());
+    assert_eq!(restored.journal_root(), w.ledger.journal_root());
+    assert_eq!(restored.clue_root(), w.ledger.clue_root());
+    assert_eq!(restored.state_root(), w.ledger.state_root());
+    assert_eq!(restored.block_count(), w.ledger.block_count());
+
+    // Proofs still work on the restored ledger.
+    let anchor = restored.anchor();
+    for jsn in 0..restored.journal_count() {
+        let (tx_hash, proof) = restored.prove_existence(jsn, &anchor).unwrap();
+        restored
+            .verify_existence(jsn, &tx_hash, &proof, &anchor, VerifyLevel::Client)
+            .unwrap();
+    }
+    let clue_proof = restored.prove_clue("c1").unwrap();
+    restored.verify_clue(&clue_proof, VerifyLevel::Client).unwrap();
+
+    // And the restored ledger passes the full audit.
+    audit_ledger(&restored, &AuditConfig::default()).unwrap();
+}
+
+#[test]
+fn restored_ledger_continues_appending() {
+    let mut w = world();
+    populate(&mut w, 10);
+    let bytes = w.ledger.export_bytes().unwrap();
+    let mut restored = restore(&w, &bytes).unwrap();
+    let req = TxRequest::signed(&w.alice, b"after-restore".to_vec(), vec!["c0".into()], 999);
+    let ack = restored.append(req).unwrap();
+    assert_eq!(ack.jsn, 10);
+    restored.seal_block();
+    assert_eq!(restored.get_payload(10).unwrap(), b"after-restore");
+    audit_ledger(&restored, &AuditConfig::default()).unwrap();
+}
+
+#[test]
+fn mutations_survive_restore() {
+    let mut w = world();
+    populate(&mut w, 16);
+    // Occult one journal and purge the first four.
+    let od = w.ledger.occult_approval_digest(6);
+    let mut oms = MultiSignature::new();
+    oms.add(&w.dba, &od);
+    oms.add(&w.regulator, &od);
+    w.ledger.occult(6, oms, OccultMode::Sync).unwrap();
+    let pd = w.ledger.purge_approval_digest(4);
+    let mut pms = MultiSignature::new();
+    pms.add(&w.dba, &pd);
+    pms.add(&w.alice, &pd);
+    w.ledger.purge(4, pms, &[], false).unwrap();
+    w.ledger.seal_block();
+
+    let bytes = w.ledger.export_bytes().unwrap();
+    let restored = restore(&w, &bytes).unwrap();
+
+    assert!(restored.is_occulted(6));
+    assert!(restored.get_tx(6).is_err());
+    assert!(restored.get_tx(1).is_err(), "purged journal stays purged");
+    assert_eq!(restored.pseudo_genesis().unwrap().purge_to, 4);
+    let report = audit_ledger(&restored, &AuditConfig::default()).unwrap();
+    assert_eq!(report.occult_journals, 1);
+    assert_eq!(report.purge_journals, 1);
+}
+
+#[test]
+fn tampered_snapshot_rejected() {
+    let mut w = world();
+    populate(&mut w, 12);
+    let snapshot = w.ledger.export_snapshot().unwrap();
+
+    // Payload swap: digest check catches it.
+    let mut forged = snapshot.clone();
+    forged.payloads[3] = Some(b"forged payload".to_vec());
+    assert!(LedgerDb::restore(
+        forged,
+        config(),
+        registry_of(&w),
+        Arc::new(MemoryStreamStore::new()),
+        Arc::new(SimClock::new()),
+    )
+    .is_err());
+
+    // Journal reorder: replay root checks catch it.
+    let mut forged = snapshot.clone();
+    forged.journals.swap(1, 2);
+    assert!(LedgerDb::restore(
+        forged,
+        config(),
+        registry_of(&w),
+        Arc::new(MemoryStreamStore::new()),
+        Arc::new(SimClock::new()),
+    )
+    .is_err());
+
+    // Dropped journal: block accounting catches it.
+    let mut forged = snapshot.clone();
+    forged.journals.pop();
+    forged.payloads.pop();
+    assert!(LedgerDb::restore(
+        forged,
+        config(),
+        registry_of(&w),
+        Arc::new(MemoryStreamStore::new()),
+        Arc::new(SimClock::new()),
+    )
+    .is_err());
+
+    // Tampered block root: replay comparison catches it.
+    let mut forged = snapshot;
+    forged.blocks[0].info.journal_root = ledgerdb::crypto::sha256(b"evil");
+    assert!(LedgerDb::restore(
+        forged,
+        config(),
+        registry_of(&w),
+        Arc::new(MemoryStreamStore::new()),
+        Arc::new(SimClock::new()),
+    )
+    .is_err());
+}
+
+#[test]
+fn snapshot_to_file_backed_store() {
+    let mut w = world();
+    populate(&mut w, 8);
+    let bytes = w.ledger.export_bytes().unwrap();
+
+    let dir = std::env::temp_dir().join(format!("ledgerdb-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let stream_path = dir.join("restored-stream.dat");
+    let snapshot = LedgerSnapshot::from_wire(&bytes).unwrap();
+    let restored = LedgerDb::restore(
+        snapshot,
+        config(),
+        registry_of(&w),
+        Arc::new(FileStreamStore::create(&stream_path).unwrap()),
+        Arc::new(SimClock::new()),
+    )
+    .unwrap();
+    assert_eq!(restored.journal_root(), w.ledger.journal_root());
+    assert_eq!(restored.get_payload(3).unwrap(), b"payload-3");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_bytes_truncation_rejected() {
+    let mut w = world();
+    populate(&mut w, 6);
+    let bytes = w.ledger.export_bytes().unwrap();
+    for cut in [0usize, 5, bytes.len() / 2, bytes.len() - 1] {
+        assert!(LedgerSnapshot::from_wire(&bytes[..cut]).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests for the accumulator structures: Shrubs (including
+//! batch proofs), fam, tim and bim, cross-checked against the naive
+//! binary Merkle reference where shapes coincide.
+
+use ledgerdb::accumulator::binary::{merkle_prove, merkle_root, merkle_verify};
+use ledgerdb::accumulator::fam::{FamTree, TrustedAnchor};
+use ledgerdb::accumulator::shrubs::Shrubs;
+use ledgerdb::accumulator::tim::TimAccumulator;
+use ledgerdb::accumulator::BimChain;
+use ledgerdb::crypto::{hash_leaf, Digest};
+use proptest::prelude::*;
+
+fn digests(seeds: &[u8]) -> Vec<Digest> {
+    seeds.iter().enumerate().map(|(i, s)| hash_leaf(&[*s, i as u8, (i >> 8) as u8])).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every leaf of a Shrubs accumulator proves against the root.
+    #[test]
+    fn shrubs_all_leaves_prove(seeds in prop::collection::vec(any::<u8>(), 1..200)) {
+        let leaves = digests(&seeds);
+        let mut s = Shrubs::new();
+        for l in &leaves {
+            s.append(*l);
+        }
+        let root = s.root();
+        for (i, l) in leaves.iter().enumerate() {
+            let proof = s.prove(i as u64).unwrap();
+            prop_assert!(Shrubs::verify(&root, l, &proof).is_ok());
+        }
+    }
+
+    /// A proof for leaf i never verifies a different leaf digest.
+    #[test]
+    fn shrubs_rejects_wrong_leaf(
+        seeds in prop::collection::vec(any::<u8>(), 2..100),
+        target in any::<prop::sample::Index>(),
+    ) {
+        let leaves = digests(&seeds);
+        let mut s = Shrubs::new();
+        for l in &leaves {
+            s.append(*l);
+        }
+        let root = s.root();
+        let i = target.index(leaves.len());
+        let proof = s.prove(i as u64).unwrap();
+        let wrong = hash_leaf(b"definitely wrong");
+        prop_assert!(Shrubs::verify(&root, &wrong, &proof).is_err());
+    }
+
+    /// The frontier always bags to the root, after any number of appends.
+    #[test]
+    fn shrubs_frontier_invariant(seeds in prop::collection::vec(any::<u8>(), 1..300)) {
+        let leaves = digests(&seeds);
+        let mut s = Shrubs::new();
+        for l in &leaves {
+            s.append(*l);
+            prop_assert_eq!(Shrubs::root_of_frontier(&s.frontier()), s.root());
+        }
+    }
+
+    /// Batch proofs verify for arbitrary index subsets, and carry no more
+    /// digests than the per-leaf proofs combined.
+    #[test]
+    fn shrubs_batch_subset(
+        seeds in prop::collection::vec(any::<u8>(), 2..120),
+        picks in prop::collection::vec(any::<prop::sample::Index>(), 1..10),
+    ) {
+        let leaves = digests(&seeds);
+        let mut s = Shrubs::new();
+        for l in &leaves {
+            s.append(*l);
+        }
+        let root = s.root();
+        let mut indices: Vec<u64> =
+            picks.iter().map(|p| p.index(leaves.len()) as u64).collect();
+        indices.sort_unstable();
+        indices.dedup();
+        let proof = s.prove_batch(&indices).unwrap();
+        let entries: Vec<(u64, Digest)> =
+            indices.iter().map(|&i| (i, leaves[i as usize])).collect();
+        prop_assert!(Shrubs::verify_batch(&root, &entries, &proof).is_ok());
+        let individual: usize = indices.iter().map(|&i| s.prove(i).unwrap().len()).sum();
+        prop_assert!(proof.len() <= individual);
+    }
+
+    /// fam: every journal proves against the live root with or without an
+    /// anchor, across arbitrary δ and sizes.
+    #[test]
+    fn fam_proofs_hold(
+        delta in 1u32..6,
+        seeds in prop::collection::vec(any::<u8>(), 1..150),
+    ) {
+        let leaves = digests(&seeds);
+        let mut fam = FamTree::new(delta);
+        for l in &leaves {
+            fam.append(*l);
+        }
+        let root = fam.root();
+        let empty = TrustedAnchor::default();
+        let fresh = fam.anchor();
+        for (i, l) in leaves.iter().enumerate() {
+            let p1 = fam.prove(i as u64, &empty).unwrap();
+            prop_assert!(FamTree::verify(&root, &empty, l, &p1).is_ok());
+            let p2 = fam.prove(i as u64, &fresh).unwrap();
+            prop_assert!(FamTree::verify(&root, &fresh, l, &p2).is_ok());
+        }
+    }
+
+    /// fam and tim accumulate the same leaves to different roots, but both
+    /// commit every leaf (no silent drops).
+    #[test]
+    fn fam_and_tim_commit_all(seeds in prop::collection::vec(any::<u8>(), 1..100)) {
+        let leaves = digests(&seeds);
+        let mut fam = FamTree::new(3);
+        let mut tim = TimAccumulator::new();
+        for l in &leaves {
+            fam.append(*l);
+            tim.append(*l);
+        }
+        prop_assert_eq!(fam.journal_count(), leaves.len() as u64);
+        prop_assert_eq!(tim.len(), leaves.len() as u64);
+    }
+
+    /// The binary reference tree: proofs verify and reject tampering.
+    #[test]
+    fn binary_merkle_sound(seeds in prop::collection::vec(any::<u8>(), 1..64)) {
+        let leaves = digests(&seeds);
+        let root = merkle_root(&leaves);
+        for i in 0..leaves.len() {
+            let path = merkle_prove(&leaves, i).unwrap();
+            prop_assert!(merkle_verify(&root, &leaves[i], &path));
+            prop_assert!(!merkle_verify(&root, &hash_leaf(b"bad"), &path)
+                || leaves[i] == hash_leaf(b"bad"));
+        }
+    }
+
+    /// bim: SPV proofs hold for every sealed transaction at any block size.
+    #[test]
+    fn bim_spv_sound(
+        block_size in 1usize..20,
+        seeds in prop::collection::vec(any::<u8>(), 1..100),
+    ) {
+        let txs = digests(&seeds);
+        let mut chain = BimChain::new(block_size);
+        for t in &txs {
+            chain.append(*t);
+        }
+        chain.seal_block();
+        prop_assert!(BimChain::validate_header_chain(chain.headers()));
+        for (i, t) in txs.iter().enumerate() {
+            let proof = chain.prove(i as u64).unwrap();
+            prop_assert!(BimChain::verify(chain.headers(), t, &proof).is_ok());
+        }
+    }
+
+    /// Appending to fam never invalidates the relationship between a
+    /// fresh proof and the fresh root (proofs are snapshot-consistent).
+    #[test]
+    fn fam_snapshot_consistency(
+        seeds in prop::collection::vec(any::<u8>(), 10..80),
+        extra in prop::collection::vec(any::<u8>(), 1..20),
+    ) {
+        let leaves = digests(&seeds);
+        let mut fam = FamTree::new(3);
+        for l in &leaves {
+            fam.append(*l);
+        }
+        let empty = TrustedAnchor::default();
+        let old_proof = fam.prove(0, &empty).unwrap();
+        let old_root = fam.root();
+        prop_assert!(FamTree::verify(&old_root, &empty, &leaves[0], &old_proof).is_ok());
+        for l in digests(&extra) {
+            fam.append(l);
+        }
+        // Old proof against the new root must fail; a new proof succeeds.
+        let new_root = fam.root();
+        prop_assert!(FamTree::verify(&new_root, &empty, &leaves[0], &old_proof).is_err());
+        let new_proof = fam.prove(0, &empty).unwrap();
+        prop_assert!(FamTree::verify(&new_root, &empty, &leaves[0], &new_proof).is_ok());
+    }
+}

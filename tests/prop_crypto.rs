@@ -1,0 +1,116 @@
+//! Property-based tests for the crypto substrate: hash stability, U256
+//! field algebra, ECDSA round trips, and multi-signature coverage.
+
+use ledgerdb::crypto::field::{fn_order, fp};
+use ledgerdb::crypto::keys::KeyPair;
+use ledgerdb::crypto::multisig::MultiSignature;
+use ledgerdb::crypto::u256::U256;
+use ledgerdb::crypto::{sha256, sha3_256, Signature};
+use proptest::prelude::*;
+
+fn u256_strategy() -> impl Strategy<Value = U256> {
+    (any::<[u8; 32]>()).prop_map(|b| U256::from_be_bytes(&b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SHA-256/SHA3-256 are deterministic and sensitive to single-byte
+    /// changes.
+    #[test]
+    fn hashes_deterministic_and_sensitive(
+        data in prop::collection::vec(any::<u8>(), 1..512),
+        flip in any::<prop::sample::Index>(),
+    ) {
+        prop_assert_eq!(sha256(&data), sha256(&data));
+        prop_assert_eq!(sha3_256(&data), sha3_256(&data));
+        let mut tampered = data.clone();
+        let i = flip.index(tampered.len());
+        tampered[i] ^= 0x01;
+        prop_assert_ne!(sha256(&data), sha256(&tampered));
+        prop_assert_ne!(sha3_256(&data), sha3_256(&tampered));
+    }
+
+    /// Field algebra mod p and mod n: commutativity, associativity,
+    /// distributivity, additive/multiplicative inverses.
+    #[test]
+    fn modular_algebra(a in u256_strategy(), b in u256_strategy(), c in u256_strategy()) {
+        for m in [fp(), fn_order()] {
+            let (a, b, c) = (m.reduce(a), m.reduce(b), m.reduce(c));
+            prop_assert_eq!(m.add(&a, &b), m.add(&b, &a));
+            prop_assert_eq!(m.mul(&a, &b), m.mul(&b, &a));
+            prop_assert_eq!(m.add(&m.add(&a, &b), &c), m.add(&a, &m.add(&b, &c)));
+            prop_assert_eq!(m.mul(&m.mul(&a, &b), &c), m.mul(&a, &m.mul(&b, &c)));
+            prop_assert_eq!(
+                m.mul(&a, &m.add(&b, &c)),
+                m.add(&m.mul(&a, &b), &m.mul(&a, &c))
+            );
+            prop_assert_eq!(m.add(&a, &m.neg(&a)), U256::ZERO);
+            if !a.is_zero() {
+                let inv = m.inv(&a).unwrap();
+                prop_assert_eq!(m.mul(&a, &inv), U256::ONE);
+            }
+        }
+    }
+
+    /// U256 byte round trips.
+    #[test]
+    fn u256_bytes_round_trip(bytes in any::<[u8; 32]>()) {
+        let x = U256::from_be_bytes(&bytes);
+        prop_assert_eq!(x.to_be_bytes(), bytes);
+    }
+
+    /// ECDSA: honest signatures verify; cross-key and cross-message
+    /// verifications fail.
+    #[test]
+    fn ecdsa_round_trip(seed1 in any::<[u8; 8]>(), seed2 in any::<[u8; 8]>(), msg in any::<[u8; 16]>()) {
+        let kp1 = KeyPair::from_seed(&seed1);
+        let kp2 = KeyPair::from_seed(&seed2);
+        let digest = sha256(&msg);
+        let sig = kp1.sign(&digest);
+        prop_assert!(kp1.public().verify(&digest, &sig));
+        if kp1.public() != kp2.public() {
+            prop_assert!(!kp2.public().verify(&digest, &sig));
+        }
+        let other = sha256(b"another message entirely");
+        if other != digest {
+            prop_assert!(!kp1.public().verify(&other, &sig));
+        }
+    }
+
+    /// Signature serialization round trips; bit flips break verification.
+    #[test]
+    fn signature_serde(seed in any::<[u8; 8]>(), msg in any::<[u8; 16]>(), flip in 0usize..512) {
+        let kp = KeyPair::from_seed(&seed);
+        let digest = sha256(&msg);
+        let sig = kp.sign(&digest);
+        let bytes = sig.to_bytes();
+        let parsed = Signature::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(sig, parsed);
+        let mut tampered = bytes;
+        tampered[flip % 64] ^= 1 << (flip / 64 % 8);
+        if let Some(bad) = Signature::from_bytes(&tampered) {
+            if bad != sig {
+                prop_assert!(!kp.public().verify(&digest, &bad));
+            }
+        }
+    }
+
+    /// Multi-signatures cover exactly the signer set that signed.
+    #[test]
+    fn multisig_coverage(present in prop::collection::vec(any::<bool>(), 3..6), msg in any::<[u8; 8]>()) {
+        let digest = sha256(&msg);
+        let keys: Vec<KeyPair> =
+            (0..present.len()).map(|i| KeyPair::from_seed(&[i as u8, 0xaa])).collect();
+        let mut ms = MultiSignature::new();
+        for (k, &p) in keys.iter().zip(&present) {
+            if p {
+                ms.add(k, &digest);
+            }
+        }
+        prop_assert!(ms.verify_all(&digest));
+        let all: Vec<_> = keys.iter().map(|k| *k.public()).collect();
+        let covers_all = ms.covers(&digest, &all);
+        prop_assert_eq!(covers_all, present.iter().all(|&p| p));
+    }
+}
