@@ -5,7 +5,7 @@
 //! * sync vs async occult cost on the append path;
 //! * purge cost vs retained ledger size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ledgerdb_bench::harness::{self as criterion, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ledgerdb_accumulator::fam::{FamTree, TrustedAnchor};
 use ledgerdb_bench::{journal_digests, BenchLedger};
 use ledgerdb_core::OccultMode;

@@ -1,7 +1,7 @@
 //! Criterion micro-benches behind Fig 9: CM-Tree vs ccMPT insertion and
 //! clue verification.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ledgerdb_bench::harness::{self as criterion, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ledgerdb_accumulator::tim::TimAccumulator;
 use ledgerdb_bench::XorShift;
 use ledgerdb_clue::ccmpt::CcMpt;

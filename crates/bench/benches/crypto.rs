@@ -2,7 +2,7 @@
 //! underlying every Dasein factor (SHA-256 for *what*, ECDSA for *who*,
 //! attestation checks for *when*).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ledgerdb_bench::harness::{self as criterion, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ledgerdb_crypto::keys::KeyPair;
 use ledgerdb_crypto::{sha256, sha3_256};
 

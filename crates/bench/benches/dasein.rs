@@ -1,7 +1,7 @@
 //! Criterion benches behind Fig 7: per-journal Dasein verification costs
 //! (what / when / who) on the full ledger kernel.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ledgerdb_bench::harness::{self as criterion, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ledgerdb_bench::BenchLedger;
 use ledgerdb_core::VerifyLevel;
 use ledgerdb_crypto::keys::KeyPair;

@@ -1,7 +1,7 @@
 //! Criterion micro-benches behind Fig 8: append and proof costs of the
 //! accumulator models (tim vs fam-δ vs bim).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ledgerdb_bench::harness::{self as criterion, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ledgerdb_accumulator::bim::BimChain;
 use ledgerdb_accumulator::fam::{FamTree, TrustedAnchor};
 use ledgerdb_accumulator::tim::TimAccumulator;

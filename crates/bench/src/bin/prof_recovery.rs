@@ -1,0 +1,110 @@
+//! Durability and recovery profiling helper (not a paper figure).
+//!
+//! Measures the price of the crash-consistent stream layer: durable
+//! append throughput under each fsync policy, and recovery replay
+//! throughput (journals/second to rebuild the full kernel — fam tree,
+//! CM-Tree, MPT, block verification — from the reopened WAL).
+
+use ledgerdb_bench::{banner, fmt_latency, fmt_tps, row, throughput, timed, XorShift};
+use ledgerdb_core::recovery::open_durable;
+use ledgerdb_core::{LedgerConfig, MemberRegistry, TxRequest};
+use ledgerdb_crypto::ca::{CertificateAuthority, Role};
+use ledgerdb_crypto::keys::KeyPair;
+use ledgerdb_storage::FsyncPolicy;
+use ledgerdb_timesvc::clock::SimClock;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn registry() -> (MemberRegistry, KeyPair) {
+    let ca = CertificateAuthority::from_seed(b"prof-rec-ca");
+    let alice = KeyPair::from_seed(b"prof-rec-alice");
+    let mut registry = MemberRegistry::new(*ca.public_key());
+    registry.register(ca.issue("alice", Role::User, alice.public())).unwrap();
+    (registry, alice)
+}
+
+fn config() -> LedgerConfig {
+    LedgerConfig { block_size: 256, fam_delta: 15, name: "prof-recovery".into() }
+}
+
+fn requests(alice: &KeyPair, n: u64, payload_len: usize) -> Vec<TxRequest> {
+    let mut rng = XorShift::new(42);
+    (0..n)
+        .map(|i| TxRequest::signed(alice, rng.payload(payload_len), vec![format!("c{}", i % 64)], i))
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ledgerdb-prof-rec-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Build a durable ledger with `n` journals at `dir` and drop it.
+fn build(dir: &PathBuf, n: u64, policy: FsyncPolicy) {
+    let (registry, alice) = registry();
+    let (mut ledger, _) =
+        open_durable(config(), registry, dir, policy, Arc::new(SimClock::new())).unwrap();
+    for r in requests(&alice, n, 256) {
+        ledger.append_preverified(r).unwrap();
+    }
+    ledger.seal_block();
+    assert!(ledger.durability_error().is_none());
+}
+
+fn main() {
+    banner("Durable append (256 B payloads, block size 256)");
+    let n = 1u64 << 12;
+    for (label, policy) in [
+        ("fsync=always", FsyncPolicy::Always),
+        ("fsync=every-64", FsyncPolicy::EveryN(64)),
+        ("fsync=never", FsyncPolicy::Never),
+        ("in-memory (no WAL)", FsyncPolicy::Never), // Baseline below.
+    ] {
+        let tps = if label.starts_with("in-memory") {
+            let mut bench = ledgerdb_bench::BenchLedger::new(256, 15);
+            let reqs = bench.signed_requests(n, 256, |i| Some(format!("c{}", i % 64)));
+            throughput(n, || bench.populate(reqs))
+        } else {
+            let dir = temp_dir(label);
+            let (registry, alice) = registry();
+            let (mut ledger, _) =
+                open_durable(config(), registry, &dir, policy, Arc::new(SimClock::new())).unwrap();
+            let reqs = requests(&alice, n, 256);
+            let tps = throughput(n, || {
+                for r in reqs {
+                    ledger.append_preverified(r).unwrap();
+                }
+                ledger.seal_block();
+            });
+            drop(ledger);
+            std::fs::remove_dir_all(&dir).ok();
+            tps
+        };
+        row(label, &[("append", fmt_tps(tps))]);
+    }
+
+    banner("Recovery replay (reopen + rebuild + verify)");
+    for shift in [10u32, 12, 14] {
+        let n = 1u64 << shift;
+        let dir = temp_dir(&format!("replay-{n}"));
+        build(&dir, n, FsyncPolicy::Never);
+        let (registry, _) = registry();
+        let ((ledger, report), secs) = timed(|| {
+            open_durable(config(), registry, &dir, FsyncPolicy::Always, Arc::new(SimClock::new()))
+                .unwrap()
+        });
+        assert!(report.is_clean(), "clean build must reopen clean: {report:?}");
+        assert_eq!(ledger.journal_count(), n);
+        row(
+            &format!("n={n}"),
+            &[
+                ("replay", fmt_tps(n as f64 / secs)),
+                ("total", fmt_latency(secs)),
+                ("blocks", report.blocks_verified.to_string()),
+            ],
+        );
+        drop(ledger);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

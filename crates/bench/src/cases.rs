@@ -1,0 +1,177 @@
+//! Deterministic property-style case generation (in-repo `proptest`
+//! replacement).
+//!
+//! The seed repo's property tests depended on `proptest`, which cannot
+//! be fetched in the offline build environment. This module keeps the
+//! tests' spirit — many generated inputs per property — with fully
+//! deterministic, seed-derived cases: every run explores the same
+//! inputs, and a failure names the case index and seed so it reproduces
+//! immediately.
+//!
+//! ```ignore
+//! use ledgerdb_bench::cases::{run_cases, Gen};
+//!
+//! run_cases("sha256 is deterministic", 64, |g: &mut Gen| {
+//!     let data = g.bytes(0..=1024);
+//!     assert_eq!(sha256(&data), sha256(&data));
+//! });
+//! ```
+
+use crate::XorShift;
+use std::ops::RangeInclusive;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Per-case input generator: a seeded [`XorShift`] with convenience
+/// samplers.
+pub struct Gen {
+    rng: XorShift,
+}
+
+impl Gen {
+    pub fn new(seed: u64) -> Self {
+        Gen { rng: XorShift::new(seed) }
+    }
+
+    /// Raw 64-bit sample.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.rng.below(bound)
+    }
+
+    /// Uniform in an inclusive range.
+    pub fn in_range(&mut self, range: RangeInclusive<u64>) -> u64 {
+        let (lo, hi) = (*range.start(), *range.end());
+        lo + self.rng.below(hi - lo + 1)
+    }
+
+    /// Uniform usize in an inclusive range.
+    pub fn usize_in(&mut self, range: RangeInclusive<usize>) -> usize {
+        self.in_range(*range.start() as u64..=*range.end() as u64) as usize
+    }
+
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    /// A byte string whose length is sampled from `len`.
+    pub fn bytes(&mut self, len: RangeInclusive<usize>) -> Vec<u8> {
+        let n = self.usize_in(len);
+        self.rng.payload(n)
+    }
+
+    /// A 32-byte array (digest/scalar material).
+    pub fn array32(&mut self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for chunk in out.chunks_mut(8) {
+            chunk.copy_from_slice(&self.rng.next_u64().to_le_bytes());
+        }
+        out
+    }
+
+    /// An ASCII identifier (clue names, keys).
+    pub fn ident(&mut self, len: RangeInclusive<usize>) -> String {
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-_";
+        let n = self.usize_in(len);
+        (0..n)
+            .map(|_| ALPHABET[self.rng.below(ALPHABET.len() as u64) as usize] as char)
+            .collect()
+    }
+
+    /// Pick one element of a slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.rng.below(items.len() as u64) as usize]
+    }
+
+    /// Deterministic Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.rng.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+/// Derive a case seed from the property label and case index (FNV-1a
+/// over the label, mixed with the index — stable across runs and
+/// platforms).
+pub fn case_seed(label: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^= case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h | 1 // XorShift needs a non-zero seed.
+}
+
+/// Run `count` deterministic cases of a property. A panicking case is
+/// re-raised with the case index and seed so it can be replayed in
+/// isolation with `Gen::new(seed)`.
+pub fn run_cases(label: &str, count: u64, mut property: impl FnMut(&mut Gen)) {
+    for case in 0..count {
+        let seed = case_seed(label, case);
+        let mut gen = Gen::new(seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut gen)));
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!("property '{label}' failed at case {case} (seed {seed:#018x}): {msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(case_seed("p", 3), case_seed("p", 3));
+        assert_ne!(case_seed("p", 3), case_seed("p", 4));
+        assert_ne!(case_seed("p", 3), case_seed("q", 3));
+    }
+
+    #[test]
+    fn generators_respect_bounds() {
+        let mut g = Gen::new(99);
+        for _ in 0..200 {
+            assert!(g.in_range(5..=9) >= 5 && g.in_range(5..=9) <= 9);
+            let b = g.bytes(3..=17);
+            assert!((3..=17).contains(&b.len()));
+            let s = g.ident(1..=8);
+            assert!((1..=8).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut g = Gen::new(7);
+        let mut v: Vec<u64> = (0..50).collect();
+        g.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn failing_case_reports_seed() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_cases("always-fails", 3, |_| panic!("boom"));
+        }));
+        let msg = match result {
+            Err(p) => p.downcast_ref::<String>().unwrap().clone(),
+            Ok(()) => panic!("expected failure"),
+        };
+        assert!(msg.contains("case 0"));
+        assert!(msg.contains("seed"));
+        assert!(msg.contains("boom"));
+    }
+}

@@ -1,0 +1,329 @@
+//! A Criterion-compatible micro-benchmark harness.
+//!
+//! The reproduction builds fully offline, so the real `criterion` crate
+//! is unavailable. This module replicates the slice of its API the
+//! benches under `benches/` use — `Criterion`, `BenchmarkGroup`,
+//! `BenchmarkId`, `Throughput`, `BatchSize`, `Bencher::iter` /
+//! `iter_batched` and the `criterion_group!` / `criterion_main!` macros
+//! — so a bench file ports with one import-line change:
+//!
+//! ```ignore
+//! use ledgerdb_bench::harness::{self as criterion, criterion_group, ...};
+//! ```
+//!
+//! Measurement is deliberately simple: a calibration pass sizes the
+//! iteration count to a fixed per-sample budget, then `sample_size`
+//! samples are timed and the mean/min reported. No plotting, no stats
+//! beyond that — enough to compare implementations and catch order-of-
+//! magnitude regressions.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+// The group/main macros live at the crate root (macro_export); re-export
+// them here so `use ledgerdb_bench::harness::{criterion_group, ...}` works.
+pub use crate::{criterion_group, criterion_main};
+
+/// Per-sample time budget the calibration pass aims for.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(20);
+/// Hard cap on iterations per sample (keeps cheap ops bounded).
+const MAX_ITERS: u64 = 100_000;
+
+/// Top-level harness state (API-compatible subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Builder: number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n-- {name} --");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let sample_size = self.sample_size;
+        run_benchmark(&id.into().label, sample_size, None, f);
+    }
+}
+
+/// Identifies one benchmark within a group ("function/parameter").
+#[derive(Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Units the mean sample maps to for the throughput column.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Batch sizing hints for `iter_batched` (accepted, not acted on — the
+/// shim always materializes one input per iteration).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    #[allow(dead_code)]
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&id.into().label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_benchmark(&id.label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to every benchmark closure; routines register through
+/// [`Bencher::iter`] or [`Bencher::iter_batched`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` for the sample's iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over inputs built by `setup` (setup untimed).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibration: one iteration to estimate per-iter cost.
+    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let iters = (SAMPLE_BUDGET.as_nanos() / per_iter.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..sample_size {
+        let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        let per = bencher.elapsed / iters as u32;
+        total += per;
+        best = best.min(per);
+    }
+    let mean = total / sample_size as u32;
+
+    let mut line = format!("{label:<40} mean {:>12}  min {:>12}", fmt_ns(mean), fmt_ns(best));
+    if let Some(t) = throughput {
+        let secs = mean.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  {:>10}/s", fmt_bytes(n as f64 / secs)));
+            }
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:>10} elem/s", crate::fmt_tps(n as f64 / secs)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn fmt_bytes(bps: f64) -> String {
+    if bps >= 1e9 {
+        format!("{:.2} GiB", bps / (1u64 << 30) as f64)
+    } else if bps >= 1e6 {
+        format!("{:.1} MiB", bps / (1u64 << 20) as f64)
+    } else {
+        format!("{:.1} KiB", bps / 1024.0)
+    }
+}
+
+/// Define a bench group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::harness::Criterion as Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the bench `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_counts() {
+        let mut count = 0u64;
+        let mut b = Bencher { iters: 25, elapsed: Duration::ZERO };
+        b.iter(|| count += 1);
+        assert_eq!(count, 25);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn bencher_iter_batched_runs_setup_per_iteration() {
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        let mut b = Bencher { iters: 9, elapsed: Duration::ZERO };
+        b.iter_batched(
+            || {
+                setups += 1;
+                setups
+            },
+            |x| {
+                runs += 1;
+                x
+            },
+            BatchSize::LargeInput,
+        );
+        assert_eq!((setups, runs), (9, 9));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("prove", 512);
+        assert_eq!(id.label, "prove/512");
+        let id: BenchmarkId = "plain".into();
+        assert_eq!(id.label, "plain");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("selftest");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -181,3 +181,6 @@ mod tests {
         assert_eq!(fmt_latency(0.0025), "2.50ms");
     }
 }
+
+pub mod cases;
+pub mod harness;

@@ -37,6 +37,8 @@ pub enum LedgerError {
     Time(TimeError),
     /// An audit step failed; carries the failing step description.
     AuditFailed(String),
+    /// Crash recovery could not rebuild the sealed ledger history.
+    Recovery(String),
     /// A receipt failed verification.
     BadReceipt,
 }
@@ -59,6 +61,7 @@ impl fmt::Display for LedgerError {
             LedgerError::Storage(e) => write!(f, "storage failure: {e}"),
             LedgerError::Time(e) => write!(f, "time service failure: {e}"),
             LedgerError::AuditFailed(what) => write!(f, "audit failed: {what}"),
+            LedgerError::Recovery(what) => write!(f, "recovery failed: {what}"),
             LedgerError::BadReceipt => write!(f, "receipt failed verification"),
         }
     }

@@ -89,6 +89,16 @@ pub struct LedgerDb {
 
     /// Cached tx-hashes, index-aligned with `journals`.
     pub(crate) tx_hashes: Vec<Digest>,
+
+    /// Metadata write-ahead log: every journal and every sealed block is
+    /// appended here before the in-memory kernel mutates, so a crash can
+    /// be recovered by replay ([`crate::recovery`]). `None` for purely
+    /// in-memory ledgers.
+    pub(crate) wal: Option<Arc<dyn StreamStore>>,
+    /// A durability failure stashed by an infallible path (the auto-seal
+    /// inside the append hot path). The next fallible operation surfaces
+    /// it instead of silently dropping it.
+    pub(crate) durability_error: Option<LedgerError>,
 }
 
 impl LedgerDb {
@@ -130,7 +140,36 @@ impl LedgerDb {
             survival: SurvivalStream::new(),
             pseudo_genesis: None,
             tx_hashes: Vec::new(),
+            wal: None,
+            durability_error: None,
         }
+    }
+
+    /// Create a ledger whose metadata is write-ahead logged to `wal`
+    /// before any in-memory mutation. Use [`crate::recovery::recover`]
+    /// (or [`crate::recovery::open_durable`]) to rebuild the kernel from
+    /// the two streams after a crash.
+    pub fn with_durability(
+        config: LedgerConfig,
+        registry: MemberRegistry,
+        store: Arc<dyn StreamStore>,
+        wal: Arc<dyn StreamStore>,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        let mut ledger = Self::with_parts(config, registry, store, clock);
+        ledger.wal = Some(wal);
+        ledger
+    }
+
+    /// A durability failure stashed by an infallible path (auto-seal),
+    /// if any. The next fallible operation also surfaces it.
+    pub fn durability_error(&self) -> Option<&LedgerError> {
+        self.durability_error.as_ref()
+    }
+
+    /// Take (and clear) the stashed durability failure.
+    pub fn take_durability_error(&mut self) -> Option<LedgerError> {
+        self.durability_error.take()
     }
 
     /// The ledger's identity digest (its `ledger_uri` analogue).
@@ -256,6 +295,11 @@ impl LedgerDb {
         client_pk: Option<PublicKey>,
         client_sig: Option<ledgerdb_crypto::ecdsa::Signature>,
     ) -> Result<AppendAck, LedgerError> {
+        // Surface a durability failure stashed by an earlier auto-seal
+        // before accepting new writes on top of it.
+        if let Some(e) = self.durability_error.take() {
+            return Err(e);
+        }
         let stream_index = self.store.append(payload)?;
         let jsn = self.journals.len() as u64;
         let journal = Journal {
@@ -269,6 +313,17 @@ impl LedgerDb {
             timestamp: self.clock.now(),
             stream_index,
         };
+        // WAL order: payload → journal record → in-memory mutation. A
+        // crash between the first two leaves an orphan payload that
+        // recovery trims; a WAL failure here rolls the payload back so
+        // stream indexes stay aligned with jsns.
+        if let Some(wal) = &self.wal {
+            let record = crate::recovery::WalRecord::Journal(journal.clone());
+            if let Err(e) = wal.append(&ledgerdb_crypto::wire::Wire::to_wire(&record)) {
+                let _ = self.store.truncate_records(stream_index);
+                return Err(e.into());
+            }
+        }
         let tx_hash = journal.tx_hash();
         self.tx_hashes.push(tx_hash);
         self.fam.append(tx_hash);
@@ -288,14 +343,30 @@ impl LedgerDb {
 
     /// Seal the pending journals into a block. Receipts become derivable
     /// (and are signed on demand by [`LedgerDb::receipt`]).
+    ///
+    /// Infallible wrapper over [`LedgerDb::try_seal_block`]: a WAL
+    /// failure is stashed as the [`LedgerDb::durability_error`] and
+    /// surfaced by the next fallible operation (never silently lost).
+    /// The pending journals remain pending, so the seal is retryable.
     pub fn seal_block(&mut self) {
-        if self.pending.is_empty() {
-            return;
+        if let Err(e) = self.try_seal_block() {
+            self.durability_error = Some(e);
         }
-        let pending = std::mem::take(&mut self.pending);
-        let first_jsn = pending[0];
+    }
+
+    /// Seal the pending journals into a block, reporting WAL failures.
+    /// On error nothing is mutated: the journals stay pending and the
+    /// seal can be retried.
+    pub fn try_seal_block(&mut self) -> Result<(), LedgerError> {
+        if let Some(e) = self.durability_error.take() {
+            return Err(e);
+        }
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let first_jsn = self.pending[0];
         let tx_hashes: Vec<Digest> =
-            pending.iter().map(|&j| self.tx_hashes[j as usize]).collect();
+            self.pending.iter().map(|&j| self.tx_hashes[j as usize]).collect();
         let prev_block_hash = self.blocks.last().map(|b| b.hash()).unwrap_or_else(|| {
             self.pseudo_genesis
                 .as_ref()
@@ -305,7 +376,7 @@ impl LedgerDb {
         let block = Block {
             height: self.blocks.len() as u64,
             first_jsn,
-            journal_count: pending.len() as u64,
+            journal_count: self.pending.len() as u64,
             info: LedgerInfo {
                 journal_root: self.fam.root(),
                 clue_root: self.cm_tree.root(),
@@ -315,7 +386,15 @@ impl LedgerDb {
             timestamp: self.clock.now(),
             tx_hashes,
         };
+        // The seal record hits the WAL before the block exists in
+        // memory; a crash in between replays the seal idempotently.
+        if let Some(wal) = &self.wal {
+            let record = crate::recovery::WalRecord::Seal(block.clone());
+            wal.append(&ledgerdb_crypto::wire::Wire::to_wire(&record))?;
+        }
+        self.pending.clear();
         self.blocks.push(block);
+        Ok(())
     }
 
     // ------------------------------------------------------------------

@@ -32,6 +32,7 @@ impl Member {
 }
 
 /// The member registry of one ledger.
+#[derive(Clone)]
 pub struct MemberRegistry {
     ca_key: PublicKey,
     by_key: HashMap<[u8; 64], Member>,

@@ -1,0 +1,602 @@
+//! Crash recovery: rebuild the ledger kernel from its durable streams.
+//!
+//! A durable ledger ([`LedgerDb::with_durability`]) persists two
+//! append-only streams:
+//!
+//! * the **payload stream** — raw transaction payloads, one slot per
+//!   journal (digest tombstones after purge/occult);
+//! * the **metadata WAL** — one [`WalRecord`] per journal and per sealed
+//!   block, written *before* the in-memory kernel mutates.
+//!
+//! [`recover`] replays the reopened WAL through a fresh kernel, exactly
+//! as [`LedgerDb::restore`] replays a snapshot: every journal rebuilds
+//! the fam tree, CM-Tree, world state, skip list and occult index; every
+//! seal record's roots, tx-hashes and block-chain link are recomputed
+//! and cross-checked. The replay invariants are:
+//!
+//! 1. **Sealed history is sacred.** Any record that fails to replay
+//!    *before* the last seal record — missing payload, digest mismatch,
+//!    root mismatch — aborts recovery with [`LedgerError::Recovery`];
+//!    the ledger's committed commitments cannot be reproduced, and a
+//!    silently-shortened ledger would be data loss.
+//! 2. **The unsealed tail is best-effort.** Journals after the last seal
+//!    never had receipts issued; a record there that fails to replay is
+//!    *rejected* (counted and reasoned in the [`RecoveryReport`]), and
+//!    the WAL is truncated back to the accepted prefix.
+//! 3. **Orphan payloads are trimmed.** A crash between the payload
+//!    append and the WAL append leaves a payload no journal references;
+//!    recovery truncates the payload stream back to the referenced
+//!    prefix.
+//! 4. **Promised erasures are redone.** Purged and occulted journals
+//!    whose payloads survived the crash (an erase that never reached the
+//!    disk) are re-erased — the multi-signature that authorized the
+//!    mutation is already on the ledger, so redo is always safe.
+//!
+//! Everything observed along the way is surfaced in the typed
+//! [`RecoveryReport`], so operators (and the torture tests) can tell
+//! "clean reopen" from "recovered with losses in the unsealed tail".
+
+use crate::ledger::{LedgerConfig, LedgerDb, PseudoGenesis};
+use crate::member::MemberRegistry;
+use crate::types::{Block, Journal, JournalKind, LedgerInfo};
+use crate::LedgerError;
+use ledgerdb_crypto::digest::Digest;
+use ledgerdb_crypto::wire::{Reader, Wire, WireError, Writer};
+use ledgerdb_storage::stream::{FileStreamStore, FsyncPolicy, StreamStore};
+use ledgerdb_timesvc::clock::Clock;
+use std::path::Path;
+use std::sync::Arc;
+
+/// One metadata WAL entry.
+#[derive(Clone, Debug)]
+pub enum WalRecord {
+    /// A journal was appended.
+    Journal(Journal),
+    /// The pending journals were sealed into this block.
+    Seal(Block),
+}
+
+impl Wire for WalRecord {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            WalRecord::Journal(j) => {
+                w.put_u8(0);
+                j.encode(w);
+            }
+            WalRecord::Seal(b) => {
+                w.put_u8(1);
+                b.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(WalRecord::Journal(Journal::decode(r)?)),
+            1 => Ok(WalRecord::Seal(Block::decode(r)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// What a recovery replay did — every count is observable, nothing is
+/// silently absorbed.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Journals replayed into the rebuilt kernel.
+    pub journals_replayed: u64,
+    /// Seal records whose roots, tx-hashes and chain link re-verified.
+    pub blocks_verified: u64,
+    /// Replayed journals left pending (appended after the last seal).
+    pub unsealed_journals: u64,
+    /// Torn-tail bytes the WAL stream trimmed when it was reopened.
+    pub wal_truncated_bytes: u64,
+    /// Torn-tail bytes the payload stream trimmed when it was reopened.
+    pub payload_truncated_bytes: u64,
+    /// WAL records in the unsealed tail that failed to replay and were
+    /// dropped (the WAL is truncated back to the accepted prefix).
+    pub rejected_wal_records: u64,
+    /// Why the first rejected record failed, if any were rejected.
+    pub rejected_reason: Option<String>,
+    /// Payload slots no surviving journal references, trimmed.
+    pub orphan_payloads_dropped: u64,
+    /// Purged/occulted payloads found un-erased on disk and re-erased.
+    pub erases_redone: u64,
+    /// Occult marks restored into the occult index.
+    pub occult_marks: u64,
+}
+
+impl RecoveryReport {
+    /// True when the reopen found nothing to repair: no torn tails, no
+    /// rejected records, no orphans, no redone erasures.
+    pub fn is_clean(&self) -> bool {
+        self.wal_truncated_bytes == 0
+            && self.payload_truncated_bytes == 0
+            && self.rejected_wal_records == 0
+            && self.orphan_payloads_dropped == 0
+            && self.erases_redone == 0
+    }
+}
+
+/// Replay a reopened payload stream + metadata WAL into a fresh kernel.
+///
+/// `config` and `registry` must match the ones the crashed ledger ran
+/// with (the ledger id is derived from `config.name`, and replay does
+/// not re-verify client certificates). The returned ledger keeps both
+/// streams wired for continued durable operation.
+pub fn recover(
+    config: LedgerConfig,
+    registry: MemberRegistry,
+    store: Arc<dyn StreamStore>,
+    wal: Arc<dyn StreamStore>,
+    clock: Arc<dyn Clock>,
+) -> Result<(LedgerDb, RecoveryReport), LedgerError> {
+    let mut report = RecoveryReport {
+        wal_truncated_bytes: wal.truncated_bytes(),
+        payload_truncated_bytes: store.truncated_bytes(),
+        ..RecoveryReport::default()
+    };
+
+    // Decode the WAL front-to-back. Framing-level corruption already
+    // failed the stream open; a record that decodes to garbage here is
+    // a logical fault, handled by the sealed/unsealed policy below.
+    let wal_len = wal.len();
+    let mut records = Vec::with_capacity(wal_len as usize);
+    let mut decode_failure: Option<(u64, String)> = None;
+    for i in 0..wal_len {
+        let bytes = wal.read(i).map_err(|e| {
+            LedgerError::Recovery(format!("WAL record {i} unreadable: {e}"))
+        })?;
+        match WalRecord::from_wire(&bytes) {
+            Ok(r) => records.push(r),
+            Err(e) => {
+                decode_failure = Some((i, format!("WAL record {i} undecodable: {e}")));
+                break;
+            }
+        }
+    }
+    // Highest seal index among the *decodable* records. (A decode
+    // failure hides everything after it, but a hidden seal could only
+    // follow undecodable journals it would then fail to verify against,
+    // so cutting at the decode failure is already the safe prefix.)
+    let last_seal = records
+        .iter()
+        .rposition(|r| matches!(r, WalRecord::Seal(_)));
+
+    let mut ledger = LedgerDb::with_durability(
+        config,
+        registry,
+        Arc::clone(&store),
+        Arc::clone(&wal),
+        clock,
+    );
+
+    let mut accepted: usize = 0;
+    let mut replay_failure: Option<String> = None;
+    'replay: for (idx, record) in records.iter().enumerate() {
+        match record {
+            WalRecord::Journal(journal) => {
+                if let Err(why) = replay_journal(&mut ledger, journal) {
+                    replay_failure = Some(format!("WAL record {idx}: {why}"));
+                    break 'replay;
+                }
+                report.journals_replayed += 1;
+            }
+            WalRecord::Seal(block) => {
+                if let Err(why) = replay_seal(&mut ledger, block) {
+                    replay_failure = Some(format!("WAL record {idx}: {why}"));
+                    break 'replay;
+                }
+                report.blocks_verified += 1;
+            }
+        }
+        accepted = idx + 1;
+    }
+
+    if replay_failure.is_some() || decode_failure.is_some() {
+        // Invariant 1: a failure at or before the last seal record
+        // breaks committed history — abort. A failure after it only
+        // costs the unsealed tail — reject and truncate.
+        let why = replay_failure
+            .or_else(|| decode_failure.as_ref().map(|(_, w)| w.clone()))
+            .expect("some failure");
+        if last_seal.map_or(false, |s| accepted <= s) {
+            return Err(LedgerError::Recovery(format!(
+                "sealed history cannot be rebuilt: {why}"
+            )));
+        }
+        report.rejected_wal_records = wal_len - accepted as u64;
+        report.rejected_reason = Some(why);
+        wal.truncate_records(accepted as u64)?;
+    }
+
+    // Invariant 3: trim payload slots no accepted journal references.
+    let referenced = ledger
+        .journals
+        .last()
+        .map(|j| j.stream_index + 1)
+        .unwrap_or(0);
+    if store.len() > referenced {
+        report.orphan_payloads_dropped = store.len() - referenced;
+        store.truncate_records(referenced)?;
+    }
+
+    // Invariant 4: redo promised erasures that never reached the disk.
+    let purge_to = ledger.pseudo_genesis().map(|g| g.purge_to).unwrap_or(0);
+    for jsn in 0..ledger.journals.len() as u64 {
+        let marked = ledger.occult_index.is_marked(jsn);
+        if marked {
+            report.occult_marks += 1;
+        }
+        if jsn < purge_to || marked {
+            let idx = ledger.journals[jsn as usize].stream_index;
+            if !store.is_erased(idx)? {
+                store.erase(idx)?;
+                report.erases_redone += 1;
+            }
+        }
+    }
+
+    report.unsealed_journals = ledger.pending.len() as u64;
+    Ok((ledger, report))
+}
+
+/// Replay one journal record into the kernel (mirrors the snapshot
+/// restore path). Returns a human-readable reason on failure so the
+/// caller can apply the sealed/unsealed policy.
+fn replay_journal(ledger: &mut LedgerDb, journal: &Journal) -> Result<(), String> {
+    let jsn = ledger.journals.len() as u64;
+    if journal.jsn != jsn {
+        return Err(format!("journal carries jsn {}, expected {jsn}", journal.jsn));
+    }
+    // The payload must exist in the payload stream with the recorded
+    // digest (the digest tombstone survives erasure, so erased slots
+    // still verify).
+    let digest = ledger
+        .store
+        .digest(journal.stream_index)
+        .map_err(|e| format!("payload slot {} missing: {e}", journal.stream_index))?;
+    if digest != journal.payload_digest {
+        return Err(format!(
+            "payload slot {} digest does not match journal {jsn}",
+            journal.stream_index
+        ));
+    }
+
+    // Pseudo genesis is captured *before* the purge journal lands,
+    // mirroring the original purge() execution order.
+    if let JournalKind::Purge { purge_to, .. } = &journal.kind {
+        let snapshot = LedgerInfo {
+            journal_root: ledger.fam.root(),
+            clue_root: ledger.cm_tree.root(),
+            state_root: ledger.world_state.root_hash(),
+        };
+        let genesis_hash = crate::ledger::pseudo_genesis_hash(&ledger.id, *purge_to, &snapshot);
+        ledger.pseudo_genesis = Some(PseudoGenesis {
+            purge_to: *purge_to,
+            purge_journal_jsn: jsn,
+            snapshot,
+            genesis_hash,
+        });
+    }
+    // Occult marks re-block retrieval immediately.
+    match &journal.kind {
+        JournalKind::Occult { target, .. } => {
+            ledger.occult_index.mark(*target);
+        }
+        JournalKind::OccultClue { targets, .. } => {
+            for &t in targets {
+                ledger.occult_index.mark(t);
+            }
+        }
+        _ => {}
+    }
+
+    let tx_hash = journal.tx_hash();
+    ledger.tx_hashes.push(tx_hash);
+    ledger.fam.append(tx_hash);
+    for clue in &journal.clues {
+        ledger.cm_tree.append(clue, jsn, tx_hash);
+        ledger.csl.append(clue, jsn);
+        ledger
+            .world_state
+            .insert(ledgerdb_clue::clue_key(clue).as_bytes(), journal.payload_digest.0.to_vec());
+    }
+    ledger.journals.push(journal.clone());
+    ledger.pending.push(jsn);
+    Ok(())
+}
+
+/// Replay one seal record: recompute the roots, tx-hashes and chain
+/// link from the rebuilt kernel and cross-check the recorded block.
+fn replay_seal(ledger: &mut LedgerDb, block: &Block) -> Result<(), String> {
+    if ledger.pending.is_empty() {
+        return Err(format!("seal of block {} with no pending journals", block.height));
+    }
+    if block.height != ledger.blocks.len() as u64 {
+        return Err(format!(
+            "seal height {} out of order (expected {})",
+            block.height,
+            ledger.blocks.len()
+        ));
+    }
+    if block.first_jsn != ledger.pending[0]
+        || block.journal_count != ledger.pending.len() as u64
+    {
+        return Err(format!("seal of block {} covers the wrong journals", block.height));
+    }
+    let expected_roots = LedgerInfo {
+        journal_root: ledger.fam.root(),
+        clue_root: ledger.cm_tree.root(),
+        state_root: ledger.world_state.root_hash(),
+    };
+    if block.info != expected_roots {
+        return Err(format!("block {} roots do not replay", block.height));
+    }
+    let prev = ledger.blocks.last().map(|b| b.hash()).unwrap_or_else(|| {
+        ledger
+            .pseudo_genesis
+            .as_ref()
+            .map(|g| g.genesis_hash)
+            .unwrap_or(Digest::ZERO)
+    });
+    if block.prev_block_hash != prev {
+        return Err(format!("block {} chain link broken", block.height));
+    }
+    let tx_hashes: Vec<Digest> =
+        ledger.pending.iter().map(|&j| ledger.tx_hashes[j as usize]).collect();
+    if tx_hashes != block.tx_hashes {
+        return Err(format!("block {} tx hashes do not replay", block.height));
+    }
+    ledger.pending.clear();
+    ledger.blocks.push(block.clone());
+    Ok(())
+}
+
+/// File names used by [`open_durable`] inside its directory.
+pub const PAYLOAD_FILE: &str = "payload.log";
+/// See [`PAYLOAD_FILE`].
+pub const WAL_FILE: &str = "wal.log";
+
+/// Open (or create) a durable ledger rooted at `dir`: `payload.log`
+/// holds the payload stream, `wal.log` the metadata WAL. Fresh
+/// directories yield an empty ledger and a clean report; existing ones
+/// are recovered by replay.
+pub fn open_durable(
+    config: LedgerConfig,
+    registry: MemberRegistry,
+    dir: &Path,
+    policy: FsyncPolicy,
+    clock: Arc<dyn Clock>,
+) -> Result<(LedgerDb, RecoveryReport), LedgerError> {
+    std::fs::create_dir_all(dir).map_err(|e| LedgerError::Storage(e.into()))?;
+    let payload_path = dir.join(PAYLOAD_FILE);
+    let wal_path = dir.join(WAL_FILE);
+    let store: Arc<dyn StreamStore> = Arc::new(if payload_path.exists() {
+        FileStreamStore::open_with(&payload_path, policy)?
+    } else {
+        FileStreamStore::create_with(&payload_path, policy)?
+    });
+    let wal: Arc<dyn StreamStore> = Arc::new(if wal_path.exists() {
+        FileStreamStore::open_with(&wal_path, policy)?
+    } else {
+        FileStreamStore::create_with(&wal_path, policy)?
+    });
+    recover(config, registry, store, wal, clock)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::member::MemberRegistry;
+    use crate::types::TxRequest;
+    use ledgerdb_crypto::ca::{CertificateAuthority, Role};
+    use ledgerdb_crypto::keys::KeyPair;
+    use ledgerdb_crypto::multisig::MultiSignature;
+    use ledgerdb_timesvc::clock::SimClock;
+
+    struct Members {
+        dba: KeyPair,
+        alice: KeyPair,
+    }
+
+    fn members() -> (MemberRegistry, Members) {
+        let ca = CertificateAuthority::from_seed(b"rec-ca");
+        let dba = KeyPair::from_seed(b"rec-dba");
+        let regulator = KeyPair::from_seed(b"rec-reg");
+        let alice = KeyPair::from_seed(b"rec-alice");
+        let mut registry = MemberRegistry::new(*ca.public_key());
+        registry.register(ca.issue("dba", Role::Dba, dba.public())).unwrap();
+        registry.register(ca.issue("regulator", Role::Regulator, regulator.public())).unwrap();
+        registry.register(ca.issue("alice", Role::User, alice.public())).unwrap();
+        (registry, Members { dba, alice })
+    }
+
+    fn config(block_size: u64) -> LedgerConfig {
+        LedgerConfig { block_size, fam_delta: 4, name: "recovery-test".into() }
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ledgerdb-rec-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn tx(keys: &KeyPair, payload: &[u8], clues: &[&str], nonce: u64) -> TxRequest {
+        TxRequest::signed(
+            keys,
+            payload.to_vec(),
+            clues.iter().map(|s| s.to_string()).collect(),
+            nonce,
+        )
+    }
+
+    #[test]
+    fn durable_round_trip_preserves_roots() {
+        let dir = temp_dir("roundtrip");
+        let (registry, m) = members();
+        let (journal_root, clue_root, state_root, blocks) = {
+            let (mut ledger, report) = open_durable(
+                config(4),
+                registry.clone(),
+                &dir,
+                FsyncPolicy::Always,
+                Arc::new(SimClock::new()),
+            )
+            .unwrap();
+            assert!(report.is_clean());
+            for i in 0..10u64 {
+                ledger.append(tx(&m.alice, &i.to_be_bytes(), &["clue"], i)).unwrap();
+            }
+            assert!(ledger.durability_error().is_none());
+            (ledger.journal_root(), ledger.clue_root(), ledger.state_root(), ledger.block_count())
+        };
+        let (ledger, report) = open_durable(
+            config(4),
+            registry,
+            &dir,
+            FsyncPolicy::Always,
+            Arc::new(SimClock::new()),
+        )
+        .unwrap();
+        assert!(report.is_clean(), "clean reopen: {report:?}");
+        assert_eq!(report.journals_replayed, 10);
+        assert_eq!(report.blocks_verified, blocks);
+        assert_eq!(report.unsealed_journals, 2); // 10 appends, block size 4
+        assert_eq!(ledger.journal_root(), journal_root);
+        assert_eq!(ledger.clue_root(), clue_root);
+        assert_eq!(ledger.state_root(), state_root);
+        assert_eq!(ledger.get_payload(3).unwrap(), 3u64.to_be_bytes());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_replays_purge_and_redoes_erasure() {
+        let dir = temp_dir("purge");
+        let (registry, m) = members();
+        {
+            let (mut ledger, _) = open_durable(
+                config(4),
+                registry.clone(),
+                &dir,
+                FsyncPolicy::Always,
+                Arc::new(SimClock::new()),
+            )
+            .unwrap();
+            for i in 0..8u64 {
+                ledger.append(tx(&m.alice, &i.to_be_bytes(), &["c"], i)).unwrap();
+            }
+            let digest = ledger.purge_approval_digest(4);
+            let mut ms = MultiSignature::new();
+            ms.add(&m.dba, &digest);
+            ms.add(&m.alice, &digest);
+            ledger.purge(4, ms, &[], false).unwrap();
+        }
+        let (ledger, report) = open_durable(
+            config(4),
+            registry,
+            &dir,
+            FsyncPolicy::Always,
+            Arc::new(SimClock::new()),
+        )
+        .unwrap();
+        assert_eq!(report.erases_redone, 0, "purge erasures were durable");
+        let genesis = ledger.pseudo_genesis().unwrap();
+        assert_eq!(genesis.purge_to, 4);
+        assert!(matches!(ledger.get_tx(0), Err(LedgerError::Purged(0))));
+        assert!(ledger.get_payload(5).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_wal_tail_drops_only_unsealed_journals() {
+        let dir = temp_dir("torn-wal");
+        let (registry, m) = members();
+        {
+            let (mut ledger, _) = open_durable(
+                config(4),
+                registry.clone(),
+                &dir,
+                FsyncPolicy::Always,
+                Arc::new(SimClock::new()),
+            )
+            .unwrap();
+            for i in 0..6u64 {
+                ledger.append(tx(&m.alice, &i.to_be_bytes(), &[], i)).unwrap();
+            }
+        }
+        // Tear the WAL inside its final record (journal 5, unsealed).
+        let wal_path = dir.join(WAL_FILE);
+        let len = std::fs::metadata(&wal_path).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&wal_path).unwrap();
+        f.set_len(len - 11).unwrap();
+        drop(f);
+
+        let (ledger, report) = open_durable(
+            config(4),
+            registry,
+            &dir,
+            FsyncPolicy::Always,
+            Arc::new(SimClock::new()),
+        )
+        .unwrap();
+        assert!(report.wal_truncated_bytes > 0);
+        assert_eq!(report.journals_replayed, 5);
+        assert_eq!(report.blocks_verified, 1);
+        // The torn journal's payload is an orphan, trimmed.
+        assert_eq!(report.orphan_payloads_dropped, 1);
+        assert_eq!(ledger.journal_count(), 5);
+        assert_eq!(ledger.block_count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sealed_history_damage_is_fatal() {
+        let dir = temp_dir("sealed-damage");
+        let (registry, m) = members();
+        {
+            let (mut ledger, _) = open_durable(
+                config(2),
+                registry.clone(),
+                &dir,
+                FsyncPolicy::Always,
+                Arc::new(SimClock::new()),
+            )
+            .unwrap();
+            for i in 0..4u64 {
+                ledger.append(tx(&m.alice, &i.to_be_bytes(), &[], i)).unwrap();
+            }
+        }
+        // Zap a *payload* in the sealed region: stream CRC still passes
+        // (we rewrite a valid record) but the journal digest check fails.
+        let store = FileStreamStore::open(&dir.join(PAYLOAD_FILE)).unwrap();
+        store.truncate_records(1).unwrap();
+        store.append(b"forged payload").unwrap();
+        // Restore the slot count so the WAL journals still reference
+        // existing slots (2..4 are simply gone now, also fatal).
+        drop(store);
+
+        match open_durable(config(2), registry, &dir, FsyncPolicy::Always, Arc::new(SimClock::new()))
+        {
+            Err(LedgerError::Recovery(_)) => {}
+            Err(e) => panic!("expected Recovery error, got: {e}"),
+            Ok(_) => panic!("recovery must refuse damaged sealed history"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_record_round_trip() {
+        let (registry, m) = members();
+        let mut ledger = LedgerDb::new(config(4), registry);
+        ledger.append(tx(&m.alice, b"p", &["c"], 0)).unwrap();
+        ledger.seal_block();
+        let j = WalRecord::Journal(ledger.get_tx(0).unwrap().clone());
+        let decoded = WalRecord::from_wire(&j.to_wire()).unwrap();
+        assert!(matches!(decoded, WalRecord::Journal(ref d) if d.jsn == 0));
+        let s = WalRecord::Seal(ledger.blocks()[0].clone());
+        let decoded = WalRecord::from_wire(&s.to_wire()).unwrap();
+        assert!(matches!(decoded, WalRecord::Seal(ref b) if b.height == 0));
+        assert!(WalRecord::from_wire(&[9, 9, 9]).is_err());
+    }
+}

@@ -14,7 +14,7 @@ use ledgerdb_accumulator::fam::{FamProof, TrustedAnchor};
 use ledgerdb_clue::cm_tree::ClueProof;
 use ledgerdb_crypto::digest::Digest;
 use ledgerdb_crypto::multisig::MultiSignature;
-use parking_lot::RwLock;
+use ledgerdb_crypto::sync::RwLock;
 use std::sync::Arc;
 
 /// A cloneable, thread-safe handle to one ledger.

@@ -30,6 +30,7 @@ pub mod multisig;
 pub mod point;
 pub mod scalar;
 pub mod sha256;
+pub mod sync;
 pub mod u256;
 pub mod wire;
 

@@ -12,13 +12,19 @@
 //!   asynchronous variant.
 //! * [`survival`] — the survival stream (§III-A2): milestone journals the
 //!   user pins so they outlive a purge.
+//! * [`crc32`] — the checksum framing every on-disk stream record.
+//! * [`fault`] — a deterministic fault-injection decorator used by the
+//!   recovery torture tests.
 
+pub mod crc32;
+pub mod fault;
 pub mod occult_index;
 pub mod stream;
 pub mod survival;
 
+pub use fault::{Fault, FaultStore};
 pub use occult_index::OccultIndex;
-pub use stream::{FileStreamStore, MemoryStreamStore, StreamStore};
+pub use stream::{FileStreamStore, FsyncPolicy, MemoryStreamStore, StreamStore};
 pub use survival::SurvivalStream;
 
 use std::fmt;

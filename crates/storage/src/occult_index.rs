@@ -6,7 +6,7 @@
 //! reorganization utility, which scans from the *occulted anchor* during
 //! idle batches.
 
-use parking_lot::RwLock;
+use ledgerdb_crypto::sync::RwLock;
 
 /// A growable bitmap over jsns with an erase anchor.
 #[derive(Default)]

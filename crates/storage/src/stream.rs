@@ -5,12 +5,37 @@
 //! [`StreamStore`] is that shared storage: slots are addressed by the jsn
 //! they belong to, appends are strictly sequential, and erasure (for purge
 //! and occult) tombstones a slot without renumbering.
+//!
+//! # On-disk format (version 2)
+//!
+//! The file-backed store is a crash-consistent record log:
+//!
+//! ```text
+//! file   := magic record*
+//! magic  := "LDBSTRM2"                                 (8 bytes)
+//! record := len:u32 flags:u8 digest:[u8;32] payload:[u8;len] crc:u32
+//! ```
+//!
+//! `crc` is CRC32 (IEEE) over everything before it in the record, so a
+//! torn or bit-flipped record never yields garbage payloads. Opening a
+//! store re-scans the log verifying every CRC:
+//!
+//! * a **partial final record** (the file ends before the record does) is
+//!   the signature of a crash mid-append — it is *trimmed* and reported
+//!   via [`StreamStore::truncated_bytes`], not treated as corruption;
+//! * a **complete record with a bad CRC** means bit rot or tampering and
+//!   fails the open with [`StorageError::Corrupt`].
+//!
+//! Durability of appends is governed by [`FsyncPolicy`]. Erasure always
+//! zeroes the payload bytes on disk, rewrites the CRC for the zeroed
+//! form, and syncs — occult (§III-A3) promises *physical* erasure.
 
+use crate::crc32::{crc32, Crc32};
 use crate::StorageError;
+use ledgerdb_crypto::sync::RwLock;
 use ledgerdb_crypto::{sha256, Digest};
-use parking_lot::RwLock;
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// The stream-store interface shared by memory and file backends.
@@ -41,6 +66,22 @@ pub trait StreamStore: Send + Sync {
 
     /// True when the slot's payload has been erased.
     fn is_erased(&self, index: u64) -> Result<bool, StorageError>;
+
+    /// Force buffered appends to stable storage (no-op for memory).
+    fn sync(&self) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    /// Bytes trimmed from a torn tail when the store was opened (0 for
+    /// memory stores and freshly created files).
+    fn truncated_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Drop every slot at index `new_len` and beyond. Recovery uses this
+    /// to discard orphan payloads whose journal metadata never became
+    /// durable.
+    fn truncate_records(&self, new_len: u64) -> Result<(), StorageError>;
 }
 
 enum Slot {
@@ -134,104 +175,307 @@ impl StreamStore for MemoryStreamStore {
             None => Err(StorageError::OutOfRange { index, len: slots.len() as u64 }),
         }
     }
+
+    fn truncate_records(&self, new_len: u64) -> Result<(), StorageError> {
+        let mut slots = self.slots.write();
+        if new_len > slots.len() as u64 {
+            return Err(StorageError::OutOfRange { index: new_len, len: slots.len() as u64 });
+        }
+        slots.truncate(new_len as usize);
+        Ok(())
+    }
 }
 
-/// Record header on disk: digest (32) + erased flag (1) + length (8).
-const REC_HEADER: usize = 41;
+/// When appends reach stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every append — the crash window is a single
+    /// (recoverable) torn record.
+    Always,
+    /// `fdatasync` every N appends — bounds loss to the last N-1 records.
+    EveryN(u64),
+    /// Never sync on the append path; the OS flushes when it pleases.
+    /// `erase` still syncs (physical erasure is a promise, not a hint).
+    Never,
+}
 
-/// A file-backed stream store: one data file, an in-memory offset index.
-///
-/// Layout per record: `digest || erased || len || payload-or-zeros`.
-/// Erase zeroes the payload region and flips the flag, keeping the digest
-/// tombstone addressable.
+impl Default for FsyncPolicy {
+    fn default() -> Self {
+        FsyncPolicy::Always
+    }
+}
+
+/// Stream file magic ("version 2" = CRC-framed records).
+const STREAM_MAGIC: &[u8; 8] = b"LDBSTRM2";
+/// Record header: len (4) + flags (1) + digest (32).
+pub const REC_HEADER: usize = 37;
+/// CRC32 trailer.
+pub const REC_TRAILER: usize = 4;
+/// Flags values.
+const FLAG_LIVE: u8 = 0;
+const FLAG_ERASED: u8 = 1;
+
+/// Serialize one record (header + payload + CRC trailer). Public so the
+/// fault-injection store can write deliberately truncated prefixes of a
+/// valid record, simulating a crash mid-append.
+pub fn encode_record(digest: &Digest, erased: bool, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(REC_HEADER + payload.len() + REC_TRAILER);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.push(if erased { FLAG_ERASED } else { FLAG_LIVE });
+    out.extend_from_slice(&digest.0);
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_be_bytes());
+    out
+}
+
+#[derive(Clone, Copy)]
+struct RecordMeta {
+    off: u64,
+    len: u32,
+    erased: bool,
+    digest: Digest,
+}
+
+struct Inner {
+    file: File,
+    /// Cached end-of-file offset (avoids a seek per append).
+    end: u64,
+    /// Appends since the last fdatasync (for `FsyncPolicy::EveryN`).
+    since_sync: u64,
+}
+
+/// A file-backed stream store: one CRC-framed record log plus an
+/// in-memory record index.
 pub struct FileStreamStore {
-    file: RwLock<File>,
-    /// Byte offset of each record.
-    offsets: RwLock<Vec<u64>>,
+    inner: RwLock<Inner>,
+    meta: RwLock<Vec<RecordMeta>>,
+    policy: FsyncPolicy,
+    /// Torn-tail bytes trimmed at open (0 for created stores).
+    truncated: u64,
 }
 
 impl FileStreamStore {
-    /// Create (or truncate) a store at `path`.
+    /// Create (or truncate) a store at `path` with the default
+    /// (`Always`) fsync policy.
     pub fn create(path: &Path) -> Result<Self, StorageError> {
-        let file = OpenOptions::new()
+        Self::create_with(path, FsyncPolicy::default())
+    }
+
+    /// Create (or truncate) a store at `path`.
+    pub fn create_with(path: &Path, policy: FsyncPolicy) -> Result<Self, StorageError> {
+        let mut file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
             .open(path)?;
-        Ok(FileStreamStore { file: RwLock::new(file), offsets: RwLock::new(Vec::new()) })
+        file.write_all(STREAM_MAGIC)?;
+        file.sync_data()?;
+        Ok(FileStreamStore {
+            inner: RwLock::new(Inner { file, end: STREAM_MAGIC.len() as u64, since_sync: 0 }),
+            meta: RwLock::new(Vec::new()),
+            policy,
+            truncated: 0,
+        })
     }
 
-    /// Reopen an existing store, rebuilding the offset index by scanning.
+    /// Reopen an existing store with the default (`Always`) policy.
     pub fn open(path: &Path) -> Result<Self, StorageError> {
+        Self::open_with(path, FsyncPolicy::default())
+    }
+
+    /// Reopen an existing store: verify the magic, re-scan every record
+    /// (checking each CRC), and trim a torn tail if the file ends inside
+    /// a record. A complete record that fails its CRC is corruption and
+    /// fails the open.
+    pub fn open_with(path: &Path, policy: FsyncPolicy) -> Result<Self, StorageError> {
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
-        let mut offsets = Vec::new();
         let end = file.seek(SeekFrom::End(0))?;
-        let mut pos = 0u64;
+        let magic_len = STREAM_MAGIC.len() as u64;
+
+        // A file shorter than the magic can only be a crash during
+        // creation: restore the empty store.
+        if end < magic_len {
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(STREAM_MAGIC)?;
+            file.sync_data()?;
+            return Ok(FileStreamStore {
+                inner: RwLock::new(Inner { file, end: magic_len, since_sync: 0 }),
+                meta: RwLock::new(Vec::new()),
+                policy,
+                truncated: end,
+            });
+        }
+
+        file.seek(SeekFrom::Start(0))?;
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic)?;
+        if &magic != STREAM_MAGIC {
+            return Err(StorageError::Corrupt("bad stream magic"));
+        }
+
+        let mut meta = Vec::new();
+        let mut pos = magic_len;
         let mut header = [0u8; REC_HEADER];
+        let mut torn = false;
         while pos < end {
+            let remaining = end - pos;
+            if remaining < (REC_HEADER + REC_TRAILER) as u64 {
+                torn = true;
+                break;
+            }
             file.seek(SeekFrom::Start(pos))?;
-            file.read_exact(&mut header)
-                .map_err(|_| StorageError::Corrupt("truncated record header"))?;
-            let len = u64::from_be_bytes(header[33..41].try_into().expect("fixed width"));
-            offsets.push(pos);
-            pos += REC_HEADER as u64 + len;
+            file.read_exact(&mut header)?;
+            let len = u32::from_be_bytes(header[0..4].try_into().expect("fixed width"));
+            let flags = header[4];
+            let total = (REC_HEADER + REC_TRAILER) as u64 + len as u64;
+            if remaining < total {
+                torn = true;
+                break;
+            }
+            let mut body = vec![0u8; len as usize + REC_TRAILER];
+            file.read_exact(&mut body)?;
+            let stored_crc =
+                u32::from_be_bytes(body[len as usize..].try_into().expect("fixed width"));
+            let mut crc = Crc32::new();
+            crc.update(&header);
+            crc.update(&body[..len as usize]);
+            if crc.finalize() != stored_crc {
+                // The record is complete on disk, so this is not a torn
+                // write — it is bit rot or tampering.
+                return Err(StorageError::Corrupt("record crc mismatch"));
+            }
+            if flags > FLAG_ERASED {
+                return Err(StorageError::Corrupt("bad record flags"));
+            }
+            meta.push(RecordMeta {
+                off: pos,
+                len,
+                erased: flags == FLAG_ERASED,
+                digest: Digest(header[5..37].try_into().expect("fixed width")),
+            });
+            pos += total;
         }
-        if pos != end {
-            return Err(StorageError::Corrupt("trailing bytes after last record"));
+        let truncated = if torn {
+            file.set_len(pos)?;
+            file.sync_data()?;
+            end - pos
+        } else {
+            0
+        };
+        Ok(FileStreamStore {
+            inner: RwLock::new(Inner { file, end: pos, since_sync: 0 }),
+            meta: RwLock::new(meta),
+            policy,
+            truncated,
+        })
+    }
+
+    /// Byte span `(offset, length)` of record `index` in the file —
+    /// exposed for fault injection and forensic tests.
+    pub fn record_span(&self, index: u64) -> Option<(u64, u64)> {
+        let meta = self.meta.read();
+        meta.get(index as usize)
+            .map(|m| (m.off, (REC_HEADER + REC_TRAILER) as u64 + m.len as u64))
+    }
+
+    /// Append raw bytes at the end of the log *without* registering a
+    /// record, then sync. This simulates the on-disk effect of a crash
+    /// mid-append (the process died; its in-memory index never learned
+    /// about the bytes). Used by the fault-injection store.
+    pub fn raw_append(&self, bytes: &[u8]) -> Result<(), StorageError> {
+        let mut inner = self.inner.write();
+        let end = inner.end;
+        inner.file.seek(SeekFrom::Start(end))?;
+        inner.file.write_all(bytes)?;
+        inner.file.sync_data()?;
+        inner.end += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// XOR `mask` into one byte of record `index` on disk (fault
+    /// injection: simulated bit rot). The in-memory index is untouched.
+    pub fn corrupt_byte(&self, index: u64, byte: u64, mask: u8) -> Result<(), StorageError> {
+        let (off, total) = self
+            .record_span(index)
+            .ok_or(StorageError::OutOfRange { index, len: self.len() })?;
+        let target = off + byte.min(total - 1);
+        let mut inner = self.inner.write();
+        inner.file.seek(SeekFrom::Start(target))?;
+        let mut b = [0u8; 1];
+        inner.file.read_exact(&mut b)?;
+        b[0] ^= mask;
+        inner.file.seek(SeekFrom::Start(target))?;
+        inner.file.write_all(&b)?;
+        inner.file.sync_data()?;
+        Ok(())
+    }
+
+    fn append_record(
+        &self,
+        digest: Digest,
+        erased: bool,
+        payload: &[u8],
+    ) -> Result<u64, StorageError> {
+        if payload.len() as u64 > u32::MAX as u64 {
+            return Err(StorageError::Corrupt("payload exceeds record size limit"));
         }
-        Ok(FileStreamStore { file: RwLock::new(file), offsets: RwLock::new(offsets) })
+        let record = encode_record(&digest, erased, payload);
+        let mut inner = self.inner.write();
+        let off = inner.end;
+        inner.file.seek(SeekFrom::Start(off))?;
+        inner.file.write_all(&record)?;
+        inner.end += record.len() as u64;
+        inner.since_sync += 1;
+        let do_sync = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => inner.since_sync >= n.max(1),
+            FsyncPolicy::Never => false,
+        };
+        if do_sync {
+            inner.file.sync_data()?;
+            inner.since_sync = 0;
+        }
+        let mut meta = self.meta.write();
+        meta.push(RecordMeta { off, len: payload.len() as u32, erased, digest });
+        Ok(meta.len() as u64 - 1)
     }
 
     fn read_record(&self, index: u64) -> Result<(Digest, bool, Vec<u8>), StorageError> {
-        let offsets = self.offsets.read();
-        let &off = offsets
-            .get(index as usize)
-            .ok_or(StorageError::OutOfRange { index, len: offsets.len() as u64 })?;
-        let mut file = self.file.write();
-        file.seek(SeekFrom::Start(off))?;
-        let mut header = [0u8; REC_HEADER];
-        file.read_exact(&mut header)?;
-        let digest = Digest(header[..32].try_into().expect("fixed width"));
-        let erased = header[32] != 0;
-        let len = u64::from_be_bytes(header[33..41].try_into().expect("fixed width"));
-        let mut payload = vec![0u8; len as usize];
-        file.read_exact(&mut payload)?;
+        let m = {
+            let meta = self.meta.read();
+            *meta
+                .get(index as usize)
+                .ok_or(StorageError::OutOfRange { index, len: meta.len() as u64 })?
+        };
+        let total = REC_HEADER + m.len as usize + REC_TRAILER;
+        let mut buf = vec![0u8; total];
+        {
+            let mut inner = self.inner.write();
+            inner.file.seek(SeekFrom::Start(m.off))?;
+            inner.file.read_exact(&mut buf)?;
+        }
+        let stored_crc =
+            u32::from_be_bytes(buf[total - REC_TRAILER..].try_into().expect("fixed width"));
+        if crc32(&buf[..total - REC_TRAILER]) != stored_crc {
+            return Err(StorageError::Corrupt("record crc mismatch"));
+        }
+        let erased = buf[4] == FLAG_ERASED;
+        let digest = Digest(buf[5..37].try_into().expect("fixed width"));
+        let payload = buf[REC_HEADER..total - REC_TRAILER].to_vec();
         Ok((digest, erased, payload))
     }
 }
 
 impl StreamStore for FileStreamStore {
     fn append(&self, payload: &[u8]) -> Result<u64, StorageError> {
-        let digest = sha256(payload);
-        let mut file = self.file.write();
-        let off = file.seek(SeekFrom::End(0))?;
-        {
-            let mut w = BufWriter::new(&mut *file);
-            w.write_all(&digest.0)?;
-            w.write_all(&[0u8])?;
-            w.write_all(&(payload.len() as u64).to_be_bytes())?;
-            w.write_all(payload)?;
-            w.flush()?;
-        }
-        let mut offsets = self.offsets.write();
-        offsets.push(off);
-        Ok(offsets.len() as u64 - 1)
+        self.append_record(sha256(payload), false, payload)
     }
 
     fn append_erased(&self, digest: Digest) -> Result<u64, StorageError> {
-        let mut file = self.file.write();
-        let off = file.seek(SeekFrom::End(0))?;
-        {
-            let mut w = BufWriter::new(&mut *file);
-            w.write_all(&digest.0)?;
-            w.write_all(&[1u8])?;
-            w.write_all(&0u64.to_be_bytes())?;
-            w.flush()?;
-        }
-        let mut offsets = self.offsets.write();
-        offsets.push(off);
-        Ok(offsets.len() as u64 - 1)
+        self.append_record(digest, true, &[])
     }
 
     fn read(&self, index: u64) -> Result<Vec<u8>, StorageError> {
@@ -243,45 +487,89 @@ impl StreamStore for FileStreamStore {
     }
 
     fn digest(&self, index: u64) -> Result<Digest, StorageError> {
-        let (digest, _, _) = self.read_record(index)?;
-        Ok(digest)
+        let meta = self.meta.read();
+        meta.get(index as usize)
+            .map(|m| m.digest)
+            .ok_or(StorageError::OutOfRange { index, len: meta.len() as u64 })
     }
 
+    /// Physically erase: zero the payload bytes, flip the flag, rewrite
+    /// the CRC for the zeroed form, and sync — regardless of the append
+    /// fsync policy.
     fn erase(&self, index: u64) -> Result<(), StorageError> {
-        let offsets = self.offsets.read();
-        let &off = offsets
+        let mut inner = self.inner.write();
+        let mut meta = self.meta.write();
+        let m = *meta
             .get(index as usize)
-            .ok_or(StorageError::OutOfRange { index, len: offsets.len() as u64 })?;
-        drop(offsets);
-        let mut file = self.file.write();
-        // Flip the erased flag.
-        file.seek(SeekFrom::Start(off + 32))?;
-        file.write_all(&[1u8])?;
-        // Zero the payload region.
-        file.seek(SeekFrom::Start(off + 33))?;
-        let mut len_bytes = [0u8; 8];
-        file.read_exact(&mut len_bytes)?;
-        let len = u64::from_be_bytes(len_bytes);
-        file.seek(SeekFrom::Start(off + REC_HEADER as u64))?;
-        let zeros = vec![0u8; len as usize];
-        file.write_all(&zeros)?;
-        file.flush()?;
+            .ok_or(StorageError::OutOfRange { index, len: meta.len() as u64 })?;
+        if m.erased {
+            return Ok(()); // Idempotent.
+        }
+        // Rewrite the record in its erased form: same len field, erased
+        // flag, same digest tombstone, zeroed payload, fresh CRC.
+        let mut record = Vec::with_capacity(REC_HEADER + m.len as usize + REC_TRAILER);
+        record.extend_from_slice(&m.len.to_be_bytes());
+        record.push(FLAG_ERASED);
+        record.extend_from_slice(&m.digest.0);
+        record.resize(REC_HEADER + m.len as usize, 0);
+        let crc = crc32(&record);
+        record.extend_from_slice(&crc.to_be_bytes());
+        inner.file.seek(SeekFrom::Start(m.off))?;
+        inner.file.write_all(&record)?;
+        inner.file.sync_data()?;
+        meta[index as usize].erased = true;
         Ok(())
     }
 
     fn len(&self) -> u64 {
-        self.offsets.read().len() as u64
+        self.meta.read().len() as u64
     }
 
     fn is_erased(&self, index: u64) -> Result<bool, StorageError> {
-        let (_, erased, _) = self.read_record(index)?;
-        Ok(erased)
+        let meta = self.meta.read();
+        meta.get(index as usize)
+            .map(|m| m.erased)
+            .ok_or(StorageError::OutOfRange { index, len: meta.len() as u64 })
+    }
+
+    fn sync(&self) -> Result<(), StorageError> {
+        let mut inner = self.inner.write();
+        inner.file.sync_data()?;
+        inner.since_sync = 0;
+        Ok(())
+    }
+
+    fn truncated_bytes(&self) -> u64 {
+        self.truncated
+    }
+
+    fn truncate_records(&self, new_len: u64) -> Result<(), StorageError> {
+        let mut inner = self.inner.write();
+        let mut meta = self.meta.write();
+        if new_len > meta.len() as u64 {
+            return Err(StorageError::OutOfRange { index: new_len, len: meta.len() as u64 });
+        }
+        if new_len == meta.len() as u64 {
+            return Ok(());
+        }
+        let new_end = meta[new_len as usize].off;
+        inner.file.set_len(new_end)?;
+        inner.file.sync_data()?;
+        inner.end = new_end;
+        meta.truncate(new_len as usize);
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ledgerdb-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
 
     fn exercise(store: &dyn StreamStore) {
         let a = store.append(b"payload-a").unwrap();
@@ -313,8 +601,7 @@ mod tests {
 
     #[test]
     fn file_store() {
-        let dir = std::env::temp_dir().join(format!("ledgerdb-stream-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = temp_dir("stream");
         let path = dir.join("stream.dat");
         {
             let store = FileStreamStore::create(&path).unwrap();
@@ -323,6 +610,7 @@ mod tests {
         // Reopen: index rebuilt by scan; erasure and digests persist.
         let store = FileStreamStore::open(&path).unwrap();
         assert_eq!(store.len(), 2);
+        assert_eq!(store.truncated_bytes(), 0);
         assert!(store.is_erased(0).unwrap());
         assert_eq!(store.read(1).unwrap(), b"payload-b");
         assert_eq!(store.digest(0).unwrap(), sha256(b"payload-a"));
@@ -330,19 +618,173 @@ mod tests {
     }
 
     #[test]
-    fn file_store_detects_corruption() {
-        let dir = std::env::temp_dir().join(format!("ledgerdb-corrupt-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+    fn torn_tail_is_trimmed_not_fatal() {
+        let dir = temp_dir("torntail");
+        let path = dir.join("stream.dat");
+        let (off, full) = {
+            let store = FileStreamStore::create(&path).unwrap();
+            store.append(b"first record").unwrap();
+            store.append(b"second record, about to be torn").unwrap();
+            let (off, _) = store.record_span(1).unwrap();
+            (off, std::fs::metadata(&path).unwrap().len())
+        };
+        // Cut into the middle of the second record.
+        let cut = off + 10;
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(cut).unwrap();
+        drop(f);
+
+        let store = FileStreamStore::open(&path).unwrap();
+        assert_eq!(store.len(), 1, "clean prefix recovered");
+        assert_eq!(store.truncated_bytes(), cut - off);
+        assert_eq!(store.read(0).unwrap(), b"first record");
+        // The trim is durable: a second reopen sees a clean log.
+        drop(store);
+        let store = FileStreamStore::open(&path).unwrap();
+        assert_eq!(store.truncated_bytes(), 0);
+        assert!(std::fs::metadata(&path).unwrap().len() < full);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flip_is_corruption_not_torn_tail() {
+        let dir = temp_dir("bitflip");
         let path = dir.join("stream.dat");
         {
             let store = FileStreamStore::create(&path).unwrap();
-            store.append(b"data").unwrap();
+            store.append(b"data that must stay intact").unwrap();
+            // Flip a payload byte after the record is fully on disk.
+            store.corrupt_byte(0, REC_HEADER as u64 + 3, 0x40).unwrap();
         }
-        // Truncate mid-record.
-        let f = OpenOptions::new().write(true).open(&path).unwrap();
-        f.set_len(REC_HEADER as u64 + 1).unwrap();
-        drop(f);
-        assert!(matches!(FileStreamStore::open(&path), Err(StorageError::Corrupt(_))));
+        assert!(matches!(
+            FileStreamStore::open(&path),
+            Err(StorageError::Corrupt("record crc mismatch"))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_verifies_crc() {
+        let dir = temp_dir("readcrc");
+        let path = dir.join("stream.dat");
+        let store = FileStreamStore::create(&path).unwrap();
+        store.append(b"verified on every read").unwrap();
+        assert!(store.read(0).is_ok());
+        store.corrupt_byte(0, REC_HEADER as u64, 0x80).unwrap();
+        assert!(matches!(store.read(0), Err(StorageError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn erase_zeroizes_bytes_on_disk() {
+        let dir = temp_dir("zeroize");
+        let path = dir.join("stream.dat");
+        let secret = b"extremely sensitive payload bytes";
+        let store = FileStreamStore::create(&path).unwrap();
+        store.append(secret).unwrap();
+        let (off, total) = store.record_span(0).unwrap();
+        store.erase(0).unwrap();
+        drop(store);
+
+        let raw = std::fs::read(&path).unwrap();
+        let payload_region =
+            &raw[(off as usize + REC_HEADER)..(off as usize + total as usize - REC_TRAILER)];
+        assert!(payload_region.iter().all(|&b| b == 0), "payload bytes zeroed on disk");
+        assert!(
+            !raw.windows(secret.len()).any(|w| w == secret),
+            "no trace of the secret anywhere in the file"
+        );
+        // The erased record still round-trips its CRC on reopen.
+        let store = FileStreamStore::open(&path).unwrap();
+        assert!(store.is_erased(0).unwrap());
+        assert_eq!(store.digest(0).unwrap(), sha256(secret));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsync_policies_accept_appends() {
+        for (tag, policy) in [
+            ("always", FsyncPolicy::Always),
+            ("every3", FsyncPolicy::EveryN(3)),
+            ("never", FsyncPolicy::Never),
+        ] {
+            let dir = temp_dir(&format!("policy-{tag}"));
+            let path = dir.join("stream.dat");
+            let store = FileStreamStore::create_with(&path, policy).unwrap();
+            for i in 0..10u64 {
+                store.append(&i.to_be_bytes()).unwrap();
+            }
+            store.sync().unwrap();
+            drop(store);
+            let store = FileStreamStore::open(&path).unwrap();
+            assert_eq!(store.len(), 10);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn kill_at_every_offset_recovers_or_reports() {
+        // Satellite: truncate a valid stream at EVERY byte boundary; open
+        // must either recover a clean prefix or (never here, since pure
+        // truncation is always a torn tail) return Corrupt — and never
+        // panic or return garbage.
+        let dir = temp_dir("killatoffset");
+        let golden = dir.join("golden.dat");
+        let payloads: Vec<Vec<u8>> = vec![
+            b"alpha".to_vec(),
+            Vec::new(), // empty payload record
+            vec![0xEE; 100],
+            b"delta-journal".to_vec(),
+        ];
+        let mut ends = Vec::new();
+        {
+            let store = FileStreamStore::create(&golden).unwrap();
+            for p in &payloads {
+                let i = store.append(p).unwrap();
+                let (off, total) = store.record_span(i).unwrap();
+                ends.push(off + total);
+            }
+        }
+        let bytes = std::fs::read(&golden).unwrap();
+        let victim = dir.join("victim.dat");
+        for cut in 0..=bytes.len() as u64 {
+            std::fs::write(&victim, &bytes[..cut as usize]).unwrap();
+            let store = match FileStreamStore::open_with(&victim, FsyncPolicy::Never) {
+                Ok(s) => s,
+                Err(StorageError::Corrupt(_)) => continue, // acceptable: reported, not silent
+                Err(e) => panic!("unexpected error at cut {cut}: {e}"),
+            };
+            let expect = ends.iter().filter(|&&e| e <= cut).count() as u64;
+            assert_eq!(store.len(), expect, "clean prefix at cut {cut}");
+            for i in 0..expect {
+                assert_eq!(
+                    store.read(i).unwrap(),
+                    payloads[i as usize],
+                    "record {i} at cut {cut}"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_records_drops_tail_slots() {
+        let dir = temp_dir("truncrec");
+        let path = dir.join("stream.dat");
+        let store = FileStreamStore::create(&path).unwrap();
+        for i in 0..5u64 {
+            store.append(format!("rec-{i}").as_bytes()).unwrap();
+        }
+        store.truncate_records(3).unwrap();
+        assert_eq!(store.len(), 3);
+        assert!(store.read(3).is_err());
+        // New appends land after the truncation point and survive reopen.
+        store.append(b"rec-3-replacement").unwrap();
+        drop(store);
+        let store = FileStreamStore::open(&path).unwrap();
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.read(3).unwrap(), b"rec-3-replacement");
+        assert!(store.truncate_records(9).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -351,5 +793,17 @@ mod tests {
         let store = MemoryStreamStore::new();
         let i = store.append(b"").unwrap();
         assert_eq!(store.read(i).unwrap(), b"");
+    }
+
+    #[test]
+    fn old_format_rejected_loudly() {
+        let dir = temp_dir("oldfmt");
+        let path = dir.join("stream.dat");
+        std::fs::write(&path, b"not-a-stream-file-at-all").unwrap();
+        assert!(matches!(
+            FileStreamStore::open(&path),
+            Err(StorageError::Corrupt("bad stream magic"))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

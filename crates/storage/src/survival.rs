@@ -6,7 +6,7 @@
 
 use crate::StorageError;
 use ledgerdb_crypto::{sha256, Digest};
-use parking_lot::RwLock;
+use ledgerdb_crypto::sync::RwLock;
 use std::collections::BTreeMap;
 
 /// A pinned milestone journal.

@@ -20,7 +20,7 @@ use ledgerdb_crypto::digest::Digest;
 use ledgerdb_crypto::ecdsa::Signature;
 use ledgerdb_crypto::keys::{KeyPair, PublicKey};
 use ledgerdb_crypto::sha256::Sha256;
-use parking_lot::Mutex;
+use ledgerdb_crypto::sync::Mutex;
 use std::sync::Arc;
 
 /// T-Ledger tuning knobs.

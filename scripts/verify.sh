@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build, full test suite, and the recovery
+# torture run (fault injection through the durability layer).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q (workspace + integration + property tests) =="
+cargo test -q
+
+echo "== recovery torture (release, seeded fault sweep) =="
+cargo test --release -q --test torture_recovery
+
+echo "verify.sh: all green"

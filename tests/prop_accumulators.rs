@@ -1,6 +1,9 @@
 //! Property-based tests for the accumulator structures: Shrubs (including
 //! batch proofs), fam, tim and bim, cross-checked against the naive
 //! binary Merkle reference where shapes coincide.
+//!
+//! Cases come from the deterministic in-repo harness
+//! (`ledgerdb_bench::cases`); see that module for the seeding scheme.
 
 use ledgerdb::accumulator::binary::{merkle_prove, merkle_root, merkle_verify};
 use ledgerdb::accumulator::fam::{FamTree, TrustedAnchor};
@@ -8,19 +11,17 @@ use ledgerdb::accumulator::shrubs::Shrubs;
 use ledgerdb::accumulator::tim::TimAccumulator;
 use ledgerdb::accumulator::BimChain;
 use ledgerdb::crypto::{hash_leaf, Digest};
-use proptest::prelude::*;
+use ledgerdb_bench::cases::run_cases;
 
 fn digests(seeds: &[u8]) -> Vec<Digest> {
     seeds.iter().enumerate().map(|(i, s)| hash_leaf(&[*s, i as u8, (i >> 8) as u8])).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every leaf of a Shrubs accumulator proves against the root.
-    #[test]
-    fn shrubs_all_leaves_prove(seeds in prop::collection::vec(any::<u8>(), 1..200)) {
-        let leaves = digests(&seeds);
+/// Every leaf of a Shrubs accumulator proves against the root.
+#[test]
+fn shrubs_all_leaves_prove() {
+    run_cases("shrubs all leaves prove", 64, |g| {
+        let leaves = digests(&g.bytes(1..=199));
         let mut s = Shrubs::new();
         for l in &leaves {
             s.append(*l);
@@ -28,72 +29,73 @@ proptest! {
         let root = s.root();
         for (i, l) in leaves.iter().enumerate() {
             let proof = s.prove(i as u64).unwrap();
-            prop_assert!(Shrubs::verify(&root, l, &proof).is_ok());
+            assert!(Shrubs::verify(&root, l, &proof).is_ok());
         }
-    }
+    });
+}
 
-    /// A proof for leaf i never verifies a different leaf digest.
-    #[test]
-    fn shrubs_rejects_wrong_leaf(
-        seeds in prop::collection::vec(any::<u8>(), 2..100),
-        target in any::<prop::sample::Index>(),
-    ) {
-        let leaves = digests(&seeds);
+/// A proof for leaf i never verifies a different leaf digest.
+#[test]
+fn shrubs_rejects_wrong_leaf() {
+    run_cases("shrubs rejects wrong leaf", 64, |g| {
+        let leaves = digests(&g.bytes(2..=99));
         let mut s = Shrubs::new();
         for l in &leaves {
             s.append(*l);
         }
         let root = s.root();
-        let i = target.index(leaves.len());
-        let proof = s.prove(i as u64).unwrap();
+        let i = g.below(leaves.len() as u64);
+        let proof = s.prove(i).unwrap();
         let wrong = hash_leaf(b"definitely wrong");
-        prop_assert!(Shrubs::verify(&root, &wrong, &proof).is_err());
-    }
+        assert!(Shrubs::verify(&root, &wrong, &proof).is_err());
+    });
+}
 
-    /// The frontier always bags to the root, after any number of appends.
-    #[test]
-    fn shrubs_frontier_invariant(seeds in prop::collection::vec(any::<u8>(), 1..300)) {
-        let leaves = digests(&seeds);
+/// The frontier always bags to the root, after any number of appends.
+#[test]
+fn shrubs_frontier_invariant() {
+    run_cases("shrubs frontier invariant", 64, |g| {
+        let leaves = digests(&g.bytes(1..=299));
         let mut s = Shrubs::new();
         for l in &leaves {
             s.append(*l);
-            prop_assert_eq!(Shrubs::root_of_frontier(&s.frontier()), s.root());
+            assert_eq!(Shrubs::root_of_frontier(&s.frontier()), s.root());
         }
-    }
+    });
+}
 
-    /// Batch proofs verify for arbitrary index subsets, and carry no more
-    /// digests than the per-leaf proofs combined.
-    #[test]
-    fn shrubs_batch_subset(
-        seeds in prop::collection::vec(any::<u8>(), 2..120),
-        picks in prop::collection::vec(any::<prop::sample::Index>(), 1..10),
-    ) {
-        let leaves = digests(&seeds);
+/// Batch proofs verify for arbitrary index subsets, and carry no more
+/// digests than the per-leaf proofs combined.
+#[test]
+fn shrubs_batch_subset() {
+    run_cases("shrubs batch subset", 64, |g| {
+        let leaves = digests(&g.bytes(2..=119));
         let mut s = Shrubs::new();
         for l in &leaves {
             s.append(*l);
         }
         let root = s.root();
+        let picks = g.usize_in(1..=9);
         let mut indices: Vec<u64> =
-            picks.iter().map(|p| p.index(leaves.len()) as u64).collect();
+            (0..picks).map(|_| g.below(leaves.len() as u64)).collect();
         indices.sort_unstable();
         indices.dedup();
         let proof = s.prove_batch(&indices).unwrap();
         let entries: Vec<(u64, Digest)> =
             indices.iter().map(|&i| (i, leaves[i as usize])).collect();
-        prop_assert!(Shrubs::verify_batch(&root, &entries, &proof).is_ok());
+        assert!(Shrubs::verify_batch(&root, &entries, &proof).is_ok());
         let individual: usize = indices.iter().map(|&i| s.prove(i).unwrap().len()).sum();
-        prop_assert!(proof.len() <= individual);
-    }
+        assert!(proof.len() <= individual);
+    });
+}
 
-    /// fam: every journal proves against the live root with or without an
-    /// anchor, across arbitrary δ and sizes.
-    #[test]
-    fn fam_proofs_hold(
-        delta in 1u32..6,
-        seeds in prop::collection::vec(any::<u8>(), 1..150),
-    ) {
-        let leaves = digests(&seeds);
+/// fam: every journal proves against the live root with or without an
+/// anchor, across arbitrary δ and sizes.
+#[test]
+fn fam_proofs_hold() {
+    run_cases("fam proofs hold", 64, |g| {
+        let delta = g.in_range(1..=5) as u32;
+        let leaves = digests(&g.bytes(1..=149));
         let mut fam = FamTree::new(delta);
         for l in &leaves {
             fam.append(*l);
@@ -103,67 +105,73 @@ proptest! {
         let fresh = fam.anchor();
         for (i, l) in leaves.iter().enumerate() {
             let p1 = fam.prove(i as u64, &empty).unwrap();
-            prop_assert!(FamTree::verify(&root, &empty, l, &p1).is_ok());
+            assert!(FamTree::verify(&root, &empty, l, &p1).is_ok());
             let p2 = fam.prove(i as u64, &fresh).unwrap();
-            prop_assert!(FamTree::verify(&root, &fresh, l, &p2).is_ok());
+            assert!(FamTree::verify(&root, &fresh, l, &p2).is_ok());
         }
-    }
+    });
+}
 
-    /// fam and tim accumulate the same leaves to different roots, but both
-    /// commit every leaf (no silent drops).
-    #[test]
-    fn fam_and_tim_commit_all(seeds in prop::collection::vec(any::<u8>(), 1..100)) {
-        let leaves = digests(&seeds);
+/// fam and tim accumulate the same leaves to different roots, but both
+/// commit every leaf (no silent drops).
+#[test]
+fn fam_and_tim_commit_all() {
+    run_cases("fam and tim commit all", 64, |g| {
+        let leaves = digests(&g.bytes(1..=99));
         let mut fam = FamTree::new(3);
         let mut tim = TimAccumulator::new();
         for l in &leaves {
             fam.append(*l);
             tim.append(*l);
         }
-        prop_assert_eq!(fam.journal_count(), leaves.len() as u64);
-        prop_assert_eq!(tim.len(), leaves.len() as u64);
-    }
+        assert_eq!(fam.journal_count(), leaves.len() as u64);
+        assert_eq!(tim.len(), leaves.len() as u64);
+    });
+}
 
-    /// The binary reference tree: proofs verify and reject tampering.
-    #[test]
-    fn binary_merkle_sound(seeds in prop::collection::vec(any::<u8>(), 1..64)) {
-        let leaves = digests(&seeds);
+/// The binary reference tree: proofs verify and reject tampering.
+#[test]
+fn binary_merkle_sound() {
+    run_cases("binary merkle sound", 64, |g| {
+        let leaves = digests(&g.bytes(1..=63));
         let root = merkle_root(&leaves);
         for i in 0..leaves.len() {
             let path = merkle_prove(&leaves, i).unwrap();
-            prop_assert!(merkle_verify(&root, &leaves[i], &path));
-            prop_assert!(!merkle_verify(&root, &hash_leaf(b"bad"), &path)
-                || leaves[i] == hash_leaf(b"bad"));
+            assert!(merkle_verify(&root, &leaves[i], &path));
+            assert!(
+                !merkle_verify(&root, &hash_leaf(b"bad"), &path)
+                    || leaves[i] == hash_leaf(b"bad")
+            );
         }
-    }
+    });
+}
 
-    /// bim: SPV proofs hold for every sealed transaction at any block size.
-    #[test]
-    fn bim_spv_sound(
-        block_size in 1usize..20,
-        seeds in prop::collection::vec(any::<u8>(), 1..100),
-    ) {
-        let txs = digests(&seeds);
+/// bim: SPV proofs hold for every sealed transaction at any block size.
+#[test]
+fn bim_spv_sound() {
+    run_cases("bim spv sound", 64, |g| {
+        let block_size = g.usize_in(1..=19);
+        let txs = digests(&g.bytes(1..=99));
         let mut chain = BimChain::new(block_size);
         for t in &txs {
             chain.append(*t);
         }
         chain.seal_block();
-        prop_assert!(BimChain::validate_header_chain(chain.headers()));
+        assert!(BimChain::validate_header_chain(chain.headers()));
         for (i, t) in txs.iter().enumerate() {
             let proof = chain.prove(i as u64).unwrap();
-            prop_assert!(BimChain::verify(chain.headers(), t, &proof).is_ok());
+            assert!(BimChain::verify(chain.headers(), t, &proof).is_ok());
         }
-    }
+    });
+}
 
-    /// Appending to fam never invalidates the relationship between a
-    /// fresh proof and the fresh root (proofs are snapshot-consistent).
-    #[test]
-    fn fam_snapshot_consistency(
-        seeds in prop::collection::vec(any::<u8>(), 10..80),
-        extra in prop::collection::vec(any::<u8>(), 1..20),
-    ) {
-        let leaves = digests(&seeds);
+/// Appending to fam never invalidates the relationship between a
+/// fresh proof and the fresh root (proofs are snapshot-consistent).
+#[test]
+fn fam_snapshot_consistency() {
+    run_cases("fam snapshot consistency", 64, |g| {
+        let leaves = digests(&g.bytes(10..=79));
+        let extra = g.bytes(1..=19);
         let mut fam = FamTree::new(3);
         for l in &leaves {
             fam.append(*l);
@@ -171,14 +179,14 @@ proptest! {
         let empty = TrustedAnchor::default();
         let old_proof = fam.prove(0, &empty).unwrap();
         let old_root = fam.root();
-        prop_assert!(FamTree::verify(&old_root, &empty, &leaves[0], &old_proof).is_ok());
+        assert!(FamTree::verify(&old_root, &empty, &leaves[0], &old_proof).is_ok());
         for l in digests(&extra) {
             fam.append(l);
         }
         // Old proof against the new root must fail; a new proof succeeds.
         let new_root = fam.root();
-        prop_assert!(FamTree::verify(&new_root, &empty, &leaves[0], &old_proof).is_err());
+        assert!(FamTree::verify(&new_root, &empty, &leaves[0], &old_proof).is_err());
         let new_proof = fam.prove(0, &empty).unwrap();
-        prop_assert!(FamTree::verify(&new_root, &empty, &leaves[0], &new_proof).is_ok());
-    }
+        assert!(FamTree::verify(&new_root, &empty, &leaves[0], &new_proof).is_ok());
+    });
 }

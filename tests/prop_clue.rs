@@ -1,13 +1,16 @@
 //! Property-based tests for the clue layer: CM-Tree vs ccMPT agreement,
 //! lineage completeness, and proof tamper-resistance under arbitrary
 //! workloads.
+//!
+//! Cases come from the deterministic in-repo harness
+//! (`ledgerdb_bench::cases`); see that module for the seeding scheme.
 
 use ledgerdb::accumulator::tim::TimAccumulator;
 use ledgerdb::clue::ccmpt::CcMpt;
 use ledgerdb::clue::cm_tree::CmTree;
 use ledgerdb::clue::csl::ClueSkipList;
 use ledgerdb::crypto::{hash_leaf, Digest};
-use proptest::prelude::*;
+use ledgerdb_bench::cases::{run_cases, Gen};
 
 /// A workload: journal i belongs to clue `assignments[i]` (small alphabet
 /// so clues collide heavily).
@@ -35,111 +38,126 @@ fn build(
     (cm, cc, csl, ledger, digests, clues)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Assignments over a narrow alphabet so clues collide heavily.
+fn assignments(g: &mut Gen, len: std::ops::RangeInclusive<usize>, alphabet: u64) -> Vec<u8> {
+    let n = g.usize_in(len);
+    (0..n).map(|_| g.below(alphabet) as u8).collect()
+}
 
-    /// All three indexes agree on per-clue entry counts and jsn lists.
-    #[test]
-    fn indexes_agree(assignments in prop::collection::vec(any::<u8>(), 1..120)) {
-        let (cm, cc, csl, _, _, clues) = build(&assignments);
+/// All three indexes agree on per-clue entry counts and jsn lists.
+#[test]
+fn indexes_agree() {
+    run_cases("indexes agree", 48, |g| {
+        let workload = g.bytes(1..=119);
+        let (cm, cc, csl, _, _, clues) = build(&workload);
         for clue in &clues {
-            prop_assert_eq!(cm.entry_count(clue), cc.entry_count(clue));
-            prop_assert_eq!(cm.entry_count(clue) as usize, csl.entry_count(clue));
-            prop_assert_eq!(cm.jsns(clue), cc.jsns(clue));
-            prop_assert_eq!(cm.jsns(clue).to_vec(), csl.list(clue));
+            assert_eq!(cm.entry_count(clue), cc.entry_count(clue));
+            assert_eq!(cm.entry_count(clue) as usize, csl.entry_count(clue));
+            assert_eq!(cm.jsns(clue), cc.jsns(clue));
+            assert_eq!(cm.jsns(clue).to_vec(), csl.list(clue));
         }
-    }
+    });
+}
 
-    /// Every clue's full lineage verifies through both CM-Tree and ccMPT.
-    #[test]
-    fn both_structures_verify(assignments in prop::collection::vec(any::<u8>(), 1..100)) {
-        let (cm, cc, _, ledger, digests, clues) = build(&assignments);
+/// Every clue's full lineage verifies through both CM-Tree and ccMPT.
+#[test]
+fn both_structures_verify() {
+    run_cases("both structures verify", 48, |g| {
+        let workload = g.bytes(1..=99);
+        let (cm, cc, _, ledger, digests, clues) = build(&workload);
         let cm_root = cm.root();
         let cc_root = cc.root();
         let ledger_root = ledger.root();
         for clue in &clues {
             let p1 = cm.prove_all(clue).unwrap();
-            prop_assert!(CmTree::verify_client(&cm_root, &p1).is_ok());
+            assert!(CmTree::verify_client(&cm_root, &p1).is_ok());
             let p2 = cc.prove(clue, &ledger, |j| digests.get(j as usize).copied()).unwrap();
-            prop_assert!(CcMpt::verify(&cc_root, &ledger_root, &p2).is_ok());
+            assert!(CcMpt::verify(&cc_root, &ledger_root, &p2).is_ok());
         }
-    }
+    });
+}
 
-    /// Dropping or tampering any entry in a CM-Tree proof fails it.
-    #[test]
-    fn cm_tree_tamper_resistance(
-        assignments in prop::collection::vec(any::<u8>(), 3..80),
-        victim in any::<prop::sample::Index>(),
-    ) {
-        let (cm, _, _, _, _, clues) = build(&assignments);
+/// Dropping or tampering any entry in a CM-Tree proof fails it.
+#[test]
+fn cm_tree_tamper_resistance() {
+    run_cases("cm tree tamper resistance", 48, |g| {
+        let workload = g.bytes(3..=79);
+        let (cm, _, _, _, _, clues) = build(&workload);
         let cm_root = cm.root();
-        let clue = &clues[victim.index(clues.len())];
+        let clue = &clues[g.below(clues.len() as u64) as usize];
         let proof = cm.prove_all(clue).unwrap();
         if proof.entries.len() > 1 {
             let mut dropped = proof.clone();
-            dropped.entries.remove(victim.index(dropped.entries.len()));
-            prop_assert!(CmTree::verify_client(&cm_root, &dropped).is_err());
+            let i = g.below(dropped.entries.len() as u64) as usize;
+            dropped.entries.remove(i);
+            assert!(CmTree::verify_client(&cm_root, &dropped).is_err());
         }
         let mut tampered = proof.clone();
-        let i = victim.index(tampered.entries.len());
+        let i = g.below(tampered.entries.len() as u64) as usize;
         tampered.entries[i].1 = hash_leaf(b"tampered");
-        prop_assert!(CmTree::verify_client(&cm_root, &tampered).is_err());
-    }
+        assert!(CmTree::verify_client(&cm_root, &tampered).is_err());
+    });
+}
 
-    /// Arbitrary version sub-ranges verify and carry exactly the range.
-    #[test]
-    fn range_proofs_hold(
-        assignments in prop::collection::vec(0u8..3, 5..60),
-        lo_pick in any::<prop::sample::Index>(),
-        hi_pick in any::<prop::sample::Index>(),
-    ) {
-        let (cm, _, _, _, _, clues) = build(&assignments);
+/// Arbitrary version sub-ranges verify and carry exactly the range.
+#[test]
+fn range_proofs_hold() {
+    run_cases("range proofs hold", 48, |g| {
+        let workload = assignments(g, 5..=59, 3);
+        let (cm, _, _, _, _, clues) = build(&workload);
         let cm_root = cm.root();
         // Pick the most populated clue.
         let clue = clues.iter().max_by_key(|c| cm.entry_count(c)).unwrap().clone();
         let count = cm.entry_count(&clue);
-        prop_assume!(count >= 2);
-        let a = lo_pick.index(count as usize) as u64;
-        let b = hi_pick.index(count as usize) as u64;
+        if count < 2 {
+            return;
+        }
+        let a = g.below(count);
+        let b = g.below(count);
         let (lo, hi) = if a < b { (a, b + 1) } else { (b, a + 1) };
         // Reconstruct per-version digests from the recorded jsn list.
         let jsns = cm.jsns(&clue).to_vec();
         let digest_of = |v: u64| {
-            jsns.get(v as usize).map(|&j| {
-                hash_leaf(&[assignments[j as usize], j as u8, (j >> 8) as u8])
-            })
+            jsns.get(v as usize)
+                .map(|&j| hash_leaf(&[workload[j as usize], j as u8, (j >> 8) as u8]))
         };
         let proof = cm.prove_range(&clue, lo, hi, digest_of).unwrap();
-        prop_assert_eq!(proof.entries.len() as u64, hi - lo);
-        prop_assert!(CmTree::verify_client(&cm_root, &proof).is_ok());
-    }
+        assert_eq!(proof.entries.len() as u64, hi - lo);
+        assert!(CmTree::verify_client(&cm_root, &proof).is_ok());
+    });
+}
 
-    /// ccMPT proofs break when the counter is inconsistent with entries.
-    #[test]
-    fn ccmpt_counter_binding(assignments in prop::collection::vec(0u8..2, 4..50)) {
-        let (_, cc, _, ledger, digests, clues) = build(&assignments);
+/// ccMPT proofs break when the counter is inconsistent with entries.
+#[test]
+fn ccmpt_counter_binding() {
+    run_cases("ccmpt counter binding", 48, |g| {
+        let workload = assignments(g, 4..=49, 2);
+        let (_, cc, _, ledger, digests, clues) = build(&workload);
         let cc_root = cc.root();
         let ledger_root = ledger.root();
         let clue = clues.iter().max_by_key(|c| cc.entry_count(c)).unwrap();
-        prop_assume!(cc.entry_count(clue) >= 2);
+        if cc.entry_count(clue) < 2 {
+            return;
+        }
         let mut proof = cc.prove(clue, &ledger, |j| digests.get(j as usize).copied()).unwrap();
         proof.entries.pop();
-        prop_assert!(CcMpt::verify(&cc_root, &ledger_root, &proof).is_err());
-    }
+        assert!(CcMpt::verify(&cc_root, &ledger_root, &proof).is_err());
+    });
+}
 
-    /// The skip list answers range queries consistently with the full list.
-    #[test]
-    fn csl_range_consistency(
-        assignments in prop::collection::vec(0u8..3, 1..80),
-        lo in 0u64..40,
-        width in 0u64..40,
-    ) {
-        let (_, _, csl, _, _, clues) = build(&assignments);
+/// The skip list answers range queries consistently with the full list.
+#[test]
+fn csl_range_consistency() {
+    run_cases("csl range consistency", 48, |g| {
+        let workload = assignments(g, 1..=79, 3);
+        let lo = g.below(40);
+        let width = g.below(40);
+        let (_, _, csl, _, _, clues) = build(&workload);
         for clue in &clues {
             let all = csl.list(clue);
             let hi = lo + width;
             let expect: Vec<u64> = all.iter().copied().filter(|&j| j >= lo && j <= hi).collect();
-            prop_assert_eq!(csl.range(clue, lo, hi), expect);
+            assert_eq!(csl.range(clue, lo, hi), expect);
         }
-    }
+    });
 }

@@ -1,71 +1,82 @@
 //! Property-based tests for the Merkle Patricia Trie: model-checked
 //! against a HashMap, proof soundness, and root canonicity.
+//!
+//! Cases come from the deterministic in-repo harness
+//! (`ledgerdb_bench::cases`); see that module for the seeding scheme.
 
 use ledgerdb::crypto::sha3_256;
 use ledgerdb::mpt::{verify_proof, Mpt};
-use proptest::prelude::*;
+use ledgerdb_bench::cases::{run_cases, Gen};
 use std::collections::HashMap;
 
-/// Arbitrary short keys (including empty and shared-prefix heavy ones).
-fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
-    prop::collection::vec(0u8..8, 0..6)
+/// Arbitrary short keys (including empty and shared-prefix heavy ones):
+/// nibbles from a tiny alphabet, length 0..=5.
+fn key(g: &mut Gen) -> Vec<u8> {
+    let n = g.usize_in(0..=5);
+    (0..n).map(|_| g.below(8) as u8).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn value(g: &mut Gen) -> Vec<u8> {
+    g.bytes(0..=7)
+}
 
-    /// The trie agrees with a HashMap model under arbitrary insert
-    /// sequences (including overwrites).
-    #[test]
-    fn matches_hashmap_model(
-        ops in prop::collection::vec((key_strategy(), prop::collection::vec(any::<u8>(), 0..8)), 1..60)
-    ) {
+/// A key→value population with distinct keys (HashMap semantics).
+fn population(g: &mut Gen, len: std::ops::RangeInclusive<usize>) -> HashMap<Vec<u8>, Vec<u8>> {
+    let n = g.usize_in(len);
+    let mut map = HashMap::new();
+    while map.len() < n {
+        map.insert(key(g), value(g));
+    }
+    map
+}
+
+/// The trie agrees with a HashMap model under arbitrary insert
+/// sequences (including overwrites).
+#[test]
+fn matches_hashmap_model() {
+    run_cases("matches hashmap model", 64, |g| {
+        let n = g.usize_in(1..=59);
+        let ops: Vec<(Vec<u8>, Vec<u8>)> = (0..n).map(|_| (key(g), value(g))).collect();
         let mut trie = Mpt::new();
         let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
         for (k, v) in &ops {
             let trie_old = trie.insert(k, v.clone());
             let model_old = model.insert(k.clone(), v.clone());
-            prop_assert_eq!(trie_old, model_old);
+            assert_eq!(trie_old, model_old);
         }
-        prop_assert_eq!(trie.len(), model.len());
+        assert_eq!(trie.len(), model.len());
         for (k, v) in &model {
-            prop_assert_eq!(trie.get(k), Some(v.as_slice()));
+            assert_eq!(trie.get(k), Some(v.as_slice()));
         }
-    }
+    });
+}
 
-    /// The root is canonical: any insertion order yields the same root.
-    #[test]
-    fn root_is_order_independent(
-        pairs in prop::collection::hash_map(key_strategy(), prop::collection::vec(any::<u8>(), 0..8), 1..30),
-        seed in any::<u64>(),
-    ) {
+/// The root is canonical: any insertion order yields the same root.
+#[test]
+fn root_is_order_independent() {
+    run_cases("root is order independent", 64, |g| {
+        let pairs = population(g, 1..=29);
         let items: Vec<_> = pairs.iter().collect();
         let mut t1 = Mpt::new();
         for (k, v) in &items {
             t1.insert(k, (*v).clone());
         }
-        // Deterministic shuffle driven by the seed.
         let mut shuffled = items.clone();
-        let mut state = seed | 1;
-        for i in (1..shuffled.len()).rev() {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            shuffled.swap(i, (state as usize) % (i + 1));
-        }
+        g.shuffle(&mut shuffled);
         let mut t2 = Mpt::new();
         for (k, v) in &shuffled {
             t2.insert(k, (*v).clone());
         }
-        prop_assert_eq!(t1.root_hash(), t2.root_hash());
-    }
+        assert_eq!(t1.root_hash(), t2.root_hash());
+    });
+}
 
-    /// Every stored key yields a proof that verifies against the root,
-    /// and the proof value equals the stored value.
-    #[test]
-    fn proofs_sound(
-        pairs in prop::collection::hash_map(key_strategy(), prop::collection::vec(any::<u8>(), 0..8), 1..30)
-    ) {
+/// Every stored key yields a proof that verifies against the root,
+/// and the proof value equals the stored value.
+#[test]
+fn proofs_sound() {
+    run_cases("proofs sound", 64, |g| {
+        let pairs = population(g, 1..=29);
         let mut trie = Mpt::new();
         for (k, v) in &pairs {
             trie.insert(k, v.clone());
@@ -73,17 +84,23 @@ proptest! {
         let root = trie.root_hash();
         for (k, v) in &pairs {
             let proof = trie.prove(k).unwrap();
-            prop_assert_eq!(&proof.value, v);
-            prop_assert!(verify_proof(&root, &proof).is_ok());
+            assert_eq!(&proof.value, v);
+            assert!(verify_proof(&root, &proof).is_ok());
         }
-    }
+    });
+}
 
-    /// Proofs against a *different* trie's root fail unless the tries are
-    /// identical.
-    #[test]
-    fn proofs_bound_to_root(
-        pairs in prop::collection::hash_map(key_strategy(), prop::collection::vec(any::<u8>(), 1..8), 2..20),
-    ) {
+/// Proofs against a *different* trie's root fail unless the tries are
+/// identical.
+#[test]
+fn proofs_bound_to_root() {
+    run_cases("proofs bound to root", 64, |g| {
+        let mut pairs = population(g, 2..=19);
+        for v in pairs.values_mut() {
+            if v.is_empty() {
+                v.push(g.below(256) as u8);
+            }
+        }
         let mut trie = Mpt::new();
         for (k, v) in &pairs {
             trie.insert(k, v.clone());
@@ -95,14 +112,17 @@ proptest! {
         let mut other = trie.clone();
         other.insert(&some_key, b"mutated-value-xyz".to_vec());
         let other_root = other.root_hash();
-        prop_assert_ne!(root, other_root);
-        prop_assert!(verify_proof(&other_root, &proof).is_err());
-    }
+        assert_ne!(root, other_root);
+        assert!(verify_proof(&other_root, &proof).is_err());
+    });
+}
 
-    /// Hashed (SHA3-scattered) keys — the CM-Tree1 usage pattern — behave
-    /// identically: insert, get, prove for all.
-    #[test]
-    fn hashed_key_usage(n in 1u64..120) {
+/// Hashed (SHA3-scattered) keys — the CM-Tree1 usage pattern — behave
+/// identically: insert, get, prove for all.
+#[test]
+fn hashed_key_usage() {
+    run_cases("hashed key usage", 64, |g| {
+        let n = g.in_range(1..=119);
         let mut trie = Mpt::new();
         for i in 0..n {
             let k = sha3_256(&i.to_be_bytes());
@@ -112,9 +132,9 @@ proptest! {
         for i in 0..n {
             let k = sha3_256(&i.to_be_bytes());
             let expect = i.to_be_bytes();
-            prop_assert_eq!(trie.get(k.as_bytes()), Some(expect.as_slice()));
+            assert_eq!(trie.get(k.as_bytes()), Some(expect.as_slice()));
             let proof = trie.prove(k.as_bytes()).unwrap();
-            prop_assert!(verify_proof(&root, &proof).is_ok());
+            assert!(verify_proof(&root, &proof).is_ok());
         }
-    }
+    });
 }

@@ -1,6 +1,9 @@
 //! Property-based tests for the wire codec: round trips for every
 //! transportable type under arbitrary content, and total decoding on
 //! arbitrary byte soup (no panics, ever).
+//!
+//! Cases come from the deterministic in-repo harness
+//! (`ledgerdb_bench::cases`); see that module for the seeding scheme.
 
 use ledgerdb::accumulator::fam::{FamProof, FamTree, TrustedAnchor};
 use ledgerdb::accumulator::shrubs::{Shrubs, ShrubsBatchProof, ShrubsProof};
@@ -10,18 +13,14 @@ use ledgerdb::crypto::wire::Wire;
 use ledgerdb::crypto::{hash_leaf, Digest};
 use ledgerdb::mpt::{Mpt, MptProof};
 use ledgerdb::timesvc::tsa::TimeAttestation;
-use proptest::prelude::*;
+use ledgerdb_bench::cases::run_cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Shrubs/fam proofs round trip for arbitrary tree sizes and targets.
-    #[test]
-    fn accumulator_proofs_round_trip(
-        n in 1u64..120,
-        pick in any::<prop::sample::Index>(),
-        delta in 1u32..6,
-    ) {
+/// Shrubs/fam proofs round trip for arbitrary tree sizes and targets.
+#[test]
+fn accumulator_proofs_round_trip() {
+    run_cases("accumulator proofs round trip", 48, |g| {
+        let n = g.in_range(1..=119);
+        let delta = g.in_range(1..=5) as u32;
         let leaves: Vec<Digest> = (0..n).map(|i| hash_leaf(&i.to_be_bytes())).collect();
         let mut s = Shrubs::new();
         let mut fam = FamTree::new(delta);
@@ -29,36 +28,37 @@ proptest! {
             s.append(*l);
             fam.append(*l);
         }
-        let i = pick.index(n as usize) as u64;
+        let i = g.below(n);
         let sp = s.prove(i).unwrap();
         let decoded = ShrubsProof::from_wire(&sp.to_wire()).unwrap();
-        prop_assert!(Shrubs::verify(&s.root(), &leaves[i as usize], &decoded).is_ok());
+        assert!(Shrubs::verify(&s.root(), &leaves[i as usize], &decoded).is_ok());
 
         let anchor = TrustedAnchor::default();
         let fp = fam.prove(i, &anchor).unwrap();
         let decoded = FamProof::from_wire(&fp.to_wire()).unwrap();
-        prop_assert!(FamTree::verify(&fam.root(), &anchor, &leaves[i as usize], &decoded).is_ok());
+        assert!(FamTree::verify(&fam.root(), &anchor, &leaves[i as usize], &decoded).is_ok());
 
         let bp = s.prove_batch(&[i]).unwrap();
         let decoded = ShrubsBatchProof::from_wire(&bp.to_wire()).unwrap();
-        prop_assert!(
-            Shrubs::verify_batch(&s.root(), &[(i, leaves[i as usize])], &decoded).is_ok()
-        );
-    }
+        assert!(Shrubs::verify_batch(&s.root(), &[(i, leaves[i as usize])], &decoded).is_ok());
+    });
+}
 
-    /// MPT and clue proofs round trip under arbitrary key populations.
-    #[test]
-    fn trie_and_clue_proofs_round_trip(n in 1u64..60, pick in any::<prop::sample::Index>()) {
+/// MPT and clue proofs round trip under arbitrary key populations.
+#[test]
+fn trie_and_clue_proofs_round_trip() {
+    run_cases("trie and clue proofs round trip", 48, |g| {
+        let n = g.in_range(1..=59);
         let mut mpt = Mpt::new();
         for i in 0..n {
             let k = ledgerdb::crypto::sha3_256(&i.to_be_bytes());
             mpt.insert(k.as_bytes(), i.to_be_bytes().to_vec());
         }
-        let i = pick.index(n as usize) as u64;
+        let i = g.below(n);
         let k = ledgerdb::crypto::sha3_256(&i.to_be_bytes());
         let proof = mpt.prove(k.as_bytes()).unwrap();
         let decoded = MptProof::from_wire(&proof.to_wire()).unwrap();
-        prop_assert!(ledgerdb::mpt::verify_proof(&mpt.root_hash(), &decoded).is_ok());
+        assert!(ledgerdb::mpt::verify_proof(&mpt.root_hash(), &decoded).is_ok());
 
         let mut cm = CmTree::new();
         for j in 0..n {
@@ -66,13 +66,16 @@ proptest! {
         }
         let cp = cm.prove_all("k").unwrap();
         let decoded = ClueProof::from_wire(&cp.to_wire()).unwrap();
-        prop_assert!(CmTree::verify_client(&cm.root(), &decoded).is_ok());
-    }
+        assert!(CmTree::verify_client(&cm.root(), &decoded).is_ok());
+    });
+}
 
-    /// Arbitrary byte soup never panics any decoder — it errors or, for
-    /// self-delimiting inputs that happen to parse, verifies falsely.
-    #[test]
-    fn decoders_are_total(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+/// Arbitrary byte soup never panics any decoder — it errors or, for
+/// self-delimiting inputs that happen to parse, verifies falsely.
+#[test]
+fn decoders_are_total() {
+    run_cases("decoders are total", 48, |g| {
+        let bytes = g.bytes(0..=599);
         let _ = ShrubsProof::from_wire(&bytes);
         let _ = ShrubsBatchProof::from_wire(&bytes);
         let _ = FamProof::from_wire(&bytes);
@@ -83,11 +86,14 @@ proptest! {
         let _ = Block::from_wire(&bytes);
         let _ = Receipt::from_wire(&bytes);
         let _ = LedgerSnapshot::from_wire(&bytes);
-    }
+    });
+}
 
-    /// Wire encodings are canonical: encode(decode(encode(x))) == encode(x).
-    #[test]
-    fn encoding_is_stable(n in 1u64..40) {
+/// Wire encodings are canonical: encode(decode(encode(x))) == encode(x).
+#[test]
+fn encoding_is_stable() {
+    run_cases("encoding is stable", 48, |g| {
+        let n = g.in_range(1..=39);
         let mut s = Shrubs::new();
         for i in 0..n {
             s.append(hash_leaf(&i.to_be_bytes()));
@@ -95,6 +101,6 @@ proptest! {
         let proof = s.prove(n - 1).unwrap();
         let once = proof.to_wire();
         let twice = ShrubsProof::from_wire(&once).unwrap().to_wire();
-        prop_assert_eq!(once, twice);
-    }
+        assert_eq!(once, twice);
+    });
 }

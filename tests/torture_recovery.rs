@@ -1,0 +1,365 @@
+//! Recovery torture tests: drive a durable ledger through deterministic
+//! injected faults ([`FaultStore`]) and assert the durability contract —
+//! every fault is either *recovered* (the rebuilt ledger reproduces the
+//! pre-crash commitments) or *reported* as a typed error. Never a panic,
+//! never silent data loss.
+//!
+//! Four distinct fault kinds are exercised directly, plus a seeded sweep
+//! that mixes all of them into randomized workloads.
+
+use ledgerdb::core::recovery::{open_durable, recover, PAYLOAD_FILE, WAL_FILE};
+use ledgerdb::core::{LedgerConfig, LedgerDb, LedgerError, MemberRegistry, TxRequest};
+use ledgerdb::crypto::ca::{CertificateAuthority, Role};
+use ledgerdb::crypto::keys::KeyPair;
+use ledgerdb::crypto::multisig::MultiSignature;
+use ledgerdb::crypto::Digest;
+use ledgerdb::storage::{Fault, FaultStore, FileStreamStore, FsyncPolicy, StreamStore};
+use ledgerdb::timesvc::clock::SimClock;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct Members {
+    dba: KeyPair,
+    alice: KeyPair,
+}
+
+fn members() -> (MemberRegistry, Members) {
+    let ca = CertificateAuthority::from_seed(b"torture-ca");
+    let dba = KeyPair::from_seed(b"torture-dba");
+    let regulator = KeyPair::from_seed(b"torture-reg");
+    let alice = KeyPair::from_seed(b"torture-alice");
+    let mut registry = MemberRegistry::new(*ca.public_key());
+    registry.register(ca.issue("dba", Role::Dba, dba.public())).unwrap();
+    registry.register(ca.issue("regulator", Role::Regulator, regulator.public())).unwrap();
+    registry.register(ca.issue("alice", Role::User, alice.public())).unwrap();
+    (registry, Members { dba, alice })
+}
+
+fn config(block_size: u64) -> LedgerConfig {
+    LedgerConfig { block_size, fam_delta: 4, name: "torture".into() }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ledgerdb-torture-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn tx(keys: &KeyPair, i: u64) -> TxRequest {
+    TxRequest::signed(keys, i.to_be_bytes().to_vec(), vec![format!("c{}", i % 3)], i)
+}
+
+fn roots(ledger: &LedgerDb) -> (Digest, Digest, Digest) {
+    (ledger.journal_root(), ledger.clue_root(), ledger.state_root())
+}
+
+/// Populate a fresh durable ledger with `n` journals and drop it.
+fn populate(dir: &PathBuf, registry: &MemberRegistry, m: &Members, block_size: u64, n: u64) {
+    let (mut ledger, report) = open_durable(
+        config(block_size),
+        registry.clone(),
+        dir,
+        FsyncPolicy::Always,
+        Arc::new(SimClock::new()),
+    )
+    .unwrap();
+    assert!(report.is_clean());
+    for i in 0..n {
+        ledger.append(tx(&m.alice, i)).unwrap();
+    }
+    assert!(ledger.durability_error().is_none());
+}
+
+/// Reopen the on-disk streams, wrapping the payload stream in a fault
+/// plan, and rebuild the kernel by replay.
+fn reopen_with_payload_faults(
+    dir: &PathBuf,
+    registry: &MemberRegistry,
+    block_size: u64,
+    faults: Vec<Fault>,
+) -> LedgerDb {
+    let payload = FaultStore::new(
+        FileStreamStore::open_with(&dir.join(PAYLOAD_FILE), FsyncPolicy::Always).unwrap(),
+        faults,
+    );
+    let wal = FileStreamStore::open_with(&dir.join(WAL_FILE), FsyncPolicy::Always).unwrap();
+    let (ledger, report) = recover(
+        config(block_size),
+        registry.clone(),
+        Arc::new(payload),
+        Arc::new(wal),
+        Arc::new(SimClock::new()),
+    )
+    .unwrap();
+    assert!(report.is_clean(), "populated ledger must reopen clean: {report:?}");
+    ledger
+}
+
+/// Fault 1 — AppendIoError: the failed append surfaces a typed storage
+/// error, the kernel state does not diverge, and later appends succeed.
+#[test]
+fn append_io_error_is_typed_and_state_converges() {
+    let dir = temp_dir("ioerr");
+    let (registry, m) = members();
+    populate(&dir, &registry, &m, 4, 4);
+
+    let mut ledger =
+        reopen_with_payload_faults(&dir, &registry, 4, vec![Fault::AppendIoError { nth: 2 }]);
+    ledger.append(tx(&m.alice, 4)).unwrap();
+    match ledger.append(tx(&m.alice, 5)) {
+        Err(LedgerError::Storage(_)) => {}
+        other => panic!("injected I/O error must surface as Storage, got {other:?}"),
+    }
+    assert_eq!(ledger.journal_count(), 5, "failed append must not mutate the kernel");
+    ledger.append(tx(&m.alice, 6)).unwrap();
+    assert_eq!(ledger.journal_count(), 6);
+    let live = roots(&ledger);
+    drop(ledger);
+
+    let (recovered, report) = open_durable(
+        config(4),
+        registry,
+        &dir,
+        FsyncPolicy::Always,
+        Arc::new(SimClock::new()),
+    )
+    .unwrap();
+    assert!(report.is_clean(), "nothing reached the disk for the failed append: {report:?}");
+    assert_eq!(recovered.journal_count(), 6);
+    assert_eq!(roots(&recovered), live);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Fault 2 — PartialAppend: a crash mid-append leaves a torn payload
+/// tail; reopening trims it and replays everything acknowledged before
+/// the crash.
+#[test]
+fn partial_append_crash_recovers_acknowledged_prefix() {
+    let dir = temp_dir("partial");
+    let (registry, m) = members();
+    populate(&dir, &registry, &m, 4, 6);
+
+    let mut ledger = reopen_with_payload_faults(
+        &dir,
+        &registry,
+        4,
+        vec![Fault::PartialAppend { nth: 1, keep: 19 }],
+    );
+    let pre_fault = roots(&ledger);
+    assert!(ledger.append(tx(&m.alice, 6)).is_err(), "append died mid-write");
+    drop(ledger); // The crash.
+
+    let (recovered, report) = open_durable(
+        config(4),
+        registry,
+        &dir,
+        FsyncPolicy::Always,
+        Arc::new(SimClock::new()),
+    )
+    .unwrap();
+    assert_eq!(report.payload_truncated_bytes, 19, "torn tail trimmed on reopen");
+    assert_eq!(report.journals_replayed, 6);
+    assert_eq!(recovered.journal_count(), 6);
+    assert_eq!(roots(&recovered), pre_fault);
+    assert_eq!(recovered.get_payload(5).unwrap(), 5u64.to_be_bytes());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Fault 3 — BitFlip: bit rot inside a committed payload record is
+/// detected by the CRC framing on reopen and reported as a typed
+/// corruption error, never returned as data.
+#[test]
+fn bit_flip_in_committed_record_is_reported() {
+    let dir = temp_dir("bitflip");
+    let (registry, m) = members();
+    populate(&dir, &registry, &m, 4, 4);
+
+    let mut ledger = reopen_with_payload_faults(
+        &dir,
+        &registry,
+        4,
+        vec![Fault::BitFlip { record: 4, byte: 40, mask: 0x08 }],
+    );
+    ledger.append(tx(&m.alice, 4)).unwrap(); // Lands, then rots on disk.
+    drop(ledger);
+
+    match open_durable(config(4), registry, &dir, FsyncPolicy::Always, Arc::new(SimClock::new())) {
+        Err(LedgerError::Storage(e)) => {
+            assert!(e.to_string().contains("crc"), "corruption named in: {e}")
+        }
+        Err(e) => panic!("expected Storage corruption, got {e}"),
+        Ok(_) => panic!("bit rot must not reopen silently"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Fault 4 — EraseNoSync: an erase the hardware lied about is noticed on
+/// recovery and redone, so a purge's promise holds across the crash.
+#[test]
+fn lost_erase_is_redone_on_recovery() {
+    let dir = temp_dir("noerase");
+    let (registry, m) = members();
+    populate(&dir, &registry, &m, 4, 8);
+
+    let mut ledger =
+        reopen_with_payload_faults(&dir, &registry, 4, vec![Fault::EraseNoSync { nth: 1 }]);
+    let digest = ledger.purge_approval_digest(4);
+    let mut ms = MultiSignature::new();
+    ms.add(&m.dba, &digest);
+    ms.add(&m.alice, &digest);
+    ledger.purge(4, ms, &[], false).unwrap(); // Erase of slot 0 is lost.
+    drop(ledger);
+
+    // The lie is visible on the raw stream: slot 0 still live.
+    let raw = FileStreamStore::open_with(&dir.join(PAYLOAD_FILE), FsyncPolicy::Never).unwrap();
+    assert!(!raw.is_erased(0).unwrap(), "precondition: erase never reached the disk");
+    drop(raw);
+
+    let (recovered, report) = open_durable(
+        config(4),
+        registry,
+        &dir,
+        FsyncPolicy::Always,
+        Arc::new(SimClock::new()),
+    )
+    .unwrap();
+    assert_eq!(report.erases_redone, 1, "exactly the lost erase is redone");
+    assert!(matches!(recovered.get_payload(0), Err(LedgerError::Purged(0))));
+    let raw = FileStreamStore::open_with(&dir.join(PAYLOAD_FILE), FsyncPolicy::Never).unwrap();
+    assert!(raw.is_erased(0).unwrap(), "redone erase is durable");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Fault 5 — a WAL append failure rolls the payload append back, so the
+/// payload stream and journal numbering never drift apart.
+#[test]
+fn wal_append_failure_rolls_back_payload() {
+    let dir = temp_dir("wal-ioerr");
+    let (registry, m) = members();
+    populate(&dir, &registry, &m, 64, 2); // Large block: nothing sealed yet.
+
+    let payload: Arc<dyn StreamStore> = Arc::new(
+        FileStreamStore::open_with(&dir.join(PAYLOAD_FILE), FsyncPolicy::Always).unwrap(),
+    );
+    let wal = Arc::new(FaultStore::new(
+        FileStreamStore::open_with(&dir.join(WAL_FILE), FsyncPolicy::Always).unwrap(),
+        vec![Fault::AppendIoError { nth: 2 }],
+    ));
+    let (mut ledger, _) = recover(
+        config(64),
+        registry.clone(),
+        Arc::clone(&payload),
+        wal,
+        Arc::new(SimClock::new()),
+    )
+    .unwrap();
+
+    ledger.append(tx(&m.alice, 2)).unwrap();
+    assert!(ledger.append(tx(&m.alice, 3)).is_err(), "WAL write failed");
+    assert_eq!(ledger.journal_count(), 3);
+    assert_eq!(payload.len(), 3, "orphan payload rolled back with the failed WAL write");
+    ledger.append(tx(&m.alice, 4)).unwrap();
+    let live = roots(&ledger);
+    drop(ledger);
+
+    let (recovered, report) = open_durable(
+        config(64),
+        registry,
+        &dir,
+        FsyncPolicy::Always,
+        Arc::new(SimClock::new()),
+    )
+    .unwrap();
+    assert!(report.is_clean(), "rollback left matching streams: {report:?}");
+    assert_eq!(recovered.journal_count(), 4);
+    assert_eq!(roots(&recovered), live);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Seeded sweep: every seed derives a four-fault plan (one of each kind)
+/// scattered over a randomized workload of appends and a purge. Whatever
+/// fires, the run must end in one of exactly two states — a recovered
+/// ledger reproducing the live kernel's commitments, or a typed
+/// corruption/recovery error. Panics and silent divergence fail the test.
+#[test]
+fn seeded_fault_plans_recover_or_report() {
+    let (registry, m) = members();
+    for seed in 1..=24u64 {
+        let dir = temp_dir(&format!("seed{seed}"));
+        populate(&dir, &registry, &m, 4, 4);
+
+        let payload = FaultStore::with_seed(
+            FileStreamStore::open_with(&dir.join(PAYLOAD_FILE), FsyncPolicy::Always).unwrap(),
+            seed,
+            16,
+        );
+        let wal = FileStreamStore::open_with(&dir.join(WAL_FILE), FsyncPolicy::Always).unwrap();
+        let (mut ledger, report) = recover(
+            config(4),
+            registry.clone(),
+            Arc::new(payload),
+            Arc::new(wal),
+            Arc::new(SimClock::new()),
+        )
+        .unwrap();
+        assert!(report.is_clean(), "seed {seed}: populated ledger reopens clean");
+
+        // Workload: appends, then a purge. The first typed error is the
+        // "crash" — stop driving and fall through to recovery.
+        let mut crashed = false;
+        for i in 4..14u64 {
+            if ledger.append(tx(&m.alice, i)).is_err() {
+                crashed = true;
+                break;
+            }
+        }
+        if !crashed {
+            let digest = ledger.purge_approval_digest(4);
+            let mut ms = MultiSignature::new();
+            ms.add(&m.dba, &digest);
+            ms.add(&m.alice, &digest);
+            crashed = ledger.purge(4, ms, &[], false).is_err();
+        }
+        let live_count = ledger.journal_count();
+        let live_roots = roots(&ledger);
+        let live_purged = ledger.pseudo_genesis().map(|g| g.purge_to);
+        drop(ledger);
+
+        match open_durable(
+            config(4),
+            registry.clone(),
+            &dir,
+            FsyncPolicy::Always,
+            Arc::new(SimClock::new()),
+        ) {
+            Ok((recovered, report)) => {
+                assert_eq!(
+                    recovered.journal_count(),
+                    live_count,
+                    "seed {seed}: every acknowledged journal survives ({report:?})"
+                );
+                assert_eq!(roots(&recovered), live_roots, "seed {seed}: commitments reproduce");
+                assert_eq!(
+                    recovered.pseudo_genesis().map(|g| g.purge_to),
+                    live_purged,
+                    "seed {seed}: purge state survives"
+                );
+                if let Some(purge_to) = live_purged {
+                    // Promised erasures hold even if the erase was lost.
+                    for jsn in 0..purge_to {
+                        assert!(
+                            recovered.get_payload(jsn).is_err(),
+                            "seed {seed}: purged payload {jsn} must stay unreadable"
+                        );
+                    }
+                }
+            }
+            Err(LedgerError::Storage(_) | LedgerError::Recovery(_)) => {
+                // Reported: corruption named, nothing silently served.
+            }
+            Err(e) => panic!("seed {seed}: unexpected error class: {e}"),
+        }
+        assert!(crashed || live_count == 15, "seed {seed}: bookkeeping");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
