@@ -1,0 +1,303 @@
+//! `loadgen` — remote append load generator for `ledgerd`.
+//!
+//! Sweeps client counts × commit modes against an in-process server
+//! backed by a real durable ledger on disk, and prints one JSON row per
+//! configuration:
+//!
+//! ```text
+//! loadgen [--appends N] [--payload BYTES] [--clients 1,4,16] \
+//!         [--window-us 150] [--admission verify|proxy|both]
+//! ```
+//!
+//! Modes:
+//! * `batch=off` — streams at `fsync=always`: every append pays its own
+//!   payload fsync + WAL fsync before the ack (the per-append baseline);
+//! * `batch=on`  — streams at `fsync=never` with the group-commit
+//!   batcher supplying one durability barrier per window; acks are
+//!   still strictly after durability.
+//! * `admission=verify` — the server checks membership + π_c on every
+//!   append (direct-to-client deployment);
+//! * `admission=proxy`  — π_c is the proxy tier's job (Fig 1, and the
+//!   kernel's `append_preverified` contract): the server enforces
+//!   membership only, so the measurement isolates the service +
+//!   durability layers from the fixed per-request ECDSA cost.
+//!
+//! Every request travels the full wire path: sign → TCP → decode →
+//! admit → commit → durable ack. Latency is measured per request
+//! at the client; throughput over the whole wall-clock window.
+
+use ledgerdb_bench::XorShift;
+use ledgerdb_core::recovery::open_durable;
+use ledgerdb_core::{LedgerConfig, MemberRegistry, SharedLedger, TxRequest};
+use ledgerdb_crypto::ca::{CertificateAuthority, Role};
+use ledgerdb_crypto::keys::KeyPair;
+use ledgerdb_server::{Admission, BatchConfig, Ledgerd, RemoteLedger, ServerConfig};
+use ledgerdb_storage::FsyncPolicy;
+use ledgerdb_timesvc::clock::SimClock;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    appends: u64,
+    payload: usize,
+    clients: Vec<usize>,
+    window: Duration,
+    admissions: Vec<Admission>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        appends: 2048,
+        payload: 256,
+        clients: vec![1, 4, 16],
+        window: Duration::from_micros(150),
+        admissions: vec![Admission::Verify, Admission::ProxyTrusted],
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let value = it.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        });
+        let bad = |what: &str| -> ! {
+            eprintln!("bad {what}: {value}");
+            std::process::exit(2);
+        };
+        match flag.as_str() {
+            "--appends" => args.appends = value.parse().unwrap_or_else(|_| bad("count")),
+            "--payload" => args.payload = value.parse().unwrap_or_else(|_| bad("size")),
+            "--clients" => {
+                args.clients = value
+                    .split(',')
+                    .map(|s| s.parse().unwrap_or_else(|_| bad("client list")))
+                    .collect();
+            }
+            "--window-us" => {
+                args.window =
+                    Duration::from_micros(value.parse().unwrap_or_else(|_| bad("window")));
+            }
+            "--admission" => {
+                args.admissions = match value.as_str() {
+                    "verify" => vec![Admission::Verify],
+                    "proxy" => vec![Admission::ProxyTrusted],
+                    "both" => vec![Admission::Verify, Admission::ProxyTrusted],
+                    _ => bad("admission"),
+                };
+            }
+            _ => {
+                eprintln!(
+                    "usage: loadgen [--appends N] [--payload BYTES] \
+                     [--clients 1,4,16] [--window-us US] \
+                     [--admission verify|proxy|both]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn registry() -> (MemberRegistry, KeyPair) {
+    let ca = CertificateAuthority::from_seed(b"loadgen-ca");
+    let alice = KeyPair::from_seed(b"loadgen-alice");
+    let mut registry = MemberRegistry::new(*ca.public_key());
+    registry.register(ca.issue("alice", Role::User, alice.public())).unwrap();
+    (registry, alice)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("ledgerdb-loadgen-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct Row {
+    clients: usize,
+    batch: bool,
+    admission: Admission,
+    window_us: u64,
+    appends: u64,
+    elapsed: Duration,
+    p50: Duration,
+    p99: Duration,
+}
+
+fn admission_name(a: Admission) -> &'static str {
+    match a {
+        Admission::Verify => "verify",
+        Admission::ProxyTrusted => "proxy",
+    }
+}
+
+impl Row {
+    fn print(&self) {
+        let tps = self.appends as f64 / self.elapsed.as_secs_f64();
+        println!(
+            "{{\"bench\":\"ledgerd_append\",\"clients\":{},\"batch\":{},\
+             \"admission\":\"{}\",\
+             \"window_us\":{},\"appends\":{},\"elapsed_s\":{:.3},\
+             \"appends_per_sec\":{:.1},\"p50_ms\":{:.3},\"p99_ms\":{:.3}}}",
+            self.clients,
+            self.batch,
+            admission_name(self.admission),
+            self.window_us,
+            self.appends,
+            self.elapsed.as_secs_f64(),
+            tps,
+            self.p50.as_secs_f64() * 1e3,
+            self.p99.as_secs_f64() * 1e3,
+        );
+    }
+}
+
+fn run_config(args: &Args, clients: usize, batch: bool, admission: Admission) -> Row {
+    let tag = format!(
+        "{}c-{}-{}",
+        clients,
+        if batch { "batch" } else { "nobatch" },
+        admission_name(admission)
+    );
+    let dir = temp_dir(&tag);
+    let (registry, alice) = registry();
+    let config = LedgerConfig { block_size: 64, fam_delta: 20, name: format!("loadgen-{tag}") };
+    // batch=off: per-append fsync. batch=on: the committer's barrier is
+    // the only fsync — same ack-after-durable contract.
+    let policy = if batch { FsyncPolicy::Never } else { FsyncPolicy::Always };
+    let (ledger, _) =
+        open_durable(config, registry, &dir, policy, Arc::new(SimClock::new())).unwrap();
+    let server = Ledgerd::start(
+        SharedLedger::new(ledger),
+        ServerConfig {
+            workers: clients.max(1),
+            max_connections: clients + 4,
+            batch: batch.then(|| BatchConfig { max_batch: 64, max_delay: args.window }),
+            admission,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Pre-sign everything: loadgen measures the service, not the
+    // client's ECDSA.
+    let per_client = args.appends / clients as u64;
+    let mut rng = XorShift::new(7);
+    let jobs: Vec<Vec<TxRequest>> = (0..clients as u64)
+        .map(|c| {
+            (0..per_client)
+                .map(|i| {
+                    TxRequest::signed(
+                        &alice,
+                        rng.payload(args.payload),
+                        vec![format!("lg-{}", i % 32)],
+                        c * 1_000_000 + i,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    let started = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|requests| {
+                scope.spawn(move || {
+                    let mut remote = RemoteLedger::connect(addr).expect("connect");
+                    let mut lat = Vec::with_capacity(requests.len());
+                    for request in requests {
+                        let t0 = Instant::now();
+                        remote.append(request).expect("durable ack");
+                        lat.push(t0.elapsed());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+
+    latencies.sort_unstable();
+    Row {
+        clients,
+        batch,
+        admission,
+        window_us: if batch { args.window.as_micros() as u64 } else { 0 },
+        appends: latencies.len() as u64,
+        elapsed,
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "loadgen: {} appends x {} B payload, clients {:?}, window {:?}",
+        args.appends, args.payload, args.clients, args.window
+    );
+    let mut rows = Vec::new();
+    for &admission in &args.admissions {
+        for &clients in &args.clients {
+            for batch in [false, true] {
+                let row = run_config(&args, clients, batch, admission);
+                row.print();
+                rows.push(row);
+            }
+        }
+    }
+    // The headline the service layer exists for: group commit at the
+    // widest client count vs the single-client per-append-fsync floor,
+    // reported per admission mode (within-mode, apples to apples).
+    for &admission in &args.admissions {
+        let mode: Vec<&Row> = rows.iter().filter(|r| r.admission == admission).collect();
+        if let (Some(base), Some(best)) = (
+            mode.iter().find(|r| r.clients == 1 && !r.batch),
+            mode.iter().filter(|r| r.batch).max_by_key(|r| r.clients),
+        ) {
+            let base_tps = base.appends as f64 / base.elapsed.as_secs_f64();
+            let best_tps = best.appends as f64 / best.elapsed.as_secs_f64();
+            eprintln!(
+                "loadgen: [admission={}] group-commit speedup at {} clients: \
+                 {:.1}x over 1-client fsync-always",
+                admission_name(admission),
+                best.clients,
+                best_tps / base_tps
+            );
+        }
+    }
+    // Deployment headline: the paper's Fig-1 configuration (proxy fleet
+    // admits, server group-commits) against the naive direct service
+    // (server verifies every π_c, one fsync pair per append, one
+    // client). Cross-admission by design — it compares the two
+    // deployments, not one knob.
+    if let (Some(base), Some(best)) = (
+        rows.iter()
+            .find(|r| r.clients == 1 && !r.batch && r.admission == Admission::Verify),
+        rows.iter()
+            .filter(|r| r.batch && r.admission == Admission::ProxyTrusted)
+            .max_by_key(|r| r.clients),
+    ) {
+        let base_tps = base.appends as f64 / base.elapsed.as_secs_f64();
+        let best_tps = best.appends as f64 / best.elapsed.as_secs_f64();
+        eprintln!(
+            "loadgen: deployed service (proxy admission + group commit, {} clients) vs \
+             direct single-client (verify + fsync-always): {:.1}x",
+            best.clients,
+            best_tps / base_tps
+        );
+    }
+}

@@ -94,12 +94,16 @@ impl LedgerClient {
         self.fam.anchor()
     }
 
-    /// Synchronize from a block feed (in-process stand-in for the ledger's
-    /// block download API). Rejects on the first inconsistency; earlier
+    /// Synchronize from a block feed. The feed may be the full chain or
+    /// any suffix of it starting at or below the verified height (the
+    /// remote block-download API serves suffixes): already-verified
+    /// heights are skipped, and the first new block must sit exactly at
+    /// the verified height. Rejects on the first inconsistency; earlier
     /// accepted blocks remain trusted.
     pub fn sync(&mut self, blocks: &[Block]) -> Result<SyncReport, LedgerError> {
         let mut report = SyncReport::default();
-        for block in blocks.iter().skip(self.height as usize) {
+        let verified = self.height;
+        for block in blocks.iter().filter(|b| b.height >= verified) {
             if block.height != self.height {
                 return Err(LedgerError::AuditFailed(format!(
                     "sync: expected block height {}, got {}",

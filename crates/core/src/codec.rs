@@ -160,6 +160,26 @@ impl Wire for Receipt {
     }
 }
 
+impl Wire for crate::types::TxRequest {
+    fn encode(&self, w: &mut Writer) {
+        self.payload.encode(w);
+        self.clues.encode(w);
+        w.put_u64(self.nonce);
+        self.client_pk.encode(w);
+        self.signature.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(crate::types::TxRequest {
+            payload: Vec::<u8>::decode(r)?,
+            clues: Vec::decode(r)?,
+            nonce: r.get_u64()?,
+            client_pk: PublicKey::decode(r)?,
+            signature: Signature::decode(r)?,
+        })
+    }
+}
+
 /// Snapshot format version byte.
 const SNAPSHOT_VERSION: u8 = 1;
 /// Magic prefix for snapshot blobs.

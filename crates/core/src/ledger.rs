@@ -241,12 +241,7 @@ impl LedgerDb {
     /// world state, and returns the jsn acknowledgement. The receipt π_s
     /// becomes available once the journal's block seals.
     pub fn append(&mut self, request: TxRequest) -> Result<AppendAck, LedgerError> {
-        if !self.registry.is_registered(&request.client_pk) {
-            return Err(LedgerError::UnknownMember);
-        }
-        if !request.verify_signature() {
-            return Err(LedgerError::BadClientSignature);
-        }
+        self.verify_request(&request)?;
         let ack = self.append_journal(
             JournalKind::Normal,
             request.clues.clone(),
@@ -264,6 +259,20 @@ impl LedgerDb {
         let ack = self.append(request)?;
         self.seal_block();
         Ok(self.receipt(ack.jsn)?.expect("sealed block issues receipts"))
+    }
+
+    /// Admission check for a client transaction: membership and π_c.
+    /// Read-only, so a proxy/service tier can run it under a shared
+    /// read lock — in parallel across client threads — before handing
+    /// the request to a (serial) commit path that skips re-verifying.
+    pub fn verify_request(&self, request: &TxRequest) -> Result<(), LedgerError> {
+        if !self.registry.is_registered(&request.client_pk) {
+            return Err(LedgerError::UnknownMember);
+        }
+        if !request.verify_signature() {
+            return Err(LedgerError::BadClientSignature);
+        }
+        Ok(())
     }
 
     /// Append a request whose signature was already verified by the ledger
@@ -285,6 +294,124 @@ impl LedgerDb {
         )
     }
 
+    /// Group-commit append (the service layer's batched entry point).
+    ///
+    /// Every request is verified up front (rejections are reported in
+    /// the inner results and never consume a payload slot), all accepted
+    /// payloads are written to the payload stream behind a **single**
+    /// sync ([`StreamStore::append_batch`]), each journal (and any
+    /// auto-seal) is WAL-logged in order, and the batch finishes with
+    /// one [`LedgerDb::sync_durable`] barrier — so N appends become
+    /// durable behind O(1) fsyncs instead of O(N).
+    ///
+    /// An outer `Err` aborts the batch: requests not yet committed were
+    /// not appended (their payload slots are rolled back), and none of
+    /// the batch should be acknowledged as durable.
+    pub fn append_batch(
+        &mut self,
+        requests: Vec<TxRequest>,
+    ) -> Result<Vec<Result<AppendAck, LedgerError>>, LedgerError> {
+        if let Some(e) = self.durability_error.take() {
+            return Err(e);
+        }
+        // Verify π_c and membership before any slot is assigned.
+        let validated: Vec<Result<TxRequest, LedgerError>> = requests
+            .into_iter()
+            .map(|request| self.verify_request(&request).map(|()| request))
+            .collect();
+        self.commit_batch_validated(validated)
+    }
+
+    /// Group-commit append for requests whose π_c was already verified
+    /// by the service tier (see [`LedgerDb::verify_request`] — run in
+    /// parallel under read locks, it moves the dominant ECDSA cost out
+    /// of this serial commit path). Membership is still enforced, as in
+    /// [`LedgerDb::append_preverified`]. Durability contract identical
+    /// to [`LedgerDb::append_batch`].
+    pub fn append_batch_preverified(
+        &mut self,
+        requests: Vec<TxRequest>,
+    ) -> Result<Vec<Result<AppendAck, LedgerError>>, LedgerError> {
+        if let Some(e) = self.durability_error.take() {
+            return Err(e);
+        }
+        let validated: Vec<Result<TxRequest, LedgerError>> = requests
+            .into_iter()
+            .map(|request| {
+                if self.registry.is_registered(&request.client_pk) {
+                    Ok(request)
+                } else {
+                    Err(LedgerError::UnknownMember)
+                }
+            })
+            .collect();
+        self.commit_batch_validated(validated)
+    }
+
+    /// Shared tail of the batched append paths: write all accepted
+    /// payloads behind one sync, commit each journal in order (WAL +
+    /// trees), auto-seal at block boundaries, and finish with one
+    /// durability barrier.
+    fn commit_batch_validated(
+        &mut self,
+        validated: Vec<Result<TxRequest, LedgerError>>,
+    ) -> Result<Vec<Result<AppendAck, LedgerError>>, LedgerError> {
+        let payloads: Vec<Vec<u8>> = validated
+            .iter()
+            .filter_map(|v| v.as_ref().ok().map(|r| r.payload.clone()))
+            .collect();
+        let mut slot = self.store.append_batch(&payloads)?;
+        let mut results = Vec::with_capacity(validated.len());
+        for v in validated {
+            let request = match v {
+                Ok(request) => request,
+                Err(e) => {
+                    results.push(Err(e));
+                    continue;
+                }
+            };
+            let stream_index = slot;
+            slot += 1;
+            let committed = self.commit_journal(
+                JournalKind::Normal,
+                request.clues.clone(),
+                sha256(&request.payload),
+                request.hash(),
+                Some(request.client_pk),
+                Some(request.signature),
+                stream_index,
+            );
+            let ack = match committed {
+                Ok(ack) => ack,
+                Err(e) => {
+                    // Roll back this and every still-unprocessed payload
+                    // so stream indexes stay aligned with jsns.
+                    let _ = self.store.truncate_records(stream_index);
+                    return Err(e);
+                }
+            };
+            if self.pending.len() as u64 >= self.config.block_size {
+                if let Err(e) = self.try_seal_block() {
+                    let _ = self.store.truncate_records(slot);
+                    return Err(e);
+                }
+            }
+            results.push(Ok(ack));
+        }
+        self.sync_durable()?;
+        Ok(results)
+    }
+
+    /// Flush both durable streams (payload + WAL) to stable storage —
+    /// the group-commit barrier. No-op for in-memory ledgers.
+    pub fn sync_durable(&self) -> Result<(), LedgerError> {
+        self.store.sync()?;
+        if let Some(wal) = &self.wal {
+            wal.sync()?;
+        }
+        Ok(())
+    }
+
     /// Internal: append any journal kind.
     fn append_journal(
         &mut self,
@@ -301,28 +428,60 @@ impl LedgerDb {
             return Err(e);
         }
         let stream_index = self.store.append(payload)?;
+        // WAL order: payload → journal record → in-memory mutation. A
+        // crash between the first two leaves an orphan payload that
+        // recovery trims; a WAL failure here rolls the payload back so
+        // stream indexes stay aligned with jsns.
+        let committed = self.commit_journal(
+            kind,
+            clues,
+            sha256(payload),
+            request_hash,
+            client_pk,
+            client_sig,
+            stream_index,
+        );
+        let ack = match committed {
+            Ok(ack) => ack,
+            Err(e) => {
+                let _ = self.store.truncate_records(stream_index);
+                return Err(e);
+            }
+        };
+        if self.pending.len() as u64 >= self.config.block_size {
+            self.seal_block();
+        }
+        Ok(ack)
+    }
+
+    /// WAL-log and apply one journal whose payload already occupies
+    /// `stream_index`. Does not auto-seal and does not roll the payload
+    /// slot back on failure — callers own both.
+    fn commit_journal(
+        &mut self,
+        kind: JournalKind,
+        clues: Vec<String>,
+        payload_digest: Digest,
+        request_hash: Digest,
+        client_pk: Option<PublicKey>,
+        client_sig: Option<ledgerdb_crypto::ecdsa::Signature>,
+        stream_index: u64,
+    ) -> Result<AppendAck, LedgerError> {
         let jsn = self.journals.len() as u64;
         let journal = Journal {
             jsn,
             kind,
             clues: clues.clone(),
-            payload_digest: sha256(payload),
+            payload_digest,
             request_hash,
             client_pk,
             client_sig,
             timestamp: self.clock.now(),
             stream_index,
         };
-        // WAL order: payload → journal record → in-memory mutation. A
-        // crash between the first two leaves an orphan payload that
-        // recovery trims; a WAL failure here rolls the payload back so
-        // stream indexes stay aligned with jsns.
         if let Some(wal) = &self.wal {
             let record = crate::recovery::WalRecord::Journal(journal.clone());
-            if let Err(e) = wal.append(&ledgerdb_crypto::wire::Wire::to_wire(&record)) {
-                let _ = self.store.truncate_records(stream_index);
-                return Err(e.into());
-            }
+            wal.append(&ledgerdb_crypto::wire::Wire::to_wire(&record))?;
         }
         let tx_hash = journal.tx_hash();
         self.tx_hashes.push(tx_hash);
@@ -335,9 +494,6 @@ impl LedgerDb {
         }
         self.journals.push(journal);
         self.pending.push(jsn);
-        if self.pending.len() as u64 >= self.config.block_size {
-            self.seal_block();
-        }
         Ok(AppendAck { jsn, tx_hash })
     }
 
@@ -932,6 +1088,51 @@ pub(crate) mod tests {
         assert_eq!(ack.jsn, 0);
         assert_eq!(f.ledger.get_payload(0).unwrap(), b"hello");
         assert_eq!(f.ledger.list_tx("c1"), vec![0]);
+    }
+
+    #[test]
+    fn append_batch_interleaves_rejections_without_slots() {
+        let mut f = fixture(4);
+        let mallory = KeyPair::from_seed(b"mallory");
+        let mut tampered = tx(&f.alice, b"honest", &[], 2);
+        tampered.payload = b"tampered".to_vec();
+        let batch = vec![
+            tx(&f.alice, b"b0", &["c"], 0),
+            tx(&mallory, b"evil", &[], 1),
+            tampered,
+            tx(&f.bob, b"b3", &["c"], 3),
+        ];
+        let results = f.ledger.append_batch(batch).unwrap();
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0].as_ref().unwrap().jsn, 0);
+        assert!(matches!(results[1], Err(LedgerError::UnknownMember)));
+        assert!(matches!(results[2], Err(LedgerError::BadClientSignature)));
+        assert_eq!(results[3].as_ref().unwrap().jsn, 1);
+        // Rejected requests consumed no payload slots.
+        assert_eq!(f.ledger.journal_count(), 2);
+        assert_eq!(f.ledger.get_payload(1).unwrap(), b"b3");
+        assert_eq!(f.ledger.list_tx("c"), vec![0, 1]);
+    }
+
+    #[test]
+    fn append_batch_auto_seals_and_matches_sequential_roots() {
+        let mut seq = fixture(4);
+        let mut bat = fixture(4);
+        let reqs: Vec<TxRequest> =
+            (0..10u64).map(|i| tx(&seq.alice, &i.to_be_bytes(), &["c"], i)).collect();
+        for r in reqs.clone() {
+            seq.ledger.append(r).unwrap();
+        }
+        let results = bat.ledger.append_batch(reqs).unwrap();
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(bat.ledger.journal_count(), 10);
+        assert_eq!(bat.ledger.block_count(), 2, "auto-seal fired inside the batch");
+        assert_eq!(bat.ledger.journal_root(), seq.ledger.journal_root());
+        assert_eq!(bat.ledger.clue_root(), seq.ledger.clue_root());
+        assert_eq!(bat.ledger.state_root(), seq.ledger.state_root());
+        // Receipts from the sealed prefix verify.
+        let receipt = bat.ledger.receipt(3).unwrap().unwrap();
+        assert!(receipt.verify());
     }
 
     #[test]

@@ -471,6 +471,43 @@ mod tests {
     }
 
     #[test]
+    fn group_commit_batches_are_durable_under_never_policy() {
+        // The service-layer configuration: per-append fsync disabled,
+        // durability supplied by the batch barrier. Everything the batch
+        // acked must survive a reopen, cleanly.
+        let dir = temp_dir("group-commit");
+        let (registry, m) = members();
+        let (root, blocks) = {
+            let (mut ledger, _) = open_durable(
+                config(4),
+                registry.clone(),
+                &dir,
+                FsyncPolicy::Never,
+                Arc::new(SimClock::new()),
+            )
+            .unwrap();
+            let batch: Vec<TxRequest> =
+                (0..10u64).map(|i| tx(&m.alice, &i.to_be_bytes(), &["c"], i)).collect();
+            let results = ledger.append_batch(batch).unwrap();
+            assert!(results.iter().all(|r| r.is_ok()));
+            (ledger.journal_root(), ledger.block_count())
+        };
+        let (ledger, report) = open_durable(
+            config(4),
+            registry,
+            &dir,
+            FsyncPolicy::Never,
+            Arc::new(SimClock::new()),
+        )
+        .unwrap();
+        assert!(report.is_clean(), "batched appends reopen clean: {report:?}");
+        assert_eq!(report.journals_replayed, 10);
+        assert_eq!(ledger.journal_root(), root);
+        assert_eq!(ledger.block_count(), blocks);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn recovery_replays_purge_and_redoes_erasure() {
         let dir = temp_dir("purge");
         let (registry, m) = members();

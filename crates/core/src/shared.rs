@@ -8,11 +8,12 @@
 //! count.
 
 use crate::ledger::{AppendAck, LedgerDb, OccultMode};
-use crate::types::{Receipt, TxRequest, VerifyLevel};
+use crate::types::{Block, Journal, Receipt, TxRequest, VerifyLevel};
 use crate::LedgerError;
 use ledgerdb_accumulator::fam::{FamProof, TrustedAnchor};
 use ledgerdb_clue::cm_tree::ClueProof;
 use ledgerdb_crypto::digest::Digest;
+use ledgerdb_crypto::keys::PublicKey;
 use ledgerdb_crypto::multisig::MultiSignature;
 use ledgerdb_crypto::sync::RwLock;
 use std::sync::Arc;
@@ -39,9 +40,79 @@ impl SharedLedger {
         self.inner.write().append_committed(request)
     }
 
-    /// Seal the pending block.
+    /// Group-commit append: the whole batch becomes durable behind O(1)
+    /// fsyncs (see [`LedgerDb::append_batch`]). Takes the write lock
+    /// once for the entire batch.
+    pub fn append_batch(
+        &self,
+        requests: Vec<TxRequest>,
+    ) -> Result<Vec<Result<AppendAck, LedgerError>>, LedgerError> {
+        self.inner.write().append_batch(requests)
+    }
+
+    /// Append a request whose π_c was verified upstream (proxy tier,
+    /// Fig 1); membership is still enforced. See
+    /// [`LedgerDb::append_preverified`].
+    pub fn append_preverified(&self, request: TxRequest) -> Result<AppendAck, LedgerError> {
+        self.inner.write().append_preverified(request)
+    }
+
+    /// Proxy-admitted variant of [`SharedLedger::append_committed`]:
+    /// append, seal, and return the receipt, skipping the π_c re-check.
+    pub fn append_committed_preverified(
+        &self,
+        request: TxRequest,
+    ) -> Result<Receipt, LedgerError> {
+        let mut inner = self.inner.write();
+        let ack = inner.append_preverified(request)?;
+        inner.try_seal_block()?;
+        Ok(inner.receipt(ack.jsn)?.expect("sealed block issues receipts"))
+    }
+
+    /// Admission check (membership + π_c) under a shared **read** lock:
+    /// many client threads verify in parallel while the write path
+    /// stays free. Pair with
+    /// [`SharedLedger::append_batch_preverified`].
+    pub fn verify_request(&self, request: &TxRequest) -> Result<(), LedgerError> {
+        self.inner.read().verify_request(request)
+    }
+
+    /// Group-commit append for requests already admitted via
+    /// [`SharedLedger::verify_request`] — the serial committer skips
+    /// the dominant ECDSA cost.
+    pub fn append_batch_preverified(
+        &self,
+        requests: Vec<TxRequest>,
+    ) -> Result<Vec<Result<AppendAck, LedgerError>>, LedgerError> {
+        self.inner.write().append_batch_preverified(requests)
+    }
+
+    /// Seal the pending block. Infallible: a WAL failure is stashed as
+    /// the sticky durability error — use [`SharedLedger::try_seal_block`]
+    /// (or check [`SharedLedger::take_durability_error`]) on paths that
+    /// must not miss it.
     pub fn seal_block(&self) {
         self.inner.write().seal_block();
+    }
+
+    /// Seal the pending block, reporting WAL failures instead of
+    /// stashing them. On error the journals stay pending and the seal
+    /// can be retried.
+    pub fn try_seal_block(&self) -> Result<(), LedgerError> {
+        self.inner.write().try_seal_block()
+    }
+
+    /// Take (and clear) a durability failure stashed by an infallible
+    /// path (the auto-seal inside the append hot path). Service-layer
+    /// callers poll this so a stashed error is surfaced promptly rather
+    /// than only on the next fallible write.
+    pub fn take_durability_error(&self) -> Option<LedgerError> {
+        self.inner.write().take_durability_error()
+    }
+
+    /// Flush both durable streams — the group-commit barrier.
+    pub fn sync_durable(&self) -> Result<(), LedgerError> {
+        self.inner.read().sync_durable()
     }
 
     /// Current journal count.
@@ -62,6 +133,46 @@ impl SharedLedger {
     /// Snapshot a trusted anchor.
     pub fn anchor(&self) -> TrustedAnchor {
         self.inner.read().anchor()
+    }
+
+    /// Sealed block count.
+    pub fn block_count(&self) -> u64 {
+        self.inner.read().block_count()
+    }
+
+    /// The ledger's identity digest.
+    pub fn id(&self) -> Digest {
+        self.inner.read().id()
+    }
+
+    /// The LSP public key (what receipts are signed with).
+    pub fn lsp_public_key(&self) -> PublicKey {
+        *self.inner.read().lsp_public_key()
+    }
+
+    /// The fam fractal height δ (a distrusting client must replay with
+    /// the same value).
+    pub fn fam_delta(&self) -> u32 {
+        self.inner.read().fam_delta()
+    }
+
+    /// Clone sealed blocks `[from_height, from_height + max)` — the
+    /// block-download feed a distrusting client syncs from.
+    pub fn blocks_from(&self, from_height: u64, max: u64) -> Vec<Block> {
+        let inner = self.inner.read();
+        let blocks = inner.blocks();
+        let lo = (from_height as usize).min(blocks.len());
+        let hi = lo.saturating_add(max as usize).min(blocks.len());
+        blocks[lo..hi].to_vec()
+    }
+
+    /// Fetch a journal record plus its payload (None when erased).
+    /// Occulted and purged journals error exactly as [`LedgerDb::get_tx`].
+    pub fn get_tx(&self, jsn: u64) -> Result<(Journal, Option<Vec<u8>>), LedgerError> {
+        let inner = self.inner.read();
+        let journal = inner.get_tx(jsn)?.clone();
+        let payload = inner.get_payload(jsn).ok();
+        Ok((journal, payload))
     }
 
     /// Fetch a receipt (signed on demand).

@@ -1,0 +1,34 @@
+//! The LedgerDB service layer: `ledgerd` and its wire protocol.
+//!
+//! The paper's deployment (Fig 1) interposes proxy/server fleets between
+//! clients and the ledger kernel. This crate is that boundary, built on
+//! `std` alone:
+//!
+//! * [`protocol`] — a length-prefixed binary RPC protocol over the
+//!   workspace's canonical [`Wire`](ledgerdb_crypto::wire::Wire) codec,
+//!   with typed error frames for hostile input;
+//! * [`batcher`] — group commit: one fsync barrier amortized across a
+//!   window of concurrent appends, acks strictly after durability;
+//! * [`server`] — the thread-pool TCP server with connection limits,
+//!   socket timeouts, and graceful drain;
+//! * [`remote`] — the distrusting client: syncs blocks into its own
+//!   fam replica and verifies every proof and receipt locally.
+//!
+//! See DESIGN.md §7 for the frame format and the group-commit ordering
+//! argument.
+
+pub mod batcher;
+pub mod protocol;
+pub mod remote;
+pub mod server;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use batcher::{Admission, BatchConfig, CommitOutcome, GroupCommitter};
+pub use protocol::{
+    ErrorCode, ErrorFrame, FrameError, Request, Response, ServerInfo, DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+};
+pub use remote::{RemoteError, RemoteLedger};
+pub use server::{Ledgerd, ServerConfig};

@@ -1,0 +1,585 @@
+//! The `ledgerd` wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every frame is `version:u8 · len:u32(be) · body[len]`, where the body
+//! is one [`Wire`]-encoded [`Request`] or [`Response`] (the message tag
+//! is the body's first byte). Hostile input is handled with *typed*
+//! failures at every layer:
+//!
+//! * a frame whose length prefix exceeds the negotiated bound is
+//!   [`FrameError::Oversized`] — rejected before any allocation;
+//! * an unknown protocol version byte is [`FrameError::BadVersion`];
+//! * a body that fails to decode (truncated, trailing bytes, bad tag,
+//!   off-curve key) surfaces as a [`WireError`], which the server maps
+//!   to an [`ErrorFrame`] response — never a panic, never a partial
+//!   read misinterpreted as data.
+//!
+//! The protocol is deliberately request/response over a persistent
+//! connection: no pipelining, no server push. A distrusting client
+//! ([`crate::remote::RemoteLedger`]) treats every response as claims to
+//! re-verify, not facts.
+
+use ledgerdb_accumulator::fam::{FamProof, TrustedAnchor};
+use ledgerdb_clue::cm_tree::ClueProof;
+use ledgerdb_core::{Block, Journal, LedgerError, Receipt, TxRequest};
+use ledgerdb_crypto::digest::Digest;
+use ledgerdb_crypto::keys::PublicKey;
+use ledgerdb_crypto::wire::{Reader, Wire, WireError, Writer};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Default ceiling on a frame body (requests and responses). Payloads
+/// larger than this must be chunked by the application.
+pub const DEFAULT_MAX_FRAME: u32 = 4 << 20;
+
+/// Framing-layer failures (before any message decoding).
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// An I/O failure (includes read/write timeouts).
+    Io(io::Error),
+    /// The version byte was not [`PROTOCOL_VERSION`].
+    BadVersion(u8),
+    /// The length prefix exceeded the frame bound.
+    Oversized { len: u32, max: u32 },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Io(e) => write!(f, "frame i/o failure: {e}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl FrameError {
+    /// True when the failure is a read timeout (the connection is idle,
+    /// not broken) — the server polls its shutdown flag on these.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Io(e) if e.kind() == io::ErrorKind::WouldBlock
+                || e.kind() == io::ErrorKind::TimedOut
+        )
+    }
+}
+
+/// Write one frame: version byte, big-endian length, body.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    let mut frame = Vec::with_capacity(5 + body.len());
+    frame.push(PROTOCOL_VERSION);
+    frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    frame.extend_from_slice(body);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Read one frame body, enforcing the version byte and the `max` bound.
+///
+/// A clean EOF before the first byte is [`FrameError::Closed`]; an EOF
+/// mid-frame is an I/O error (the peer died mid-sentence).
+pub fn read_frame(r: &mut impl Read, max: u32) -> Result<Vec<u8>, FrameError> {
+    let mut version = [0u8; 1];
+    loop {
+        match r.read(&mut version) {
+            Ok(0) => return Err(FrameError::Closed),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    if version[0] != PROTOCOL_VERSION {
+        return Err(FrameError::BadVersion(version[0]));
+    }
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_be_bytes(len_bytes);
+    if len > max {
+        return Err(FrameError::Oversized { len, max });
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// A client request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Handshake: ask for the server's identity and configuration.
+    Hello,
+    /// Append a signed transaction; acked once durable (group commit).
+    Append(TxRequest),
+    /// Append, seal, and return the LSP receipt.
+    AppendCommitted(TxRequest),
+    /// Fetch a journal record and its payload.
+    GetTx(u64),
+    /// jsns recorded under a clue.
+    ListTx(String),
+    /// Existence proof for a jsn relative to the *caller's* anchor.
+    GetProof { jsn: u64, anchor: TrustedAnchor },
+    /// Clue-oriented lineage proof.
+    GetClueProof(String),
+    /// Server-side existence verification of a supplied proof.
+    Verify { jsn: u64, tx_hash: Digest, proof: FamProof, anchor: TrustedAnchor },
+    /// The server's current trusted-anchor snapshot (convenience; a
+    /// distrusting client derives its own from the block feed).
+    GetAnchor,
+    /// Sealed blocks from `from_height`, at most `max_blocks`.
+    GetBlockFeed { from_height: u64, max_blocks: u64 },
+}
+
+impl Wire for Request {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Request::Hello => w.put_u8(0),
+            Request::Append(req) => {
+                w.put_u8(1);
+                req.encode(w);
+            }
+            Request::AppendCommitted(req) => {
+                w.put_u8(2);
+                req.encode(w);
+            }
+            Request::GetTx(jsn) => {
+                w.put_u8(3);
+                w.put_u64(*jsn);
+            }
+            Request::ListTx(clue) => {
+                w.put_u8(4);
+                clue.encode(w);
+            }
+            Request::GetProof { jsn, anchor } => {
+                w.put_u8(5);
+                w.put_u64(*jsn);
+                anchor.encode(w);
+            }
+            Request::GetClueProof(clue) => {
+                w.put_u8(6);
+                clue.encode(w);
+            }
+            Request::Verify { jsn, tx_hash, proof, anchor } => {
+                w.put_u8(7);
+                w.put_u64(*jsn);
+                tx_hash.encode(w);
+                proof.encode(w);
+                anchor.encode(w);
+            }
+            Request::GetAnchor => w.put_u8(8),
+            Request::GetBlockFeed { from_height, max_blocks } => {
+                w.put_u8(9);
+                w.put_u64(*from_height);
+                w.put_u64(*max_blocks);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(Request::Hello),
+            1 => Ok(Request::Append(TxRequest::decode(r)?)),
+            2 => Ok(Request::AppendCommitted(TxRequest::decode(r)?)),
+            3 => Ok(Request::GetTx(r.get_u64()?)),
+            4 => Ok(Request::ListTx(String::decode(r)?)),
+            5 => Ok(Request::GetProof { jsn: r.get_u64()?, anchor: TrustedAnchor::decode(r)? }),
+            6 => Ok(Request::GetClueProof(String::decode(r)?)),
+            7 => Ok(Request::Verify {
+                jsn: r.get_u64()?,
+                tx_hash: Digest::decode(r)?,
+                proof: FamProof::decode(r)?,
+                anchor: TrustedAnchor::decode(r)?,
+            }),
+            8 => Ok(Request::GetAnchor),
+            9 => Ok(Request::GetBlockFeed {
+                from_height: r.get_u64()?,
+                max_blocks: r.get_u64()?,
+            }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// What the server advertises at handshake.
+#[derive(Clone, Debug)]
+pub struct ServerInfo {
+    pub protocol_version: u8,
+    pub ledger_id: Digest,
+    pub lsp_pk: PublicKey,
+    pub fam_delta: u32,
+    pub journal_count: u64,
+    pub block_count: u64,
+}
+
+impl Wire for ServerInfo {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.protocol_version);
+        self.ledger_id.encode(w);
+        self.lsp_pk.encode(w);
+        w.put_u32(self.fam_delta);
+        w.put_u64(self.journal_count);
+        w.put_u64(self.block_count);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ServerInfo {
+            protocol_version: r.get_u8()?,
+            ledger_id: Digest::decode(r)?,
+            lsp_pk: PublicKey::decode(r)?,
+            fam_delta: r.get_u32()?,
+            journal_count: r.get_u64()?,
+            block_count: r.get_u64()?,
+        })
+    }
+}
+
+/// Typed failure categories carried by [`ErrorFrame`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request body failed to decode (truncated, trailing bytes…).
+    BadFrame,
+    /// An unknown message tag byte.
+    BadTag,
+    /// The request decoded but the ledger rejected it (bad signature,
+    /// unknown member, invalid argument).
+    Rejected,
+    /// The referenced entity does not exist (jsn, clue, block) or is no
+    /// longer retrievable (purged, occulted).
+    NotFound,
+    /// The server is at its connection/queue limit.
+    Unavailable,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+    /// A durability failure: the append could not be made stable, and
+    /// was not acknowledged.
+    Durability,
+    /// Anything else (a bug, reported loudly).
+    Internal,
+    /// The frame's length prefix exceeded the server's bound.
+    Oversized,
+    /// The frame's version byte is not one this server speaks.
+    UnsupportedVersion,
+}
+
+impl ErrorCode {
+    fn tag(self) -> u8 {
+        match self {
+            ErrorCode::BadFrame => 1,
+            ErrorCode::BadTag => 2,
+            ErrorCode::Rejected => 3,
+            ErrorCode::NotFound => 4,
+            ErrorCode::Unavailable => 5,
+            ErrorCode::ShuttingDown => 6,
+            ErrorCode::Durability => 7,
+            ErrorCode::Internal => 8,
+            ErrorCode::Oversized => 9,
+            ErrorCode::UnsupportedVersion => 10,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<Self, WireError> {
+        Ok(match t {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::BadTag,
+            3 => ErrorCode::Rejected,
+            4 => ErrorCode::NotFound,
+            5 => ErrorCode::Unavailable,
+            6 => ErrorCode::ShuttingDown,
+            7 => ErrorCode::Durability,
+            8 => ErrorCode::Internal,
+            9 => ErrorCode::Oversized,
+            10 => ErrorCode::UnsupportedVersion,
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+/// A typed error response.
+#[derive(Clone, Debug)]
+pub struct ErrorFrame {
+    pub code: ErrorCode,
+    pub detail: String,
+}
+
+impl fmt::Display for ErrorFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.detail)
+    }
+}
+
+impl Wire for ErrorFrame {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.code.tag());
+        self.detail.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ErrorFrame { code: ErrorCode::from_tag(r.get_u8()?)?, detail: String::decode(r)? })
+    }
+}
+
+impl ErrorFrame {
+    /// Classify a wire decoding failure.
+    pub fn from_wire_error(e: &WireError) -> Self {
+        let code = match e {
+            WireError::BadTag(_) => ErrorCode::BadTag,
+            _ => ErrorCode::BadFrame,
+        };
+        ErrorFrame { code, detail: e.to_string() }
+    }
+
+    /// Classify a ledger-level failure.
+    pub fn from_ledger_error(e: &LedgerError) -> Self {
+        let code = match e {
+            LedgerError::UnknownJournal(_)
+            | LedgerError::UnknownBlock(_)
+            | LedgerError::Occulted(_)
+            | LedgerError::Purged(_)
+            | LedgerError::Clue(_) => ErrorCode::NotFound,
+            LedgerError::BadClientSignature
+            | LedgerError::UnknownMember
+            | LedgerError::BadPurgePoint(_)
+            | LedgerError::InsufficientSignatures(_)
+            | LedgerError::Accumulator(_)
+            | LedgerError::BadReceipt => ErrorCode::Rejected,
+            LedgerError::Storage(_) | LedgerError::Recovery(_) => ErrorCode::Durability,
+            LedgerError::Time(_) | LedgerError::AuditFailed(_) => ErrorCode::Internal,
+        };
+        ErrorFrame { code, detail: e.to_string() }
+    }
+}
+
+/// A server response.
+#[derive(Clone, Debug)]
+pub enum Response {
+    Hello(ServerInfo),
+    /// Durable append acknowledgement.
+    Appended { jsn: u64, tx_hash: Digest },
+    /// Durable append + seal: the LSP receipt.
+    Committed(Receipt),
+    Tx { journal: Journal, payload: Option<Vec<u8>> },
+    TxList(Vec<u64>),
+    Proof { tx_hash: Digest, proof: FamProof },
+    ClueProof(ClueProof),
+    /// The supplied proof verified server-side.
+    Verified,
+    Anchor(TrustedAnchor),
+    BlockFeed(Vec<Block>),
+    Error(ErrorFrame),
+}
+
+impl Wire for Response {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Response::Hello(info) => {
+                w.put_u8(0);
+                info.encode(w);
+            }
+            Response::Appended { jsn, tx_hash } => {
+                w.put_u8(1);
+                w.put_u64(*jsn);
+                tx_hash.encode(w);
+            }
+            Response::Committed(receipt) => {
+                w.put_u8(2);
+                receipt.encode(w);
+            }
+            Response::Tx { journal, payload } => {
+                w.put_u8(3);
+                journal.encode(w);
+                payload.encode(w);
+            }
+            Response::TxList(jsns) => {
+                w.put_u8(4);
+                jsns.encode(w);
+            }
+            Response::Proof { tx_hash, proof } => {
+                w.put_u8(5);
+                tx_hash.encode(w);
+                proof.encode(w);
+            }
+            Response::ClueProof(proof) => {
+                w.put_u8(6);
+                proof.encode(w);
+            }
+            Response::Verified => w.put_u8(7),
+            Response::Anchor(anchor) => {
+                w.put_u8(8);
+                anchor.encode(w);
+            }
+            Response::BlockFeed(blocks) => {
+                w.put_u8(9);
+                blocks.encode(w);
+            }
+            Response::Error(err) => {
+                w.put_u8(10);
+                err.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(Response::Hello(ServerInfo::decode(r)?)),
+            1 => Ok(Response::Appended { jsn: r.get_u64()?, tx_hash: Digest::decode(r)? }),
+            2 => Ok(Response::Committed(Receipt::decode(r)?)),
+            3 => Ok(Response::Tx {
+                journal: Journal::decode(r)?,
+                payload: Option::<Vec<u8>>::decode(r)?,
+            }),
+            4 => Ok(Response::TxList(Vec::decode(r)?)),
+            5 => Ok(Response::Proof { tx_hash: Digest::decode(r)?, proof: FamProof::decode(r)? }),
+            6 => Ok(Response::ClueProof(ClueProof::decode(r)?)),
+            7 => Ok(Response::Verified),
+            8 => Ok(Response::Anchor(TrustedAnchor::decode(r)?)),
+            9 => Ok(Response::BlockFeed(Vec::decode(r)?)),
+            10 => Ok(Response::Error(ErrorFrame::decode(r)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ledgerdb_crypto::keys::KeyPair;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello frame").unwrap();
+        let body = read_frame(&mut Cursor::new(&buf), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(body, b"hello frame");
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        let empty: &[u8] = &[];
+        assert!(matches!(
+            read_frame(&mut Cursor::new(empty), DEFAULT_MAX_FRAME),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let frame = [9u8, 0, 0, 0, 0];
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&frame[..]), DEFAULT_MAX_FRAME),
+            Err(FrameError::BadVersion(9))
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_allocation() {
+        let mut frame = vec![PROTOCOL_VERSION];
+        frame.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&frame), 1024),
+            Err(FrameError::Oversized { len: u32::MAX, max: 1024 })
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_is_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"whole body").unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&buf), DEFAULT_MAX_FRAME),
+            Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let keys = KeyPair::from_seed(b"proto");
+        let tx = TxRequest::signed(&keys, b"payload".to_vec(), vec!["clue".into()], 7);
+        let cases = vec![
+            Request::Hello,
+            Request::Append(tx.clone()),
+            Request::AppendCommitted(tx),
+            Request::GetTx(42),
+            Request::ListTx("asset".into()),
+            Request::GetAnchor,
+            Request::GetBlockFeed { from_height: 3, max_blocks: 100 },
+            Request::GetClueProof("asset".into()),
+        ];
+        for req in cases {
+            let decoded = Request::from_wire(&req.to_wire()).unwrap();
+            // Structural spot checks (Request has no PartialEq by design —
+            // proofs inside are deep structures).
+            assert_eq!(
+                std::mem::discriminant(&decoded),
+                std::mem::discriminant(&req),
+                "{req:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_frames_round_trip() {
+        for code in [
+            ErrorCode::BadFrame,
+            ErrorCode::BadTag,
+            ErrorCode::Rejected,
+            ErrorCode::NotFound,
+            ErrorCode::Unavailable,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Durability,
+            ErrorCode::Internal,
+            ErrorCode::Oversized,
+            ErrorCode::UnsupportedVersion,
+        ] {
+            let frame = ErrorFrame { code, detail: "why".into() };
+            let decoded = ErrorFrame::from_wire(&frame.to_wire()).unwrap();
+            assert_eq!(decoded.code, code);
+            assert_eq!(decoded.detail, "why");
+        }
+        assert!(ErrorFrame::from_wire(&[99, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn hostile_request_bodies_decode_to_typed_errors() {
+        // Unknown tag.
+        assert!(matches!(Request::from_wire(&[200]), Err(WireError::BadTag(200))));
+        // Truncated GetTx.
+        assert!(matches!(Request::from_wire(&[3, 0, 0]), Err(WireError::UnexpectedEnd)));
+        // Trailing garbage.
+        let mut bytes = Request::GetTx(1).to_wire();
+        bytes.push(0xFF);
+        assert!(matches!(Request::from_wire(&bytes), Err(WireError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn ledger_error_classification() {
+        assert_eq!(
+            ErrorFrame::from_ledger_error(&LedgerError::UnknownJournal(9)).code,
+            ErrorCode::NotFound
+        );
+        assert_eq!(
+            ErrorFrame::from_ledger_error(&LedgerError::BadClientSignature).code,
+            ErrorCode::Rejected
+        );
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire");
+        assert_eq!(
+            ErrorFrame::from_ledger_error(&LedgerError::Storage(io.into())).code,
+            ErrorCode::Durability
+        );
+    }
+}

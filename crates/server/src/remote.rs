@@ -1,0 +1,256 @@
+//! [`RemoteLedger`]: the distrusting client end of the `ledgerd` wire.
+//!
+//! The transport is untrusted exactly like the LSP it fronts (§II-B
+//! threat model): every byte that comes back is a *claim*. The remote
+//! client therefore embeds a [`LedgerClient`] replica and
+//!
+//! * syncs by downloading sealed blocks over `GetBlockFeed` and
+//!   replaying them through its own fam tree — a tampered feed is
+//!   rejected at the first inconsistent block;
+//! * requests existence proofs against **its own** anchor and verifies
+//!   them against **its own** root ([`RemoteLedger::prove`] never
+//!   returns an unverified proof);
+//! * verifies receipts against the pinned LSP key and its own verified
+//!   block-hash set.
+//!
+//! The LSP key and fam δ are learned from the `Hello` handshake —
+//! trust-on-first-use. A deployment that distributes the LSP key
+//! out-of-band should check [`RemoteLedger::info`] against the pinned
+//! key after connecting.
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorFrame, FrameError, Request, Response, ServerInfo,
+    DEFAULT_MAX_FRAME,
+};
+use ledgerdb_accumulator::fam::FamProof;
+use ledgerdb_clue::cm_tree::ClueProof;
+use ledgerdb_core::client::{LedgerClient, SyncReport};
+use ledgerdb_core::{Journal, LedgerError, Receipt, TxRequest};
+use ledgerdb_crypto::digest::Digest;
+use ledgerdb_crypto::wire::{Wire, WireError};
+use std::fmt;
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum RemoteError {
+    /// Transport/framing failure.
+    Frame(FrameError),
+    /// The server's bytes failed to decode.
+    Wire(WireError),
+    /// The server answered with a typed error frame.
+    Server(ErrorFrame),
+    /// The server answered with the wrong response kind.
+    Protocol(String),
+    /// Local verification rejected the server's claim.
+    Verify(LedgerError),
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteError::Frame(e) => write!(f, "transport: {e}"),
+            RemoteError::Wire(e) => write!(f, "undecodable response: {e}"),
+            RemoteError::Server(e) => write!(f, "server error: {e}"),
+            RemoteError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            RemoteError::Verify(e) => write!(f, "verification rejected server claim: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+impl From<FrameError> for RemoteError {
+    fn from(e: FrameError) -> Self {
+        RemoteError::Frame(e)
+    }
+}
+
+impl From<WireError> for RemoteError {
+    fn from(e: WireError) -> Self {
+        RemoteError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for RemoteError {
+    fn from(e: std::io::Error) -> Self {
+        RemoteError::Frame(FrameError::Io(e))
+    }
+}
+
+/// How many blocks one `GetBlockFeed` round trip asks for.
+const SYNC_CHUNK: u64 = 256;
+
+/// A connected, distrusting ledger client.
+pub struct RemoteLedger {
+    stream: TcpStream,
+    /// Buffered read half (a `try_clone` of `stream`): one syscall per
+    /// response frame instead of three.
+    reader: BufReader<TcpStream>,
+    info: ServerInfo,
+    client: LedgerClient,
+    max_frame: u32,
+}
+
+impl RemoteLedger {
+    /// Connect and handshake. The returned client trusts only what it
+    /// verifies; the LSP key is trust-on-first-use from the handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<RemoteLedger, RemoteError> {
+        let mut stream = TcpStream::connect(addr).map_err(RemoteError::from)?;
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(RemoteError::from)?;
+        write_frame(&mut stream, &Request::Hello.to_wire()).map_err(FrameError::from)?;
+        let body = read_frame(&mut stream, DEFAULT_MAX_FRAME)?;
+        let info = match Response::from_wire(&body)? {
+            Response::Hello(info) => info,
+            Response::Error(frame) => return Err(RemoteError::Server(frame)),
+            other => return Err(unexpected("Hello", &other)),
+        };
+        let client = LedgerClient::new(info.lsp_pk, info.fam_delta);
+        let reader = BufReader::with_capacity(16 * 1024, stream.try_clone()?);
+        Ok(RemoteLedger { stream, reader, info, client, max_frame: DEFAULT_MAX_FRAME })
+    }
+
+    /// The handshake identity (check against out-of-band pins).
+    pub fn info(&self) -> &ServerInfo {
+        &self.info
+    }
+
+    /// The embedded distrusting replica.
+    pub fn client(&self) -> &LedgerClient {
+        &self.client
+    }
+
+    /// One request/response round trip. Error frames become
+    /// [`RemoteError::Server`].
+    fn call(&mut self, request: &Request) -> Result<Response, RemoteError> {
+        write_frame(&mut self.stream, &request.to_wire()).map_err(FrameError::from)?;
+        let body = read_frame(&mut self.reader, self.max_frame)?;
+        match Response::from_wire(&body)? {
+            Response::Error(frame) => Err(RemoteError::Server(frame)),
+            response => Ok(response),
+        }
+    }
+
+    /// Append; the ack means the payload is durable server-side.
+    pub fn append(&mut self, request: TxRequest) -> Result<(u64, Digest), RemoteError> {
+        match self.call(&Request::Append(request))? {
+            Response::Appended { jsn, tx_hash } => Ok((jsn, tx_hash)),
+            other => Err(unexpected("Appended", &other)),
+        }
+    }
+
+    /// Append + seal; the receipt is *not* yet verified (its block must
+    /// first be synced) — use [`RemoteLedger::append_committed_verified`]
+    /// for the full distrusting round trip.
+    pub fn append_committed(&mut self, request: TxRequest) -> Result<Receipt, RemoteError> {
+        match self.call(&Request::AppendCommitted(request))? {
+            Response::Committed(receipt) => Ok(receipt),
+            other => Err(unexpected("Committed", &other)),
+        }
+    }
+
+    /// Append + seal, then sync the block feed and verify the receipt
+    /// against the client's own verified chain before returning it.
+    pub fn append_committed_verified(
+        &mut self,
+        request: TxRequest,
+    ) -> Result<Receipt, RemoteError> {
+        let receipt = self.append_committed(request)?;
+        self.sync()?;
+        self.client.verify_receipt(&receipt).map_err(RemoteError::Verify)?;
+        Ok(receipt)
+    }
+
+    /// Download and verify new sealed blocks until the feed is drained.
+    pub fn sync(&mut self) -> Result<SyncReport, RemoteError> {
+        let mut total = SyncReport::default();
+        loop {
+            let request = Request::GetBlockFeed {
+                from_height: self.client.height(),
+                max_blocks: SYNC_CHUNK,
+            };
+            let blocks = match self.call(&request)? {
+                Response::BlockFeed(blocks) => blocks,
+                other => return Err(unexpected("BlockFeed", &other)),
+            };
+            let n = blocks.len() as u64;
+            if n == 0 {
+                return Ok(total);
+            }
+            let report = self.client.sync(&blocks).map_err(RemoteError::Verify)?;
+            total.blocks_accepted += report.blocks_accepted;
+            total.journals_replayed += report.journals_replayed;
+            if n < SYNC_CHUNK {
+                return Ok(total);
+            }
+        }
+    }
+
+    /// Fetch an existence proof for `jsn` against the client's **own**
+    /// anchor and verify it against the client's own root before
+    /// returning. An LSP that cannot prove the journal against the
+    /// verified replica is caught here.
+    pub fn prove(&mut self, jsn: u64) -> Result<(Digest, FamProof), RemoteError> {
+        let anchor = self.client.anchor();
+        let (tx_hash, proof) = match self.call(&Request::GetProof { jsn, anchor })? {
+            Response::Proof { tx_hash, proof } => (tx_hash, proof),
+            other => return Err(unexpected("Proof", &other)),
+        };
+        self.client
+            .verify_existence(&tx_hash, &proof)
+            .map_err(RemoteError::Verify)?;
+        Ok((tx_hash, proof))
+    }
+
+    /// Fetch a clue lineage proof and verify it against the trusted clue
+    /// root from the client's newest verified block.
+    pub fn prove_clue(&mut self, clue: &str) -> Result<ClueProof, RemoteError> {
+        let proof = match self.call(&Request::GetClueProof(clue.to_string()))? {
+            Response::ClueProof(proof) => proof,
+            other => return Err(unexpected("ClueProof", &other)),
+        };
+        self.client.verify_clue(&proof).map_err(RemoteError::Verify)?;
+        Ok(proof)
+    }
+
+    /// Fetch a journal and its payload (unverified convenience read;
+    /// verify the payload digest against a proof for a distrusted read).
+    pub fn get_tx(&mut self, jsn: u64) -> Result<(Journal, Option<Vec<u8>>), RemoteError> {
+        match self.call(&Request::GetTx(jsn))? {
+            Response::Tx { journal, payload } => Ok((journal, payload)),
+            other => Err(unexpected("Tx", &other)),
+        }
+    }
+
+    /// jsns the server records under a clue (claims; prove to verify).
+    pub fn list_tx(&mut self, clue: &str) -> Result<Vec<u64>, RemoteError> {
+        match self.call(&Request::ListTx(clue.to_string()))? {
+            Response::TxList(jsns) => Ok(jsns),
+            other => Err(unexpected("TxList", &other)),
+        }
+    }
+
+    /// Ask the server to verify a proof on its side (§II-C manner 1 —
+    /// useful for cross-checking, not a substitute for local checks).
+    pub fn server_verify(
+        &mut self,
+        jsn: u64,
+        tx_hash: Digest,
+        proof: FamProof,
+    ) -> Result<(), RemoteError> {
+        let anchor = self.client.anchor();
+        match self.call(&Request::Verify { jsn, tx_hash, proof, anchor })? {
+            Response::Verified => Ok(()),
+            other => Err(unexpected("Verified", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> RemoteError {
+    RemoteError::Protocol(format!("expected {wanted} response, got {got:?}"))
+}

@@ -1,0 +1,551 @@
+//! `ledgerd`: a thread-pool TCP server over a [`SharedLedger`].
+//!
+//! One acceptor thread hands sockets to a fixed worker pool over a
+//! channel; each worker serves one connection at a time,
+//! request/response, until the peer hangs up. Appends route through the
+//! group-commit [`GroupCommitter`] when batching is enabled, or commit
+//! individually (per-append fsync) when it is not — either way a
+//! success response is only written after the append is durable.
+//!
+//! Robustness posture:
+//! * connection cap — sockets past [`ServerConfig::max_connections`]
+//!   get a typed `Unavailable` error frame and are closed, never queued
+//!   unboundedly;
+//! * per-socket read/write timeouts — a stalled peer cannot pin a
+//!   worker forever; the read timeout doubles as the shutdown poll;
+//! * graceful shutdown — [`Ledgerd::shutdown`] stops the acceptor,
+//!   lets every in-flight request finish (its response is written),
+//!   closes idle connections at their next timeout tick, drains the
+//!   commit queue, and joins every thread;
+//! * sticky durability errors — after every write-path request the
+//!   server polls [`SharedLedger::take_durability_error`], so an
+//!   auto-seal WAL failure surfaces as a typed `Durability` error on
+//!   the very request that triggered it instead of lurking until some
+//!   later fallible write.
+
+use crate::batcher::{Admission, BatchConfig, CommitOutcome, GroupCommitter};
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, ErrorFrame, FrameError, Request, Response, ServerInfo,
+    DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+};
+use ledgerdb_core::{SharedLedger, TxRequest, VerifyLevel};
+use ledgerdb_crypto::sync::Mutex;
+use ledgerdb_crypto::wire::Wire;
+use std::io::{self, BufReader, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub bind: String,
+    /// Worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Accepted-connection cap; excess connections are refused with a
+    /// typed `Unavailable` frame.
+    pub max_connections: usize,
+    /// Per-socket read timeout. Also the shutdown-poll granularity for
+    /// idle connections.
+    pub read_timeout: Duration,
+    /// Per-socket write timeout.
+    pub write_timeout: Duration,
+    /// Largest accepted frame body.
+    pub max_frame: u32,
+    /// Group-commit window; `None` commits each append individually.
+    pub batch: Option<BatchConfig>,
+    /// Where π_c is checked (see [`Admission`]). Defaults to verifying
+    /// every request at the server.
+    pub admission: Admission,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            bind: "127.0.0.1:0".into(),
+            workers: 4,
+            max_connections: 64,
+            read_timeout: Duration::from_millis(250),
+            write_timeout: Duration::from_secs(5),
+            max_frame: DEFAULT_MAX_FRAME,
+            batch: Some(BatchConfig::default()),
+            admission: Admission::Verify,
+        }
+    }
+}
+
+struct ServerState {
+    shared: SharedLedger,
+    committer: Option<GroupCommitter>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+}
+
+/// A running server; dropping it (or calling [`Ledgerd::shutdown`])
+/// stops it gracefully.
+pub struct Ledgerd {
+    state: Arc<ServerState>,
+    local_addr: SocketAddr,
+    acceptor: Mutex<Option<JoinHandle<()>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Ledgerd {
+    /// Bind and start serving.
+    pub fn start(shared: SharedLedger, config: ServerConfig) -> io::Result<Ledgerd> {
+        let listener = TcpListener::bind(&config.bind)?;
+        let local_addr = listener.local_addr()?;
+        let committer = config
+            .batch
+            .map(|batch| GroupCommitter::start(shared.clone(), batch, config.admission));
+        let state = Arc::new(ServerState {
+            shared,
+            committer,
+            config,
+            shutdown: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+        });
+
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let mut workers = Vec::with_capacity(state.config.workers.max(1));
+        for i in 0..state.config.workers.max(1) {
+            let state = state.clone();
+            let conn_rx = conn_rx.clone();
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("ledgerd-worker-{i}"))
+                    .spawn(move || worker_loop(state, conn_rx))?,
+            );
+        }
+
+        let acceptor_state = state.clone();
+        let acceptor = thread::Builder::new()
+            .name("ledgerd-acceptor".into())
+            .spawn(move || acceptor_loop(acceptor_state, listener, conn_tx))?;
+
+        Ok(Ledgerd {
+            state,
+            local_addr,
+            acceptor: Mutex::new(Some(acceptor)),
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Graceful shutdown: stop accepting, finish in-flight requests,
+    /// drain the commit queue, join every thread. Idempotent.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's `accept()` with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.acceptor.lock().take() {
+            let _ = handle.join();
+        }
+        // The acceptor dropped the connection sender; workers drain any
+        // queued sockets (each sees the shutdown flag at its next frame
+        // boundary) and exit.
+        for handle in self.workers.lock().drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(committer) = &self.state.committer {
+            committer.shutdown();
+        }
+    }
+}
+
+impl Drop for Ledgerd {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn acceptor_loop(
+    state: Arc<ServerState>,
+    listener: TcpListener,
+    conn_tx: mpsc::Sender<TcpStream>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        stream.set_nodelay(true).ok();
+        if state.shutdown.load(Ordering::SeqCst) {
+            return; // conn_tx drops here; workers wind down.
+        }
+        if state.active_connections.load(Ordering::SeqCst) >= state.config.max_connections {
+            refuse(stream, &state.config);
+            continue;
+        }
+        state.active_connections.fetch_add(1, Ordering::SeqCst);
+        if conn_tx.send(stream).is_err() {
+            return;
+        }
+    }
+}
+
+/// Tell an over-limit client why it is being dropped (best effort).
+fn refuse(mut stream: TcpStream, config: &ServerConfig) {
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let frame = Response::Error(ErrorFrame {
+        code: ErrorCode::Unavailable,
+        detail: "connection limit reached".into(),
+    });
+    let _ = write_frame(&mut stream, &frame.to_wire());
+}
+
+fn worker_loop(state: Arc<ServerState>, conn_rx: Arc<Mutex<mpsc::Receiver<TcpStream>>>) {
+    loop {
+        // Hold the receiver lock only while dequeuing.
+        let next = conn_rx.lock().recv();
+        match next {
+            Ok(stream) => {
+                serve_connection(&state, stream);
+                state.active_connections.fetch_sub(1, Ordering::SeqCst);
+            }
+            Err(_) => return, // acceptor gone and queue drained
+        }
+    }
+}
+
+fn serve_connection(state: &ServerState, mut stream: TcpStream) {
+    if stream.set_read_timeout(Some(state.config.read_timeout)).is_err()
+        || stream.set_write_timeout(Some(state.config.write_timeout)).is_err()
+    {
+        return;
+    }
+    // Buffer the read side (one syscall per frame instead of three);
+    // responses are already a single buffered `write_all` per frame.
+    let mut reader = match stream.try_clone() {
+        Ok(clone) => BufReader::with_capacity(16 * 1024, clone),
+        Err(_) => return,
+    };
+    loop {
+        let body = match read_frame(&mut reader, state.config.max_frame) {
+            Ok(body) => body,
+            Err(e) if e.is_timeout() => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return; // idle connection during drain
+                }
+                continue;
+            }
+            Err(FrameError::Closed) => return,
+            Err(FrameError::BadVersion(v)) => {
+                // The stream offset is now unsynchronized; answer and
+                // hang up.
+                hang_up(
+                    stream,
+                    Response::Error(ErrorFrame {
+                        code: ErrorCode::UnsupportedVersion,
+                        detail: format!(
+                            "version {v} not supported (this server speaks {PROTOCOL_VERSION})"
+                        ),
+                    }),
+                );
+                return;
+            }
+            Err(FrameError::Oversized { len, max }) => {
+                hang_up(
+                    stream,
+                    Response::Error(ErrorFrame {
+                        code: ErrorCode::Oversized,
+                        detail: format!("frame of {len} bytes exceeds the {max}-byte bound"),
+                    }),
+                );
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+        let response = match Request::from_wire(&body) {
+            Ok(request) => handle_request(state, request),
+            // A complete frame that fails to decode leaves the stream
+            // synchronized — answer with a typed error and keep serving.
+            Err(e) => Response::Error(ErrorFrame::from_wire_error(&e)),
+        };
+        if !respond(&mut stream, response) {
+            return;
+        }
+        if state.shutdown.load(Ordering::SeqCst) {
+            return; // in-flight request finished; close before the next
+        }
+    }
+}
+
+/// Write one response frame; false when the connection is unusable.
+fn respond(stream: &mut TcpStream, response: Response) -> bool {
+    write_frame(stream, &response.to_wire()).is_ok()
+}
+
+/// Final answer on a connection whose stream offset is no longer
+/// trusted: write the error frame, half-close, and drain leftover
+/// client bytes so the close sends FIN rather than RST (an RST would
+/// destroy the error frame before the peer reads it).
+fn hang_up(mut stream: TcpStream, response: Response) {
+    if !respond(&mut stream, response) {
+        return;
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut scratch = [0u8; 4096];
+    // Bounded drain: the peer either hangs up after reading the error
+    // (Ok(0)) or keeps talking into the void until we give up.
+    for _ in 0..8 {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => continue,
+        }
+    }
+}
+
+fn handle_request(state: &ServerState, request: Request) -> Response {
+    if state.shutdown.load(Ordering::SeqCst) {
+        if let Request::Append(_) | Request::AppendCommitted(_) = request {
+            return Response::Error(ErrorFrame {
+                code: ErrorCode::ShuttingDown,
+                detail: "server is draining".into(),
+            });
+        }
+    }
+    match request {
+        Request::Hello => Response::Hello(ServerInfo {
+            protocol_version: PROTOCOL_VERSION,
+            ledger_id: state.shared.id(),
+            lsp_pk: state.shared.lsp_public_key(),
+            fam_delta: state.shared.fam_delta(),
+            journal_count: state.shared.journal_count(),
+            block_count: state.shared.block_count(),
+        }),
+        Request::Append(tx) => handle_append(state, tx, false),
+        Request::AppendCommitted(tx) => handle_append(state, tx, true),
+        Request::GetTx(jsn) => match state.shared.get_tx(jsn) {
+            Ok((journal, payload)) => Response::Tx { journal, payload },
+            Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
+        },
+        Request::ListTx(clue) => Response::TxList(state.shared.list_tx(&clue)),
+        Request::GetProof { jsn, anchor } => match state.shared.prove_existence(jsn, &anchor) {
+            Ok((tx_hash, proof)) => Response::Proof { tx_hash, proof },
+            Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
+        },
+        Request::GetClueProof(clue) => match state.shared.prove_clue(&clue) {
+            Ok(proof) => Response::ClueProof(proof),
+            Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
+        },
+        Request::Verify { jsn, tx_hash, proof, anchor } => {
+            match state
+                .shared
+                .verify_existence(jsn, &tx_hash, &proof, &anchor, VerifyLevel::Server)
+            {
+                Ok(()) => Response::Verified,
+                Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
+            }
+        }
+        Request::GetAnchor => Response::Anchor(state.shared.anchor()),
+        Request::GetBlockFeed { from_height, max_blocks } => {
+            Response::BlockFeed(state.shared.blocks_from(from_height, max_blocks))
+        }
+    }
+}
+
+fn handle_append(state: &ServerState, tx: TxRequest, committed: bool) -> Response {
+    let response = match &state.committer {
+        Some(committer) => match committer.submit(tx, committed) {
+            Ok(CommitOutcome::Appended { jsn, tx_hash }) => Response::Appended { jsn, tx_hash },
+            Ok(CommitOutcome::Committed(receipt)) => Response::Committed(receipt),
+            Err(frame) => Response::Error(frame),
+        },
+        None => {
+            let proxy = state.config.admission == Admission::ProxyTrusted;
+            match (committed, proxy) {
+                (true, false) => match state.shared.append_committed(tx) {
+                    Ok(receipt) => Response::Committed(receipt),
+                    Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
+                },
+                (true, true) => match state.shared.append_committed_preverified(tx) {
+                    Ok(receipt) => Response::Committed(receipt),
+                    Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
+                },
+                (false, false) => match state.shared.append(tx) {
+                    Ok(ack) => Response::Appended { jsn: ack.jsn, tx_hash: ack.tx_hash },
+                    Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
+                },
+                (false, true) => match state.shared.append_preverified(tx) {
+                    Ok(ack) => Response::Appended { jsn: ack.jsn, tx_hash: ack.tx_hash },
+                    Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
+                },
+            }
+        }
+    };
+    // Surface a stashed auto-seal durability failure on the request that
+    // caused it: the append's payload is durable, but a block boundary
+    // failed to reach the WAL — refuse the ack so the client retries
+    // (idempotent at-least-once) instead of trusting a seal that may
+    // not survive a crash.
+    if let Some(e) = state.shared.take_durability_error() {
+        return Response::Error(ErrorFrame::from_ledger_error(&e));
+    }
+    response
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::remote::RemoteLedger;
+    use crate::testutil::shared;
+    use std::io::{Read as _, Write as _};
+
+    fn start(block_size: u64, batch: Option<BatchConfig>) -> (Ledgerd, ledgerdb_crypto::keys::KeyPair) {
+        let (shared, alice) = shared(block_size);
+        let config = ServerConfig { batch, ..ServerConfig::default() };
+        let server = Ledgerd::start(shared, config).unwrap();
+        (server, alice)
+    }
+
+    #[test]
+    fn round_trip_over_tcp() {
+        let (server, alice) = start(4, Some(BatchConfig::default()));
+        let mut remote = RemoteLedger::connect(server.local_addr()).unwrap();
+        for i in 0..8u64 {
+            let receipt = remote
+                .append_committed(TxRequest::signed(
+                    &alice,
+                    format!("tcp-{i}").into_bytes(),
+                    vec!["tcp".into()],
+                    i,
+                ))
+                .unwrap();
+            assert_eq!(receipt.jsn, i);
+        }
+        remote.sync().unwrap();
+        assert_eq!(remote.client().verified_journals(), 8);
+        let (tx_hash, proof) = remote.prove(3).unwrap();
+        remote.client().verify_existence(&tx_hash, &proof).unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn unbatched_server_serves_appends() {
+        let (server, alice) = start(4, None);
+        let mut remote = RemoteLedger::connect(server.local_addr()).unwrap();
+        let (jsn, _) = remote
+            .append(TxRequest::signed(&alice, b"plain".to_vec(), vec![], 0))
+            .unwrap();
+        assert_eq!(jsn, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn hostile_bytes_get_typed_errors_not_hangups() {
+        let (server, _) = start(4, None);
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // A syntactically valid frame carrying garbage: typed BadTag,
+        // connection stays usable.
+        write_frame(&mut stream, &[0xEE, 0x01, 0x02]).unwrap();
+        let body = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap();
+        match Response::from_wire(&body).unwrap() {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::BadTag),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+        // Still serving on the same socket.
+        write_frame(&mut stream, &Request::GetAnchor.to_wire()).unwrap();
+        let body = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap();
+        assert!(matches!(Response::from_wire(&body).unwrap(), Response::Anchor(_)));
+
+        // An oversized frame: typed error, then hangup.
+        let mut huge = vec![PROTOCOL_VERSION];
+        huge.extend_from_slice(&(DEFAULT_MAX_FRAME + 1).to_be_bytes());
+        stream.write_all(&huge).unwrap();
+        let body = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap();
+        match Response::from_wire(&body).unwrap() {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::Oversized),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+
+        // A wrong version byte on a fresh connection.
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(&[9, 0, 0, 0, 0]).unwrap();
+        let body = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap();
+        match Response::from_wire(&body).unwrap() {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::UnsupportedVersion),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+        // Server hung up after the framing violation.
+        let mut probe = [0u8; 1];
+        stream.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(stream.read(&mut probe).unwrap(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_limit_refuses_with_typed_error() {
+        let (shared, _) = shared(4);
+        let config = ServerConfig {
+            workers: 1,
+            max_connections: 1,
+            ..ServerConfig::default()
+        };
+        let server = Ledgerd::start(shared, config).unwrap();
+        // Occupy the single slot with a live session.
+        let mut first = RemoteLedger::connect(server.local_addr()).unwrap();
+        // The next connection must be refused, not queued.
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let body = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap();
+        match Response::from_wire(&body).unwrap() {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::Unavailable),
+            other => panic!("expected refusal, got {other:?}"),
+        }
+        // The occupied session still works.
+        first.sync().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn graceful_shutdown_finishes_inflight_appends() {
+        let (server, alice) = start(
+            4,
+            Some(BatchConfig { max_batch: 32, max_delay: Duration::from_millis(25) }),
+        );
+        let addr = server.local_addr();
+        let results = std::thread::scope(|scope| {
+            let appender = scope.spawn(move || {
+                let mut remote = RemoteLedger::connect(addr).unwrap();
+                (0..16u64)
+                    .map(|i| {
+                        remote.append(TxRequest::signed(
+                            &alice,
+                            format!("drain-{i}").into_bytes(),
+                            vec![],
+                            i,
+                        ))
+                    })
+                    .collect::<Vec<_>>()
+            });
+            // Let some appends start, then pull the plug.
+            std::thread::sleep(Duration::from_millis(40));
+            server.shutdown();
+            appender.join().unwrap()
+        });
+        // Every response was either a durable ack or a typed
+        // shutdown/transport error — never a hang, never an unacked
+        // success.
+        let acked = results.iter().filter(|r| r.is_ok()).count();
+        assert!(acked >= 1, "at least the first batch should have landed");
+        for r in results.iter().filter(|r| r.is_err()) {
+            match r.as_ref().unwrap_err() {
+                crate::remote::RemoteError::Server(f) => {
+                    assert_eq!(f.code, ErrorCode::ShuttingDown, "unexpected server error: {f}")
+                }
+                crate::remote::RemoteError::Frame(_) => {} // connection torn down mid-drain
+                other => panic!("unexpected failure kind: {other}"),
+            }
+        }
+    }
+}

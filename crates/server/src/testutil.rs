@@ -1,0 +1,22 @@
+//! Shared fixtures for the server crate's tests.
+
+use ledgerdb_core::{LedgerConfig, LedgerDb, MemberRegistry, SharedLedger};
+use ledgerdb_crypto::ca::{CertificateAuthority, Role};
+use ledgerdb_crypto::keys::KeyPair;
+
+/// One registered member ("alice") plus the registry trusting her.
+pub fn registry() -> (MemberRegistry, KeyPair) {
+    let ca = CertificateAuthority::from_seed(b"server-test-ca");
+    let alice = KeyPair::from_seed(b"server-test-alice");
+    let mut registry = MemberRegistry::new(*ca.public_key());
+    registry.register(ca.issue("alice", Role::User, alice.public())).unwrap();
+    (registry, alice)
+}
+
+/// An in-memory shared ledger with the given block size, plus alice.
+pub fn shared(block_size: u64) -> (SharedLedger, KeyPair) {
+    let (registry, alice) = registry();
+    let config =
+        LedgerConfig { block_size, fam_delta: 15, name: "server-test".into() };
+    (SharedLedger::new(LedgerDb::new(config, registry)), alice)
+}

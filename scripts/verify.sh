@@ -13,4 +13,34 @@ cargo test -q
 echo "== recovery torture (release, seeded fault sweep) =="
 cargo test --release -q --test torture_recovery
 
+echo "== server smoke (ledgerd + remote verify + kill -9 + recovery) =="
+SMOKE_DIR="$(mktemp -d "${TMPDIR:-/tmp}/ledgerd-smoke.XXXXXX")"
+SMOKE_LOG="$SMOKE_DIR/ledgerd.log"
+cleanup() {
+  [[ -n "${LEDGERD_PID:-}" ]] && kill -9 "$LEDGERD_PID" 2>/dev/null || true
+  rm -rf "$SMOKE_DIR"
+}
+trap cleanup EXIT
+./target/release/ledgerd --dir "$SMOKE_DIR/ledger" --bind 127.0.0.1:0 \
+  --seed verify-smoke > "$SMOKE_LOG" 2>&1 &
+LEDGERD_PID=$!
+disown "$LEDGERD_PID" 2>/dev/null || true  # keep kill -9 quiet
+# The server prints "ledgerd: listening on ADDR" once bound.
+ADDR=""
+for _ in $(seq 1 50); do
+  ADDR="$(sed -n 's/^ledgerd: listening on //p' "$SMOKE_LOG" | head -n1)"
+  [[ -n "$ADDR" ]] && break
+  kill -0 "$LEDGERD_PID" 2>/dev/null || { cat "$SMOKE_LOG"; exit 1; }
+  sleep 0.1
+done
+[[ -n "$ADDR" ]] || { echo "ledgerd never reported its address"; cat "$SMOKE_LOG"; exit 1; }
+# Append -> prove -> verify over the wire, as a distrusting client.
+./target/release/ledgerd-smoke client --addr "$ADDR" --seed verify-smoke --n 16
+# Kill the server without ceremony; every acked append must survive.
+kill -9 "$LEDGERD_PID"
+wait "$LEDGERD_PID" 2>/dev/null || true
+LEDGERD_PID=""
+./target/release/ledgerd-smoke recover --dir "$SMOKE_DIR/ledger" \
+  --seed verify-smoke --expect-journals 16
+
 echo "verify.sh: all green"
