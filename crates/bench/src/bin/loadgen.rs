@@ -24,15 +24,20 @@
 //!
 //! Every request travels the full wire path: sign → TCP → decode →
 //! admit → commit → durable ack. Latency is measured per request
-//! at the client; throughput over the whole wall-clock window.
+//! at the client into a telemetry histogram; after each sweep cell the
+//! server's own `Stats` exposition is scraped, so every JSON row pairs
+//! client-observed and server-observed p50/p95/p99. `--no-telemetry`
+//! disables the server-side registry (one relaxed load per record) to
+//! measure instrumentation overhead.
 
 use ledgerdb_bench::XorShift;
-use ledgerdb_core::recovery::open_durable;
+use ledgerdb_core::recovery::open_durable_with;
 use ledgerdb_core::{LedgerConfig, MemberRegistry, SharedLedger, TxRequest};
 use ledgerdb_crypto::ca::{CertificateAuthority, Role};
 use ledgerdb_crypto::keys::KeyPair;
 use ledgerdb_server::{Admission, BatchConfig, Ledgerd, RemoteLedger, ServerConfig};
 use ledgerdb_storage::FsyncPolicy;
+use ledgerdb_telemetry::{parse_value, Histogram, Registry, Unit};
 use ledgerdb_timesvc::clock::SimClock;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -44,6 +49,7 @@ struct Args {
     clients: Vec<usize>,
     window: Duration,
     admissions: Vec<Admission>,
+    telemetry: bool,
 }
 
 fn parse_args() -> Args {
@@ -53,9 +59,14 @@ fn parse_args() -> Args {
         clients: vec![1, 4, 16],
         window: Duration::from_micros(150),
         admissions: vec![Admission::Verify, Admission::ProxyTrusted],
+        telemetry: true,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
+        if flag == "--no-telemetry" {
+            args.telemetry = false;
+            continue;
+        }
         let value = it.next().unwrap_or_else(|| {
             eprintln!("{flag} needs a value");
             std::process::exit(2);
@@ -89,7 +100,7 @@ fn parse_args() -> Args {
                 eprintln!(
                     "usage: loadgen [--appends N] [--payload BYTES] \
                      [--clients 1,4,16] [--window-us US] \
-                     [--admission verify|proxy|both]"
+                     [--admission verify|proxy|both] [--no-telemetry]"
                 );
                 std::process::exit(2);
             }
@@ -113,12 +124,26 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+/// Server-observed numbers scraped from the `Stats` exposition after a
+/// sweep cell finishes (milliseconds, already unit-scaled by `render`).
+struct ServerSide {
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    appends_total: f64,
+    error_frames: f64,
+}
+
+fn scrape_server(addr: std::net::SocketAddr) -> Option<ServerSide> {
+    let text = RemoteLedger::connect(addr).ok()?.stats().ok()?;
+    let ms = |token: &str| parse_value(&text, token).map(|v| v * 1e3);
+    Some(ServerSide {
+        p50_ms: ms("server_req_append_seconds{quantile=\"0.5\"}")?,
+        p95_ms: ms("server_req_append_seconds{quantile=\"0.95\"}")?,
+        p99_ms: ms("server_req_append_seconds{quantile=\"0.99\"}")?,
+        appends_total: parse_value(&text, "ledger_appends_total")?,
+        error_frames: parse_value(&text, "server_error_frames_total")?,
+    })
 }
 
 struct Row {
@@ -129,7 +154,9 @@ struct Row {
     appends: u64,
     elapsed: Duration,
     p50: Duration,
+    p95: Duration,
     p99: Duration,
+    server: Option<ServerSide>,
 }
 
 fn admission_name(a: Admission) -> &'static str {
@@ -142,11 +169,21 @@ fn admission_name(a: Admission) -> &'static str {
 impl Row {
     fn print(&self) {
         let tps = self.appends as f64 / self.elapsed.as_secs_f64();
+        let server = match &self.server {
+            Some(s) => format!(
+                ",\"server_p50_ms\":{:.3},\"server_p95_ms\":{:.3},\
+                 \"server_p99_ms\":{:.3},\"server_appends_total\":{},\
+                 \"server_error_frames\":{}",
+                s.p50_ms, s.p95_ms, s.p99_ms, s.appends_total, s.error_frames
+            ),
+            None => String::new(),
+        };
         println!(
             "{{\"bench\":\"ledgerd_append\",\"clients\":{},\"batch\":{},\
              \"admission\":\"{}\",\
              \"window_us\":{},\"appends\":{},\"elapsed_s\":{:.3},\
-             \"appends_per_sec\":{:.1},\"p50_ms\":{:.3},\"p99_ms\":{:.3}}}",
+             \"appends_per_sec\":{:.1},\"p50_ms\":{:.3},\"p95_ms\":{:.3},\
+             \"p99_ms\":{:.3}{server}}}",
             self.clients,
             self.batch,
             admission_name(self.admission),
@@ -155,6 +192,7 @@ impl Row {
             self.elapsed.as_secs_f64(),
             tps,
             self.p50.as_secs_f64() * 1e3,
+            self.p95.as_secs_f64() * 1e3,
             self.p99.as_secs_f64() * 1e3,
         );
     }
@@ -170,11 +208,22 @@ fn run_config(args: &Args, clients: usize, batch: bool, admission: Admission) ->
     let dir = temp_dir(&tag);
     let (registry, alice) = registry();
     let config = LedgerConfig { block_size: 64, fam_delta: 20, name: format!("loadgen-{tag}") };
+    // One registry per sweep cell: the scraped exposition covers exactly
+    // this configuration's traffic.
+    let telemetry = Arc::new(Registry::new());
+    telemetry.set_enabled(args.telemetry);
     // batch=off: per-append fsync. batch=on: the committer's barrier is
     // the only fsync — same ack-after-durable contract.
     let policy = if batch { FsyncPolicy::Never } else { FsyncPolicy::Always };
-    let (ledger, _) =
-        open_durable(config, registry, &dir, policy, Arc::new(SimClock::new())).unwrap();
+    let (ledger, _) = open_durable_with(
+        config,
+        registry,
+        &dir,
+        policy,
+        Arc::new(SimClock::new()),
+        &telemetry,
+    )
+    .unwrap();
     let server = Ledgerd::start(
         SharedLedger::new(ledger),
         ServerConfig {
@@ -182,6 +231,7 @@ fn run_config(args: &Args, clients: usize, batch: bool, admission: Admission) ->
             max_connections: clients + 4,
             batch: batch.then(|| BatchConfig { max_batch: 64, max_delay: args.window }),
             admission,
+            registry: telemetry.clone(),
             ..ServerConfig::default()
         },
     )
@@ -207,39 +257,41 @@ fn run_config(args: &Args, clients: usize, batch: bool, admission: Admission) ->
         })
         .collect();
 
+    // Client-observed latency goes through the same histogram type the
+    // server uses, shared across client threads lock-free.
+    let client_hist = Arc::new(Histogram::new(Unit::Seconds));
     let started = Instant::now();
-    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .into_iter()
-            .map(|requests| {
-                scope.spawn(move || {
-                    let mut remote = RemoteLedger::connect(addr).expect("connect");
-                    let mut lat = Vec::with_capacity(requests.len());
-                    for request in requests {
-                        let t0 = Instant::now();
-                        remote.append(request).expect("durable ack");
-                        lat.push(t0.elapsed());
-                    }
-                    lat
-                })
-            })
-            .collect();
-        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    std::thread::scope(|scope| {
+        for requests in jobs {
+            let hist = client_hist.clone();
+            scope.spawn(move || {
+                let mut remote = RemoteLedger::connect(addr).expect("connect");
+                for request in requests {
+                    let t0 = Instant::now();
+                    remote.append(request).expect("durable ack");
+                    hist.observe_duration(t0.elapsed());
+                }
+            });
+        }
     });
     let elapsed = started.elapsed();
+    // Scrape the server's own view of the cell before tearing it down.
+    let server_side = scrape_server(addr);
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 
-    latencies.sort_unstable();
+    let snap = client_hist.snapshot();
     Row {
         clients,
         batch,
         admission,
         window_us: if batch { args.window.as_micros() as u64 } else { 0 },
-        appends: latencies.len() as u64,
+        appends: snap.count,
         elapsed,
-        p50: percentile(&latencies, 0.50),
-        p99: percentile(&latencies, 0.99),
+        p50: Duration::from_nanos(snap.p50),
+        p95: Duration::from_nanos(snap.p95),
+        p99: Duration::from_nanos(snap.p99),
+        server: server_side,
     }
 }
 

@@ -99,6 +99,8 @@ pub struct LedgerDb {
     /// inside the append hot path). The next fallible operation surfaces
     /// it instead of silently dropping it.
     pub(crate) durability_error: Option<LedgerError>,
+    /// Telemetry handles (global registry unless rebound).
+    pub(crate) metrics: crate::metrics::CoreMetrics,
 }
 
 impl LedgerDb {
@@ -142,6 +144,7 @@ impl LedgerDb {
             tx_hashes: Vec::new(),
             wal: None,
             durability_error: None,
+            metrics: crate::metrics::CoreMetrics::default(),
         }
     }
 
@@ -169,7 +172,23 @@ impl LedgerDb {
 
     /// Take (and clear) the stashed durability failure.
     pub fn take_durability_error(&mut self) -> Option<LedgerError> {
-        self.durability_error.take()
+        self.clear_durability_error()
+    }
+
+    /// Internal take of the stashed durability failure; every `.take()`
+    /// goes through here so the `ledger_durability_error` gauge tracks
+    /// the sticky state exactly.
+    fn clear_durability_error(&mut self) -> Option<LedgerError> {
+        let e = self.durability_error.take();
+        if e.is_some() {
+            self.metrics.durability_error.set(0);
+        }
+        e
+    }
+
+    /// Rebind telemetry to `registry` (default: the global registry).
+    pub fn bind_metrics(&mut self, registry: &ledgerdb_telemetry::Registry) {
+        self.metrics = crate::metrics::CoreMetrics::bind(registry);
     }
 
     /// The ledger's identity digest (its `ledger_uri` analogue).
@@ -311,7 +330,7 @@ impl LedgerDb {
         &mut self,
         requests: Vec<TxRequest>,
     ) -> Result<Vec<Result<AppendAck, LedgerError>>, LedgerError> {
-        if let Some(e) = self.durability_error.take() {
+        if let Some(e) = self.clear_durability_error() {
             return Err(e);
         }
         // Verify π_c and membership before any slot is assigned.
@@ -332,7 +351,7 @@ impl LedgerDb {
         &mut self,
         requests: Vec<TxRequest>,
     ) -> Result<Vec<Result<AppendAck, LedgerError>>, LedgerError> {
-        if let Some(e) = self.durability_error.take() {
+        if let Some(e) = self.clear_durability_error() {
             return Err(e);
         }
         let validated: Vec<Result<TxRequest, LedgerError>> = requests
@@ -356,6 +375,7 @@ impl LedgerDb {
         &mut self,
         validated: Vec<Result<TxRequest, LedgerError>>,
     ) -> Result<Vec<Result<AppendAck, LedgerError>>, LedgerError> {
+        let start = std::time::Instant::now();
         let payloads: Vec<Vec<u8>> = validated
             .iter()
             .filter_map(|v| v.as_ref().ok().map(|r| r.payload.clone()))
@@ -399,6 +419,8 @@ impl LedgerDb {
             results.push(Ok(ack));
         }
         self.sync_durable()?;
+        self.metrics.batch_commits.inc();
+        self.metrics.batch_commit_seconds.observe_duration(start.elapsed());
         Ok(results)
     }
 
@@ -424,9 +446,10 @@ impl LedgerDb {
     ) -> Result<AppendAck, LedgerError> {
         // Surface a durability failure stashed by an earlier auto-seal
         // before accepting new writes on top of it.
-        if let Some(e) = self.durability_error.take() {
+        if let Some(e) = self.clear_durability_error() {
             return Err(e);
         }
+        let start = std::time::Instant::now();
         let stream_index = self.store.append(payload)?;
         // WAL order: payload → journal record → in-memory mutation. A
         // crash between the first two leaves an orphan payload that
@@ -451,6 +474,7 @@ impl LedgerDb {
         if self.pending.len() as u64 >= self.config.block_size {
             self.seal_block();
         }
+        self.metrics.append_seconds.observe_duration(start.elapsed());
         Ok(ack)
     }
 
@@ -494,6 +518,7 @@ impl LedgerDb {
         }
         self.journals.push(journal);
         self.pending.push(jsn);
+        self.metrics.appends.inc();
         Ok(AppendAck { jsn, tx_hash })
     }
 
@@ -507,6 +532,7 @@ impl LedgerDb {
     pub fn seal_block(&mut self) {
         if let Err(e) = self.try_seal_block() {
             self.durability_error = Some(e);
+            self.metrics.durability_error.set(1);
         }
     }
 
@@ -514,7 +540,7 @@ impl LedgerDb {
     /// On error nothing is mutated: the journals stay pending and the
     /// seal can be retried.
     pub fn try_seal_block(&mut self) -> Result<(), LedgerError> {
-        if let Some(e) = self.durability_error.take() {
+        if let Some(e) = self.clear_durability_error() {
             return Err(e);
         }
         if self.pending.is_empty() {
@@ -550,6 +576,7 @@ impl LedgerDb {
         }
         self.pending.clear();
         self.blocks.push(block);
+        self.metrics.seals.inc();
         Ok(())
     }
 
@@ -631,6 +658,8 @@ impl LedgerDb {
         jsn: u64,
         anchor: &TrustedAnchor,
     ) -> Result<(Digest, FamProof), LedgerError> {
+        let _span = self.metrics.proof_seconds.time("ledger_proof");
+        self.metrics.proofs.inc();
         if jsn as usize >= self.journals.len() {
             return Err(LedgerError::UnknownJournal(jsn));
         }
@@ -649,6 +678,8 @@ impl LedgerDb {
         anchor: &TrustedAnchor,
         level: VerifyLevel,
     ) -> Result<(), LedgerError> {
+        let _span = self.metrics.verify_seconds.time("ledger_verify");
+        self.metrics.verifies.inc();
         match level {
             VerifyLevel::Server => {
                 let journal = self

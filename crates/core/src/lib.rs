@@ -18,6 +18,7 @@ pub mod codec;
 pub mod error;
 pub mod ledger;
 pub mod member;
+pub mod metrics;
 pub mod recovery;
 pub mod shared;
 pub mod types;
@@ -27,7 +28,8 @@ pub use client::{LedgerClient, SyncReport};
 pub use codec::LedgerSnapshot;
 pub use error::LedgerError;
 pub use ledger::{AppendAck, LedgerConfig, LedgerDb, OccultMode};
-pub use recovery::{open_durable, recover, RecoveryReport, WalRecord};
+pub use metrics::{CoreMetrics, RecoveryMetrics};
+pub use recovery::{open_durable, open_durable_with, recover, recover_with, RecoveryReport, WalRecord};
 pub use member::{Member, MemberRegistry};
 pub use shared::SharedLedger;
 pub use types::{Block, Journal, JournalKind, LedgerInfo, Receipt, TxRequest, VerifyLevel};

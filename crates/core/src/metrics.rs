@@ -1,0 +1,109 @@
+//! Cached telemetry handles for the ledger kernel.
+//!
+//! One `CoreMetrics` per `LedgerDb`, resolved at construction (global
+//! registry unless rebound via [`crate::LedgerDb::bind_metrics`]).
+//! Recording is a couple of relaxed atomic ops on the append path.
+
+use ledgerdb_telemetry::{Counter, Gauge, Histogram, Registry, Unit};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+pub struct CoreMetrics {
+    /// `ledger_appends_total` — journals committed (single + batched).
+    pub appends: Arc<Counter>,
+    /// `ledger_append_seconds` — latency of a single append.
+    pub append_seconds: Arc<Histogram>,
+    /// `ledger_batch_commits_total` — batched commit calls.
+    pub batch_commits: Arc<Counter>,
+    /// `ledger_batch_commit_seconds` — latency of a whole batch commit.
+    pub batch_commit_seconds: Arc<Histogram>,
+    /// `ledger_seals_total` — blocks sealed.
+    pub seals: Arc<Counter>,
+    /// `ledger_proofs_total` / `ledger_proof_seconds` — existence proofs.
+    pub proofs: Arc<Counter>,
+    pub proof_seconds: Arc<Histogram>,
+    /// `ledger_verifies_total` / `ledger_verify_seconds` — existence
+    /// verifications.
+    pub verifies: Arc<Counter>,
+    pub verify_seconds: Arc<Histogram>,
+    /// `ledger_durability_error` — 1 while a durability failure is
+    /// stashed (degraded but serving), 0 otherwise.
+    pub durability_error: Arc<Gauge>,
+}
+
+impl CoreMetrics {
+    pub fn bind(registry: &Registry) -> Self {
+        CoreMetrics {
+            appends: registry.counter("ledger_appends_total"),
+            append_seconds: registry.histogram("ledger_append_seconds", Unit::Seconds),
+            batch_commits: registry.counter("ledger_batch_commits_total"),
+            batch_commit_seconds: registry.histogram("ledger_batch_commit_seconds", Unit::Seconds),
+            seals: registry.counter("ledger_seals_total"),
+            proofs: registry.counter("ledger_proofs_total"),
+            proof_seconds: registry.histogram("ledger_proof_seconds", Unit::Seconds),
+            verifies: registry.counter("ledger_verifies_total"),
+            verify_seconds: registry.histogram("ledger_verify_seconds", Unit::Seconds),
+            durability_error: registry.gauge("ledger_durability_error"),
+        }
+    }
+}
+
+impl Default for CoreMetrics {
+    fn default() -> Self {
+        Self::bind(Registry::global())
+    }
+}
+
+/// Telemetry recorded by one recovery replay ([`crate::recovery`]).
+#[derive(Debug, Clone)]
+pub struct RecoveryMetrics {
+    /// `ledger_recovery_seconds` — wall time of the replay.
+    pub recovery_seconds: Arc<Histogram>,
+    /// `ledger_recoveries_total` — recovery runs performed.
+    pub recoveries: Arc<Counter>,
+    /// Cumulative `RecoveryReport` counters across runs.
+    pub journals_replayed: Arc<Counter>,
+    pub blocks_verified: Arc<Counter>,
+    pub rejected_wal_records: Arc<Counter>,
+    pub orphan_payloads_dropped: Arc<Counter>,
+    pub erases_redone: Arc<Counter>,
+    pub wal_truncated_bytes: Arc<Counter>,
+    pub payload_truncated_bytes: Arc<Counter>,
+}
+
+impl RecoveryMetrics {
+    pub fn bind(registry: &Registry) -> Self {
+        RecoveryMetrics {
+            recovery_seconds: registry.histogram("ledger_recovery_seconds", Unit::Seconds),
+            recoveries: registry.counter("ledger_recoveries_total"),
+            journals_replayed: registry.counter("ledger_recovery_journals_replayed_total"),
+            blocks_verified: registry.counter("ledger_recovery_blocks_verified_total"),
+            rejected_wal_records: registry.counter("ledger_recovery_rejected_wal_records_total"),
+            orphan_payloads_dropped: registry
+                .counter("ledger_recovery_orphan_payloads_dropped_total"),
+            erases_redone: registry.counter("ledger_recovery_erases_redone_total"),
+            wal_truncated_bytes: registry.counter("ledger_recovery_wal_truncated_bytes_total"),
+            payload_truncated_bytes: registry
+                .counter("ledger_recovery_payload_truncated_bytes_total"),
+        }
+    }
+
+    /// Fold one finished replay's report into the counters.
+    pub fn record(&self, report: &crate::recovery::RecoveryReport, elapsed: std::time::Duration) {
+        self.recoveries.inc();
+        self.recovery_seconds.observe_duration(elapsed);
+        self.journals_replayed.add(report.journals_replayed);
+        self.blocks_verified.add(report.blocks_verified);
+        self.rejected_wal_records.add(report.rejected_wal_records);
+        self.orphan_payloads_dropped.add(report.orphan_payloads_dropped);
+        self.erases_redone.add(report.erases_redone);
+        self.wal_truncated_bytes.add(report.wal_truncated_bytes);
+        self.payload_truncated_bytes.add(report.payload_truncated_bytes);
+    }
+}
+
+impl Default for RecoveryMetrics {
+    fn default() -> Self {
+        Self::bind(Registry::global())
+    }
+}

@@ -131,6 +131,22 @@ pub fn recover(
     wal: Arc<dyn StreamStore>,
     clock: Arc<dyn Clock>,
 ) -> Result<(LedgerDb, RecoveryReport), LedgerError> {
+    recover_with(config, registry, store, wal, clock, ledgerdb_telemetry::Registry::global())
+}
+
+/// [`recover`] with an explicit telemetry registry: the rebuilt ledger
+/// is bound to it, and the replay's duration plus every
+/// [`RecoveryReport`] counter are folded into it
+/// (`ledger_recovery_*`).
+pub fn recover_with(
+    config: LedgerConfig,
+    registry: MemberRegistry,
+    store: Arc<dyn StreamStore>,
+    wal: Arc<dyn StreamStore>,
+    clock: Arc<dyn Clock>,
+    telemetry: &ledgerdb_telemetry::Registry,
+) -> Result<(LedgerDb, RecoveryReport), LedgerError> {
+    let started = std::time::Instant::now();
     let mut report = RecoveryReport {
         wal_truncated_bytes: wal.truncated_bytes(),
         payload_truncated_bytes: store.truncated_bytes(),
@@ -170,6 +186,7 @@ pub fn recover(
         Arc::clone(&wal),
         clock,
     );
+    ledger.bind_metrics(telemetry);
 
     let mut accepted: usize = 0;
     let mut replay_failure: Option<String> = None;
@@ -238,6 +255,7 @@ pub fn recover(
     }
 
     report.unsealed_journals = ledger.pending.len() as u64;
+    crate::metrics::RecoveryMetrics::bind(telemetry).record(&report, started.elapsed());
     Ok((ledger, report))
 }
 
@@ -369,20 +387,38 @@ pub fn open_durable(
     policy: FsyncPolicy,
     clock: Arc<dyn Clock>,
 ) -> Result<(LedgerDb, RecoveryReport), LedgerError> {
+    open_durable_with(config, registry, dir, policy, clock, ledgerdb_telemetry::Registry::global())
+}
+
+/// [`open_durable`] with an explicit telemetry registry: both stream
+/// stores, the recovery replay, and the resulting ledger all record
+/// into `telemetry` instead of the global registry.
+pub fn open_durable_with(
+    config: LedgerConfig,
+    registry: MemberRegistry,
+    dir: &Path,
+    policy: FsyncPolicy,
+    clock: Arc<dyn Clock>,
+    telemetry: &ledgerdb_telemetry::Registry,
+) -> Result<(LedgerDb, RecoveryReport), LedgerError> {
     std::fs::create_dir_all(dir).map_err(|e| LedgerError::Storage(e.into()))?;
     let payload_path = dir.join(PAYLOAD_FILE);
     let wal_path = dir.join(WAL_FILE);
-    let store: Arc<dyn StreamStore> = Arc::new(if payload_path.exists() {
+    let mut payload_store = if payload_path.exists() {
         FileStreamStore::open_with(&payload_path, policy)?
     } else {
         FileStreamStore::create_with(&payload_path, policy)?
-    });
-    let wal: Arc<dyn StreamStore> = Arc::new(if wal_path.exists() {
+    };
+    payload_store.bind_metrics(telemetry);
+    let mut wal_store = if wal_path.exists() {
         FileStreamStore::open_with(&wal_path, policy)?
     } else {
         FileStreamStore::create_with(&wal_path, policy)?
-    });
-    recover(config, registry, store, wal, clock)
+    };
+    wal_store.bind_metrics(telemetry);
+    let store: Arc<dyn StreamStore> = Arc::new(payload_store);
+    let wal: Arc<dyn StreamStore> = Arc::new(wal_store);
+    recover_with(config, registry, store, wal, clock, telemetry)
 }
 
 #[cfg(test)]

@@ -328,6 +328,60 @@ mod tests {
     }
 
     #[test]
+    fn scrapes_race_concurrent_appends_without_blocking() {
+        let f = fixture(16);
+        let alice = f.alice.clone();
+        let registry = std::sync::Arc::new(ledgerdb_telemetry::Registry::new());
+        let mut ledger = f.ledger;
+        ledger.bind_metrics(&registry);
+        let shared = SharedLedger::new(ledger);
+        std::thread::scope(|scope| {
+            for t in 0..2u64 {
+                let handle = shared.clone();
+                let alice = alice.clone();
+                scope.spawn(move || {
+                    for i in 0..40u64 {
+                        let req = TxRequest::signed(
+                            &alice,
+                            format!("scrape-{t}-{i}").into_bytes(),
+                            vec![],
+                            t * 1000 + i,
+                        );
+                        handle.append(req).unwrap();
+                    }
+                });
+            }
+            // Scrapers render the exposition while the writers append;
+            // the registry walk takes no lock, so neither side can
+            // block the other or observe a torn registry.
+            for _ in 0..2 {
+                let registry = registry.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        let text = ledgerdb_telemetry::render(&registry);
+                        if let Some(n) =
+                            ledgerdb_telemetry::parse_value(&text, "ledger_appends_total")
+                        {
+                            assert!((0.0..=80.0).contains(&n), "impossible count {n}");
+                        }
+                    }
+                });
+            }
+        });
+        let text = ledgerdb_telemetry::render(&registry);
+        assert_eq!(
+            ledgerdb_telemetry::parse_value(&text, "ledger_appends_total"),
+            Some(80.0),
+            "all appends visible once the writers join:\n{text}"
+        );
+        assert_eq!(
+            ledgerdb_telemetry::parse_value(&text, "ledger_append_seconds_count"),
+            Some(80.0)
+        );
+        assert_eq!(shared.journal_count(), 80);
+    }
+
+    #[test]
     fn handles_share_state() {
         let f = fixture(4);
         let alice = f.alice.clone();

@@ -18,10 +18,12 @@
 //! written, so a crash can strand orphan payloads (recovery trims them)
 //! but never a journal record whose payload is missing.
 
+use crate::metrics::BatchMetrics;
 use crate::protocol::{ErrorCode, ErrorFrame};
 use ledgerdb_core::{Receipt, SharedLedger, TxRequest};
 use ledgerdb_crypto::digest::Digest;
 use ledgerdb_crypto::sync::Mutex;
+use ledgerdb_telemetry::Registry;
 use std::sync::mpsc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -81,6 +83,8 @@ struct Job {
     request: TxRequest,
     /// Seal + receipt requested (`AppendCommitted`).
     committed: bool,
+    /// When the job entered the queue (for `batch_queue_wait_seconds`).
+    enqueued: Instant,
     reply: mpsc::SyncSender<Result<CommitOutcome, ErrorFrame>>,
 }
 
@@ -90,22 +94,37 @@ struct Job {
 pub struct GroupCommitter {
     shared: SharedLedger,
     admission: Admission,
+    metrics: BatchMetrics,
     submit_tx: Mutex<Option<mpsc::Sender<Job>>>,
     handle: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl GroupCommitter {
-    /// Spawn the committer thread over a shared ledger.
+    /// Spawn the committer thread over a shared ledger, recording into
+    /// the process-global telemetry registry.
     pub fn start(shared: SharedLedger, config: BatchConfig, admission: Admission) -> Self {
+        Self::start_with(shared, config, admission, Registry::global())
+    }
+
+    /// As [`GroupCommitter::start`], recording into an explicit registry.
+    pub fn start_with(
+        shared: SharedLedger,
+        config: BatchConfig,
+        admission: Admission,
+        registry: &Registry,
+    ) -> Self {
+        let metrics = BatchMetrics::bind(registry);
         let (tx, rx) = mpsc::channel::<Job>();
         let committer_shared = shared.clone();
+        let committer_metrics = metrics.clone();
         let handle = thread::Builder::new()
             .name("ledgerd-committer".into())
-            .spawn(move || committer_loop(committer_shared, config, rx))
+            .spawn(move || committer_loop(committer_shared, config, rx, committer_metrics))
             .expect("spawn committer thread");
         GroupCommitter {
             shared,
             admission,
+            metrics,
             submit_tx: Mutex::new(Some(tx)),
             handle: Mutex::new(Some(handle)),
         }
@@ -139,9 +158,12 @@ impl GroupCommitter {
             None => return Err(shutting_down()),
         };
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
-        sender
-            .send(Job { request, committed, reply: reply_tx })
-            .map_err(|_| shutting_down())?;
+        self.metrics.queue_depth.add(1);
+        let job = Job { request, committed, enqueued: Instant::now(), reply: reply_tx };
+        sender.send(job).map_err(|_| {
+            self.metrics.queue_depth.add(-1);
+            shutting_down()
+        })?;
         reply_rx.recv().map_err(|_| shutting_down())?
     }
 
@@ -162,7 +184,12 @@ impl Drop for GroupCommitter {
     }
 }
 
-fn committer_loop(shared: SharedLedger, config: BatchConfig, rx: mpsc::Receiver<Job>) {
+fn committer_loop(
+    shared: SharedLedger,
+    config: BatchConfig,
+    rx: mpsc::Receiver<Job>,
+    metrics: BatchMetrics,
+) {
     let max_batch = config.max_batch.max(1);
     loop {
         // Block for the first job of the next batch; channel closed and
@@ -194,14 +221,21 @@ fn committer_loop(shared: SharedLedger, config: BatchConfig, rx: mpsc::Receiver<
             // cores are scarce.
             thread::sleep(deadline - now);
         }
-        commit_batch(&shared, jobs);
+        commit_batch(&shared, jobs, &metrics);
     }
 }
 
 /// Make one batch durable and answer every job. Receivers may have
 /// given up (connection died): failed sends are ignored — the append is
 /// durable regardless, which is exactly the at-least-once contract.
-fn commit_batch(shared: &SharedLedger, jobs: Vec<Job>) {
+fn commit_batch(shared: &SharedLedger, jobs: Vec<Job>, metrics: &BatchMetrics) {
+    metrics.windows.inc();
+    metrics.batch_size.observe(jobs.len() as u64);
+    for job in &jobs {
+        metrics.queue_depth.add(-1);
+        metrics.queue_wait_seconds.observe_duration(job.enqueued.elapsed());
+    }
+    let _commit_span = metrics.commit_seconds.time("batch_commit");
     let requests: Vec<TxRequest> = jobs.iter().map(|j| j.request.clone()).collect();
     // π_c was verified at submit(); the serial path skips it.
     let results = match shared.append_batch_preverified(requests) {
@@ -338,6 +372,76 @@ mod tests {
         assert_eq!(err.len(), 1);
         assert_eq!(err[0].as_ref().unwrap_err().code, ErrorCode::Rejected);
         assert_eq!(shared.journal_count(), 2);
+    }
+
+    #[test]
+    fn telemetry_counts_windows_not_appends() {
+        use ledgerdb_core::recovery::open_durable_with;
+        use ledgerdb_core::{LedgerConfig, SharedLedger};
+        use ledgerdb_storage::FsyncPolicy;
+        use ledgerdb_telemetry::parse_value;
+        use ledgerdb_timesvc::clock::SimClock;
+        use std::sync::Arc;
+
+        let (member_registry, alice) = crate::testutil::registry();
+        let telemetry = Arc::new(Registry::new());
+        let dir = std::env::temp_dir()
+            .join(format!("ledgerdb-batch-telemetry-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config =
+            LedgerConfig { block_size: 1024, fam_delta: 15, name: "batch-telemetry".into() };
+        // FsyncPolicy::Never: the committer's batch barrier is the only
+        // fsync source, so the counter isolates group-commit behavior.
+        let (ledger, _) = open_durable_with(
+            config,
+            member_registry,
+            &dir,
+            FsyncPolicy::Never,
+            Arc::new(SimClock::new()),
+            &telemetry,
+        )
+        .unwrap();
+        let shared = SharedLedger::new(ledger);
+        let fsyncs_before = telemetry.counter("storage_fsync_total").get();
+
+        let committer = GroupCommitter::start_with(
+            shared.clone(),
+            BatchConfig { max_batch: 8, max_delay: Duration::from_millis(10) },
+            Admission::Verify,
+            &telemetry,
+        );
+        let appends = 24u64;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..appends)
+                .map(|i| {
+                    let committer = &committer;
+                    let req = TxRequest::signed(&alice, format!("t-{i}").into_bytes(), vec![], i);
+                    scope.spawn(move || committer.submit(req, false).unwrap())
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        committer.shutdown();
+
+        let text = ledgerdb_telemetry::render(&telemetry);
+        let windows = parse_value(&text, "batch_windows_total").unwrap() as u64;
+        assert!(windows >= 1, "at least one commit window ran");
+        // Group commit's whole point: the disk barrier scales with
+        // windows (payload + WAL fsync each), not with appends.
+        let fsyncs = telemetry.counter("storage_fsync_total").get() - fsyncs_before;
+        assert_eq!(fsyncs, 2 * windows, "two fsync barriers per commit window:\n{text}");
+        assert!(fsyncs < appends, "fewer fsyncs ({fsyncs}) than appends ({appends})");
+        // Every job passed through the queue-wait histogram and every
+        // submitted append landed in exactly one window.
+        assert_eq!(parse_value(&text, "batch_queue_wait_seconds_count"), Some(appends as f64));
+        assert_eq!(parse_value(&text, "batch_size_sum"), Some(appends as f64));
+        assert_eq!(parse_value(&text, "batch_windows_total"), Some(windows as f64));
+        // Graceful drain flushed everything: no job still counted queued.
+        assert_eq!(parse_value(&text, "batch_queue_depth"), Some(0.0));
+        assert_eq!(shared.journal_count(), appends);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -4,8 +4,17 @@
 //! ledgerd --dir /var/lib/ledgerdb --bind 127.0.0.1:7878 \
 //!         [--workers 4] [--fsync always|never|every-N] \
 //!         [--batch-window-us 150] [--batch-max 64] [--no-batch] \
-//!         [--proxy-admission] [--block-size 16] [--seed demo]
+//!         [--proxy-admission] [--block-size 16] [--seed demo] \
+//!         [--metrics-dump PATH] [--metrics-interval-ms 1000] \
+//!         [--slow-op-ms N]
 //! ```
+//!
+//! Telemetry: every subsystem records into the process-global registry;
+//! fetch a snapshot over the wire with `ledgerd-stats --addr ...` (or
+//! any client's `Stats` request). `--metrics-dump` additionally writes
+//! the exposition to a file every `--metrics-interval-ms` (and once at
+//! shutdown); `--slow-op-ms` logs any instrumented span that exceeds
+//! the threshold.
 //!
 //! The member registry is derived deterministically from `--seed`: a CA
 //! and one `User` member ("alice") whose signing seed is
@@ -31,7 +40,8 @@ fn usage() -> ! {
         "usage: ledgerd --dir DIR [--bind ADDR] [--workers N] \
          [--fsync always|never|every-N] [--batch-window-us US] \
          [--batch-max N] [--no-batch] [--proxy-admission] \
-         [--block-size N] [--seed SEED]"
+         [--block-size N] [--seed SEED] [--metrics-dump PATH] \
+         [--metrics-interval-ms MS] [--slow-op-ms MS]"
     );
     exit(2);
 }
@@ -45,6 +55,9 @@ struct Args {
     admission: Admission,
     block_size: u64,
     seed: String,
+    metrics_dump: Option<PathBuf>,
+    metrics_interval: Duration,
+    slow_op: Option<Duration>,
 }
 
 fn parse_args() -> Args {
@@ -57,6 +70,9 @@ fn parse_args() -> Args {
         admission: Admission::Verify,
         block_size: 16,
         seed: "demo".into(),
+        metrics_dump: None,
+        metrics_interval: Duration::from_millis(1000),
+        slow_op: None,
     };
     let mut batch = BatchConfig::default();
     let mut batching = true;
@@ -95,6 +111,14 @@ fn parse_args() -> Args {
             "--proxy-admission" => args.admission = Admission::ProxyTrusted,
             "--block-size" => args.block_size = parse_num(&value("--block-size")),
             "--seed" => args.seed = value("--seed"),
+            "--metrics-dump" => args.metrics_dump = Some(PathBuf::from(value("--metrics-dump"))),
+            "--metrics-interval-ms" => {
+                args.metrics_interval =
+                    Duration::from_millis(parse_num(&value("--metrics-interval-ms")));
+            }
+            "--slow-op-ms" => {
+                args.slow_op = Some(Duration::from_millis(parse_num(&value("--slow-op-ms"))));
+            }
             _ => usage(),
         }
     }
@@ -114,6 +138,17 @@ fn parse_num<T: std::str::FromStr>(s: &str) -> T {
 
 fn main() {
     let args = parse_args();
+
+    ledgerdb_telemetry::set_slow_op_threshold(args.slow_op);
+    // Held for the process lifetime; writes a final snapshot on exit
+    // paths that run destructors (kill -9 readers use `Stats` instead).
+    let _dumper = args.metrics_dump.clone().map(|path| {
+        ledgerdb_telemetry::Dumper::start(
+            ledgerdb_telemetry::Registry::global().clone(),
+            path,
+            args.metrics_interval,
+        )
+    });
 
     let ca = CertificateAuthority::from_seed(args.seed.as_bytes());
     let alice = KeyPair::from_seed(format!("{}-alice", args.seed).as_bytes());

@@ -153,9 +153,18 @@ fn recover(dir: PathBuf, seed: &str, expect_journals: u64, block_size: u64) {
             ledger.journal_count()
         ));
     }
+    // The sticky durability-error flag doubles as a gauge; after a clean
+    // recovery it must read 0 (no stashed WAL failure).
+    let exposition = ledgerdb_telemetry::render(ledgerdb_telemetry::Registry::global());
+    let durability_error = ledgerdb_telemetry::parse_value(&exposition, "ledger_durability_error")
+        .unwrap_or_else(|| fail("ledger_durability_error gauge missing from telemetry"));
+    if durability_error != 0.0 {
+        fail(&format!("ledger_durability_error gauge is {durability_error}, want 0"));
+    }
     println!(
-        "ledgerd-smoke: OK recovered journals={} blocks={} clean=true",
+        "ledgerd-smoke: OK recovered journals={} blocks={} clean=true durability_error={}",
         ledger.journal_count(),
-        ledger.block_count()
+        ledger.block_count(),
+        durability_error
     );
 }

@@ -1,0 +1,98 @@
+//! `ledgerd-stats` — fetch and check a running server's telemetry.
+//!
+//! ```text
+//! ledgerd-stats --addr 127.0.0.1:7878 \
+//!               [--min NAME=VALUE]... [--zero NAME]... [--quiet]
+//! ```
+//!
+//! Fetches the `Stats` exposition over the wire, prints it, and checks
+//! assertions: each `--min NAME=VALUE` requires the metric to read at
+//! least `VALUE`; each `--zero NAME` requires exactly 0. Any violation
+//! (or a named metric missing from the exposition) exits nonzero, which
+//! is what `scripts/verify.sh` keys on. `--quiet` suppresses the dump
+//! and prints only check results.
+
+use ledgerdb_server::RemoteLedger;
+use ledgerdb_telemetry::parse_value;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: ledgerd-stats --addr ADDR [--min NAME=VALUE]... [--zero NAME]... [--quiet]");
+    exit(2);
+}
+
+fn main() {
+    let mut addr = None;
+    let mut mins: Vec<(String, f64)> = Vec::new();
+    let mut zeros: Vec<String> = Vec::new();
+    let mut quiet = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => addr = Some(value("--addr")),
+            "--min" => {
+                let spec = value("--min");
+                let (name, min) = spec.split_once('=').unwrap_or_else(|| {
+                    eprintln!("--min wants NAME=VALUE, got {spec:?}");
+                    usage()
+                });
+                let min: f64 = min.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --min value in {spec:?}");
+                    usage()
+                });
+                mins.push((name.to_string(), min));
+            }
+            "--zero" => zeros.push(value("--zero")),
+            "--quiet" => quiet = true,
+            _ => usage(),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| usage());
+
+    let mut remote = RemoteLedger::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("ledgerd-stats: connect {addr}: {e}");
+        exit(1);
+    });
+    let exposition = remote.stats().unwrap_or_else(|e| {
+        eprintln!("ledgerd-stats: stats request: {e}");
+        exit(1);
+    });
+    if !quiet {
+        print!("{exposition}");
+    }
+
+    let mut failures = 0u32;
+    let read = |name: &str| {
+        parse_value(&exposition, name).unwrap_or_else(|| {
+            eprintln!("ledgerd-stats: FAIL {name} missing from exposition");
+            f64::NAN
+        })
+    };
+    for (name, min) in &mins {
+        let got = read(name);
+        if !(got >= *min) {
+            eprintln!("ledgerd-stats: FAIL {name} = {got}, want >= {min}");
+            failures += 1;
+        } else {
+            eprintln!("ledgerd-stats: ok {name} = {got} (>= {min})");
+        }
+    }
+    for name in &zeros {
+        let got = read(name);
+        if got != 0.0 {
+            eprintln!("ledgerd-stats: FAIL {name} = {got}, want 0");
+            failures += 1;
+        } else {
+            eprintln!("ledgerd-stats: ok {name} = 0");
+        }
+    }
+    if failures > 0 {
+        exit(1);
+    }
+}

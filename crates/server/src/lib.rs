@@ -18,6 +18,7 @@
 //! argument.
 
 pub mod batcher;
+pub mod metrics;
 pub mod protocol;
 pub mod remote;
 pub mod server;
@@ -26,6 +27,7 @@ pub mod server;
 pub(crate) mod testutil;
 
 pub use batcher::{Admission, BatchConfig, CommitOutcome, GroupCommitter};
+pub use metrics::{BatchMetrics, ServerMetrics};
 pub use protocol::{
     ErrorCode, ErrorFrame, FrameError, Request, Response, ServerInfo, DEFAULT_MAX_FRAME,
     PROTOCOL_VERSION,

@@ -1,0 +1,141 @@
+//! Cached telemetry handles for the service layer.
+//!
+//! One [`ServerMetrics`] per running [`crate::Ledgerd`] and one
+//! [`BatchMetrics`] per [`crate::GroupCommitter`], both resolved at
+//! startup against the registry in [`crate::ServerConfig::registry`].
+//! Request-path recording is a handful of relaxed atomic ops; nothing
+//! here takes a lock after startup.
+
+use crate::protocol::Request;
+use ledgerdb_telemetry::{Counter, Gauge, Histogram, Registry, Unit};
+use std::sync::Arc;
+
+/// Wire-request kinds, in tag order. Indexed by [`kind_index`].
+pub const REQUEST_KINDS: [&str; 11] = [
+    "hello",
+    "append",
+    "append_committed",
+    "get_tx",
+    "list_tx",
+    "get_proof",
+    "get_clue_proof",
+    "verify",
+    "get_anchor",
+    "get_block_feed",
+    "stats",
+];
+
+/// Position of a request's kind in [`REQUEST_KINDS`].
+pub fn kind_index(request: &Request) -> usize {
+    match request {
+        Request::Hello => 0,
+        Request::Append(_) => 1,
+        Request::AppendCommitted(_) => 2,
+        Request::GetTx(_) => 3,
+        Request::ListTx(_) => 4,
+        Request::GetProof { .. } => 5,
+        Request::GetClueProof(_) => 6,
+        Request::Verify { .. } => 7,
+        Request::GetAnchor => 8,
+        Request::GetBlockFeed { .. } => 9,
+        Request::Stats => 10,
+    }
+}
+
+/// Count + latency for one request kind
+/// (`server_req_<kind>_total` / `server_req_<kind>_seconds`).
+#[derive(Debug, Clone)]
+pub struct RequestMetrics {
+    pub count: Arc<Counter>,
+    pub seconds: Arc<Histogram>,
+}
+
+#[derive(Debug, Clone)]
+pub struct ServerMetrics {
+    /// `server_connections_active` — sockets currently being served.
+    pub connections_active: Arc<Gauge>,
+    /// `server_connections_total` — sockets ever accepted.
+    pub connections_total: Arc<Counter>,
+    /// `server_connections_refused_total` — refused over the cap.
+    pub connections_refused: Arc<Counter>,
+    /// `server_bytes_in_total` / `server_bytes_out_total` — whole
+    /// frames including the 5-byte header.
+    pub bytes_in: Arc<Counter>,
+    pub bytes_out: Arc<Counter>,
+    /// `server_error_frames_total` — typed error responses written.
+    pub error_frames: Arc<Counter>,
+    /// `server_admission_verify_total` / `server_admission_proxy_total`
+    /// — appends admitted under each [`crate::Admission`] mode.
+    pub admission_verify: Arc<Counter>,
+    pub admission_proxy: Arc<Counter>,
+    /// Per-kind counters/latency, indexed by [`kind_index`].
+    pub requests: Vec<RequestMetrics>,
+}
+
+impl ServerMetrics {
+    pub fn bind(registry: &Registry) -> Self {
+        let requests = REQUEST_KINDS
+            .iter()
+            .map(|kind| RequestMetrics {
+                count: registry.counter(&format!("server_req_{kind}_total")),
+                seconds: registry.histogram(&format!("server_req_{kind}_seconds"), Unit::Seconds),
+            })
+            .collect();
+        ServerMetrics {
+            connections_active: registry.gauge("server_connections_active"),
+            connections_total: registry.counter("server_connections_total"),
+            connections_refused: registry.counter("server_connections_refused_total"),
+            bytes_in: registry.counter("server_bytes_in_total"),
+            bytes_out: registry.counter("server_bytes_out_total"),
+            error_frames: registry.counter("server_error_frames_total"),
+            admission_verify: registry.counter("server_admission_verify_total"),
+            admission_proxy: registry.counter("server_admission_proxy_total"),
+            requests,
+        }
+    }
+
+    /// Handles for one decoded request.
+    pub fn request(&self, request: &Request) -> &RequestMetrics {
+        &self.requests[kind_index(request)]
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::bind(Registry::global())
+    }
+}
+
+/// Group-commit telemetry (one per committer thread).
+#[derive(Debug, Clone)]
+pub struct BatchMetrics {
+    /// `batch_queue_depth` — jobs submitted but not yet committed.
+    pub queue_depth: Arc<Gauge>,
+    /// `batch_queue_wait_seconds` — submit-to-commit-start wait.
+    pub queue_wait_seconds: Arc<Histogram>,
+    /// `batch_size` — jobs per commit window.
+    pub batch_size: Arc<Histogram>,
+    /// `batch_windows_total` — commit windows executed.
+    pub windows: Arc<Counter>,
+    /// `batch_commit_seconds` — whole-window commit latency (fsyncs,
+    /// sealing, replies).
+    pub commit_seconds: Arc<Histogram>,
+}
+
+impl BatchMetrics {
+    pub fn bind(registry: &Registry) -> Self {
+        BatchMetrics {
+            queue_depth: registry.gauge("batch_queue_depth"),
+            queue_wait_seconds: registry.histogram("batch_queue_wait_seconds", Unit::Seconds),
+            batch_size: registry.histogram("batch_size", Unit::Count),
+            windows: registry.counter("batch_windows_total"),
+            commit_seconds: registry.histogram("batch_commit_seconds", Unit::Seconds),
+        }
+    }
+}
+
+impl Default for BatchMetrics {
+    fn default() -> Self {
+        Self::bind(Registry::global())
+    }
+}

@@ -142,6 +142,9 @@ pub enum Request {
     GetAnchor,
     /// Sealed blocks from `from_height`, at most `max_blocks`.
     GetBlockFeed { from_height: u64, max_blocks: u64 },
+    /// The server's telemetry snapshot as Prometheus-style text
+    /// exposition (counters, gauges, latency histograms).
+    Stats,
 }
 
 impl Wire for Request {
@@ -186,6 +189,7 @@ impl Wire for Request {
                 w.put_u64(*from_height);
                 w.put_u64(*max_blocks);
             }
+            Request::Stats => w.put_u8(10),
         }
     }
 
@@ -209,6 +213,7 @@ impl Wire for Request {
                 from_height: r.get_u64()?,
                 max_blocks: r.get_u64()?,
             }),
+            10 => Ok(Request::Stats),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -380,6 +385,8 @@ pub enum Response {
     Anchor(TrustedAnchor),
     BlockFeed(Vec<Block>),
     Error(ErrorFrame),
+    /// Telemetry text exposition (UTF-8 Prometheus-style format).
+    Stats(String),
 }
 
 impl Wire for Response {
@@ -429,6 +436,10 @@ impl Wire for Response {
                 w.put_u8(10);
                 err.encode(w);
             }
+            Response::Stats(text) => {
+                w.put_u8(11);
+                text.encode(w);
+            }
         }
     }
 
@@ -448,6 +459,7 @@ impl Wire for Response {
             8 => Ok(Response::Anchor(TrustedAnchor::decode(r)?)),
             9 => Ok(Response::BlockFeed(Vec::decode(r)?)),
             10 => Ok(Response::Error(ErrorFrame::decode(r)?)),
+            11 => Ok(Response::Stats(String::decode(r)?)),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -519,6 +531,7 @@ mod tests {
             Request::GetAnchor,
             Request::GetBlockFeed { from_height: 3, max_blocks: 100 },
             Request::GetClueProof("asset".into()),
+            Request::Stats,
         ];
         for req in cases {
             let decoded = Request::from_wire(&req.to_wire()).unwrap();

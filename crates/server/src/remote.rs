@@ -235,6 +235,16 @@ impl RemoteLedger {
         }
     }
 
+    /// Fetch the server's telemetry snapshot (Prometheus-style text).
+    /// Claims, not proofs — stats carry no signature; use them for
+    /// operations, not verification.
+    pub fn stats(&mut self) -> Result<String, RemoteError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(text) => Ok(text),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
     /// Ask the server to verify a proof on its side (§II-C manner 1 —
     /// useful for cross-checking, not a substitute for local checks).
     pub fn server_verify(

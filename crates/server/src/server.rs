@@ -24,6 +24,7 @@
 //!   later fallible write.
 
 use crate::batcher::{Admission, BatchConfig, CommitOutcome, GroupCommitter};
+use crate::metrics::ServerMetrics;
 use crate::protocol::{
     read_frame, write_frame, ErrorCode, ErrorFrame, FrameError, Request, Response, ServerInfo,
     DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
@@ -31,12 +32,13 @@ use crate::protocol::{
 use ledgerdb_core::{SharedLedger, TxRequest, VerifyLevel};
 use ledgerdb_crypto::sync::Mutex;
 use ledgerdb_crypto::wire::Wire;
+use ledgerdb_telemetry::Registry;
 use std::io::{self, BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -60,6 +62,10 @@ pub struct ServerConfig {
     /// Where π_c is checked (see [`Admission`]). Defaults to verifying
     /// every request at the server.
     pub admission: Admission,
+    /// Telemetry sink for the server, its committer, and the `Stats`
+    /// exposition. Defaults to the process-global registry; tests bind
+    /// their own for isolation.
+    pub registry: Arc<Registry>,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +79,7 @@ impl Default for ServerConfig {
             max_frame: DEFAULT_MAX_FRAME,
             batch: Some(BatchConfig::default()),
             admission: Admission::Verify,
+            registry: Registry::global().clone(),
         }
     }
 }
@@ -83,6 +90,7 @@ struct ServerState {
     config: ServerConfig,
     shutdown: AtomicBool,
     active_connections: AtomicUsize,
+    metrics: ServerMetrics,
 }
 
 /// A running server; dropping it (or calling [`Ledgerd::shutdown`])
@@ -99,15 +107,17 @@ impl Ledgerd {
     pub fn start(shared: SharedLedger, config: ServerConfig) -> io::Result<Ledgerd> {
         let listener = TcpListener::bind(&config.bind)?;
         let local_addr = listener.local_addr()?;
-        let committer = config
-            .batch
-            .map(|batch| GroupCommitter::start(shared.clone(), batch, config.admission));
+        let committer = config.batch.map(|batch| {
+            GroupCommitter::start_with(shared.clone(), batch, config.admission, &config.registry)
+        });
+        let metrics = ServerMetrics::bind(&config.registry);
         let state = Arc::new(ServerState {
             shared,
             committer,
             config,
             shutdown: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
+            metrics,
         });
 
         let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
@@ -183,10 +193,12 @@ fn acceptor_loop(
             return; // conn_tx drops here; workers wind down.
         }
         if state.active_connections.load(Ordering::SeqCst) >= state.config.max_connections {
-            refuse(stream, &state.config);
+            refuse(stream, &state);
             continue;
         }
         state.active_connections.fetch_add(1, Ordering::SeqCst);
+        state.metrics.connections_total.inc();
+        state.metrics.connections_active.add(1);
         if conn_tx.send(stream).is_err() {
             return;
         }
@@ -194,8 +206,10 @@ fn acceptor_loop(
 }
 
 /// Tell an over-limit client why it is being dropped (best effort).
-fn refuse(mut stream: TcpStream, config: &ServerConfig) {
-    let _ = stream.set_write_timeout(Some(config.write_timeout));
+fn refuse(mut stream: TcpStream, state: &ServerState) {
+    state.metrics.connections_refused.inc();
+    state.metrics.error_frames.inc();
+    let _ = stream.set_write_timeout(Some(state.config.write_timeout));
     let frame = Response::Error(ErrorFrame {
         code: ErrorCode::Unavailable,
         detail: "connection limit reached".into(),
@@ -211,6 +225,7 @@ fn worker_loop(state: Arc<ServerState>, conn_rx: Arc<Mutex<mpsc::Receiver<TcpStr
             Ok(stream) => {
                 serve_connection(&state, stream);
                 state.active_connections.fetch_sub(1, Ordering::SeqCst);
+                state.metrics.connections_active.add(-1);
             }
             Err(_) => return, // acceptor gone and queue drained
         }
@@ -243,6 +258,7 @@ fn serve_connection(state: &ServerState, mut stream: TcpStream) {
                 // The stream offset is now unsynchronized; answer and
                 // hang up.
                 hang_up(
+                    state,
                     stream,
                     Response::Error(ErrorFrame {
                         code: ErrorCode::UnsupportedVersion,
@@ -255,6 +271,7 @@ fn serve_connection(state: &ServerState, mut stream: TcpStream) {
             }
             Err(FrameError::Oversized { len, max }) => {
                 hang_up(
+                    state,
                     stream,
                     Response::Error(ErrorFrame {
                         code: ErrorCode::Oversized,
@@ -265,13 +282,22 @@ fn serve_connection(state: &ServerState, mut stream: TcpStream) {
             }
             Err(FrameError::Io(_)) => return,
         };
+        // +5: the version byte and length prefix of the frame header.
+        state.metrics.bytes_in.add(body.len() as u64 + 5);
         let response = match Request::from_wire(&body) {
-            Ok(request) => handle_request(state, request),
+            Ok(request) => {
+                let per_kind = state.metrics.request(&request);
+                let start = Instant::now();
+                let response = handle_request(state, request);
+                per_kind.count.inc();
+                per_kind.seconds.observe_duration(start.elapsed());
+                response
+            }
             // A complete frame that fails to decode leaves the stream
             // synchronized — answer with a typed error and keep serving.
             Err(e) => Response::Error(ErrorFrame::from_wire_error(&e)),
         };
-        if !respond(&mut stream, response) {
+        if !respond(state, &mut stream, response) {
             return;
         }
         if state.shutdown.load(Ordering::SeqCst) {
@@ -281,16 +307,21 @@ fn serve_connection(state: &ServerState, mut stream: TcpStream) {
 }
 
 /// Write one response frame; false when the connection is unusable.
-fn respond(stream: &mut TcpStream, response: Response) -> bool {
-    write_frame(stream, &response.to_wire()).is_ok()
+fn respond(state: &ServerState, stream: &mut TcpStream, response: Response) -> bool {
+    let wire = response.to_wire();
+    if matches!(response, Response::Error(_)) {
+        state.metrics.error_frames.inc();
+    }
+    state.metrics.bytes_out.add(wire.len() as u64 + 5);
+    write_frame(stream, &wire).is_ok()
 }
 
 /// Final answer on a connection whose stream offset is no longer
 /// trusted: write the error frame, half-close, and drain leftover
 /// client bytes so the close sends FIN rather than RST (an RST would
 /// destroy the error frame before the peer reads it).
-fn hang_up(mut stream: TcpStream, response: Response) {
-    if !respond(&mut stream, response) {
+fn hang_up(state: &ServerState, mut stream: TcpStream, response: Response) {
+    if !respond(state, &mut stream, response) {
         return;
     }
     let _ = stream.shutdown(std::net::Shutdown::Write);
@@ -351,10 +382,15 @@ fn handle_request(state: &ServerState, request: Request) -> Response {
         Request::GetBlockFeed { from_height, max_blocks } => {
             Response::BlockFeed(state.shared.blocks_from(from_height, max_blocks))
         }
+        Request::Stats => Response::Stats(ledgerdb_telemetry::render(&state.config.registry)),
     }
 }
 
 fn handle_append(state: &ServerState, tx: TxRequest, committed: bool) -> Response {
+    match state.config.admission {
+        Admission::Verify => state.metrics.admission_verify.inc(),
+        Admission::ProxyTrusted => state.metrics.admission_proxy.inc(),
+    }
     let response = match &state.committer {
         Some(committer) => match committer.submit(tx, committed) {
             Ok(CommitOutcome::Appended { jsn, tx_hash }) => Response::Appended { jsn, tx_hash },
@@ -399,7 +435,7 @@ mod tests {
     use super::*;
     use crate::remote::RemoteLedger;
     use crate::testutil::shared;
-    use std::io::{Read as _, Write as _};
+    use std::io::Write as _;
 
     fn start(block_size: u64, batch: Option<BatchConfig>) -> (Ledgerd, ledgerdb_crypto::keys::KeyPair) {
         let (shared, alice) = shared(block_size);
@@ -480,6 +516,53 @@ mod tests {
         let mut probe = [0u8; 1];
         stream.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
         assert_eq!(stream.read(&mut probe).unwrap(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_request_exposes_consistent_counters() {
+        use ledgerdb_telemetry::parse_value;
+
+        let (shared, alice) = shared(1024);
+        let registry = Arc::new(Registry::new());
+        let config = ServerConfig { registry: registry.clone(), ..ServerConfig::default() };
+        let server = Ledgerd::start(shared, config).unwrap();
+        let mut remote = RemoteLedger::connect(server.local_addr()).unwrap();
+        let n = 8u64;
+        for i in 0..n {
+            remote
+                .append(TxRequest::signed(&alice, format!("s-{i}").into_bytes(), vec![], i))
+                .unwrap();
+        }
+        let text = remote.stats().unwrap();
+        // Every append was counted at its request kind and admitted
+        // under the default Verify mode; nothing errored.
+        assert_eq!(parse_value(&text, "server_req_append_total"), Some(n as f64), "{text}");
+        assert_eq!(parse_value(&text, "server_req_append_seconds_count"), Some(n as f64));
+        assert_eq!(parse_value(&text, "server_admission_verify_total"), Some(n as f64));
+        assert_eq!(parse_value(&text, "server_error_frames_total"), Some(0.0));
+        assert_eq!(parse_value(&text, "server_connections_active"), Some(1.0));
+        assert!(parse_value(&text, "server_connections_total").unwrap() >= 1.0);
+        // Frame accounting: n appends + hello + this stats request all
+        // moved bytes both ways.
+        assert!(parse_value(&text, "server_bytes_in_total").unwrap() > 0.0);
+        assert!(parse_value(&text, "server_bytes_out_total").unwrap() > 0.0);
+        // The batcher drained every append through at least one window.
+        assert!(parse_value(&text, "batch_windows_total").unwrap() >= 1.0);
+        assert_eq!(parse_value(&text, "batch_size_sum"), Some(n as f64));
+        assert_eq!(parse_value(&text, "batch_queue_depth"), Some(0.0));
+        // A request that errors is counted.
+        let err = remote
+            .append(TxRequest::signed(
+                &ledgerdb_crypto::keys::KeyPair::from_seed(b"stranger"),
+                b"x".to_vec(),
+                vec![],
+                99,
+            ))
+            .unwrap_err();
+        assert!(matches!(err, crate::remote::RemoteError::Server(_)));
+        let text = remote.stats().unwrap();
+        assert_eq!(parse_value(&text, "server_error_frames_total"), Some(1.0));
         server.shutdown();
     }
 

@@ -20,6 +20,7 @@
 //! same xorshift generator the benches use, so torture runs are fully
 //! reproducible from a single `u64`.
 
+use crate::metrics::StoreMetrics;
 use crate::stream::{encode_record, FileStreamStore, StreamStore};
 use crate::StorageError;
 use ledgerdb_crypto::sync::Mutex;
@@ -60,6 +61,7 @@ pub struct FaultStore {
     inner: FileStreamStore,
     faults: Vec<Fault>,
     counters: Mutex<Counters>,
+    metrics: StoreMetrics,
 }
 
 impl FaultStore {
@@ -69,7 +71,13 @@ impl FaultStore {
             inner,
             faults,
             counters: Mutex::new(Counters { appends: 0, erases: 0, fired: Vec::new() }),
+            metrics: StoreMetrics::default(),
         }
+    }
+
+    fn record_fired(&self, event: FaultEvent) {
+        self.metrics.faults_injected.inc();
+        self.counters.lock().fired.push(event);
     }
 
     /// Wrap `inner` with a fault plan derived deterministically from
@@ -129,14 +137,14 @@ impl FaultStore {
         for f in &self.faults {
             match *f {
                 Fault::AppendIoError { nth } if nth == n => {
-                    self.counters.lock().fired.push(FaultEvent { fault: *f, record: next_record });
+                    self.record_fired(FaultEvent { fault: *f, record: next_record });
                     return Err(Self::io_err("injected append I/O error"));
                 }
                 Fault::PartialAppend { nth, keep } if nth == n => {
                     let record = encode_record(&digest, erased, payload);
                     let keep = (keep as usize).min(record.len().saturating_sub(1));
                     self.inner.raw_append(&record[..keep])?;
-                    self.counters.lock().fired.push(FaultEvent { fault: *f, record: next_record });
+                    self.record_fired(FaultEvent { fault: *f, record: next_record });
                     return Err(Self::io_err("injected crash mid-append"));
                 }
                 _ => {}
@@ -151,7 +159,7 @@ impl FaultStore {
             if let Fault::BitFlip { record, byte, mask } = *f {
                 if record == index {
                     self.inner.corrupt_byte(index, byte, mask)?;
-                    self.counters.lock().fired.push(FaultEvent { fault: *f, record: index });
+                    self.record_fired(FaultEvent { fault: *f, record: index });
                 }
             }
         }
@@ -188,7 +196,7 @@ impl StreamStore for FaultStore {
                     // Lie: report success, touch nothing. A reopened
                     // store will still hold the payload; recovery must
                     // notice and redo the erasure.
-                    self.counters.lock().fired.push(FaultEvent { fault: *f, record: index });
+                    self.record_fired(FaultEvent { fault: *f, record: index });
                     return Ok(());
                 }
             }

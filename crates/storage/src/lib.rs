@@ -18,11 +18,13 @@
 
 pub mod crc32;
 pub mod fault;
+pub mod metrics;
 pub mod occult_index;
 pub mod stream;
 pub mod survival;
 
 pub use fault::{Fault, FaultStore};
+pub use metrics::StoreMetrics;
 pub use occult_index::OccultIndex;
 pub use stream::{FileStreamStore, FsyncPolicy, MemoryStreamStore, StreamStore};
 pub use survival::SurvivalStream;

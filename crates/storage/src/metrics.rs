@@ -1,0 +1,45 @@
+//! Cached telemetry handles for the storage layer.
+//!
+//! Handles are resolved once per store (cold path) and shared by every
+//! store bound to the same registry, so two streams in one ledger
+//! directory (payload + WAL) aggregate into the same counters —
+//! recording stays a couple of relaxed atomic ops.
+
+use ledgerdb_telemetry::{Counter, Histogram, Registry, Unit};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+pub struct StoreMetrics {
+    /// `storage_write_bytes_total` — framed record bytes written
+    /// (appends, batch appends, in-place erase rewrites).
+    pub write_bytes: Arc<Counter>,
+    /// `storage_fsync_total` — fdatasync barriers actually issued.
+    pub fsyncs: Arc<Counter>,
+    /// `storage_fsync_seconds` — latency of each barrier.
+    pub fsync_seconds: Arc<Histogram>,
+    /// `storage_erase_total` — zeroizing erases performed.
+    pub erases: Arc<Counter>,
+    /// `storage_erased_bytes_total` — payload bytes zeroized.
+    pub erased_bytes: Arc<Counter>,
+    /// `storage_faults_injected_total` — faults fired by `FaultStore`.
+    pub faults_injected: Arc<Counter>,
+}
+
+impl StoreMetrics {
+    pub fn bind(registry: &Registry) -> Self {
+        StoreMetrics {
+            write_bytes: registry.counter("storage_write_bytes_total"),
+            fsyncs: registry.counter("storage_fsync_total"),
+            fsync_seconds: registry.histogram("storage_fsync_seconds", Unit::Seconds),
+            erases: registry.counter("storage_erase_total"),
+            erased_bytes: registry.counter("storage_erased_bytes_total"),
+            faults_injected: registry.counter("storage_faults_injected_total"),
+        }
+    }
+}
+
+impl Default for StoreMetrics {
+    fn default() -> Self {
+        Self::bind(Registry::global())
+    }
+}

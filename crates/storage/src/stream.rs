@@ -31,12 +31,14 @@
 //! form, and syncs — occult (§III-A3) promises *physical* erasure.
 
 use crate::crc32::{crc32, Crc32};
+use crate::metrics::StoreMetrics;
 use crate::StorageError;
 use ledgerdb_crypto::sync::RwLock;
 use ledgerdb_crypto::{sha256, Digest};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::time::Instant;
 
 /// The stream-store interface shared by memory and file backends.
 pub trait StreamStore: Send + Sync {
@@ -269,6 +271,8 @@ pub struct FileStreamStore {
     policy: FsyncPolicy,
     /// Torn-tail bytes trimmed at open (0 for created stores).
     truncated: u64,
+    /// Telemetry handles (global registry unless rebound).
+    metrics: StoreMetrics,
 }
 
 impl FileStreamStore {
@@ -293,6 +297,7 @@ impl FileStreamStore {
             meta: RwLock::new(Vec::new()),
             policy,
             truncated: 0,
+            metrics: StoreMetrics::default(),
         })
     }
 
@@ -322,6 +327,7 @@ impl FileStreamStore {
                 meta: RwLock::new(Vec::new()),
                 policy,
                 truncated: end,
+                metrics: StoreMetrics::default(),
             });
         }
 
@@ -386,7 +392,23 @@ impl FileStreamStore {
             meta: RwLock::new(meta),
             policy,
             truncated,
+            metrics: StoreMetrics::default(),
         })
+    }
+
+    /// Rebind telemetry to `registry` (default: the global registry).
+    /// Call before the store is shared across threads.
+    pub fn bind_metrics(&mut self, registry: &ledgerdb_telemetry::Registry) {
+        self.metrics = StoreMetrics::bind(registry);
+    }
+
+    /// Issue an fdatasync barrier, counting it and its latency.
+    fn barrier(&self, file: &File) -> Result<(), StorageError> {
+        let start = Instant::now();
+        file.sync_data()?;
+        self.metrics.fsyncs.inc();
+        self.metrics.fsync_seconds.observe_duration(start.elapsed());
+        Ok(())
     }
 
     /// Byte span `(offset, length)` of record `index` in the file —
@@ -443,6 +465,7 @@ impl FileStreamStore {
         let off = inner.end;
         inner.file.seek(SeekFrom::Start(off))?;
         inner.file.write_all(&record)?;
+        self.metrics.write_bytes.add(record.len() as u64);
         inner.end += record.len() as u64;
         inner.since_sync += 1;
         let do_sync = match self.policy {
@@ -451,7 +474,7 @@ impl FileStreamStore {
             FsyncPolicy::Never => false,
         };
         if do_sync {
-            inner.file.sync_data()?;
+            self.barrier(&inner.file)?;
             inner.since_sync = 0;
         }
         let mut meta = self.meta.write();
@@ -532,7 +555,10 @@ impl StreamStore for FileStreamStore {
         record.extend_from_slice(&crc.to_be_bytes());
         inner.file.seek(SeekFrom::Start(m.off))?;
         inner.file.write_all(&record)?;
-        inner.file.sync_data()?;
+        self.barrier(&inner.file)?;
+        self.metrics.write_bytes.add(record.len() as u64);
+        self.metrics.erases.inc();
+        self.metrics.erased_bytes.add(m.len as u64);
         meta[index as usize].erased = true;
         Ok(())
     }
@@ -558,7 +584,7 @@ impl StreamStore for FileStreamStore {
         if inner.since_sync == 0 {
             return Ok(());
         }
-        inner.file.sync_data()?;
+        self.barrier(&inner.file)?;
         inner.since_sync = 0;
         Ok(())
     }
@@ -589,7 +615,8 @@ impl StreamStore for FileStreamStore {
         let base = inner.end;
         inner.file.seek(SeekFrom::Start(base))?;
         inner.file.write_all(&buf)?;
-        inner.file.sync_data()?;
+        self.metrics.write_bytes.add(buf.len() as u64);
+        self.barrier(&inner.file)?;
         inner.end += buf.len() as u64;
         inner.since_sync = 0;
         let mut meta = self.meta.write();

@@ -1,0 +1,87 @@
+//! Periodic dump-to-file for post-mortem analysis: a background thread
+//! renders the registry every interval and atomically replaces the
+//! target file (write temp + rename), plus one final dump on shutdown.
+
+use crate::registry::Registry;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+pub struct Dumper {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+fn dump_once(registry: &Registry, path: &Path) -> std::io::Result<()> {
+    let text = crate::render(registry);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+impl Dumper {
+    /// Start dumping `registry` to `path` every `interval`. The dumper
+    /// stops (after one final dump) when dropped.
+    pub fn start(registry: Arc<Registry>, path: PathBuf, interval: Duration) -> Dumper {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("telemetry-dump".into())
+            .spawn(move || {
+                let (lock, cvar) = &*stop2;
+                let mut stopped = lock.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if *stopped {
+                        break;
+                    }
+                    let (guard, _timeout) = cvar
+                        .wait_timeout(stopped, interval)
+                        .unwrap_or_else(|e| e.into_inner());
+                    stopped = guard;
+                    if let Err(e) = dump_once(&registry, &path) {
+                        eprintln!("telemetry: dump to {} failed: {e}", path.display());
+                    }
+                }
+            })
+            .expect("spawn telemetry-dump thread");
+        Dumper { stop, handle: Some(handle) }
+    }
+}
+
+impl Drop for Dumper {
+    fn drop(&mut self) {
+        let (lock, cvar) = &*self.stop;
+        *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        cvar.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dumper_writes_final_snapshot_on_drop() {
+        let reg = Arc::new(Registry::new());
+        reg.counter("dump_total").add(3);
+        let dir = std::env::temp_dir()
+            .join(format!("ledgerdb-telemetry-dump-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.prom");
+        {
+            let _dumper = Dumper::start(reg.clone(), path.clone(), Duration::from_secs(60));
+            // Long interval: only the final on-drop dump fires.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(crate::parse_value(&text, "dump_total"), Some(3.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

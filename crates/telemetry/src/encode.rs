@@ -1,0 +1,123 @@
+//! Prometheus-style text exposition: encoder and a small line parser
+//! (used by `ledgerd-stats` assertions and `loadgen` scrapes).
+
+use crate::metrics::{bucket_upper_bound, NUM_BUCKETS};
+use crate::registry::{Metric, Registry};
+use std::fmt::Write as _;
+
+/// Render every metric in `registry` as Prometheus-style text.
+///
+/// Deterministic (sorted by name). Histograms emit cumulative
+/// `_bucket{le="…"}` lines for non-empty buckets only (plus `+Inf`),
+/// `_sum`/`_count`, extracted `{quantile="…"}` lines, and `_max`.
+/// The walk over the registry is lock-free — see module docs — so this
+/// can allocate and format freely without ever holding a registry lock.
+pub fn render(registry: &Registry) -> String {
+    let mut entries: Vec<(String, Metric)> = Vec::new();
+    registry.for_each(|name, metric| entries.push((name.to_string(), metric.clone())));
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut out = String::with_capacity(entries.len() * 64);
+    for (name, metric) in &entries {
+        match metric {
+            Metric::Counter(c) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {}", c.get());
+            }
+            Metric::Gauge(g) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {}", g.get());
+            }
+            Metric::Histogram(h) => {
+                let unit = h.unit();
+                let counts = h.bucket_counts();
+                let snap = h.snapshot();
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cumulative = 0u64;
+                for i in 0..NUM_BUCKETS {
+                    if counts[i] == 0 {
+                        continue;
+                    }
+                    cumulative += counts[i];
+                    let le = unit.scale(bucket_upper_bound(i));
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                let _ = writeln!(out, "{name}_sum {}", unit.scale(snap.sum));
+                let _ = writeln!(out, "{name}_count {}", snap.count);
+                for (q, v) in
+                    [("0.5", snap.p50), ("0.95", snap.p95), ("0.99", snap.p99)]
+                {
+                    let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {}", unit.scale(v));
+                }
+                let _ = writeln!(out, "{name}_max {}", unit.scale(snap.max));
+            }
+        }
+    }
+    out
+}
+
+/// Find the sample whose full name token equals `token` in a rendered
+/// exposition and return its value. `token` includes any label set:
+/// `parse_value(text, "ledger_appends_total")`,
+/// `parse_value(text, "server_req_append_seconds{quantile=\"0.99\"}")`.
+pub fn parse_value(text: &str, token: &str) -> Option<f64> {
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        if let Some((name, value)) = line.rsplit_once(' ') {
+            if name == token {
+                return value.trim().parse().ok();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Unit;
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let reg = Registry::new();
+        reg.counter("enc_total").add(42);
+        reg.gauge("enc_depth").set(-3);
+        let h = reg.histogram("enc_seconds", Unit::Seconds);
+        h.observe_duration(std::time::Duration::from_millis(1));
+        h.observe_duration(std::time::Duration::from_millis(4));
+
+        let text = render(&reg);
+        assert!(text.contains("# TYPE enc_total counter"));
+        assert!(text.contains("# TYPE enc_seconds histogram"));
+        assert!(text.contains("enc_seconds_bucket{le=\"+Inf\"} 2"));
+        assert_eq!(parse_value(&text, "enc_total"), Some(42.0));
+        assert_eq!(parse_value(&text, "enc_depth"), Some(-3.0));
+        assert_eq!(parse_value(&text, "enc_seconds_count"), Some(2.0));
+        let p99 = parse_value(&text, "enc_seconds{quantile=\"0.99\"}").unwrap();
+        assert!((0.003..=0.005).contains(&p99), "p99 = {p99}");
+        let sum = parse_value(&text, "enc_seconds_sum").unwrap();
+        assert!((0.004..=0.006).contains(&sum), "sum = {sum}");
+    }
+
+    #[test]
+    fn render_is_sorted_and_deterministic() {
+        let reg = Registry::new();
+        reg.counter("b_total").inc();
+        reg.counter("a_total").inc();
+        let text = render(&reg);
+        let a = text.find("a_total").unwrap();
+        let b = text.find("b_total").unwrap();
+        assert!(a < b, "entries sorted by name");
+        assert_eq!(text, render(&reg), "stable output");
+    }
+
+    #[test]
+    fn parse_value_ignores_comments_and_misses() {
+        let text = "# TYPE x counter\nx 5\n";
+        assert_eq!(parse_value(text, "x"), Some(5.0));
+        assert_eq!(parse_value(text, "y"), None);
+    }
+}

@@ -1,0 +1,114 @@
+//! # ledgerdb-telemetry
+//!
+//! std-only observability for the ledgerdb stack: a lock-free metrics
+//! registry (atomic counters, gauges, and log-scale latency histograms
+//! with p50/p95/p99/max extraction), a lightweight RAII span API, and a
+//! Prometheus-style text exposition encoder.
+//!
+//! Design constraints (see DESIGN.md §8):
+//!
+//! * **Hot path = a handful of relaxed atomic ops.** Recording into a
+//!   counter, gauge, or histogram never locks, never allocates, and
+//!   never syscalls. Handles (`Arc<Counter>` …) are resolved once at
+//!   component construction and cached in per-component metric structs.
+//! * **Scrape path holds no lock.** The registry keeps its entries in
+//!   an append-only lock-free linked list; registration (cold path)
+//!   serializes writers through a mutex for name dedup, but iteration —
+//!   the text exposition called from the request thread pool — walks
+//!   the list with plain `Acquire` loads and takes no lock at all, so
+//!   it cannot allocate *while holding a registry lock* (there is no
+//!   lock to hold) and cannot block writers.
+//! * **Kill switch.** `set_enabled(false)` turns every recording
+//!   operation into a single relaxed load + early return, which is the
+//!   "no-op registry build" used to measure telemetry overhead.
+//!
+//! Values recorded into `Unit::Seconds` histograms are nanoseconds;
+//! the encoder scales them to seconds at exposition time.
+
+mod dump;
+mod encode;
+mod metrics;
+mod registry;
+mod span;
+
+pub use dump::Dumper;
+pub use encode::{parse_value, render};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Unit, NUM_BUCKETS};
+pub use registry::{Metric, Registry};
+pub use span::{set_slow_op_threshold, slow_op_threshold_ns, Span};
+
+/// Enable or disable recording on the **global** registry. Disabled,
+/// every record call is one relaxed load + return: the "no-op
+/// registry" used for overhead measurement. Scraping still works and
+/// reports whatever was recorded while enabled. Per-registry control
+/// is on [`Registry::set_enabled`].
+pub fn set_enabled(enabled: bool) {
+    Registry::global().set_enabled(enabled);
+}
+
+/// Whether recording on the global registry is currently enabled.
+pub fn enabled() -> bool {
+    Registry::global().enabled()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = Registry::new();
+        let c = reg.counter("kill_switch_total");
+        let h = reg.histogram("kill_switch_seconds", Unit::Seconds);
+        reg.set_enabled(false);
+        c.inc();
+        c.add(41);
+        h.observe_duration(Duration::from_millis(5));
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.snapshot().count, 0);
+        // Re-enabling revives handles resolved while disabled.
+        reg.set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn concurrent_scrape_never_blocks_writers() {
+        // Writers hammer a histogram + counter while scrapers render the
+        // full exposition in a tight loop; the registry must stay
+        // consistent and lock-free throughout.
+        let reg = Arc::new(Registry::new());
+        let c = reg.counter("scrape_total");
+        let h = reg.histogram("scrape_seconds", Unit::Seconds);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let (c, h) = (c.clone(), h.clone());
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    c.inc();
+                    h.observe(i * 100);
+                }
+            }));
+        }
+        // Scrapers race registration of *new* metrics too.
+        for t in 0..2 {
+            let reg = reg.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200 {
+                    let text = render(&reg);
+                    assert!(text.contains("scrape_total"));
+                    if i % 50 == 0 {
+                        reg.counter(if t == 0 { "late_a_total" } else { "late_b_total" }).inc();
+                    }
+                }
+            }));
+        }
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(c.get(), 40_000);
+        assert_eq!(h.snapshot().count, 40_000);
+    }
+}

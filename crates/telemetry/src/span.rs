@@ -1,0 +1,113 @@
+//! RAII spans: time a scope into a histogram, optionally flagging
+//! slow operations with a structured log line on stderr.
+
+use crate::metrics::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// 0 = disabled.
+static SLOW_OP_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Spans slower than `threshold` emit one structured line on stderr
+/// (`telemetry: slow_op span=<name> elapsed_us=<n>`); `None` disables
+/// slow-op logging (the default).
+pub fn set_slow_op_threshold(threshold: Option<Duration>) {
+    let ns = threshold.map_or(0, |d| d.as_nanos().min(u64::MAX as u128) as u64);
+    SLOW_OP_NS.store(ns, Ordering::Relaxed);
+}
+
+/// Current slow-op threshold in nanoseconds (0 = disabled).
+pub fn slow_op_threshold_ns() -> u64 {
+    SLOW_OP_NS.load(Ordering::Relaxed)
+}
+
+/// RAII guard: records the elapsed time into its histogram on drop.
+/// Construct via [`Histogram::time`], [`Span::enter`], or the
+/// [`span!`](crate::span!) macro.
+#[must_use = "a span records on drop; binding it to _ measures nothing"]
+pub struct Span<'a> {
+    hist: &'a Histogram,
+    name: &'static str,
+    start: Instant,
+}
+
+impl<'a> Span<'a> {
+    pub fn enter(hist: &'a Histogram, name: &'static str) -> Self {
+        Span { hist, name, start: Instant::now() }
+    }
+
+    /// Elapsed time so far, without ending the span.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        self.hist.observe_duration(elapsed);
+        let threshold = SLOW_OP_NS.load(Ordering::Relaxed);
+        if threshold > 0 && elapsed.as_nanos() as u64 >= threshold {
+            eprintln!(
+                "telemetry: slow_op span={} elapsed_us={}",
+                self.name,
+                elapsed.as_micros()
+            );
+        }
+    }
+}
+
+/// `span!("fsync_barrier")` — time the rest of the enclosing scope into
+/// a `Unit::Seconds` histogram of that name in the global registry.
+/// The handle is resolved once per call site and cached in a static.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {{
+        static HIST: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        let hist: &'static $crate::Histogram =
+            &**HIST.get_or_init(|| $crate::Registry::global().histogram($name, $crate::Unit::Seconds));
+        $crate::Span::enter(hist, $name)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Unit;
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Histogram::new(Unit::Seconds);
+        {
+            let _span = h.time("test_span");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert!(s.max >= 2_000_000, "recorded at least 2ms, got {}ns", s.max);
+    }
+
+    #[test]
+    fn span_macro_registers_globally() {
+        {
+            let _span = crate::span!("span_macro_test_seconds");
+        }
+        let h = crate::Registry::global().histogram("span_macro_test_seconds", Unit::Seconds);
+        assert!(h.snapshot().count >= 1);
+    }
+
+    #[test]
+    fn slow_op_threshold_round_trips() {
+        set_slow_op_threshold(Some(Duration::from_millis(3)));
+        assert_eq!(slow_op_threshold_ns(), 3_000_000);
+        // Exercise the slow branch (output goes to captured stderr).
+        let h = Histogram::new(Unit::Seconds);
+        {
+            let _span = h.time("slow_test");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        set_slow_op_threshold(None);
+        assert_eq!(slow_op_threshold_ns(), 0);
+    }
+}

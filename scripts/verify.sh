@@ -4,8 +4,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo build --release =="
-cargo build --release
+echo "== cargo build --release (workspace: root lib + server/bench binaries) =="
+# --workspace matters: the root Cargo.toml is a package + workspace, so a
+# bare `cargo build` would skip the member crates' binaries (ledgerd,
+# ledgerd-smoke, ledgerd-stats) that the smoke stages below execute.
+cargo build --release --workspace
 
 echo "== cargo test -q (workspace + integration + property tests) =="
 cargo test -q
@@ -36,6 +39,23 @@ done
 [[ -n "$ADDR" ]] || { echo "ledgerd never reported its address"; cat "$SMOKE_LOG"; exit 1; }
 # Append -> prove -> verify over the wire, as a distrusting client.
 ./target/release/ledgerd-smoke client --addr "$ADDR" --seed verify-smoke --n 16
+
+echo "== telemetry (Stats over the wire, counters consistent) =="
+# 16 committed appends just happened: the kernel must have counted every
+# one, served them without a single error frame, and the sticky
+# durability gauge must be clear.
+./target/release/ledgerd-stats --addr "$ADDR" --quiet \
+  --min ledger_appends_total=16 \
+  --min ledger_seals_total=1 \
+  --min server_req_append_committed_total=16 \
+  --min batch_windows_total=1 \
+  --min storage_fsync_total=1 \
+  --min server_bytes_in_total=1 \
+  --min server_bytes_out_total=1 \
+  --zero server_error_frames_total \
+  --zero ledger_durability_error \
+  --zero batch_queue_depth
+
 # Kill the server without ceremony; every acked append must survive.
 kill -9 "$LEDGERD_PID"
 wait "$LEDGERD_PID" 2>/dev/null || true
