@@ -18,6 +18,7 @@ use crate::error::AccumulatorError;
 use crate::shrubs::{Shrubs, ShrubsProof};
 use ledgerdb_crypto::digest::Digest;
 use ledgerdb_crypto::hash_leaf;
+use std::sync::Arc;
 
 /// A trusted anchor: the verifier's record of already-verified prefix state.
 ///
@@ -65,9 +66,13 @@ impl FamProof {
 /// A sealed epoch: either the full node storage or — after a purge with
 /// fam-node erasure (§III-A2) — just a placeholder (the root itself lives
 /// in `sealed_roots`).
+///
+/// Full epochs are held behind `Arc`: a sealed Shrubs is never mutated
+/// again, so frozen fam copies (the snapshot read path) share the node
+/// storage instead of deep-copying history on every block seal.
 #[derive(Clone, Debug)]
 enum SealedEpoch {
-    Full(Shrubs),
+    Full(Arc<Shrubs>),
     RootOnly,
 }
 
@@ -162,7 +167,7 @@ impl FamTree {
     fn roll_epoch(&mut self) {
         let root = self.current.root();
         let sealed = std::mem::take(&mut self.current);
-        self.sealed.push(SealedEpoch::Full(sealed));
+        self.sealed.push(SealedEpoch::Full(Arc::new(sealed)));
         self.sealed_roots.push(root);
         self.current.append(Self::merged_leaf(&root));
         self.epoch_first_jsn.push(self.journal_count);
@@ -171,6 +176,20 @@ impl FamTree {
     /// Capture a trusted anchor covering everything sealed so far.
     pub fn anchor(&self) -> TrustedAnchor {
         TrustedAnchor { epoch_roots: self.sealed_roots.clone() }
+    }
+
+    /// Capture an immutable frozen copy of the whole accumulator for the
+    /// snapshot read path.
+    ///
+    /// Sealed epochs are shared by `Arc` (they never mutate again), so
+    /// the cost is one pointer clone per epoch plus a deep copy of the
+    /// open epoch only — at most `2^(δ+1)` digests, independent of
+    /// ledger size. The frozen tree keeps proving and verifying exactly
+    /// as of the freeze point even while the live tree moves on; if the
+    /// live tree later erases purged epochs, the frozen copy retains its
+    /// shared nodes until it is dropped.
+    pub fn freeze(&self) -> FamTree {
+        self.clone()
     }
 
     /// §III-A2's optional fam-node erasure on purge: drop the node storage
@@ -468,6 +487,43 @@ mod tests {
         let empty = TrustedAnchor::default();
         let p = fam.prove(jsn, &empty).unwrap();
         FamTree::verify(&fam.root(), &empty, &d, &p).unwrap();
+    }
+
+    #[test]
+    fn frozen_tree_keeps_proving_while_live_tree_moves_on() {
+        let (mut fam, ds) = build(3, 30);
+        let frozen = fam.freeze();
+        let frozen_root = frozen.root();
+        assert_eq!(frozen_root, fam.root());
+
+        // Live tree advances past an epoch boundary and erases history;
+        // the frozen copy is unaffected.
+        for i in 0..20u64 {
+            fam.append(hash_leaf(&(1000 + i).to_be_bytes()));
+        }
+        fam.erase_epochs_below(16);
+        assert_ne!(fam.root(), frozen_root);
+
+        let empty = TrustedAnchor::default();
+        for (i, d) in ds.iter().enumerate() {
+            let p = frozen.prove(i as u64, &empty).unwrap();
+            FamTree::verify(&frozen_root, &empty, d, &p)
+                .unwrap_or_else(|e| panic!("frozen jsn {i}: {e}"));
+        }
+        // The live tree, by contrast, rejects the erased prefix.
+        assert!(matches!(fam.prove(0, &empty), Err(AccumulatorError::EpochErased(_))));
+    }
+
+    #[test]
+    fn freeze_shares_sealed_epoch_storage() {
+        // Freezing must not deep-copy sealed history: the retained-node
+        // accounting sees the full tree, but the open epoch is the only
+        // part that costs a copy (bounded by epoch capacity).
+        let (fam, _) = build(3, 1000);
+        let frozen = fam.freeze();
+        assert_eq!(frozen.retained_nodes(), fam.retained_nodes());
+        assert_eq!(frozen.journal_count(), fam.journal_count());
+        assert!(fam.current.node_count() <= 2 * fam.epoch_capacity());
     }
 
     #[test]

@@ -7,7 +7,19 @@
 //! ```text
 //! loadgen [--appends N] [--payload BYTES] [--clients 1,4,16] \
 //!         [--window-us 150] [--admission verify|proxy|both]
+//! loadgen --read-mix [--readers N] [--read-secs S] \
+//!         [--addr HOST:PORT --seed SEED]
 //! ```
+//!
+//! `--read-mix` runs the mixed read workload instead of the append
+//! sweep: one writer appends (per-append fsync, so it holds the ledger
+//! write lock across the disk barrier) while `--readers` clients pound
+//! GetProof / GetTx / Verify over TCP against the sealed prefix.
+//! Without `--addr` it A/B-interleaves in-process servers with the
+//! snapshot read path on and off (`ServerConfig::snapshot_reads`) and
+//! reports the lock-free speedup; with `--addr` it drives one cell
+//! against an already-running `ledgerd` (whose toggle state decides the
+//! path) — the form `scripts/verify.sh` uses to assert snapshot hits.
 //!
 //! Modes:
 //! * `batch=off` — streams at `fsync=always`: every append pays its own
@@ -50,6 +62,11 @@ struct Args {
     window: Duration,
     admissions: Vec<Admission>,
     telemetry: bool,
+    read_mix: bool,
+    readers: usize,
+    read_secs: f64,
+    addr: Option<String>,
+    seed: String,
 }
 
 fn parse_args() -> Args {
@@ -60,11 +77,20 @@ fn parse_args() -> Args {
         window: Duration::from_micros(150),
         admissions: vec![Admission::Verify, Admission::ProxyTrusted],
         telemetry: true,
+        read_mix: false,
+        readers: 4,
+        read_secs: 2.0,
+        addr: None,
+        seed: "demo".into(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         if flag == "--no-telemetry" {
             args.telemetry = false;
+            continue;
+        }
+        if flag == "--read-mix" {
+            args.read_mix = true;
             continue;
         }
         let value = it.next().unwrap_or_else(|| {
@@ -96,11 +122,17 @@ fn parse_args() -> Args {
                     _ => bad("admission"),
                 };
             }
+            "--readers" => args.readers = value.parse().unwrap_or_else(|_| bad("count")),
+            "--read-secs" => args.read_secs = value.parse().unwrap_or_else(|_| bad("seconds")),
+            "--addr" => args.addr = Some(value.clone()),
+            "--seed" => args.seed = value.clone(),
             _ => {
                 eprintln!(
                     "usage: loadgen [--appends N] [--payload BYTES] \
                      [--clients 1,4,16] [--window-us US] \
-                     [--admission verify|proxy|both] [--no-telemetry]"
+                     [--admission verify|proxy|both] [--no-telemetry] \
+                     | --read-mix [--readers N] [--read-secs S] \
+                     [--addr HOST:PORT --seed SEED]"
                 );
                 std::process::exit(2);
             }
@@ -295,8 +327,286 @@ fn run_config(args: &Args, clients: usize, batch: bool, admission: Admission) ->
     }
 }
 
+/// One read-mix measurement cell: reads/sec over the mixed GetProof /
+/// GetTx / Verify workload with one concurrent writer.
+struct ReadMixRow {
+    snapshot_reads: bool,
+    reads: u64,
+    elapsed: Duration,
+    writer_appends: f64,
+    snapshot_hits: f64,
+    snapshot_fallbacks: f64,
+}
+
+impl ReadMixRow {
+    fn reads_per_sec(&self) -> f64 {
+        self.reads as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn print(&self, readers: usize) {
+        println!(
+            "{{\"bench\":\"ledgerd_read_mix\",\"snapshot_reads\":{},\
+             \"readers\":{},\"reads\":{},\"elapsed_s\":{:.3},\
+             \"reads_per_sec\":{:.1},\"writer_appends\":{},\
+             \"snapshot_hits\":{},\"snapshot_fallbacks\":{}}}",
+            self.snapshot_reads,
+            readers,
+            self.reads,
+            self.elapsed.as_secs_f64(),
+            self.reads_per_sec(),
+            self.writer_appends,
+            self.snapshot_hits,
+            self.snapshot_fallbacks,
+        );
+    }
+}
+
+/// Drive the mixed read workload against `addr` for `read_secs` while
+/// one writer appends continuously. `sealed` bounds the jsn range the
+/// readers query (the pre-seeded sealed prefix). Returns total read ops
+/// and the measured wall time; the caller scrapes counters.
+fn drive_read_mix(
+    addr: std::net::SocketAddr,
+    alice: &KeyPair,
+    readers: usize,
+    read_secs: f64,
+    sealed: u64,
+    payload: usize,
+) -> (u64, Duration) {
+    use ledgerdb_accumulator::fam::TrustedAnchor;
+    use ledgerdb_crypto::wire::Wire;
+    use ledgerdb_server::protocol::{
+        read_frame, write_frame, Request, Response, DEFAULT_MAX_FRAME,
+    };
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    // The writer cycles a pre-signed pool so its lock pressure is
+    // bounded by the service, not by client-side ECDSA.
+    let mut rng = XorShift::new(11);
+    let pool: Vec<TxRequest> = (0..512u64)
+        .map(|i| {
+            TxRequest::signed(
+                alice,
+                rng.payload(payload),
+                vec![format!("rm-{}", i % 16)],
+                10_000_000 + i,
+            )
+        })
+        .collect();
+
+    let stop = AtomicBool::new(false);
+    let total_reads = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        let stop_ref = &stop;
+        let pool_ref = &pool;
+        scope.spawn(move || {
+            let mut remote = RemoteLedger::connect(addr).expect("writer connect");
+            let mut i = 0usize;
+            while !stop_ref.load(Ordering::Relaxed) {
+                remote.append(pool_ref[i % pool_ref.len()].clone()).expect("writer ack");
+                i += 1;
+            }
+        });
+        for reader in 0..readers as u64 {
+            let total = &total_reads;
+            scope.spawn(move || {
+                let anchor = TrustedAnchor::default();
+                let stream = std::net::TcpStream::connect(addr).expect("reader connect");
+                stream.set_nodelay(true).ok();
+                let mut writer = stream.try_clone().expect("clone stream");
+                let mut reader_half = std::io::BufReader::with_capacity(16 * 1024, stream);
+                let mut call = |request: &Request| -> Response {
+                    write_frame(&mut writer, &request.to_wire()).expect("send");
+                    let body = read_frame(&mut reader_half, DEFAULT_MAX_FRAME).expect("recv");
+                    Response::from_wire(&body).expect("decode")
+                };
+                let mut rng = XorShift::new(0xBEEF ^ (reader + 1));
+                let deadline = Instant::now() + Duration::from_secs_f64(read_secs);
+                let mut ops = 0u64;
+                while Instant::now() < deadline {
+                    let jsn = rng.below(sealed.max(1));
+                    let (tx_hash, proof) =
+                        match call(&Request::GetProof { jsn, anchor: anchor.clone() }) {
+                            Response::Proof { tx_hash, proof } => (tx_hash, proof),
+                            other => panic!("GetProof({jsn}) answered {other:?}"),
+                        };
+                    match call(&Request::GetTx(jsn)) {
+                        Response::Tx { journal, .. } => assert_eq!(journal.jsn, jsn),
+                        other => panic!("GetTx({jsn}) answered {other:?}"),
+                    }
+                    match call(&Request::Verify { jsn, tx_hash, proof, anchor: anchor.clone() }) {
+                        Response::Verified => {}
+                        other => panic!("Verify({jsn}) answered {other:?}"),
+                    }
+                    ops += 3;
+                }
+                total.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        // Readers run the measurement clock; the writer stops when the
+        // last reader finishes. Scope join order: spawn order doesn't
+        // matter, we flip the flag from the main thread after sleeping
+        // out the window plus a grace tick.
+        std::thread::sleep(Duration::from_secs_f64(read_secs));
+        // Give readers a moment to drain their final round trips.
+        std::thread::sleep(Duration::from_millis(100));
+        stop.store(true, Ordering::Relaxed);
+    });
+    (total_reads.load(Ordering::Relaxed), started.elapsed())
+}
+
+/// In-process read-mix cell: durable ledger + server with the snapshot
+/// path toggled, pre-seeded sealed prefix, mixed readers vs one writer.
+fn read_mix_cell(args: &Args, snapshot_reads: bool) -> ReadMixRow {
+    const SEALED: u64 = 192;
+    let tag = format!("readmix-{}", if snapshot_reads { "snap" } else { "lock" });
+    let dir = temp_dir(&tag);
+    let (registry, alice) = registry();
+    let telemetry = Arc::new(Registry::new());
+    let config = LedgerConfig { block_size: 64, fam_delta: 15, name: format!("loadgen-{tag}") };
+    // Per-append fsync and no batcher: every writer append holds the
+    // ledger write lock across the disk barrier — exactly the stall the
+    // snapshot path exists to take readers out of.
+    let (ledger, _) = open_durable_with(
+        config,
+        registry,
+        &dir,
+        FsyncPolicy::Always,
+        Arc::new(SimClock::new()),
+        &telemetry,
+    )
+    .unwrap();
+    let shared = SharedLedger::new(ledger);
+    // Seed a sealed prefix for the readers to query.
+    let mut rng = XorShift::new(3);
+    for i in 0..SEALED {
+        let req = TxRequest::signed(
+            &alice,
+            rng.payload(args.payload),
+            vec![format!("rm-{}", i % 16)],
+            i,
+        );
+        shared.append(req).unwrap();
+    }
+    shared.seal_block();
+    let seeded_appends = parse_value(
+        &ledgerdb_telemetry::render(&telemetry),
+        "ledger_appends_total",
+    )
+    .unwrap_or(0.0);
+
+    let server = Ledgerd::start(
+        shared,
+        ServerConfig {
+            workers: args.readers + 2,
+            max_connections: args.readers + 6,
+            batch: None,
+            // Proxy admission keeps the per-append ECDSA re-check (a
+            // CPU cost paid outside the lock, identical in both arms)
+            // out of the writer's cycle, so the cycle is dominated by
+            // the fsyncs it holds the write lock across — the
+            // contention under measurement.
+            admission: Admission::ProxyTrusted,
+            snapshot_reads,
+            registry: telemetry.clone(),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let (reads, elapsed) =
+        drive_read_mix(server.local_addr(), &alice, args.readers, args.read_secs, SEALED, args.payload);
+    let text = ledgerdb_telemetry::render(&telemetry);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    ReadMixRow {
+        snapshot_reads,
+        reads,
+        elapsed,
+        writer_appends: parse_value(&text, "ledger_appends_total").unwrap_or(0.0) - seeded_appends,
+        snapshot_hits: parse_value(&text, "ledger_snapshot_hit_total").unwrap_or(0.0),
+        snapshot_fallbacks: parse_value(&text, "ledger_snapshot_fallback_total").unwrap_or(0.0),
+    }
+}
+
+/// External read-mix cell: drive a running `ledgerd` at `--addr`. The
+/// server's own configuration decides the read path; the scraped
+/// snapshot counters say which one actually served.
+fn read_mix_external(args: &Args, addr_str: &str) {
+    use std::net::ToSocketAddrs;
+    let addr = addr_str
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut it| it.next())
+        .unwrap_or_else(|| {
+            eprintln!("loadgen: cannot resolve {addr_str}");
+            std::process::exit(2);
+        });
+    let alice = KeyPair::from_seed(format!("{}-alice", args.seed).as_bytes());
+    let mut probe = RemoteLedger::connect(addr).expect("connect");
+    let sealed = probe.info().journal_count.max(1);
+    let stats_before = probe.stats().expect("stats");
+    let hits_before = parse_value(&stats_before, "ledger_snapshot_hit_total").unwrap_or(0.0);
+    let appends_before = parse_value(&stats_before, "ledger_appends_total").unwrap_or(0.0);
+    drop(probe);
+
+    let (reads, elapsed) =
+        drive_read_mix(addr, &alice, args.readers, args.read_secs, sealed, args.payload);
+
+    let mut probe = RemoteLedger::connect(addr).expect("reconnect");
+    let text = probe.stats().expect("stats");
+    let row = ReadMixRow {
+        snapshot_reads: parse_value(&text, "ledger_snapshot_hit_total").unwrap_or(0.0)
+            > hits_before,
+        reads,
+        elapsed,
+        writer_appends: parse_value(&text, "ledger_appends_total").unwrap_or(0.0)
+            - appends_before,
+        snapshot_hits: parse_value(&text, "ledger_snapshot_hit_total").unwrap_or(0.0),
+        snapshot_fallbacks: parse_value(&text, "ledger_snapshot_fallback_total").unwrap_or(0.0),
+    };
+    row.print(args.readers);
+}
+
+fn run_read_mix(args: &Args) {
+    if let Some(addr) = &args.addr {
+        read_mix_external(args, addr);
+        return;
+    }
+    eprintln!(
+        "loadgen: read-mix A/B — {} readers x {:.1}s per cell, 1 writer, \
+         snapshot path interleaved on/off",
+        args.readers, args.read_secs
+    );
+    // Interleave A/B so machine drift hits both arms equally.
+    let mut rows = Vec::new();
+    for _rep in 0..2 {
+        for snapshot_reads in [true, false] {
+            let row = read_mix_cell(args, snapshot_reads);
+            row.print(args.readers);
+            rows.push(row);
+        }
+    }
+    let mean = |on: bool| {
+        let sel: Vec<f64> =
+            rows.iter().filter(|r| r.snapshot_reads == on).map(|r| r.reads_per_sec()).collect();
+        sel.iter().sum::<f64>() / sel.len() as f64
+    };
+    eprintln!(
+        "loadgen: read-mix snapshot speedup: {:.1}x ({:.0} vs {:.0} reads/s, \
+         1 writer holding per-append fsyncs)",
+        mean(true) / mean(false),
+        mean(true),
+        mean(false)
+    );
+}
+
 fn main() {
     let args = parse_args();
+    if args.read_mix {
+        run_read_mix(&args);
+        return;
+    }
     eprintln!(
         "loadgen: {} appends x {} B payload, clients {:?}, window {:?}",
         args.appends, args.payload, args.clients, args.window

@@ -95,6 +95,21 @@ impl ClueProof {
     }
 }
 
+/// A point-in-time summary of the CM-Tree: the CM-Tree1 root (the same
+/// value every block header records as its `clue_root`) plus tree-wide
+/// totals. Captured into read snapshots at block seal so lineage
+/// queries can be answered against the frozen roots without cloning the
+/// MPT or the per-clue accumulators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct CmRoot {
+    /// CM-Tree1 root hash at capture time.
+    pub root: Digest,
+    /// Distinct clues at capture time.
+    pub clue_count: u64,
+    /// Total entries across all CM-Tree2 accumulators at capture time.
+    pub entry_count: u64,
+}
+
 /// The clue merged tree.
 #[derive(Clone, Debug, Default)]
 pub struct CmTree {
@@ -129,6 +144,15 @@ impl CmTree {
     /// The CM-Tree1 root — recorded per block as the lineage snapshot.
     pub fn root(&self) -> Digest {
         self.mpt.root_hash()
+    }
+
+    /// Capture the frozen root summary for the snapshot read path.
+    pub fn snapshot_root(&self) -> CmRoot {
+        CmRoot {
+            root: self.root(),
+            clue_count: self.subtrees.len() as u64,
+            entry_count: self.subtrees.values().map(|s| s.leaf_count()).sum(),
+        }
     }
 
     /// §IV-B3 insertion: top-down CM-Tree2 append, bottom-up CM-Tree1

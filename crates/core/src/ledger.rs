@@ -101,6 +101,10 @@ pub struct LedgerDb {
     pub(crate) durability_error: Option<LedgerError>,
     /// Telemetry handles (global registry unless rebound).
     pub(crate) metrics: crate::metrics::CoreMetrics,
+    /// The snapshot read path's publication hub, installed by
+    /// [`crate::SharedLedger::new`]. `None` for standalone ledgers —
+    /// every snapshot hook is then a no-op.
+    pub(crate) snapshot_hub: Option<Arc<crate::snapshot::SnapshotHub>>,
 }
 
 impl LedgerDb {
@@ -145,6 +149,29 @@ impl LedgerDb {
             wal: None,
             durability_error: None,
             metrics: crate::metrics::CoreMetrics::default(),
+            snapshot_hub: None,
+        }
+    }
+
+    /// Install (or fetch) the snapshot publication hub: captures the
+    /// current sealed prefix as the initial snapshot and republishes on
+    /// every seal, occult and purge from here on.
+    pub fn install_snapshot_hub(&mut self) -> Arc<crate::snapshot::SnapshotHub> {
+        if let Some(hub) = &self.snapshot_hub {
+            return Arc::clone(hub);
+        }
+        let hub = Arc::new(crate::snapshot::SnapshotHub::new(
+            crate::snapshot::ReadSnapshot::build(self, None),
+        ));
+        hub.note_journals(self.journal_count());
+        self.snapshot_hub = Some(Arc::clone(&hub));
+        hub
+    }
+
+    /// Publish a fresh read snapshot if a hub is installed.
+    fn publish_snapshot(&self) {
+        if let Some(hub) = &self.snapshot_hub {
+            hub.publish(self);
         }
     }
 
@@ -518,6 +545,9 @@ impl LedgerDb {
         }
         self.journals.push(journal);
         self.pending.push(jsn);
+        if let Some(hub) = &self.snapshot_hub {
+            hub.note_journals(self.journals.len() as u64);
+        }
         self.metrics.appends.inc();
         Ok(AppendAck { jsn, tx_hash })
     }
@@ -577,6 +607,10 @@ impl LedgerDb {
         self.pending.clear();
         self.blocks.push(block);
         self.metrics.seals.inc();
+        // Publish-on-seal: `pending` is empty, so the frozen fam covers
+        // exactly the sealed journals and its root equals the block's
+        // `info.journal_root` — the snapshot names a consistent LedgerInfo.
+        self.publish_snapshot();
         Ok(())
     }
 
@@ -868,6 +902,12 @@ impl LedgerDb {
         if erase_fam_nodes {
             self.fam.erase_epochs_below(purge_to);
         }
+        // Snapshot-served retrieval must honor the purge immediately.
+        // The frozen fam keeps its (possibly just-erased) shared epochs
+        // until the next seal refreezes — historical proofs stay
+        // servable a little longer, which purge semantics permit (tx
+        // hashes are retained tombstones).
+        self.publish_snapshot();
         Ok(ack)
     }
 
@@ -928,6 +968,10 @@ impl LedgerDb {
             let idx = self.journals[target as usize].stream_index;
             self.store.erase(idx)?;
         }
+        // The mark must block snapshot-served retrieval immediately, not
+        // at the next seal: republish with the fresh occult view (same
+        // segments and fam — cheap Arc reuse).
+        self.publish_snapshot();
         Ok(ack)
     }
 
@@ -992,6 +1036,8 @@ impl LedgerDb {
                 self.store.erase(idx)?;
             }
         }
+        // As in `occult`: the marks take effect on the snapshot path now.
+        self.publish_snapshot();
         Ok((ack, targets))
     }
 

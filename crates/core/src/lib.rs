@@ -21,6 +21,7 @@ pub mod member;
 pub mod metrics;
 pub mod recovery;
 pub mod shared;
+pub mod snapshot;
 pub mod types;
 
 pub use audit::{audit_ledger, AuditConfig, AuditReport};
@@ -32,4 +33,5 @@ pub use metrics::{CoreMetrics, RecoveryMetrics};
 pub use recovery::{open_durable, open_durable_with, recover, recover_with, RecoveryReport, WalRecord};
 pub use member::{Member, MemberRegistry};
 pub use shared::SharedLedger;
+pub use snapshot::{ReadSnapshot, SnapshotHub};
 pub use types::{Block, Journal, JournalKind, LedgerInfo, Receipt, TxRequest, VerifyLevel};

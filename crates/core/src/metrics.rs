@@ -29,6 +29,18 @@ pub struct CoreMetrics {
     /// `ledger_durability_error` — 1 while a durability failure is
     /// stashed (degraded but serving), 0 otherwise.
     pub durability_error: Arc<Gauge>,
+    /// `ledger_snapshot_publish_total` — read snapshots published
+    /// (block seals plus occult/purge republishes).
+    pub snapshot_publishes: Arc<Counter>,
+    /// `ledger_snapshot_hit_total` — reads served lock-free from the
+    /// current snapshot.
+    pub snapshot_hits: Arc<Counter>,
+    /// `ledger_snapshot_fallback_total` — reads that reached into the
+    /// unsealed tail and fell back to the locked path.
+    pub snapshot_fallbacks: Arc<Counter>,
+    /// `ledger_snapshot_age_ms` — age of the current snapshot at the
+    /// last snapshot-served read (0 right after a publish).
+    pub snapshot_age_ms: Arc<Gauge>,
 }
 
 impl CoreMetrics {
@@ -44,6 +56,10 @@ impl CoreMetrics {
             verifies: registry.counter("ledger_verifies_total"),
             verify_seconds: registry.histogram("ledger_verify_seconds", Unit::Seconds),
             durability_error: registry.gauge("ledger_durability_error"),
+            snapshot_publishes: registry.counter("ledger_snapshot_publish_total"),
+            snapshot_hits: registry.counter("ledger_snapshot_hit_total"),
+            snapshot_fallbacks: registry.counter("ledger_snapshot_fallback_total"),
+            snapshot_age_ms: registry.gauge("ledger_snapshot_age_ms"),
         }
     }
 }

@@ -3,11 +3,15 @@
 //! LedgerDB's deployment serves many concurrent clients through proxy
 //! fleets (Fig 1). [`SharedLedger`] is the in-process equivalent: an
 //! `Arc<RwLock<LedgerDb>>` with a deliberately narrow API — writers take
-//! the lock briefly for appends/seals, and every verification entry point
-//! runs under a shared read lock so proof serving scales with reader
-//! count.
+//! the lock briefly for appends/seals, while reads over the **sealed
+//! prefix** are served lock-free from the current [`ReadSnapshot`]
+//! (published on every seal; see [`crate::snapshot`]). Only queries
+//! that reach into the unsealed tail — or run with the snapshot path
+//! toggled off — fall back to the shared read lock, so proof serving
+//! no longer stalls behind a writer holding the lock across an fsync.
 
 use crate::ledger::{AppendAck, LedgerDb, OccultMode};
+use crate::snapshot::{ReadSnapshot, SnapshotHub};
 use crate::types::{Block, Journal, Receipt, TxRequest, VerifyLevel};
 use crate::LedgerError;
 use ledgerdb_accumulator::fam::{FamProof, TrustedAnchor};
@@ -22,12 +26,52 @@ use std::sync::Arc;
 #[derive(Clone)]
 pub struct SharedLedger {
     inner: Arc<RwLock<LedgerDb>>,
+    hub: Arc<SnapshotHub>,
 }
 
 impl SharedLedger {
-    /// Wrap a ledger for shared use.
-    pub fn new(ledger: LedgerDb) -> Self {
-        SharedLedger { inner: Arc::new(RwLock::new(ledger)) }
+    /// Wrap a ledger for shared use. Installs the snapshot publication
+    /// hub: the sealed prefix existing right now (e.g. after recovery)
+    /// becomes the initial snapshot, and every subsequent seal, occult
+    /// and purge republishes.
+    pub fn new(mut ledger: LedgerDb) -> Self {
+        let hub = ledger.install_snapshot_hub();
+        SharedLedger { inner: Arc::new(RwLock::new(ledger)), hub }
+    }
+
+    /// The current read snapshot (one `Arc` clone; never the ledger
+    /// lock). Proofs produced from it verify against
+    /// [`ReadSnapshot::info`] — the `LedgerInfo` the snapshot names.
+    pub fn snapshot(&self) -> Arc<ReadSnapshot> {
+        self.hub.load()
+    }
+
+    /// Toggle the snapshot read path (on by default). With it off,
+    /// every read goes through the shared read lock — the A/B baseline
+    /// for the mixed-workload benchmark.
+    pub fn set_snapshot_reads(&self, on: bool) {
+        self.hub.set_reads_enabled(on);
+    }
+
+    /// Is the snapshot read path enabled?
+    pub fn snapshot_reads(&self) -> bool {
+        self.hub.reads_enabled()
+    }
+
+    /// Load the current snapshot if the read path is enabled AND the
+    /// sealed prefix covers `jsn`; counts the hit/fallback either way.
+    fn snap_covering(&self, jsn: u64) -> Option<Arc<ReadSnapshot>> {
+        if !self.hub.reads_enabled() {
+            return None;
+        }
+        let snap = self.hub.load();
+        if snap.covers(jsn) {
+            self.hub.note_hit(&snap);
+            Some(snap)
+        } else {
+            self.hub.note_fallback(&snap);
+            None
+        }
     }
 
     /// Append a fully verified client transaction.
@@ -69,11 +113,25 @@ impl SharedLedger {
         Ok(inner.receipt(ack.jsn)?.expect("sealed block issues receipts"))
     }
 
-    /// Admission check (membership + π_c) under a shared **read** lock:
-    /// many client threads verify in parallel while the write path
-    /// stays free. Pair with
-    /// [`SharedLedger::append_batch_preverified`].
+    /// Admission check (membership + π_c), served lock-free from the
+    /// snapshot's frozen registry view: many client threads verify in
+    /// parallel without even a read lock. A member unknown to the
+    /// snapshot (registered after the last publish) falls back to the
+    /// live registry under the read lock before being rejected. Pair
+    /// with [`SharedLedger::append_batch_preverified`].
     pub fn verify_request(&self, request: &TxRequest) -> Result<(), LedgerError> {
+        if self.hub.reads_enabled() {
+            let snap = self.hub.load();
+            match snap.verify_request(request) {
+                Err(LedgerError::UnknownMember) => {
+                    self.hub.note_fallback(&snap);
+                }
+                verdict => {
+                    self.hub.note_hit(&snap);
+                    return verdict;
+                }
+            }
+        }
         self.inner.read().verify_request(request)
     }
 
@@ -130,8 +188,16 @@ impl SharedLedger {
         self.inner.read().clue_root()
     }
 
-    /// Snapshot a trusted anchor.
+    /// Snapshot a trusted anchor. Anchors are append-only trust records
+    /// (sealed epoch roots never change), so the snapshot's — captured
+    /// at its publish point — is always valid, at worst covering a few
+    /// epochs fewer than the live fam.
     pub fn anchor(&self) -> TrustedAnchor {
+        if self.hub.reads_enabled() {
+            let snap = self.hub.load();
+            self.hub.note_hit(&snap);
+            return snap.anchor().clone();
+        }
         self.inner.read().anchor()
     }
 
@@ -140,25 +206,31 @@ impl SharedLedger {
         self.inner.read().block_count()
     }
 
-    /// The ledger's identity digest.
+    /// The ledger's identity digest (immutable — served lock-free).
     pub fn id(&self) -> Digest {
-        self.inner.read().id()
+        self.hub.load().id()
     }
 
-    /// The LSP public key (what receipts are signed with).
+    /// The LSP public key (immutable — served lock-free).
     pub fn lsp_public_key(&self) -> PublicKey {
-        *self.inner.read().lsp_public_key()
+        *self.hub.load().lsp_public_key()
     }
 
-    /// The fam fractal height δ (a distrusting client must replay with
-    /// the same value).
+    /// The fam fractal height δ (immutable — served lock-free; a
+    /// distrusting client must replay with the same value).
     pub fn fam_delta(&self) -> u32 {
-        self.inner.read().fam_delta()
+        self.hub.load().fam_delta()
     }
 
     /// Clone sealed blocks `[from_height, from_height + max)` — the
-    /// block-download feed a distrusting client syncs from.
+    /// block-download feed a distrusting client syncs from. Blocks only
+    /// exist sealed, so the snapshot always serves this when enabled.
     pub fn blocks_from(&self, from_height: u64, max: u64) -> Vec<Block> {
+        if self.hub.reads_enabled() {
+            let snap = self.hub.load();
+            self.hub.note_hit(&snap);
+            return snap.blocks_from(from_height, max);
+        }
         let inner = self.inner.read();
         let blocks = inner.blocks();
         let lo = (from_height as usize).min(blocks.len());
@@ -167,29 +239,48 @@ impl SharedLedger {
     }
 
     /// Fetch a journal record plus its payload (None when erased).
-    /// Occulted and purged journals error exactly as [`LedgerDb::get_tx`].
+    /// Occulted and purged journals error exactly as [`LedgerDb::get_tx`];
+    /// sealed journals are served from the snapshot without the lock.
     pub fn get_tx(&self, jsn: u64) -> Result<(Journal, Option<Vec<u8>>), LedgerError> {
+        if let Some(snap) = self.snap_covering(jsn) {
+            let journal = snap.get_tx(jsn)?.clone();
+            let payload = snap.get_payload(jsn).ok();
+            return Ok((journal, payload));
+        }
         let inner = self.inner.read();
         let journal = inner.get_tx(jsn)?.clone();
         let payload = inner.get_payload(jsn).ok();
         Ok((journal, payload))
     }
 
-    /// Fetch a receipt (signed on demand).
+    /// Fetch a receipt (signed on demand). Sealed journals sign against
+    /// the snapshot — byte-identical to the locked path (deterministic
+    /// ECDSA over identical block data).
     pub fn receipt(&self, jsn: u64) -> Result<Option<Receipt>, LedgerError> {
+        if let Some(snap) = self.snap_covering(jsn) {
+            return snap.receipt(jsn);
+        }
         self.inner.read().receipt(jsn)
     }
 
-    /// Produce an existence proof.
+    /// Produce an existence proof. Proofs over the sealed prefix come
+    /// from the snapshot's frozen fam and verify against the snapshot's
+    /// `LedgerInfo`; unsealed-tail jsns fall back to the locked path.
     pub fn prove_existence(
         &self,
         jsn: u64,
         anchor: &TrustedAnchor,
     ) -> Result<(Digest, FamProof), LedgerError> {
+        if let Some(snap) = self.snap_covering(jsn) {
+            if snap.can_prove() {
+                return snap.prove_existence(jsn, anchor);
+            }
+        }
         self.inner.read().prove_existence(jsn, anchor)
     }
 
-    /// Verify an existence proof.
+    /// Verify an existence proof. Server level needs only the sealed
+    /// journal record; client level checks against the snapshot's root.
     pub fn verify_existence(
         &self,
         jsn: u64,
@@ -198,16 +289,33 @@ impl SharedLedger {
         anchor: &TrustedAnchor,
         level: VerifyLevel,
     ) -> Result<(), LedgerError> {
+        if let Some(snap) = self.snap_covering(jsn) {
+            if level == VerifyLevel::Server || snap.can_prove() {
+                return snap.verify_existence(jsn, tx_hash, proof, anchor, level);
+            }
+        }
         self.inner.read().verify_existence(jsn, tx_hash, proof, anchor, level)
     }
 
-    /// Produce a clue proof.
+    /// Produce a clue proof (always locked: CM-Tree proofs need the
+    /// live MPT and per-clue accumulators, which snapshots summarize
+    /// only by root).
     pub fn prove_clue(&self, clue: &str) -> Result<ClueProof, LedgerError> {
         self.inner.read().prove_clue(clue)
     }
 
-    /// List a clue's jsns.
+    /// List a clue's jsns. Served from the snapshot only when no
+    /// unsealed tail exists (a tail journal could carry the clue, and
+    /// the snapshot cannot see it); otherwise the locked path answers.
     pub fn list_tx(&self, clue: &str) -> Vec<u64> {
+        if self.hub.reads_enabled() {
+            let snap = self.hub.load();
+            if snap.journal_count() == self.hub.live_journals() {
+                self.hub.note_hit(&snap);
+                return snap.list_tx(clue);
+            }
+            self.hub.note_fallback(&snap);
+        }
         self.inner.read().list_tx(clue)
     }
 
@@ -379,6 +487,101 @@ mod tests {
             Some(80.0)
         );
         assert_eq!(shared.journal_count(), 80);
+    }
+
+    #[test]
+    fn snapshot_proofs_verify_against_the_info_they_name() {
+        let f = fixture(8);
+        let alice = f.alice.clone();
+        let shared = SharedLedger::new(f.ledger);
+        for i in 0..24u64 {
+            shared
+                .append(TxRequest::signed(&alice, vec![i as u8], vec!["c".into()], i))
+                .unwrap();
+        }
+        let snap = shared.snapshot();
+        assert_eq!(snap.journal_count(), 24);
+        assert_eq!(snap.journal_root(), snap.info().journal_root);
+        // Proofs produced from the snapshot verify against the snapshot's
+        // own LedgerInfo even after the live ledger moves on.
+        for i in 24..40u64 {
+            shared
+                .append(TxRequest::signed(&alice, vec![i as u8], vec![], i))
+                .unwrap();
+        }
+        let anchor = TrustedAnchor::default();
+        for jsn in [0u64, 7, 15, 23] {
+            let (tx_hash, proof) = snap.prove_existence(jsn, &anchor).unwrap();
+            ledgerdb_accumulator::fam::FamTree::verify(
+                &snap.info().journal_root,
+                &anchor,
+                &tx_hash,
+                &proof,
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn unsealed_tail_falls_back_to_the_locked_path() {
+        let f = fixture(8);
+        let alice = f.alice.clone();
+        let registry = std::sync::Arc::new(ledgerdb_telemetry::Registry::new());
+        let mut ledger = f.ledger;
+        ledger.bind_metrics(&registry);
+        let shared = SharedLedger::new(ledger);
+        for i in 0..10u64 {
+            shared
+                .append(TxRequest::signed(&alice, vec![i as u8], vec!["c".into()], i))
+                .unwrap();
+        }
+        // 8 sealed, 2 unsealed. Sealed jsns hit the snapshot; the tail
+        // falls back but stays fully readable.
+        assert!(shared.get_tx(3).is_ok());
+        assert!(shared.get_tx(9).is_ok());
+        assert!(shared.receipt(9).unwrap().is_none(), "tail journal has no receipt yet");
+        // ListTx must see the tail journals too (snapshot can't → locked).
+        assert_eq!(shared.list_tx("c").len(), 10);
+        let text = ledgerdb_telemetry::render(&registry);
+        let hits = ledgerdb_telemetry::parse_value(&text, "ledger_snapshot_hit_total").unwrap();
+        let falls =
+            ledgerdb_telemetry::parse_value(&text, "ledger_snapshot_fallback_total").unwrap();
+        assert!(hits >= 1.0, "sealed reads should hit the snapshot:\n{text}");
+        assert!(falls >= 3.0, "tail reads should fall back:\n{text}");
+        // With the path disabled, everything still answers (locked).
+        shared.set_snapshot_reads(false);
+        assert!(!shared.snapshot_reads());
+        assert!(shared.get_tx(3).is_ok());
+        assert_eq!(shared.list_tx("c").len(), 10);
+    }
+
+    #[test]
+    fn occult_republishes_the_snapshot_immediately() {
+        use ledgerdb_crypto::multisig::MultiSignature;
+        let f = fixture(4);
+        let alice = f.alice.clone();
+        let (dba, regulator) = (f.dba.clone(), f.regulator.clone());
+        let shared = SharedLedger::new(f.ledger);
+        for i in 0..8u64 {
+            shared
+                .append(TxRequest::signed(&alice, vec![i as u8], vec![], i))
+                .unwrap();
+        }
+        assert!(shared.get_tx(2).is_ok());
+        let digest = shared.with_read(|l| l.occult_approval_digest(2));
+        let mut ms = MultiSignature::new();
+        ms.add(&dba, &digest);
+        ms.add(&regulator, &digest);
+        shared.occult(2, ms, OccultMode::Async).unwrap();
+        // The snapshot path (no lock) must already see the mark, even
+        // though no block sealed since.
+        let snap = shared.snapshot();
+        assert!(snap.is_occulted(2));
+        assert!(matches!(shared.get_tx(2), Err(LedgerError::Occulted(2))));
+        // Verification is unaffected (retained tx-hash, Protocol 2).
+        let anchor = TrustedAnchor::default();
+        let (tx_hash, proof) = snap.prove_existence(2, &anchor).unwrap();
+        snap.verify_existence(2, &tx_hash, &proof, &anchor, VerifyLevel::Client).unwrap();
     }
 
     #[test]

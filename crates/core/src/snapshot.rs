@@ -1,0 +1,446 @@
+//! The lock-free snapshot read path.
+//!
+//! The sealed prefix of the ledger is immutable by construction: sealed
+//! blocks never change, sealed fam epochs never mutate, and a journal's
+//! tx-hash is fixed at append time. [`ReadSnapshot`] captures exactly
+//! that prefix — sealed block headers and their journals, a frozen fam,
+//! the CM-Tree root, the member registry view, and the occult/purge
+//! state — so `GetProof`, `Verify`, `GetTx`, `ListTx` and admission
+//! checks can be served without touching the `RwLock<LedgerDb>` that a
+//! writer may be holding across an fsync.
+//!
+//! Lifecycle:
+//!
+//! * **Publish on seal** — [`crate::LedgerDb::try_seal_block`] publishes
+//!   a fresh snapshot the instant a block seals, while the write lock is
+//!   still held. At that point `pending` is empty, so the frozen fam
+//!   covers exactly the sealed journals and its root equals the new
+//!   block's `LedgerInfo::journal_root` — the snapshot is internally
+//!   consistent with the `LedgerInfo` it names, by construction.
+//! * **Republish on occult/purge** — occulting marks a journal before
+//!   the occult journal is appended; the mark must block retrieval
+//!   immediately, so `occult`/`occult_by_clue`/`purge` republish with a
+//!   fresh occult/purge view over the *same* segments and fam (cheap:
+//!   Arc clones plus one bitmap copy).
+//! * **Unsealed-tail fallback** — queries that reach past the sealed
+//!   prefix (a jsn not yet sealed, a `ListTx` while unsealed journals
+//!   exist) fall back to the locked path; hit/fallback counters record
+//!   which way each read went.
+//!
+//! Segments are per-block `Arc`s, so each publish costs O(#blocks)
+//! pointer copies plus one new segment — history is shared, never
+//! recopied.
+
+use crate::ledger::LedgerDb;
+use crate::member::MemberRegistry;
+use crate::metrics::CoreMetrics;
+use crate::types::{Block, Journal, LedgerInfo, Receipt, TxRequest, VerifyLevel};
+use crate::LedgerError;
+use ledgerdb_accumulator::fam::{FamProof, FamTree, TrustedAnchor};
+use ledgerdb_clue::cm_tree::CmRoot;
+use ledgerdb_crypto::digest::Digest;
+use ledgerdb_crypto::keys::{KeyPair, PublicKey};
+use ledgerdb_crypto::sync::ArcCell;
+use ledgerdb_storage::occult_index::OccultBits;
+use ledgerdb_storage::stream::StreamStore;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One sealed block and everything needed to serve reads over it.
+pub struct SealedSegment {
+    /// The sealed block header (carries the `LedgerInfo` and tx-hashes).
+    pub block: Block,
+    /// The block's journals, indexed by `jsn - block.first_jsn`.
+    pub journals: Vec<Journal>,
+    /// Clue → jsns recorded within this block (append order).
+    pub clues: BTreeMap<String, Vec<u64>>,
+}
+
+/// An immutable, internally consistent view of the sealed ledger prefix.
+///
+/// Everything a snapshot answers is answered *as of* the last seal (or
+/// the last occult/purge republish for the retrieval-blocking state):
+/// proofs produced here verify against [`ReadSnapshot::info`], the
+/// `LedgerInfo` of the newest sealed block — never against a root that
+/// is mid-mutation.
+pub struct ReadSnapshot {
+    seq: u64,
+    published: Instant,
+    id: Digest,
+    fam_delta: u32,
+    lsp_keys: KeyPair,
+    registry: MemberRegistry,
+    segments: Vec<Arc<SealedSegment>>,
+    /// Frozen fam covering exactly the sealed journals. `None` when the
+    /// ledger had unsealed journals at capture time (possible only for
+    /// the initial snapshot of a recovered ledger with a trailing
+    /// unsealed tail) — proofs then fall back to the locked path until
+    /// the next seal.
+    fam: Option<Arc<FamTree>>,
+    /// The newest sealed block's `LedgerInfo` (zero digests pre-seal).
+    info: LedgerInfo,
+    anchor: TrustedAnchor,
+    cm: CmRoot,
+    journal_count: u64,
+    occult: OccultBits,
+    purge_to: u64,
+    store: Arc<dyn StreamStore>,
+    metrics: CoreMetrics,
+}
+
+impl ReadSnapshot {
+    /// Capture the sealed prefix of `ledger`, reusing `prev`'s segments
+    /// (and its frozen fam when the prefix didn't grow).
+    pub(crate) fn build(ledger: &LedgerDb, prev: Option<&Arc<ReadSnapshot>>) -> ReadSnapshot {
+        let blocks = &ledger.blocks;
+        let mut segments: Vec<Arc<SealedSegment>> = Vec::with_capacity(blocks.len());
+        if let Some(prev) = prev {
+            let reuse = prev.segments.len().min(blocks.len());
+            segments.extend(prev.segments[..reuse].iter().cloned());
+        }
+        while segments.len() < blocks.len() {
+            let block = blocks[segments.len()].clone();
+            let lo = block.first_jsn as usize;
+            let hi = lo + block.journal_count as usize;
+            let journals: Vec<Journal> = ledger.journals[lo..hi].to_vec();
+            let mut clues: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+            for journal in &journals {
+                for clue in &journal.clues {
+                    clues.entry(clue.clone()).or_default().push(journal.jsn);
+                }
+            }
+            segments.push(Arc::new(SealedSegment { block, journals, clues }));
+        }
+        let journal_count = segments
+            .last()
+            .map(|s| s.block.first_jsn + s.block.journal_count)
+            .unwrap_or(0);
+        // The frozen fam is only consistent with `info` when it covers
+        // exactly the sealed journals. At publish-on-seal time `pending`
+        // is empty so this always holds; reuse the previous freeze on
+        // occult/purge republishes where the prefix didn't move.
+        let fam = if ledger.fam.journal_count() == journal_count {
+            match prev {
+                Some(p) if p.journal_count == journal_count && p.fam.is_some() => p.fam.clone(),
+                _ => Some(Arc::new(ledger.fam.freeze())),
+            }
+        } else {
+            match prev {
+                Some(p) if p.journal_count == journal_count => p.fam.clone(),
+                _ => None,
+            }
+        };
+        let info = segments.last().map(|s| s.block.info).unwrap_or(LedgerInfo {
+            journal_root: Digest::ZERO,
+            clue_root: Digest::ZERO,
+            state_root: Digest::ZERO,
+        });
+        ReadSnapshot {
+            seq: prev.map(|p| p.seq + 1).unwrap_or(0),
+            published: Instant::now(),
+            id: ledger.id,
+            fam_delta: ledger.config.fam_delta,
+            lsp_keys: ledger.lsp_keys.clone(),
+            registry: ledger.registry.clone(),
+            segments,
+            fam,
+            info,
+            anchor: ledger.fam.anchor(),
+            cm: ledger.cm_tree.snapshot_root(),
+            journal_count,
+            occult: ledger.occult_index.snapshot(),
+            purge_to: ledger.pseudo_genesis.as_ref().map(|g| g.purge_to).unwrap_or(0),
+            store: Arc::clone(&ledger.store),
+            metrics: ledger.metrics.clone(),
+        }
+    }
+
+    /// Publication sequence number (monotonic per ledger).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Wall time since this snapshot was published.
+    pub fn age(&self) -> std::time::Duration {
+        self.published.elapsed()
+    }
+
+    /// The ledger's identity digest.
+    pub fn id(&self) -> Digest {
+        self.id
+    }
+
+    /// The LSP public key receipts are signed with.
+    pub fn lsp_public_key(&self) -> &PublicKey {
+        self.lsp_keys.public()
+    }
+
+    /// The fam fractal height δ.
+    pub fn fam_delta(&self) -> u32 {
+        self.fam_delta
+    }
+
+    /// Sealed journal count — the snapshot's coverage boundary.
+    pub fn journal_count(&self) -> u64 {
+        self.journal_count
+    }
+
+    /// Sealed block count.
+    pub fn block_count(&self) -> u64 {
+        self.segments.len() as u64
+    }
+
+    /// The newest sealed block's `LedgerInfo` — the roots every proof
+    /// served from this snapshot verifies against.
+    pub fn info(&self) -> LedgerInfo {
+        self.info
+    }
+
+    /// The frozen fam commitment (equals `info().journal_root` whenever
+    /// the snapshot can prove; see [`ReadSnapshot::can_prove`]).
+    pub fn journal_root(&self) -> Digest {
+        self.fam.as_ref().map(|f| f.root()).unwrap_or(self.info.journal_root)
+    }
+
+    /// The frozen CM-Tree summary.
+    pub fn cm_root(&self) -> CmRoot {
+        self.cm
+    }
+
+    /// The trusted anchor as of capture time.
+    pub fn anchor(&self) -> &TrustedAnchor {
+        &self.anchor
+    }
+
+    /// Journals purged below this jsn (0 when never purged).
+    pub fn purge_to(&self) -> u64 {
+        self.purge_to
+    }
+
+    /// Occulted as of the capture point?
+    pub fn is_occulted(&self, jsn: u64) -> bool {
+        self.occult.is_marked(jsn)
+    }
+
+    /// Does the sealed prefix contain `jsn`?
+    pub fn covers(&self, jsn: u64) -> bool {
+        jsn < self.journal_count
+    }
+
+    /// Can this snapshot produce and client-verify fam proofs? False
+    /// only for the initial snapshot of a ledger captured with an
+    /// unsealed tail.
+    pub fn can_prove(&self) -> bool {
+        self.fam.is_some()
+    }
+
+    fn segment_for(&self, jsn: u64) -> Option<&SealedSegment> {
+        let idx = self
+            .segments
+            .partition_point(|s| s.block.first_jsn + s.block.journal_count <= jsn);
+        self.segments.get(idx).map(Arc::as_ref)
+    }
+
+    fn journal(&self, jsn: u64) -> Result<&Journal, LedgerError> {
+        self.segment_for(jsn)
+            .and_then(|s| s.journals.get((jsn - s.block.first_jsn) as usize))
+            .ok_or(LedgerError::UnknownJournal(jsn))
+    }
+
+    /// Fetch a journal record, enforcing the frozen occult/purge view
+    /// (same semantics as [`LedgerDb::get_tx`]).
+    pub fn get_tx(&self, jsn: u64) -> Result<&Journal, LedgerError> {
+        if self.occult.is_marked(jsn) {
+            return Err(LedgerError::Occulted(jsn));
+        }
+        if jsn < self.purge_to {
+            return Err(LedgerError::Purged(jsn));
+        }
+        self.journal(jsn)
+    }
+
+    /// Fetch a journal's payload from the (lock-free) stream store.
+    pub fn get_payload(&self, jsn: u64) -> Result<Vec<u8>, LedgerError> {
+        let journal = self.get_tx(jsn)?;
+        Ok(self.store.read(journal.stream_index)?)
+    }
+
+    /// jsns recorded under `clue` within the sealed prefix.
+    pub fn list_tx(&self, clue: &str) -> Vec<u64> {
+        let mut out = Vec::new();
+        for segment in &self.segments {
+            if let Some(jsns) = segment.clues.get(clue) {
+                out.extend_from_slice(jsns);
+            }
+        }
+        out
+    }
+
+    /// The receipt π_s for a sealed journal, signed on demand with the
+    /// snapshot's LSP key — byte-identical to the locked path's receipt
+    /// (deterministic ECDSA over identical inputs).
+    pub fn receipt(&self, jsn: u64) -> Result<Option<Receipt>, LedgerError> {
+        let Some(segment) = self.segment_for(jsn) else {
+            return Err(LedgerError::UnknownJournal(jsn));
+        };
+        let journal = &segment.journals[(jsn - segment.block.first_jsn) as usize];
+        let block_hash = segment.block.hash();
+        let tx_hash = segment.block.tx_hashes[(jsn - segment.block.first_jsn) as usize];
+        let msg = Receipt::signing_digest(
+            jsn,
+            &journal.request_hash,
+            &tx_hash,
+            &block_hash,
+            journal.timestamp,
+        );
+        Ok(Some(Receipt {
+            jsn,
+            request_hash: journal.request_hash,
+            tx_hash,
+            block_hash,
+            timestamp: journal.timestamp,
+            lsp_pk: *self.lsp_keys.public(),
+            signature: self.lsp_keys.sign(&msg),
+        }))
+    }
+
+    /// Produce an existence proof against the frozen fam. The proof
+    /// verifies against `info().journal_root` — the `LedgerInfo` this
+    /// snapshot names — regardless of how far the live ledger has moved.
+    pub fn prove_existence(
+        &self,
+        jsn: u64,
+        anchor: &TrustedAnchor,
+    ) -> Result<(Digest, FamProof), LedgerError> {
+        let _span = self.metrics.proof_seconds.time("ledger_proof");
+        self.metrics.proofs.inc();
+        let fam = self.fam.as_deref().ok_or(LedgerError::UnknownJournal(jsn))?;
+        let segment = self.segment_for(jsn).ok_or(LedgerError::UnknownJournal(jsn))?;
+        let tx_hash = segment.block.tx_hashes[(jsn - segment.block.first_jsn) as usize];
+        let proof = fam.prove(jsn, anchor)?;
+        Ok((tx_hash, proof))
+    }
+
+    /// Verify a journal's existence against the frozen state — same
+    /// semantics as [`LedgerDb::verify_existence`], with the client
+    /// level checking against this snapshot's root.
+    pub fn verify_existence(
+        &self,
+        jsn: u64,
+        tx_hash: &Digest,
+        proof: &FamProof,
+        anchor: &TrustedAnchor,
+        level: VerifyLevel,
+    ) -> Result<(), LedgerError> {
+        let _span = self.metrics.verify_seconds.time("ledger_verify");
+        self.metrics.verifies.inc();
+        match level {
+            VerifyLevel::Server => {
+                let journal = self.journal(jsn)?;
+                if journal.tx_hash() == *tx_hash {
+                    Ok(())
+                } else {
+                    Err(LedgerError::Accumulator(
+                        ledgerdb_accumulator::AccumulatorError::ProofMismatch,
+                    ))
+                }
+            }
+            VerifyLevel::Client => {
+                let fam = self.fam.as_deref().ok_or(LedgerError::UnknownJournal(jsn))?;
+                FamTree::verify(&fam.root(), anchor, tx_hash, proof)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Admission check (membership + π_c) against the frozen registry
+    /// view — no lock at all. A member registered after the capture
+    /// point is unknown here; callers fall back to the locked registry
+    /// for that case.
+    pub fn verify_request(&self, request: &TxRequest) -> Result<(), LedgerError> {
+        if !self.registry.is_registered(&request.client_pk) {
+            return Err(LedgerError::UnknownMember);
+        }
+        if !request.verify_signature() {
+            return Err(LedgerError::BadClientSignature);
+        }
+        Ok(())
+    }
+
+    /// Clone sealed blocks `[from_height, from_height + max)`.
+    pub fn blocks_from(&self, from_height: u64, max: u64) -> Vec<Block> {
+        let lo = (from_height as usize).min(self.segments.len());
+        let hi = lo.saturating_add(max as usize).min(self.segments.len());
+        self.segments[lo..hi].iter().map(|s| s.block.clone()).collect()
+    }
+}
+
+/// The shared state connecting a `LedgerDb` (publisher) to its readers:
+/// the current snapshot behind an [`ArcCell`], a lock-free live journal
+/// counter (so `ListTx` can tell whether an unsealed tail exists without
+/// taking the lock), and the A/B toggle for the snapshot read path.
+pub struct SnapshotHub {
+    cell: ArcCell<ReadSnapshot>,
+    live_journals: AtomicU64,
+    snapshot_reads: AtomicBool,
+}
+
+impl SnapshotHub {
+    pub(crate) fn new(initial: ReadSnapshot) -> Self {
+        SnapshotHub {
+            cell: ArcCell::new(Arc::new(initial)),
+            live_journals: AtomicU64::new(0),
+            snapshot_reads: AtomicBool::new(true),
+        }
+    }
+
+    /// The current snapshot (one Arc clone, never the ledger lock).
+    pub fn load(&self) -> Arc<ReadSnapshot> {
+        self.cell.load()
+    }
+
+    /// Publish a fresh capture of `ledger`'s sealed prefix. Called with
+    /// the ledger write lock held; the cell swap itself is lock-free
+    /// from the readers' perspective.
+    pub(crate) fn publish(&self, ledger: &LedgerDb) {
+        let prev = self.cell.load();
+        let next = ReadSnapshot::build(ledger, Some(&prev));
+        ledger.metrics.snapshot_publishes.inc();
+        ledger.metrics.snapshot_age_ms.set(0);
+        self.cell.store(Arc::new(next));
+    }
+
+    /// Record the live (sealed + unsealed) journal count.
+    pub(crate) fn note_journals(&self, count: u64) {
+        self.live_journals.store(count, Ordering::Release);
+    }
+
+    /// Live journal count as last reported by the kernel.
+    pub fn live_journals(&self) -> u64 {
+        self.live_journals.load(Ordering::Acquire)
+    }
+
+    /// Is the snapshot read path enabled? (A/B toggle; on by default.)
+    pub fn reads_enabled(&self) -> bool {
+        self.snapshot_reads.load(Ordering::Relaxed)
+    }
+
+    /// Toggle the snapshot read path (false forces every read through
+    /// the locked path — the benchmark baseline).
+    pub fn set_reads_enabled(&self, on: bool) {
+        self.snapshot_reads.store(on, Ordering::Relaxed);
+    }
+
+    /// Count a read served from the snapshot and refresh the age gauge.
+    pub(crate) fn note_hit(&self, snap: &ReadSnapshot) {
+        snap.metrics.snapshot_hits.inc();
+        snap.metrics.snapshot_age_ms.set(snap.age().as_millis() as i64);
+    }
+
+    /// Count a read that had to fall back to the locked path.
+    pub(crate) fn note_fallback(&self, snap: &ReadSnapshot) {
+        snap.metrics.snapshot_fallbacks.inc();
+    }
+}

@@ -9,7 +9,7 @@
 //! that survive a panic) matches `parking_lot` semantics closely enough.
 
 use std::sync::{
-    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
+    Arc, Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
 };
 
 /// A reader-writer lock whose guards are returned directly.
@@ -60,6 +60,50 @@ impl<T> Mutex<T> {
     }
 }
 
+/// An `ArcSwap`-shaped cell: a slot holding an `Arc<T>` that readers
+/// `load()` and writers `store()` atomically.
+///
+/// Built over `RwLock<Arc<T>>` so it stays std-only. The critical
+/// section on either side is a single pointer clone or swap — a few
+/// nanoseconds — so readers never wait behind whatever long-lived lock
+/// protects the data the `Arc` was snapshotted from. That property is
+/// what the snapshot read path relies on: publishing a new ledger
+/// snapshot happens while the ledger write lock is held (and may be
+/// mid-fsync), but `store()` here touches only the cell, so concurrent
+/// `load()`ers at worst contend for the pointer swap, never the fsync.
+pub struct ArcCell<T>(RwLock<Arc<T>>);
+
+impl<T> ArcCell<T> {
+    pub fn new(value: Arc<T>) -> Self {
+        ArcCell(RwLock::new(value))
+    }
+
+    /// Returns the current value. The cell's lock is held only for the
+    /// duration of one `Arc::clone`.
+    pub fn load(&self) -> Arc<T> {
+        Arc::clone(&self.0.read())
+    }
+
+    /// Replaces the current value. The cell's lock is held only for the
+    /// pointer swap; the old value's drop (if this was the last
+    /// reference) happens after the lock is released.
+    pub fn store(&self, value: Arc<T>) {
+        let old = std::mem::replace(&mut *self.0.write(), value);
+        drop(old);
+    }
+
+    /// Replaces the current value, returning the previous one.
+    pub fn swap(&self, value: Arc<T>) -> Arc<T> {
+        std::mem::replace(&mut *self.0.write(), value)
+    }
+}
+
+impl<T> std::fmt::Debug for ArcCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ArcCell(..)")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,5 +134,47 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 400);
+    }
+
+    #[test]
+    fn arc_cell_load_store_swap() {
+        let cell = ArcCell::new(Arc::new(1u64));
+        assert_eq!(*cell.load(), 1);
+        cell.store(Arc::new(2));
+        assert_eq!(*cell.load(), 2);
+        let old = cell.swap(Arc::new(3));
+        assert_eq!(*old, 2);
+        assert_eq!(*cell.load(), 3);
+    }
+
+    #[test]
+    fn arc_cell_readers_race_a_writer() {
+        // Readers must always observe some complete published value,
+        // and loaded Arcs stay valid after the cell moves on.
+        let cell = Arc::new(ArcCell::new(Arc::new(0u64)));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let seen = *cell.load();
+                        assert!(seen >= last, "published values went backwards");
+                        last = seen;
+                    }
+                    last
+                })
+            })
+            .collect();
+        for v in 1..=1000u64 {
+            cell.store(Arc::new(v));
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() <= 1000);
+        }
+        assert_eq!(*cell.load(), 1000);
     }
 }

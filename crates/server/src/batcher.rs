@@ -85,7 +85,37 @@ struct Job {
     committed: bool,
     /// When the job entered the queue (for `batch_queue_wait_seconds`).
     enqueued: Instant,
-    reply: mpsc::SyncSender<Result<CommitOutcome, ErrorFrame>>,
+    /// `Some` until the job is answered. [`Job::settle`] is the only
+    /// path that replies and the only path that decrements the
+    /// queue-depth gauge, so both happen exactly once per job.
+    reply: Option<mpsc::SyncSender<Result<CommitOutcome, ErrorFrame>>>,
+    metrics: BatchMetrics,
+}
+
+impl Job {
+    /// Answer the waiting submitter (at most once) and take the job off
+    /// the queue-depth gauge. The receiver may have given up
+    /// (connection died): a failed send is ignored — the append is
+    /// durable regardless, which is exactly the at-least-once contract.
+    fn settle(&mut self, outcome: Result<CommitOutcome, ErrorFrame>) {
+        if let Some(reply) = self.reply.take() {
+            self.metrics.queue_depth.add(-1);
+            let _ = reply.send(outcome);
+        }
+    }
+}
+
+impl Drop for Job {
+    /// A job dropped unanswered — committer panic, or a queue torn down
+    /// with jobs still buffered — must neither strand its submitter on
+    /// `recv` nor leak the queue-depth gauge: settle with a typed
+    /// rejection on the way out.
+    fn drop(&mut self) {
+        self.settle(Err(ErrorFrame {
+            code: ErrorCode::ShuttingDown,
+            detail: "group committer dropped the job before answering".into(),
+        }));
+    }
 }
 
 /// Handle to the committer thread. Cloneable submission via
@@ -159,12 +189,24 @@ impl GroupCommitter {
         };
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
         self.metrics.queue_depth.add(1);
-        let job = Job { request, committed, enqueued: Instant::now(), reply: reply_tx };
-        sender.send(job).map_err(|_| {
-            self.metrics.queue_depth.add(-1);
-            shutting_down()
-        })?;
-        reply_rx.recv().map_err(|_| shutting_down())?
+        let job = Job {
+            request,
+            committed,
+            enqueued: Instant::now(),
+            reply: Some(reply_tx),
+            metrics: self.metrics.clone(),
+        };
+        if sender.send(job).is_err() {
+            // Committer gone: the rejected Job settled itself (gauge
+            // decrement included) when the failed send dropped it.
+            return Err(shutting_down());
+        }
+        // Drop our sender clone *before* blocking on the reply: a
+        // waiter must not keep the channel open, or a steady stream of
+        // submitters racing `shutdown()` could hold its drain (which
+        // runs until every sender is gone) open indefinitely.
+        drop(sender);
+        reply_rx.recv().unwrap_or_else(|_| Err(shutting_down()))
     }
 
     /// Stop accepting new jobs, drain everything already queued (each
@@ -225,14 +267,12 @@ fn committer_loop(
     }
 }
 
-/// Make one batch durable and answer every job. Receivers may have
-/// given up (connection died): failed sends are ignored — the append is
-/// durable regardless, which is exactly the at-least-once contract.
-fn commit_batch(shared: &SharedLedger, jobs: Vec<Job>, metrics: &BatchMetrics) {
+/// Make one batch durable and answer every job (via [`Job::settle`], so
+/// each waiter is answered exactly once even on the error paths).
+fn commit_batch(shared: &SharedLedger, mut jobs: Vec<Job>, metrics: &BatchMetrics) {
     metrics.windows.inc();
     metrics.batch_size.observe(jobs.len() as u64);
     for job in &jobs {
-        metrics.queue_depth.add(-1);
         metrics.queue_wait_seconds.observe_duration(job.enqueued.elapsed());
     }
     let _commit_span = metrics.commit_seconds.time("batch_commit");
@@ -243,8 +283,8 @@ fn commit_batch(shared: &SharedLedger, jobs: Vec<Job>, metrics: &BatchMetrics) {
         Err(e) => {
             // Batch-wide failure: nothing was acked, nothing is promised.
             let frame = ErrorFrame::from_ledger_error(&e);
-            for job in jobs {
-                let _ = job.reply.send(Err(frame.clone()));
+            for job in &mut jobs {
+                job.settle(Err(frame.clone()));
             }
             return;
         }
@@ -268,7 +308,7 @@ fn commit_batch(shared: &SharedLedger, jobs: Vec<Job>, metrics: &BatchMetrics) {
         None
     };
 
-    for (job, result) in jobs.into_iter().zip(results) {
+    for (mut job, result) in jobs.into_iter().zip(results) {
         let outcome = match result {
             Err(e) => Err(ErrorFrame::from_ledger_error(&e)),
             Ok(ack) if !job.committed => {
@@ -286,7 +326,7 @@ fn commit_batch(shared: &SharedLedger, jobs: Vec<Job>, metrics: &BatchMetrics) {
                 },
             },
         };
-        let _ = job.reply.send(outcome);
+        job.settle(outcome);
     }
 }
 
@@ -404,18 +444,27 @@ mod tests {
         let shared = SharedLedger::new(ledger);
         let fsyncs_before = telemetry.counter("storage_fsync_total").get();
 
+        // Pre-sign every request and admit proxy-trusted: this test
+        // measures how fsync barriers scale with commit windows, so the
+        // slow client-side ECDSA (several ms per op in debug on a small
+        // box) must not pace job arrival — it would stretch the
+        // submission span across extra windows and turn the scaling
+        // assertion into a CPU-speed assertion.
+        let appends = 24u64;
+        let requests: Vec<TxRequest> = (0..appends)
+            .map(|i| TxRequest::signed(&alice, format!("t-{i}").into_bytes(), vec![], i))
+            .collect();
         let committer = GroupCommitter::start_with(
             shared.clone(),
             BatchConfig { max_batch: 8, max_delay: Duration::from_millis(10) },
-            Admission::Verify,
+            Admission::ProxyTrusted,
             &telemetry,
         );
-        let appends = 24u64;
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..appends)
-                .map(|i| {
+            let handles: Vec<_> = requests
+                .into_iter()
+                .map(|req| {
                     let committer = &committer;
-                    let req = TxRequest::signed(&alice, format!("t-{i}").into_bytes(), vec![], i);
                     scope.spawn(move || committer.submit(req, false).unwrap())
                 })
                 .collect();
@@ -442,6 +491,64 @@ mod tests {
         assert_eq!(parse_value(&text, "batch_queue_depth"), Some(0.0));
         assert_eq!(shared.journal_count(), appends);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drain_race_rejects_typed_and_never_hangs() {
+        use ledgerdb_telemetry::parse_value;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let telemetry = Registry::new();
+        let (shared, alice) = shared(16);
+        let acked = AtomicU64::new(0);
+        // Several rounds with submitters mid-flight when shutdown lands,
+        // to hit the clone-sender/drop-sender window from both sides.
+        for round in 0..6u64 {
+            let committer = GroupCommitter::start_with(
+                shared.clone(),
+                BatchConfig { max_batch: 4, max_delay: Duration::from_micros(200) },
+                Admission::Verify,
+                &telemetry,
+            );
+            std::thread::scope(|scope| {
+                for t in 0..4u64 {
+                    let committer = &committer;
+                    let alice = &alice;
+                    let acked = &acked;
+                    scope.spawn(move || {
+                        for i in 0.. {
+                            let req = TxRequest::signed(
+                                alice,
+                                format!("race-{round}-{t}-{i}").into_bytes(),
+                                vec![],
+                                round << 32 | t << 16 | i,
+                            );
+                            // Every submit must resolve: a durable ack
+                            // or a typed shutdown — never a hang, never
+                            // an untyped failure.
+                            match committer.submit(req, false) {
+                                Ok(CommitOutcome::Appended { .. }) => {
+                                    acked.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Ok(other) => panic!("plain append acked as {other:?}"),
+                                Err(frame) => {
+                                    assert_eq!(frame.code, ErrorCode::ShuttingDown, "{frame}");
+                                    return;
+                                }
+                            }
+                        }
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(1 + round % 3));
+                committer.shutdown();
+            });
+        }
+        // Exactly the acked jobs are in the ledger: nothing acked was
+        // lost, nothing unacked slipped in.
+        assert_eq!(shared.journal_count(), acked.load(Ordering::Relaxed));
+        // No job is still counted as queued once every round drained.
+        let text = ledgerdb_telemetry::render(&telemetry);
+        assert_eq!(parse_value(&text, "batch_queue_depth"), Some(0.0), "{text}");
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! ledgerd --dir /var/lib/ledgerdb --bind 127.0.0.1:7878 \
 //!         [--workers 4] [--fsync always|never|every-N] \
 //!         [--batch-window-us 150] [--batch-max 64] [--no-batch] \
-//!         [--proxy-admission] [--block-size 16] [--seed demo] \
+//!         [--proxy-admission] [--no-snapshot-reads] \
+//!         [--block-size 16] [--seed demo] \
 //!         [--metrics-dump PATH] [--metrics-interval-ms 1000] \
 //!         [--slow-op-ms N]
 //! ```
@@ -40,6 +41,7 @@ fn usage() -> ! {
         "usage: ledgerd --dir DIR [--bind ADDR] [--workers N] \
          [--fsync always|never|every-N] [--batch-window-us US] \
          [--batch-max N] [--no-batch] [--proxy-admission] \
+         [--no-snapshot-reads] \
          [--block-size N] [--seed SEED] [--metrics-dump PATH] \
          [--metrics-interval-ms MS] [--slow-op-ms MS]"
     );
@@ -53,6 +55,7 @@ struct Args {
     fsync: FsyncPolicy,
     batch: Option<BatchConfig>,
     admission: Admission,
+    snapshot_reads: bool,
     block_size: u64,
     seed: String,
     metrics_dump: Option<PathBuf>,
@@ -68,6 +71,7 @@ fn parse_args() -> Args {
         fsync: FsyncPolicy::Always,
         batch: Some(BatchConfig::default()),
         admission: Admission::Verify,
+        snapshot_reads: true,
         block_size: 16,
         seed: "demo".into(),
         metrics_dump: None,
@@ -109,6 +113,9 @@ fn parse_args() -> Args {
             // π_c verified by an authenticated proxy tier (Fig 1); the
             // server enforces membership only.
             "--proxy-admission" => args.admission = Admission::ProxyTrusted,
+            // Force every read through the ledger lock — the A/B
+            // baseline against the lock-free snapshot path.
+            "--no-snapshot-reads" => args.snapshot_reads = false,
             "--block-size" => args.block_size = parse_num(&value("--block-size")),
             "--seed" => args.seed = value("--seed"),
             "--metrics-dump" => args.metrics_dump = Some(PathBuf::from(value("--metrics-dump"))),
@@ -186,6 +193,7 @@ fn main() {
         workers: args.workers,
         batch: args.batch,
         admission: args.admission,
+        snapshot_reads: args.snapshot_reads,
         ..ServerConfig::default()
     };
     let server = Ledgerd::start(shared, server_config).unwrap_or_else(|e| {

@@ -45,6 +45,10 @@ pub enum FrameError {
     BadVersion(u8),
     /// The length prefix exceeded the frame bound.
     Oversized { len: u32, max: u32 },
+    /// An outgoing body too large for the protocol's `u32` length
+    /// prefix. Caught before any byte is written: silently truncating
+    /// the prefix would desync the stream for every later frame.
+    FrameTooLarge { len: u64 },
 }
 
 impl fmt::Display for FrameError {
@@ -55,6 +59,9 @@ impl fmt::Display for FrameError {
             FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
             FrameError::Oversized { len, max } => {
                 write!(f, "frame of {len} bytes exceeds the {max}-byte bound")
+            }
+            FrameError::FrameTooLarge { len } => {
+                write!(f, "body of {len} bytes exceeds the u32 frame length prefix")
             }
         }
     }
@@ -80,15 +87,34 @@ impl FrameError {
     }
 }
 
+/// Validate that a body fits the protocol's `u32` length prefix.
+/// Factored out so the overflow guard is testable without materializing
+/// a >4 GiB body.
+pub(crate) fn check_frame_len(body_len: usize) -> Result<u32, FrameError> {
+    u32::try_from(body_len).map_err(|_| FrameError::FrameTooLarge { len: body_len as u64 })
+}
+
 /// Write one frame: version byte, big-endian length, body.
-pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+///
+/// A body over `u32::MAX` bytes is [`FrameError::FrameTooLarge`], and
+/// nothing is written — a truncated length prefix would desync every
+/// subsequent frame on the stream.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> Result<(), FrameError> {
+    let len = check_frame_len(body.len())?;
     let mut frame = Vec::with_capacity(5 + body.len());
     frame.push(PROTOCOL_VERSION);
-    frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    frame.extend_from_slice(&len.to_be_bytes());
     frame.extend_from_slice(body);
     w.write_all(&frame)?;
-    w.flush()
+    w.flush()?;
+    Ok(())
 }
+
+/// Largest single allocation/read step while receiving a frame body.
+/// The length prefix is attacker-controlled: growing the buffer only as
+/// bytes actually arrive means a hostile header can't force a max-frame
+/// allocation up front.
+const READ_CHUNK: usize = 64 * 1024;
 
 /// Read one frame body, enforcing the version byte and the `max` bound.
 ///
@@ -113,8 +139,14 @@ pub fn read_frame(r: &mut impl Read, max: u32) -> Result<Vec<u8>, FrameError> {
     if len > max {
         return Err(FrameError::Oversized { len, max });
     }
-    let mut body = vec![0u8; len as usize];
-    r.read_exact(&mut body)?;
+    let len = len as usize;
+    let mut body = Vec::with_capacity(len.min(READ_CHUNK));
+    while body.len() < len {
+        let take = (len - body.len()).min(READ_CHUNK);
+        let start = body.len();
+        body.resize(start + take, 0);
+        r.read_exact(&mut body[start..])?;
+    }
     Ok(body)
 }
 
@@ -514,6 +546,44 @@ mod tests {
         buf.truncate(buf.len() - 3);
         assert!(matches!(
             read_frame(&mut Cursor::new(&buf), DEFAULT_MAX_FRAME),
+            Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn over_u32_body_is_frame_too_large() {
+        // The length guard, exercised without a 4 GiB allocation.
+        let too_big = u32::MAX as usize + 1;
+        assert!(matches!(
+            check_frame_len(too_big),
+            Err(FrameError::FrameTooLarge { len }) if len == too_big as u64
+        ));
+        assert!(matches!(check_frame_len(u32::MAX as usize), Ok(u32::MAX)));
+        assert!(matches!(check_frame_len(0), Ok(0)));
+    }
+
+    #[test]
+    fn multi_chunk_body_round_trips() {
+        // A body spanning several READ_CHUNK steps survives the
+        // incremental read intact.
+        let body: Vec<u8> = (0..READ_CHUNK * 3 + 17).map(|i| (i % 251) as u8).collect();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &body).unwrap();
+        let got = read_frame(&mut Cursor::new(&buf), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(got, body);
+    }
+
+    #[test]
+    fn hostile_length_prefix_reads_only_delivered_bytes() {
+        // A header claiming a large in-bound body, with only a few bytes
+        // behind it: the incremental reader must stop at the first short
+        // read instead of trusting the prefix.
+        let claimed: u32 = DEFAULT_MAX_FRAME;
+        let mut frame = vec![PROTOCOL_VERSION];
+        frame.extend_from_slice(&claimed.to_be_bytes());
+        frame.extend_from_slice(&[0xAB; 100]);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&frame), DEFAULT_MAX_FRAME),
             Err(FrameError::Io(_))
         ));
     }

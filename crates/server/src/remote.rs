@@ -103,7 +103,7 @@ impl RemoteLedger {
         stream
             .set_read_timeout(Some(Duration::from_secs(30)))
             .map_err(RemoteError::from)?;
-        write_frame(&mut stream, &Request::Hello.to_wire()).map_err(FrameError::from)?;
+        write_frame(&mut stream, &Request::Hello.to_wire())?;
         let body = read_frame(&mut stream, DEFAULT_MAX_FRAME)?;
         let info = match Response::from_wire(&body)? {
             Response::Hello(info) => info,
@@ -128,7 +128,7 @@ impl RemoteLedger {
     /// One request/response round trip. Error frames become
     /// [`RemoteError::Server`].
     fn call(&mut self, request: &Request) -> Result<Response, RemoteError> {
-        write_frame(&mut self.stream, &request.to_wire()).map_err(FrameError::from)?;
+        write_frame(&mut self.stream, &request.to_wire())?;
         let body = read_frame(&mut self.reader, self.max_frame)?;
         match Response::from_wire(&body)? {
             Response::Error(frame) => Err(RemoteError::Server(frame)),

@@ -62,6 +62,10 @@ pub struct ServerConfig {
     /// Where π_c is checked (see [`Admission`]). Defaults to verifying
     /// every request at the server.
     pub admission: Admission,
+    /// Serve sealed-prefix reads lock-free from the published
+    /// [`ledgerdb_core::ReadSnapshot`] (default). Disable to force every
+    /// read through the ledger lock — the A/B baseline for benchmarks.
+    pub snapshot_reads: bool,
     /// Telemetry sink for the server, its committer, and the `Stats`
     /// exposition. Defaults to the process-global registry; tests bind
     /// their own for isolation.
@@ -79,6 +83,7 @@ impl Default for ServerConfig {
             max_frame: DEFAULT_MAX_FRAME,
             batch: Some(BatchConfig::default()),
             admission: Admission::Verify,
+            snapshot_reads: true,
             registry: Registry::global().clone(),
         }
     }
@@ -107,6 +112,7 @@ impl Ledgerd {
     pub fn start(shared: SharedLedger, config: ServerConfig) -> io::Result<Ledgerd> {
         let listener = TcpListener::bind(&config.bind)?;
         let local_addr = listener.local_addr()?;
+        shared.set_snapshot_reads(config.snapshot_reads);
         let committer = config.batch.map(|batch| {
             GroupCommitter::start_with(shared.clone(), batch, config.admission, &config.registry)
         });
@@ -280,6 +286,8 @@ fn serve_connection(state: &ServerState, mut stream: TcpStream) {
                 );
                 return;
             }
+            // Write-side-only error; never produced by `read_frame`.
+            Err(FrameError::FrameTooLarge { .. }) => return,
             Err(FrameError::Io(_)) => return,
         };
         // +5: the version byte and length prefix of the frame header.

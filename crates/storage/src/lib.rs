@@ -25,7 +25,7 @@ pub mod survival;
 
 pub use fault::{Fault, FaultStore};
 pub use metrics::StoreMetrics;
-pub use occult_index::OccultIndex;
+pub use occult_index::{OccultBits, OccultIndex};
 pub use stream::{FileStreamStore, FsyncPolicy, MemoryStreamStore, StreamStore};
 pub use survival::SurvivalStream;
 

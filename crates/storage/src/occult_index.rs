@@ -23,9 +23,37 @@ struct Inner {
     marked: u64,
 }
 
+/// An immutable point-in-time copy of the occult bitmap, captured into
+/// read snapshots so retrieval blocking can be enforced without touching
+/// the live index's lock.
+#[derive(Clone, Debug, Default)]
+pub struct OccultBits {
+    bits: Vec<u64>,
+    marked: u64,
+}
+
+impl OccultBits {
+    /// Was `jsn` occulted as of the capture point?
+    pub fn is_marked(&self, jsn: u64) -> bool {
+        let word = (jsn / 64) as usize;
+        self.bits.get(word).map(|w| w & (1 << (jsn % 64)) != 0).unwrap_or(false)
+    }
+
+    /// Occulted journal count as of the capture point.
+    pub fn marked_count(&self) -> u64 {
+        self.marked
+    }
+}
+
 impl OccultIndex {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Copy the bitmap out for a read snapshot (one word per 64 jsns).
+    pub fn snapshot(&self) -> OccultBits {
+        let inner = self.inner.read();
+        OccultBits { bits: inner.bits.clone(), marked: inner.marked }
     }
 
     /// Mark `jsn` occulted. Returns true when newly marked.
@@ -131,6 +159,18 @@ mod tests {
         let second = idx.reorganize(30);
         assert_eq!(second, vec![20]);
         assert_eq!(idx.erase_anchor(), 30);
+    }
+
+    #[test]
+    fn snapshot_is_a_frozen_view() {
+        let idx = OccultIndex::new();
+        idx.mark(7);
+        let frozen = idx.snapshot();
+        idx.mark(8);
+        assert!(frozen.is_marked(7));
+        assert!(!frozen.is_marked(8), "snapshot must not see later marks");
+        assert_eq!(frozen.marked_count(), 1);
+        assert_eq!(idx.marked_count(), 2);
     }
 
     #[test]

@@ -16,6 +16,9 @@ cargo test -q
 echo "== recovery torture (release, seeded fault sweep) =="
 cargo test --release -q --test torture_recovery
 
+echo "== snapshot torture (release, readers vs occult/purge writer) =="
+cargo test --release -q --test torture_snapshot
+
 echo "== server smoke (ledgerd + remote verify + kill -9 + recovery) =="
 SMOKE_DIR="$(mktemp -d "${TMPDIR:-/tmp}/ledgerd-smoke.XXXXXX")"
 SMOKE_LOG="$SMOKE_DIR/ledgerd.log"
@@ -55,6 +58,18 @@ echo "== telemetry (Stats over the wire, counters consistent) =="
   --zero server_error_frames_total \
   --zero ledger_durability_error \
   --zero batch_queue_depth
+
+echo "== read mix (snapshot path serves concurrent proof reads) =="
+# Pound GetProof/GetTx/Verify from 2 readers while 1 writer appends,
+# then assert the lock-free snapshot path actually served: the hit
+# counter must move and the hostile-input sweep's error counter must
+# not.
+./target/release/loadgen --read-mix --addr "$ADDR" --seed verify-smoke \
+  --readers 2 --read-secs 1
+./target/release/ledgerd-stats --addr "$ADDR" --quiet \
+  --min ledger_snapshot_publish_total=1 \
+  --min ledger_snapshot_hit_total=1 \
+  --zero server_error_frames_total
 
 # Kill the server without ceremony; every acked append must survive.
 kill -9 "$LEDGERD_PID"

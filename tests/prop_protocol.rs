@@ -76,6 +76,56 @@ fn truncated_frames_yield_typed_errors() {
     });
 }
 
+/// Hostile frame headers: an arbitrary version byte and an arbitrary
+/// (often lying) length prefix over a short tail. Every outcome is a
+/// typed error or a complete body — and a prefix claiming more bytes
+/// than the peer ever sends fails at the first short read instead of
+/// being trusted with an up-front max-frame allocation.
+#[test]
+fn hostile_headers_yield_typed_errors() {
+    run_cases("protocol hostile headers", 128, |g| {
+        let version = g.bytes(1..=1)[0];
+        let claimed = g.u64() as u32;
+        let tail = g.bytes(0..=64);
+        let mut framed = vec![version];
+        framed.extend_from_slice(&claimed.to_be_bytes());
+        framed.extend_from_slice(&tail);
+        match read_frame(&mut Cursor::new(&framed), DEFAULT_MAX_FRAME) {
+            Ok(body) => {
+                // Only an honest header can deliver a body.
+                assert_eq!(version, ledgerdb::server::protocol::PROTOCOL_VERSION);
+                assert_eq!(body.len(), claimed as usize);
+                assert!(claimed as usize <= tail.len());
+            }
+            Err(FrameError::BadVersion(v)) => assert_eq!(v, version),
+            Err(FrameError::Oversized { len, max }) => {
+                assert_eq!(len, claimed);
+                assert_eq!(max, DEFAULT_MAX_FRAME);
+            }
+            Err(FrameError::Io(_)) => assert!((claimed as usize) > tail.len()),
+            Err(e) => panic!("unexpected error kind: {e}"),
+        }
+    });
+}
+
+/// Truncation *inside the header* (cuts shorter than the 5-byte
+/// version+length prefix) is always `Closed` (empty) or `Io` (partial),
+/// for every claimed length.
+#[test]
+fn truncated_headers_yield_typed_errors() {
+    run_cases("protocol truncated headers", 64, |g| {
+        let mut framed = vec![ledgerdb::server::protocol::PROTOCOL_VERSION];
+        framed.extend_from_slice(&(g.u64() as u32).to_be_bytes());
+        let cut = g.usize_in(0..=4);
+        match read_frame(&mut Cursor::new(&framed[..cut]), DEFAULT_MAX_FRAME) {
+            Err(FrameError::Closed) => assert_eq!(cut, 0, "Closed only on empty input"),
+            Err(FrameError::Io(_)) => assert!(cut >= 1),
+            Ok(body) => panic!("headerless stream decoded to a {}-byte body", body.len()),
+            Err(e) => panic!("unexpected error kind: {e}"),
+        }
+    });
+}
+
 /// A bit-flipped frame either still parses (flip landed in opaque
 /// payload bytes) or fails with a typed error at the frame or body
 /// layer. Nothing panics, nothing loops.
