@@ -67,6 +67,10 @@ struct Args {
     read_secs: f64,
     addr: Option<String>,
     seed: String,
+    pipeline: bool,
+    workers: usize,
+    batch_size: usize,
+    reps: usize,
 }
 
 fn parse_args() -> Args {
@@ -82,6 +86,10 @@ fn parse_args() -> Args {
         read_secs: 2.0,
         addr: None,
         seed: "demo".into(),
+        pipeline: false,
+        workers: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        batch_size: 64,
+        reps: 2,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -91,6 +99,10 @@ fn parse_args() -> Args {
         }
         if flag == "--read-mix" {
             args.read_mix = true;
+            continue;
+        }
+        if flag == "--pipeline" {
+            args.pipeline = true;
             continue;
         }
         let value = it.next().unwrap_or_else(|| {
@@ -126,13 +138,18 @@ fn parse_args() -> Args {
             "--read-secs" => args.read_secs = value.parse().unwrap_or_else(|_| bad("seconds")),
             "--addr" => args.addr = Some(value.clone()),
             "--seed" => args.seed = value.clone(),
+            "--workers" => args.workers = value.parse().unwrap_or_else(|_| bad("count")),
+            "--batch-size" => args.batch_size = value.parse().unwrap_or_else(|_| bad("count")),
+            "--reps" => args.reps = value.parse().unwrap_or_else(|_| bad("count")),
             _ => {
                 eprintln!(
                     "usage: loadgen [--appends N] [--payload BYTES] \
                      [--clients 1,4,16] [--window-us US] \
                      [--admission verify|proxy|both] [--no-telemetry] \
                      | --read-mix [--readers N] [--read-secs S] \
-                     [--addr HOST:PORT --seed SEED]"
+                     [--addr HOST:PORT --seed SEED] \
+                     | --pipeline [--appends N] [--payload BYTES] \
+                     [--workers N] [--batch-size N] [--reps R]"
                 );
                 std::process::exit(2);
             }
@@ -601,8 +618,175 @@ fn run_read_mix(args: &Args) {
     );
 }
 
+/// One append-pipeline A/B cell: a single client streaming
+/// `AppendBatch` frames against an in-process server whose compute pool
+/// is either off (`workers == 1`, every stage serial) or on.
+struct PipelineRow {
+    workers: usize,
+    appends: u64,
+    elapsed: Duration,
+    pool_tasks: f64,
+    blocks: u64,
+    journal_root: String,
+    last_block_hash: String,
+}
+
+impl PipelineRow {
+    fn appends_per_sec(&self) -> f64 {
+        self.appends as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn print(&self) {
+        println!(
+            "{{\"bench\":\"append_pipeline\",\"workers\":{},\"appends\":{},\
+             \"elapsed_s\":{:.3},\"appends_per_sec\":{:.1},\"pool_tasks\":{},\
+             \"blocks\":{},\"journal_root\":\"{}\",\"last_block_hash\":\"{}\"}}",
+            self.workers,
+            self.appends,
+            self.elapsed.as_secs_f64(),
+            self.appends_per_sec(),
+            self.pool_tasks,
+            self.blocks,
+            self.journal_root,
+            self.last_block_hash,
+        );
+    }
+}
+
+fn pipeline_cell(args: &Args, workers: usize, requests: &[TxRequest]) -> PipelineRow {
+    let tag = format!("pipeline-{workers}w");
+    let dir = temp_dir(&tag);
+    let (registry, _) = registry();
+    let telemetry = Arc::new(Registry::new());
+    let config = LedgerConfig { block_size: 64, fam_delta: 20, name: format!("loadgen-{tag}") };
+    let (ledger, _) = open_durable_with(
+        config,
+        registry,
+        &dir,
+        FsyncPolicy::Never,
+        Arc::new(SimClock::new()),
+        &telemetry,
+    )
+    .unwrap();
+    let shared = SharedLedger::new(ledger);
+    let pool = (workers > 1).then(|| ledgerdb_pool::Pool::with_registry(workers, &telemetry));
+    let server = Ledgerd::start(
+        shared.clone(),
+        ServerConfig {
+            workers: 2,
+            // `AppendBatch` frames are whole batches already; the
+            // accumulation window would only add latency.
+            batch: None,
+            admission: Admission::Verify,
+            registry: telemetry.clone(),
+            pool,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut remote = RemoteLedger::connect(server.local_addr()).expect("connect");
+    let started = Instant::now();
+    for chunk in requests.chunks(args.batch_size.max(1)) {
+        for result in remote.append_batch(chunk.to_vec()).expect("batch ack") {
+            result.expect("durable ack");
+        }
+    }
+    let elapsed = started.elapsed();
+    shared.seal_block();
+
+    let text = ledgerdb_telemetry::render(&telemetry);
+    let blocks = shared.block_count();
+    let last_block_hash = shared
+        .blocks_from(blocks.saturating_sub(1), 1)
+        .first()
+        .map(|b| b.hash().to_hex())
+        .unwrap_or_default();
+    let row = PipelineRow {
+        workers,
+        appends: requests.len() as u64,
+        elapsed,
+        pool_tasks: parse_value(&text, "ledger_pool_tasks_total").unwrap_or(0.0),
+        blocks,
+        journal_root: shared.journal_root().to_hex(),
+        last_block_hash,
+    };
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    row
+}
+
+fn run_pipeline(args: &Args) {
+    let workers = args.workers.max(2);
+    eprintln!(
+        "loadgen: append-pipeline A/B — {} appends x {} B in batches of {}, \
+         workers 1 vs {}, {} interleaved reps",
+        args.appends, args.payload, args.batch_size, workers, args.reps
+    );
+    // One deterministic request set shared by every cell: byte-identical
+    // inputs, so the arms must produce byte-identical ledgers.
+    let (_, alice) = registry();
+    let mut rng = XorShift::new(23);
+    let requests: Vec<TxRequest> = (0..args.appends)
+        .map(|i| {
+            TxRequest::signed(
+                &alice,
+                rng.payload(args.payload),
+                vec![format!("pl-{}", i % 32)],
+                i,
+            )
+        })
+        .collect();
+
+    // Interleave the arms so machine drift hits both equally.
+    let mut rows = Vec::new();
+    for _rep in 0..args.reps.max(1) {
+        for w in [1usize, workers] {
+            let row = pipeline_cell(args, w, &requests);
+            row.print();
+            rows.push(row);
+        }
+    }
+
+    // Determinism is non-negotiable: every cell — serial or pooled —
+    // must land on the same roots and the same chain.
+    let reference = &rows[0];
+    for row in &rows[1..] {
+        assert_eq!(
+            row.journal_root, reference.journal_root,
+            "journal root diverged between pipeline arms"
+        );
+        assert_eq!(
+            row.last_block_hash, reference.last_block_hash,
+            "block chain diverged between pipeline arms"
+        );
+        assert_eq!(row.blocks, reference.blocks, "block count diverged");
+    }
+    let pooled_tasks: f64 =
+        rows.iter().filter(|r| r.workers > 1).map(|r| r.pool_tasks).sum();
+    assert!(pooled_tasks > 0.0, "pooled arm never dispatched a pool task");
+
+    let mean = |w: usize| {
+        let sel: Vec<f64> =
+            rows.iter().filter(|r| r.workers == w).map(|r| r.appends_per_sec()).collect();
+        sel.iter().sum::<f64>() / sel.len() as f64
+    };
+    eprintln!(
+        "loadgen: append-pipeline speedup: {:.2}x ({:.0} vs {:.0} appends/s, \
+         workers {} vs 1, roots byte-identical)",
+        mean(workers) / mean(1),
+        mean(workers),
+        mean(1),
+        workers,
+    );
+}
+
 fn main() {
     let args = parse_args();
+    if args.pipeline {
+        run_pipeline(&args);
+        return;
+    }
     if args.read_mix {
         run_read_mix(&args);
         return;

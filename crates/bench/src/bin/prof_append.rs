@@ -1,34 +1,254 @@
-//! Append-path and crypto profiling helper (not a paper figure).
+//! Per-stage append-path profiler (not a paper figure).
+//!
+//! Splits one batched append of `--n` requests into the pipeline's
+//! stages and times each, emitting a single JSON line:
+//!
+//! * `verify`  — π_c + membership admission, **off-lock** (pool-parallel
+//!   with `--workers > 1`);
+//! * `hash`    — payload digest + request-hash precompute, **off-lock**;
+//! * `insert`  — the write-locked window: structural inserts + WAL
+//!   record writes (`append_batch_prepared`), minus the fsync barrier;
+//! * `wal`     — the durability barrier (fsync time inside the locked
+//!   call, read back from `storage_fsync_seconds`);
+//! * `seal`    — block seal: fam/CM-Tree/MPT root recompute + seal WAL
+//!   record (pool-parallel subtree hashing with `--workers > 1`).
+//!
+//! The crypto work counters ([`ledgerdb_crypto::counters`]) are sampled
+//! around every stage, and two properties of the pipelined path are
+//! *asserted*, not just reported:
+//!
+//! 1. zero ECDSA verifications happen inside the write lock;
+//! 2. the locked window performs no payload/request hashing — its
+//!    sha256 finalize count undercuts an unpipelined `append_batch`
+//!    baseline (same workload) by at least 2 per request (payload
+//!    digest + request hash), since only the jsn-dependent journal
+//!    `tx_hash` may remain in-lock.
+
 use ledgerdb_bench::BenchLedger;
+use ledgerdb_core::recovery::open_durable_with;
+use ledgerdb_core::{LedgerConfig, PreparedTx, SharedLedger, TxRequest};
+use ledgerdb_crypto::counters;
 use ledgerdb_crypto::keys::KeyPair;
 use ledgerdb_crypto::sha256;
+use ledgerdb_pool::Pool;
+use ledgerdb_storage::FsyncPolicy;
+use ledgerdb_telemetry::{parse_value, Registry};
+use ledgerdb_timesvc::clock::SimClock;
+use std::sync::Arc;
+use std::time::Instant;
 
-fn run(label: &str, clue: fn(u64) -> Option<String>) {
-    let mut bench = BenchLedger::new(256, 15);
-    let reqs = bench.signed_requests(1 << 14, 256, clue);
-    let t = std::time::Instant::now();
-    for r in reqs {
-        bench.ledger.append_preverified(r).unwrap();
+/// (result, seconds, sha256 finalizes, ecdsa verifies) around a closure.
+fn staged<T>(f: impl FnOnce() -> T) -> (T, f64, u64, u64) {
+    let sha = counters::sha256_finalizes();
+    let ecdsa = counters::ecdsa_verifies();
+    let start = Instant::now();
+    let out = f();
+    (
+        out,
+        start.elapsed().as_secs_f64(),
+        counters::sha256_finalizes() - sha,
+        counters::ecdsa_verifies() - ecdsa,
+    )
+}
+
+/// Sum of a `_seconds` histogram in `registry`, or 0.
+fn histogram_sum(registry: &Registry, name: &str) -> f64 {
+    let text = ledgerdb_telemetry::render(registry);
+    parse_value(&text, &format!("{name}_sum")).unwrap_or(0.0)
+}
+
+struct Profile {
+    verify_s: f64,
+    hash_s: f64,
+    insert_s: f64,
+    wal_s: f64,
+    seal_s: f64,
+    in_lock_sha256: u64,
+    in_lock_ecdsa: u64,
+    off_lock_sha256: u64,
+    off_lock_ecdsa: u64,
+    seal_fam_s: f64,
+    seal_clue_s: f64,
+    seal_state_s: f64,
+}
+
+/// One full pipelined run over a fresh durable ledger.
+fn run_pipelined(
+    requests: &[TxRequest],
+    pool: Option<&Arc<Pool>>,
+    dir: &std::path::Path,
+) -> Profile {
+    let registry = Arc::new(Registry::new());
+    let seed = BenchLedger::new(4, 4); // registry/keys fixture only
+    let config = LedgerConfig {
+        block_size: u64::MAX, // no auto-seal: the seal stage is explicit
+        fam_delta: 15,
+        name: "prof-append".into(),
+    };
+    let (ledger, _) = open_durable_with(
+        config,
+        seed.ledger.registry().clone(),
+        dir,
+        FsyncPolicy::Never,
+        Arc::new(SimClock::new()),
+        &registry,
+    )
+    .expect("open profiling ledger");
+    let shared = SharedLedger::new(ledger);
+    shared.set_pool(pool.cloned());
+
+    // Stage 1 — verify (off-lock): π_c + membership, snapshot-served.
+    let (_, verify_s, verify_sha, verify_ecdsa) = staged(|| match pool {
+        Some(pool) => pool
+            .try_map(requests, |_, r| shared.verify_request(r))
+            .into_iter()
+            .for_each(|slot| slot.expect("verify task").expect("admission")),
+        None => requests.iter().for_each(|r| shared.verify_request(r).expect("admission")),
+    });
+
+    // Stage 2 — hash (off-lock): payload digest + request hash.
+    let (prepared, hash_s, hash_sha, hash_ecdsa) = staged(|| {
+        let computed: Vec<PreparedTx> = match pool {
+            Some(pool) => pool.map(requests, |_, r| PreparedTx::compute(r.clone())),
+            None => requests.iter().map(|r| PreparedTx::compute(r.clone())).collect(),
+        };
+        computed.into_iter().map(Ok).collect::<Vec<_>>()
+    });
+
+    // Stage 3+4 — the write-locked window; the fsync barrier inside it
+    // is carved out via the storage histogram.
+    let wal_before = histogram_sum(&registry, "storage_fsync_seconds");
+    let (results, locked_s, insert_sha, insert_ecdsa) =
+        staged(|| shared.with_write(|l| l.append_batch_prepared(prepared)));
+    results.expect("batch commit").into_iter().for_each(|r| {
+        r.expect("every request accepted");
+    });
+    let wal_s = histogram_sum(&registry, "storage_fsync_seconds") - wal_before;
+
+    // Stage 5 — seal.
+    let (seal, seal_s, seal_sha, seal_ecdsa) = staged(|| shared.try_seal_block());
+    seal.expect("seal");
+
+    Profile {
+        verify_s,
+        hash_s,
+        insert_s: (locked_s - wal_s).max(0.0),
+        wal_s,
+        seal_s,
+        in_lock_sha256: insert_sha,
+        in_lock_ecdsa: insert_ecdsa,
+        off_lock_sha256: verify_sha + hash_sha + seal_sha,
+        off_lock_ecdsa: verify_ecdsa + hash_ecdsa + seal_ecdsa,
+        seal_fam_s: histogram_sum(&registry, "ledger_seal_fam_seconds"),
+        seal_clue_s: histogram_sum(&registry, "ledger_seal_clue_seconds"),
+        seal_state_s: histogram_sum(&registry, "ledger_seal_state_seconds"),
     }
-    bench.ledger.seal_block();
-    let el = t.elapsed();
-    println!("{label}: {:?} total, {:?}/append", el, el / (1 << 14));
+}
+
+/// Unpipelined baseline: the same workload through `append_batch`, so
+/// verification *and* digests run inside the write lock.
+fn run_baseline(requests: &[TxRequest], dir: &std::path::Path) -> (f64, u64, u64) {
+    let registry = Arc::new(Registry::new());
+    let seed = BenchLedger::new(4, 4);
+    let config =
+        LedgerConfig { block_size: u64::MAX, fam_delta: 15, name: "prof-append-base".into() };
+    let (ledger, _) = open_durable_with(
+        config,
+        seed.ledger.registry().clone(),
+        dir,
+        FsyncPolicy::Never,
+        Arc::new(SimClock::new()),
+        &registry,
+    )
+    .expect("open baseline ledger");
+    let shared = SharedLedger::new(ledger);
+    let (results, secs, sha, ecdsa) =
+        staged(|| shared.with_write(|l| l.append_batch(requests.to_vec())));
+    results.expect("baseline commit").into_iter().for_each(|r| {
+        r.expect("every request accepted");
+    });
+    shared.seal_block();
+    (secs, sha, ecdsa)
 }
 
 fn main() {
+    let mut n: u64 = 2048;
+    let mut payload: usize = 256;
+    let mut workers: usize =
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().expect("flag needs a value");
+        match flag.as_str() {
+            "--n" => n = value().parse().expect("--n"),
+            "--payload" => payload = value().parse().expect("--payload"),
+            "--workers" => workers = value().parse().expect("--workers"),
+            other => {
+                panic!("unknown flag {other} (prof_append [--n N] [--payload B] [--workers W])")
+            }
+        }
+    }
+
+    // Microbenchmark context: raw verify cost per op.
     let kp = KeyPair::from_seed(b"prof");
     let msg = sha256(b"m");
-    let mut sig = kp.sign(&msg);
-    let t = std::time::Instant::now();
-    for _ in 0..200 {
-        sig = kp.sign(&msg);
-    }
-    println!("sign: {:?}/op", t.elapsed() / 200);
-    let t = std::time::Instant::now();
+    let sig = kp.sign(&msg);
+    let t = Instant::now();
     for _ in 0..200 {
         assert!(kp.public().verify(&msg, &sig));
     }
-    println!("verify: {:?}/op", t.elapsed() / 200);
-    run("unique clues", |i| Some(format!("doc-{i}")));
-    run("no clues", |_| None);
+    let verify_op_s = t.elapsed().as_secs_f64() / 200.0;
+
+    let fixture = BenchLedger::new(4, 4);
+    let requests = fixture.signed_requests(n, payload, |i| Some(format!("doc-{}", i % 64)));
+
+    let scratch = std::env::temp_dir().join(format!("prof-append-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+    let pool = (workers > 1).then(|| Pool::with_registry(workers, &Registry::new()));
+    let profile = run_pipelined(&requests, pool.as_ref(), &scratch.join("pipelined"));
+    let (base_s, base_sha, base_ecdsa) = run_baseline(&requests, &scratch.join("baseline"));
+    std::fs::remove_dir_all(&scratch).ok();
+
+    // The acceptance assertions: the pipelined locked window does no
+    // signature verification and no payload/request hashing.
+    assert_eq!(profile.in_lock_ecdsa, 0, "ECDSA leaked into the write lock");
+    assert_eq!(base_ecdsa, n, "baseline verifies every request in-lock");
+    assert!(
+        profile.in_lock_sha256 + 2 * n <= base_sha,
+        "locked window should shed >= 2 hashes per request: pipelined {} vs baseline {}",
+        profile.in_lock_sha256,
+        base_sha,
+    );
+
+    println!(
+        concat!(
+            "{{\"bench\":\"prof_append\",\"n\":{},\"payload\":{},\"workers\":{},",
+            "\"stages_s\":{{\"verify\":{:.6},\"hash\":{:.6},\"insert\":{:.6},",
+            "\"wal\":{:.6},\"seal\":{:.6}}},",
+            "\"seal_legs_s\":{{\"fam\":{:.6},\"clue\":{:.6},\"state\":{:.6}}},",
+            "\"in_lock\":{{\"sha256\":{},\"ecdsa\":{}}},",
+            "\"off_lock\":{{\"sha256\":{},\"ecdsa\":{}}},",
+            "\"baseline_locked\":{{\"seconds\":{:.6},\"sha256\":{},\"ecdsa\":{}}},",
+            "\"ecdsa_verify_op_s\":{:.9}}}"
+        ),
+        n,
+        payload,
+        workers,
+        profile.verify_s,
+        profile.hash_s,
+        profile.insert_s,
+        profile.wal_s,
+        profile.seal_s,
+        profile.seal_fam_s,
+        profile.seal_clue_s,
+        profile.seal_state_s,
+        profile.in_lock_sha256,
+        profile.in_lock_ecdsa,
+        profile.off_lock_sha256,
+        profile.off_lock_ecdsa,
+        base_s,
+        base_sha,
+        base_ecdsa,
+        verify_op_s,
+    );
 }

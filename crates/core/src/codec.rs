@@ -124,15 +124,15 @@ impl Wire for Block {
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(Block {
-            height: r.get_u64()?,
-            first_jsn: r.get_u64()?,
-            journal_count: r.get_u64()?,
-            info: LedgerInfo::decode(r)?,
-            prev_block_hash: Digest::decode(r)?,
-            timestamp: Timestamp::decode(r)?,
-            tx_hashes: Vec::decode(r)?,
-        })
+        Ok(Block::new(
+            r.get_u64()?,
+            r.get_u64()?,
+            r.get_u64()?,
+            LedgerInfo::decode(r)?,
+            Digest::decode(r)?,
+            Timestamp::decode(r)?,
+            Vec::decode(r)?,
+        ))
     }
 }
 

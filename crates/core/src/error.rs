@@ -41,6 +41,10 @@ pub enum LedgerError {
     Recovery(String),
     /// A receipt failed verification.
     BadReceipt,
+    /// A pooled pipeline task panicked while processing this item. The
+    /// pool contains the panic (siblings and the ledger are unaffected);
+    /// the item is rejected with the panic message.
+    TaskFailed(String),
 }
 
 impl fmt::Display for LedgerError {
@@ -63,6 +67,7 @@ impl fmt::Display for LedgerError {
             LedgerError::AuditFailed(what) => write!(f, "audit failed: {what}"),
             LedgerError::Recovery(what) => write!(f, "recovery failed: {what}"),
             LedgerError::BadReceipt => write!(f, "receipt failed verification"),
+            LedgerError::TaskFailed(what) => write!(f, "pipeline task failed: {what}"),
         }
     }
 }

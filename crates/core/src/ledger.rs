@@ -51,6 +51,33 @@ pub struct AppendAck {
     pub tx_hash: Digest,
 }
 
+/// A request with its digests precomputed — the unit the pipelined
+/// append path hands to the locked commit stage.
+///
+/// `payload_digest` and `request_hash` depend only on the request
+/// bytes, so they can be computed (and π_c verified) on any thread
+/// *before* the ledger write lock is taken. What remains in-lock is
+/// purely structural: slot assignment, one canonical journal hash over
+/// the lock-assigned `(jsn, timestamp)`, tree inserts and the WAL
+/// write.
+#[derive(Clone, Debug)]
+pub struct PreparedTx {
+    pub request: TxRequest,
+    /// `sha256(request.payload)`.
+    pub payload_digest: Digest,
+    /// [`TxRequest::hash`] of the request.
+    pub request_hash: Digest,
+}
+
+impl PreparedTx {
+    /// Digest a request. Pure CPU work — safe to fan out across a pool.
+    pub fn compute(request: TxRequest) -> PreparedTx {
+        let payload_digest = sha256(&request.payload);
+        let request_hash = request.hash();
+        PreparedTx { request, payload_digest, request_hash }
+    }
+}
+
 /// Snapshot taken by a purge: the pseudo genesis (§III-A2).
 #[derive(Clone, Debug)]
 pub struct PseudoGenesis {
@@ -105,6 +132,10 @@ pub struct LedgerDb {
     /// [`crate::SharedLedger::new`]. `None` for standalone ledgers —
     /// every snapshot hook is then a no-op.
     pub(crate) snapshot_hub: Option<Arc<crate::snapshot::SnapshotHub>>,
+    /// Compute pool for the seal fan-out. `None` (the default) keeps
+    /// every path serial; installing a pool changes scheduling only —
+    /// all digests are pure, so roots are byte-identical either way.
+    pub(crate) pool: Option<Arc<ledgerdb_pool::Pool>>,
 }
 
 impl LedgerDb {
@@ -150,7 +181,20 @@ impl LedgerDb {
             durability_error: None,
             metrics: crate::metrics::CoreMetrics::default(),
             snapshot_hub: None,
+            pool: None,
         }
+    }
+
+    /// Install a compute pool: seal-time subtree hashing fans out across
+    /// it. Pass `None` to return to the serial baseline. Determinism is
+    /// unaffected (see [`ledgerdb_mpt::Mpt::hash_subtrees_with`]).
+    pub fn set_pool(&mut self, pool: Option<Arc<ledgerdb_pool::Pool>>) {
+        self.pool = pool;
+    }
+
+    /// The installed compute pool, if any.
+    pub fn pool(&self) -> Option<&Arc<ledgerdb_pool::Pool>> {
+        self.pool.as_ref()
     }
 
     /// Install (or fetch) the snapshot publication hub: captures the
@@ -361,11 +405,11 @@ impl LedgerDb {
             return Err(e);
         }
         // Verify π_c and membership before any slot is assigned.
-        let validated: Vec<Result<TxRequest, LedgerError>> = requests
+        let validated: Vec<Result<PreparedTx, LedgerError>> = requests
             .into_iter()
-            .map(|request| self.verify_request(&request).map(|()| request))
+            .map(|request| self.verify_request(&request).map(|()| PreparedTx::compute(request)))
             .collect();
-        self.commit_batch_validated(validated)
+        self.commit_batch_prepared(validated)
     }
 
     /// Group-commit append for requests whose π_c was already verified
@@ -381,37 +425,68 @@ impl LedgerDb {
         if let Some(e) = self.clear_durability_error() {
             return Err(e);
         }
-        let validated: Vec<Result<TxRequest, LedgerError>> = requests
+        let validated: Vec<Result<PreparedTx, LedgerError>> = requests
             .into_iter()
             .map(|request| {
                 if self.registry.is_registered(&request.client_pk) {
-                    Ok(request)
+                    Ok(PreparedTx::compute(request))
                 } else {
                     Err(LedgerError::UnknownMember)
                 }
             })
             .collect();
-        self.commit_batch_validated(validated)
+        self.commit_batch_prepared(validated)
+    }
+
+    /// Group-commit append for requests whose digests (and, per the
+    /// caller's admission policy, π_c) were computed *off-lock* — the
+    /// pipelined entry point. Membership is re-checked here (a hash-map
+    /// lookup, no hashing): prepared requests may have queued while the
+    /// registry changed. Per-item `Err`s (e.g. a pool task panic mapped
+    /// to [`LedgerError::TaskFailed`]) pass through without consuming a
+    /// payload slot. Durability contract identical to
+    /// [`LedgerDb::append_batch`].
+    pub fn append_batch_prepared(
+        &mut self,
+        prepared: Vec<Result<PreparedTx, LedgerError>>,
+    ) -> Result<Vec<Result<AppendAck, LedgerError>>, LedgerError> {
+        if let Some(e) = self.clear_durability_error() {
+            return Err(e);
+        }
+        let validated: Vec<Result<PreparedTx, LedgerError>> = prepared
+            .into_iter()
+            .map(|item| {
+                let tx = item?;
+                if self.registry.is_registered(&tx.request.client_pk) {
+                    Ok(tx)
+                } else {
+                    Err(LedgerError::UnknownMember)
+                }
+            })
+            .collect();
+        self.commit_batch_prepared(validated)
     }
 
     /// Shared tail of the batched append paths: write all accepted
     /// payloads behind one sync, commit each journal in order (WAL +
     /// trees), auto-seal at block boundaries, and finish with one
-    /// durability barrier.
-    fn commit_batch_validated(
+    /// durability barrier. All request digests arrive precomputed in the
+    /// [`PreparedTx`]s — this loop performs no payload or request
+    /// hashing of its own.
+    fn commit_batch_prepared(
         &mut self,
-        validated: Vec<Result<TxRequest, LedgerError>>,
+        validated: Vec<Result<PreparedTx, LedgerError>>,
     ) -> Result<Vec<Result<AppendAck, LedgerError>>, LedgerError> {
         let start = std::time::Instant::now();
         let payloads: Vec<Vec<u8>> = validated
             .iter()
-            .filter_map(|v| v.as_ref().ok().map(|r| r.payload.clone()))
+            .filter_map(|v| v.as_ref().ok().map(|t| t.request.payload.clone()))
             .collect();
         let mut slot = self.store.append_batch(&payloads)?;
         let mut results = Vec::with_capacity(validated.len());
         for v in validated {
-            let request = match v {
-                Ok(request) => request,
+            let tx = match v {
+                Ok(tx) => tx,
                 Err(e) => {
                     results.push(Err(e));
                     continue;
@@ -421,11 +496,11 @@ impl LedgerDb {
             slot += 1;
             let committed = self.commit_journal(
                 JournalKind::Normal,
-                request.clues.clone(),
-                sha256(&request.payload),
-                request.hash(),
-                Some(request.client_pk),
-                Some(request.signature),
+                tx.request.clues.clone(),
+                tx.payload_digest,
+                tx.request_hash,
+                Some(tx.request.client_pk),
+                Some(tx.request.signature),
                 stream_index,
             );
             let ack = match committed {
@@ -579,39 +654,99 @@ impl LedgerDb {
         let first_jsn = self.pending[0];
         let tx_hashes: Vec<Digest> =
             self.pending.iter().map(|&j| self.tx_hashes[j as usize]).collect();
+        // Memoized: hashing the previous header is a cache read on every
+        // seal after its first (the first computed it when *it* sealed).
         let prev_block_hash = self.blocks.last().map(|b| b.hash()).unwrap_or_else(|| {
             self.pseudo_genesis
                 .as_ref()
                 .map(|g| g.genesis_hash)
                 .unwrap_or(Digest::ZERO)
         });
-        let block = Block {
-            height: self.blocks.len() as u64,
+        let info = self.seal_roots();
+        let block = Block::new(
+            self.blocks.len() as u64,
             first_jsn,
-            journal_count: self.pending.len() as u64,
-            info: LedgerInfo {
-                journal_root: self.fam.root(),
-                clue_root: self.cm_tree.root(),
-                state_root: self.world_state.root_hash(),
-            },
+            self.pending.len() as u64,
+            info,
             prev_block_hash,
-            timestamp: self.clock.now(),
+            self.clock.now(),
             tx_hashes,
-        };
+        );
         // The seal record hits the WAL before the block exists in
         // memory; a crash in between replays the seal idempotently.
+        // Borrowed encode: the block is serialized in place, not cloned
+        // into a `WalRecord` first (see `recovery::seal_wire`).
         if let Some(wal) = &self.wal {
-            let record = crate::recovery::WalRecord::Seal(block.clone());
-            wal.append(&ledgerdb_crypto::wire::Wire::to_wire(&record))?;
+            wal.append(&crate::recovery::seal_wire(&block))?;
         }
         self.pending.clear();
         self.blocks.push(block);
         self.metrics.seals.inc();
+        // Prime the memo while the seal owns the block: the WAL bytes
+        // above did not need the hash, but the next seal's chain link,
+        // the snapshot publisher and the block feed all will.
+        self.blocks.last().expect("just pushed").hash();
         // Publish-on-seal: `pending` is empty, so the frozen fam covers
         // exactly the sealed journals and its root equals the block's
         // `info.journal_root` — the snapshot names a consistent LedgerInfo.
         self.publish_snapshot();
         Ok(())
+    }
+
+    /// Compute the three `LedgerInfo` roots for a seal, timing each
+    /// stage.
+    ///
+    /// With a pool installed, the three commitment structures hash
+    /// concurrently: fam, CM-Tree and world state share no nodes, so
+    /// their digest work is independent until this function combines
+    /// the roots. Each leg only *warms* memo cells with pure,
+    /// order-independent values (`hash_subtrees_with`), then reads its
+    /// root — byte-identical to the serial path by construction. The
+    /// world-state leg additionally fans its own dirty subtrees out
+    /// across the pool (a nested scope; the pool's helping join makes
+    /// that safe on any worker count).
+    fn seal_roots(&self) -> LedgerInfo {
+        let m = &self.metrics;
+        let fam = &self.fam;
+        let cm = &self.cm_tree;
+        let ws = &self.world_state;
+        let mut journal_root = Digest::ZERO;
+        let mut clue_root = Digest::ZERO;
+        let mut state_root = Digest::ZERO;
+        match &self.pool {
+            Some(pool) => pool.scope(|s| {
+                s.spawn(|| {
+                    let t = std::time::Instant::now();
+                    fam.hash_subtrees_with(pool);
+                    journal_root = fam.root();
+                    m.seal_fam_seconds.observe_duration(t.elapsed());
+                });
+                s.spawn(|| {
+                    let t = std::time::Instant::now();
+                    cm.hash_subtrees_with(pool);
+                    clue_root = cm.root();
+                    m.seal_clue_seconds.observe_duration(t.elapsed());
+                });
+                s.spawn(|| {
+                    let t = std::time::Instant::now();
+                    ws.hash_subtrees_with(pool);
+                    state_root = ws.root_hash();
+                    m.seal_state_seconds.observe_duration(t.elapsed());
+                });
+            }),
+            None => {
+                let t = std::time::Instant::now();
+                journal_root = fam.root();
+                m.seal_fam_seconds.observe_duration(t.elapsed());
+                let t = std::time::Instant::now();
+                clue_root = cm.root();
+                m.seal_clue_seconds.observe_duration(t.elapsed());
+                let t = std::time::Instant::now();
+                state_root = ws.root_hash();
+                m.seal_state_seconds.observe_duration(t.elapsed());
+            }
+        }
+        LedgerInfo { journal_root, clue_root, state_root }
     }
 
     // ------------------------------------------------------------------

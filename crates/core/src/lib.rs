@@ -28,7 +28,7 @@ pub use audit::{audit_ledger, AuditConfig, AuditReport};
 pub use client::{LedgerClient, SyncReport};
 pub use codec::LedgerSnapshot;
 pub use error::LedgerError;
-pub use ledger::{AppendAck, LedgerConfig, LedgerDb, OccultMode};
+pub use ledger::{AppendAck, LedgerConfig, LedgerDb, OccultMode, PreparedTx};
 pub use metrics::{CoreMetrics, RecoveryMetrics};
 pub use recovery::{open_durable, open_durable_with, recover, recover_with, RecoveryReport, WalRecord};
 pub use member::{Member, MemberRegistry};

@@ -19,6 +19,15 @@ pub struct CoreMetrics {
     pub batch_commit_seconds: Arc<Histogram>,
     /// `ledger_seals_total` — blocks sealed.
     pub seals: Arc<Counter>,
+    /// Per-stage seal timings. The three commitment structures are
+    /// hashed independently at seal (serially or fanned out across the
+    /// worker pool); these histograms attribute the seal cost either
+    /// way, so an A/B run can compare stage shapes directly.
+    /// `ledger_seal_fam_seconds` / `ledger_seal_clue_seconds` /
+    /// `ledger_seal_state_seconds`.
+    pub seal_fam_seconds: Arc<Histogram>,
+    pub seal_clue_seconds: Arc<Histogram>,
+    pub seal_state_seconds: Arc<Histogram>,
     /// `ledger_proofs_total` / `ledger_proof_seconds` — existence proofs.
     pub proofs: Arc<Counter>,
     pub proof_seconds: Arc<Histogram>,
@@ -51,6 +60,9 @@ impl CoreMetrics {
             batch_commits: registry.counter("ledger_batch_commits_total"),
             batch_commit_seconds: registry.histogram("ledger_batch_commit_seconds", Unit::Seconds),
             seals: registry.counter("ledger_seals_total"),
+            seal_fam_seconds: registry.histogram("ledger_seal_fam_seconds", Unit::Seconds),
+            seal_clue_seconds: registry.histogram("ledger_seal_clue_seconds", Unit::Seconds),
+            seal_state_seconds: registry.histogram("ledger_seal_state_seconds", Unit::Seconds),
             proofs: registry.counter("ledger_proofs_total"),
             proof_seconds: registry.histogram("ledger_proof_seconds", Unit::Seconds),
             verifies: registry.counter("ledger_verifies_total"),

@@ -79,6 +79,18 @@ impl Wire for WalRecord {
     }
 }
 
+/// Borrowed encoding of a `WalRecord::Seal` — byte-identical to
+/// `WalRecord::Seal(block.clone()).to_wire()` without cloning the block
+/// (and its whole `tx_hashes` vector) just to serialize it. The seal
+/// path writes this; decode is unchanged, so recovery replay is
+/// oblivious.
+pub(crate) fn seal_wire(block: &Block) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(1);
+    block.encode(&mut w);
+    w.into_bytes()
+}
+
 /// What a recovery replay did — every count is observable, nothing is
 /// silently absorbed.
 #[derive(Clone, Debug, Default)]
@@ -465,6 +477,35 @@ mod tests {
             clues.iter().map(|s| s.to_string()).collect(),
             nonce,
         )
+    }
+
+    #[test]
+    fn seal_wire_matches_cloned_wal_record_encoding() {
+        // The borrowed seal encoding must stay byte-identical to the
+        // clone-then-encode form it replaced, or recovery replay breaks.
+        let dir = temp_dir("seal-wire");
+        let (registry, m) = members();
+        let (mut ledger, _) = open_durable(
+            config(2),
+            registry,
+            &dir,
+            FsyncPolicy::Never,
+            Arc::new(SimClock::new()),
+        )
+        .unwrap();
+        for i in 0..6u64 {
+            ledger.append(tx(&m.alice, &i.to_be_bytes(), &["w"], i)).unwrap();
+        }
+        assert!(ledger.block_count() >= 3);
+        for block in ledger.blocks() {
+            assert_eq!(
+                seal_wire(block),
+                WalRecord::Seal(block.clone()).to_wire(),
+                "seal_wire diverged for block {}",
+                block.height
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

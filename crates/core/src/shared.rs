@@ -145,6 +145,67 @@ impl SharedLedger {
         self.inner.write().append_batch_preverified(requests)
     }
 
+    /// Install (or clear) the seal-time compute pool on the underlying
+    /// ledger; see [`LedgerDb::set_pool`].
+    pub fn set_pool(&self, pool: Option<Arc<ledgerdb_pool::Pool>>) {
+        self.inner.write().set_pool(pool);
+    }
+
+    /// Fully pipelined group-commit append: admission (membership +
+    /// π_c, against the lock-free snapshot registry) *and* digest
+    /// precompute fan out across `pool` before the write lock is taken,
+    /// so the locked window is structural inserts + one WAL write. A
+    /// panicking item surfaces as a typed per-item
+    /// [`LedgerError::TaskFailed`]; its siblings commit normally.
+    ///
+    /// Result order is positional (the pool's map is index-stable), so
+    /// acks line up with `requests` exactly as in
+    /// [`SharedLedger::append_batch`] — and jsn assignment, done under
+    /// the lock in that same order, is byte-for-byte identical to the
+    /// serial path.
+    pub fn append_batch_pipelined(
+        &self,
+        requests: Vec<TxRequest>,
+        pool: &ledgerdb_pool::Pool,
+    ) -> Result<Vec<Result<AppendAck, LedgerError>>, LedgerError> {
+        let prepared = self.prepare_off_lock(requests, pool, true);
+        self.inner.write().append_batch_prepared(prepared)
+    }
+
+    /// Pipelined variant of [`SharedLedger::append_batch_preverified`]:
+    /// π_c was already checked upstream (per-connection admission or a
+    /// trusted proxy tier), so the off-lock stage computes digests only.
+    pub fn append_batch_preverified_pipelined(
+        &self,
+        requests: Vec<TxRequest>,
+        pool: &ledgerdb_pool::Pool,
+    ) -> Result<Vec<Result<AppendAck, LedgerError>>, LedgerError> {
+        let prepared = self.prepare_off_lock(requests, pool, false);
+        self.inner.write().append_batch_prepared(prepared)
+    }
+
+    /// Off-lock stage of the pipelined appends: verify (optionally) and
+    /// digest every request across the pool. Runs under no ledger lock.
+    fn prepare_off_lock(
+        &self,
+        requests: Vec<TxRequest>,
+        pool: &ledgerdb_pool::Pool,
+        check_signatures: bool,
+    ) -> Vec<Result<crate::ledger::PreparedTx, LedgerError>> {
+        pool.try_map(&requests, |_, request| {
+            if check_signatures {
+                self.verify_request(request)?;
+            }
+            Ok(crate::ledger::PreparedTx::compute(request.clone()))
+        })
+        .into_iter()
+        .map(|slot| match slot {
+            Ok(item) => item,
+            Err(panic) => Err(LedgerError::TaskFailed(panic.message)),
+        })
+        .collect()
+    }
+
     /// Seal the pending block. Infallible: a WAL failure is stashed as
     /// the sticky durability error — use [`SharedLedger::try_seal_block`]
     /// (or check [`SharedLedger::take_durability_error`]) on paths that

@@ -119,7 +119,7 @@ pub struct LedgerInfo {
 }
 
 /// A sealed block.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Block {
     pub height: u64,
     /// jsn of the first journal in this block.
@@ -131,11 +131,70 @@ pub struct Block {
     pub timestamp: Timestamp,
     /// tx-hashes of the block's journals in order (for replay audits).
     pub tx_hashes: Vec<Digest>,
+    /// Memoized [`Block::hash`]. A sealed block is immutable, so the
+    /// digest is computed once on first demand — the seal path, the
+    /// snapshot publisher and the block feed all read the same cell
+    /// instead of re-walking `tx_hashes`.
+    pub(crate) cached_hash: std::sync::OnceLock<Digest>,
+}
+
+/// Clone resets the memo: the fields are `pub`, so a clone may be
+/// mutated (tests do exactly that) and must not inherit a stale digest.
+impl Clone for Block {
+    fn clone(&self) -> Block {
+        Block {
+            height: self.height,
+            first_jsn: self.first_jsn,
+            journal_count: self.journal_count,
+            info: self.info,
+            prev_block_hash: self.prev_block_hash,
+            timestamp: self.timestamp,
+            tx_hashes: self.tx_hashes.clone(),
+            cached_hash: std::sync::OnceLock::new(),
+        }
+    }
+}
+
+/// Count of full block-header hash computations (cache misses) in this
+/// process. Lets tests pin that a chain of N blocks hashes each header
+/// exactly once no matter how many paths ask for the digest.
+static BLOCK_HASH_COMPUTATIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// See [`BLOCK_HASH_COMPUTATIONS`]. Process-global; single-process
+/// tests only.
+pub fn block_hash_computations() -> u64 {
+    BLOCK_HASH_COMPUTATIONS.load(std::sync::atomic::Ordering::Relaxed)
 }
 
 impl Block {
-    /// The block hash linking consecutive blocks.
+    pub(crate) fn new(
+        height: u64,
+        first_jsn: u64,
+        journal_count: u64,
+        info: LedgerInfo,
+        prev_block_hash: Digest,
+        timestamp: Timestamp,
+        tx_hashes: Vec<Digest>,
+    ) -> Block {
+        Block {
+            height,
+            first_jsn,
+            journal_count,
+            info,
+            prev_block_hash,
+            timestamp,
+            tx_hashes,
+            cached_hash: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The block hash linking consecutive blocks (memoized).
     pub fn hash(&self) -> Digest {
+        *self.cached_hash.get_or_init(|| self.compute_hash())
+    }
+
+    fn compute_hash(&self) -> Digest {
+        BLOCK_HASH_COMPUTATIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut h = Sha256::new();
         h.update(b"ledgerdb.block.v1");
         h.update(&self.height.to_be_bytes());
@@ -300,15 +359,15 @@ mod tests {
             clue_root: sha256(b"c"),
             state_root: sha256(b"s"),
         };
-        let b1 = Block {
-            height: 0,
-            first_jsn: 0,
-            journal_count: 2,
+        let b1 = Block::new(
+            0,
+            0,
+            2,
             info,
-            prev_block_hash: Digest::ZERO,
-            timestamp: Timestamp(1),
-            tx_hashes: vec![sha256(b"t0"), sha256(b"t1")],
-        };
+            Digest::ZERO,
+            Timestamp(1),
+            vec![sha256(b"t0"), sha256(b"t1")],
+        );
         let mut b2 = b1.clone();
         b2.height = 1;
         b2.prev_block_hash = b1.hash();

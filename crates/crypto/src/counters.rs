@@ -1,0 +1,27 @@
+//! Process-global crypto operation counters.
+//!
+//! The append pipeline's core claim is *where* CPU work happens: on the
+//! batched path, no SHA-256 finalization beyond the per-journal
+//! canonical hash and no ECDSA verification may execute while the
+//! ledger write lock is held. That claim is asserted empirically by
+//! `prof_append`, which reads these counters immediately before and
+//! after the locked section.
+//!
+//! Relaxed atomics: the counters are diagnostics, not synchronization.
+//! They count every operation in the process, so assertions built on
+//! them must run single-threaded (the profiler does).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub(crate) static SHA256_FINALIZES: AtomicU64 = AtomicU64::new(0);
+pub(crate) static ECDSA_VERIFIES: AtomicU64 = AtomicU64::new(0);
+
+/// Total SHA-256 digests finalized by this process so far.
+pub fn sha256_finalizes() -> u64 {
+    SHA256_FINALIZES.load(Ordering::Relaxed)
+}
+
+/// Total ECDSA signature verifications performed by this process so far.
+pub fn ecdsa_verifies() -> u64 {
+    ECDSA_VERIFIES.load(Ordering::Relaxed)
+}

@@ -90,6 +90,7 @@ pub fn sign(sk: &U256, msg_digest: &Digest) -> Signature {
 
 /// Verify a signature over `msg_digest` against public point `pk`.
 pub fn verify(pk: &Affine, msg_digest: &Digest, sig: &Signature) -> bool {
+    crate::counters::ECDSA_VERIFIES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let n = fn_order();
     if sig.r.is_zero() || sig.s.is_zero() || sig.r.ge(&n.m) || sig.s.ge(&n.m) {
         return false;

@@ -19,6 +19,7 @@
 //! concrete embodiment of that assumption.
 
 pub mod ca;
+pub mod counters;
 pub mod digest;
 pub mod ecdsa;
 pub mod error;

@@ -76,6 +76,7 @@ impl Sha256 {
 
     /// Finish and produce the 32-byte digest.
     pub fn finalize(mut self) -> [u8; 32] {
+        crate::counters::SHA256_FINALIZES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let bit_len = self.total_len.wrapping_mul(8);
         // Padding: 0x80, zeros, 8-byte big-endian bit length.
         self.update_padding_byte();

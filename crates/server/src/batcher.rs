@@ -143,13 +143,30 @@ impl GroupCommitter {
         admission: Admission,
         registry: &Registry,
     ) -> Self {
+        Self::start_with_pool(shared, config, admission, registry, None)
+    }
+
+    /// As [`GroupCommitter::start_with`], with an optional compute
+    /// pool. With a pool, each commit window's digest precompute runs
+    /// across the pool *before* the committer takes the write lock
+    /// (π_c was already checked at [`GroupCommitter::submit`], so the
+    /// off-lock stage hashes only); the locked window is structural
+    /// inserts plus one WAL write. Results are byte-identical to the
+    /// serial path.
+    pub fn start_with_pool(
+        shared: SharedLedger,
+        config: BatchConfig,
+        admission: Admission,
+        registry: &Registry,
+        pool: Option<std::sync::Arc<ledgerdb_pool::Pool>>,
+    ) -> Self {
         let metrics = BatchMetrics::bind(registry);
         let (tx, rx) = mpsc::channel::<Job>();
         let committer_shared = shared.clone();
         let committer_metrics = metrics.clone();
         let handle = thread::Builder::new()
             .name("ledgerd-committer".into())
-            .spawn(move || committer_loop(committer_shared, config, rx, committer_metrics))
+            .spawn(move || committer_loop(committer_shared, config, rx, committer_metrics, pool))
             .expect("spawn committer thread");
         GroupCommitter {
             shared,
@@ -231,6 +248,7 @@ fn committer_loop(
     config: BatchConfig,
     rx: mpsc::Receiver<Job>,
     metrics: BatchMetrics,
+    pool: Option<std::sync::Arc<ledgerdb_pool::Pool>>,
 ) {
     let max_batch = config.max_batch.max(1);
     loop {
@@ -263,13 +281,18 @@ fn committer_loop(
             // cores are scarce.
             thread::sleep(deadline - now);
         }
-        commit_batch(&shared, jobs, &metrics);
+        commit_batch(&shared, jobs, &metrics, pool.as_deref());
     }
 }
 
 /// Make one batch durable and answer every job (via [`Job::settle`], so
 /// each waiter is answered exactly once even on the error paths).
-fn commit_batch(shared: &SharedLedger, mut jobs: Vec<Job>, metrics: &BatchMetrics) {
+fn commit_batch(
+    shared: &SharedLedger,
+    mut jobs: Vec<Job>,
+    metrics: &BatchMetrics,
+    pool: Option<&ledgerdb_pool::Pool>,
+) {
     metrics.windows.inc();
     metrics.batch_size.observe(jobs.len() as u64);
     for job in &jobs {
@@ -277,8 +300,14 @@ fn commit_batch(shared: &SharedLedger, mut jobs: Vec<Job>, metrics: &BatchMetric
     }
     let _commit_span = metrics.commit_seconds.time("batch_commit");
     let requests: Vec<TxRequest> = jobs.iter().map(|j| j.request.clone()).collect();
-    // π_c was verified at submit(); the serial path skips it.
-    let results = match shared.append_batch_preverified(requests) {
+    // π_c was verified at submit(); with a pool the digest precompute
+    // fans out off-lock, and either way the batched commit skips the
+    // redundant ECDSA.
+    let results = match pool {
+        Some(pool) => shared.append_batch_preverified_pipelined(requests, pool),
+        None => shared.append_batch_preverified(requests),
+    };
+    let results = match results {
         Ok(results) => results,
         Err(e) => {
             // Batch-wide failure: nothing was acked, nothing is promised.

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! ledgerd --dir /var/lib/ledgerdb --bind 127.0.0.1:7878 \
-//!         [--workers 4] [--fsync always|never|every-N] \
+//!         [--workers 4]   # connection threads AND (N>1) compute pool \
+//!         [--fsync always|never|every-N] \
 //!         [--batch-window-us 150] [--batch-max 64] [--no-batch] \
 //!         [--proxy-admission] [--no-snapshot-reads] \
 //!         [--block-size 16] [--seed demo] \
@@ -188,12 +189,19 @@ fn main() {
     );
 
     let shared = SharedLedger::new(ledger);
+    // `--workers N` sizes both thread pools: N connection threads, and
+    // (for N > 1) an N-worker compute pool that pipelines batch
+    // admission off the write lock, hashes seal subtrees in parallel,
+    // and fans out batch proofs. `--workers 1` keeps every compute
+    // stage serial — the A/B baseline; results are byte-identical.
+    let pool = (args.workers > 1).then(|| ledgerdb_pool::Pool::new(args.workers));
     let server_config = ServerConfig {
         bind: args.bind.clone(),
         workers: args.workers,
         batch: args.batch,
         admission: args.admission,
         snapshot_reads: args.snapshot_reads,
+        pool,
         ..ServerConfig::default()
     };
     let server = Ledgerd::start(shared, server_config).unwrap_or_else(|e| {

@@ -29,8 +29,8 @@ pub(crate) mod testutil;
 pub use batcher::{Admission, BatchConfig, CommitOutcome, GroupCommitter};
 pub use metrics::{BatchMetrics, ServerMetrics};
 pub use protocol::{
-    ErrorCode, ErrorFrame, FrameError, Request, Response, ServerInfo, DEFAULT_MAX_FRAME,
-    PROTOCOL_VERSION,
+    AppendedAck, ErrorCode, ErrorFrame, FrameError, ProofItem, Request, Response, ServerInfo,
+    DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 pub use remote::{RemoteError, RemoteLedger};
 pub use server::{Ledgerd, ServerConfig};

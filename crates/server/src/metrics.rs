@@ -11,7 +11,7 @@ use ledgerdb_telemetry::{Counter, Gauge, Histogram, Registry, Unit};
 use std::sync::Arc;
 
 /// Wire-request kinds, in tag order. Indexed by [`kind_index`].
-pub const REQUEST_KINDS: [&str; 11] = [
+pub const REQUEST_KINDS: [&str; 13] = [
     "hello",
     "append",
     "append_committed",
@@ -23,6 +23,8 @@ pub const REQUEST_KINDS: [&str; 11] = [
     "get_anchor",
     "get_block_feed",
     "stats",
+    "append_batch",
+    "get_proof_batch",
 ];
 
 /// Position of a request's kind in [`REQUEST_KINDS`].
@@ -39,6 +41,8 @@ pub fn kind_index(request: &Request) -> usize {
         Request::GetAnchor => 8,
         Request::GetBlockFeed { .. } => 9,
         Request::Stats => 10,
+        Request::AppendBatch(_) => 11,
+        Request::GetProofBatch { .. } => 12,
     }
 }
 

@@ -177,6 +177,15 @@ pub enum Request {
     /// The server's telemetry snapshot as Prometheus-style text
     /// exposition (counters, gauges, latency histograms).
     Stats,
+    /// Append a whole batch of signed transactions in one frame. The
+    /// server digests and admission-checks the batch across its compute
+    /// pool *off* the ledger lock, then commits it behind one durability
+    /// barrier. Items are acked (or rejected) positionally.
+    AppendBatch(Vec<TxRequest>),
+    /// Existence proofs for many jsns against one caller anchor,
+    /// answered positionally. Built from a single immutable read
+    /// snapshot, fanned out across the compute pool.
+    GetProofBatch { jsns: Vec<u64>, anchor: TrustedAnchor },
 }
 
 impl Wire for Request {
@@ -222,6 +231,15 @@ impl Wire for Request {
                 w.put_u64(*max_blocks);
             }
             Request::Stats => w.put_u8(10),
+            Request::AppendBatch(reqs) => {
+                w.put_u8(11);
+                reqs.encode(w);
+            }
+            Request::GetProofBatch { jsns, anchor } => {
+                w.put_u8(12);
+                jsns.encode(w);
+                anchor.encode(w);
+            }
         }
     }
 
@@ -246,6 +264,11 @@ impl Wire for Request {
                 max_blocks: r.get_u64()?,
             }),
             10 => Ok(Request::Stats),
+            11 => Ok(Request::AppendBatch(Vec::decode(r)?)),
+            12 => Ok(Request::GetProofBatch {
+                jsns: Vec::decode(r)?,
+                anchor: TrustedAnchor::decode(r)?,
+            }),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -394,7 +417,9 @@ impl ErrorFrame {
             | LedgerError::Accumulator(_)
             | LedgerError::BadReceipt => ErrorCode::Rejected,
             LedgerError::Storage(_) | LedgerError::Recovery(_) => ErrorCode::Durability,
-            LedgerError::Time(_) | LedgerError::AuditFailed(_) => ErrorCode::Internal,
+            LedgerError::Time(_) | LedgerError::AuditFailed(_) | LedgerError::TaskFailed(_) => {
+                ErrorCode::Internal
+            }
         };
         ErrorFrame { code, detail: e.to_string() }
     }
@@ -419,6 +444,81 @@ pub enum Response {
     Error(ErrorFrame),
     /// Telemetry text exposition (UTF-8 Prometheus-style format).
     Stats(String),
+    /// Positional outcome of an [`Request::AppendBatch`]: one durable
+    /// ack or one typed rejection per submitted request. A rejected item
+    /// never consumed a jsn.
+    AppendBatchResult(Vec<Result<AppendedAck, ErrorFrame>>),
+    /// Positional answers to a [`Request::GetProofBatch`].
+    ProofBatch(Vec<Result<ProofItem, ErrorFrame>>),
+}
+
+/// One durable append acknowledgement inside a batched response.
+#[derive(Clone, Debug)]
+pub struct AppendedAck {
+    pub jsn: u64,
+    pub tx_hash: Digest,
+}
+
+impl Wire for AppendedAck {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.jsn);
+        self.tx_hash.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(AppendedAck { jsn: r.get_u64()?, tx_hash: Digest::decode(r)? })
+    }
+}
+
+/// One existence proof inside a batched response.
+#[derive(Clone, Debug)]
+pub struct ProofItem {
+    pub tx_hash: Digest,
+    pub proof: FamProof,
+}
+
+impl Wire for ProofItem {
+    fn encode(&self, w: &mut Writer) {
+        self.tx_hash.encode(w);
+        self.proof.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ProofItem { tx_hash: Digest::decode(r)?, proof: FamProof::decode(r)? })
+    }
+}
+
+/// Per-item outcome encoding: `1 · item` or `0 · error`, preceded by a
+/// u64 batch length. Shared by both batched responses so ok/err framing
+/// stays uniform on the wire.
+fn encode_batch<T: Wire>(items: &[Result<T, ErrorFrame>], w: &mut Writer) {
+    w.put_u64(items.len() as u64);
+    for item in items {
+        match item {
+            Ok(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+            Err(e) => {
+                w.put_u8(0);
+                e.encode(w);
+            }
+        }
+    }
+}
+
+fn decode_batch<T: Wire>(r: &mut Reader<'_>) -> Result<Vec<Result<T, ErrorFrame>>, WireError> {
+    // Each item is at least the ok/err tag byte.
+    let n = r.get_seq_len(1)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(match r.get_u8()? {
+            1 => Ok(T::decode(r)?),
+            0 => Err(ErrorFrame::decode(r)?),
+            t => return Err(WireError::BadTag(t)),
+        });
+    }
+    Ok(out)
 }
 
 impl Wire for Response {
@@ -472,6 +572,14 @@ impl Wire for Response {
                 w.put_u8(11);
                 text.encode(w);
             }
+            Response::AppendBatchResult(items) => {
+                w.put_u8(12);
+                encode_batch(items, w);
+            }
+            Response::ProofBatch(items) => {
+                w.put_u8(13);
+                encode_batch(items, w);
+            }
         }
     }
 
@@ -492,6 +600,8 @@ impl Wire for Response {
             9 => Ok(Response::BlockFeed(Vec::decode(r)?)),
             10 => Ok(Response::Error(ErrorFrame::decode(r)?)),
             11 => Ok(Response::Stats(String::decode(r)?)),
+            12 => Ok(Response::AppendBatchResult(decode_batch(r)?)),
+            13 => Ok(Response::ProofBatch(decode_batch(r)?)),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -602,6 +712,11 @@ mod tests {
             Request::GetBlockFeed { from_height: 3, max_blocks: 100 },
             Request::GetClueProof("asset".into()),
             Request::Stats,
+            Request::AppendBatch(vec![
+                TxRequest::signed(&keys, b"b0".to_vec(), vec![], 8),
+                TxRequest::signed(&keys, b"b1".to_vec(), vec!["c".into()], 9),
+            ]),
+            Request::GetProofBatch { jsns: vec![1, 5, 9], anchor: TrustedAnchor::default() },
         ];
         for req in cases {
             let decoded = Request::from_wire(&req.to_wire()).unwrap();
@@ -647,6 +762,48 @@ mod tests {
         let mut bytes = Request::GetTx(1).to_wire();
         bytes.push(0xFF);
         assert!(matches!(Request::from_wire(&bytes), Err(WireError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn batched_responses_round_trip_mixed_outcomes() {
+        let items = vec![
+            Ok(AppendedAck { jsn: 4, tx_hash: Digest::ZERO }),
+            Err(ErrorFrame { code: ErrorCode::Rejected, detail: "bad sig".into() }),
+            Ok(AppendedAck { jsn: 5, tx_hash: Digest::ZERO }),
+        ];
+        let resp = Response::AppendBatchResult(items);
+        let Response::AppendBatchResult(decoded) = Response::from_wire(&resp.to_wire()).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded[0].as_ref().unwrap().jsn, 4);
+        let err = decoded[1].as_ref().unwrap_err();
+        assert_eq!(err.code, ErrorCode::Rejected);
+        assert_eq!(err.detail, "bad sig");
+        assert_eq!(decoded[2].as_ref().unwrap().jsn, 5);
+
+        // Empty batch and hostile item tag.
+        let empty = Response::ProofBatch(Vec::new());
+        assert!(matches!(
+            Response::from_wire(&empty.to_wire()).unwrap(),
+            Response::ProofBatch(v) if v.is_empty()
+        ));
+        let mut bytes = Response::AppendBatchResult(Vec::new()).to_wire();
+        // Claim one item, then supply tag 7 (neither ok nor err).
+        bytes[1..9].copy_from_slice(&1u64.to_be_bytes());
+        bytes.push(7);
+        assert!(matches!(Response::from_wire(&bytes), Err(WireError::BadTag(7))));
+    }
+
+    #[test]
+    fn hostile_batch_length_rejected_before_allocation() {
+        // A GetProofBatch claiming u64::MAX jsns in a tiny body must be
+        // rejected by the length-vs-remaining-bytes check, not OOM.
+        let mut w = Writer::new();
+        w.put_u8(12);
+        w.put_u64(u64::MAX);
+        assert!(Request::from_wire(&w.into_bytes()).is_err());
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! key after connecting.
 
 use crate::protocol::{
-    read_frame, write_frame, ErrorFrame, FrameError, Request, Response, ServerInfo,
+    read_frame, write_frame, ErrorFrame, FrameError, ProofItem, Request, Response, ServerInfo,
     DEFAULT_MAX_FRAME,
 };
 use ledgerdb_accumulator::fam::FamProof;
@@ -144,6 +144,31 @@ impl RemoteLedger {
         }
     }
 
+    /// Append a whole batch in one frame: one round trip, one
+    /// group-committed durability barrier server-side. Each element of
+    /// the result is that request's durable ack or its typed rejection
+    /// — order is positional, matching `requests`.
+    pub fn append_batch(
+        &mut self,
+        requests: Vec<TxRequest>,
+    ) -> Result<Vec<Result<(u64, Digest), ErrorFrame>>, RemoteError> {
+        let n = requests.len();
+        let results = match self.call(&Request::AppendBatch(requests))? {
+            Response::AppendBatchResult(results) => results,
+            other => return Err(unexpected("AppendBatchResult", &other)),
+        };
+        if results.len() != n {
+            return Err(RemoteError::Protocol(format!(
+                "sent {n} batched appends, got {} results",
+                results.len()
+            )));
+        }
+        Ok(results
+            .into_iter()
+            .map(|result| result.map(|ack| (ack.jsn, ack.tx_hash)))
+            .collect())
+    }
+
     /// Append + seal; the receipt is *not* yet verified (its block must
     /// first be synced) — use [`RemoteLedger::append_committed_verified`]
     /// for the full distrusting round trip.
@@ -205,6 +230,42 @@ impl RemoteLedger {
             .verify_existence(&tx_hash, &proof)
             .map_err(RemoteError::Verify)?;
         Ok((tx_hash, proof))
+    }
+
+    /// Fetch existence proofs for a batch of jsns in one frame, against
+    /// the client's **own** anchor, and verify every returned proof
+    /// against the client's own root before returning — a proof the
+    /// server could forge or misattribute never leaves this method
+    /// unverified. Per-item server rejections pass through positionally
+    /// as `Err(ErrorFrame)`.
+    pub fn prove_batch(
+        &mut self,
+        jsns: Vec<u64>,
+    ) -> Result<Vec<Result<(Digest, FamProof), ErrorFrame>>, RemoteError> {
+        let anchor = self.client.anchor();
+        let n = jsns.len();
+        let items = match self.call(&Request::GetProofBatch { jsns, anchor })? {
+            Response::ProofBatch(items) => items,
+            other => return Err(unexpected("ProofBatch", &other)),
+        };
+        if items.len() != n {
+            return Err(RemoteError::Protocol(format!(
+                "asked for {n} batched proofs, got {} items",
+                items.len()
+            )));
+        }
+        items
+            .into_iter()
+            .map(|item| match item {
+                Ok(ProofItem { tx_hash, proof }) => {
+                    self.client
+                        .verify_existence(&tx_hash, &proof)
+                        .map_err(RemoteError::Verify)?;
+                    Ok(Ok((tx_hash, proof)))
+                }
+                Err(frame) => Ok(Err(frame)),
+            })
+            .collect()
     }
 
     /// Fetch a clue lineage proof and verify it against the trusted clue

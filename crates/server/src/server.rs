@@ -26,9 +26,10 @@
 use crate::batcher::{Admission, BatchConfig, CommitOutcome, GroupCommitter};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, ErrorFrame, FrameError, Request, Response, ServerInfo,
-    DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+    read_frame, write_frame, AppendedAck, ErrorCode, ErrorFrame, FrameError, ProofItem, Request,
+    Response, ServerInfo, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
+use ledgerdb_accumulator::fam::TrustedAnchor;
 use ledgerdb_core::{SharedLedger, TxRequest, VerifyLevel};
 use ledgerdb_crypto::sync::Mutex;
 use ledgerdb_crypto::wire::Wire;
@@ -70,6 +71,11 @@ pub struct ServerConfig {
     /// exposition. Defaults to the process-global registry; tests bind
     /// their own for isolation.
     pub registry: Arc<Registry>,
+    /// Compute pool for the CPU-parallel append/proof pipeline:
+    /// off-lock batch admission + digest precompute, parallel seal
+    /// hashing, and fanned-out batch proofs. `None` (the default) keeps
+    /// every stage serial — the A/B baseline.
+    pub pool: Option<Arc<ledgerdb_pool::Pool>>,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +91,7 @@ impl Default for ServerConfig {
             admission: Admission::Verify,
             snapshot_reads: true,
             registry: Registry::global().clone(),
+            pool: None,
         }
     }
 }
@@ -113,8 +120,18 @@ impl Ledgerd {
         let listener = TcpListener::bind(&config.bind)?;
         let local_addr = listener.local_addr()?;
         shared.set_snapshot_reads(config.snapshot_reads);
+        // Wire the compute pool all the way down: the ledger uses it to
+        // hash seal subtrees in parallel, the committer to pipeline
+        // batch admission off the write lock.
+        shared.set_pool(config.pool.clone());
         let committer = config.batch.map(|batch| {
-            GroupCommitter::start_with(shared.clone(), batch, config.admission, &config.registry)
+            GroupCommitter::start_with_pool(
+                shared.clone(),
+                batch,
+                config.admission,
+                &config.registry,
+                config.pool.clone(),
+            )
         });
         let metrics = ServerMetrics::bind(&config.registry);
         let state = Arc::new(ServerState {
@@ -346,7 +363,8 @@ fn hang_up(state: &ServerState, mut stream: TcpStream, response: Response) {
 
 fn handle_request(state: &ServerState, request: Request) -> Response {
     if state.shutdown.load(Ordering::SeqCst) {
-        if let Request::Append(_) | Request::AppendCommitted(_) = request {
+        if let Request::Append(_) | Request::AppendCommitted(_) | Request::AppendBatch(_) = request
+        {
             return Response::Error(ErrorFrame {
                 code: ErrorCode::ShuttingDown,
                 detail: "server is draining".into(),
@@ -391,7 +409,87 @@ fn handle_request(state: &ServerState, request: Request) -> Response {
             Response::BlockFeed(state.shared.blocks_from(from_height, max_blocks))
         }
         Request::Stats => Response::Stats(ledgerdb_telemetry::render(&state.config.registry)),
+        Request::AppendBatch(requests) => handle_append_batch(state, requests),
+        Request::GetProofBatch { jsns, anchor } => handle_proof_batch(state, jsns, anchor),
     }
+}
+
+/// One-frame group commit: the client pre-batched, so the committer's
+/// accumulation window buys nothing — the batch goes straight through
+/// the batched ledger entry points. With a compute pool configured,
+/// admission (membership + π_c) and journal digests fan out across the
+/// pool *before* the write lock; without one, the serial batched path
+/// runs — byte-identical results either way.
+fn handle_append_batch(state: &ServerState, requests: Vec<TxRequest>) -> Response {
+    let proxy = state.config.admission == Admission::ProxyTrusted;
+    let admission = if proxy {
+        &state.metrics.admission_proxy
+    } else {
+        &state.metrics.admission_verify
+    };
+    admission.add(requests.len() as u64);
+    let results = match (&state.config.pool, proxy) {
+        (Some(pool), false) => state.shared.append_batch_pipelined(requests, pool),
+        (Some(pool), true) => state.shared.append_batch_preverified_pipelined(requests, pool),
+        (None, false) => state.shared.append_batch(requests),
+        (None, true) => state.shared.append_batch_preverified(requests),
+    };
+    let results = match results {
+        Ok(results) => results,
+        Err(e) => return Response::Error(ErrorFrame::from_ledger_error(&e)),
+    };
+    // Same sticky-durability discipline as single appends: an auto-seal
+    // WAL failure surfaces on the request that triggered it.
+    if let Some(e) = state.shared.take_durability_error() {
+        return Response::Error(ErrorFrame::from_ledger_error(&e));
+    }
+    Response::AppendBatchResult(
+        results
+            .into_iter()
+            .map(|result| {
+                result
+                    .map(|ack| AppendedAck { jsn: ack.jsn, tx_hash: ack.tx_hash })
+                    .map_err(|e| ErrorFrame::from_ledger_error(&e))
+            })
+            .collect(),
+    )
+}
+
+/// Batch existence proofs. When the published [`ReadSnapshot`] covers
+/// every requested jsn, proofs are built from that immutable snapshot —
+/// fanned out across the compute pool when one is configured, with no
+/// ledger lock taken at all. Any jsn past the sealed prefix (or the
+/// snapshot path disabled) falls back to per-item locked proving.
+///
+/// [`ReadSnapshot`]: ledgerdb_core::ReadSnapshot
+fn handle_proof_batch(state: &ServerState, jsns: Vec<u64>, anchor: TrustedAnchor) -> Response {
+    let snap = state.shared.snapshot();
+    let snapshot_serves = state.shared.snapshot_reads()
+        && snap.can_prove()
+        && jsns.iter().all(|&jsn| snap.covers(jsn));
+    let item = |result: Result<(ledgerdb_crypto::digest::Digest, _), _>| {
+        result
+            .map(|(tx_hash, proof)| ProofItem { tx_hash, proof })
+            .map_err(|e| ErrorFrame::from_ledger_error(&e))
+    };
+    let items = match (&state.config.pool, snapshot_serves) {
+        (Some(pool), true) => pool
+            .try_map(&jsns, |_, &jsn| snap.prove_existence(jsn, &anchor))
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(result) => item(result),
+                Err(panic) => Err(ErrorFrame {
+                    code: ErrorCode::Internal,
+                    detail: format!("proof task failed: {}", panic.message),
+                }),
+            })
+            .collect(),
+        (None, true) => jsns.iter().map(|&jsn| item(snap.prove_existence(jsn, &anchor))).collect(),
+        (_, false) => {
+            jsns.iter().map(|&jsn| item(state.shared.prove_existence(jsn, &anchor))).collect()
+        }
+    };
+    Response::ProofBatch(items)
 }
 
 fn handle_append(state: &ServerState, tx: TxRequest, committed: bool) -> Response {
@@ -482,6 +580,79 @@ mod tests {
             .append(TxRequest::signed(&alice, b"plain".to_vec(), vec![], 0))
             .unwrap();
         assert_eq!(jsn, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn batched_endpoints_round_trip_with_pool() {
+        let (shared, alice) = shared(8);
+        let registry = Arc::new(Registry::new());
+        let pool = ledgerdb_pool::Pool::with_registry(3, &registry);
+        let config = ServerConfig {
+            registry: registry.clone(),
+            pool: Some(pool),
+            ..ServerConfig::default()
+        };
+        let server = Ledgerd::start(shared.clone(), config).unwrap();
+        let mut remote = RemoteLedger::connect(server.local_addr()).unwrap();
+
+        // One frame, one commit: 20 good requests and a stranger's.
+        let stranger = ledgerdb_crypto::keys::KeyPair::from_seed(b"batch-stranger");
+        let mut requests: Vec<TxRequest> = (0..20u64)
+            .map(|i| {
+                TxRequest::signed(&alice, format!("batch-{i}").into_bytes(), vec!["b".into()], i)
+            })
+            .collect();
+        requests.insert(7, TxRequest::signed(&stranger, b"intruder".to_vec(), vec![], 99));
+        let results = remote.append_batch(requests).unwrap();
+        assert_eq!(results.len(), 21);
+        assert_eq!(results[7].as_ref().unwrap_err().code, ErrorCode::Rejected);
+        // Positional acks with dense jsns: the rejected item consumed
+        // no jsn, its successors shifted down by one.
+        let jsns: Vec<u64> = results
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 7)
+            .map(|(_, r)| r.as_ref().unwrap().0)
+            .collect();
+        assert_eq!(jsns, (0..20).collect::<Vec<_>>());
+        assert_eq!(shared.journal_count(), 20);
+
+        // Batch proofs against the client's own anchor: sync the sealed
+        // prefix (block_size 8 → blocks at 8 and 16), then prove the
+        // covered jsns plus one absurd jsn whose per-item error must not
+        // poison its siblings. Every returned proof was verified against
+        // the client's own root inside prove_batch.
+        shared.seal_block();
+        remote.sync().unwrap();
+        let covered = remote.client().verified_journals();
+        assert!(covered >= 16, "sealed prefix should cover the appends, got {covered}");
+        let mut jsns: Vec<u64> = (0..covered).collect();
+        jsns.push(10_000);
+        let proofs = remote.prove_batch(jsns).unwrap();
+        assert_eq!(proofs.len(), covered as usize + 1);
+        assert!(proofs[..covered as usize].iter().all(|p| p.is_ok()));
+        assert_eq!(proofs[covered as usize].as_ref().unwrap_err().code, ErrorCode::NotFound);
+
+        // The pool actually carried work for both stages.
+        let text = ledgerdb_telemetry::render(&registry);
+        let tasks = ledgerdb_telemetry::parse_value(&text, "ledger_pool_tasks_total").unwrap();
+        assert!(tasks > 0.0, "pool tasks should have run:\n{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn batched_appends_match_serial_results_without_pool() {
+        // The same wire request against a pool-less server takes the
+        // serial batched path — same acks, same ledger state.
+        let (server, alice) = start(8, None);
+        let mut remote = RemoteLedger::connect(server.local_addr()).unwrap();
+        let requests: Vec<TxRequest> = (0..5u64)
+            .map(|i| TxRequest::signed(&alice, format!("serial-{i}").into_bytes(), vec![], i))
+            .collect();
+        let results = remote.append_batch(requests).unwrap();
+        let jsns: Vec<u64> = results.iter().map(|r| r.as_ref().unwrap().0).collect();
+        assert_eq!(jsns, vec![0, 1, 2, 3, 4]);
         server.shutdown();
     }
 

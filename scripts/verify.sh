@@ -19,6 +19,41 @@ cargo test --release -q --test torture_recovery
 echo "== snapshot torture (release, readers vs occult/purge writer) =="
 cargo test --release -q --test torture_snapshot
 
+echo "== append pipeline (differential suite + pooled vs serial A/B) =="
+# Serial and pooled replays must be byte-identical across randomized
+# schedules (occults/purge included), and pool-task panics must stay
+# typed per-item failures.
+cargo test --release -q --test differential_pipeline
+
+# Lock-window contract: prof_append hard-asserts zero in-lock ECDSA and
+# >=2 fewer sha256 finalizes per request vs the unpipelined baseline.
+./target/release/prof_append --n 512 --payload 256 --workers 2 > /dev/null
+
+# Interleaved A/B: loadgen itself asserts byte-identical roots across
+# every rep and that ledger_pool_tasks_total moved on the pooled cells.
+# (2>&1: the human-readable banner + speedup line go to stderr, the
+# JSON rows to stdout — the asserts below need both.)
+PIPE_OUT="$(./target/release/loadgen --pipeline --appends 1024 --workers 4 \
+  --batch-size 64 --reps 2 2>&1)"
+printf '%s\n' "$PIPE_OUT" | tail -n1
+SPEEDUP="$(printf '%s\n' "$PIPE_OUT" \
+  | sed -n 's/^loadgen: append-pipeline speedup: \([0-9.]*\)x.*/\1/p')"
+[[ -n "$SPEEDUP" ]] || { echo "no speedup line from loadgen --pipeline"; exit 1; }
+printf '%s\n' "$PIPE_OUT" | grep -Eq '"workers":4.*"pool_tasks":[1-9]' \
+  || { echo "ledger_pool_tasks_total never moved on the pooled cells"; exit 1; }
+CORES="$(nproc)"
+if [[ "$CORES" -gt 1 ]]; then
+  # Real cores available: the pooled path must not lose to serial.
+  awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 1.0) }' \
+    || { echo "pooled append slower than serial on $CORES cores (${SPEEDUP}x)"; exit 1; }
+else
+  # Single core: no parallelism to win with — gate on near-parity so a
+  # coordination-overhead regression still fails the build.
+  echo "note: single core — gating pooled/serial on parity (>=0.85x), not speedup"
+  awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 0.85) }' \
+    || { echo "pooled append overhead too high (${SPEEDUP}x < 0.85x)"; exit 1; }
+fi
+
 echo "== server smoke (ledgerd + remote verify + kill -9 + recovery) =="
 SMOKE_DIR="$(mktemp -d "${TMPDIR:-/tmp}/ledgerd-smoke.XXXXXX")"
 SMOKE_LOG="$SMOKE_DIR/ledgerd.log"

@@ -9,6 +9,8 @@ pub use ledgerdb_clue as clue;
 pub use ledgerdb_core as core;
 pub use ledgerdb_crypto as crypto;
 pub use ledgerdb_mpt as mpt;
+pub use ledgerdb_pool as pool;
 pub use ledgerdb_server as server;
 pub use ledgerdb_storage as storage;
+pub use ledgerdb_telemetry as telemetry;
 pub use ledgerdb_timesvc as timesvc;

@@ -1,0 +1,57 @@
+//! Block-header hash memoization, pinned by a process-global counter —
+//! which is why this test lives in its own integration binary: no other
+//! test may touch `block_hash_computations()`.
+//!
+//! Growing a 1,000-block chain must hash each header exactly once, even
+//! though every seal reads the previous block's hash and every
+//! receipt/anchor read touches headers again.
+
+use ledgerdb::core::types::block_hash_computations;
+use ledgerdb::core::{LedgerConfig, LedgerDb, MemberRegistry, TxRequest};
+use ledgerdb::crypto::ca::{CertificateAuthority, Role};
+use ledgerdb::crypto::keys::KeyPair;
+
+#[test]
+fn thousand_block_chain_hashes_each_header_exactly_once() {
+    let ca = CertificateAuthority::from_seed(b"once-ca");
+    let alice = KeyPair::from_seed(b"once-alice");
+    let mut registry = MemberRegistry::new(*ca.public_key());
+    registry.register(ca.issue("alice", Role::User, alice.public())).unwrap();
+    let config = LedgerConfig { block_size: 1, fam_delta: 12, name: "once".into() };
+    let mut ledger = LedgerDb::new(config, registry);
+
+    let blocks = 1000u64;
+    let before = block_hash_computations();
+    for i in 0..blocks {
+        let req = TxRequest::signed(&alice, format!("b-{i}").into_bytes(), vec![], i);
+        ledger.append(req).unwrap();
+        // block_size 1: the append auto-seals — each seal links to the
+        // previous header via its (memoized) hash.
+    }
+    assert_eq!(ledger.block_count(), blocks);
+    let sealed = block_hash_computations() - before;
+    assert_eq!(
+        sealed, blocks,
+        "sealing {blocks} blocks must compute exactly {blocks} header hashes"
+    );
+
+    // Re-reading the chain — receipts, anchors, feeds — recomputes
+    // nothing: every header hash is already memoized.
+    let before = block_hash_computations();
+    for jsn in 0..blocks {
+        assert!(ledger.receipt(jsn).unwrap().is_some());
+    }
+    let mut prev = None;
+    for block in ledger.blocks() {
+        let h = block.hash();
+        if let Some(prev) = prev {
+            assert_eq!(block.prev_block_hash, prev, "chain must link");
+        }
+        prev = Some(h);
+    }
+    assert_eq!(
+        block_hash_computations() - before,
+        0,
+        "re-reading the chain must hit the memo every time"
+    );
+}

@@ -1,0 +1,312 @@
+//! Differential determinism suite for the CPU-parallel append/proof
+//! pipeline: the pooled and serial paths must be **byte-identical** —
+//! same block hashes, same roots, same receipts, same wire-encoded
+//! proofs — across randomized batch schedules that interleave appends,
+//! seals, occults, and a purge. Plus ledger-level pool torture: a
+//! panicking pool task must neither wedge the pool nor poison the
+//! ledger, and surfaces as a typed per-item error.
+
+use ledgerdb::core::{
+    LedgerConfig, LedgerDb, LedgerError, MemberRegistry, OccultMode, SharedLedger, TxRequest,
+};
+use ledgerdb::crypto::ca::{CertificateAuthority, Role};
+use ledgerdb::crypto::keys::KeyPair;
+use ledgerdb::crypto::multisig::MultiSignature;
+use ledgerdb::crypto::wire::Wire;
+use ledgerdb::pool::Pool;
+use ledgerdb::telemetry::Registry;
+use std::sync::Arc;
+
+struct World {
+    shared: SharedLedger,
+    alice: KeyPair,
+    bob: KeyPair,
+    dba: KeyPair,
+    regulator: KeyPair,
+}
+
+fn world(block_size: u64) -> World {
+    let ca = CertificateAuthority::from_seed(b"diff-ca");
+    let alice = KeyPair::from_seed(b"diff-alice");
+    let bob = KeyPair::from_seed(b"diff-bob");
+    let dba = KeyPair::from_seed(b"diff-dba");
+    let regulator = KeyPair::from_seed(b"diff-reg");
+    let mut registry = MemberRegistry::new(*ca.public_key());
+    registry.register(ca.issue("alice", Role::User, alice.public())).unwrap();
+    registry.register(ca.issue("bob", Role::User, bob.public())).unwrap();
+    registry.register(ca.issue("dba", Role::Dba, dba.public())).unwrap();
+    registry.register(ca.issue("reg", Role::Regulator, regulator.public())).unwrap();
+    let config = LedgerConfig { block_size, fam_delta: 6, name: "diff".into() };
+    World { shared: SharedLedger::new(LedgerDb::new(config, registry)), alice, bob, dba, regulator }
+}
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// One deterministic randomized schedule: batches of varying size with
+/// varying payloads/clues/signers, a seal after most batches, occults
+/// of already-committed journals, and one purge partway through.
+enum Op {
+    Batch(Vec<TxRequest>),
+    Seal,
+    /// Occult the journal at this fraction (per-mille) of the committed
+    /// prefix.
+    Occult(u64),
+    /// Purge up to this fraction (per-mille) of the committed prefix.
+    Purge(u64),
+}
+
+fn schedule(w: &World, seed: u64) -> Vec<Op> {
+    let mut rng = XorShift(seed.max(1));
+    let mut ops = Vec::new();
+    let mut serial = 0u64;
+    for round in 0..12u64 {
+        let batch_len = 1 + rng.next() % 24;
+        let batch: Vec<TxRequest> = (0..batch_len)
+            .map(|_| {
+                let signer = if rng.next() % 3 == 0 { &w.bob } else { &w.alice };
+                let payload_len = (rng.next() % 300) as usize;
+                let payload: Vec<u8> =
+                    (0..payload_len).map(|_| (rng.next() & 0xFF) as u8).collect();
+                let clues = match rng.next() % 4 {
+                    0 => vec![],
+                    1 => vec![format!("c{}", rng.next() % 5)],
+                    _ => vec![format!("c{}", rng.next() % 5), format!("d{}", rng.next() % 3)],
+                };
+                serial += 1;
+                TxRequest::signed(signer, payload, clues, seed << 20 | serial)
+            })
+            .collect();
+        ops.push(Op::Batch(batch));
+        if rng.next() % 4 != 0 {
+            ops.push(Op::Seal);
+        }
+        if round >= 2 && rng.next() % 3 == 0 {
+            ops.push(Op::Occult(rng.next() % 1000));
+        }
+        if round == 7 {
+            ops.push(Op::Purge(200 + rng.next() % 300));
+        }
+    }
+    ops.push(Op::Seal);
+    ops
+}
+
+/// Replay `ops` against `w`, batched-appending through the pool when
+/// one is given and through the serial batched path otherwise.
+fn replay(w: &World, ops: &[Op], pool: Option<&Arc<Pool>>) {
+    w.shared.set_pool(pool.cloned());
+    let mut occulted = std::collections::HashSet::new();
+    let mut purged_to = 0u64;
+    for op in ops {
+        match op {
+            Op::Batch(requests) => {
+                let results = match pool {
+                    Some(pool) => {
+                        w.shared.append_batch_pipelined(requests.clone(), pool).unwrap()
+                    }
+                    None => w.shared.append_batch(requests.clone()).unwrap(),
+                };
+                for r in results {
+                    r.unwrap();
+                }
+            }
+            Op::Seal => w.shared.try_seal_block().unwrap(),
+            Op::Occult(mille) => {
+                let count = w.shared.journal_count();
+                let target = count * mille / 1000;
+                // Deterministic skip of already-mutated targets keeps
+                // the twins in lockstep without tracking ledger errors.
+                if target < purged_to || !occulted.insert(target) {
+                    continue;
+                }
+                w.shared.with_write(|l| {
+                    if l.is_occulted(target) {
+                        return; // occult journals can land on marked jsns
+                    }
+                    let digest = l.occult_approval_digest(target);
+                    let mut ms = MultiSignature::new();
+                    ms.add(&w.dba, &digest);
+                    ms.add(&w.regulator, &digest);
+                    l.occult(target, ms, OccultMode::Sync).unwrap();
+                });
+            }
+            Op::Purge(mille) => {
+                let count = w.shared.journal_count();
+                let purge_to = (count * mille / 1000).max(purged_to + 1);
+                w.shared.with_write(|l| {
+                    let digest = l.purge_approval_digest(purge_to);
+                    let mut ms = MultiSignature::new();
+                    ms.add(&w.dba, &digest);
+                    ms.add(&w.alice, &digest);
+                    ms.add(&w.bob, &digest);
+                    // Pin one survivor that the purge would erase.
+                    l.purge(purge_to, ms, &[purge_to / 2], false).unwrap();
+                });
+                purged_to = purge_to;
+            }
+        }
+    }
+}
+
+/// Every externally observable byte of the ledger: roots, the full
+/// block chain (wire-encoded), receipts, and existence proofs for a
+/// deterministic jsn sample.
+fn fingerprint(w: &World) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&w.shared.journal_root().0);
+    out.extend_from_slice(&w.shared.clue_root().0);
+    out.extend_from_slice(&w.shared.anchor().to_wire());
+    let blocks = w.shared.blocks_from(0, u64::MAX);
+    for block in &blocks {
+        out.extend_from_slice(&block.hash().0);
+        out.extend_from_slice(&block.to_wire());
+    }
+    let sealed = blocks.last().map(|b| b.first_jsn + b.journal_count).unwrap_or(0);
+    let anchor = w.shared.anchor();
+    for jsn in (0..sealed).step_by(7) {
+        if let Ok(Some(receipt)) = w.shared.receipt(jsn) {
+            out.extend_from_slice(&receipt.to_wire());
+        }
+        match w.shared.prove_existence(jsn, &anchor) {
+            Ok((tx_hash, proof)) => {
+                out.extend_from_slice(&tx_hash.0);
+                out.extend_from_slice(&proof.to_wire());
+            }
+            Err(_) => out.push(0xEE), // purged/occulted: same on both twins
+        }
+    }
+    out
+}
+
+#[test]
+fn pooled_and_serial_schedules_are_byte_identical() {
+    for seed in [3u64, 17, 101] {
+        for block_size in [4u64, 16] {
+            let serial = world(block_size);
+            let pooled = world(block_size);
+            let ops = schedule(&serial, seed);
+            let pool = Pool::with_registry(3, &Registry::new());
+            replay(&serial, &ops, None);
+            replay(&pooled, &ops, Some(&pool));
+            assert_eq!(
+                serial.shared.journal_count(),
+                pooled.shared.journal_count(),
+                "journal counts diverged (seed {seed}, block_size {block_size})"
+            );
+            assert_eq!(
+                fingerprint(&serial),
+                fingerprint(&pooled),
+                "pooled replay diverged from serial (seed {seed}, block_size {block_size})"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_worker_pool_matches_many_worker_pool() {
+    // Worker count must never leak into results: 1-worker and 4-worker
+    // pools replay the same schedule to the same bytes.
+    let a = world(8);
+    let b = world(8);
+    let ops = schedule(&a, 77);
+    let pool_one = Pool::with_registry(1, &Registry::new());
+    let pool_many = Pool::with_registry(4, &Registry::new());
+    replay(&a, &ops, Some(&pool_one));
+    replay(&b, &ops, Some(&pool_many));
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn injected_task_failure_is_typed_and_does_not_poison_the_batch() {
+    // A pool-task panic reaches the prepared entry point as a per-item
+    // `LedgerError::TaskFailed`; siblings commit with dense jsns.
+    let w = world(16);
+    let good = |i: u64| {
+        Ok(ledgerdb::core::PreparedTx::compute(TxRequest::signed(
+            &w.alice,
+            format!("ok-{i}").into_bytes(),
+            vec![],
+            i,
+        )))
+    };
+    let prepared = vec![
+        good(0),
+        Err(LedgerError::TaskFailed("worker panicked: boom".into())),
+        good(2),
+    ];
+    let results = w.shared.with_write(|l| l.append_batch_prepared(prepared)).unwrap();
+    assert_eq!(results.len(), 3);
+    assert_eq!(results[0].as_ref().unwrap().jsn, 0);
+    assert!(matches!(results[1], Err(LedgerError::TaskFailed(_))));
+    assert_eq!(results[2].as_ref().unwrap().jsn, 1, "failed item must not consume a jsn");
+    assert_eq!(w.shared.journal_count(), 2);
+    // The ledger keeps working afterwards.
+    w.shared
+        .append(TxRequest::signed(&w.alice, b"after".to_vec(), vec![], 99))
+        .unwrap();
+    assert_eq!(w.shared.journal_count(), 3);
+}
+
+#[test]
+fn panicking_pool_tasks_do_not_wedge_the_pool_or_the_ledger() {
+    // Torture: hammer the SAME pool the ledger uses with panicking
+    // tasks between pipelined batches. Every batch must still commit,
+    // and the final ledger must match a serial twin byte-for-byte.
+    let pooled = world(8);
+    let serial = world(8);
+    let pool = Pool::with_registry(2, &Registry::new());
+    let mut all: Vec<Vec<TxRequest>> = Vec::new();
+    for round in 0..8u64 {
+        let batch: Vec<TxRequest> = (0..6u64)
+            .map(|i| {
+                TxRequest::signed(
+                    &pooled.alice,
+                    format!("t-{round}-{i}").into_bytes(),
+                    vec![format!("t{}", i % 2)],
+                    round * 100 + i,
+                )
+            })
+            .collect();
+        all.push(batch.clone());
+
+        // Panic storm on the shared pool.
+        let stormed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                for i in 0..4 {
+                    s.spawn(move || {
+                        if i % 2 == 0 {
+                            panic!("torture round {round} task {i}");
+                        }
+                    });
+                }
+            });
+        }));
+        assert!(stormed.is_err(), "scope must re-raise the task panic");
+
+        // The pool still pipelines the batch correctly.
+        let results = pooled.shared.append_batch_pipelined(batch, &pool).unwrap();
+        for r in results {
+            r.unwrap();
+        }
+        pooled.shared.try_seal_block().unwrap();
+    }
+    for batch in all {
+        let results = serial.shared.append_batch(batch).unwrap();
+        for r in results {
+            r.unwrap();
+        }
+        serial.shared.try_seal_block().unwrap();
+    }
+    assert_eq!(fingerprint(&pooled), fingerprint(&serial));
+}
