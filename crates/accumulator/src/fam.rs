@@ -76,6 +76,23 @@ enum SealedEpoch {
     RootOnly,
 }
 
+/// Serialized form of a [`FamTree`] — the checkpoint engine's view.
+///
+/// Sealed epochs carry their full node storage (`Some`) unless a purge
+/// erased them down to the root (`None`); either way the epoch root
+/// itself lives in `sealed_roots`. Node digests are stored verbatim, so
+/// a restore performs no hashing.
+#[derive(Clone, Debug)]
+pub struct FamParts {
+    pub delta: u32,
+    pub sealed_roots: Vec<Digest>,
+    /// Per sealed epoch: the full Shrubs storage, or `None` if erased.
+    pub epochs: Vec<Option<Shrubs>>,
+    pub current: Shrubs,
+    pub epoch_first_jsn: Vec<u64>,
+    pub journal_count: u64,
+}
+
 /// The fam tree with fixed fractal height δ.
 #[derive(Clone, Debug)]
 pub struct FamTree {
@@ -237,6 +254,76 @@ impl FamTree {
             })
             .sum();
         sealed + self.current.node_count()
+    }
+
+    /// Export the accumulator for checkpoint serialization. Sealed-epoch
+    /// storage is cloned out of its `Arc` (cheap relative to the I/O that
+    /// follows, and only done on the checkpoint cadence).
+    pub fn export_parts(&self) -> FamParts {
+        FamParts {
+            delta: self.delta,
+            sealed_roots: self.sealed_roots.clone(),
+            epochs: self
+                .sealed
+                .iter()
+                .map(|e| match e {
+                    SealedEpoch::Full(t) => Some(Shrubs::clone(t)),
+                    SealedEpoch::RootOnly => None,
+                })
+                .collect(),
+            current: self.current.clone(),
+            epoch_first_jsn: self.epoch_first_jsn.clone(),
+            journal_count: self.journal_count,
+        }
+    }
+
+    /// Rebuild a fam tree from its serialized parts.
+    ///
+    /// Validates the structural invariants the live tree maintains:
+    /// index alignment between `epochs` and `sealed_roots`, a monotonic
+    /// `epoch_first_jsn` anchored at 0 with one entry per epoch, and —
+    /// for every epoch whose storage survives — that the stored nodes
+    /// actually bag to the recorded epoch root.
+    pub fn from_parts(parts: FamParts) -> Result<FamTree, AccumulatorError> {
+        let malformed = |what| Err(AccumulatorError::MalformedProof(what));
+        if !(1..=40).contains(&parts.delta) {
+            return malformed("fractal height out of range");
+        }
+        if parts.epochs.len() != parts.sealed_roots.len() {
+            return malformed("epoch storage and root count differ");
+        }
+        if parts.epoch_first_jsn.len() != parts.epochs.len() + 1 {
+            return malformed("epoch_first_jsn must have one entry per epoch");
+        }
+        if parts.epoch_first_jsn.first() != Some(&0) {
+            return malformed("first epoch must start at jsn 0");
+        }
+        if parts.epoch_first_jsn.windows(2).any(|w| w[0] >= w[1]) {
+            return malformed("epoch_first_jsn must be strictly increasing");
+        }
+        if parts.epoch_first_jsn.last().copied().unwrap_or(0) > parts.journal_count {
+            return malformed("journal count behind last epoch start");
+        }
+        let mut sealed = Vec::with_capacity(parts.epochs.len());
+        for (i, epoch) in parts.epochs.into_iter().enumerate() {
+            match epoch {
+                Some(tree) => {
+                    if tree.root() != parts.sealed_roots[i] {
+                        return malformed("sealed epoch nodes do not bag to recorded root");
+                    }
+                    sealed.push(SealedEpoch::Full(Arc::new(tree)));
+                }
+                None => sealed.push(SealedEpoch::RootOnly),
+            }
+        }
+        Ok(FamTree {
+            delta: parts.delta,
+            sealed,
+            sealed_roots: parts.sealed_roots,
+            current: parts.current,
+            epoch_first_jsn: parts.epoch_first_jsn,
+            journal_count: parts.journal_count,
+        })
     }
 
     /// Locate (epoch index, leaf offset within the epoch tree) for a jsn.

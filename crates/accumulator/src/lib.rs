@@ -33,6 +33,6 @@ pub mod wire;
 pub use bamt::{Bamt, BamtProof};
 pub use bim::{BimChain, BimProof, BlockHeader};
 pub use error::AccumulatorError;
-pub use fam::{FamProof, FamTree, TrustedAnchor};
+pub use fam::{FamParts, FamProof, FamTree, TrustedAnchor};
 pub use shrubs::{Shrubs, ShrubsBatchProof, ShrubsProof};
 pub use tim::{TimAccumulator, TimProof};

@@ -159,6 +159,25 @@ impl Shrubs {
         self.nodes.get(pos as usize).copied()
     }
 
+    /// The dense post-order node storage — checkpoint serialization reads
+    /// this directly so restoring an accumulator costs zero re-hashing.
+    pub fn nodes(&self) -> &[Digest] {
+        &self.nodes
+    }
+
+    /// Rebuild an accumulator from its serialized node storage.
+    ///
+    /// Structural validation only: the node count must be exactly what
+    /// `leaf_count` leaves occupy. Digest integrity is the caller's
+    /// problem (checkpoint loads verify the recomputed roots against the
+    /// manifest and the sealed block headers).
+    pub fn from_parts(nodes: Vec<Digest>, leaf_count: u64) -> Result<Self, AccumulatorError> {
+        if nodes.len() as u64 != node_count(leaf_count) {
+            return Err(AccumulatorError::MalformedProof("node storage does not match leaf count"));
+        }
+        Ok(Shrubs { nodes, leaf_count })
+    }
+
     /// The frontier: complete-subtree roots left to right. This is the
     /// paper's *node-set proof* for the most recent cell.
     pub fn frontier(&self) -> Vec<Digest> {

@@ -1,15 +1,27 @@
 //! Durability and recovery profiling helper (not a paper figure).
 //!
 //! Measures the price of the crash-consistent stream layer: durable
-//! append throughput under each fsync policy, and recovery replay
+//! append throughput under each fsync policy, recovery replay
 //! throughput (journals/second to rebuild the full kernel — fam tree,
-//! CM-Tree, MPT, block verification — from the reopened WAL).
+//! CM-Tree, MPT, block verification — from the reopened WAL), and the
+//! checkpointed-restart A/B: the same history reopened with and without
+//! a committed checkpoint, hard-asserting that the checkpointed restart
+//! replays O(tail) WAL records instead of O(history).
+//!
+//! ```text
+//! prof_recovery [--checkpoint-ab] [--json PATH]
+//! ```
+//!
+//! `--checkpoint-ab` runs only the gating A/B (verify.sh's stage);
+//! `--json PATH` additionally writes the A/B cells as a JSON record
+//! (the `results/BENCH_recovery.json` convention).
 
 use ledgerdb_bench::{banner, fmt_latency, fmt_tps, row, throughput, timed, XorShift};
-use ledgerdb_core::recovery::open_durable;
+use ledgerdb_core::recovery::{open_durable, CHECKPOINT_DIR};
 use ledgerdb_core::{LedgerConfig, MemberRegistry, TxRequest};
 use ledgerdb_crypto::ca::{CertificateAuthority, Role};
 use ledgerdb_crypto::keys::KeyPair;
+use ledgerdb_storage::checkpoint::{CheckpointStore, CkptIo};
 use ledgerdb_storage::FsyncPolicy;
 use ledgerdb_timesvc::clock::SimClock;
 use std::path::PathBuf;
@@ -52,7 +64,154 @@ fn build(dir: &PathBuf, n: u64, policy: FsyncPolicy) {
     assert!(ledger.durability_error().is_none());
 }
 
+/// The gating A/B: one history reopened twice — once from the raw WAL
+/// (O(history) replay), once from a committed checkpoint plus an
+/// unsealed tail (O(tail) replay). Asserts the bound; returns the two
+/// cells for the optional JSON record.
+fn checkpoint_ab(n: u64, tail: u64) -> String {
+    banner(&format!("Checkpointed restart A/B (history {n}, tail {tail})"));
+    let (registry, alice) = registry();
+
+    // Cell A: no checkpoint — the restart replays the whole history.
+    let dir_a = temp_dir("ab-wal");
+    build(&dir_a, n, FsyncPolicy::Never);
+    let ((ledger_a, report_a), secs_a) = timed(|| {
+        open_durable(config(), registry.clone(), &dir_a, FsyncPolicy::Always, Arc::new(SimClock::new()))
+            .unwrap()
+    });
+    assert!(report_a.checkpoint.is_none());
+    assert_eq!(report_a.journals_replayed, n, "the baseline replays everything");
+    assert_eq!(ledger_a.journal_count(), n);
+    let root_a = ledger_a.journal_root();
+    drop(ledger_a);
+    std::fs::remove_dir_all(&dir_a).ok();
+
+    // Cell B: the same history, checkpointed at the seal boundary, then
+    // `tail` more journals appended on top (one more sealed block).
+    let dir_b = temp_dir("ab-ckpt");
+    {
+        let (mut ledger, _) = open_durable(
+            config(),
+            registry.clone(),
+            &dir_b,
+            FsyncPolicy::Never,
+            Arc::new(SimClock::new()),
+        )
+        .unwrap();
+        for r in requests(&alice, n, 256) {
+            ledger.append_preverified(r).unwrap();
+        }
+        ledger.seal_block();
+        let store = Arc::new(CheckpointStore::open(&dir_b.join(CHECKPOINT_DIR)).unwrap());
+        ledger.enable_checkpoints(store, Arc::new(CkptIo::new()), u64::MAX);
+        let id = ledger.checkpoint_now().expect("checkpoint commits");
+        assert!(id.is_some(), "the ledger sits at a seal boundary");
+        let mut rng = XorShift::new(97);
+        for i in 0..tail {
+            let r = TxRequest::signed(
+                &alice,
+                rng.payload(256),
+                vec![format!("c{}", i % 64)],
+                n + i,
+            );
+            ledger.append_preverified(r).unwrap();
+        }
+        assert!(ledger.durability_error().is_none());
+    }
+    let ((ledger_b, report_b), secs_b) = timed(|| {
+        open_durable(config(), registry.clone(), &dir_b, FsyncPolicy::Always, Arc::new(SimClock::new()))
+            .unwrap()
+    });
+    // The gate: the checkpointed restart's replay work is bounded by
+    // the post-checkpoint tail, not the history length.
+    assert!(report_b.checkpoint.is_some(), "restart must load the checkpoint: {report_b:?}");
+    assert_eq!(report_b.checkpoint_journals, n, "checkpoint covers the history");
+    assert!(
+        report_b.journals_replayed <= tail,
+        "O(tail) bound violated: replayed {} of a {}-journal tail ({report_b:?})",
+        report_b.journals_replayed,
+        tail
+    );
+    assert_eq!(ledger_b.journal_count(), n + tail);
+    // The checkpointed restart reproduces the exact accumulator state
+    // the baseline rebuilt by replay (same first n journals).
+    assert_eq!(
+        ledger_b.blocks()[..(n / 256) as usize]
+            .last()
+            .map(|b| b.info.journal_root),
+        Some(root_a),
+        "checkpointed restart must agree with full replay on the shared prefix"
+    );
+    drop(ledger_b);
+    std::fs::remove_dir_all(&dir_b).ok();
+
+    row(
+        "wal-only",
+        &[
+            ("replayed", report_a.journals_replayed.to_string()),
+            ("restart", fmt_latency(secs_a)),
+        ],
+    );
+    row(
+        "checkpointed",
+        &[
+            ("replayed", report_b.journals_replayed.to_string()),
+            ("restart", fmt_latency(secs_b)),
+        ],
+    );
+    println!(
+        "prof_recovery: checkpointed restart replays {}/{} records ({}x less work), {:.2}x wall",
+        report_b.journals_replayed,
+        report_a.journals_replayed,
+        report_a.journals_replayed.max(1) / report_b.journals_replayed.max(1),
+        secs_a / secs_b.max(1e-9),
+    );
+
+    let epoch = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    format!(
+        "{{\n  \"bench\": \"checkpointed_restart\",\n  \"recorded_epoch\": {epoch},\n  \
+         \"command\": \"prof_recovery --checkpoint-ab\",\n  \"history_journals\": {n},\n  \
+         \"tail_journals\": {tail},\n  \"cells\": [\n    {{ \"mode\": \"wal-only\", \
+         \"journals_replayed\": {}, \"restart_s\": {:.6} }},\n    {{ \"mode\": \"checkpointed\", \
+         \"journals_replayed\": {}, \"restart_s\": {:.6} }}\n  ]\n}}\n",
+        report_a.journals_replayed, secs_a, report_b.journals_replayed, secs_b,
+    )
+}
+
 fn main() {
+    let mut ab_only = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--checkpoint-ab" => ab_only = true,
+            "--json" => {
+                json_path = Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--json needs a path");
+                    std::process::exit(2);
+                })))
+            }
+            _ => {
+                eprintln!("usage: prof_recovery [--checkpoint-ab] [--json PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if ab_only {
+        let json = checkpoint_ab(1 << 13, 256);
+        if let Some(path) = json_path {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent).ok();
+            }
+            std::fs::write(&path, json).expect("write A/B record");
+            println!("prof_recovery: wrote {}", path.display());
+        }
+        return;
+    }
+
     banner("Durable append (256 B payloads, block size 256)");
     let n = 1u64 << 12;
     for (label, policy) in [
@@ -106,5 +265,14 @@ fn main() {
         );
         drop(ledger);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    let json = checkpoint_ab(1 << 13, 256);
+    if let Some(path) = json_path {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).ok();
+        }
+        std::fs::write(&path, json).expect("write A/B record");
+        println!("prof_recovery: wrote {}", path.display());
     }
 }

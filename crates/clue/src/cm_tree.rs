@@ -174,6 +174,40 @@ impl CmTree {
         self.refs.entry(clue.to_string()).or_default().push(jsn);
     }
 
+    /// Export every clue's state for checkpoint serialization, sorted by
+    /// clue so the encoding is canonical. Each entry carries the clue's
+    /// CM-Tree2 accumulator and its jsn reference list; CM-Tree1 is
+    /// derived state and is rebuilt on restore.
+    pub fn export_parts(&self) -> Vec<(String, Shrubs, Vec<u64>)> {
+        let mut out: Vec<(String, Shrubs, Vec<u64>)> = self
+            .subtrees
+            .iter()
+            .map(|(clue, subtree)| {
+                (clue.clone(), subtree.clone(), self.refs.get(clue).cloned().unwrap_or_default())
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Rebuild a CM-Tree from exported parts: re-insert each clue's
+    /// commitment value into a fresh CM-Tree1 (insertion order does not
+    /// affect the MPT root). The per-clue accumulators are restored
+    /// verbatim, so no journal digest is re-hashed.
+    pub fn from_parts(parts: Vec<(String, Shrubs, Vec<u64>)>) -> Result<CmTree, ClueError> {
+        let mut tree = CmTree::new();
+        for (clue, subtree, refs) in parts {
+            if refs.len() as u64 != subtree.leaf_count() {
+                return Err(ClueError::MalformedProof("clue refs do not match subtree size"));
+            }
+            let value = commit_value(&subtree.root(), subtree.leaf_count());
+            tree.mpt.insert(clue_key(&clue).as_bytes(), value);
+            tree.subtrees.insert(clue.clone(), subtree);
+            tree.refs.insert(clue, refs);
+        }
+        Ok(tree)
+    }
+
     /// Produce a client-side proof for clue versions `[lo, hi)`; pass
     /// `(0, entry_count)` to prove the entire lineage so far.
     pub fn prove_range(

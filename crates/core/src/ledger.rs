@@ -12,6 +12,7 @@ use ledgerdb_crypto::keys::{KeyPair, PublicKey};
 use ledgerdb_crypto::multisig::MultiSignature;
 use ledgerdb_crypto::sha256::{sha256, Sha256};
 use ledgerdb_mpt::Mpt;
+use ledgerdb_storage::checkpoint::{CheckpointStore, CkptIo};
 use ledgerdb_storage::occult_index::OccultIndex;
 use ledgerdb_storage::stream::{MemoryStreamStore, StreamStore};
 use ledgerdb_storage::survival::SurvivalStream;
@@ -91,6 +92,20 @@ pub struct PseudoGenesis {
     pub genesis_hash: Digest,
 }
 
+/// Automatic checkpoint policy: every `every_n_seals` sealed blocks,
+/// serialize the sealed-prefix state into the store (crash-atomically)
+/// and reset the metadata WAL, bounding restart replay to the
+/// post-checkpoint tail.
+pub struct CheckpointPolicy {
+    pub(crate) store: Arc<CheckpointStore>,
+    pub(crate) io: Arc<CkptIo>,
+    pub(crate) every_n_seals: u64,
+    /// Seals since the last committed checkpoint. A purge sets this to
+    /// `every_n_seals` so the stale covering checkpoint is replaced at
+    /// the next seal boundary.
+    pub(crate) seals_since: u64,
+}
+
 /// The LedgerDB instance.
 pub struct LedgerDb {
     pub(crate) id: Digest,
@@ -136,6 +151,8 @@ pub struct LedgerDb {
     /// every path serial; installing a pool changes scheduling only —
     /// all digests are pure, so roots are byte-identical either way.
     pub(crate) pool: Option<Arc<ledgerdb_pool::Pool>>,
+    /// Automatic checkpoint policy ([`LedgerDb::enable_checkpoints`]).
+    pub(crate) checkpoints: Option<CheckpointPolicy>,
 }
 
 impl LedgerDb {
@@ -182,6 +199,7 @@ impl LedgerDb {
             metrics: crate::metrics::CoreMetrics::default(),
             snapshot_hub: None,
             pool: None,
+            checkpoints: None,
         }
     }
 
@@ -262,6 +280,99 @@ impl LedgerDb {
         self.metrics = crate::metrics::CoreMetrics::bind(registry);
     }
 
+    /// Enable automatic checkpointing: after every `every_n_seals`
+    /// sealed blocks, the sealed-prefix state is committed to `store`
+    /// (crash-atomically; see [`ledgerdb_storage::checkpoint`]) and the
+    /// metadata WAL is reset, so restart replay is bounded by the
+    /// post-checkpoint tail. `io` routes the checkpoint writes — the
+    /// crash-point harness passes an armed router; production passes a
+    /// plain `CkptIo::new()`.
+    pub fn enable_checkpoints(
+        &mut self,
+        store: Arc<CheckpointStore>,
+        io: Arc<CkptIo>,
+        every_n_seals: u64,
+    ) {
+        self.checkpoints = Some(CheckpointPolicy {
+            store,
+            io,
+            every_n_seals: every_n_seals.max(1),
+            seals_since: 0,
+        });
+    }
+
+    /// The installed checkpoint store, if any.
+    pub fn checkpoint_store(&self) -> Option<&Arc<CheckpointStore>> {
+        self.checkpoints.as_ref().map(|p| &p.store)
+    }
+
+    /// Commit a checkpoint immediately, then reset the WAL.
+    ///
+    /// Returns `Ok(None)` when checkpoints are not enabled or the
+    /// ledger is not at a seal boundary (checkpoints only cover sealed
+    /// state — a mid-block checkpoint would strand the pending tail's
+    /// WAL records). On success the returned snapshot id names the
+    /// committed manifest and obsolete checkpoint files are garbage
+    /// collected best-effort.
+    ///
+    /// On error the ledger keeps serving: a crash mid-checkpoint leaves
+    /// either the old HEAD or the new one, never an unreadable mix, and
+    /// the (possibly longer) WAL still replays the full history.
+    pub fn checkpoint_now(&mut self) -> Result<Option<Digest>, LedgerError> {
+        let Some(policy) = &self.checkpoints else {
+            return Ok(None);
+        };
+        if !self.pending.is_empty() {
+            return Ok(None);
+        }
+        let store = Arc::clone(&policy.store);
+        let io = Arc::clone(&policy.io);
+        let start = std::time::Instant::now();
+        let (snapshot_id, bytes, segments) =
+            crate::checkpoint::write_checkpoint(self, &store, &io)?;
+        // Only after HEAD durably names the new checkpoint may the WAL
+        // shrink: a crash between the two leaves checkpoint + full WAL,
+        // and recovery skips the covered records by watermark.
+        if let Some(wal) = &self.wal {
+            wal.reset(io.as_ref())?;
+        }
+        store.gc(&snapshot_id, &segments);
+        self.metrics.checkpoints.inc();
+        self.metrics.checkpoint_bytes.observe(bytes);
+        self.metrics.checkpoint_write_seconds.observe_duration(start.elapsed());
+        if let Some(policy) = &mut self.checkpoints {
+            policy.seals_since = 0;
+        }
+        Ok(Some(snapshot_id))
+    }
+
+    /// Seal-path checkpoint hook: count the seal and, when the policy
+    /// says one is due, checkpoint. A failure must not fail the seal —
+    /// the block is already committed — so it is stashed as the sticky
+    /// durability error exactly like an auto-seal WAL failure.
+    fn maybe_checkpoint_after_seal(&mut self) {
+        let due = match &mut self.checkpoints {
+            Some(p) => {
+                p.seals_since += 1;
+                p.seals_since >= p.every_n_seals
+            }
+            None => false,
+        };
+        if !due {
+            return;
+        }
+        if let Err(e) = self.checkpoint_now() {
+            self.stash_durability_error(e);
+        }
+    }
+
+    /// Stash a failure from an infallible path as the sticky durability
+    /// error (gauge up until [`LedgerDb::take_durability_error`]).
+    pub(crate) fn stash_durability_error(&mut self, e: LedgerError) {
+        self.durability_error = Some(e);
+        self.metrics.durability_error.set(1);
+    }
+
     /// The ledger's identity digest (its `ledger_uri` analogue).
     pub fn id(&self) -> Digest {
         self.id
@@ -318,6 +429,11 @@ impl LedgerDb {
     }
 
     /// Sealed blocks (audit input).
+    /// Journals appended since the last sealed block.
+    pub fn pending_journals(&self) -> u64 {
+        self.pending.len() as u64
+    }
+
     pub fn blocks(&self) -> &[Block] {
         &self.blocks
     }
@@ -690,6 +806,7 @@ impl LedgerDb {
         // exactly the sealed journals and its root equals the block's
         // `info.journal_root` — the snapshot names a consistent LedgerInfo.
         self.publish_snapshot();
+        self.maybe_checkpoint_after_seal();
         Ok(())
     }
 
@@ -1043,6 +1160,14 @@ impl LedgerDb {
         // servable a little longer, which purge semantics permit (tx
         // hashes are retained tombstones).
         self.publish_snapshot();
+        // An existing checkpoint now covers pre-purge state. It stays
+        // valid for recovery (the WAL tail holds the purge journal, so
+        // replay redoes the erasures and the pseudo genesis), but it
+        // retains purged payload digests in its segments longer than
+        // necessary — force a replacement at the next seal boundary.
+        if let Some(policy) = &mut self.checkpoints {
+            policy.seals_since = policy.every_n_seals;
+        }
         Ok(ack)
     }
 

@@ -13,6 +13,7 @@
 //! * the [Dasein-complete audit](audit) of §V.
 
 pub mod audit;
+pub mod checkpoint;
 pub mod client;
 pub mod codec;
 pub mod error;
@@ -25,12 +26,16 @@ pub mod snapshot;
 pub mod types;
 
 pub use audit::{audit_ledger, AuditConfig, AuditReport};
+pub use checkpoint::CheckpointManifest;
 pub use client::{LedgerClient, SyncReport};
 pub use codec::LedgerSnapshot;
 pub use error::LedgerError;
-pub use ledger::{AppendAck, LedgerConfig, LedgerDb, OccultMode, PreparedTx};
+pub use ledger::{AppendAck, CheckpointPolicy, LedgerConfig, LedgerDb, OccultMode, PreparedTx};
 pub use metrics::{CoreMetrics, RecoveryMetrics};
-pub use recovery::{open_durable, open_durable_with, recover, recover_with, RecoveryReport, WalRecord};
+pub use recovery::{
+    open_durable, open_durable_with, recover, recover_with, recover_with_checkpoint,
+    RecoveryReport, WalRecord, CHECKPOINT_DIR,
+};
 pub use member::{Member, MemberRegistry};
 pub use shared::SharedLedger;
 pub use snapshot::{ReadSnapshot, SnapshotHub};

@@ -38,6 +38,15 @@ pub struct CoreMetrics {
     /// `ledger_durability_error` — 1 while a durability failure is
     /// stashed (degraded but serving), 0 otherwise.
     pub durability_error: Arc<Gauge>,
+    /// `ledger_checkpoints_total` — checkpoints committed.
+    pub checkpoints: Arc<Counter>,
+    /// `ledger_checkpoint_write_seconds` — serialize + fsync + publish
+    /// latency of one checkpoint.
+    pub checkpoint_write_seconds: Arc<Histogram>,
+    /// `ledger_checkpoint_bytes` — bytes physically written per
+    /// checkpoint (content-addressed segments dedup unchanged state, so
+    /// this is usually far below the full serialized size).
+    pub checkpoint_bytes: Arc<Histogram>,
     /// `ledger_snapshot_publish_total` — read snapshots published
     /// (block seals plus occult/purge republishes).
     pub snapshot_publishes: Arc<Counter>,
@@ -68,6 +77,10 @@ impl CoreMetrics {
             verifies: registry.counter("ledger_verifies_total"),
             verify_seconds: registry.histogram("ledger_verify_seconds", Unit::Seconds),
             durability_error: registry.gauge("ledger_durability_error"),
+            checkpoints: registry.counter("ledger_checkpoints_total"),
+            checkpoint_write_seconds: registry
+                .histogram("ledger_checkpoint_write_seconds", Unit::Seconds),
+            checkpoint_bytes: registry.histogram("ledger_checkpoint_bytes", Unit::Bytes),
             snapshot_publishes: registry.counter("ledger_snapshot_publish_total"),
             snapshot_hits: registry.counter("ledger_snapshot_hit_total"),
             snapshot_fallbacks: registry.counter("ledger_snapshot_fallback_total"),
@@ -97,6 +110,13 @@ pub struct RecoveryMetrics {
     pub erases_redone: Arc<Counter>,
     pub wal_truncated_bytes: Arc<Counter>,
     pub payload_truncated_bytes: Arc<Counter>,
+    /// `ledger_checkpoint_load_seconds` — checkpoint deserialize +
+    /// verify latency during recovery.
+    pub checkpoint_load_seconds: Arc<Histogram>,
+    /// `ledger_recovery_replayed_records` — WAL records replayed by the
+    /// *last* recovery (a gauge: this is the O(tail) bound the
+    /// checkpoint engine exists to keep small).
+    pub replayed_records: Arc<Gauge>,
 }
 
 impl RecoveryMetrics {
@@ -113,6 +133,9 @@ impl RecoveryMetrics {
             wal_truncated_bytes: registry.counter("ledger_recovery_wal_truncated_bytes_total"),
             payload_truncated_bytes: registry
                 .counter("ledger_recovery_payload_truncated_bytes_total"),
+            checkpoint_load_seconds: registry
+                .histogram("ledger_checkpoint_load_seconds", Unit::Seconds),
+            replayed_records: registry.gauge("ledger_recovery_replayed_records"),
         }
     }
 
@@ -127,6 +150,8 @@ impl RecoveryMetrics {
         self.erases_redone.add(report.erases_redone);
         self.wal_truncated_bytes.add(report.wal_truncated_bytes);
         self.payload_truncated_bytes.add(report.payload_truncated_bytes);
+        self.replayed_records
+            .set((report.journals_replayed + report.blocks_verified) as i64);
     }
 }
 

@@ -35,6 +35,21 @@
 //! Everything observed along the way is surfaced in the typed
 //! [`RecoveryReport`], so operators (and the torture tests) can tell
 //! "clean reopen" from "recovered with losses in the unsealed tail".
+//!
+//! ## Checkpointed recovery — O(tail), not O(history)
+//!
+//! When the ledger directory holds a committed checkpoint
+//! ([`crate::checkpoint`], written by
+//! [`LedgerDb::enable_checkpoints`]), [`open_durable`] loads it first:
+//! the checkpoint's segments are deserialized, every root is re-derived
+//! and cross-checked, and each covered journal's payload digest is
+//! verified against the live payload stream. Only then is the WAL
+//! replayed — records at or below the checkpoint's `(journal, block)`
+//! watermark are *skipped* (they are already covered; they only exist
+//! at all if a crash landed between the checkpoint commit and the WAL
+//! reset), and everything after replays through the same four
+//! invariants. Replay work is therefore bounded by the post-checkpoint
+//! tail, not the ledger's lifetime.
 
 use crate::ledger::{LedgerConfig, LedgerDb, PseudoGenesis};
 use crate::member::MemberRegistry;
@@ -42,6 +57,7 @@ use crate::types::{Block, Journal, JournalKind, LedgerInfo};
 use crate::LedgerError;
 use ledgerdb_crypto::digest::Digest;
 use ledgerdb_crypto::wire::{Reader, Wire, WireError, Writer};
+use ledgerdb_storage::checkpoint::CheckpointStore;
 use ledgerdb_storage::stream::{FileStreamStore, FsyncPolicy, StreamStore};
 use ledgerdb_timesvc::clock::Clock;
 use std::path::Path;
@@ -116,6 +132,16 @@ pub struct RecoveryReport {
     pub erases_redone: u64,
     /// Occult marks restored into the occult index.
     pub occult_marks: u64,
+    /// Snapshot id of the checkpoint recovery started from, if any.
+    pub checkpoint: Option<Digest>,
+    /// Journals installed from the checkpoint (not replayed).
+    pub checkpoint_journals: u64,
+    /// Blocks installed from the checkpoint (not replayed).
+    pub checkpoint_blocks: u64,
+    /// WAL records below the checkpoint watermark that were skipped
+    /// (non-zero only when a crash landed between the checkpoint commit
+    /// and the WAL reset).
+    pub skipped_wal_records: u64,
 }
 
 impl RecoveryReport {
@@ -158,6 +184,21 @@ pub fn recover_with(
     clock: Arc<dyn Clock>,
     telemetry: &ledgerdb_telemetry::Registry,
 ) -> Result<(LedgerDb, RecoveryReport), LedgerError> {
+    recover_with_checkpoint(config, registry, store, wal, clock, telemetry, None)
+}
+
+/// [`recover_with`], starting from a committed checkpoint when
+/// `checkpoints` holds one. The WAL records the checkpoint covers are
+/// skipped by watermark; everything after replays normally.
+pub fn recover_with_checkpoint(
+    config: LedgerConfig,
+    registry: MemberRegistry,
+    store: Arc<dyn StreamStore>,
+    wal: Arc<dyn StreamStore>,
+    clock: Arc<dyn Clock>,
+    telemetry: &ledgerdb_telemetry::Registry,
+    checkpoints: Option<&CheckpointStore>,
+) -> Result<(LedgerDb, RecoveryReport), LedgerError> {
     let started = std::time::Instant::now();
     let mut report = RecoveryReport {
         wal_truncated_bytes: wal.truncated_bytes(),
@@ -183,14 +224,6 @@ pub fn recover_with(
             }
         }
     }
-    // Highest seal index among the *decodable* records. (A decode
-    // failure hides everything after it, but a hidden seal could only
-    // follow undecodable journals it would then fail to verify against,
-    // so cutting at the decode failure is already the safe prefix.)
-    let last_seal = records
-        .iter()
-        .rposition(|r| matches!(r, WalRecord::Seal(_)));
-
     let mut ledger = LedgerDb::with_durability(
         config,
         registry,
@@ -200,9 +233,60 @@ pub fn recover_with(
     );
     ledger.bind_metrics(telemetry);
 
+    // Checkpointed start: install the verified checkpoint state, then
+    // only replay WAL records past its watermark.
+    let (ckpt_journals, ckpt_blocks) = match checkpoints {
+        Some(ckpt_store) => {
+            let load_started = std::time::Instant::now();
+            match crate::checkpoint::load_checkpoint(
+                ckpt_store,
+                &ledger.id,
+                ledger.config.fam_delta,
+            )? {
+                Some(loaded) => {
+                    let watermark =
+                        (loaded.manifest.journal_count, loaded.manifest.block_count);
+                    report.checkpoint = Some(loaded.snapshot_id);
+                    report.checkpoint_journals = watermark.0;
+                    report.checkpoint_blocks = watermark.1;
+                    install_checkpoint(&mut ledger, loaded)?;
+                    crate::metrics::RecoveryMetrics::bind(telemetry)
+                        .checkpoint_load_seconds
+                        .observe_duration(load_started.elapsed());
+                    watermark
+                }
+                None => (0, 0),
+            }
+        }
+        None => (0, 0),
+    };
+
+    // Highest *uncovered* seal index among the decodable records. (A
+    // decode failure hides everything after it, but a hidden seal could
+    // only follow undecodable journals it would then fail to verify
+    // against, so cutting at the decode failure is already the safe
+    // prefix. Seals the checkpoint covers don't gate fatality: their
+    // history is installed from the checkpoint, not the WAL.)
+    let last_seal = records.iter().rposition(|r| match r {
+        WalRecord::Seal(b) => b.height >= ckpt_blocks,
+        _ => false,
+    });
+
     let mut accepted: usize = 0;
     let mut replay_failure: Option<String> = None;
     'replay: for (idx, record) in records.iter().enumerate() {
+        let covered = match record {
+            WalRecord::Journal(journal) => journal.jsn < ckpt_journals,
+            WalRecord::Seal(block) => block.height < ckpt_blocks,
+        };
+        if covered {
+            // Pre-reset residue: the checkpoint committed but the crash
+            // hit before the WAL shrank. The record's effects are
+            // already installed (and root-verified) from the segments.
+            report.skipped_wal_records += 1;
+            accepted = idx + 1;
+            continue;
+        }
         match record {
             WalRecord::Journal(journal) => {
                 if let Err(why) = replay_journal(&mut ledger, journal) {
@@ -269,6 +353,45 @@ pub fn recover_with(
     report.unsealed_journals = ledger.pending.len() as u64;
     crate::metrics::RecoveryMetrics::bind(telemetry).record(&report, started.elapsed());
     Ok((ledger, report))
+}
+
+/// Install a verified checkpoint into a fresh kernel. The structural
+/// and root checks already ran in [`crate::checkpoint::load_checkpoint`];
+/// what remains is binding the checkpoint to the *live* payload stream:
+/// every covered journal's payload slot must hold the recorded digest
+/// (digest tombstones survive erasure, so purged slots still verify).
+fn install_checkpoint(
+    ledger: &mut LedgerDb,
+    loaded: crate::checkpoint::LoadedCheckpoint,
+) -> Result<(), LedgerError> {
+    for j in &loaded.journals {
+        let digest = ledger.store.digest(j.stream_index).map_err(|e| {
+            LedgerError::Recovery(format!(
+                "checkpoint journal {} references missing payload slot {}: {e}",
+                j.jsn, j.stream_index
+            ))
+        })?;
+        if digest != j.payload_digest {
+            return Err(LedgerError::Recovery(format!(
+                "payload slot {} digest does not match checkpoint journal {}",
+                j.stream_index, j.jsn
+            )));
+        }
+    }
+    ledger.journals = loaded.journals;
+    ledger.blocks = loaded.blocks;
+    ledger.tx_hashes = loaded.tx_hashes;
+    ledger.fam = loaded.fam;
+    ledger.cm_tree = loaded.cm_tree;
+    ledger.csl = loaded.csl;
+    ledger.world_state = loaded.world_state;
+    ledger.occult_index = loaded.occult_index;
+    ledger.pseudo_genesis = loaded.pseudo_genesis;
+    for (jsn, payload) in &loaded.survival {
+        ledger.survival.pin(*jsn, payload);
+    }
+    ledger.pending.clear();
+    Ok(())
 }
 
 /// Replay one journal record into the kernel (mirrors the snapshot
@@ -387,6 +510,9 @@ fn replay_seal(ledger: &mut LedgerDb, block: &Block) -> Result<(), String> {
 pub const PAYLOAD_FILE: &str = "payload.log";
 /// See [`PAYLOAD_FILE`].
 pub const WAL_FILE: &str = "wal.log";
+/// Subdirectory holding the checkpoint store, when checkpoints are
+/// enabled ([`LedgerDb::enable_checkpoints`]).
+pub const CHECKPOINT_DIR: &str = "checkpoints";
 
 /// Open (or create) a durable ledger rooted at `dir`: `payload.log`
 /// holds the payload stream, `wal.log` the metadata WAL. Fresh
@@ -430,7 +556,24 @@ pub fn open_durable_with(
     wal_store.bind_metrics(telemetry);
     let store: Arc<dyn StreamStore> = Arc::new(payload_store);
     let wal: Arc<dyn StreamStore> = Arc::new(wal_store);
-    recover_with(config, registry, store, wal, clock, telemetry)
+    // A committed checkpoint bounds the replay to the post-checkpoint
+    // tail. Only a durable `HEAD` counts — a half-written checkpoint
+    // directory without one is ignored (and later garbage collected).
+    let ckpt_dir = dir.join(CHECKPOINT_DIR);
+    if ckpt_dir.join("HEAD").exists() {
+        let ckpt_store = CheckpointStore::open(&ckpt_dir)?;
+        recover_with_checkpoint(
+            config,
+            registry,
+            store,
+            wal,
+            clock,
+            telemetry,
+            Some(&ckpt_store),
+        )
+    } else {
+        recover_with(config, registry, store, wal, clock, telemetry)
+    }
 }
 
 #[cfg(test)]

@@ -234,6 +234,29 @@ impl SharedLedger {
         self.inner.read().sync_durable()
     }
 
+    /// True when a checkpoint policy is enabled on the wrapped ledger.
+    pub fn checkpoints_enabled(&self) -> bool {
+        self.inner.read().checkpoint_store().is_some()
+    }
+
+    /// Drain-path checkpoint: commit a final checkpoint (no-op without
+    /// a policy or mid-block) so the next start replays only the
+    /// unsealed tail. Taking the write lock doubles as the completion
+    /// barrier for any checkpoint already in flight on the seal path.
+    /// A failure is stashed as the sticky durability error (gauge up)
+    /// rather than returned — the WAL already holds everything; the
+    /// next start just replays a longer tail.
+    pub fn checkpoint_on_drain(&self) -> Option<Digest> {
+        let mut ledger = self.inner.write();
+        match ledger.checkpoint_now() {
+            Ok(id) => id,
+            Err(e) => {
+                ledger.stash_durability_error(e);
+                None
+            }
+        }
+    }
+
     /// Current journal count.
     pub fn journal_count(&self) -> u64 {
         self.inner.read().journal_count()

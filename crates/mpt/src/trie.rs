@@ -334,6 +334,25 @@ impl Mpt {
         }
         out
     }
+
+    /// Iterate all `(byte key, value)` pairs, sorted by key. Every key
+    /// entered through [`Mpt::insert`] splits into an even number of
+    /// nibbles, so packing is total; the sort makes the listing canonical
+    /// for checkpoint serialization. Rebuilding a trie by re-inserting
+    /// these pairs reproduces the same root (insertion-order independent).
+    pub fn entries(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut out: Vec<(Vec<u8>, Vec<u8>)> = self
+            .iter_values()
+            .into_iter()
+            .map(|(nibbles, value)| {
+                debug_assert!(nibbles.len() % 2 == 0, "byte-derived keys have even nibble count");
+                let key = nibbles.chunks(2).map(|p| (p[0] << 4) | p[1]).collect();
+                (key, value)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
 }
 
 /// Collect roots of uncached subtrees, descending at most `depth`

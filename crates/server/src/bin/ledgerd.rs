@@ -7,9 +7,19 @@
 //!         [--batch-window-us 150] [--batch-max 64] [--no-batch] \
 //!         [--proxy-admission] [--no-snapshot-reads] \
 //!         [--block-size 16] [--seed demo] \
+//!         [--checkpoint-every-n-seals 64]   # 0 disables \
 //!         [--metrics-dump PATH] [--metrics-interval-ms 1000] \
 //!         [--slow-op-ms N]
 //! ```
+//!
+//! Checkpoints (`--checkpoint-every-n-seals N`, default 64): every N
+//! sealed blocks the sealed prefix is serialized into
+//! `DIR/checkpoints/` (crash-atomically; content-addressed segments)
+//! and the WAL is reset, so a restart replays only the post-checkpoint
+//! tail — O(tail), not O(history). A checkpoint write failure degrades
+//! to the sticky `ledger_durability_error` gauge (and a typed error on
+//! the triggering append); the ledger keeps serving from the WAL. `0`
+//! disables checkpointing entirely.
 //!
 //! Telemetry: every subsystem records into the process-global registry;
 //! fetch a snapshot over the wire with `ledgerd-stats --addr ...` (or
@@ -25,11 +35,12 @@
 //! On startup the ledger is recovered from `--dir` (created if absent)
 //! and the recovery report is printed.
 
-use ledgerdb_core::recovery::open_durable;
+use ledgerdb_core::recovery::{open_durable, CHECKPOINT_DIR};
 use ledgerdb_core::{LedgerConfig, MemberRegistry, SharedLedger};
 use ledgerdb_crypto::ca::{CertificateAuthority, Role};
 use ledgerdb_crypto::keys::KeyPair;
 use ledgerdb_server::{Admission, BatchConfig, Ledgerd, ServerConfig};
+use ledgerdb_storage::checkpoint::{CheckpointStore, CkptIo};
 use ledgerdb_storage::FsyncPolicy;
 use ledgerdb_timesvc::clock::SimClock;
 use std::path::PathBuf;
@@ -43,7 +54,8 @@ fn usage() -> ! {
          [--fsync always|never|every-N] [--batch-window-us US] \
          [--batch-max N] [--no-batch] [--proxy-admission] \
          [--no-snapshot-reads] \
-         [--block-size N] [--seed SEED] [--metrics-dump PATH] \
+         [--block-size N] [--seed SEED] \
+         [--checkpoint-every-n-seals N] [--metrics-dump PATH] \
          [--metrics-interval-ms MS] [--slow-op-ms MS]"
     );
     exit(2);
@@ -59,6 +71,7 @@ struct Args {
     snapshot_reads: bool,
     block_size: u64,
     seed: String,
+    checkpoint_every_n_seals: u64,
     metrics_dump: Option<PathBuf>,
     metrics_interval: Duration,
     slow_op: Option<Duration>,
@@ -75,6 +88,7 @@ fn parse_args() -> Args {
         snapshot_reads: true,
         block_size: 16,
         seed: "demo".into(),
+        checkpoint_every_n_seals: 64,
         metrics_dump: None,
         metrics_interval: Duration::from_millis(1000),
         slow_op: None,
@@ -119,6 +133,11 @@ fn parse_args() -> Args {
             "--no-snapshot-reads" => args.snapshot_reads = false,
             "--block-size" => args.block_size = parse_num(&value("--block-size")),
             "--seed" => args.seed = value("--seed"),
+            // 0 disables checkpointing (pure WAL replay on restart).
+            "--checkpoint-every-n-seals" => {
+                args.checkpoint_every_n_seals =
+                    parse_num(&value("--checkpoint-every-n-seals"));
+            }
             "--metrics-dump" => args.metrics_dump = Some(PathBuf::from(value("--metrics-dump"))),
             "--metrics-interval-ms" => {
                 args.metrics_interval =
@@ -174,19 +193,38 @@ fn main() {
     // batcher supplies the per-batch durability barrier; without it,
     // the configured per-append policy applies.
     let policy = if args.batch.is_some() { FsyncPolicy::Never } else { args.fsync };
-    let (ledger, report) =
+    let (mut ledger, report) =
         open_durable(config, registry, &args.dir, policy, Arc::new(SimClock::new()))
             .unwrap_or_else(|e| {
                 eprintln!("ledgerd: cannot open ledger at {}: {e}", args.dir.display());
                 exit(1);
             });
     eprintln!(
-        "ledgerd: recovered {} journals / {} blocks (clean: {}) from {}",
+        "ledgerd: recovered {} journals / {} blocks (clean: {}, checkpoint: {}) from {}",
         ledger.journal_count(),
         ledger.block_count(),
         report.is_clean(),
+        if report.checkpoint.is_some() {
+            format!("loaded, {} wal records skipped", report.skipped_wal_records)
+        } else {
+            "none".into()
+        },
         args.dir.display()
     );
+    if args.checkpoint_every_n_seals > 0 {
+        let store = CheckpointStore::open(&args.dir.join(CHECKPOINT_DIR)).unwrap_or_else(|e| {
+            eprintln!(
+                "ledgerd: cannot open checkpoint store under {}: {e}",
+                args.dir.display()
+            );
+            exit(1);
+        });
+        ledger.enable_checkpoints(
+            Arc::new(store),
+            Arc::new(CkptIo::new()),
+            args.checkpoint_every_n_seals,
+        );
+    }
 
     let shared = SharedLedger::new(ledger);
     // `--workers N` sizes both thread pools: N connection threads, and

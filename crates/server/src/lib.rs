@@ -32,5 +32,5 @@ pub use protocol::{
     AppendedAck, ErrorCode, ErrorFrame, FrameError, ProofItem, Request, Response, ServerInfo,
     DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
-pub use remote::{RemoteError, RemoteLedger};
+pub use remote::{RemoteConfig, RemoteError, RemoteLedger};
 pub use server::{Ledgerd, ServerConfig};

@@ -17,6 +17,17 @@
 //! trust-on-first-use. A deployment that distributes the LSP key
 //! out-of-band should check [`RemoteLedger::info`] against the pinned
 //! key after connecting.
+//!
+//! Transport resilience ([`RemoteConfig`]): every request runs under a
+//! per-request deadline (connect, write, and read timeouts), so a
+//! server that dies mid-request — or silently stops answering — yields
+//! a typed [`RemoteError::Frame`] instead of a hang. A transport
+//! failure poisons the connection (the stream offset is unknown after a
+//! half-written request or half-read response); the next call redials
+//! with bounded exponential backoff, re-runs the `Hello` handshake, and
+//! refuses to proceed if the server's identity (ledger id, LSP key,
+//! fam δ) changed across the reconnect. The embedded [`LedgerClient`]
+//! replica — the verified chain — survives reconnects untouched.
 
 use crate::protocol::{
     read_frame, write_frame, ErrorFrame, FrameError, ProofItem, Request, Response, ServerInfo,
@@ -30,7 +41,7 @@ use ledgerdb_crypto::digest::Digest;
 use ledgerdb_crypto::wire::{Wire, WireError};
 use std::fmt;
 use std::io::BufReader;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// Client-side failures.
@@ -83,36 +94,82 @@ impl From<std::io::Error> for RemoteError {
 /// How many blocks one `GetBlockFeed` round trip asks for.
 const SYNC_CHUNK: u64 = 256;
 
+/// Transport-resilience knobs for [`RemoteLedger`].
+#[derive(Clone, Debug)]
+pub struct RemoteConfig {
+    /// Per-request deadline: the socket connect, write, and read
+    /// timeout. A request that exceeds it fails with a typed
+    /// [`RemoteError::Frame`] — a call never hangs on a dead or silent
+    /// server.
+    pub request_timeout: Duration,
+    /// Redial retries after a failed reconnect attempt before the call
+    /// gives up (`0` fails on the first dial error). Reconnects happen
+    /// lazily: a transport failure poisons the connection and the
+    /// *next* call redials.
+    pub max_reconnect_attempts: u32,
+    /// Backoff before the first reconnect retry; doubles per attempt.
+    pub backoff_initial: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+}
+
+impl Default for RemoteConfig {
+    fn default() -> Self {
+        RemoteConfig {
+            request_timeout: Duration::from_secs(30),
+            max_reconnect_attempts: 3,
+            backoff_initial: Duration::from_millis(25),
+            backoff_max: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The live transport: a writable stream plus its buffered read half
+/// (one syscall per response frame instead of three).
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
 /// A connected, distrusting ledger client.
 pub struct RemoteLedger {
-    stream: TcpStream,
-    /// Buffered read half (a `try_clone` of `stream`): one syscall per
-    /// response frame instead of three.
-    reader: BufReader<TcpStream>,
+    /// Resolved server addresses, kept for reconnects.
+    addrs: Vec<SocketAddr>,
+    config: RemoteConfig,
+    /// `None` after a transport failure — the next call redials.
+    conn: Option<Conn>,
     info: ServerInfo,
     client: LedgerClient,
     max_frame: u32,
 }
 
 impl RemoteLedger {
-    /// Connect and handshake. The returned client trusts only what it
-    /// verifies; the LSP key is trust-on-first-use from the handshake.
+    /// Connect and handshake with the default [`RemoteConfig`]. The
+    /// returned client trusts only what it verifies; the LSP key is
+    /// trust-on-first-use from the handshake.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<RemoteLedger, RemoteError> {
-        let mut stream = TcpStream::connect(addr).map_err(RemoteError::from)?;
-        stream.set_nodelay(true).ok();
-        stream
-            .set_read_timeout(Some(Duration::from_secs(30)))
-            .map_err(RemoteError::from)?;
-        write_frame(&mut stream, &Request::Hello.to_wire())?;
-        let body = read_frame(&mut stream, DEFAULT_MAX_FRAME)?;
-        let info = match Response::from_wire(&body)? {
-            Response::Hello(info) => info,
-            Response::Error(frame) => return Err(RemoteError::Server(frame)),
-            other => return Err(unexpected("Hello", &other)),
-        };
+        Self::connect_with(addr, RemoteConfig::default())
+    }
+
+    /// Connect and handshake with explicit deadline/backoff settings.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: RemoteConfig,
+    ) -> Result<RemoteLedger, RemoteError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs().map_err(RemoteError::from)?.collect();
+        if addrs.is_empty() {
+            return Err(RemoteError::Protocol("address resolved to nothing".into()));
+        }
+        let (conn, info) = dial(&addrs, &config)?;
         let client = LedgerClient::new(info.lsp_pk, info.fam_delta);
-        let reader = BufReader::with_capacity(16 * 1024, stream.try_clone()?);
-        Ok(RemoteLedger { stream, reader, info, client, max_frame: DEFAULT_MAX_FRAME })
+        Ok(RemoteLedger {
+            addrs,
+            config,
+            conn: Some(conn),
+            info,
+            client,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
     }
 
     /// The handshake identity (check against out-of-band pins).
@@ -125,15 +182,69 @@ impl RemoteLedger {
         &self.client
     }
 
-    /// One request/response round trip. Error frames become
-    /// [`RemoteError::Server`].
-    fn call(&mut self, request: &Request) -> Result<Response, RemoteError> {
-        write_frame(&mut self.stream, &request.to_wire())?;
-        let body = read_frame(&mut self.reader, self.max_frame)?;
-        match Response::from_wire(&body)? {
-            Response::Error(frame) => Err(RemoteError::Server(frame)),
-            response => Ok(response),
+    /// True while the transport is believed healthy (a failed call
+    /// poisons it; the next call redials).
+    pub fn is_connected(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    /// Redial with bounded exponential backoff and re-handshake. The
+    /// new `Hello` must present the same ledger id, LSP key, and fam δ
+    /// as the pinned first handshake — an impostor answering the
+    /// reconnect is refused before any request reaches it.
+    fn ensure_connected(&mut self) -> Result<(), RemoteError> {
+        if self.conn.is_some() {
+            return Ok(());
         }
+        let mut backoff = self.config.backoff_initial;
+        let mut attempt = 0u32;
+        loop {
+            match dial(&self.addrs, &self.config) {
+                Ok((conn, info)) => {
+                    if info.ledger_id != self.info.ledger_id
+                        || info.lsp_pk != self.info.lsp_pk
+                        || info.fam_delta != self.info.fam_delta
+                    {
+                        return Err(RemoteError::Protocol(
+                            "server identity changed across reconnect".into(),
+                        ));
+                    }
+                    self.info = info;
+                    self.conn = Some(conn);
+                    return Ok(());
+                }
+                Err(e) => {
+                    if attempt >= self.config.max_reconnect_attempts {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(self.config.backoff_max);
+                }
+            }
+        }
+    }
+
+    /// One request/response round trip. Error frames become
+    /// [`RemoteError::Server`]. A transport failure (timeout, reset,
+    /// close) poisons the connection: the stream offset is unknown
+    /// after a half-written request or half-read response, so the next
+    /// call redials instead of misreading a stale frame.
+    fn call(&mut self, request: &Request) -> Result<Response, RemoteError> {
+        self.ensure_connected()?;
+        let conn = self.conn.as_mut().expect("ensure_connected just succeeded");
+        let result = (|| {
+            write_frame(&mut conn.stream, &request.to_wire())?;
+            let body = read_frame(&mut conn.reader, self.max_frame)?;
+            match Response::from_wire(&body)? {
+                Response::Error(frame) => Err(RemoteError::Server(frame)),
+                response => Ok(response),
+            }
+        })();
+        if matches!(result, Err(RemoteError::Frame(_))) {
+            self.conn = None;
+        }
+        result
     }
 
     /// Append; the ack means the payload is durable server-side.
@@ -324,4 +435,282 @@ impl RemoteLedger {
 
 fn unexpected(wanted: &str, got: &Response) -> RemoteError {
     RemoteError::Protocol(format!("expected {wanted} response, got {got:?}"))
+}
+
+/// Dial any of the resolved addresses under the per-request deadline
+/// (connect, write, and read) and run the `Hello` handshake.
+fn dial(addrs: &[SocketAddr], config: &RemoteConfig) -> Result<(Conn, ServerInfo), RemoteError> {
+    let mut last: Option<std::io::Error> = None;
+    let mut connected = None;
+    for addr in addrs {
+        match TcpStream::connect_timeout(addr, config.request_timeout) {
+            Ok(stream) => {
+                connected = Some(stream);
+                break;
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    let mut stream = match connected {
+        Some(stream) => stream,
+        None => {
+            return Err(last
+                .map(RemoteError::from)
+                .unwrap_or_else(|| RemoteError::Protocol("no address to dial".into())))
+        }
+    };
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(config.request_timeout)).map_err(RemoteError::from)?;
+    stream.set_write_timeout(Some(config.request_timeout)).map_err(RemoteError::from)?;
+    write_frame(&mut stream, &Request::Hello.to_wire())?;
+    let body = read_frame(&mut stream, DEFAULT_MAX_FRAME)?;
+    let info = match Response::from_wire(&body)? {
+        Response::Hello(info) => info,
+        Response::Error(frame) => return Err(RemoteError::Server(frame)),
+        other => return Err(unexpected("Hello", &other)),
+    };
+    let reader = BufReader::with_capacity(16 * 1024, stream.try_clone().map_err(RemoteError::from)?);
+    Ok((Conn { stream, reader }, info))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Ledgerd, ServerConfig};
+    use crate::testutil::shared;
+    use ledgerdb_core::TxRequest;
+    use std::net::{Shutdown, TcpListener};
+    use std::sync::{Arc, Mutex};
+    use std::thread;
+    use std::time::Instant;
+
+    fn fast_config() -> RemoteConfig {
+        RemoteConfig {
+            request_timeout: Duration::from_secs(5),
+            max_reconnect_attempts: 5,
+            backoff_initial: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(100),
+        }
+    }
+
+    /// A byte-level TCP relay in front of the real server. Severing its
+    /// live connections is, from the client's point of view, exactly a
+    /// server crash mid-request — but the listening socket survives, so
+    /// the reconnect path is not at the mercy of TIME_WAIT rebinding.
+    struct Proxy {
+        addr: SocketAddr,
+        upstream: Arc<Mutex<SocketAddr>>,
+        live: Arc<Mutex<Vec<TcpStream>>>,
+    }
+
+    impl Proxy {
+        fn start(upstream_addr: SocketAddr) -> Proxy {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let upstream = Arc::new(Mutex::new(upstream_addr));
+            let live: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+            let (upstream_for_loop, live_for_loop) = (upstream.clone(), live.clone());
+            thread::spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(client) = stream else { return };
+                    let target = *upstream_for_loop.lock().unwrap();
+                    let Ok(server) = TcpStream::connect(target) else { continue };
+                    client.set_nodelay(true).ok();
+                    server.set_nodelay(true).ok();
+                    {
+                        let mut live = live_for_loop.lock().unwrap();
+                        live.push(client.try_clone().unwrap());
+                        live.push(server.try_clone().unwrap());
+                    }
+                    let (mut cr, mut sw) = (client.try_clone().unwrap(), server.try_clone().unwrap());
+                    thread::spawn(move || {
+                        let _ = std::io::copy(&mut cr, &mut sw);
+                        let _ = sw.shutdown(Shutdown::Both);
+                    });
+                    let (mut sr, mut cw) = (server, client);
+                    thread::spawn(move || {
+                        let _ = std::io::copy(&mut sr, &mut cw);
+                        let _ = cw.shutdown(Shutdown::Both);
+                    });
+                }
+            });
+            Proxy { addr, upstream, live }
+        }
+
+        /// Sever every live relay — the wire view of a server crash.
+        fn kill_connections(&self) {
+            for stream in self.live.lock().unwrap().drain(..) {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+
+        /// Point future connections at a different server (the wire view
+        /// of a restart that came back as somebody else).
+        fn retarget(&self, addr: SocketAddr) {
+            *self.upstream.lock().unwrap() = addr;
+        }
+    }
+
+    fn tx(alice: &ledgerdb_crypto::keys::KeyPair, nonce: u64) -> TxRequest {
+        TxRequest::signed(alice, format!("r-{nonce}").into_bytes(), vec![], nonce)
+    }
+
+    #[test]
+    fn mid_request_server_death_is_typed_and_the_retry_succeeds() {
+        let (shared, alice) = shared(4);
+        let server = Ledgerd::start(shared, ServerConfig::default()).unwrap();
+        let proxy = Proxy::start(server.local_addr());
+
+        let mut remote = RemoteLedger::connect_with(proxy.addr, fast_config()).unwrap();
+        let (jsn, _) = remote.append(tx(&alice, 0)).unwrap();
+        assert_eq!(jsn, 0);
+
+        // The "server" dies between the ack and the next request.
+        proxy.kill_connections();
+        let start = Instant::now();
+        let err = remote.append(tx(&alice, 1)).unwrap_err();
+        assert!(
+            matches!(err, RemoteError::Frame(_)),
+            "a severed transport must surface as a typed frame error, got: {err}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "the failure must be prompt, not a hang"
+        );
+        assert!(!remote.is_connected(), "the poisoned connection is dropped");
+
+        // The caller retries: the client redials through the proxy,
+        // re-handshakes against the same pinned identity, and the
+        // request lands. The verified replica survived the reconnect.
+        let (jsn, _) = remote.append(tx(&alice, 1)).unwrap();
+        assert_eq!(jsn, 1);
+        remote.sync().unwrap();
+        assert!(remote.is_connected());
+        server.shutdown();
+    }
+
+    #[test]
+    fn silent_server_trips_the_request_deadline() {
+        // A stub that completes the handshake, then swallows the next
+        // request and never answers — the pathological hang case.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let lsp = ledgerdb_crypto::keys::KeyPair::from_seed(b"silent-stub");
+        thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { return };
+                let lsp_pk = *lsp.public();
+                thread::spawn(move || {
+                    if read_frame(&mut stream, DEFAULT_MAX_FRAME).is_err() {
+                        return;
+                    }
+                    let info = ServerInfo {
+                        protocol_version: crate::protocol::PROTOCOL_VERSION,
+                        ledger_id: ledgerdb_crypto::sha256(b"silent-ledger"),
+                        lsp_pk,
+                        fam_delta: 15,
+                        journal_count: 0,
+                        block_count: 0,
+                    };
+                    let _ = write_frame(&mut stream, &Response::Hello(info).to_wire());
+                    // Read the request, answer nothing, hold the socket.
+                    let _ = read_frame(&mut stream, DEFAULT_MAX_FRAME);
+                    thread::sleep(Duration::from_secs(30));
+                });
+            }
+        });
+
+        let config = RemoteConfig {
+            request_timeout: Duration::from_millis(250),
+            max_reconnect_attempts: 0,
+            ..fast_config()
+        };
+        let mut remote = RemoteLedger::connect_with(addr, config).unwrap();
+        let start = Instant::now();
+        let err = remote.stats().unwrap_err();
+        match &err {
+            RemoteError::Frame(frame) => {
+                assert!(frame.is_timeout(), "expected a deadline trip, got: {frame}")
+            }
+            other => panic!("expected a typed frame error, got: {other}"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "the deadline bounds the wait: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn reconnect_backoff_is_bounded_when_the_server_stays_down() {
+        let (shared, _) = shared(4);
+        let server = Ledgerd::start(shared, ServerConfig::default()).unwrap();
+        let config = RemoteConfig {
+            request_timeout: Duration::from_millis(500),
+            max_reconnect_attempts: 2,
+            backoff_initial: Duration::from_millis(5),
+            backoff_max: Duration::from_millis(20),
+        };
+        let mut remote = RemoteLedger::connect_with(server.local_addr(), config).unwrap();
+        server.shutdown();
+        drop(server);
+
+        // First call after the crash: the live socket is dead.
+        let err = remote.stats().unwrap_err();
+        assert!(matches!(err, RemoteError::Frame(_)), "got: {err}");
+        // Second call: redial, 1 + max_reconnect_attempts dials against
+        // a closed port, then a typed error — bounded, not forever.
+        let start = Instant::now();
+        let err = remote.stats().unwrap_err();
+        assert!(matches!(err, RemoteError::Frame(_)), "got: {err}");
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "bounded backoff must give up promptly: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn reconnect_refuses_a_server_with_a_different_identity() {
+        let (shared_a, alice) = shared(4);
+        let server_a = Ledgerd::start(shared_a, ServerConfig::default()).unwrap();
+        // A second, unrelated ledger (fresh keys, different id).
+        let (shared_b, _) = {
+            let ca = ledgerdb_crypto::ca::CertificateAuthority::from_seed(b"imposter-ca");
+            let alice = ledgerdb_crypto::keys::KeyPair::from_seed(b"imposter-alice");
+            let mut registry = ledgerdb_core::MemberRegistry::new(*ca.public_key());
+            registry
+                .register(ca.issue("alice", ledgerdb_crypto::ca::Role::User, alice.public()))
+                .unwrap();
+            let config = ledgerdb_core::LedgerConfig {
+                block_size: 4,
+                fam_delta: 15,
+                name: "imposter".into(),
+            };
+            (
+                ledgerdb_core::SharedLedger::new(ledgerdb_core::LedgerDb::new(config, registry)),
+                alice,
+            )
+        };
+        let server_b = Ledgerd::start(shared_b, ServerConfig::default()).unwrap();
+
+        let proxy = Proxy::start(server_a.local_addr());
+        let mut remote = RemoteLedger::connect_with(proxy.addr, fast_config()).unwrap();
+        remote.append(tx(&alice, 0)).unwrap();
+
+        // The "restart" comes back as a different ledger entirely.
+        proxy.retarget(server_b.local_addr());
+        proxy.kill_connections();
+        let err = remote.append(tx(&alice, 1)).unwrap_err();
+        assert!(matches!(err, RemoteError::Frame(_)), "got: {err}");
+        let err = remote.append(tx(&alice, 1)).unwrap_err();
+        match err {
+            RemoteError::Protocol(what) => {
+                assert!(what.contains("identity"), "wrong protocol error: {what}")
+            }
+            other => panic!("an impostor must be refused at the handshake, got: {other}"),
+        }
+        server_a.shutdown();
+        server_b.shutdown();
+    }
 }

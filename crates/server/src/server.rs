@@ -175,9 +175,12 @@ impl Ledgerd {
     }
 
     /// Graceful shutdown: stop accepting, finish in-flight requests,
-    /// drain the commit queue, join every thread. Idempotent.
+    /// drain the commit queue, join every thread, and — with a
+    /// checkpoint policy enabled — flush the sealed prefix into a final
+    /// checkpoint so the next start replays only the unsealed tail.
+    /// Idempotent.
     pub fn shutdown(&self) {
-        self.state.shutdown.store(true, Ordering::SeqCst);
+        let first = !self.state.shutdown.swap(true, Ordering::SeqCst);
         // Unblock the acceptor's `accept()` with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
         if let Some(handle) = self.acceptor.lock().take() {
@@ -191,6 +194,15 @@ impl Ledgerd {
         }
         if let Some(committer) = &self.state.committer {
             committer.shutdown();
+        }
+        // Final drain step, after the last commit has landed. A
+        // checkpoint already in flight (an auto-seal fired one) holds
+        // the ledger write lock, so this call waits for it to complete
+        // rather than abandoning it mid-ladder. A write failure lands
+        // on the sticky `ledger_durability_error` gauge instead of
+        // aborting the drain — the WAL already holds everything.
+        if first && self.state.shared.checkpoints_enabled() {
+            self.state.shared.checkpoint_on_drain();
         }
     }
 }
@@ -808,6 +820,183 @@ mod tests {
                 crate::remote::RemoteError::Frame(_) => {} // connection torn down mid-drain
                 other => panic!("unexpected failure kind: {other}"),
             }
+        }
+    }
+
+    mod checkpoints {
+        use super::*;
+        use crate::remote::RemoteLedger;
+        use crate::testutil::registry;
+        use ledgerdb_core::recovery::{open_durable, open_durable_with, CHECKPOINT_DIR};
+        use ledgerdb_core::{LedgerConfig, SharedLedger};
+        use ledgerdb_storage::checkpoint::{CheckpointStore, CkptIo, CrashPoint};
+        use ledgerdb_storage::FsyncPolicy;
+        use ledgerdb_telemetry::parse_value;
+        use ledgerdb_timesvc::clock::SimClock;
+        use std::path::PathBuf;
+
+        fn temp_dir(tag: &str) -> PathBuf {
+            let dir =
+                std::env::temp_dir().join(format!("ledgerd-ckpt-{tag}-{}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            dir
+        }
+
+        fn ledger_config() -> LedgerConfig {
+            LedgerConfig { block_size: 4, fam_delta: 15, name: "server-ckpt".into() }
+        }
+
+        /// A durable shared ledger with a checkpoint policy, plus its
+        /// telemetry registry.
+        fn durable_shared(
+            dir: &PathBuf,
+            io: Arc<CkptIo>,
+            every_n_seals: u64,
+        ) -> (SharedLedger, ledgerdb_crypto::keys::KeyPair, Arc<Registry>) {
+            let (members, alice) = registry();
+            let telemetry = Arc::new(Registry::new());
+            let (mut ledger, _) = open_durable_with(
+                ledger_config(),
+                members,
+                dir,
+                FsyncPolicy::Always,
+                Arc::new(SimClock::new()),
+                &telemetry,
+            )
+            .unwrap();
+            ledger.bind_metrics(&telemetry);
+            let store = Arc::new(CheckpointStore::open(&dir.join(CHECKPOINT_DIR)).unwrap());
+            ledger.enable_checkpoints(store, io, every_n_seals);
+            (SharedLedger::new(ledger), alice, telemetry)
+        }
+
+        #[test]
+        fn graceful_drain_commits_a_final_checkpoint() {
+            let dir = temp_dir("drain");
+            // Cadence high enough that only the drain checkpoints.
+            let (shared, alice, telemetry) =
+                durable_shared(&dir, Arc::new(CkptIo::new()), 1000);
+            let config = ServerConfig { registry: telemetry.clone(), ..ServerConfig::default() };
+            let server = Ledgerd::start(shared, config).unwrap();
+            let mut remote = RemoteLedger::connect(server.local_addr()).unwrap();
+            for i in 0..8u64 {
+                remote
+                    .append(TxRequest::signed(&alice, format!("d-{i}").into_bytes(), vec![], i))
+                    .unwrap();
+            }
+            server.shutdown();
+
+            let text = ledgerdb_telemetry::render(&telemetry);
+            assert_eq!(parse_value(&text, "ledger_checkpoints_total"), Some(1.0), "{text}");
+            assert_eq!(parse_value(&text, "ledger_durability_error"), Some(0.0));
+
+            // The next start loads the checkpoint and replays nothing:
+            // the drain flushed the whole sealed prefix and the WAL.
+            let (members, _) = registry();
+            let (reopened, report) = open_durable(
+                ledger_config(),
+                members,
+                &dir,
+                FsyncPolicy::Always,
+                Arc::new(SimClock::new()),
+            )
+            .unwrap();
+            assert!(report.checkpoint.is_some(), "drain checkpoint found: {report:?}");
+            assert_eq!(report.journals_replayed, 0, "nothing left to replay: {report:?}");
+            assert_eq!(reopened.journal_count(), 8);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+
+        #[test]
+        fn drain_checkpoint_failure_sets_the_sticky_durability_gauge() {
+            let dir = temp_dir("drain-fail");
+            let io = Arc::new(CkptIo::new());
+            // The drain's checkpoint is the first checkpoint I/O of the
+            // process; its very first write dies.
+            io.arm(CrashPoint { op: 1, torn_keep: None });
+            let (shared, alice, telemetry) = durable_shared(&dir, io, 1000);
+            let config = ServerConfig { registry: telemetry.clone(), ..ServerConfig::default() };
+            let server = Ledgerd::start(shared, config).unwrap();
+            let mut remote = RemoteLedger::connect(server.local_addr()).unwrap();
+            for i in 0..4u64 {
+                remote
+                    .append(TxRequest::signed(&alice, format!("f-{i}").into_bytes(), vec![], i))
+                    .unwrap();
+            }
+            server.shutdown();
+
+            let text = ledgerdb_telemetry::render(&telemetry);
+            assert_eq!(parse_value(&text, "ledger_checkpoints_total"), Some(0.0), "{text}");
+            assert_eq!(
+                parse_value(&text, "ledger_durability_error"),
+                Some(1.0),
+                "a failed drain checkpoint must trip the sticky gauge:\n{text}"
+            );
+
+            // The WAL was never reset, so nothing is lost: recovery
+            // replays the full (checkpoint-less) history.
+            let (members, _) = registry();
+            let (reopened, report) = open_durable(
+                ledger_config(),
+                members,
+                &dir,
+                FsyncPolicy::Always,
+                Arc::new(SimClock::new()),
+            )
+            .unwrap();
+            assert!(report.checkpoint.is_none());
+            assert_eq!(reopened.journal_count(), 4);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+
+        #[test]
+        fn seal_path_checkpoint_failure_surfaces_as_a_durability_error() {
+            let dir = temp_dir("seal-fail");
+            let io = Arc::new(CkptIo::new());
+            io.arm(CrashPoint { op: 1, torn_keep: None });
+            // Checkpoint after every seal; unbatched so the append path
+            // polls the stash directly.
+            let (shared, alice, telemetry) = durable_shared(&dir, io, 1);
+            let config = ServerConfig {
+                registry: telemetry.clone(),
+                batch: None,
+                ..ServerConfig::default()
+            };
+            let server = Ledgerd::start(shared, config).unwrap();
+            let mut remote = RemoteLedger::connect(server.local_addr()).unwrap();
+            for i in 0..3u64 {
+                remote
+                    .append(TxRequest::signed(&alice, format!("s-{i}").into_bytes(), vec![], i))
+                    .unwrap();
+            }
+            // The fourth append seals block 0; the seal's checkpoint
+            // dies on its first write, and the failure comes back as a
+            // typed error on this very request — not a silent ack.
+            let err = remote
+                .append(TxRequest::signed(&alice, b"s-3".to_vec(), vec![], 3))
+                .unwrap_err();
+            match err {
+                crate::remote::RemoteError::Server(frame) => {
+                    assert_eq!(frame.code, ErrorCode::Durability, "{frame}");
+                    assert!(
+                        frame.detail.contains("injected crash"),
+                        "the detail names the checkpoint failure: {frame}"
+                    );
+                }
+                other => panic!("expected a typed durability error, got: {other}"),
+            }
+            // Degraded but serving: the next append lands, and the next
+            // seal's checkpoint (the armed op is one-shot) succeeds.
+            for i in 4..8u64 {
+                remote
+                    .append(TxRequest::signed(&alice, format!("s-{i}").into_bytes(), vec![], i))
+                    .unwrap();
+            }
+            let text = ledgerdb_telemetry::render(&telemetry);
+            assert_eq!(parse_value(&text, "ledger_durability_error"), Some(0.0), "{text}");
+            assert_eq!(parse_value(&text, "ledger_checkpoints_total"), Some(1.0), "{text}");
+            server.shutdown();
+            std::fs::remove_dir_all(&dir).ok();
         }
     }
 }

@@ -1,0 +1,457 @@
+//! Crash-atomic checkpoint storage.
+//!
+//! A checkpoint is a set of **content-addressed segment files** (named by
+//! the sha256 of their bytes), one **manifest** (also content-addressed —
+//! its digest is the checkpoint's snapshot id), and a `HEAD` file naming
+//! the current manifest. The commit protocol is the classic
+//! tmp-write → fsync → atomic-rename ladder:
+//!
+//! 1. every segment: write `<hex>.seg.tmp`, fsync, rename to `<hex>.seg`;
+//! 2. the manifest: write `<hex>.manifest.tmp`, fsync, rename;
+//! 3. fsync the checkpoint directory (renames durable);
+//! 4. `HEAD`: write `HEAD.tmp`, fsync, rename over `HEAD`, fsync the dir.
+//!
+//! Crash-atomicity argument: `HEAD` is only ever replaced by an atomic
+//! rename of a fully-fsynced temporary, *after* everything it references
+//! is itself durable — so at every kill point `HEAD` either still names
+//! the previous complete checkpoint, names the new complete checkpoint,
+//! or is absent (first checkpoint never committed). Torn segment or
+//! manifest writes can only exist under `*.tmp` names or (never) under a
+//! final name, because final names are reached by rename alone. Loaders
+//! ignore temporaries and verify every content address on read.
+//!
+//! All durability-relevant operations route through [`CkptIo`], which
+//! numbers them deterministically and can simulate a kill at any one —
+//! the crash-point harness enumerates the ops of a dry run and replays
+//! the workload once per op with a crash armed there.
+
+use crate::StorageError;
+use ledgerdb_crypto::sync::Mutex;
+use ledgerdb_crypto::{sha256, Digest};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The kind of one checkpoint-path I/O operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoKind {
+    /// Create-and-write of a whole file.
+    Write,
+    /// fdatasync of a file.
+    Sync,
+    /// Atomic rename.
+    Rename,
+    /// fsync of a directory (making renames durable).
+    SyncDir,
+}
+
+/// A simulated kill at one numbered operation.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashPoint {
+    /// 1-based operation number at which the process "dies".
+    pub op: u64,
+    /// For [`IoKind::Write`] ops: leave this many bytes of the file on
+    /// disk before dying (a torn write). `None` = die before any effect.
+    pub torn_keep: Option<usize>,
+}
+
+/// Deterministic I/O router for the checkpoint path.
+///
+/// Every durability-relevant operation (write / fsync / rename /
+/// dir-fsync) calls [`CkptIo`], which assigns it a 1-based sequence
+/// number and records its kind. When a [`CrashPoint`] is armed, the
+/// matching operation performs its partial effect (nothing, or a torn
+/// prefix for writes) and returns an I/O error — the caller propagates
+/// it without cleanup, exactly like a kill.
+#[derive(Default)]
+pub struct CkptIo {
+    ops: AtomicU64,
+    log: Mutex<Vec<IoKind>>,
+    armed: Mutex<Option<CrashPoint>>,
+}
+
+impl CkptIo {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm a crash at operation `op` (counting from the *current* count).
+    pub fn arm(&self, point: CrashPoint) {
+        *self.armed.lock() = Some(point);
+    }
+
+    pub fn disarm(&self) {
+        *self.armed.lock() = None;
+    }
+
+    /// Operations performed so far.
+    pub fn op_count(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Kinds of every operation performed so far, in order — the
+    /// crash-point harness enumerates these after a dry run.
+    pub fn op_kinds(&self) -> Vec<IoKind> {
+        self.log.lock().clone()
+    }
+
+    fn crash_err() -> StorageError {
+        StorageError::Io(std::io::Error::new(
+            std::io::ErrorKind::Other,
+            "injected crash on checkpoint path",
+        ))
+    }
+
+    /// Number the next op; `Some(point)` if the armed crash fires on it.
+    fn step(&self, kind: IoKind) -> Option<CrashPoint> {
+        let n = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
+        self.log.lock().push(kind);
+        let armed = *self.armed.lock();
+        armed.filter(|p| p.op == n)
+    }
+
+    /// Create `path` and write `bytes` (no fsync — that is its own op).
+    pub fn write_file(&self, path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+        if let Some(point) = self.step(IoKind::Write) {
+            if let Some(keep) = point.torn_keep {
+                let mut f = File::create(path)?;
+                f.write_all(&bytes[..keep.min(bytes.len())])?;
+            }
+            return Err(Self::crash_err());
+        }
+        let mut f = File::create(path)?;
+        f.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// fdatasync `path`.
+    pub fn sync_file(&self, path: &Path) -> Result<(), StorageError> {
+        if self.step(IoKind::Sync).is_some() {
+            return Err(Self::crash_err());
+        }
+        OpenOptions::new().read(true).open(path)?.sync_data()?;
+        Ok(())
+    }
+
+    /// Atomically rename `from` to `to`.
+    pub fn rename(&self, from: &Path, to: &Path) -> Result<(), StorageError> {
+        if self.step(IoKind::Rename).is_some() {
+            return Err(Self::crash_err());
+        }
+        fs::rename(from, to)?;
+        Ok(())
+    }
+
+    /// fsync the directory itself, making completed renames durable.
+    pub fn sync_dir(&self, dir: &Path) -> Result<(), StorageError> {
+        if self.step(IoKind::SyncDir).is_some() {
+            return Err(Self::crash_err());
+        }
+        File::open(dir)?.sync_all()?;
+        Ok(())
+    }
+}
+
+const HEAD_FILE: &str = "HEAD";
+
+fn seg_name(digest: &Digest) -> String {
+    format!("{}.seg", digest.to_hex())
+}
+
+fn manifest_name(digest: &Digest) -> String {
+    format!("{}.manifest", digest.to_hex())
+}
+
+/// Content-addressed checkpoint directory (`<ledger dir>/checkpoints`).
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) the checkpoint directory.
+    pub fn open(dir: &Path) -> Result<Self, StorageError> {
+        fs::create_dir_all(dir)?;
+        Ok(CheckpointStore { dir: dir.to_path_buf() })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Commit one file under its final name: tmp-write → fsync → rename.
+    /// Returns the bytes written (0 when the content-addressed file
+    /// already exists from an earlier checkpoint and is reused).
+    fn commit_file(&self, name: &str, bytes: &[u8], io: &CkptIo) -> Result<u64, StorageError> {
+        let path = self.dir.join(name);
+        if path.exists() {
+            // Final names are only ever reached by renaming a fully
+            // fsynced temporary, so an existing file is complete.
+            return Ok(0);
+        }
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        io.write_file(&tmp, bytes)?;
+        io.sync_file(&tmp)?;
+        io.rename(&tmp, &path)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Publish a checkpoint: write every segment and the manifest
+    /// content-addressed, then flip `HEAD`. The manifest bytes are built
+    /// by `manifest` from the `(role, digest)` list of the segments just
+    /// written. Returns `(snapshot id, bytes written)` — the snapshot id
+    /// is the manifest's own digest.
+    ///
+    /// On error the partial state is left exactly as a kill would leave
+    /// it; a later publish or [`CheckpointStore::gc`] cleans up.
+    pub fn publish(
+        &self,
+        segments: &[(String, Vec<u8>)],
+        manifest: impl FnOnce(&[(String, Digest)]) -> Vec<u8>,
+        io: &CkptIo,
+    ) -> Result<(Digest, u64), StorageError> {
+        let mut refs = Vec::with_capacity(segments.len());
+        let mut bytes_written = 0u64;
+        for (role, bytes) in segments {
+            let digest = sha256(bytes);
+            bytes_written += self.commit_file(&seg_name(&digest), bytes, io)?;
+            refs.push((role.clone(), digest));
+        }
+        let manifest_bytes = manifest(&refs);
+        let snapshot_id = sha256(&manifest_bytes);
+        bytes_written += self.commit_file(&manifest_name(&snapshot_id), &manifest_bytes, io)?;
+        // One directory barrier covers every rename above.
+        io.sync_dir(&self.dir)?;
+
+        // Flip HEAD last: tmp-write → fsync → atomic rename → dir fsync.
+        let head_tmp = self.dir.join("HEAD.tmp");
+        io.write_file(&head_tmp, format!("{}\n", snapshot_id.to_hex()).as_bytes())?;
+        io.sync_file(&head_tmp)?;
+        io.rename(&head_tmp, &self.dir.join(HEAD_FILE))?;
+        io.sync_dir(&self.dir)?;
+        Ok((snapshot_id, bytes_written))
+    }
+
+    /// Read `HEAD` and the manifest it names. `Ok(None)` when no
+    /// checkpoint was ever committed. Any complete-but-wrong content is
+    /// corruption (`HEAD` only ever points at fully-fsynced manifests),
+    /// never a recoverable torn state.
+    pub fn load_head(&self) -> Result<Option<(Digest, Vec<u8>)>, StorageError> {
+        let head = match fs::read_to_string(self.dir.join(HEAD_FILE)) {
+            Ok(s) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let snapshot_id = Digest::from_hex(head.trim())
+            .ok_or(StorageError::Corrupt("checkpoint HEAD is not a digest"))?;
+        let bytes = match fs::read(self.dir.join(manifest_name(&snapshot_id))) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StorageError::Corrupt("checkpoint HEAD names a missing manifest"))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if sha256(&bytes) != snapshot_id {
+            return Err(StorageError::Corrupt("checkpoint manifest digest mismatch"));
+        }
+        Ok(Some((snapshot_id, bytes)))
+    }
+
+    /// Read one segment, verifying its content address.
+    pub fn read_segment(&self, digest: &Digest) -> Result<Vec<u8>, StorageError> {
+        let bytes = match fs::read(self.dir.join(seg_name(digest))) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StorageError::Corrupt("checkpoint segment missing"))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if sha256(&bytes) != *digest {
+            return Err(StorageError::Corrupt("checkpoint segment digest mismatch"));
+        }
+        Ok(bytes)
+    }
+
+    /// Best-effort cleanup after a successful publish: drop temporaries
+    /// and any segment/manifest the current checkpoint does not
+    /// reference. Failures are ignored — a crash mid-gc leaves only
+    /// orphans, which the next gc removes.
+    pub fn gc(&self, keep_manifest: &Digest, keep_segments: &[Digest]) {
+        let keep: std::collections::HashSet<String> = keep_segments
+            .iter()
+            .map(seg_name)
+            .chain(std::iter::once(manifest_name(keep_manifest)))
+            .chain(std::iter::once(HEAD_FILE.to_string()))
+            .collect();
+        let Ok(entries) = fs::read_dir(&self.dir) else { return };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !keep.contains(name) {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ledgerdb-ckpt-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).ok();
+        dir
+    }
+
+    fn publish_two_segments(store: &CheckpointStore, io: &CkptIo) -> (Digest, u64) {
+        store
+            .publish(
+                &[("alpha".into(), b"alpha bytes".to_vec()), ("beta".into(), b"beta".to_vec())],
+                |refs| {
+                    let mut m = Vec::new();
+                    for (role, d) in refs {
+                        m.extend_from_slice(role.as_bytes());
+                        m.extend_from_slice(&d.0);
+                    }
+                    m
+                },
+                io,
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn publish_load_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(store.load_head().unwrap().is_none());
+        let io = CkptIo::new();
+        let (id, bytes) = publish_two_segments(&store, &io);
+        assert!(bytes > 0);
+        let (loaded_id, manifest) = store.load_head().unwrap().unwrap();
+        assert_eq!(loaded_id, id);
+        assert_eq!(sha256(&manifest), id);
+        let seg = store.read_segment(&sha256(b"alpha bytes")).unwrap();
+        assert_eq!(seg, b"alpha bytes");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn republish_reuses_content_addressed_files() {
+        let dir = temp_dir("dedup");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let io = CkptIo::new();
+        let (id1, b1) = publish_two_segments(&store, &io);
+        let (id2, b2) = publish_two_segments(&store, &io);
+        assert_eq!(id1, id2);
+        assert!(b1 > 0);
+        assert_eq!(b2, 0, "identical content republished writes nothing");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_at_every_op_leaves_head_valid_or_absent() {
+        // Dry run to count ops, then kill at each one: HEAD must always
+        // load as the previous complete checkpoint or as absent.
+        let dry_dir = temp_dir("chaos-dry");
+        let dry = CheckpointStore::open(&dry_dir).unwrap();
+        let io = CkptIo::new();
+        publish_two_segments(&dry, &io);
+        let total = io.op_count();
+        let kinds = io.op_kinds();
+        assert!(total >= 10, "expected segments+manifest+HEAD ladders, got {total}");
+        std::fs::remove_dir_all(&dry_dir).ok();
+
+        for op in 1..=total {
+            let torn_variants: &[Option<usize>] = if kinds[(op - 1) as usize] == IoKind::Write {
+                &[None, Some(0), Some(3)]
+            } else {
+                &[None]
+            };
+            for &torn in torn_variants {
+                let dir = temp_dir(&format!("chaos-{op}-{}", torn.map_or(9999, |k| k)));
+                std::fs::remove_dir_all(&dir).ok();
+                let store = CheckpointStore::open(&dir).unwrap();
+                let io = CkptIo::new();
+                io.arm(CrashPoint { op, torn_keep: torn });
+                let r = store.publish(
+                    &[("alpha".into(), b"alpha bytes".to_vec()), ("beta".into(), b"beta".to_vec())],
+                    |refs| {
+                        let mut m = Vec::new();
+                        for (role, d) in refs {
+                            m.extend_from_slice(role.as_bytes());
+                            m.extend_from_slice(&d.0);
+                        }
+                        m
+                    },
+                    &io,
+                );
+                assert!(r.is_err(), "armed crash at op {op} must surface as an error");
+                // "Reboot": a fresh store over the same directory.
+                let rebooted = CheckpointStore::open(&dir).unwrap();
+                match rebooted.load_head().unwrap() {
+                    None => {}
+                    Some((id, manifest)) => {
+                        assert_eq!(sha256(&manifest), id, "HEAD names a complete manifest");
+                    }
+                }
+                std::fs::remove_dir_all(&dir).ok();
+            }
+        }
+    }
+
+    #[test]
+    fn second_publish_crash_preserves_first_head() {
+        let dir = temp_dir("preserve");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = CheckpointStore::open(&dir).unwrap();
+        let io = CkptIo::new();
+        let (id1, _) = publish_two_segments(&store, &io);
+        // Crash the very first op of a different second checkpoint.
+        let io2 = CkptIo::new();
+        io2.arm(CrashPoint { op: 1, torn_keep: Some(2) });
+        let r = store.publish(
+            &[("gamma".into(), b"new content".to_vec())],
+            |refs| refs[0].1 .0.to_vec(),
+            &io2,
+        );
+        assert!(r.is_err());
+        let (id, _) = store.load_head().unwrap().unwrap();
+        assert_eq!(id, id1, "old HEAD survives a crashed republish");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_drops_orphans_keeps_current() {
+        let dir = temp_dir("gc");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = CheckpointStore::open(&dir).unwrap();
+        let io = CkptIo::new();
+        let (id, _) = publish_two_segments(&store, &io);
+        std::fs::write(dir.join("deadbeef.seg"), b"orphan").unwrap();
+        std::fs::write(dir.join("junk.seg.tmp"), b"torn").unwrap();
+        let keep = [sha256(b"alpha bytes"), sha256(b"beta")];
+        store.gc(&id, &keep);
+        assert!(!dir.join("deadbeef.seg").exists());
+        assert!(!dir.join("junk.seg.tmp").exists());
+        assert!(store.load_head().unwrap().is_some());
+        for d in &keep {
+            assert!(store.read_segment(d).is_ok());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_segment_reported() {
+        let dir = temp_dir("tamper");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = CheckpointStore::open(&dir).unwrap();
+        let io = CkptIo::new();
+        publish_two_segments(&store, &io);
+        let d = sha256(b"alpha bytes");
+        std::fs::write(dir.join(seg_name(&d)), b"tampered!").unwrap();
+        assert!(matches!(store.read_segment(&d), Err(StorageError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -223,6 +223,10 @@ impl StreamStore for FaultStore {
     fn truncate_records(&self, new_len: u64) -> Result<(), StorageError> {
         self.inner.truncate_records(new_len)
     }
+
+    fn reset(&self, io: &crate::checkpoint::CkptIo) -> Result<(), StorageError> {
+        self.inner.reset(io)
+    }
 }
 
 #[cfg(test)]

@@ -15,7 +15,11 @@
 //! * [`crc32`] — the checksum framing every on-disk stream record.
 //! * [`fault`] — a deterministic fault-injection decorator used by the
 //!   recovery torture tests.
+//! * [`checkpoint`] — the crash-atomic checkpoint store (content-addressed
+//!   segments + manifest + `HEAD`), and the counted/injectable I/O router
+//!   the crash-point harness drives.
 
+pub mod checkpoint;
 pub mod crc32;
 pub mod fault;
 pub mod metrics;
@@ -23,6 +27,7 @@ pub mod occult_index;
 pub mod stream;
 pub mod survival;
 
+pub use checkpoint::{CheckpointStore, CkptIo, CrashPoint, IoKind};
 pub use fault::{Fault, FaultStore};
 pub use metrics::StoreMetrics;
 pub use occult_index::{OccultBits, OccultIndex};

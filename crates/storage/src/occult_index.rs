@@ -93,6 +93,20 @@ impl OccultIndex {
         self.inner.read().erase_anchor
     }
 
+    /// Export the raw bitmap words and the erase anchor for checkpoint
+    /// serialization.
+    pub fn export_parts(&self) -> (Vec<u64>, u64) {
+        let inner = self.inner.read();
+        (inner.bits.clone(), inner.erase_anchor)
+    }
+
+    /// Rebuild an index from exported parts; the set-bit count is
+    /// recomputed from the words rather than trusted.
+    pub fn from_parts(bits: Vec<u64>, erase_anchor: u64) -> OccultIndex {
+        let marked = bits.iter().map(|w| w.count_ones() as u64).sum();
+        OccultIndex { inner: RwLock::new(Inner { bits, erase_anchor, marked }) }
+    }
+
     /// Reorganization pass: returns the marked jsns in `[anchor, upto)`
     /// whose payloads should now be erased, and advances the anchor.
     /// Mirrors the paper's "data erasing performed by data reorganization

@@ -30,6 +30,7 @@
 //! zeroes the payload bytes on disk, rewrites the CRC for the zeroed
 //! form, and syncs — occult (§III-A3) promises *physical* erasure.
 
+use crate::checkpoint::CkptIo;
 use crate::crc32::{crc32, Crc32};
 use crate::metrics::StoreMetrics;
 use crate::StorageError;
@@ -37,7 +38,7 @@ use ledgerdb_crypto::sync::RwLock;
 use ledgerdb_crypto::{sha256, Digest};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// The stream-store interface shared by memory and file backends.
@@ -100,6 +101,17 @@ pub trait StreamStore: Send + Sync {
     /// to discard orphan payloads whose journal metadata never became
     /// durable.
     fn truncate_records(&self, new_len: u64) -> Result<(), StorageError>;
+
+    /// Atomically reset the store to empty — the checkpoint engine calls
+    /// this after committing a checkpoint that covers every record, so
+    /// the log becomes a pure post-checkpoint tail. File backends must
+    /// make the reset crash-atomic (tmp-write → fsync → rename via the
+    /// injectable [`CkptIo`]): at every kill point the log is either the
+    /// full old log or a valid empty one, never torn in a way the opener
+    /// would misread. Memory backends just truncate.
+    fn reset(&self, _io: &CkptIo) -> Result<(), StorageError> {
+        self.truncate_records(0)
+    }
 }
 
 enum Slot {
@@ -268,6 +280,7 @@ struct Inner {
 pub struct FileStreamStore {
     inner: RwLock<Inner>,
     meta: RwLock<Vec<RecordMeta>>,
+    path: PathBuf,
     policy: FsyncPolicy,
     /// Torn-tail bytes trimmed at open (0 for created stores).
     truncated: u64,
@@ -295,6 +308,7 @@ impl FileStreamStore {
         Ok(FileStreamStore {
             inner: RwLock::new(Inner { file, end: STREAM_MAGIC.len() as u64, since_sync: 0 }),
             meta: RwLock::new(Vec::new()),
+            path: path.to_path_buf(),
             policy,
             truncated: 0,
             metrics: StoreMetrics::default(),
@@ -325,6 +339,7 @@ impl FileStreamStore {
             return Ok(FileStreamStore {
                 inner: RwLock::new(Inner { file, end: magic_len, since_sync: 0 }),
                 meta: RwLock::new(Vec::new()),
+                path: path.to_path_buf(),
                 policy,
                 truncated: end,
                 metrics: StoreMetrics::default(),
@@ -390,6 +405,7 @@ impl FileStreamStore {
         Ok(FileStreamStore {
             inner: RwLock::new(Inner { file, end: pos, since_sync: 0 }),
             meta: RwLock::new(meta),
+            path: path.to_path_buf(),
             policy,
             truncated,
             metrics: StoreMetrics::default(),
@@ -647,6 +663,35 @@ impl StreamStore for FileStreamStore {
         meta.truncate(new_len as usize);
         Ok(())
     }
+
+    /// Crash-atomic reset to an empty log. A magic-only replacement file
+    /// is written beside the log, fsynced, and renamed over it; the
+    /// rename is the commit point. A kill before the rename leaves the
+    /// old log fully intact (the checkpoint loader skips its covered
+    /// records by watermark); a kill after leaves a valid empty log.
+    /// The `.reset.tmp` residue of a pre-rename kill is clobbered by the
+    /// next reset and never opened as a store.
+    fn reset(&self, io: &CkptIo) -> Result<(), StorageError> {
+        let mut inner = self.inner.write();
+        let mut meta = self.meta.write();
+        let tmp = {
+            let mut os = self.path.clone().into_os_string();
+            os.push(".reset.tmp");
+            PathBuf::from(os)
+        };
+        io.write_file(&tmp, STREAM_MAGIC)?;
+        io.sync_file(&tmp)?;
+        io.rename(&tmp, &self.path)?;
+        if let Some(dir) = self.path.parent() {
+            io.sync_dir(dir)?;
+        }
+        // The old fd still points at the unlinked inode; swap in a
+        // handle on the fresh file.
+        let file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        *inner = Inner { file, end: STREAM_MAGIC.len() as u64, since_sync: 0 };
+        meta.clear();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -873,6 +918,46 @@ mod tests {
         assert_eq!(store.len(), 4);
         assert_eq!(store.read(3).unwrap(), b"rec-3-replacement");
         assert!(store.truncate_records(9).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reset_empties_log_atomically() {
+        use crate::checkpoint::{CkptIo, CrashPoint};
+        let dir = temp_dir("reset");
+        let path = dir.join("stream.dat");
+        let store = FileStreamStore::create(&path).unwrap();
+        for i in 0..4u64 {
+            store.append(format!("covered-{i}").as_bytes()).unwrap();
+        }
+        let io = CkptIo::new();
+        store.reset(&io).unwrap();
+        assert_eq!(store.len(), 0);
+        // Appends after reset start at slot 0 and survive reopen.
+        store.append(b"tail-0").unwrap();
+        drop(store);
+        let store = FileStreamStore::open(&path).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.read(0).unwrap(), b"tail-0");
+
+        // Crash at each of the reset's 4 ops: the log must reopen as
+        // either the full old log or a valid empty one.
+        for op in 1..=4u64 {
+            let crash_path = dir.join(format!("crash-{op}.dat"));
+            let victim = FileStreamStore::create(&crash_path).unwrap();
+            victim.append(b"old-record").unwrap();
+            let io = CkptIo::new();
+            io.arm(CrashPoint { op, torn_keep: Some(3) });
+            assert!(victim.reset(&io).is_err());
+            drop(victim);
+            let reopened = FileStreamStore::open(&crash_path).unwrap();
+            assert!(
+                reopened.len() == 0
+                    || (reopened.len() == 1 && reopened.read(0).unwrap() == b"old-record"),
+                "crash at reset op {op}: log must be old-or-empty, got len {}",
+                reopened.len()
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

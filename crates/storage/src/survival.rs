@@ -54,6 +54,11 @@ impl SurvivalStream {
         Ok(sha256(&m.payload) == m.digest)
     }
 
+    /// All pinned milestones in jsn order (checkpoint serialization).
+    pub fn milestones(&self) -> Vec<Milestone> {
+        self.entries.read().values().cloned().collect()
+    }
+
     /// All pinned jsns (ascending).
     pub fn pinned_jsns(&self) -> Vec<u64> {
         self.entries.read().keys().copied().collect()

@@ -16,6 +16,17 @@ cargo test -q
 echo "== recovery torture (release, seeded fault sweep) =="
 cargo test --release -q --test torture_recovery
 
+echo "== recovery chaos (exhaustive checkpoint crash-point injection) =="
+# Every injected write/fsync/rename/dirsync kill on the checkpoint path
+# (plus torn-write variants) must recover byte-identical to the
+# never-crashed control, with HEAD valid-or-absent.
+cargo test --release -q --test crash_points
+
+echo "== checkpointed restart gate (O(tail) vs O(history) A/B) =="
+# Hard-asserts inside the binary: the checkpointed reopen loads HEAD and
+# replays at most the post-checkpoint tail, never the whole history.
+./target/release/prof_recovery --checkpoint-ab --json results/BENCH_recovery.json
+
 echo "== snapshot torture (release, readers vs occult/purge writer) =="
 cargo test --release -q --test torture_snapshot
 
@@ -62,8 +73,11 @@ cleanup() {
   rm -rf "$SMOKE_DIR"
 }
 trap cleanup EXIT
+# --checkpoint-every-n-seals 1: every seal commits a checkpoint, so the
+# kill -9 recovery below exercises checkpoint-load + tail-replay, not
+# just raw WAL replay (the torture suites cover that path).
 ./target/release/ledgerd --dir "$SMOKE_DIR/ledger" --bind 127.0.0.1:0 \
-  --seed verify-smoke > "$SMOKE_LOG" 2>&1 &
+  --seed verify-smoke --checkpoint-every-n-seals 1 > "$SMOKE_LOG" 2>&1 &
 LEDGERD_PID=$!
 disown "$LEDGERD_PID" 2>/dev/null || true  # keep kill -9 quiet
 # The server prints "ledgerd: listening on ADDR" once bound.
@@ -85,6 +99,7 @@ echo "== telemetry (Stats over the wire, counters consistent) =="
 ./target/release/ledgerd-stats --addr "$ADDR" --quiet \
   --min ledger_appends_total=16 \
   --min ledger_seals_total=1 \
+  --min ledger_checkpoints_total=1 \
   --min server_req_append_committed_total=16 \
   --min batch_windows_total=1 \
   --min storage_fsync_total=1 \

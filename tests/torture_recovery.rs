@@ -363,3 +363,203 @@ fn seeded_fault_plans_recover_or_report() {
         std::fs::remove_dir_all(&dir).ok();
     }
 }
+
+// ---------------------------------------------------------------------
+// Checkpoint-era torture: torn WAL tails at the truncation boundary and
+// randomized crash schedules (hand-rolled xorshift, no external deps).
+// ---------------------------------------------------------------------
+
+use ledgerdb::core::recovery::CHECKPOINT_DIR;
+use ledgerdb::storage::{CheckpointStore, CkptIo, CrashPoint};
+
+/// A torn WAL record *exactly at the checkpoint truncation boundary*:
+/// the WAL was just reset by a checkpoint, holds a single tail record,
+/// and that record is torn. Recovery must keep the whole checkpointed
+/// prefix and drop only the torn tail.
+#[test]
+fn torn_wal_record_at_checkpoint_boundary() {
+    let dir = temp_dir("ckpt-torn");
+    let (registry, m) = members();
+    let boundary_fingerprint = {
+        let (mut ledger, _) = open_durable(
+            config(2),
+            registry.clone(),
+            &dir,
+            FsyncPolicy::Always,
+            Arc::new(SimClock::new()),
+        )
+        .unwrap();
+        let store = Arc::new(CheckpointStore::open(&dir.join(CHECKPOINT_DIR)).unwrap());
+        ledger.enable_checkpoints(store, Arc::new(CkptIo::new()), 1);
+        for i in 0..4u64 {
+            ledger.append(tx(&m.alice, i)).unwrap();
+        }
+        assert!(ledger.durability_error().is_none());
+        let fp = ledger.state_fingerprint();
+        // One unsealed journal past the checkpoint: the WAL's only record.
+        ledger.append(tx(&m.alice, 4)).unwrap();
+        fp
+    };
+    // Tear the WAL inside that first-and-only tail record.
+    let wal_path = dir.join(WAL_FILE);
+    let len = std::fs::metadata(&wal_path).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&wal_path).unwrap();
+    f.set_len(len - 7).unwrap();
+    drop(f);
+
+    let (recovered, report) = open_durable(
+        config(2),
+        registry,
+        &dir,
+        FsyncPolicy::Always,
+        Arc::new(SimClock::new()),
+    )
+    .unwrap();
+    assert!(report.checkpoint.is_some(), "recovery starts from the checkpoint");
+    assert!(report.wal_truncated_bytes > 0, "torn tail trimmed");
+    assert_eq!(report.journals_replayed, 0, "the only tail record was torn");
+    assert_eq!(report.orphan_payloads_dropped, 1, "the torn journal's payload is an orphan");
+    assert_eq!(recovered.journal_count(), 4);
+    assert_eq!(
+        recovered.state_fingerprint(),
+        boundary_fingerprint,
+        "state is exactly the checkpoint boundary"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Randomized crash schedules: each seed derives a workload shape
+/// (append count, checkpoint cadence, optional purge) and a crash point
+/// within its checkpoint-path operation schedule. Whatever fires, the
+/// recovered ledger must be byte-identical to a never-crashed control
+/// run of the same prefix — the probabilistic twin of the exhaustive
+/// sweep in `crash_points.rs`.
+#[test]
+fn seeded_random_crash_schedules_recover_byte_identical() {
+    let (registry, m) = members();
+
+    // One deterministic workload per seed; `fps` (when given) records
+    // the control fingerprint after every completed step.
+    fn drive(
+        dir: &PathBuf,
+        registry: &MemberRegistry,
+        m: &Members,
+        io: Arc<CkptIo>,
+        appends: u64,
+        every_n: u64,
+        purge_at: Option<u64>,
+        mut fps: Option<&mut Vec<Digest>>,
+    ) -> usize {
+        let (mut ledger, _) = open_durable(
+            config(2),
+            registry.clone(),
+            dir,
+            FsyncPolicy::Always,
+            Arc::new(SimClock::new()),
+        )
+        .unwrap();
+        let store = Arc::new(CheckpointStore::open(&dir.join(CHECKPOINT_DIR)).unwrap());
+        ledger.enable_checkpoints(store, io, every_n);
+        if let Some(fps) = fps.as_deref_mut() {
+            fps.push(ledger.state_fingerprint());
+        }
+        let mut done = 0;
+        for i in 0..appends {
+            if purge_at == Some(i) {
+                let digest = ledger.purge_approval_digest(2);
+                let mut ms = MultiSignature::new();
+                ms.add(&m.dba, &digest);
+                ms.add(&m.alice, &digest);
+                if ledger.purge(2, ms, &[], false).is_err() {
+                    return done;
+                }
+                done += 1;
+                if let Some(fps) = fps.as_deref_mut() {
+                    fps.push(ledger.state_fingerprint());
+                }
+            }
+            if ledger.append(tx(&m.alice, i)).is_err() {
+                return done;
+            }
+            done += 1;
+            if let Some(fps) = fps.as_deref_mut() {
+                fps.push(ledger.state_fingerprint());
+            }
+        }
+        done
+    }
+
+    for seed in 1..=10u64 {
+        let mut state = seed;
+        let appends = 6 + xorshift(&mut state) % 6; // 6..=11
+        let every_n = 1 + xorshift(&mut state) % 2; // 1..=2
+        let purge_at = if xorshift(&mut state) % 2 == 0 {
+            Some(4 + xorshift(&mut state) % 2) // after jsn 4 or 5 exists
+        } else {
+            None
+        };
+
+        // Control: full run, unarmed, fingerprint per step + op schedule.
+        let control_dir = temp_dir(&format!("rs-ctl-{seed}"));
+        let io = Arc::new(CkptIo::new());
+        let mut fps = Vec::new();
+        let steps = drive(
+            &control_dir,
+            &registry,
+            &m,
+            Arc::clone(&io),
+            appends,
+            every_n,
+            purge_at,
+            Some(&mut fps),
+        );
+        let total = io.op_count();
+        std::fs::remove_dir_all(&control_dir).ok();
+        assert!(total > 0, "seed {seed}: workload must checkpoint at least once");
+        assert_eq!(steps + 1, fps.len());
+
+        // Crash run: random op, random torn variant at write sites.
+        let op = 1 + xorshift(&mut state) % total;
+        let torn_keep = match xorshift(&mut state) % 3 {
+            0 => None,
+            1 => Some(0),
+            _ => Some(xorshift(&mut state) as usize % 16),
+        };
+        let dir = temp_dir(&format!("rs-kill-{seed}"));
+        let io = Arc::new(CkptIo::new());
+        io.arm(CrashPoint { op, torn_keep });
+        let done = drive(
+            &dir,
+            &registry,
+            &m,
+            Arc::clone(&io),
+            appends,
+            every_n,
+            purge_at,
+            None,
+        );
+
+        let (recovered, report) = open_durable(
+            config(2),
+            registry.clone(),
+            &dir,
+            FsyncPolicy::Always,
+            Arc::new(SimClock::new()),
+        )
+        .unwrap_or_else(|e| panic!("seed {seed} op {op}: kill residue must recover: {e}"));
+        assert_eq!(
+            recovered.state_fingerprint(),
+            fps[done],
+            "seed {seed} op {op} torn {torn_keep:?}: recovered state matches the \
+             control after {done} steps (report: {report:?})"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
