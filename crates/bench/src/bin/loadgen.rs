@@ -9,7 +9,18 @@
 //!         [--window-us 150] [--admission verify|proxy|both]
 //! loadgen --read-mix [--readers N] [--read-secs S] \
 //!         [--addr HOST:PORT --seed SEED]
+//! loadgen --connections 64,512,4096 [--rounds N]
 //! ```
+//!
+//! `--connections` runs the event-loop concurrency sweep: for each
+//! count it starts an in-process epoll `ledgerd` (`EventLedgerd`),
+//! establishes that many **simultaneously open** connections, then has
+//! a small worker pool drive `--rounds` request round trips over every
+//! socket while all of them stay open — the thing a thread-per-
+//! connection server cannot do at 4096. Each cell asserts every
+//! connection was served (structural gate, valid on any core count)
+//! and reports client-observed p50/p95/p99 for wall-clock gating where
+//! the machine has the cores to make latency meaningful.
 //!
 //! `--read-mix` runs the mixed read workload instead of the append
 //! sweep: one writer appends (per-append fsync, so it holds the ledger
@@ -44,10 +55,12 @@
 
 use ledgerdb_bench::XorShift;
 use ledgerdb_core::recovery::open_durable_with;
-use ledgerdb_core::{LedgerConfig, MemberRegistry, SharedLedger, TxRequest};
+use ledgerdb_core::{LedgerConfig, LedgerDb, MemberRegistry, SharedLedger, TxRequest};
 use ledgerdb_crypto::ca::{CertificateAuthority, Role};
 use ledgerdb_crypto::keys::KeyPair;
-use ledgerdb_server::{Admission, BatchConfig, Ledgerd, RemoteLedger, ServerConfig};
+use ledgerdb_server::{
+    Admission, BatchConfig, EventConfig, EventLedgerd, Ledgerd, RemoteLedger, ServerConfig,
+};
 use ledgerdb_storage::FsyncPolicy;
 use ledgerdb_telemetry::{parse_value, Histogram, Registry, Unit};
 use ledgerdb_timesvc::clock::SimClock;
@@ -71,6 +84,8 @@ struct Args {
     workers: usize,
     batch_size: usize,
     reps: usize,
+    connections: Vec<usize>,
+    rounds: usize,
 }
 
 fn parse_args() -> Args {
@@ -90,6 +105,8 @@ fn parse_args() -> Args {
         workers: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
         batch_size: 64,
         reps: 2,
+        connections: Vec::new(),
+        rounds: 3,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -141,6 +158,13 @@ fn parse_args() -> Args {
             "--workers" => args.workers = value.parse().unwrap_or_else(|_| bad("count")),
             "--batch-size" => args.batch_size = value.parse().unwrap_or_else(|_| bad("count")),
             "--reps" => args.reps = value.parse().unwrap_or_else(|_| bad("count")),
+            "--connections" => {
+                args.connections = value
+                    .split(',')
+                    .map(|s| s.parse().unwrap_or_else(|_| bad("connection list")))
+                    .collect();
+            }
+            "--rounds" => args.rounds = value.parse().unwrap_or_else(|_| bad("count")),
             _ => {
                 eprintln!(
                     "usage: loadgen [--appends N] [--payload BYTES] \
@@ -149,7 +173,8 @@ fn parse_args() -> Args {
                      | --read-mix [--readers N] [--read-secs S] \
                      [--addr HOST:PORT --seed SEED] \
                      | --pipeline [--appends N] [--payload BYTES] \
-                     [--workers N] [--batch-size N] [--reps R]"
+                     [--workers N] [--batch-size N] [--reps R] \
+                     | --connections 64,512,4096 [--rounds N]"
                 );
                 std::process::exit(2);
             }
@@ -781,8 +806,192 @@ fn run_pipeline(args: &Args) {
     );
 }
 
+/// One event-loop concurrency cell: `connections` sockets held open
+/// simultaneously while every one of them is driven through `rounds`
+/// request round trips.
+struct ConnRow {
+    connections: usize,
+    requests: u64,
+    elapsed: Duration,
+    p50: Duration,
+    p95: Duration,
+    p99: Duration,
+    /// `server_loop_connections` scraped over HTTP at peak — the
+    /// server's own count of simultaneously registered sockets.
+    loop_connections_peak: f64,
+    /// Whether `GET /metrics` answered validly *while* the storm ran.
+    metrics_live: bool,
+}
+
+impl ConnRow {
+    fn print(&self) {
+        println!(
+            "{{\"bench\":\"event_loop_connections\",\"connections\":{},\
+             \"requests\":{},\"elapsed_s\":{:.3},\"requests_per_sec\":{:.1},\
+             \"p50_ms\":{:.3},\"p95_ms\":{:.3},\"p99_ms\":{:.3},\
+             \"loop_connections_peak\":{},\"metrics_live\":{}}}",
+            self.connections,
+            self.requests,
+            self.elapsed.as_secs_f64(),
+            self.requests as f64 / self.elapsed.as_secs_f64(),
+            self.p50.as_secs_f64() * 1e3,
+            self.p95.as_secs_f64() * 1e3,
+            self.p99.as_secs_f64() * 1e3,
+            self.loop_connections_peak,
+            self.metrics_live,
+        );
+    }
+}
+
+/// `GET path` against the event server's HTTP listener; returns the
+/// full response text.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> Option<String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(10))).ok()?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: l\r\nConnection: close\r\n\r\n").as_bytes())
+        .ok()?;
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).ok()?;
+    String::from_utf8(out).ok()
+}
+
+fn connections_cell(args: &Args, n: usize) -> ConnRow {
+    use ledgerdb_crypto::wire::Wire;
+    use ledgerdb_server::protocol::{
+        read_frame, write_frame, Request, Response, DEFAULT_MAX_FRAME,
+    };
+
+    let (registry, alice) = registry();
+    let config =
+        LedgerConfig { block_size: 64, fam_delta: 20, name: format!("loadgen-conn-{n}") };
+    let telemetry = Arc::new(Registry::new());
+    let mut ledger = LedgerDb::new(config, registry);
+    ledger.bind_metrics(&telemetry);
+    let shared = SharedLedger::new(ledger);
+    let mut rng = XorShift::new(41);
+    for i in 0..64u64 {
+        shared
+            .append(TxRequest::signed(&alice, rng.payload(args.payload), vec![], i))
+            .expect("seed append");
+    }
+    let server = EventLedgerd::start(
+        shared,
+        EventConfig {
+            server: ServerConfig {
+                workers: 4,
+                max_connections: n + 16,
+                batch: None,
+                registry: telemetry.clone(),
+                ..ServerConfig::default()
+            },
+            http_bind: Some("127.0.0.1:0".into()),
+            // The sweep's sockets are idle between their turns; the
+            // deadline must outlive the whole cell.
+            idle_timeout: Duration::from_secs(300),
+        },
+    )
+    .expect("start event server");
+    let addr = server.local_addr();
+    let http = server.http_addr().expect("http listener");
+
+    // Establish EVERY connection before the first request: this is the
+    // concurrency claim — n sockets simultaneously open and registered.
+    let mut sockets = Vec::with_capacity(n);
+    for i in 0..n {
+        let stream = loop {
+            match std::net::TcpStream::connect(addr) {
+                Ok(s) => break s,
+                // Transient backlog overflow under the connect burst.
+                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        };
+        stream.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+        stream.set_nodelay(true).ok();
+        let _ = i;
+        sockets.push(stream);
+    }
+
+    // Drive every socket through `rounds` round trips from a small
+    // worker pool, with all n sockets open the entire time.
+    let hist = Arc::new(Histogram::new(Unit::Seconds));
+    let workers = 8.min(n.max(1));
+    let chunk = n.div_ceil(workers);
+    let started = Instant::now();
+    let (peak, metrics_live) = std::thread::scope(|scope| {
+        for part in sockets.chunks_mut(chunk) {
+            let hist = hist.clone();
+            let rounds = args.rounds;
+            scope.spawn(move || {
+                for _ in 0..rounds {
+                    for stream in part.iter_mut() {
+                        let t0 = Instant::now();
+                        write_frame(stream, &Request::GetAnchor.to_wire()).expect("send");
+                        let body = read_frame(stream, DEFAULT_MAX_FRAME).expect("recv");
+                        match Response::from_wire(&body).expect("decode") {
+                            Response::Anchor(_) => hist.observe_duration(t0.elapsed()),
+                            other => panic!("GetAnchor answered {other:?}"),
+                        }
+                    }
+                }
+            });
+        }
+        // Mid-storm, the operator plane must stay responsive: scrape
+        // the loop's own connection gauge over HTTP while every slot
+        // is busy.
+        let text = http_get(http, "/metrics").unwrap_or_default();
+        let peak = parse_value(&text, "server_loop_connections").unwrap_or(0.0);
+        let live = text.starts_with("HTTP/1.1 200")
+            && text.contains("server_loop_iterations_total");
+        (peak, live)
+    });
+    let elapsed = started.elapsed();
+
+    let snap = hist.snapshot();
+    // Structural gate: every socket answered every round.
+    assert_eq!(
+        snap.count,
+        (n * args.rounds) as u64,
+        "every connection must be served every round"
+    );
+    drop(sockets);
+    server.shutdown();
+    ConnRow {
+        connections: n,
+        requests: snap.count,
+        elapsed,
+        p50: Duration::from_nanos(snap.p50),
+        p95: Duration::from_nanos(snap.p95),
+        p99: Duration::from_nanos(snap.p99),
+        loop_connections_peak: peak,
+        metrics_live,
+    }
+}
+
+fn run_connections(args: &Args) {
+    eprintln!(
+        "loadgen: event-loop concurrency sweep — connections {:?}, {} rounds each",
+        args.connections, args.rounds
+    );
+    for &n in &args.connections {
+        let row = connections_cell(args, n);
+        row.print();
+        assert!(
+            row.loop_connections_peak >= n as f64,
+            "loop gauge saw {} sockets, expected at least {n}",
+            row.loop_connections_peak
+        );
+        assert!(row.metrics_live, "/metrics must answer during the storm at {n} connections");
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if !args.connections.is_empty() {
+        run_connections(&args);
+        return;
+    }
     if args.pipeline {
         run_pipeline(&args);
         return;

@@ -104,6 +104,11 @@ pub struct CheckpointPolicy {
     /// `every_n_seals` so the stale covering checkpoint is replaced at
     /// the next seal boundary.
     pub(crate) seals_since: u64,
+    /// Coverage of the newest committed checkpoint, as
+    /// `(journal_count, block_count)` — the manifest watermark. `None`
+    /// until a checkpoint exists. Surfaced on the operator `/status`
+    /// endpoint so drain/restart behavior is observable.
+    pub(crate) last_watermark: Option<(u64, u64)>,
 }
 
 /// The LedgerDB instance.
@@ -293,12 +298,28 @@ impl LedgerDb {
         io: Arc<CkptIo>,
         every_n_seals: u64,
     ) {
+        // Seed the watermark from the store's current HEAD, so a ledger
+        // reopened over an existing checkpoint reports it immediately.
+        let last_watermark = store.load_head().ok().flatten().and_then(|(_, bytes)| {
+            use ledgerdb_crypto::wire::Wire as _;
+            crate::checkpoint::CheckpointManifest::from_wire(&bytes)
+                .ok()
+                .map(|m| (m.journal_count, m.block_count))
+        });
         self.checkpoints = Some(CheckpointPolicy {
             store,
             io,
             every_n_seals: every_n_seals.max(1),
             seals_since: 0,
+            last_watermark,
         });
+    }
+
+    /// Coverage of the newest committed checkpoint as
+    /// `(journal_count, block_count)`, or `None` when checkpoints are
+    /// disabled or none has been committed yet.
+    pub fn checkpoint_watermark(&self) -> Option<(u64, u64)> {
+        self.checkpoints.as_ref().and_then(|p| p.last_watermark)
     }
 
     /// The installed checkpoint store, if any.
@@ -340,8 +361,10 @@ impl LedgerDb {
         self.metrics.checkpoints.inc();
         self.metrics.checkpoint_bytes.observe(bytes);
         self.metrics.checkpoint_write_seconds.observe_duration(start.elapsed());
+        let watermark = (self.journals.len() as u64, self.blocks.len() as u64);
         if let Some(policy) = &mut self.checkpoints {
             policy.seals_since = 0;
+            policy.last_watermark = Some(watermark);
         }
         Ok(Some(snapshot_id))
     }

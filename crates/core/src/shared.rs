@@ -239,6 +239,12 @@ impl SharedLedger {
         self.inner.read().checkpoint_store().is_some()
     }
 
+    /// Coverage of the newest committed checkpoint as
+    /// `(journal_count, block_count)`; `None` without one.
+    pub fn checkpoint_watermark(&self) -> Option<(u64, u64)> {
+        self.inner.read().checkpoint_watermark()
+    }
+
     /// Drain-path checkpoint: commit a final checkpoint (no-op without
     /// a policy or mid-block) so the next start replays only the
     /// unsealed tail. Taking the write lock doubles as the completion

@@ -1,0 +1,244 @@
+//! The OS boundary: five Linux syscalls, no libc crate.
+//!
+//! On x86_64 the calls go straight through the `syscall` instruction via
+//! inline asm — zero FFI, matching the workspace's no-deps discipline.
+//! On other Linux architectures the same five entry points resolve
+//! through minimal `extern "C"` declarations against the libc that std
+//! already links (syscall numbers differ per arch, and aarch64 has no
+//! `epoll_wait` at all — only `epoll_pwait` — so the symbolic names are
+//! the portable spelling).
+//!
+//! Everything returns `io::Result`; a negative kernel return value is
+//! converted to `io::Error::from_raw_os_error` at this layer so callers
+//! never see raw errno encodings.
+
+use std::io;
+
+/// `EPOLL_CTL_*` opcodes.
+pub const EPOLL_CTL_ADD: i32 = 1;
+pub const EPOLL_CTL_DEL: i32 = 2;
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+/// Readiness bits (level-triggered; we never set `EPOLLET`).
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CLOEXEC: i32 = 0x80000;
+const EFD_CLOEXEC: i32 = 0x80000;
+const EFD_NONBLOCK: i32 = 0x800;
+
+/// The kernel's epoll event record. x86_64 (and i386) pack it to 4-byte
+/// alignment; every other architecture uses natural alignment.
+#[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(C, packed))]
+#[cfg_attr(not(any(target_arch = "x86_64", target_arch = "x86")), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+fn check(ret: isize) -> io::Result<isize> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret)
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod imp {
+    use super::EpollEvent;
+    use std::arch::asm;
+
+    // x86_64 syscall numbers.
+    const SYS_READ: usize = 0;
+    const SYS_WRITE: usize = 1;
+    const SYS_CLOSE: usize = 3;
+    const SYS_EPOLL_WAIT: usize = 232;
+    const SYS_EPOLL_CTL: usize = 233;
+    const SYS_EVENTFD2: usize = 290;
+    const SYS_EPOLL_CREATE1: usize = 291;
+
+    /// One raw syscall. The kernel clobbers rcx/r11; everything else is
+    /// the standard x86_64 syscall convention (args in rdi/rsi/rdx/r10).
+    unsafe fn syscall4(n: usize, a1: usize, a2: usize, a3: usize, a4: usize) -> isize {
+        let ret: isize;
+        asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    pub unsafe fn epoll_create1(flags: i32) -> isize {
+        syscall4(SYS_EPOLL_CREATE1, flags as usize, 0, 0, 0)
+    }
+
+    pub unsafe fn epoll_ctl(epfd: i32, op: i32, fd: i32, ev: *mut EpollEvent) -> isize {
+        syscall4(SYS_EPOLL_CTL, epfd as usize, op as usize, fd as usize, ev as usize)
+    }
+
+    pub unsafe fn epoll_wait(epfd: i32, evs: *mut EpollEvent, max: i32, timeout_ms: i32) -> isize {
+        syscall4(
+            SYS_EPOLL_WAIT,
+            epfd as usize,
+            evs as usize,
+            max as usize,
+            timeout_ms as isize as usize,
+        )
+    }
+
+    pub unsafe fn eventfd(init: u32, flags: i32) -> isize {
+        syscall4(SYS_EVENTFD2, init as usize, flags as usize, 0, 0)
+    }
+
+    pub unsafe fn read(fd: i32, buf: *mut u8, len: usize) -> isize {
+        syscall4(SYS_READ, fd as usize, buf as usize, len, 0)
+    }
+
+    pub unsafe fn write(fd: i32, buf: *const u8, len: usize) -> isize {
+        syscall4(SYS_WRITE, fd as usize, buf as usize, len, 0)
+    }
+
+    pub unsafe fn close(fd: i32) -> isize {
+        syscall4(SYS_CLOSE, fd as usize, 0, 0, 0)
+    }
+}
+
+#[cfg(all(target_os = "linux", not(target_arch = "x86_64")))]
+mod imp {
+    //! Minimal FFI against the libc std already links. Syscall numbers
+    //! are arch-specific (and aarch64 lacks `epoll_wait` entirely), so
+    //! the symbolic entry points are the portable spelling.
+    use super::EpollEvent;
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    extern "C" {
+        #[link_name = "epoll_create1"]
+        fn c_epoll_create1(flags: c_int) -> c_int;
+        #[link_name = "epoll_ctl"]
+        fn c_epoll_ctl(epfd: c_int, op: c_int, fd: c_int, ev: *mut c_void) -> c_int;
+        #[link_name = "epoll_wait"]
+        fn c_epoll_wait(epfd: c_int, evs: *mut c_void, max: c_int, timeout: c_int) -> c_int;
+        #[link_name = "eventfd"]
+        fn c_eventfd(init: c_uint, flags: c_int) -> c_int;
+        #[link_name = "read"]
+        fn c_read(fd: c_int, buf: *mut c_void, len: usize) -> isize;
+        #[link_name = "write"]
+        fn c_write(fd: c_int, buf: *const c_void, len: usize) -> isize;
+        #[link_name = "close"]
+        fn c_close(fd: c_int) -> c_int;
+    }
+
+    fn errno_result(ret: isize) -> isize {
+        if ret < 0 {
+            -(std::io::Error::last_os_error().raw_os_error().unwrap_or(5) as isize)
+        } else {
+            ret
+        }
+    }
+
+    pub unsafe fn epoll_create1(flags: i32) -> isize {
+        errno_result(c_epoll_create1(flags) as isize)
+    }
+
+    pub unsafe fn epoll_ctl(epfd: i32, op: i32, fd: i32, ev: *mut EpollEvent) -> isize {
+        errno_result(c_epoll_ctl(epfd, op, fd, ev.cast()) as isize)
+    }
+
+    pub unsafe fn epoll_wait(epfd: i32, evs: *mut EpollEvent, max: i32, timeout_ms: i32) -> isize {
+        errno_result(c_epoll_wait(epfd, evs.cast(), max, timeout_ms) as isize)
+    }
+
+    pub unsafe fn eventfd(init: u32, flags: i32) -> isize {
+        errno_result(c_eventfd(init, flags) as isize)
+    }
+
+    pub unsafe fn read(fd: i32, buf: *mut u8, len: usize) -> isize {
+        errno_result(c_read(fd, buf.cast(), len))
+    }
+
+    pub unsafe fn write(fd: i32, buf: *const u8, len: usize) -> isize {
+        errno_result(c_write(fd, buf.cast(), len))
+    }
+
+    pub unsafe fn close(fd: i32) -> isize {
+        errno_result(c_close(fd) as isize)
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    //! Non-Linux stub: every call reports `Unsupported`. The event
+    //! server is Linux-only; the threaded server remains the portable
+    //! path, and this stub keeps the workspace compiling elsewhere.
+    use super::EpollEvent;
+
+    const ENOSYS: isize = -38;
+
+    pub unsafe fn epoll_create1(_flags: i32) -> isize {
+        ENOSYS
+    }
+    pub unsafe fn epoll_ctl(_e: i32, _o: i32, _f: i32, _ev: *mut EpollEvent) -> isize {
+        ENOSYS
+    }
+    pub unsafe fn epoll_wait(_e: i32, _evs: *mut EpollEvent, _m: i32, _t: i32) -> isize {
+        ENOSYS
+    }
+    pub unsafe fn eventfd(_init: u32, _flags: i32) -> isize {
+        ENOSYS
+    }
+    pub unsafe fn read(_fd: i32, _buf: *mut u8, _len: usize) -> isize {
+        ENOSYS
+    }
+    pub unsafe fn write(_fd: i32, _buf: *const u8, _len: usize) -> isize {
+        ENOSYS
+    }
+    pub unsafe fn close(_fd: i32) -> isize {
+        0
+    }
+}
+
+pub fn sys_epoll_create1() -> io::Result<i32> {
+    check(unsafe { imp::epoll_create1(EPOLL_CLOEXEC) }).map(|fd| fd as i32)
+}
+
+pub fn sys_epoll_ctl(epfd: i32, op: i32, fd: i32, events: u32, data: u64) -> io::Result<()> {
+    let mut ev = EpollEvent { events, data };
+    // DEL on old kernels requires a non-null event pointer; passing one
+    // unconditionally is harmless everywhere.
+    check(unsafe { imp::epoll_ctl(epfd, op, fd, &mut ev) }).map(|_| ())
+}
+
+pub fn sys_epoll_wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    let ret = check(unsafe {
+        imp::epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms)
+    })?;
+    Ok(ret as usize)
+}
+
+pub fn sys_eventfd_nonblocking() -> io::Result<i32> {
+    check(unsafe { imp::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }).map(|fd| fd as i32)
+}
+
+pub fn sys_read(fd: i32, buf: &mut [u8]) -> io::Result<usize> {
+    check(unsafe { imp::read(fd, buf.as_mut_ptr(), buf.len()) }).map(|n| n as usize)
+}
+
+pub fn sys_write(fd: i32, buf: &[u8]) -> io::Result<usize> {
+    check(unsafe { imp::write(fd, buf.as_ptr(), buf.len()) }).map(|n| n as usize)
+}
+
+pub fn sys_close(fd: i32) {
+    let _ = unsafe { imp::close(fd) };
+}

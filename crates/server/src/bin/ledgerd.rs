@@ -3,6 +3,8 @@
 //! ```text
 //! ledgerd --dir /var/lib/ledgerdb --bind 127.0.0.1:7878 \
 //!         [--workers 4]   # connection threads AND (N>1) compute pool \
+//!         [--event-loop] [--http-addr 127.0.0.1:7879] \
+//!         [--idle-timeout-ms 60000] [--max-connections N] \
 //!         [--fsync always|never|every-N] \
 //!         [--batch-window-us 150] [--batch-max 64] [--no-batch] \
 //!         [--proxy-admission] [--no-snapshot-reads] \
@@ -11,6 +13,19 @@
 //!         [--metrics-dump PATH] [--metrics-interval-ms 1000] \
 //!         [--slow-op-ms N]
 //! ```
+//!
+//! Transports: the default server runs a thread per connection.
+//! `--event-loop` swaps in the epoll readiness loop
+//! (`ledgerdb_server::EventLedgerd`): one loop thread multiplexes every
+//! socket, `--workers` sizes the request-dispatch pool, and thousands
+//! of concurrent connections cost a table entry each instead of a
+//! thread. `--http-addr` (implies `--event-loop`) adds the operator
+//! HTTP surface — `/healthz`, `/status`, `/metrics`, `/proof/<jsn>` —
+//! on a second listener driven by the same loop. `--idle-timeout-ms`
+//! is the loop's progress deadline (slowloris defense);
+//! `--max-connections` caps both listeners together, refusing the
+//! excess with a typed `Busy` frame / HTTP 503. Responses are
+//! byte-identical across both transports.
 //!
 //! Checkpoints (`--checkpoint-every-n-seals N`, default 64): every N
 //! sealed blocks the sealed prefix is serialized into
@@ -39,7 +54,9 @@ use ledgerdb_core::recovery::{open_durable, CHECKPOINT_DIR};
 use ledgerdb_core::{LedgerConfig, MemberRegistry, SharedLedger};
 use ledgerdb_crypto::ca::{CertificateAuthority, Role};
 use ledgerdb_crypto::keys::KeyPair;
-use ledgerdb_server::{Admission, BatchConfig, Ledgerd, ServerConfig};
+use ledgerdb_server::{
+    Admission, BatchConfig, EventConfig, EventLedgerd, Ledgerd, ServerConfig,
+};
 use ledgerdb_storage::checkpoint::{CheckpointStore, CkptIo};
 use ledgerdb_storage::FsyncPolicy;
 use ledgerdb_timesvc::clock::SimClock;
@@ -51,6 +68,8 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: ledgerd --dir DIR [--bind ADDR] [--workers N] \
+         [--event-loop] [--http-addr ADDR] [--idle-timeout-ms MS] \
+         [--max-connections N] \
          [--fsync always|never|every-N] [--batch-window-us US] \
          [--batch-max N] [--no-batch] [--proxy-admission] \
          [--no-snapshot-reads] \
@@ -65,6 +84,10 @@ struct Args {
     dir: PathBuf,
     bind: String,
     workers: usize,
+    event_loop: bool,
+    http_bind: Option<String>,
+    idle_timeout: Duration,
+    max_connections: Option<usize>,
     fsync: FsyncPolicy,
     batch: Option<BatchConfig>,
     admission: Admission,
@@ -82,6 +105,10 @@ fn parse_args() -> Args {
         dir: PathBuf::new(),
         bind: "127.0.0.1:7878".into(),
         workers: 4,
+        event_loop: false,
+        http_bind: None,
+        idle_timeout: Duration::from_secs(60),
+        max_connections: None,
         fsync: FsyncPolicy::Always,
         batch: Some(BatchConfig::default()),
         admission: Admission::Verify,
@@ -109,6 +136,19 @@ fn parse_args() -> Args {
             }
             "--bind" => args.bind = value("--bind"),
             "--workers" => args.workers = parse_num(&value("--workers")),
+            "--event-loop" => args.event_loop = true,
+            // The HTTP surface is served by the event loop, so asking
+            // for one implies the other.
+            "--http-addr" => {
+                args.http_bind = Some(value("--http-addr"));
+                args.event_loop = true;
+            }
+            "--idle-timeout-ms" => {
+                args.idle_timeout = Duration::from_millis(parse_num(&value("--idle-timeout-ms")));
+            }
+            "--max-connections" => {
+                args.max_connections = Some(parse_num(&value("--max-connections")));
+            }
             "--fsync" => {
                 let v = value("--fsync");
                 args.fsync = match v.as_str() {
@@ -233,7 +273,7 @@ fn main() {
     // and fans out batch proofs. `--workers 1` keeps every compute
     // stage serial — the A/B baseline; results are byte-identical.
     let pool = (args.workers > 1).then(|| ledgerdb_pool::Pool::new(args.workers));
-    let server_config = ServerConfig {
+    let mut server_config = ServerConfig {
         bind: args.bind.clone(),
         workers: args.workers,
         batch: args.batch,
@@ -242,6 +282,29 @@ fn main() {
         pool,
         ..ServerConfig::default()
     };
+    if let Some(cap) = args.max_connections {
+        server_config.max_connections = cap;
+    }
+
+    if args.event_loop {
+        let config = EventConfig {
+            server: server_config,
+            http_bind: args.http_bind.clone(),
+            idle_timeout: args.idle_timeout,
+        };
+        let server = EventLedgerd::start(shared, config).unwrap_or_else(|e| {
+            eprintln!("ledgerd: cannot bind {}: {e}", args.bind);
+            exit(1);
+        });
+        println!("ledgerd: listening on {}", server.local_addr());
+        if let Some(http) = server.http_addr() {
+            println!("ledgerd: http on {http}");
+        }
+        loop {
+            std::thread::park();
+        }
+    }
+
     let server = Ledgerd::start(shared, server_config).unwrap_or_else(|e| {
         eprintln!("ledgerd: cannot bind {}: {e}", args.bind);
         exit(1);

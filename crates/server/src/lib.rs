@@ -9,8 +9,14 @@
 //!   with typed error frames for hostile input;
 //! * [`batcher`] — group commit: one fsync barrier amortized across a
 //!   window of concurrent appends, acks strictly after durability;
+//! * [`service`] — transport-independent request handling, shared by
+//!   both servers so their responses are byte-identical;
 //! * [`server`] — the thread-pool TCP server with connection limits,
 //!   socket timeouts, and graceful drain;
+//! * [`event_server`] — the epoll readiness loop ([`ledgerdb_netpoll`])
+//!   driving per-connection frame state machines for 10k+ sockets, plus
+//!   the [`http`] operator surface (`/healthz`, `/status`, `/metrics`,
+//!   `/proof/<jsn>`);
 //! * [`remote`] — the distrusting client: syncs blocks into its own
 //!   fam replica and verifies every proof and receipt locally.
 //!
@@ -18,19 +24,25 @@
 //! argument.
 
 pub mod batcher;
+pub mod event_server;
+pub mod http;
 pub mod metrics;
 pub mod protocol;
 pub mod remote;
 pub mod server;
+pub mod service;
 
-#[cfg(test)]
-pub(crate) mod testutil;
+// Unconditionally public: the integration suites (differential servers,
+// event-loop hostility) build the same fixtures from outside the crate.
+pub mod testutil;
 
 pub use batcher::{Admission, BatchConfig, CommitOutcome, GroupCommitter};
-pub use metrics::{BatchMetrics, ServerMetrics};
+pub use event_server::{EventConfig, EventLedgerd};
+pub use metrics::{BatchMetrics, LoopMetrics, ServerMetrics};
 pub use protocol::{
     AppendedAck, ErrorCode, ErrorFrame, FrameError, ProofItem, Request, Response, ServerInfo,
     DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 pub use remote::{RemoteConfig, RemoteError, RemoteLedger};
 pub use server::{Ledgerd, ServerConfig};
+pub use service::RequestService;

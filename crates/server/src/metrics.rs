@@ -62,6 +62,11 @@ pub struct ServerMetrics {
     pub connections_total: Arc<Counter>,
     /// `server_connections_refused_total` — refused over the cap.
     pub connections_refused: Arc<Counter>,
+    /// `ledger_conn_rejected_total` — connections answered with a typed
+    /// `Busy` frame (binary) or `503` (HTTP) and then closed. Kept
+    /// distinct from `server_connections_refused_total` (which predates
+    /// it) so operators can alert on the paper-facing name.
+    pub conn_rejected: Arc<Counter>,
     /// `server_bytes_in_total` / `server_bytes_out_total` — whole
     /// frames including the 5-byte header.
     pub bytes_in: Arc<Counter>,
@@ -89,6 +94,7 @@ impl ServerMetrics {
             connections_active: registry.gauge("server_connections_active"),
             connections_total: registry.counter("server_connections_total"),
             connections_refused: registry.counter("server_connections_refused_total"),
+            conn_rejected: registry.counter("ledger_conn_rejected_total"),
             bytes_in: registry.counter("server_bytes_in_total"),
             bytes_out: registry.counter("server_bytes_out_total"),
             error_frames: registry.counter("server_error_frames_total"),
@@ -107,6 +113,39 @@ impl ServerMetrics {
 impl Default for ServerMetrics {
     fn default() -> Self {
         Self::bind(Registry::global())
+    }
+}
+
+/// Event-loop telemetry (one per [`crate::event_server::EventLedgerd`]).
+#[derive(Debug, Clone)]
+pub struct LoopMetrics {
+    /// `server_loop_iterations_total` — epoll wait/process cycles.
+    pub iterations: Arc<Counter>,
+    /// `server_loop_events` — readiness events delivered per wakeup.
+    pub events_per_wake: Arc<Histogram>,
+    /// `server_loop_wait_seconds` — time parked in `epoll_wait`.
+    pub wait_seconds: Arc<Histogram>,
+    /// `server_loop_process_seconds` — time handling one wakeup's
+    /// events (readiness latency: how long a ready socket can sit
+    /// behind its siblings before the loop touches it).
+    pub process_seconds: Arc<Histogram>,
+    /// `server_loop_connections` — sockets currently registered with
+    /// the poller (both protocols, listeners excluded).
+    pub connections: Arc<Gauge>,
+    /// `server_http_requests_total` — HTTP requests served.
+    pub http_requests: Arc<Counter>,
+}
+
+impl LoopMetrics {
+    pub fn bind(registry: &Registry) -> Self {
+        LoopMetrics {
+            iterations: registry.counter("server_loop_iterations_total"),
+            events_per_wake: registry.histogram("server_loop_events", Unit::Count),
+            wait_seconds: registry.histogram("server_loop_wait_seconds", Unit::Seconds),
+            process_seconds: registry.histogram("server_loop_process_seconds", Unit::Seconds),
+            connections: registry.gauge("server_loop_connections"),
+            http_requests: registry.counter("server_http_requests_total"),
+        }
     }
 }
 

@@ -333,6 +333,11 @@ pub enum ErrorCode {
     Oversized,
     /// The frame's version byte is not one this server speaks.
     UnsupportedVersion,
+    /// The server is over its connection cap *right now*; unlike
+    /// [`ErrorCode::Unavailable`] this is an explicit invitation to
+    /// retry with backoff — [`crate::remote::RemoteLedger`] treats it as
+    /// retryable under its dial backoff instead of surfacing an EOF.
+    Busy,
 }
 
 impl ErrorCode {
@@ -348,6 +353,7 @@ impl ErrorCode {
             ErrorCode::Internal => 8,
             ErrorCode::Oversized => 9,
             ErrorCode::UnsupportedVersion => 10,
+            ErrorCode::Busy => 11,
         }
     }
 
@@ -363,6 +369,7 @@ impl ErrorCode {
             8 => ErrorCode::Internal,
             9 => ErrorCode::Oversized,
             10 => ErrorCode::UnsupportedVersion,
+            11 => ErrorCode::Busy,
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -743,6 +750,7 @@ mod tests {
             ErrorCode::Internal,
             ErrorCode::Oversized,
             ErrorCode::UnsupportedVersion,
+            ErrorCode::Busy,
         ] {
             let frame = ErrorFrame { code, detail: "why".into() };
             let decoded = ErrorFrame::from_wire(&frame.to_wire()).unwrap();

@@ -160,7 +160,25 @@ impl RemoteLedger {
         if addrs.is_empty() {
             return Err(RemoteError::Protocol("address resolved to nothing".into()));
         }
-        let (conn, info) = dial(&addrs, &config)?;
+        // A `Busy` refusal (the server is over its connection cap right
+        // now) is an explicit retry invitation, not a failure: back off
+        // like a reconnect would. Anything else still fails fast.
+        let mut backoff = config.backoff_initial;
+        let mut attempt = 0u32;
+        let (conn, info) = loop {
+            match dial(&addrs, &config) {
+                Ok(dialed) => break dialed,
+                Err(RemoteError::Server(frame))
+                    if frame.code == crate::protocol::ErrorCode::Busy
+                        && attempt < config.max_reconnect_attempts =>
+                {
+                    attempt += 1;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(config.backoff_max);
+                }
+                Err(e) => return Err(e),
+            }
+        };
         let client = LedgerClient::new(info.lsp_pk, info.fam_delta);
         Ok(RemoteLedger {
             addrs,

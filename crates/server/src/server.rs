@@ -7,10 +7,15 @@
 //! individually (per-append fsync) when it is not — either way a
 //! success response is only written after the append is durable.
 //!
+//! Request handling itself lives in [`crate::service::RequestService`],
+//! shared verbatim with the epoll transport
+//! ([`crate::event_server::EventLedgerd`]) so both produce
+//! byte-identical responses.
+//!
 //! Robustness posture:
 //! * connection cap — sockets past [`ServerConfig::max_connections`]
-//!   get a typed `Unavailable` error frame and are closed, never queued
-//!   unboundedly;
+//!   get a typed `Busy` error frame (an explicit retry-with-backoff
+//!   invitation) and are closed, never queued unboundedly;
 //! * per-socket read/write timeouts — a stalled peer cannot pin a
 //!   worker forever; the read timeout doubles as the shutdown poll;
 //! * graceful shutdown — [`Ledgerd::shutdown`] stops the acceptor,
@@ -23,23 +28,22 @@
 //!   the very request that triggered it instead of lurking until some
 //!   later fallible write.
 
-use crate::batcher::{Admission, BatchConfig, CommitOutcome, GroupCommitter};
-use crate::metrics::ServerMetrics;
+use crate::batcher::{Admission, BatchConfig};
 use crate::protocol::{
-    read_frame, write_frame, AppendedAck, ErrorCode, ErrorFrame, FrameError, ProofItem, Request,
-    Response, ServerInfo, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+    read_frame, write_frame, ErrorCode, ErrorFrame, FrameError, Request, Response,
+    DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
-use ledgerdb_accumulator::fam::TrustedAnchor;
-use ledgerdb_core::{SharedLedger, TxRequest, VerifyLevel};
+use crate::service::RequestService;
+use ledgerdb_core::SharedLedger;
 use ledgerdb_crypto::sync::Mutex;
 use ledgerdb_crypto::wire::Wire;
 use ledgerdb_telemetry::Registry;
 use std::io::{self, BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -97,12 +101,9 @@ impl Default for ServerConfig {
 }
 
 struct ServerState {
-    shared: SharedLedger,
-    committer: Option<GroupCommitter>,
+    service: RequestService,
     config: ServerConfig,
-    shutdown: AtomicBool,
     active_connections: AtomicUsize,
-    metrics: ServerMetrics,
 }
 
 /// A running server; dropping it (or calling [`Ledgerd::shutdown`])
@@ -119,28 +120,11 @@ impl Ledgerd {
     pub fn start(shared: SharedLedger, config: ServerConfig) -> io::Result<Ledgerd> {
         let listener = TcpListener::bind(&config.bind)?;
         let local_addr = listener.local_addr()?;
-        shared.set_snapshot_reads(config.snapshot_reads);
-        // Wire the compute pool all the way down: the ledger uses it to
-        // hash seal subtrees in parallel, the committer to pipeline
-        // batch admission off the write lock.
-        shared.set_pool(config.pool.clone());
-        let committer = config.batch.map(|batch| {
-            GroupCommitter::start_with_pool(
-                shared.clone(),
-                batch,
-                config.admission,
-                &config.registry,
-                config.pool.clone(),
-            )
-        });
-        let metrics = ServerMetrics::bind(&config.registry);
+        let service = RequestService::start(shared, &config);
         let state = Arc::new(ServerState {
-            shared,
-            committer,
+            service,
             config,
-            shutdown: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
-            metrics,
         });
 
         let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
@@ -180,7 +164,7 @@ impl Ledgerd {
     /// checkpoint so the next start replays only the unsealed tail.
     /// Idempotent.
     pub fn shutdown(&self) {
-        let first = !self.state.shutdown.swap(true, Ordering::SeqCst);
+        let first = self.state.service.begin_drain();
         // Unblock the acceptor's `accept()` with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
         if let Some(handle) = self.acceptor.lock().take() {
@@ -192,18 +176,7 @@ impl Ledgerd {
         for handle in self.workers.lock().drain(..) {
             let _ = handle.join();
         }
-        if let Some(committer) = &self.state.committer {
-            committer.shutdown();
-        }
-        // Final drain step, after the last commit has landed. A
-        // checkpoint already in flight (an auto-seal fired one) holds
-        // the ledger write lock, so this call waits for it to complete
-        // rather than abandoning it mid-ladder. A write failure lands
-        // on the sticky `ledger_durability_error` gauge instead of
-        // aborting the drain — the WAL already holds everything.
-        if first && self.state.shared.checkpoints_enabled() {
-            self.state.shared.checkpoint_on_drain();
-        }
+        self.state.service.finish_drain(first);
     }
 }
 
@@ -224,7 +197,7 @@ fn acceptor_loop(
             Err(_) => continue,
         };
         stream.set_nodelay(true).ok();
-        if state.shutdown.load(Ordering::SeqCst) {
+        if state.service.draining() {
             return; // conn_tx drops here; workers wind down.
         }
         if state.active_connections.load(Ordering::SeqCst) >= state.config.max_connections {
@@ -232,24 +205,26 @@ fn acceptor_loop(
             continue;
         }
         state.active_connections.fetch_add(1, Ordering::SeqCst);
-        state.metrics.connections_total.inc();
-        state.metrics.connections_active.add(1);
+        state.service.metrics.connections_total.inc();
+        state.service.metrics.connections_active.add(1);
         if conn_tx.send(stream).is_err() {
             return;
         }
     }
 }
 
-/// Tell an over-limit client why it is being dropped (best effort).
-fn refuse(mut stream: TcpStream, state: &ServerState) {
-    state.metrics.connections_refused.inc();
-    state.metrics.error_frames.inc();
+/// Tell an over-limit client why it is being dropped (best effort): a
+/// typed `Busy` frame — an explicit retry-with-backoff invitation —
+/// never a silent close.
+fn refuse(stream: TcpStream, state: &ServerState) {
+    state.service.metrics.connections_refused.inc();
+    state.service.metrics.conn_rejected.inc();
     let _ = stream.set_write_timeout(Some(state.config.write_timeout));
-    let frame = Response::Error(ErrorFrame {
-        code: ErrorCode::Unavailable,
-        detail: "connection limit reached".into(),
-    });
-    let _ = write_frame(&mut stream, &frame.to_wire());
+    // The refused peer may already have a `Hello` in flight; a straight
+    // close would RST and destroy the refusal before it is read. The
+    // hang-up path half-closes and drains, so the frame arrives.
+    let _ = stream.set_read_timeout(Some(state.config.read_timeout));
+    hang_up(state, stream, RequestService::busy_frame());
 }
 
 fn worker_loop(state: Arc<ServerState>, conn_rx: Arc<Mutex<mpsc::Receiver<TcpStream>>>) {
@@ -260,7 +235,7 @@ fn worker_loop(state: Arc<ServerState>, conn_rx: Arc<Mutex<mpsc::Receiver<TcpStr
             Ok(stream) => {
                 serve_connection(&state, stream);
                 state.active_connections.fetch_sub(1, Ordering::SeqCst);
-                state.metrics.connections_active.add(-1);
+                state.service.metrics.connections_active.add(-1);
             }
             Err(_) => return, // acceptor gone and queue drained
         }
@@ -283,7 +258,7 @@ fn serve_connection(state: &ServerState, mut stream: TcpStream) {
         let body = match read_frame(&mut reader, state.config.max_frame) {
             Ok(body) => body,
             Err(e) if e.is_timeout() => {
-                if state.shutdown.load(Ordering::SeqCst) {
+                if state.service.draining() {
                     return; // idle connection during drain
                 }
                 continue;
@@ -320,16 +295,9 @@ fn serve_connection(state: &ServerState, mut stream: TcpStream) {
             Err(FrameError::Io(_)) => return,
         };
         // +5: the version byte and length prefix of the frame header.
-        state.metrics.bytes_in.add(body.len() as u64 + 5);
+        state.service.metrics.bytes_in.add(body.len() as u64 + 5);
         let response = match Request::from_wire(&body) {
-            Ok(request) => {
-                let per_kind = state.metrics.request(&request);
-                let start = Instant::now();
-                let response = handle_request(state, request);
-                per_kind.count.inc();
-                per_kind.seconds.observe_duration(start.elapsed());
-                response
-            }
+            Ok(request) => state.service.handle(request),
             // A complete frame that fails to decode leaves the stream
             // synchronized — answer with a typed error and keep serving.
             Err(e) => Response::Error(ErrorFrame::from_wire_error(&e)),
@@ -337,7 +305,7 @@ fn serve_connection(state: &ServerState, mut stream: TcpStream) {
         if !respond(state, &mut stream, response) {
             return;
         }
-        if state.shutdown.load(Ordering::SeqCst) {
+        if state.service.draining() {
             return; // in-flight request finished; close before the next
         }
     }
@@ -347,9 +315,9 @@ fn serve_connection(state: &ServerState, mut stream: TcpStream) {
 fn respond(state: &ServerState, stream: &mut TcpStream, response: Response) -> bool {
     let wire = response.to_wire();
     if matches!(response, Response::Error(_)) {
-        state.metrics.error_frames.inc();
+        state.service.metrics.error_frames.inc();
     }
-    state.metrics.bytes_out.add(wire.len() as u64 + 5);
+    state.service.metrics.bytes_out.add(wire.len() as u64 + 5);
     write_frame(stream, &wire).is_ok()
 }
 
@@ -373,186 +341,12 @@ fn hang_up(state: &ServerState, mut stream: TcpStream, response: Response) {
     }
 }
 
-fn handle_request(state: &ServerState, request: Request) -> Response {
-    if state.shutdown.load(Ordering::SeqCst) {
-        if let Request::Append(_) | Request::AppendCommitted(_) | Request::AppendBatch(_) = request
-        {
-            return Response::Error(ErrorFrame {
-                code: ErrorCode::ShuttingDown,
-                detail: "server is draining".into(),
-            });
-        }
-    }
-    match request {
-        Request::Hello => Response::Hello(ServerInfo {
-            protocol_version: PROTOCOL_VERSION,
-            ledger_id: state.shared.id(),
-            lsp_pk: state.shared.lsp_public_key(),
-            fam_delta: state.shared.fam_delta(),
-            journal_count: state.shared.journal_count(),
-            block_count: state.shared.block_count(),
-        }),
-        Request::Append(tx) => handle_append(state, tx, false),
-        Request::AppendCommitted(tx) => handle_append(state, tx, true),
-        Request::GetTx(jsn) => match state.shared.get_tx(jsn) {
-            Ok((journal, payload)) => Response::Tx { journal, payload },
-            Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
-        },
-        Request::ListTx(clue) => Response::TxList(state.shared.list_tx(&clue)),
-        Request::GetProof { jsn, anchor } => match state.shared.prove_existence(jsn, &anchor) {
-            Ok((tx_hash, proof)) => Response::Proof { tx_hash, proof },
-            Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
-        },
-        Request::GetClueProof(clue) => match state.shared.prove_clue(&clue) {
-            Ok(proof) => Response::ClueProof(proof),
-            Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
-        },
-        Request::Verify { jsn, tx_hash, proof, anchor } => {
-            match state
-                .shared
-                .verify_existence(jsn, &tx_hash, &proof, &anchor, VerifyLevel::Server)
-            {
-                Ok(()) => Response::Verified,
-                Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
-            }
-        }
-        Request::GetAnchor => Response::Anchor(state.shared.anchor()),
-        Request::GetBlockFeed { from_height, max_blocks } => {
-            Response::BlockFeed(state.shared.blocks_from(from_height, max_blocks))
-        }
-        Request::Stats => Response::Stats(ledgerdb_telemetry::render(&state.config.registry)),
-        Request::AppendBatch(requests) => handle_append_batch(state, requests),
-        Request::GetProofBatch { jsns, anchor } => handle_proof_batch(state, jsns, anchor),
-    }
-}
-
-/// One-frame group commit: the client pre-batched, so the committer's
-/// accumulation window buys nothing — the batch goes straight through
-/// the batched ledger entry points. With a compute pool configured,
-/// admission (membership + π_c) and journal digests fan out across the
-/// pool *before* the write lock; without one, the serial batched path
-/// runs — byte-identical results either way.
-fn handle_append_batch(state: &ServerState, requests: Vec<TxRequest>) -> Response {
-    let proxy = state.config.admission == Admission::ProxyTrusted;
-    let admission = if proxy {
-        &state.metrics.admission_proxy
-    } else {
-        &state.metrics.admission_verify
-    };
-    admission.add(requests.len() as u64);
-    let results = match (&state.config.pool, proxy) {
-        (Some(pool), false) => state.shared.append_batch_pipelined(requests, pool),
-        (Some(pool), true) => state.shared.append_batch_preverified_pipelined(requests, pool),
-        (None, false) => state.shared.append_batch(requests),
-        (None, true) => state.shared.append_batch_preverified(requests),
-    };
-    let results = match results {
-        Ok(results) => results,
-        Err(e) => return Response::Error(ErrorFrame::from_ledger_error(&e)),
-    };
-    // Same sticky-durability discipline as single appends: an auto-seal
-    // WAL failure surfaces on the request that triggered it.
-    if let Some(e) = state.shared.take_durability_error() {
-        return Response::Error(ErrorFrame::from_ledger_error(&e));
-    }
-    Response::AppendBatchResult(
-        results
-            .into_iter()
-            .map(|result| {
-                result
-                    .map(|ack| AppendedAck { jsn: ack.jsn, tx_hash: ack.tx_hash })
-                    .map_err(|e| ErrorFrame::from_ledger_error(&e))
-            })
-            .collect(),
-    )
-}
-
-/// Batch existence proofs. When the published [`ReadSnapshot`] covers
-/// every requested jsn, proofs are built from that immutable snapshot —
-/// fanned out across the compute pool when one is configured, with no
-/// ledger lock taken at all. Any jsn past the sealed prefix (or the
-/// snapshot path disabled) falls back to per-item locked proving.
-///
-/// [`ReadSnapshot`]: ledgerdb_core::ReadSnapshot
-fn handle_proof_batch(state: &ServerState, jsns: Vec<u64>, anchor: TrustedAnchor) -> Response {
-    let snap = state.shared.snapshot();
-    let snapshot_serves = state.shared.snapshot_reads()
-        && snap.can_prove()
-        && jsns.iter().all(|&jsn| snap.covers(jsn));
-    let item = |result: Result<(ledgerdb_crypto::digest::Digest, _), _>| {
-        result
-            .map(|(tx_hash, proof)| ProofItem { tx_hash, proof })
-            .map_err(|e| ErrorFrame::from_ledger_error(&e))
-    };
-    let items = match (&state.config.pool, snapshot_serves) {
-        (Some(pool), true) => pool
-            .try_map(&jsns, |_, &jsn| snap.prove_existence(jsn, &anchor))
-            .into_iter()
-            .map(|slot| match slot {
-                Ok(result) => item(result),
-                Err(panic) => Err(ErrorFrame {
-                    code: ErrorCode::Internal,
-                    detail: format!("proof task failed: {}", panic.message),
-                }),
-            })
-            .collect(),
-        (None, true) => jsns.iter().map(|&jsn| item(snap.prove_existence(jsn, &anchor))).collect(),
-        (_, false) => {
-            jsns.iter().map(|&jsn| item(state.shared.prove_existence(jsn, &anchor))).collect()
-        }
-    };
-    Response::ProofBatch(items)
-}
-
-fn handle_append(state: &ServerState, tx: TxRequest, committed: bool) -> Response {
-    match state.config.admission {
-        Admission::Verify => state.metrics.admission_verify.inc(),
-        Admission::ProxyTrusted => state.metrics.admission_proxy.inc(),
-    }
-    let response = match &state.committer {
-        Some(committer) => match committer.submit(tx, committed) {
-            Ok(CommitOutcome::Appended { jsn, tx_hash }) => Response::Appended { jsn, tx_hash },
-            Ok(CommitOutcome::Committed(receipt)) => Response::Committed(receipt),
-            Err(frame) => Response::Error(frame),
-        },
-        None => {
-            let proxy = state.config.admission == Admission::ProxyTrusted;
-            match (committed, proxy) {
-                (true, false) => match state.shared.append_committed(tx) {
-                    Ok(receipt) => Response::Committed(receipt),
-                    Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
-                },
-                (true, true) => match state.shared.append_committed_preverified(tx) {
-                    Ok(receipt) => Response::Committed(receipt),
-                    Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
-                },
-                (false, false) => match state.shared.append(tx) {
-                    Ok(ack) => Response::Appended { jsn: ack.jsn, tx_hash: ack.tx_hash },
-                    Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
-                },
-                (false, true) => match state.shared.append_preverified(tx) {
-                    Ok(ack) => Response::Appended { jsn: ack.jsn, tx_hash: ack.tx_hash },
-                    Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
-                },
-            }
-        }
-    };
-    // Surface a stashed auto-seal durability failure on the request that
-    // caused it: the append's payload is durable, but a block boundary
-    // failed to reach the WAL — refuse the ack so the client retries
-    // (idempotent at-least-once) instead of trusting a seal that may
-    // not survive a crash.
-    if let Some(e) = state.shared.take_durability_error() {
-        return Response::Error(ErrorFrame::from_ledger_error(&e));
-    }
-    response
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::remote::RemoteLedger;
     use crate::testutil::shared;
+    use ledgerdb_core::TxRequest;
     use std::io::Write as _;
 
     fn start(block_size: u64, batch: Option<BatchConfig>) -> (Ledgerd, ledgerdb_crypto::keys::KeyPair) {
@@ -773,7 +567,7 @@ mod tests {
         stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
         let body = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap();
         match Response::from_wire(&body).unwrap() {
-            Response::Error(e) => assert_eq!(e.code, ErrorCode::Unavailable),
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::Busy),
             other => panic!("expected refusal, got {other:?}"),
         }
         // The occupied session still works.

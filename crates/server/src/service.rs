@@ -1,0 +1,305 @@
+//! Transport-independent request handling.
+//!
+//! [`RequestService`] is everything `ledgerd` does *between* decoding a
+//! [`Request`] and encoding a [`Response`]: admission, group commit,
+//! snapshot reads, sticky-durability polling, per-kind telemetry, and
+//! the drain protocol. Both transports — the thread-per-connection
+//! server ([`crate::server`]) and the epoll event loop
+//! ([`crate::event_server`]) — call the same [`RequestService::handle`],
+//! which is what makes their responses byte-identical by construction:
+//! the differential suite asserts it, but the sharing is the proof.
+
+use crate::batcher::{Admission, CommitOutcome, GroupCommitter};
+use crate::metrics::ServerMetrics;
+use crate::protocol::{
+    AppendedAck, ErrorCode, ErrorFrame, ProofItem, Request, Response, ServerInfo,
+    PROTOCOL_VERSION,
+};
+use crate::server::ServerConfig;
+use ledgerdb_accumulator::fam::TrustedAnchor;
+use ledgerdb_core::{SharedLedger, TxRequest, VerifyLevel};
+use ledgerdb_telemetry::Registry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The shared request-handling core of a running server.
+pub struct RequestService {
+    pub shared: SharedLedger,
+    committer: Option<GroupCommitter>,
+    admission: Admission,
+    pool: Option<Arc<ledgerdb_pool::Pool>>,
+    registry: Arc<Registry>,
+    pub metrics: ServerMetrics,
+    shutdown: AtomicBool,
+}
+
+impl RequestService {
+    /// Wire a ledger to a config: snapshot reads, the compute pool, the
+    /// group committer, and metric handles — exactly once, regardless of
+    /// which transport will drive requests.
+    pub fn start(shared: SharedLedger, config: &ServerConfig) -> RequestService {
+        shared.set_snapshot_reads(config.snapshot_reads);
+        // Wire the compute pool all the way down: the ledger uses it to
+        // hash seal subtrees in parallel, the committer to pipeline
+        // batch admission off the write lock.
+        shared.set_pool(config.pool.clone());
+        let committer = config.batch.map(|batch| {
+            GroupCommitter::start_with_pool(
+                shared.clone(),
+                batch,
+                config.admission,
+                &config.registry,
+                config.pool.clone(),
+            )
+        });
+        let metrics = ServerMetrics::bind(&config.registry);
+        RequestService {
+            shared,
+            committer,
+            admission: config.admission,
+            pool: config.pool.clone(),
+            registry: config.registry.clone(),
+            metrics,
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The registry this service exposes on `Stats` and `/metrics`.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// True once a drain has begun; transports poll this at frame
+    /// boundaries to stop taking new work.
+    pub fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flip into drain mode. Returns true for the caller that flipped it
+    /// (shutdown is idempotent; only the first caller runs
+    /// [`RequestService::finish_drain`]'s checkpoint).
+    pub fn begin_drain(&self) -> bool {
+        !self.shutdown.swap(true, Ordering::SeqCst)
+    }
+
+    /// Final drain steps, after the transport has stopped feeding
+    /// requests: flush the commit queue, then — with a checkpoint policy
+    /// enabled — flush the sealed prefix into a final checkpoint so the
+    /// next start replays only the unsealed tail.
+    pub fn finish_drain(&self, first: bool) {
+        if let Some(committer) = &self.committer {
+            committer.shutdown();
+        }
+        // A checkpoint already in flight (an auto-seal fired one) holds
+        // the ledger write lock, so this call waits for it to complete
+        // rather than abandoning it mid-ladder. A write failure lands
+        // on the sticky `ledger_durability_error` gauge instead of
+        // aborting the drain — the WAL already holds everything.
+        if first && self.shared.checkpoints_enabled() {
+            self.shared.checkpoint_on_drain();
+        }
+    }
+
+    /// Serve one decoded request, recording its per-kind count and
+    /// latency. Every transport funnels through here.
+    pub fn handle(&self, request: Request) -> Response {
+        let per_kind = self.metrics.request(&request);
+        let start = Instant::now();
+        let response = self.dispatch(request);
+        per_kind.count.inc();
+        per_kind.seconds.observe_duration(start.elapsed());
+        response
+    }
+
+    fn dispatch(&self, request: Request) -> Response {
+        if self.draining() {
+            if let Request::Append(_) | Request::AppendCommitted(_) | Request::AppendBatch(_) =
+                request
+            {
+                return Response::Error(ErrorFrame {
+                    code: ErrorCode::ShuttingDown,
+                    detail: "server is draining".into(),
+                });
+            }
+        }
+        match request {
+            Request::Hello => Response::Hello(ServerInfo {
+                protocol_version: PROTOCOL_VERSION,
+                ledger_id: self.shared.id(),
+                lsp_pk: self.shared.lsp_public_key(),
+                fam_delta: self.shared.fam_delta(),
+                journal_count: self.shared.journal_count(),
+                block_count: self.shared.block_count(),
+            }),
+            Request::Append(tx) => self.handle_append(tx, false),
+            Request::AppendCommitted(tx) => self.handle_append(tx, true),
+            Request::GetTx(jsn) => match self.shared.get_tx(jsn) {
+                Ok((journal, payload)) => Response::Tx { journal, payload },
+                Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
+            },
+            Request::ListTx(clue) => Response::TxList(self.shared.list_tx(&clue)),
+            Request::GetProof { jsn, anchor } => match self.shared.prove_existence(jsn, &anchor) {
+                Ok((tx_hash, proof)) => Response::Proof { tx_hash, proof },
+                Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
+            },
+            Request::GetClueProof(clue) => match self.shared.prove_clue(&clue) {
+                Ok(proof) => Response::ClueProof(proof),
+                Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
+            },
+            Request::Verify { jsn, tx_hash, proof, anchor } => {
+                match self
+                    .shared
+                    .verify_existence(jsn, &tx_hash, &proof, &anchor, VerifyLevel::Server)
+                {
+                    Ok(()) => Response::Verified,
+                    Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
+                }
+            }
+            Request::GetAnchor => Response::Anchor(self.shared.anchor()),
+            Request::GetBlockFeed { from_height, max_blocks } => {
+                Response::BlockFeed(self.shared.blocks_from(from_height, max_blocks))
+            }
+            Request::Stats => Response::Stats(ledgerdb_telemetry::render(&self.registry)),
+            Request::AppendBatch(requests) => self.handle_append_batch(requests),
+            Request::GetProofBatch { jsns, anchor } => self.handle_proof_batch(jsns, anchor),
+        }
+    }
+
+    /// One-frame group commit: the client pre-batched, so the
+    /// committer's accumulation window buys nothing — the batch goes
+    /// straight through the batched ledger entry points. With a compute
+    /// pool configured, admission (membership + π_c) and journal digests
+    /// fan out across the pool *before* the write lock; without one, the
+    /// serial batched path runs — byte-identical results either way.
+    fn handle_append_batch(&self, requests: Vec<TxRequest>) -> Response {
+        let proxy = self.admission == Admission::ProxyTrusted;
+        let admission = if proxy {
+            &self.metrics.admission_proxy
+        } else {
+            &self.metrics.admission_verify
+        };
+        admission.add(requests.len() as u64);
+        let results = match (&self.pool, proxy) {
+            (Some(pool), false) => self.shared.append_batch_pipelined(requests, pool),
+            (Some(pool), true) => self.shared.append_batch_preverified_pipelined(requests, pool),
+            (None, false) => self.shared.append_batch(requests),
+            (None, true) => self.shared.append_batch_preverified(requests),
+        };
+        let results = match results {
+            Ok(results) => results,
+            Err(e) => return Response::Error(ErrorFrame::from_ledger_error(&e)),
+        };
+        // Same sticky-durability discipline as single appends: an
+        // auto-seal WAL failure surfaces on the request that triggered
+        // it.
+        if let Some(e) = self.shared.take_durability_error() {
+            return Response::Error(ErrorFrame::from_ledger_error(&e));
+        }
+        Response::AppendBatchResult(
+            results
+                .into_iter()
+                .map(|result| {
+                    result
+                        .map(|ack| AppendedAck { jsn: ack.jsn, tx_hash: ack.tx_hash })
+                        .map_err(|e| ErrorFrame::from_ledger_error(&e))
+                })
+                .collect(),
+        )
+    }
+
+    /// Batch existence proofs. When the published
+    /// [`ReadSnapshot`](ledgerdb_core::ReadSnapshot) covers every
+    /// requested jsn, proofs are built from that immutable snapshot —
+    /// fanned out across the compute pool when one is configured, with
+    /// no ledger lock taken at all. Any jsn past the sealed prefix (or
+    /// the snapshot path disabled) falls back to per-item locked
+    /// proving.
+    fn handle_proof_batch(&self, jsns: Vec<u64>, anchor: TrustedAnchor) -> Response {
+        let snap = self.shared.snapshot();
+        let snapshot_serves = self.shared.snapshot_reads()
+            && snap.can_prove()
+            && jsns.iter().all(|&jsn| snap.covers(jsn));
+        let item = |result: Result<(ledgerdb_crypto::digest::Digest, _), _>| {
+            result
+                .map(|(tx_hash, proof)| ProofItem { tx_hash, proof })
+                .map_err(|e| ErrorFrame::from_ledger_error(&e))
+        };
+        let items = match (&self.pool, snapshot_serves) {
+            (Some(pool), true) => pool
+                .try_map(&jsns, |_, &jsn| snap.prove_existence(jsn, &anchor))
+                .into_iter()
+                .map(|slot| match slot {
+                    Ok(result) => item(result),
+                    Err(panic) => Err(ErrorFrame {
+                        code: ErrorCode::Internal,
+                        detail: format!("proof task failed: {}", panic.message),
+                    }),
+                })
+                .collect(),
+            (None, true) => {
+                jsns.iter().map(|&jsn| item(snap.prove_existence(jsn, &anchor))).collect()
+            }
+            (_, false) => {
+                jsns.iter().map(|&jsn| item(self.shared.prove_existence(jsn, &anchor))).collect()
+            }
+        };
+        Response::ProofBatch(items)
+    }
+
+    fn handle_append(&self, tx: TxRequest, committed: bool) -> Response {
+        match self.admission {
+            Admission::Verify => self.metrics.admission_verify.inc(),
+            Admission::ProxyTrusted => self.metrics.admission_proxy.inc(),
+        }
+        let response = match &self.committer {
+            Some(committer) => match committer.submit(tx, committed) {
+                Ok(CommitOutcome::Appended { jsn, tx_hash }) => {
+                    Response::Appended { jsn, tx_hash }
+                }
+                Ok(CommitOutcome::Committed(receipt)) => Response::Committed(receipt),
+                Err(frame) => Response::Error(frame),
+            },
+            None => {
+                let proxy = self.admission == Admission::ProxyTrusted;
+                match (committed, proxy) {
+                    (true, false) => match self.shared.append_committed(tx) {
+                        Ok(receipt) => Response::Committed(receipt),
+                        Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
+                    },
+                    (true, true) => match self.shared.append_committed_preverified(tx) {
+                        Ok(receipt) => Response::Committed(receipt),
+                        Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
+                    },
+                    (false, false) => match self.shared.append(tx) {
+                        Ok(ack) => Response::Appended { jsn: ack.jsn, tx_hash: ack.tx_hash },
+                        Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
+                    },
+                    (false, true) => match self.shared.append_preverified(tx) {
+                        Ok(ack) => Response::Appended { jsn: ack.jsn, tx_hash: ack.tx_hash },
+                        Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
+                    },
+                }
+            }
+        };
+        // Surface a stashed auto-seal durability failure on the request
+        // that caused it: the append's payload is durable, but a block
+        // boundary failed to reach the WAL — refuse the ack so the
+        // client retries (idempotent at-least-once) instead of trusting
+        // a seal that may not survive a crash.
+        if let Some(e) = self.shared.take_durability_error() {
+            return Response::Error(ErrorFrame::from_ledger_error(&e));
+        }
+        response
+    }
+
+    /// The typed refusal written to a connection over the cap, on either
+    /// transport: the binary `Busy` frame. Counted on
+    /// `ledger_conn_rejected_total` by the caller.
+    pub fn busy_frame() -> Response {
+        Response::Error(ErrorFrame {
+            code: ErrorCode::Busy,
+            detail: "connection limit reached; retry with backoff".into(),
+        })
+    }
+}

@@ -5,6 +5,10 @@ use crate::metrics::{bucket_upper_bound, NUM_BUCKETS};
 use crate::registry::{Metric, Registry};
 use std::fmt::Write as _;
 
+/// The `Content-Type` an HTTP scrape endpoint should declare for
+/// [`render`]'s output (Prometheus text exposition format 0.0.4).
+pub const EXPOSITION_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
 /// Render every metric in `registry` as Prometheus-style text.
 ///
 /// Deterministic (sorted by name). Histograms emit cumulative

@@ -32,7 +32,7 @@ mod registry;
 mod span;
 
 pub use dump::Dumper;
-pub use encode::{parse_value, render};
+pub use encode::{parse_value, render, EXPOSITION_CONTENT_TYPE};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Unit, NUM_BUCKETS};
 pub use registry::{Metric, Registry};
 pub use span::{set_slow_op_threshold, slow_op_threshold_ns, Span};

@@ -1,0 +1,198 @@
+//! Hostile-slow-client tests against a deliberately tiny event loop:
+//! four connection slots, a sub-second progress deadline. Trickled
+//! frames, header-then-stall slowloris, and half-closed sockets must
+//! never wedge a slot — the idle deadline fires on *lack of progress*
+//! and frees it, while legitimate slow-but-finite clients still get
+//! served.
+
+use ledgerdb::core::{LedgerConfig, LedgerDb, MemberRegistry, SharedLedger, TxRequest};
+use ledgerdb::crypto::ca::{CertificateAuthority, Role};
+use ledgerdb::crypto::keys::KeyPair;
+use ledgerdb::crypto::wire::Wire;
+use ledgerdb::server::protocol::{
+    read_frame, write_frame, ErrorCode, FrameError, Request, Response, DEFAULT_MAX_FRAME,
+};
+use ledgerdb::server::{EventConfig, EventLedgerd, ServerConfig};
+use ledgerdb::telemetry::Registry;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const IDLE: Duration = Duration::from_millis(700);
+
+fn fixture() -> (SharedLedger, KeyPair) {
+    let ca = CertificateAuthority::from_seed(b"event-loop-test");
+    let alice = KeyPair::from_seed(b"event-loop-test-alice");
+    let mut registry = MemberRegistry::new(*ca.public_key());
+    registry.register(ca.issue("alice", Role::User, alice.public())).unwrap();
+    let config = LedgerConfig { block_size: 4, fam_delta: 15, name: "event-loop-test".into() };
+    (SharedLedger::new(LedgerDb::new(config, registry)), alice)
+}
+
+/// A 4-slot loop with a short progress deadline.
+fn tiny_server() -> (EventLedgerd, KeyPair) {
+    let (shared, alice) = fixture();
+    let config = EventConfig {
+        server: ServerConfig {
+            registry: Arc::new(Registry::new()),
+            max_connections: 4,
+            workers: 2,
+            ..ServerConfig::default()
+        },
+        http_bind: Some("127.0.0.1:0".into()),
+        idle_timeout: IDLE,
+    };
+    (EventLedgerd::start(shared, config).unwrap(), alice)
+}
+
+/// Block until the peer closes (EOF) or the deadline passes; true = EOF.
+fn saw_eof_within(stream: &mut TcpStream, deadline: Duration) -> bool {
+    stream.set_read_timeout(Some(Duration::from_millis(100))).unwrap();
+    let start = Instant::now();
+    let mut sink = [0u8; 4096];
+    while start.elapsed() < deadline {
+        match stream.read(&mut sink) {
+            Ok(0) => return true,
+            Ok(_) => continue, // discard any final response bytes
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return true, // RST counts as closed too
+        }
+    }
+    false
+}
+
+#[test]
+fn slow_but_finite_client_is_served() {
+    let (server, _) = tiny_server();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    // One byte at a time, but finishing well inside the deadline: the
+    // parser must accumulate partial frames without penalizing them.
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &Request::GetAnchor.to_wire()).unwrap();
+    for byte in &frame {
+        stream.write_all(std::slice::from_ref(byte)).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let body = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap();
+    match Response::from_wire(&body).unwrap() {
+        Response::Anchor(_) => {}
+        other => panic!("expected an anchor, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn binary_trickler_that_stalls_hits_the_deadline() {
+    let (server, alice) = tiny_server();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+
+    // Half a frame header, then silence. No complete frame ever parses,
+    // so no progress is ever recorded — the reaper must cut it loose.
+    stream.write_all(&[1, 0, 0]).unwrap();
+    assert!(
+        saw_eof_within(&mut stream, IDLE * 6),
+        "stalled mid-frame connection was never reaped"
+    );
+
+    // The slot is free again: a real client gets served.
+    let mut ok = TcpStream::connect(server.local_addr()).unwrap();
+    ok.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write_frame(
+        &mut ok,
+        &Request::Append(TxRequest::signed(&alice, b"after-stall".to_vec(), vec![], 0)).to_wire(),
+    )
+    .unwrap();
+    let body = read_frame(&mut ok, DEFAULT_MAX_FRAME).unwrap();
+    assert!(matches!(Response::from_wire(&body).unwrap(), Response::Appended { jsn: 0, .. }));
+    server.shutdown();
+}
+
+#[test]
+fn http_header_then_stall_slowloris_hits_the_deadline() {
+    let (server, _) = tiny_server();
+    let http = server.http_addr().unwrap();
+    let mut stream = TcpStream::connect(http).unwrap();
+
+    // A classic slowloris opener: a plausible start, never finished.
+    stream.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nX-Drip:").unwrap();
+    assert!(
+        saw_eof_within(&mut stream, IDLE * 6),
+        "header-then-stall connection was never reaped"
+    );
+
+    // The HTTP listener still answers afterwards.
+    let mut ok = TcpStream::connect(http).unwrap();
+    ok.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    ok.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        let n = ok.read(&mut chunk).unwrap();
+        assert!(n > 0, "EOF before response");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    assert!(buf.starts_with(b"HTTP/1.1 200"), "{:?}", String::from_utf8_lossy(&buf));
+    server.shutdown();
+}
+
+#[test]
+fn half_close_mid_request_still_gets_the_response() {
+    let (server, _) = tiny_server();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // Send a full request, then FIN our write side immediately: the
+    // server owes the response and must deliver it to the still-open
+    // read side rather than treating EOF as abandonment.
+    write_frame(&mut stream, &Request::GetAnchor.to_wire()).unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let body = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap();
+    assert!(matches!(Response::from_wire(&body).unwrap(), Response::Anchor(_)));
+    // After the response, the server closes its side too.
+    match read_frame(&mut stream, DEFAULT_MAX_FRAME) {
+        Err(FrameError::Closed) => {}
+        other => panic!("expected a clean close after the response, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn stalled_connections_free_their_slots_for_new_clients() {
+    let (server, _) = tiny_server();
+
+    // Fill all four slots with silent connections…
+    let stalled: Vec<TcpStream> =
+        (0..4).map(|_| TcpStream::connect(server.local_addr()).unwrap()).collect();
+    // Give the loop a beat to accept all four.
+    std::thread::sleep(Duration::from_millis(150));
+
+    // …the fifth gets a typed Busy refusal, not a silent drop.
+    let mut refused = TcpStream::connect(server.local_addr()).unwrap();
+    refused.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let body = read_frame(&mut refused, DEFAULT_MAX_FRAME).unwrap();
+    match Response::from_wire(&body).unwrap() {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::Busy),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    drop(refused);
+
+    // Past the deadline the reaper frees all four silent slots; a new
+    // client connects and is served without any of them cooperating.
+    std::thread::sleep(IDLE + IDLE / 2);
+    let mut ok = TcpStream::connect(server.local_addr()).unwrap();
+    ok.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write_frame(&mut ok, &Request::GetAnchor.to_wire()).unwrap();
+    let body = read_frame(&mut ok, DEFAULT_MAX_FRAME).unwrap();
+    assert!(matches!(Response::from_wire(&body).unwrap(), Response::Anchor(_)));
+    drop(stalled);
+    server.shutdown();
+}
