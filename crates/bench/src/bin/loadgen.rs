@@ -86,6 +86,7 @@ struct Args {
     reps: usize,
     connections: Vec<usize>,
     rounds: usize,
+    trace: bool,
 }
 
 fn parse_args() -> Args {
@@ -107,6 +108,7 @@ fn parse_args() -> Args {
         reps: 2,
         connections: Vec::new(),
         rounds: 3,
+        trace: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -120,6 +122,10 @@ fn parse_args() -> Args {
         }
         if flag == "--pipeline" {
             args.pipeline = true;
+            continue;
+        }
+        if flag == "--trace" {
+            args.trace = true;
             continue;
         }
         let value = it.next().unwrap_or_else(|| {
@@ -174,7 +180,8 @@ fn parse_args() -> Args {
                      [--addr HOST:PORT --seed SEED] \
                      | --pipeline [--appends N] [--payload BYTES] \
                      [--workers N] [--batch-size N] [--reps R] \
-                     | --connections 64,512,4096 [--rounds N]"
+                     | --connections 64,512,4096 [--rounds N] \
+                     | --trace [--appends N] [--payload BYTES] [--reps R]"
                 );
                 std::process::exit(2);
             }
@@ -986,8 +993,212 @@ fn run_connections(args: &Args) {
     }
 }
 
+/// Percentile from a sorted duration population (nanoseconds).
+fn pct_ns(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// `--trace`: the end-to-end tracing bench.
+///
+/// One in-process threaded `ledgerd` with group commit on; two
+/// measurements against it:
+///
+/// 1. **Overhead A/B** — `--reps` interleaved pairs of cells, each
+///    driving `--appends` appends over one connection, alternating
+///    untraced (version-1 frames) and traced (version-2 frames with a
+///    client-minted id). Both arms hit the same growing ledger in
+///    alternation, so machine and state drift cancel; the headline is
+///    the ratio of median traced to median untraced throughput.
+/// 2. **Stage breakdown** — traced appends each followed by a
+///    `GetTrace` for the id the call carried; per-stage durations are
+///    accumulated into p50/p99. Hard-asserts, per sampled trace: the
+///    span tree contains the commit skeleton (queue wait, locked
+///    insert, seal, fsync barrier) and its start times are monotone in
+///    that order — the pipeline's stage ordering, observed end to end
+///    from a remote client.
+fn run_trace(args: &Args) {
+    let reps = args.reps.max(1);
+    eprintln!(
+        "loadgen: trace A/B — {} appends x {} B per cell, {} interleaved rep pairs",
+        args.appends, args.payload, reps
+    );
+    let dir = temp_dir("trace");
+    let (registry, alice) = registry();
+    let config =
+        LedgerConfig { block_size: 64, fam_delta: 20, name: "loadgen-trace".into() };
+    let telemetry = Arc::new(Registry::new());
+    let (ledger, _) = open_durable_with(
+        config,
+        registry,
+        &dir,
+        FsyncPolicy::Never,
+        Arc::new(SimClock::new()),
+        &telemetry,
+    )
+    .unwrap();
+    let server = Ledgerd::start(
+        SharedLedger::new(ledger),
+        ServerConfig {
+            workers: 4,
+            batch: Some(BatchConfig { max_batch: 64, max_delay: args.window }),
+            admission: Admission::Verify,
+            registry: telemetry.clone(),
+            pool: Some(ledgerdb_pool::Pool::with_registry(4, &telemetry)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut rng = XorShift::new(41);
+    let mut nonce = 0u64;
+    let mut sign = |n: u64| {
+        let r = TxRequest::signed(
+            &alice,
+            rng.payload(args.payload),
+            vec![format!("tr-{}", n % 32)],
+            n,
+        );
+        r
+    };
+
+    // Interleaved A/B cells: same server, alternating arms.
+    let mut tps = [Vec::new(), Vec::new()]; // [untraced, traced]
+    for _rep in 0..reps {
+        for traced in [false, true] {
+            let mut remote = RemoteLedger::connect(addr).expect("connect");
+            remote.set_tracing(traced);
+            let hist = Histogram::new(Unit::Seconds);
+            let started = Instant::now();
+            for _ in 0..args.appends {
+                let request = sign(nonce);
+                nonce += 1;
+                let t0 = Instant::now();
+                remote.append(request).expect("durable ack");
+                hist.observe_duration(t0.elapsed());
+            }
+            let elapsed = started.elapsed();
+            let snap = hist.snapshot();
+            let cell_tps = args.appends as f64 / elapsed.as_secs_f64();
+            tps[traced as usize].push(cell_tps);
+            println!(
+                "{{\"bench\":\"trace_overhead\",\"traced\":{traced},\
+                 \"appends\":{},\"elapsed_s\":{:.3},\"appends_per_sec\":{:.1},\
+                 \"p50_ms\":{:.3},\"p99_ms\":{:.3}}}",
+                args.appends,
+                elapsed.as_secs_f64(),
+                cell_tps,
+                snap.p50 as f64 / 1e6,
+                snap.p99 as f64 / 1e6,
+            );
+        }
+    }
+    let median = |v: &mut Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    let base = median(&mut tps[0]);
+    let with = median(&mut tps[1]);
+    let overhead = 1.0 - with / base;
+
+    // Stage breakdown: every append traced, its span tree fetched by
+    // the id the call carried. GetTrace round trips happen outside any
+    // timing, so they don't pollute the A/B above.
+    let samples = args.appends.min(256);
+    let mut remote = RemoteLedger::connect(addr).expect("connect");
+    remote.set_tracing(true);
+    let mut stages: std::collections::BTreeMap<String, Vec<u64>> =
+        std::collections::BTreeMap::new();
+    let mut skeletons = 0u64;
+    for _ in 0..samples {
+        let request = sign(nonce);
+        nonce += 1;
+        // `append_committed`: the window seals before the ack, so every
+        // sampled trace exercises the full skeleton including the three
+        // seal legs — the plain-append arms above leave sealing to the
+        // block-size trigger.
+        remote.append_committed(request).expect("durable receipt");
+        let id = remote.last_trace_id();
+        let spans = remote.get_trace(id).expect("trace fetch");
+        assert!(
+            !spans.is_empty(),
+            "trace {id:016x} vanished from the recorder immediately after the ack"
+        );
+        let start_of = |name: &str| {
+            spans.iter().filter(|s| s.name == name).map(|s| s.start_ns).min()
+        };
+        let last_start_of = |name: &str| {
+            spans.iter().filter(|s| s.name == name).map(|s| s.start_ns).max()
+        };
+        // The commit skeleton and its ordering, when fully retained.
+        // (A span can age out of a busy ring; require most to survive.)
+        // The fsync anchor is the *last* barrier: the append's own
+        // durability barrier precedes the seal, the seal's follows it.
+        if let (Some(queue), Some(lock), Some(seal), Some(fsync)) = (
+            start_of("batch_queue_wait"),
+            start_of("locked_insert"),
+            start_of("seal"),
+            last_start_of("fsync_barrier"),
+        ) {
+            assert!(
+                queue <= lock && lock <= seal && seal <= fsync,
+                "stage ordering violated in trace {id:016x}: \
+                 queue={queue} lock={lock} seal={seal} fsync={fsync}"
+            );
+            skeletons += 1;
+        }
+        for s in &spans {
+            stages
+                .entry(s.name.clone())
+                .or_default()
+                .push(s.end_ns.saturating_sub(s.start_ns));
+        }
+    }
+    assert!(
+        skeletons * 2 >= samples,
+        "full commit skeleton survived in only {skeletons}/{samples} traces"
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut stage_json = String::new();
+    for (i, (name, durs)) in stages.iter_mut().enumerate() {
+        durs.sort_unstable();
+        if i > 0 {
+            stage_json.push(',');
+        }
+        stage_json.push_str(&format!(
+            "\"{name}\":{{\"count\":{},\"p50_ms\":{:.4},\"p99_ms\":{:.4}}}",
+            durs.len(),
+            pct_ns(durs, 0.50) as f64 / 1e6,
+            pct_ns(durs, 0.99) as f64 / 1e6,
+        ));
+    }
+    println!(
+        "{{\"bench\":\"trace_stages\",\"samples\":{samples},\
+         \"skeletons\":{skeletons},\"overhead\":{overhead:.4},\
+         \"stages\":{{{stage_json}}}}}"
+    );
+    eprintln!(
+        "loadgen: tracing overhead {:.2}% (median {:.0} traced vs {:.0} untraced \
+         appends/s); {skeletons}/{samples} sampled traces carried the full \
+         commit skeleton in order",
+        overhead * 100.0,
+        with,
+        base,
+    );
+}
+
 fn main() {
     let args = parse_args();
+    if args.trace {
+        run_trace(&args);
+        return;
+    }
     if !args.connections.is_empty() {
         run_connections(&args);
         return;

@@ -109,6 +109,9 @@ pub struct CheckpointPolicy {
     /// until a checkpoint exists. Surfaced on the operator `/status`
     /// endpoint so drain/restart behavior is observable.
     pub(crate) last_watermark: Option<(u64, u64)>,
+    /// Snapshot id of the newest committed checkpoint (the manifest
+    /// HEAD names it). Surfaced on `/status` next to the watermark.
+    pub(crate) last_snapshot_id: Option<Digest>,
 }
 
 /// The LedgerDB instance.
@@ -300,7 +303,9 @@ impl LedgerDb {
     ) {
         // Seed the watermark from the store's current HEAD, so a ledger
         // reopened over an existing checkpoint reports it immediately.
-        let last_watermark = store.load_head().ok().flatten().and_then(|(_, bytes)| {
+        let head = store.load_head().ok().flatten();
+        let last_snapshot_id = head.as_ref().map(|(id, _)| *id);
+        let last_watermark = head.and_then(|(_, bytes)| {
             use ledgerdb_crypto::wire::Wire as _;
             crate::checkpoint::CheckpointManifest::from_wire(&bytes)
                 .ok()
@@ -312,6 +317,7 @@ impl LedgerDb {
             every_n_seals: every_n_seals.max(1),
             seals_since: 0,
             last_watermark,
+            last_snapshot_id,
         });
     }
 
@@ -325,6 +331,19 @@ impl LedgerDb {
     /// The installed checkpoint store, if any.
     pub fn checkpoint_store(&self) -> Option<&Arc<CheckpointStore>> {
         self.checkpoints.as_ref().map(|p| &p.store)
+    }
+
+    /// Snapshot id of the newest committed checkpoint, or `None` when
+    /// checkpoints are disabled or none has been committed yet.
+    pub fn checkpoint_snapshot_id(&self) -> Option<Digest> {
+        self.checkpoints.as_ref().and_then(|p| p.last_snapshot_id)
+    }
+
+    /// Seals since the last committed checkpoint (`None` when the
+    /// policy is disabled) — together with the watermark, the operator's
+    /// view of how much WAL tail the next restart would replay.
+    pub fn checkpoint_seals_since(&self) -> Option<u64> {
+        self.checkpoints.as_ref().map(|p| p.seals_since)
     }
 
     /// Commit a checkpoint immediately, then reset the WAL.
@@ -349,6 +368,7 @@ impl LedgerDb {
         let store = Arc::clone(&policy.store);
         let io = Arc::clone(&policy.io);
         let start = std::time::Instant::now();
+        let _span = ledgerdb_telemetry::trace::StageSpan::begin("checkpoint");
         let (snapshot_id, bytes, segments) =
             crate::checkpoint::write_checkpoint(self, &store, &io)?;
         // Only after HEAD durably names the new checkpoint may the WAL
@@ -365,6 +385,7 @@ impl LedgerDb {
         if let Some(policy) = &mut self.checkpoints {
             policy.seals_since = 0;
             policy.last_watermark = Some(watermark);
+            policy.last_snapshot_id = Some(snapshot_id);
         }
         Ok(Some(snapshot_id))
     }
@@ -621,6 +642,11 @@ impl LedgerDb {
             .iter()
             .filter_map(|v| v.as_ref().ok().map(|t| t.request.payload.clone()))
             .collect();
+        // Covers the payload batch write and every journal's WAL record;
+        // auto-seals at block boundaries open their own "seal" span
+        // inside this one, and the closing durability barrier follows
+        // as "fsync_barrier" (inside sync_durable).
+        let wal_span = ledgerdb_telemetry::trace::StageSpan::begin("wal_write");
         let mut slot = self.store.append_batch(&payloads)?;
         let mut results = Vec::with_capacity(validated.len());
         for v in validated {
@@ -659,6 +685,7 @@ impl LedgerDb {
             }
             results.push(Ok(ack));
         }
+        drop(wal_span);
         self.sync_durable()?;
         self.metrics.batch_commits.inc();
         self.metrics.batch_commit_seconds.observe_duration(start.elapsed());
@@ -668,6 +695,9 @@ impl LedgerDb {
     /// Flush both durable streams (payload + WAL) to stable storage —
     /// the group-commit barrier. No-op for in-memory ledgers.
     pub fn sync_durable(&self) -> Result<(), LedgerError> {
+        // Under the committer's window scope this barrier is shared by
+        // the whole commit window: one interval, one span per member.
+        let _span = ledgerdb_telemetry::trace::StageSpan::begin("fsync_barrier");
         self.store.sync()?;
         if let Some(wal) = &self.wal {
             wal.sync()?;
@@ -790,6 +820,7 @@ impl LedgerDb {
         if self.pending.is_empty() {
             return Ok(());
         }
+        let _seal_span = ledgerdb_telemetry::trace::StageSpan::begin("seal");
         let first_jsn = self.pending[0];
         let tx_hashes: Vec<Digest> =
             self.pending.iter().map(|&j| self.tx_hashes[j as usize]).collect();
@@ -846,6 +877,7 @@ impl LedgerDb {
     /// across the pool (a nested scope; the pool's helping join makes
     /// that safe on any worker count).
     fn seal_roots(&self) -> LedgerInfo {
+        use ledgerdb_telemetry::trace::{self, StageSpan};
         let m = &self.metrics;
         let fam = &self.fam;
         let cm = &self.cm_tree;
@@ -853,21 +885,31 @@ impl LedgerDb {
         let mut journal_root = Digest::ZERO;
         let mut clue_root = Digest::ZERO;
         let mut state_root = Digest::ZERO;
+        // Each leg may run on a pool worker whose thread-local scope is
+        // empty; re-install the sealing request's scope inside the
+        // closure so the leg spans land in the right trace(s).
+        let scope = trace::current_scope();
         match &self.pool {
             Some(pool) => pool.scope(|s| {
                 s.spawn(|| {
+                    let _scope = scope.clone().map(trace::install);
+                    let _leg = StageSpan::begin("seal_fam");
                     let t = std::time::Instant::now();
                     fam.hash_subtrees_with(pool);
                     journal_root = fam.root();
                     m.seal_fam_seconds.observe_duration(t.elapsed());
                 });
                 s.spawn(|| {
+                    let _scope = scope.clone().map(trace::install);
+                    let _leg = StageSpan::begin("seal_clue");
                     let t = std::time::Instant::now();
                     cm.hash_subtrees_with(pool);
                     clue_root = cm.root();
                     m.seal_clue_seconds.observe_duration(t.elapsed());
                 });
                 s.spawn(|| {
+                    let _scope = scope.clone().map(trace::install);
+                    let _leg = StageSpan::begin("seal_state");
                     let t = std::time::Instant::now();
                     ws.hash_subtrees_with(pool);
                     state_root = ws.root_hash();
@@ -875,15 +917,24 @@ impl LedgerDb {
                 });
             }),
             None => {
-                let t = std::time::Instant::now();
-                journal_root = fam.root();
-                m.seal_fam_seconds.observe_duration(t.elapsed());
-                let t = std::time::Instant::now();
-                clue_root = cm.root();
-                m.seal_clue_seconds.observe_duration(t.elapsed());
-                let t = std::time::Instant::now();
-                state_root = ws.root_hash();
-                m.seal_state_seconds.observe_duration(t.elapsed());
+                {
+                    let _leg = StageSpan::begin("seal_fam");
+                    let t = std::time::Instant::now();
+                    journal_root = fam.root();
+                    m.seal_fam_seconds.observe_duration(t.elapsed());
+                }
+                {
+                    let _leg = StageSpan::begin("seal_clue");
+                    let t = std::time::Instant::now();
+                    clue_root = cm.root();
+                    m.seal_clue_seconds.observe_duration(t.elapsed());
+                }
+                {
+                    let _leg = StageSpan::begin("seal_state");
+                    let t = std::time::Instant::now();
+                    state_root = ws.root_hash();
+                    m.seal_state_seconds.observe_duration(t.elapsed());
+                }
             }
         }
         LedgerInfo { journal_root, clue_root, state_root }

@@ -199,6 +199,37 @@ pub fn recover_with_checkpoint(
     telemetry: &ledgerdb_telemetry::Registry,
     checkpoints: Option<&CheckpointStore>,
 ) -> Result<(LedgerDb, RecoveryReport), LedgerError> {
+    use ledgerdb_telemetry::trace::{self, TraceContext, TraceId, TraceScope};
+    // Recovery runs outside any request, so it mints its own trace: a
+    // slow (or failed) replay pins itself into the flight recorder and
+    // shows up in `/trace/slow` next to slow requests.
+    let root = TraceContext::root(TraceId::mint());
+    let root_start_ns = trace::now_ns();
+    let result = {
+        let _scope = trace::install(TraceScope::Single(root));
+        recover_with_checkpoint_inner(
+            config,
+            registry,
+            store,
+            wal,
+            clock,
+            telemetry,
+            checkpoints,
+        )
+    };
+    ledgerdb_telemetry::recorder::finish_root(root, "recovery", root_start_ns, result.is_err());
+    result
+}
+
+fn recover_with_checkpoint_inner(
+    config: LedgerConfig,
+    registry: MemberRegistry,
+    store: Arc<dyn StreamStore>,
+    wal: Arc<dyn StreamStore>,
+    clock: Arc<dyn Clock>,
+    telemetry: &ledgerdb_telemetry::Registry,
+    checkpoints: Option<&CheckpointStore>,
+) -> Result<(LedgerDb, RecoveryReport), LedgerError> {
     let started = std::time::Instant::now();
     let mut report = RecoveryReport {
         wal_truncated_bytes: wal.truncated_bytes(),
@@ -274,6 +305,7 @@ pub fn recover_with_checkpoint(
 
     let mut accepted: usize = 0;
     let mut replay_failure: Option<String> = None;
+    let replay_span = ledgerdb_telemetry::trace::StageSpan::begin("recovery_replay");
     'replay: for (idx, record) in records.iter().enumerate() {
         let covered = match record {
             WalRecord::Journal(journal) => journal.jsn < ckpt_journals,
@@ -305,6 +337,7 @@ pub fn recover_with_checkpoint(
         }
         accepted = idx + 1;
     }
+    drop(replay_span);
 
     if replay_failure.is_some() || decode_failure.is_some() {
         // Invariant 1: a failure at or before the last seal record

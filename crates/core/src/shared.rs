@@ -20,6 +20,7 @@ use ledgerdb_crypto::digest::Digest;
 use ledgerdb_crypto::keys::PublicKey;
 use ledgerdb_crypto::multisig::MultiSignature;
 use ledgerdb_crypto::sync::RwLock;
+use ledgerdb_telemetry::trace::{self, StageSpan};
 use std::sync::Arc;
 
 /// A cloneable, thread-safe handle to one ledger.
@@ -91,6 +92,7 @@ impl SharedLedger {
         &self,
         requests: Vec<TxRequest>,
     ) -> Result<Vec<Result<AppendAck, LedgerError>>, LedgerError> {
+        let _locked = StageSpan::begin("locked_insert");
         self.inner.write().append_batch(requests)
     }
 
@@ -142,6 +144,7 @@ impl SharedLedger {
         &self,
         requests: Vec<TxRequest>,
     ) -> Result<Vec<Result<AppendAck, LedgerError>>, LedgerError> {
+        let _locked = StageSpan::begin("locked_insert");
         self.inner.write().append_batch_preverified(requests)
     }
 
@@ -169,6 +172,7 @@ impl SharedLedger {
         pool: &ledgerdb_pool::Pool,
     ) -> Result<Vec<Result<AppendAck, LedgerError>>, LedgerError> {
         let prepared = self.prepare_off_lock(requests, pool, true);
+        let _locked = StageSpan::begin("locked_insert");
         self.inner.write().append_batch_prepared(prepared)
     }
 
@@ -181,6 +185,7 @@ impl SharedLedger {
         pool: &ledgerdb_pool::Pool,
     ) -> Result<Vec<Result<AppendAck, LedgerError>>, LedgerError> {
         let prepared = self.prepare_off_lock(requests, pool, false);
+        let _locked = StageSpan::begin("locked_insert");
         self.inner.write().append_batch_prepared(prepared)
     }
 
@@ -192,7 +197,14 @@ impl SharedLedger {
         pool: &ledgerdb_pool::Pool,
         check_signatures: bool,
     ) -> Vec<Result<crate::ledger::PreparedTx, LedgerError>> {
+        let _precompute = StageSpan::begin("precompute");
+        // Worker spans carry the submitting request's scope across the
+        // fan-out, so per-item verify/digest work shows up (with the
+        // worker's thread id) inside that request's span tree.
+        let scope = trace::current_scope();
         pool.try_map(&requests, |_, request| {
+            let _scope = scope.clone().map(trace::install);
+            let _task = StageSpan::begin("precompute_task");
             if check_signatures {
                 self.verify_request(request)?;
             }
@@ -243,6 +255,29 @@ impl SharedLedger {
     /// `(journal_count, block_count)`; `None` without one.
     pub fn checkpoint_watermark(&self) -> Option<(u64, u64)> {
         self.inner.read().checkpoint_watermark()
+    }
+
+    /// Snapshot id of the newest committed checkpoint; `None` without a
+    /// policy or before the first commit.
+    pub fn checkpoint_snapshot_id(&self) -> Option<Digest> {
+        self.inner.read().checkpoint_snapshot_id()
+    }
+
+    /// Seals committed since the last checkpoint (the policy's trigger
+    /// counter); `None` without a policy.
+    pub fn checkpoint_seals_since(&self) -> Option<u64> {
+        self.inner.read().checkpoint_seals_since()
+    }
+
+    /// Snapshot read-path counters as `(hits, fallbacks)`: reads served
+    /// lock-free from the published snapshot vs. reads that had to take
+    /// the ledger lock (unsealed tail, disabled path, …).
+    pub fn snapshot_read_counts(&self) -> (u64, u64) {
+        let inner = self.inner.read();
+        (
+            inner.metrics.snapshot_hits.get(),
+            inner.metrics.snapshot_fallbacks.get(),
+        )
     }
 
     /// Drain-path checkpoint: commit a final checkpoint (no-op without

@@ -23,6 +23,7 @@ use crate::protocol::{ErrorCode, ErrorFrame};
 use ledgerdb_core::{Receipt, SharedLedger, TxRequest};
 use ledgerdb_crypto::digest::Digest;
 use ledgerdb_crypto::sync::Mutex;
+use ledgerdb_telemetry::trace::{self, TraceContext};
 use ledgerdb_telemetry::Registry;
 use std::sync::mpsc;
 use std::thread::{self, JoinHandle};
@@ -85,6 +86,13 @@ struct Job {
     committed: bool,
     /// When the job entered the queue (for `batch_queue_wait_seconds`).
     enqueued: Instant,
+    /// The same instant on the trace clock, plus the submitter's trace
+    /// context: the committer records the real queue wait into the
+    /// submitting request's span tree and installs a window scope over
+    /// every member so the shared commit stages (fsync barrier, seal)
+    /// land in each tree.
+    enqueued_ns: u64,
+    ctx: Option<TraceContext>,
     /// `Some` until the job is answered. [`Job::settle`] is the only
     /// path that replies and the only path that decrements the
     /// queue-depth gauge, so both happen exactly once per job.
@@ -210,6 +218,8 @@ impl GroupCommitter {
             request,
             committed,
             enqueued: Instant::now(),
+            enqueued_ns: trace::now_ns(),
+            ctx: trace::current(),
             reply: Some(reply_tx),
             metrics: self.metrics.clone(),
         };
@@ -295,9 +305,17 @@ fn commit_batch(
 ) {
     metrics.windows.inc();
     metrics.batch_size.observe(jobs.len() as u64);
+    let window_start_ns = trace::now_ns();
     for job in &jobs {
         metrics.queue_wait_seconds.observe_duration(job.enqueued.elapsed());
+        if let Some(ctx) = job.ctx {
+            trace::record_span(ctx, "batch_queue_wait", job.enqueued_ns, window_start_ns);
+        }
     }
+    // Every stage below this point — WAL write, seal legs, the shared
+    // fsync barrier — records one span per member trace.
+    let members: Vec<TraceContext> = jobs.iter().filter_map(|job| job.ctx).collect();
+    let _window_scope = trace::install_window(&members);
     let _commit_span = metrics.commit_seconds.time("batch_commit");
     let requests: Vec<TxRequest> = jobs.iter().map(|j| j.request.clone()).collect();
     // π_c was verified at submit(); with a pool the digest precompute

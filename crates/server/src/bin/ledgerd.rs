@@ -40,7 +40,9 @@
 //! fetch a snapshot over the wire with `ledgerd-stats --addr ...` (or
 //! any client's `Stats` request). `--metrics-dump` additionally writes
 //! the exposition to a file every `--metrics-interval-ms` (and once at
-//! shutdown); `--slow-op-ms` logs any instrumented span that exceeds
+//! shutdown); `--trace-dump` writes the flight recorder's retained
+//! spans as Chrome-trace JSON (chrome://tracing / Perfetto) on the
+//! same cadence; `--slow-op-ms` logs any instrumented span that exceeds
 //! the threshold.
 //!
 //! The member registry is derived deterministically from `--seed`: a CA
@@ -75,7 +77,8 @@ fn usage() -> ! {
          [--no-snapshot-reads] \
          [--block-size N] [--seed SEED] \
          [--checkpoint-every-n-seals N] [--metrics-dump PATH] \
-         [--metrics-interval-ms MS] [--slow-op-ms MS]"
+         [--metrics-interval-ms MS] [--slow-op-ms MS] \
+         [--trace-dump PATH]"
     );
     exit(2);
 }
@@ -98,6 +101,7 @@ struct Args {
     metrics_dump: Option<PathBuf>,
     metrics_interval: Duration,
     slow_op: Option<Duration>,
+    trace_dump: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -119,6 +123,7 @@ fn parse_args() -> Args {
         metrics_dump: None,
         metrics_interval: Duration::from_millis(1000),
         slow_op: None,
+        trace_dump: None,
     };
     let mut batch = BatchConfig::default();
     let mut batching = true;
@@ -186,6 +191,7 @@ fn parse_args() -> Args {
             "--slow-op-ms" => {
                 args.slow_op = Some(Duration::from_millis(parse_num(&value("--slow-op-ms"))));
             }
+            "--trace-dump" => args.trace_dump = Some(PathBuf::from(value("--trace-dump"))),
             _ => usage(),
         }
     }
@@ -216,6 +222,29 @@ fn main() {
             args.metrics_interval,
         )
     });
+    // Periodic Chrome-trace snapshot of the flight recorder: everything
+    // the rings and pinned buffer currently retain, written atomically
+    // (tmp + rename) so the file is always a complete JSON document.
+    // Load the dump into chrome://tracing or Perfetto.
+    if let Some(path) = args.trace_dump.clone() {
+        let interval = args.metrics_interval;
+        std::thread::Builder::new()
+            .name("trace-dump".into())
+            .spawn(move || loop {
+                std::thread::sleep(interval);
+                let json = ledgerdb_telemetry::recorder::chrome_trace_json(
+                    &ledgerdb_telemetry::recorder::all_events(),
+                );
+                let tmp = path.with_extension("tmp");
+                if std::fs::write(&tmp, json.as_bytes())
+                    .and_then(|_| std::fs::rename(&tmp, &path))
+                    .is_err()
+                {
+                    eprintln!("ledgerd: trace dump to {} failed", path.display());
+                }
+            })
+            .expect("spawn trace-dump thread");
+    }
 
     let ca = CertificateAuthority::from_seed(args.seed.as_bytes());
     let alice = KeyPair::from_seed(format!("{}-alice", args.seed).as_bytes());

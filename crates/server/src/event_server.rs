@@ -40,7 +40,8 @@
 use crate::http::{self, HttpParse};
 use crate::metrics::LoopMetrics;
 use crate::protocol::{
-    write_frame, ErrorCode, ErrorFrame, Request, Response, PROTOCOL_VERSION,
+    split_trace_envelope, write_frame, ErrorCode, ErrorFrame, Request, Response,
+    PROTOCOL_VERSION, TRACED_PROTOCOL_VERSION,
 };
 use crate::server::ServerConfig;
 use crate::service::RequestService;
@@ -164,8 +165,9 @@ impl Conn {
 
 /// Work shipped to the dispatch pool.
 enum Work {
-    /// A decoded-length binary frame body.
-    Binary(Vec<u8>),
+    /// A decoded-length binary frame body, with the trace id its
+    /// version-2 envelope carried (if any).
+    Binary { body: Vec<u8>, trace: Option<u64> },
     Http { method: String, path: String, keep_alive: bool },
 }
 
@@ -309,9 +311,9 @@ fn dispatch_loop(
         let next = job_rx.lock().recv();
         let Ok(job) = next else { return };
         let result = match job.work {
-            Work::Binary(body) => {
+            Work::Binary { body, trace } => {
                 let response = match Request::from_wire(&body) {
-                    Ok(request) => service.handle(request),
+                    Ok(request) => service.handle_traced(request, trace),
                     // A complete frame that fails to decode leaves the
                     // stream synchronized — typed error, keep serving.
                     Err(e) => Response::Error(ErrorFrame::from_wire_error(&e)),
@@ -616,8 +618,8 @@ impl LoopState {
                 if conn.read_buf.is_empty() {
                     return;
                 }
-                if conn.read_buf[0] != PROTOCOL_VERSION {
-                    let version = conn.read_buf[0];
+                let version = conn.read_buf[0];
+                if version != PROTOCOL_VERSION && version != TRACED_PROTOCOL_VERSION {
                     self.hang_up(
                         id,
                         Response::Error(ErrorFrame {
@@ -650,12 +652,34 @@ impl LoopState {
                 if conn.read_buf.len() < 5 + len {
                     return;
                 }
-                let body = conn.read_buf[5..5 + len].to_vec();
+                let raw = conn.read_buf[5..5 + len].to_vec();
                 conn.read_buf.drain(..5 + len);
                 conn.last_progress = Instant::now();
+                self.service.metrics.bytes_in.add(raw.len() as u64 + 5);
+                let (trace, body) = if version == TRACED_PROTOCOL_VERSION {
+                    match split_trace_envelope(&raw) {
+                        Ok((trace, rest)) => (trace, rest.to_vec()),
+                        Err(_) => {
+                            // Complete frame, malformed envelope: the
+                            // body boundary held, but hang up rather
+                            // than guess at the peer's framing state —
+                            // same posture as the threaded server.
+                            self.hang_up(
+                                id,
+                                Response::Error(ErrorFrame {
+                                    code: ErrorCode::BadFrame,
+                                    detail: "malformed trace envelope in version-2 frame"
+                                        .into(),
+                                }),
+                            );
+                            return;
+                        }
+                    }
+                } else {
+                    (None, raw)
+                };
                 conn.in_flight = true;
-                self.service.metrics.bytes_in.add(body.len() as u64 + 5);
-                let _ = self.job_tx.send(Job { conn: id, work: Work::Binary(body) });
+                let _ = self.job_tx.send(Job { conn: id, work: Work::Binary { body, trace } });
             }
             Proto::Http => match http::parse_request(&conn.read_buf) {
                 HttpParse::Incomplete => {}

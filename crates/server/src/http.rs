@@ -1,14 +1,16 @@
 //! The operator-facing HTTP/1.1 surface.
 //!
 //! A deliberately small server-side subset — `GET` only, no bodies, no
-//! chunked encoding, no TLS — because its whole job is four endpoints:
+//! chunked encoding, no TLS — because its whole job is six endpoints:
 //!
 //! | endpoint        | payload                                          |
 //! |-----------------|--------------------------------------------------|
 //! | `/healthz`      | `ok` (200 while serving, 503 while draining)     |
-//! | `/status`       | JSON: ledger head, checkpoint watermark, drain   |
+//! | `/status`       | JSON: ledger head, checkpoint state, drain       |
 //! | `/metrics`      | Prometheus text exposition from the registry     |
 //! | `/proof/<jsn>`  | JSON existence proof against the current anchor  |
+//! | `/trace/<id>`   | JSON span tree from the flight recorder          |
+//! | `/trace/slow`   | JSON list of pinned slow/error trace roots       |
 //!
 //! The parser is a pure function over a byte buffer — no socket, no
 //! blocking — so the epoll loop ([`crate::event_server`]) can feed it
@@ -158,11 +160,15 @@ fn route(service: &RequestService, path: &str) -> (u16, &'static str, &'static s
             ledgerdb_telemetry::EXPOSITION_CONTENT_TYPE,
             ledgerdb_telemetry::render(service.registry()),
         ),
+        "/trace/slow" => (200, "OK", "application/json", slow_traces_json()),
         _ => match path.strip_prefix("/proof/") {
             Some(rest) => proof_json(service, rest),
-            None => {
-                (404, "Not Found", "text/plain; charset=utf-8", "no such endpoint\n".into())
-            }
+            None => match path.strip_prefix("/trace/") {
+                Some(rest) => trace_json(rest),
+                None => {
+                    (404, "Not Found", "text/plain; charset=utf-8", "no such endpoint\n".into())
+                }
+            },
         },
     }
 }
@@ -183,19 +189,99 @@ fn status_json(service: &RequestService) -> String {
     );
     match shared.checkpoint_watermark() {
         Some((journals, blocks)) => {
+            let snapshot_id = shared
+                .checkpoint_snapshot_id()
+                .map(|id| format!("\"{}\"", id.to_hex()))
+                .unwrap_or_else(|| "null".into());
+            let seals_since = shared
+                .checkpoint_seals_since()
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "null".into());
             let _ = write!(
                 out,
-                ",\"checkpoint\":{{\"journal_count\":{journals},\"block_count\":{blocks}}}"
+                ",\"checkpoint\":{{\"journal_count\":{journals},\"block_count\":{blocks},\
+                 \"snapshot_id\":{snapshot_id},\"seals_since\":{seals_since}}}"
             );
         }
         None => out.push_str(",\"checkpoint\":null"),
     }
+    let (snapshot_hits, snapshot_fallbacks) = shared.snapshot_read_counts();
+    let _ = write!(
+        out,
+        ",\"snapshot_hits\":{snapshot_hits},\"snapshot_fallbacks\":{snapshot_fallbacks}"
+    );
     let _ = write!(
         out,
         ",\"checkpoints_enabled\":{},\"draining\":{}}}",
         shared.checkpoints_enabled(),
         service.draining(),
     );
+    out
+}
+
+/// `/trace/<id>`: the flight recorder's retained span tree for one
+/// trace, id in the 16-hex form the slow-op log and `/trace/slow`
+/// print. Spans carry `parent` links (`0` = root) so the tree is
+/// reconstructible client-side.
+fn trace_json(rest: &str) -> (u16, &'static str, &'static str, String) {
+    let Ok(trace) = u64::from_str_radix(rest, 16) else {
+        return (
+            400,
+            "Bad Request",
+            "text/plain; charset=utf-8",
+            "trace path takes a hex trace id\n".into(),
+        );
+    };
+    let events = ledgerdb_telemetry::recorder::events_for(trace);
+    if events.is_empty() {
+        return (
+            404,
+            "Not Found",
+            "application/json",
+            format!("{{\"trace\":\"{trace:016x}\",\"spans\":[]}}"),
+        );
+    }
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    let _ = write!(out, "{{\"trace\":\"{trace:016x}\",\"spans\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"span\":{},\"parent\":{},\"name\":{},\"start_ns\":{},\"dur_ns\":{}}}",
+            e.span,
+            e.parent,
+            json_string(ledgerdb_telemetry::recorder::name_of(e.name_id)),
+            e.start_ns,
+            e.end_ns.saturating_sub(e.start_ns),
+        );
+    }
+    out.push_str("]}");
+    (200, "OK", "application/json", out)
+}
+
+/// `/trace/slow`: pinned slow / error-terminated traces, newest first —
+/// each entry's `trace` id feeds straight into `/trace/<id>`.
+fn slow_traces_json() -> String {
+    let pinned = ledgerdb_telemetry::recorder::slow_traces();
+    let mut out = String::with_capacity(pinned.len() * 96 + 32);
+    out.push_str("{\"slow\":[");
+    for (i, p) in pinned.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"trace\":\"{:016x}\",\"root\":{},\"dur_ns\":{},\"error\":{},\"spans\":{}}}",
+            p.trace,
+            json_string(ledgerdb_telemetry::recorder::name_of(p.root_name_id)),
+            p.dur_ns,
+            p.error,
+            p.events.len(),
+        );
+    }
+    out.push_str("]}");
     out
 }
 

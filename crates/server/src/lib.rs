@@ -41,7 +41,7 @@ pub use event_server::{EventConfig, EventLedgerd};
 pub use metrics::{BatchMetrics, LoopMetrics, ServerMetrics};
 pub use protocol::{
     AppendedAck, ErrorCode, ErrorFrame, FrameError, ProofItem, Request, Response, ServerInfo,
-    DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+    SpanRecord, DEFAULT_MAX_FRAME, PROTOCOL_VERSION, TRACED_PROTOCOL_VERSION,
 };
 pub use remote::{RemoteConfig, RemoteError, RemoteLedger};
 pub use server::{Ledgerd, ServerConfig};

@@ -10,8 +10,9 @@ use crate::protocol::Request;
 use ledgerdb_telemetry::{Counter, Gauge, Histogram, Registry, Unit};
 use std::sync::Arc;
 
-/// Wire-request kinds, in tag order. Indexed by [`kind_index`].
-pub const REQUEST_KINDS: [&str; 13] = [
+/// Wire-request kinds, in tag order. Indexed by [`kind_index`]. These
+/// double as the root stage names in the tracing span tree.
+pub const REQUEST_KINDS: [&str; 14] = [
     "hello",
     "append",
     "append_committed",
@@ -25,6 +26,7 @@ pub const REQUEST_KINDS: [&str; 13] = [
     "stats",
     "append_batch",
     "get_proof_batch",
+    "get_trace",
 ];
 
 /// Position of a request's kind in [`REQUEST_KINDS`].
@@ -43,6 +45,7 @@ pub fn kind_index(request: &Request) -> usize {
         Request::Stats => 10,
         Request::AppendBatch(_) => 11,
         Request::GetProofBatch { .. } => 12,
+        Request::GetTrace(_) => 13,
     }
 }
 

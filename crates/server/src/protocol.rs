@@ -27,8 +27,20 @@ use ledgerdb_crypto::wire::{Reader, Wire, WireError, Writer};
 use std::fmt;
 use std::io::{self, Read, Write};
 
-/// The protocol version this build speaks.
+/// The base protocol version: `version · len:u32 · body`. Responses and
+/// untraced requests are always version-1 frames, so a version-1-only
+/// peer interoperates with this build unchanged.
 pub const PROTOCOL_VERSION: u8 = 1;
+
+/// The traced protocol version. A version-2 frame carries a small
+/// envelope before the message body: `flags:u8`, then a big-endian
+/// `trace_id:u64` when `flags & 1` is set. Servers accept both
+/// versions; clients that attach trace ids emit version 2 for requests
+/// and still read version-1 responses.
+pub const TRACED_PROTOCOL_VERSION: u8 = 2;
+
+/// Envelope flag bit: a trace id follows.
+const ENVELOPE_HAS_TRACE: u8 = 1;
 
 /// Default ceiling on a frame body (requests and responses). Payloads
 /// larger than this must be chunked by the application.
@@ -41,8 +53,12 @@ pub enum FrameError {
     Closed,
     /// An I/O failure (includes read/write timeouts).
     Io(io::Error),
-    /// The version byte was not [`PROTOCOL_VERSION`].
+    /// The version byte was neither [`PROTOCOL_VERSION`] nor
+    /// [`TRACED_PROTOCOL_VERSION`].
     BadVersion(u8),
+    /// A version-2 frame whose trace envelope is truncated or carries
+    /// unknown flag bits.
+    BadEnvelope,
     /// The length prefix exceeded the frame bound.
     Oversized { len: u32, max: u32 },
     /// An outgoing body too large for the protocol's `u32` length
@@ -57,6 +73,7 @@ impl fmt::Display for FrameError {
             FrameError::Closed => write!(f, "connection closed"),
             FrameError::Io(e) => write!(f, "frame i/o failure: {e}"),
             FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::BadEnvelope => write!(f, "malformed trace envelope in version-2 frame"),
             FrameError::Oversized { len, max } => {
                 write!(f, "frame of {len} bytes exceeds the {max}-byte bound")
             }
@@ -110,6 +127,42 @@ pub fn write_frame(w: &mut impl Write, body: &[u8]) -> Result<(), FrameError> {
     Ok(())
 }
 
+/// Write one traced (version-2) frame: the body is prefixed with the
+/// trace envelope (`flags=1`, big-endian trace id) and the length
+/// prefix covers envelope + body.
+pub fn write_traced_frame(w: &mut impl Write, trace_id: u64, body: &[u8]) -> Result<(), FrameError> {
+    let len = check_frame_len(body.len().saturating_add(9))?;
+    let mut frame = Vec::with_capacity(5 + len as usize);
+    frame.push(TRACED_PROTOCOL_VERSION);
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.push(ENVELOPE_HAS_TRACE);
+    frame.extend_from_slice(&trace_id.to_be_bytes());
+    frame.extend_from_slice(body);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Split a version-2 frame body into its trace id (if flagged) and the
+/// message body. Unknown flag bits or a truncated envelope are
+/// [`FrameError::BadEnvelope`] — a frame this build cannot interpret
+/// must be rejected, not half-read.
+pub fn split_trace_envelope(body: &[u8]) -> Result<(Option<u64>, &[u8]), FrameError> {
+    let (&flags, rest) = body.split_first().ok_or(FrameError::BadEnvelope)?;
+    if flags & !ENVELOPE_HAS_TRACE != 0 {
+        return Err(FrameError::BadEnvelope);
+    }
+    if flags & ENVELOPE_HAS_TRACE == 0 {
+        return Ok((None, rest));
+    }
+    if rest.len() < 8 {
+        return Err(FrameError::BadEnvelope);
+    }
+    let (id_bytes, rest) = rest.split_at(8);
+    let id = u64::from_be_bytes(id_bytes.try_into().expect("split_at(8)"));
+    Ok((Some(id), rest))
+}
+
 /// Largest single allocation/read step while receiving a frame body.
 /// The length prefix is attacker-controlled: growing the buffer only as
 /// bytes actually arrive means a hostile header can't force a max-frame
@@ -117,10 +170,18 @@ pub fn write_frame(w: &mut impl Write, body: &[u8]) -> Result<(), FrameError> {
 const READ_CHUNK: usize = 64 * 1024;
 
 /// Read one frame body, enforcing the version byte and the `max` bound.
+/// A version-2 frame's trace id is parsed, validated, and discarded —
+/// use [`read_frame_traced`] to keep it.
 ///
 /// A clean EOF before the first byte is [`FrameError::Closed`]; an EOF
 /// mid-frame is an I/O error (the peer died mid-sentence).
 pub fn read_frame(r: &mut impl Read, max: u32) -> Result<Vec<u8>, FrameError> {
+    read_frame_traced(r, max).map(|(_, body)| body)
+}
+
+/// As [`read_frame`], returning the version-2 trace id alongside the
+/// message body (`None` for version-1 frames and unflagged envelopes).
+pub fn read_frame_traced(r: &mut impl Read, max: u32) -> Result<(Option<u64>, Vec<u8>), FrameError> {
     let mut version = [0u8; 1];
     loop {
         match r.read(&mut version) {
@@ -130,7 +191,7 @@ pub fn read_frame(r: &mut impl Read, max: u32) -> Result<Vec<u8>, FrameError> {
             Err(e) => return Err(FrameError::Io(e)),
         }
     }
-    if version[0] != PROTOCOL_VERSION {
+    if version[0] != PROTOCOL_VERSION && version[0] != TRACED_PROTOCOL_VERSION {
         return Err(FrameError::BadVersion(version[0]));
     }
     let mut len_bytes = [0u8; 4];
@@ -147,7 +208,11 @@ pub fn read_frame(r: &mut impl Read, max: u32) -> Result<Vec<u8>, FrameError> {
         body.resize(start + take, 0);
         r.read_exact(&mut body[start..])?;
     }
-    Ok(body)
+    if version[0] == TRACED_PROTOCOL_VERSION {
+        let (trace, message) = split_trace_envelope(&body)?;
+        return Ok((trace, message.to_vec()));
+    }
+    Ok((None, body))
 }
 
 /// A client request.
@@ -186,6 +251,10 @@ pub enum Request {
     /// answered positionally. Built from a single immutable read
     /// snapshot, fanned out across the compute pool.
     GetProofBatch { jsns: Vec<u64>, anchor: TrustedAnchor },
+    /// The recorded span events for a trace id, from the server's
+    /// flight recorder (ring buffers + pinned slow/error captures).
+    /// An unknown or aged-out id answers with an empty span list.
+    GetTrace(u64),
 }
 
 impl Wire for Request {
@@ -240,6 +309,10 @@ impl Wire for Request {
                 jsns.encode(w);
                 anchor.encode(w);
             }
+            Request::GetTrace(id) => {
+                w.put_u8(13);
+                w.put_u64(*id);
+            }
         }
     }
 
@@ -269,6 +342,7 @@ impl Wire for Request {
                 jsns: Vec::decode(r)?,
                 anchor: TrustedAnchor::decode(r)?,
             }),
+            13 => Ok(Request::GetTrace(r.get_u64()?)),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -457,6 +531,43 @@ pub enum Response {
     AppendBatchResult(Vec<Result<AppendedAck, ErrorFrame>>),
     /// Positional answers to a [`Request::GetProofBatch`].
     ProofBatch(Vec<Result<ProofItem, ErrorFrame>>),
+    /// The span events recorded for a [`Request::GetTrace`] id, ordered
+    /// by start time. Empty when the trace is unknown or aged out.
+    Trace(Vec<SpanRecord>),
+}
+
+/// One recorded span, as served over the wire and joined client-side
+/// with the client-observed latency (`RemoteLedger::last_trace_id`).
+/// Timestamps are nanoseconds on the server's monotonic trace clock —
+/// only differences and ordering are meaningful to a client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    pub span: u64,
+    /// Parent span id; 0 for the request root.
+    pub parent: u64,
+    pub name: String,
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
+impl Wire for SpanRecord {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.span);
+        w.put_u64(self.parent);
+        self.name.encode(w);
+        w.put_u64(self.start_ns);
+        w.put_u64(self.end_ns);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SpanRecord {
+            span: r.get_u64()?,
+            parent: r.get_u64()?,
+            name: String::decode(r)?,
+            start_ns: r.get_u64()?,
+            end_ns: r.get_u64()?,
+        })
+    }
 }
 
 /// One durable append acknowledgement inside a batched response.
@@ -587,6 +698,10 @@ impl Wire for Response {
                 w.put_u8(13);
                 encode_batch(items, w);
             }
+            Response::Trace(spans) => {
+                w.put_u8(14);
+                spans.encode(w);
+            }
         }
     }
 
@@ -609,6 +724,7 @@ impl Wire for Response {
             11 => Ok(Response::Stats(String::decode(r)?)),
             12 => Ok(Response::AppendBatchResult(decode_batch(r)?)),
             13 => Ok(Response::ProofBatch(decode_batch(r)?)),
+            14 => Ok(Response::Trace(Vec::decode(r)?)),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -626,6 +742,84 @@ mod tests {
         write_frame(&mut buf, b"hello frame").unwrap();
         let body = read_frame(&mut Cursor::new(&buf), DEFAULT_MAX_FRAME).unwrap();
         assert_eq!(body, b"hello frame");
+    }
+
+    #[test]
+    fn traced_frame_round_trips_and_downgrades() {
+        let mut buf = Vec::new();
+        write_traced_frame(&mut buf, 0xdead_beef_0042, b"traced body").unwrap();
+        assert_eq!(buf[0], TRACED_PROTOCOL_VERSION);
+        // Trace-aware readers get the id; version-1 `read_frame` callers
+        // get the same body with the envelope stripped.
+        let (trace, body) =
+            read_frame_traced(&mut Cursor::new(&buf), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(trace, Some(0xdead_beef_0042));
+        assert_eq!(body, b"traced body");
+        assert_eq!(
+            read_frame(&mut Cursor::new(&buf), DEFAULT_MAX_FRAME).unwrap(),
+            b"traced body"
+        );
+        // And an untraced frame reads back with no id.
+        let mut v1 = Vec::new();
+        write_frame(&mut v1, b"plain").unwrap();
+        let (trace, body) = read_frame_traced(&mut Cursor::new(&v1), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(trace, None);
+        assert_eq!(body, b"plain");
+    }
+
+    #[test]
+    fn hostile_trace_envelopes_are_typed_errors() {
+        // Truncated envelope: flags say "trace follows" but the id is cut.
+        let mut frame = vec![TRACED_PROTOCOL_VERSION, 0, 0, 0, 5, 1, 0xaa, 0xbb, 0xcc, 0xdd];
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&frame), DEFAULT_MAX_FRAME),
+            Err(FrameError::BadEnvelope)
+        ));
+        // Unknown flag bits must be rejected, not silently skipped.
+        frame = vec![TRACED_PROTOCOL_VERSION, 0, 0, 0, 2, 0x82, 0];
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&frame), DEFAULT_MAX_FRAME),
+            Err(FrameError::BadEnvelope)
+        ));
+        // Empty v2 body (no flags byte at all).
+        frame = vec![TRACED_PROTOCOL_VERSION, 0, 0, 0, 0];
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&frame), DEFAULT_MAX_FRAME),
+            Err(FrameError::BadEnvelope)
+        ));
+        // An unflagged v2 envelope is legal: flags=0, body follows.
+        let mut ok = vec![TRACED_PROTOCOL_VERSION, 0, 0, 0, 3, 0];
+        ok.extend_from_slice(b"hi");
+        let (trace, body) = read_frame_traced(&mut Cursor::new(&ok), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(trace, None);
+        assert_eq!(body, b"hi");
+    }
+
+    #[test]
+    fn trace_messages_round_trip() {
+        let req = Request::GetTrace(77);
+        assert!(matches!(Request::from_wire(&req.to_wire()), Ok(Request::GetTrace(77))));
+        let resp = Response::Trace(vec![
+            SpanRecord {
+                span: 2,
+                parent: 1,
+                name: "locked_insert".into(),
+                start_ns: 100,
+                end_ns: 250,
+            },
+            SpanRecord { span: 1, parent: 0, name: "append".into(), start_ns: 50, end_ns: 400 },
+        ]);
+        let Response::Trace(decoded) = Response::from_wire(&resp.to_wire()).unwrap() else {
+            panic!("wrong response kind");
+        };
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0].name, "locked_insert");
+        assert_eq!(decoded[1].parent, 0);
+        // Empty trace (unknown id) round-trips too.
+        assert!(matches!(
+            Response::from_wire(&Response::Trace(Vec::new()).to_wire()),
+            Ok(Response::Trace(v)) if v.is_empty()
+        ));
     }
 
     #[test]

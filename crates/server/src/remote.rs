@@ -30,8 +30,8 @@
 //! replica — the verified chain — survives reconnects untouched.
 
 use crate::protocol::{
-    read_frame, write_frame, ErrorFrame, FrameError, ProofItem, Request, Response, ServerInfo,
-    DEFAULT_MAX_FRAME,
+    read_frame, write_frame, write_traced_frame, ErrorFrame, FrameError, ProofItem, Request,
+    Response, ServerInfo, SpanRecord, DEFAULT_MAX_FRAME,
 };
 use ledgerdb_accumulator::fam::FamProof;
 use ledgerdb_clue::cm_tree::ClueProof;
@@ -141,6 +141,11 @@ pub struct RemoteLedger {
     info: ServerInfo,
     client: LedgerClient,
     max_frame: u32,
+    /// When on, every request ships in a version-2 traced frame with a
+    /// client-minted trace id (kept in `last_trace_id`).
+    tracing: bool,
+    /// Trace id of the most recent traced call; `0` before the first.
+    last_trace_id: u64,
 }
 
 impl RemoteLedger {
@@ -187,6 +192,8 @@ impl RemoteLedger {
             info,
             client,
             max_frame: DEFAULT_MAX_FRAME,
+            tracing: false,
+            last_trace_id: 0,
         })
     }
 
@@ -204,6 +211,30 @@ impl RemoteLedger {
     /// poisons it; the next call redials).
     pub fn is_connected(&self) -> bool {
         self.conn.is_some()
+    }
+
+    /// Toggle request tracing. While on, every call ships in a
+    /// version-2 traced frame carrying a client-minted trace id, so the
+    /// server's span tree for the request is retrievable afterwards via
+    /// [`RemoteLedger::get_trace`] with [`RemoteLedger::last_trace_id`].
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Trace id the most recent traced call carried (`0` before any) —
+    /// join client-observed latency to the server's stage breakdown.
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace_id
+    }
+
+    /// Fetch the server's retained span tree for `trace_id` (a
+    /// [`RemoteLedger::last_trace_id`] value, or one lifted from a
+    /// slow-op log line). Empty when the trace aged out unpinned.
+    pub fn get_trace(&mut self, trace_id: u64) -> Result<Vec<SpanRecord>, RemoteError> {
+        match self.call(&Request::GetTrace(trace_id))? {
+            Response::Trace(spans) => Ok(spans),
+            other => Err(unexpected("Trace", &other)),
+        }
     }
 
     /// Redial with bounded exponential backoff and re-handshake. The
@@ -250,9 +281,21 @@ impl RemoteLedger {
     /// call redials instead of misreading a stale frame.
     fn call(&mut self, request: &Request) -> Result<Response, RemoteError> {
         self.ensure_connected()?;
+        // Mint the id before borrowing the connection: the id must be
+        // known to the caller even if the transport fails mid-call.
+        let trace_id = if self.tracing {
+            let id = ledgerdb_telemetry::trace::TraceId::mint().0;
+            self.last_trace_id = id;
+            Some(id)
+        } else {
+            None
+        };
         let conn = self.conn.as_mut().expect("ensure_connected just succeeded");
         let result = (|| {
-            write_frame(&mut conn.stream, &request.to_wire())?;
+            match trace_id {
+                Some(id) => write_traced_frame(&mut conn.stream, id, &request.to_wire())?,
+                None => write_frame(&mut conn.stream, &request.to_wire())?,
+            }
             let body = read_frame(&mut conn.reader, self.max_frame)?;
             match Response::from_wire(&body)? {
                 Response::Error(frame) => Err(RemoteError::Server(frame)),

@@ -30,7 +30,7 @@
 
 use crate::batcher::{Admission, BatchConfig};
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, ErrorFrame, FrameError, Request, Response,
+    read_frame_traced, write_frame, ErrorCode, ErrorFrame, FrameError, Request, Response,
     DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 use crate::service::RequestService;
@@ -255,8 +255,8 @@ fn serve_connection(state: &ServerState, mut stream: TcpStream) {
         Err(_) => return,
     };
     loop {
-        let body = match read_frame(&mut reader, state.config.max_frame) {
-            Ok(body) => body,
+        let (wire_trace, body) = match read_frame_traced(&mut reader, state.config.max_frame) {
+            Ok(frame) => frame,
             Err(e) if e.is_timeout() => {
                 if state.service.draining() {
                     return; // idle connection during drain
@@ -290,6 +290,20 @@ fn serve_connection(state: &ServerState, mut stream: TcpStream) {
                 );
                 return;
             }
+            Err(FrameError::BadEnvelope) => {
+                // A version-2 frame with a malformed trace envelope; the
+                // body boundary was still honored, but answer and hang up
+                // rather than guess at the peer's framing state.
+                hang_up(
+                    state,
+                    stream,
+                    Response::Error(ErrorFrame {
+                        code: ErrorCode::BadFrame,
+                        detail: "malformed trace envelope in version-2 frame".into(),
+                    }),
+                );
+                return;
+            }
             // Write-side-only error; never produced by `read_frame`.
             Err(FrameError::FrameTooLarge { .. }) => return,
             Err(FrameError::Io(_)) => return,
@@ -297,7 +311,7 @@ fn serve_connection(state: &ServerState, mut stream: TcpStream) {
         // +5: the version byte and length prefix of the frame header.
         state.service.metrics.bytes_in.add(body.len() as u64 + 5);
         let response = match Request::from_wire(&body) {
-            Ok(request) => state.service.handle(request),
+            Ok(request) => state.service.handle_traced(request, wire_trace),
             // A complete frame that fails to decode leaves the stream
             // synchronized — answer with a typed error and keep serving.
             Err(e) => Response::Error(ErrorFrame::from_wire_error(&e)),

@@ -10,15 +10,16 @@
 //! the differential suite asserts it, but the sharing is the proof.
 
 use crate::batcher::{Admission, CommitOutcome, GroupCommitter};
-use crate::metrics::ServerMetrics;
+use crate::metrics::{kind_index, ServerMetrics, REQUEST_KINDS};
 use crate::protocol::{
-    AppendedAck, ErrorCode, ErrorFrame, ProofItem, Request, Response, ServerInfo,
+    AppendedAck, ErrorCode, ErrorFrame, ProofItem, Request, Response, ServerInfo, SpanRecord,
     PROTOCOL_VERSION,
 };
 use crate::server::ServerConfig;
 use ledgerdb_accumulator::fam::TrustedAnchor;
 use ledgerdb_core::{SharedLedger, TxRequest, VerifyLevel};
-use ledgerdb_telemetry::Registry;
+use ledgerdb_telemetry::trace::{self, StageSpan, TraceContext, TraceId, TraceScope};
+use ledgerdb_telemetry::{recorder, Registry};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -104,9 +105,30 @@ impl RequestService {
     /// Serve one decoded request, recording its per-kind count and
     /// latency. Every transport funnels through here.
     pub fn handle(&self, request: Request) -> Response {
+        self.handle_traced(request, None)
+    }
+
+    /// [`RequestService::handle`] with an optional client-supplied trace
+    /// id from a version-2 frame envelope. Every request gets a root
+    /// span (named after its wire kind) whether or not the client asked
+    /// for tracing: slow or error-terminated requests are pinned in the
+    /// flight recorder either way, and server-minted ids surface on
+    /// `/trace/slow` and in the slow-op log line.
+    pub fn handle_traced(&self, request: Request, wire_trace: Option<u64>) -> Response {
         let per_kind = self.metrics.request(&request);
+        let kind = REQUEST_KINDS[kind_index(&request)];
+        let trace_id = match wire_trace {
+            Some(raw) => TraceId::from_wire(raw),
+            None => TraceId::mint(),
+        };
+        let root = TraceContext::root(trace_id);
         let start = Instant::now();
-        let response = self.dispatch(request);
+        let start_ns = trace::now_ns();
+        let response = {
+            let _scope = trace::install(TraceScope::Single(root));
+            self.dispatch(request)
+        };
+        recorder::finish_root(root, kind, start_ns, matches!(response, Response::Error(_)));
         per_kind.count.inc();
         per_kind.seconds.observe_duration(start.elapsed());
         response
@@ -163,6 +185,18 @@ impl RequestService {
             Request::Stats => Response::Stats(ledgerdb_telemetry::render(&self.registry)),
             Request::AppendBatch(requests) => self.handle_append_batch(requests),
             Request::GetProofBatch { jsns, anchor } => self.handle_proof_batch(jsns, anchor),
+            Request::GetTrace(id) => Response::Trace(
+                recorder::events_for(id)
+                    .into_iter()
+                    .map(|e| SpanRecord {
+                        span: e.span,
+                        parent: e.parent,
+                        name: recorder::name_of(e.name_id).to_string(),
+                        start_ns: e.start_ns,
+                        end_ns: e.end_ns,
+                    })
+                    .collect(),
+            ),
         }
     }
 
@@ -180,6 +214,13 @@ impl RequestService {
             &self.metrics.admission_verify
         };
         admission.add(requests.len() as u64);
+        // A pre-batched frame skips the group committer, so its "queue
+        // wait" is just this dispatch prologue — recorded anyway so the
+        // AppendBatch span tree has the same stage skeleton as the
+        // committer path and the ordering assertion (queue before lock)
+        // holds for both.
+        let queue_wait = StageSpan::begin("batch_queue_wait");
+        drop(queue_wait);
         let results = match (&self.pool, proxy) {
             (Some(pool), false) => self.shared.append_batch_pipelined(requests, pool),
             (Some(pool), true) => self.shared.append_batch_preverified_pipelined(requests, pool),
@@ -225,9 +266,17 @@ impl RequestService {
                 .map(|(tx_hash, proof)| ProofItem { tx_hash, proof })
                 .map_err(|e| ErrorFrame::from_ledger_error(&e))
         };
+        // Capture the request's scope before the fan-out so worker
+        // spans land in this request's tree, whichever pool thread runs
+        // them.
+        let scope = trace::current_scope();
         let items = match (&self.pool, snapshot_serves) {
             (Some(pool), true) => pool
-                .try_map(&jsns, |_, &jsn| snap.prove_existence(jsn, &anchor))
+                .try_map(&jsns, |_, &jsn| {
+                    let _scope = scope.clone().map(trace::install);
+                    let _span = StageSpan::begin("proof_task");
+                    snap.prove_existence(jsn, &anchor)
+                })
                 .into_iter()
                 .map(|slot| match slot {
                     Ok(result) => item(result),

@@ -420,6 +420,7 @@ impl FileStreamStore {
 
     /// Issue an fdatasync barrier, counting it and its latency.
     fn barrier(&self, file: &File) -> Result<(), StorageError> {
+        let _span = ledgerdb_telemetry::trace::StageSpan::begin("fsync");
         let start = Instant::now();
         file.sync_data()?;
         self.metrics.fsyncs.inc();

@@ -47,6 +47,14 @@ impl Dumper {
                         eprintln!("telemetry: dump to {} failed: {e}", path.display());
                     }
                 }
+                drop(stopped);
+                // Unconditional final dump: if Drop set the flag before
+                // this thread ever reached the wait (spawn racing a
+                // short-lived Dumper), the loop above exited without
+                // dumping at all.
+                if let Err(e) = dump_once(&registry, &path) {
+                    eprintln!("telemetry: final dump to {} failed: {e}", path.display());
+                }
             })
             .expect("spawn telemetry-dump thread");
         Dumper { stop, handle: Some(handle) }

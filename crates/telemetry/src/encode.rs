@@ -119,6 +119,60 @@ mod tests {
     }
 
     #[test]
+    fn histogram_exposition_format_is_scraper_correct() {
+        // External scrapers (Prometheus `rate()`/`avg` over `_sum`/
+        // `_count`) need: a `histogram` TYPE line, monotone cumulative
+        // `_bucket` counts ending in a `+Inf` bucket equal to `_count`,
+        // and a `_sum` consistent with the observations. Pin all of it.
+        let reg = Registry::new();
+        let h = reg.histogram("expo_seconds", Unit::Seconds);
+        let samples_ns: [u64; 5] = [1_000_000, 2_000_000, 2_000_000, 40_000_000, 900_000_000];
+        for ns in samples_ns {
+            h.observe(ns);
+        }
+        let text = render(&reg);
+        assert!(text.contains("# TYPE expo_seconds histogram"));
+
+        // Every _bucket line parses, `le` bounds ascend, counts are
+        // cumulative (non-decreasing), and +Inf closes the series.
+        let mut last_le = f64::NEG_INFINITY;
+        let mut last_count = 0.0f64;
+        let mut saw_inf = false;
+        for line in text.lines().filter(|l| l.starts_with("expo_seconds_bucket{")) {
+            let le_raw = line
+                .split("le=\"")
+                .nth(1)
+                .and_then(|s| s.split('"').next())
+                .expect("le label present");
+            let le = if le_raw == "+Inf" {
+                saw_inf = true;
+                f64::INFINITY
+            } else {
+                le_raw.parse::<f64>().expect("numeric le bound")
+            };
+            assert!(le > last_le, "bucket bounds ascend: {line}");
+            last_le = le;
+            let count: f64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+            assert!(count >= last_count, "cumulative counts never decrease: {line}");
+            last_count = count;
+        }
+        assert!(saw_inf, "+Inf bucket terminates the series");
+
+        let count = parse_value(&text, "expo_seconds_count").expect("_count series present");
+        let sum = parse_value(&text, "expo_seconds_sum").expect("_sum series present");
+        assert_eq!(count, samples_ns.len() as f64);
+        assert_eq!(last_count, count, "+Inf bucket equals _count");
+        let expected_sum: f64 = samples_ns.iter().map(|ns| *ns as f64 / 1e9).sum();
+        assert!(
+            (sum - expected_sum).abs() < 1e-9,
+            "_sum is the unit-scaled exact total: {sum} vs {expected_sum}"
+        );
+        // Average derived the scraper way is sane.
+        let avg = sum / count;
+        assert!((0.1..=0.2).contains(&avg), "avg = {avg}");
+    }
+
+    #[test]
     fn parse_value_ignores_comments_and_misses() {
         let text = "# TYPE x counter\nx 5\n";
         assert_eq!(parse_value(text, "x"), Some(5.0));

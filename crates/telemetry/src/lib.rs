@@ -28,14 +28,19 @@
 mod dump;
 mod encode;
 mod metrics;
+pub mod recorder;
 mod registry;
 mod span;
+pub mod trace;
 
 pub use dump::Dumper;
 pub use encode::{parse_value, render, EXPOSITION_CONTENT_TYPE};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Unit, NUM_BUCKETS};
 pub use registry::{Metric, Registry};
 pub use span::{set_slow_op_threshold, slow_op_threshold_ns, Span};
+pub use trace::{
+    set_trace_enabled, trace_enabled, StageSpan, TraceContext, TraceId, TraceScope,
+};
 
 /// Enable or disable recording on the **global** registry. Disabled,
 /// every record call is one relaxed load + return: the "no-op

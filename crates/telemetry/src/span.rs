@@ -42,17 +42,35 @@ impl<'a> Span<'a> {
     }
 }
 
+/// The slow-op log line for `name`/`elapsed`, enriched with the
+/// current thread's trace context when one is installed — the
+/// `trace=<16-hex-id>` token makes the line joinable with
+/// `/trace/<id>` and `GetTrace`. Factored out so tests can pin the
+/// format without scraping stderr.
+pub fn slow_op_line(name: &str, elapsed: Duration) -> String {
+    match crate::trace::current() {
+        Some(ctx) => format!(
+            "telemetry: slow_op span={} elapsed_us={} trace={:016x} stage={}",
+            name,
+            elapsed.as_micros(),
+            ctx.trace.0,
+            name,
+        ),
+        None => format!(
+            "telemetry: slow_op span={} elapsed_us={}",
+            name,
+            elapsed.as_micros()
+        ),
+    }
+}
+
 impl Drop for Span<'_> {
     fn drop(&mut self) {
         let elapsed = self.start.elapsed();
         self.hist.observe_duration(elapsed);
         let threshold = SLOW_OP_NS.load(Ordering::Relaxed);
         if threshold > 0 && elapsed.as_nanos() as u64 >= threshold {
-            eprintln!(
-                "telemetry: slow_op span={} elapsed_us={}",
-                self.name,
-                elapsed.as_micros()
-            );
+            eprintln!("{}", slow_op_line(self.name, elapsed));
         }
     }
 }
@@ -95,6 +113,20 @@ mod tests {
         }
         let h = crate::Registry::global().histogram("span_macro_test_seconds", Unit::Seconds);
         assert!(h.snapshot().count >= 1);
+    }
+
+    #[test]
+    fn slow_op_line_carries_the_trace_context() {
+        use crate::trace::{install, TraceContext, TraceId, TraceScope};
+        let bare = slow_op_line("fsync", Duration::from_micros(1234));
+        assert_eq!(bare, "telemetry: slow_op span=fsync elapsed_us=1234");
+        let ctx = TraceContext::root(TraceId(0xabcd));
+        let _g = install(TraceScope::Single(ctx));
+        let traced = slow_op_line("fsync", Duration::from_micros(1234));
+        assert_eq!(
+            traced,
+            "telemetry: slow_op span=fsync elapsed_us=1234 trace=000000000000abcd stage=fsync"
+        );
     }
 
     #[test]

@@ -164,6 +164,10 @@ curl -fsS "http://$EV_HTTP/status" | grep -q '"journal_root"' \
   || { echo "/status is not the expected JSON"; exit 1; }
 curl -fsS "http://$EV_HTTP/metrics" | grep -q '^# TYPE server_loop_iterations_total counter' \
   || { echo "/metrics is not a valid exposition during the append storm"; exit 1; }
+curl -fsS "http://$EV_HTTP/trace/slow" | grep -q '"slow"' \
+  || { echo "/trace/slow is not the expected JSON"; exit 1; }
+curl -fsS "http://$EV_HTTP/status" | grep -q '"snapshot_hits"' \
+  || { echo "/status lacks the snapshot read counters"; exit 1; }
 wait "$SMOKE_CLIENT_PID" || { echo "smoke client failed against the event loop"; exit 1; }
 # With the storm committed, a proof is servable over plain HTTP.
 curl -fsS "http://$EV_HTTP/proof/0" | grep -q '"tx_hash"' \
@@ -196,6 +200,33 @@ if [[ "$CORES" -gt 1 ]]; then
     || { echo "p99 at 4096 connections too high on $CORES cores (${P99}ms > 250ms)"; exit 1; }
 else
   echo "note: single core — structural gates only (loadgen's internal asserts)"
+fi
+
+echo "== tracing (span-tree suites + stage breakdown + overhead A/B) =="
+# Transport-differential span trees + hostile envelope rejection ran in
+# differential_servers above; trace_pipeline pins stage presence, the
+# queue→lock→seal→fsync ordering, the seal-leg spans vs ledger_seal_*
+# histogram agreement, and the forced-slow pin-and-resolve round trip.
+cargo test --release -q --test trace_pipeline
+# loadgen --trace hard-asserts (any core count): every sampled traced
+# commit yields the full stage skeleton in commit order, joined from a
+# remote client by the id the call carried. Its JSON rows carry the
+# per-stage p50/p99 table and the interleaved A/B overhead.
+mkdir -p results
+TRACE_OUT="$(./target/release/loadgen --trace --appends 512 --reps 3 2>&1)"
+printf '%s\n' "$TRACE_OUT" | grep '"bench"' > results/BENCH_trace.json
+printf '%s\n' "$TRACE_OUT" | tail -n1
+grep -q '"seal_fam"' results/BENCH_trace.json \
+  || { echo "stage table lacks the seal legs"; exit 1; }
+OVERHEAD="$(sed -n 's/.*"overhead":\(-\{0,1\}[0-9.]*\).*/\1/p' \
+  results/BENCH_trace.json | head -n1)"
+[[ -n "$OVERHEAD" ]] || { echo "no overhead figure from loadgen --trace"; exit 1; }
+if [[ "$CORES" -gt 1 ]]; then
+  # Median traced throughput within 2% of median untraced.
+  awk -v o="$OVERHEAD" 'BEGIN { exit !(o <= 0.02) }' \
+    || { echo "tracing overhead above 2% of median throughput (${OVERHEAD})"; exit 1; }
+else
+  echo "note: single core — structural trace gates only (overhead not gated)"
 fi
 
 echo "verify.sh: all green"

@@ -12,7 +12,10 @@ use ledgerdb::core::{LedgerConfig, LedgerDb, MemberRegistry, SharedLedger, TxReq
 use ledgerdb::crypto::ca::{CertificateAuthority, Role};
 use ledgerdb::crypto::keys::KeyPair;
 use ledgerdb::crypto::wire::Wire;
-use ledgerdb::server::protocol::{read_frame, write_frame, Request, Response, DEFAULT_MAX_FRAME};
+use ledgerdb::server::protocol::{
+    read_frame, write_frame, write_traced_frame, Request, Response, SpanRecord,
+    DEFAULT_MAX_FRAME, TRACED_PROTOCOL_VERSION,
+};
 use ledgerdb::server::{EventConfig, EventLedgerd, Ledgerd, ServerConfig};
 use ledgerdb::telemetry::Registry;
 use std::net::TcpStream;
@@ -126,6 +129,142 @@ fn same_requests_same_bytes_across_transports() {
 
     drop(conn_t);
     drop(conn_e);
+    threaded.shutdown();
+    event.shutdown();
+}
+
+/// Normalize a span tree to its shape: a sorted multiset of
+/// `(name, parent_name)` edges. Ids and timestamps are
+/// run-dependent; the structure is not.
+fn span_shape(spans: &[SpanRecord]) -> Vec<(String, String)> {
+    let name_of = |id: u64| -> String {
+        if id == 0 {
+            return "<root>".into();
+        }
+        spans
+            .iter()
+            .find(|s| s.span == id)
+            .map(|s| s.name.clone())
+            .unwrap_or_else(|| "<missing>".into())
+    };
+    let mut shape: Vec<(String, String)> =
+        spans.iter().map(|s| (s.name.clone(), name_of(s.parent))).collect();
+    shape.sort();
+    shape
+}
+
+/// Both transports must record the SAME span tree shape for the same
+/// traced request: the trace plumbing (wire envelope → dispatch →
+/// batcher → core stages) is transport-independent by construction,
+/// and this pins it.
+#[test]
+fn traced_append_batch_records_the_same_span_tree_on_both_transports() {
+    let (shared_a, shared_b, alice) = seeded_pair();
+    let threaded = Ledgerd::start(shared_a, server_config()).unwrap();
+    let event = EventLedgerd::start(
+        shared_b,
+        EventConfig { server: server_config(), ..EventConfig::default() },
+    )
+    .unwrap();
+
+    let mut shapes = Vec::new();
+    for (addr, trace_id) in
+        [(threaded.local_addr(), 0x1111_2222_3333_4444u64), (event.local_addr(), 0x5555_6666_7777_8888u64)]
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        let batch = Request::AppendBatch(
+            (20..23u64)
+                .map(|i| {
+                    TxRequest::signed(&alice, format!("tr-{i}").into_bytes(), vec![], i)
+                })
+                .collect(),
+        );
+        write_traced_frame(&mut stream, trace_id, &batch.to_wire()).unwrap();
+        let body = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap();
+        assert!(
+            matches!(Response::from_wire(&body).unwrap(), Response::AppendBatchResult(_)),
+            "traced batch must commit normally"
+        );
+        // Fetch the tree over the wire, untraced — the fetch itself
+        // must not need tracing.
+        let spans = match roundtrip(&mut stream, &Request::GetTrace(trace_id)) {
+            body => match Response::from_wire(&body).unwrap() {
+                Response::Trace(spans) => spans,
+                other => panic!("expected Trace response, got {other:?}"),
+            },
+        };
+        let root = spans.iter().find(|s| s.parent == 0).expect("a root span");
+        assert_eq!(root.name, "append_batch", "root span is the request kind");
+        shapes.push(span_shape(&spans));
+    }
+    assert_eq!(
+        shapes[0], shapes[1],
+        "threaded and event-loop transports recorded different span trees"
+    );
+    threaded.shutdown();
+    event.shutdown();
+}
+
+/// Hostile wire inputs around the trace envelope must be rejected
+/// cleanly — a typed error frame then a hangup, byte-identical across
+/// transports. Case 1: an old-version (v1) client that mistakenly
+/// prepends envelope bytes — they garble into the request body and
+/// fail to decode. Case 2: a v2 frame whose envelope itself is
+/// malformed (reserved flag bits set).
+#[test]
+fn hostile_trace_envelopes_are_rejected_identically_across_transports() {
+    let (shared_a, shared_b, _alice) = seeded_pair();
+    let threaded = Ledgerd::start(shared_a, server_config()).unwrap();
+    let event = EventLedgerd::start(
+        shared_b,
+        EventConfig { server: server_config(), ..EventConfig::default() },
+    )
+    .unwrap();
+
+    // Envelope bytes inside a v1 frame: flags=1 + 8-byte id, then a
+    // valid request — the flags byte reads as an Append tag and the
+    // trace id garbles the TxRequest decode.
+    let mut enveloped_v1 = vec![1u8];
+    enveloped_v1.extend_from_slice(&0xDEAD_BEEF_DEAD_BEEFu64.to_be_bytes());
+    enveloped_v1.extend_from_slice(&Request::GetAnchor.to_wire());
+
+    // A v2 frame with reserved envelope flag bits set.
+    let mut bad_envelope_frame = Vec::new();
+    bad_envelope_frame.push(TRACED_PROTOCOL_VERSION);
+    bad_envelope_frame.extend_from_slice(&9u32.to_be_bytes());
+    bad_envelope_frame.push(0xFF); // reserved flag bits
+    bad_envelope_frame.extend_from_slice(&1u64.to_be_bytes());
+
+    for case in 0..2 {
+        let mut replies = Vec::new();
+        for addr in [threaded.local_addr(), event.local_addr()] {
+            use std::io::{Read, Write};
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+            match case {
+                0 => write_frame(&mut stream, &enveloped_v1).unwrap(),
+                _ => stream.write_all(&bad_envelope_frame).unwrap(),
+            }
+            let body = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap();
+            assert!(
+                matches!(Response::from_wire(&body).unwrap(), Response::Error(_)),
+                "case {case}: hostile frame must draw a typed error"
+            );
+            // And the server hangs up: the next read sees EOF.
+            let mut probe = [0u8; 1];
+            assert_eq!(
+                stream.read(&mut probe).unwrap_or(0),
+                0,
+                "case {case}: server must hang up after the error frame"
+            );
+            replies.push(body);
+        }
+        assert_eq!(
+            replies[0], replies[1],
+            "case {case}: transports answered the hostile frame differently"
+        );
+    }
     threaded.shutdown();
     event.shutdown();
 }
