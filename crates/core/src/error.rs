@@ -45,6 +45,10 @@ pub enum LedgerError {
     /// pool contains the panic (siblings and the ledger are unaffected);
     /// the item is rejected with the panic message.
     TaskFailed(String),
+    /// A sharded-deployment failure: an unknown shard id, an epoch
+    /// anchor the client cannot verify, or a composed proof that names
+    /// state outside the verified mirror.
+    Shard(String),
 }
 
 impl fmt::Display for LedgerError {
@@ -68,6 +72,7 @@ impl fmt::Display for LedgerError {
             LedgerError::Recovery(what) => write!(f, "recovery failed: {what}"),
             LedgerError::BadReceipt => write!(f, "receipt failed verification"),
             LedgerError::TaskFailed(what) => write!(f, "pipeline task failed: {what}"),
+            LedgerError::Shard(what) => write!(f, "shard failure: {what}"),
         }
     }
 }

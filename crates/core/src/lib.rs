@@ -21,6 +21,7 @@ pub mod ledger;
 pub mod member;
 pub mod metrics;
 pub mod recovery;
+pub mod sharded;
 pub mod shared;
 pub mod snapshot;
 pub mod types;
@@ -37,6 +38,10 @@ pub use recovery::{
     RecoveryReport, WalRecord, CHECKPOINT_DIR,
 };
 pub use member::{Member, MemberRegistry};
+pub use sharded::{
+    pack_jsn, route_clue_str, route_of, unpack_jsn, ComposedProof, EpochAnchor, ShardedClient,
+    ShardedLedger, MAX_SHARDS,
+};
 pub use shared::SharedLedger;
 pub use snapshot::{ReadSnapshot, SnapshotHub};
 pub use types::{Block, Journal, JournalKind, LedgerInfo, Receipt, TxRequest, VerifyLevel};

@@ -1,0 +1,740 @@
+//! Sharded multi-ledger scale-out with cross-shard proof composition.
+//!
+//! The single write lock + single WAL is the last scaling ceiling of
+//! the one-ledger deployment. This module partitions the journal space
+//! into K independent shard ledgers — each a full [`SharedLedger`] with
+//! its own fam tree, CM-Tree, WAL, and checkpoint engine — and composes
+//! them back into *one* verifiable commitment with a top-level
+//! accumulator, in the spirit of the paper's *boa* anchors:
+//!
+//! * **Routing** is a stable hash of the request's first clue (falling
+//!   back to the submitting member's key), so a clue's whole N-lineage
+//!   lives in one shard and clue proofs stay single-shard.
+//! * **Global jsns** pack the shard id into the high [`SHARD_BITS`]
+//!   bits: `global = shard << 56 | local`. Shard 0's packing is the
+//!   identity, so a K=1 deployment is bit-for-bit the unsharded ledger.
+//! * **Epoch anchoring**: [`ShardedLedger::ensure_epoch`] snapshots
+//!   every shard's newest *sealed* journal root and appends one leaf
+//!   per shard to a top-level [`Shrubs`] tree. The tree's root is the
+//!   deployment's single cross-shard commitment.
+//! * **Composed proofs**: [`ShardedLedger::prove_composed`] returns a
+//!   shard existence proof *plus* an anchor proof that the shard's
+//!   sealed root is committed under the top root. The distrusting
+//!   [`ShardedClient`] verifies the first against its own per-shard fam
+//!   replica and the second against a top tree rebuilt from **its own**
+//!   verified roots — the server contributes only proof paths, never
+//!   trusted digests.
+
+use crate::client::{LedgerClient, SyncReport};
+use crate::shared::SharedLedger;
+use crate::types::{Block, TxRequest};
+use crate::LedgerError;
+use ledgerdb_accumulator::fam::{FamProof, TrustedAnchor};
+use ledgerdb_accumulator::shrubs::{Shrubs, ShrubsProof};
+use ledgerdb_crypto::digest::Digest;
+use ledgerdb_crypto::keys::PublicKey;
+use ledgerdb_crypto::sha256;
+use ledgerdb_crypto::wire::{Reader, Wire, WireError, Writer};
+use std::sync::{Arc, Mutex};
+
+/// High bits of a global jsn reserved for the shard id.
+pub const SHARD_BITS: u32 = 8;
+
+/// Hard ceiling on K (the shard id must fit [`SHARD_BITS`]).
+pub const MAX_SHARDS: usize = 1 << SHARD_BITS;
+
+/// Bits left for the per-shard local jsn.
+pub const LOCAL_JSN_BITS: u32 = 64 - SHARD_BITS;
+
+/// Mask selecting the local-jsn bits of a global jsn.
+pub const LOCAL_JSN_MASK: u64 = (1 << LOCAL_JSN_BITS) - 1;
+
+/// Pack a (shard, local jsn) pair into a global jsn. Shard 0 packs to
+/// the local jsn unchanged — the K=1 identity the differential suite
+/// pins.
+pub fn pack_jsn(shard: usize, local: u64) -> u64 {
+    debug_assert!(shard < MAX_SHARDS);
+    debug_assert!(local <= LOCAL_JSN_MASK);
+    ((shard as u64) << LOCAL_JSN_BITS) | (local & LOCAL_JSN_MASK)
+}
+
+/// Split a global jsn into (shard, local). With `k == 1` this is the
+/// identity on the full 64 bits: an unsharded deployment never
+/// reinterprets (or truncates) the jsns it has always served.
+pub fn unpack_jsn(global: u64, k: usize) -> (usize, u64) {
+    if k <= 1 {
+        return (0, global);
+    }
+    ((global >> LOCAL_JSN_BITS) as usize, global & LOCAL_JSN_MASK)
+}
+
+/// Stable shard routing: the first clue's hash when the request carries
+/// clues (keeping a clue's lineage single-shard), else the submitting
+/// member's key hash. Deterministic across processes and runs — the
+/// differential suite depends on it.
+pub fn route_of(clues: &[String], client_pk: &PublicKey, k: usize) -> usize {
+    if k <= 1 {
+        return 0;
+    }
+    match clues.first() {
+        Some(clue) => route_clue_str(clue, k),
+        None => {
+            let mut buf = Vec::with_capacity(64);
+            buf.extend_from_slice(b"ledgerdb.shard-route.member");
+            buf.extend_from_slice(&client_pk.to_wire());
+            shard_of_digest(&sha256(&buf), k)
+        }
+    }
+}
+
+/// Route a bare clue string (ListTx / GetClueProof take no member key).
+pub fn route_clue_str(clue: &str, k: usize) -> usize {
+    if k <= 1 {
+        return 0;
+    }
+    let mut buf = Vec::with_capacity(25 + clue.len());
+    buf.extend_from_slice(b"ledgerdb.shard-route.clue");
+    buf.extend_from_slice(clue.as_bytes());
+    shard_of_digest(&sha256(&buf), k)
+}
+
+fn shard_of_digest(digest: &Digest, k: usize) -> usize {
+    let word = u64::from_be_bytes(digest.0[..8].try_into().expect("digest has 32 bytes"));
+    (word % k as u64) as usize
+}
+
+/// The domain-separated top-tree leaf anchoring `root` as shard
+/// `shard`'s sealed journal root at `epoch`. Both sides derive it
+/// independently; the client from its **own** verified root.
+pub fn anchor_leaf(epoch: u64, shard: u32, root: &Digest) -> Digest {
+    let mut buf = Vec::with_capacity(24 + 8 + 4 + 32);
+    buf.extend_from_slice(b"ledgerdb.shard-anchor.v1");
+    buf.extend_from_slice(&epoch.to_be_bytes());
+    buf.extend_from_slice(&shard.to_be_bytes());
+    buf.extend_from_slice(&root.0);
+    sha256(&buf)
+}
+
+/// One epoch cut: every shard's sealed block height and the journal
+/// root its newest sealed block recorded (ZERO for a shard with no
+/// sealed block yet). These are *claims* on the wire — a distrusting
+/// client accepts a record only after matching every root against its
+/// own verified chain ([`ShardedClient::ingest_epochs`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EpochAnchor {
+    pub epoch: u64,
+    pub heights: Vec<u64>,
+    pub roots: Vec<Digest>,
+}
+
+impl Wire for EpochAnchor {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.epoch);
+        self.heights.encode(w);
+        self.roots.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(EpochAnchor {
+            epoch: r.get_u64()?,
+            heights: Vec::decode(r)?,
+            roots: Vec::decode(r)?,
+        })
+    }
+}
+
+/// A shard existence proof composed with a top-level anchor proof.
+///
+/// Two linked claims, verified separately by [`ShardedClient::verify_composed`]:
+/// 1. `tx_hash` exists in shard `shard` — the fam proof checks against
+///    the client's **own** shard replica root;
+/// 2. the shard's sealed root at `epoch` is committed under the
+///    deployment's top root — the Shrubs proof checks against the top
+///    tree the client rebuilt from its **own** verified roots.
+#[derive(Clone, Debug)]
+pub struct ComposedProof {
+    pub shard: u32,
+    pub local_jsn: u64,
+    pub tx_hash: Digest,
+    pub shard_proof: FamProof,
+    pub epoch: u64,
+    /// The sealed shard root the epoch anchored — carried for
+    /// cross-checking; the client verifies against its own copy.
+    pub anchored_root: Digest,
+    pub anchor_proof: ShrubsProof,
+}
+
+impl Wire for ComposedProof {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.shard);
+        w.put_u64(self.local_jsn);
+        self.tx_hash.encode(w);
+        self.shard_proof.encode(w);
+        w.put_u64(self.epoch);
+        self.anchored_root.encode(w);
+        self.anchor_proof.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ComposedProof {
+            shard: r.get_u32()?,
+            local_jsn: r.get_u64()?,
+            tx_hash: Digest::decode(r)?,
+            shard_proof: FamProof::decode(r)?,
+            epoch: r.get_u64()?,
+            anchored_root: Digest::decode(r)?,
+            anchor_proof: ShrubsProof::decode(r)?,
+        })
+    }
+}
+
+/// The top-level anchor accumulator: a Shrubs tree over per-shard
+/// sealed roots, one leaf per shard per epoch (leaf index
+/// `epoch * K + shard`), plus the epoch records that index it.
+struct AnchorState {
+    shrubs: Shrubs,
+    epochs: Vec<EpochAnchor>,
+}
+
+/// K independent shard ledgers plus the top-level epoch accumulator.
+/// Cloning shares all state (each shard is an `Arc` internally, as is
+/// the anchor tree) — exactly like [`SharedLedger`].
+#[derive(Clone)]
+pub struct ShardedLedger {
+    shards: Arc<Vec<SharedLedger>>,
+    anchors: Arc<Mutex<AnchorState>>,
+}
+
+impl ShardedLedger {
+    /// Compose K shard ledgers. K must be in `1..=MAX_SHARDS`.
+    pub fn new(shards: Vec<SharedLedger>) -> Result<ShardedLedger, LedgerError> {
+        if shards.is_empty() || shards.len() > MAX_SHARDS {
+            return Err(LedgerError::Shard(format!(
+                "shard count {} outside 1..={MAX_SHARDS}",
+                shards.len()
+            )));
+        }
+        Ok(ShardedLedger {
+            shards: Arc::new(shards),
+            anchors: Arc::new(Mutex::new(AnchorState { shrubs: Shrubs::new(), epochs: Vec::new() })),
+        })
+    }
+
+    /// The K=1 wrapper: one shard, identity packing, no behavioral
+    /// change to any existing path.
+    pub fn single(shared: SharedLedger) -> ShardedLedger {
+        Self::new(vec![shared]).expect("1 is a valid shard count")
+    }
+
+    pub fn k(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn shard(&self, i: usize) -> &SharedLedger {
+        &self.shards[i]
+    }
+
+    pub fn shards(&self) -> &[SharedLedger] {
+        &self.shards
+    }
+
+    /// Validate a wire shard id.
+    pub fn check_shard(&self, shard: usize) -> Result<(), LedgerError> {
+        if shard >= self.k() {
+            return Err(LedgerError::Shard(format!("unknown shard {shard} (K={})", self.k())));
+        }
+        Ok(())
+    }
+
+    /// Route a request to its shard (stable clue/member hash).
+    pub fn route(&self, tx: &TxRequest) -> usize {
+        route_of(&tx.clues, &tx.client_pk, self.k())
+    }
+
+    /// Route a bare clue (ListTx / GetClueProof).
+    pub fn route_clue(&self, clue: &str) -> usize {
+        route_clue_str(clue, self.k())
+    }
+
+    /// Split a global jsn, rejecting ids that name a shard this
+    /// deployment does not have.
+    pub fn unpack(&self, global: u64) -> Result<(usize, u64), LedgerError> {
+        let (shard, local) = unpack_jsn(global, self.k());
+        self.check_shard(shard)?;
+        Ok((shard, local))
+    }
+
+    /// Pack a shard-local jsn into the global space.
+    pub fn pack(&self, shard: usize, local: u64) -> u64 {
+        if self.k() <= 1 {
+            return local;
+        }
+        pack_jsn(shard, local)
+    }
+
+    /// Seal the pending block of every shard (test/bench convenience).
+    pub fn seal_all(&self) {
+        for shard in self.shards.iter() {
+            shard.seal_block();
+        }
+    }
+
+    /// Cut a new epoch iff some shard sealed a block since the last cut.
+    /// Appends one leaf per shard to the top tree and returns the new
+    /// record; `None` when nothing advanced (epochs stay deduplicated,
+    /// so the client-side mirror cost is bounded by actual progress).
+    pub fn ensure_epoch(&self) -> Option<EpochAnchor> {
+        let mut state = self.anchors.lock().expect("anchor lock poisoned");
+        let heights: Vec<u64> = self.shards.iter().map(|s| s.block_count()).collect();
+        if let Some(last) = state.epochs.last() {
+            if last.heights == heights {
+                return None;
+            }
+        }
+        let roots: Vec<Digest> = self
+            .shards
+            .iter()
+            .zip(&heights)
+            .map(|(shard, &h)| sealed_root_at(shard, h))
+            .collect();
+        let epoch = state.epochs.len() as u64;
+        for (i, root) in roots.iter().enumerate() {
+            state.shrubs.append(anchor_leaf(epoch, i as u32, root));
+        }
+        let record = EpochAnchor { epoch, heights, roots };
+        state.epochs.push(record.clone());
+        Some(record)
+    }
+
+    /// The deployment's single cross-shard commitment.
+    pub fn top_root(&self) -> Digest {
+        self.anchors.lock().expect("anchor lock poisoned").shrubs.root()
+    }
+
+    pub fn epoch_count(&self) -> u64 {
+        self.anchors.lock().expect("anchor lock poisoned").epochs.len() as u64
+    }
+
+    /// Epoch records from `from` (client mirror catch-up).
+    pub fn epochs_from(&self, from: u64) -> Vec<EpochAnchor> {
+        let state = self.anchors.lock().expect("anchor lock poisoned");
+        state.epochs.iter().skip(from as usize).cloned().collect()
+    }
+
+    /// Compose a shard existence proof with the newest epoch's anchor
+    /// proof for that shard. The caller supplies its *shard* anchor
+    /// (fam-aoa), exactly as with an unsharded `GetProof`.
+    pub fn prove_composed(
+        &self,
+        global_jsn: u64,
+        anchor: &TrustedAnchor,
+    ) -> Result<ComposedProof, LedgerError> {
+        let (shard, local) = self.unpack(global_jsn)?;
+        let (tx_hash, shard_proof) = self.shards[shard].prove_existence(local, anchor)?;
+        let state = self.anchors.lock().expect("anchor lock poisoned");
+        let record = state
+            .epochs
+            .last()
+            .ok_or_else(|| LedgerError::Shard("no epoch anchor cut yet".into()))?;
+        let leaf_index = record.epoch * self.k() as u64 + shard as u64;
+        let anchor_proof =
+            state.shrubs.prove(leaf_index).map_err(LedgerError::Accumulator)?;
+        Ok(ComposedProof {
+            shard: shard as u32,
+            local_jsn: local,
+            tx_hash,
+            shard_proof,
+            epoch: record.epoch,
+            anchored_root: record.roots[shard],
+            anchor_proof,
+        })
+    }
+}
+
+/// The journal root recorded in a shard's newest sealed block (ZERO
+/// before the first seal). Sealed-block roots are what a distrusting
+/// client can independently verify from the block feed, which is why
+/// epochs anchor them rather than the live (unsealed-tail) root.
+fn sealed_root_at(shard: &SharedLedger, height: u64) -> Digest {
+    if height == 0 {
+        return Digest::ZERO;
+    }
+    shard
+        .blocks_from(height - 1, 1)
+        .first()
+        .map(|b| b.info.journal_root)
+        .unwrap_or(Digest::ZERO)
+}
+
+/// The distrusting client across K shards: one [`LedgerClient`] fam
+/// replica per shard, the verified per-height root history, and a
+/// mirror of the top-level anchor tree built **only** from roots this
+/// client verified itself.
+pub struct ShardedClient {
+    clients: Vec<LedgerClient>,
+    /// Per shard: the verified journal root after each sealed block
+    /// (index = height - 1). Grown during [`ShardedClient::sync_shard`].
+    roots: Vec<Vec<Digest>>,
+    shrubs: Shrubs,
+    epochs: Vec<EpochAnchor>,
+}
+
+impl ShardedClient {
+    pub fn new(lsp_pk: PublicKey, fam_delta: u32, k: usize) -> Result<ShardedClient, LedgerError> {
+        if k == 0 || k > MAX_SHARDS {
+            return Err(LedgerError::Shard(format!("shard count {k} outside 1..={MAX_SHARDS}")));
+        }
+        Ok(ShardedClient {
+            clients: (0..k).map(|_| LedgerClient::new(lsp_pk, fam_delta)).collect(),
+            roots: vec![Vec::new(); k],
+            shrubs: Shrubs::new(),
+            epochs: Vec::new(),
+        })
+    }
+
+    pub fn k(&self) -> usize {
+        self.clients.len()
+    }
+
+    pub fn client(&self, shard: usize) -> &LedgerClient {
+        &self.clients[shard]
+    }
+
+    /// The client's fam-aoa anchor for one shard.
+    pub fn anchor(&self, shard: usize) -> TrustedAnchor {
+        self.clients[shard].anchor()
+    }
+
+    /// Verified block height of one shard's replica.
+    pub fn height(&self, shard: usize) -> u64 {
+        self.clients[shard].height()
+    }
+
+    pub fn epoch_count(&self) -> u64 {
+        self.epochs.len() as u64
+    }
+
+    /// The top root this client derived from its own verified roots.
+    pub fn top_root(&self) -> Digest {
+        self.shrubs.root()
+    }
+
+    /// Sync one shard's block feed through its replica, recording the
+    /// verified journal root at every accepted height. The roots come
+    /// from blocks `LedgerClient::sync` just replayed and checked — a
+    /// tampered root never reaches the history.
+    pub fn sync_shard(&mut self, shard: usize, blocks: &[Block]) -> Result<SyncReport, LedgerError> {
+        if shard >= self.k() {
+            return Err(LedgerError::Shard(format!("unknown shard {shard} (K={})", self.k())));
+        }
+        let before = self.clients[shard].height();
+        let report = self.clients[shard].sync(blocks)?;
+        let after = self.clients[shard].height();
+        for block in blocks.iter().filter(|b| b.height >= before && b.height < after) {
+            debug_assert_eq!(block.height as usize, self.roots[shard].len());
+            self.roots[shard].push(block.info.journal_root);
+        }
+        Ok(report)
+    }
+
+    /// Accept epoch records: each must extend the mirror contiguously,
+    /// cover every shard, and claim exactly the roots this client
+    /// verified at the claimed heights. Accepted records grow the
+    /// client's own top tree. Returns how many records were ingested.
+    pub fn ingest_epochs(&mut self, records: &[EpochAnchor]) -> Result<u64, LedgerError> {
+        let k = self.k();
+        let mut accepted = 0u64;
+        for record in records {
+            let next = self.epochs.len() as u64;
+            if record.epoch < next {
+                continue; // Already mirrored.
+            }
+            if record.epoch > next {
+                return Err(LedgerError::Shard(format!(
+                    "epoch gap: expected {next}, got {}",
+                    record.epoch
+                )));
+            }
+            if record.heights.len() != k || record.roots.len() != k {
+                return Err(LedgerError::Shard(format!(
+                    "epoch {} covers {} shards, expected {k}",
+                    record.epoch,
+                    record.heights.len()
+                )));
+            }
+            // Validate every claim against our own verified history
+            // before mutating anything: a half-ingested epoch would
+            // desync the mirror.
+            for shard in 0..k {
+                let h = record.heights[shard] as usize;
+                if h > self.roots[shard].len() {
+                    return Err(LedgerError::Shard(format!(
+                        "epoch {} anchors shard {shard} at height {h}, synced only {}",
+                        record.epoch,
+                        self.roots[shard].len()
+                    )));
+                }
+                let own = if h == 0 { Digest::ZERO } else { self.roots[shard][h - 1] };
+                if own != record.roots[shard] {
+                    return Err(LedgerError::Shard(format!(
+                        "epoch {} claims a shard-{shard} root this client never verified",
+                        record.epoch
+                    )));
+                }
+            }
+            for shard in 0..k {
+                self.shrubs.append(anchor_leaf(record.epoch, shard as u32, &record.roots[shard]));
+            }
+            self.epochs.push(record.clone());
+            accepted += 1;
+        }
+        Ok(accepted)
+    }
+
+    /// Verify a composed proof wholly against this client's own state:
+    /// the shard proof against its own shard replica, the anchor proof
+    /// against the top tree built from its own verified roots.
+    pub fn verify_composed(&self, proof: &ComposedProof) -> Result<(), LedgerError> {
+        let shard = proof.shard as usize;
+        if shard >= self.k() {
+            return Err(LedgerError::Shard(format!("unknown shard {shard} (K={})", self.k())));
+        }
+        // Claim 1: the tx exists in the shard, relative to our replica.
+        self.clients[shard].verify_existence(&proof.tx_hash, &proof.shard_proof)?;
+        // Claim 2: the shard's sealed root at the proof's epoch is
+        // committed under our own top root.
+        let record = self.epochs.get(proof.epoch as usize).ok_or_else(|| {
+            LedgerError::Shard(format!("epoch {} not mirrored by this client", proof.epoch))
+        })?;
+        let h = record.heights[shard] as usize;
+        let own_root = if h == 0 { Digest::ZERO } else { self.roots[shard][h - 1] };
+        if own_root != proof.anchored_root {
+            return Err(LedgerError::Shard(format!(
+                "composed proof anchors a shard-{shard} root this client never verified"
+            )));
+        }
+        let expected_index = proof.epoch * self.k() as u64 + shard as u64;
+        if proof.anchor_proof.leaf_index != expected_index {
+            return Err(LedgerError::Shard(format!(
+                "anchor proof names leaf {}, epoch/shard imply {expected_index}",
+                proof.anchor_proof.leaf_index
+            )));
+        }
+        let leaf = anchor_leaf(proof.epoch, proof.shard, &own_root);
+        Shrubs::verify(&self.top_root(), &leaf, &proof.anchor_proof)
+            .map_err(LedgerError::Accumulator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::{LedgerConfig, LedgerDb};
+    use crate::member::MemberRegistry;
+    use ledgerdb_crypto::ca::{CertificateAuthority, Role};
+    use ledgerdb_crypto::keys::KeyPair;
+
+    fn fixture(k: usize, block_size: u64) -> (ShardedLedger, KeyPair) {
+        let ca = CertificateAuthority::from_seed(b"shard-ca");
+        let alice = KeyPair::from_seed(b"shard-alice");
+        let shards = (0..k)
+            .map(|_| {
+                let mut registry = MemberRegistry::new(*ca.public_key());
+                registry.register(ca.issue("alice", Role::User, alice.public())).unwrap();
+                let config = LedgerConfig {
+                    block_size,
+                    fam_delta: 15,
+                    name: "shard-test".into(),
+                };
+                SharedLedger::new(LedgerDb::new(config, registry))
+            })
+            .collect();
+        (ShardedLedger::new(shards).unwrap(), alice)
+    }
+
+    fn tx(alice: &KeyPair, nonce: u64, clue: Option<&str>) -> TxRequest {
+        let clues = clue.map(|c| vec![c.to_string()]).unwrap_or_default();
+        TxRequest::signed(alice, format!("doc-{nonce}").into_bytes(), clues, nonce)
+    }
+
+    #[test]
+    fn jsn_packing_is_identity_for_shard_zero_and_k1() {
+        for jsn in [0u64, 1, 7, LOCAL_JSN_MASK] {
+            assert_eq!(pack_jsn(0, jsn), jsn);
+            assert_eq!(unpack_jsn(jsn, 1), (0, jsn));
+        }
+        // K=1 unpack never reinterprets high bits.
+        assert_eq!(unpack_jsn(u64::MAX, 1), (0, u64::MAX));
+        // K>1 round trip.
+        for shard in [0usize, 1, 3, 255] {
+            for local in [0u64, 9, LOCAL_JSN_MASK] {
+                let global = pack_jsn(shard, local);
+                assert_eq!(unpack_jsn(global, 4), (shard, local));
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_clue_stable() {
+        let alice = KeyPair::from_seed(b"router");
+        let pk = *alice.public();
+        for k in [1usize, 2, 4, 16] {
+            for clue in ["asset-1", "asset-2", "x"] {
+                let a = route_of(&[clue.to_string()], &pk, k);
+                let b = route_of(&[clue.to_string()], &pk, k);
+                assert_eq!(a, b);
+                assert!(a < k);
+                // The second clue never affects the route.
+                let c = route_of(&[clue.to_string(), "other".into()], &pk, k);
+                assert_eq!(a, c);
+            }
+            assert!(route_of(&[], &pk, k) < k);
+        }
+        assert_eq!(route_of(&["anything".into()], &pk, 1), 0);
+    }
+
+    #[test]
+    fn composed_proof_verifies_in_distrusting_client() {
+        let (sharded, alice) = fixture(3, 2);
+        for nonce in 0..12u64 {
+            let req = tx(&alice, nonce, Some(&format!("asset-{}", nonce % 5)));
+            let shard = sharded.route(&req);
+            let ack = sharded.shard(shard).append(req).unwrap();
+            let global = sharded.pack(shard, ack.jsn);
+            assert_eq!(sharded.unpack(global).unwrap(), (shard, ack.jsn));
+        }
+        sharded.seal_all();
+        assert!(sharded.ensure_epoch().is_some());
+        // A second cut with no progress is deduplicated.
+        assert!(sharded.ensure_epoch().is_none());
+        assert_eq!(sharded.epoch_count(), 1);
+
+        // Distrusting client: sync every shard, mirror the epoch.
+        let lsp = sharded.shard(0).lsp_public_key();
+        let delta = sharded.shard(0).fam_delta();
+        let mut client = ShardedClient::new(lsp, delta, 3).unwrap();
+        for shard in 0..3 {
+            let blocks = sharded.shard(shard).blocks_from(0, u64::MAX);
+            client.sync_shard(shard, &blocks).unwrap();
+        }
+        client.ingest_epochs(&sharded.epochs_from(0)).unwrap();
+        assert_eq!(client.top_root(), sharded.top_root());
+
+        // Every appended journal proves end-to-end.
+        let mut verified = 0;
+        for shard in 0..3usize {
+            for local in 0..sharded.shard(shard).journal_count() {
+                let global = sharded.pack(shard, local);
+                let anchor = client.anchor(shard);
+                let proof = sharded.prove_composed(global, &anchor).unwrap();
+                client.verify_composed(&proof).unwrap();
+                verified += 1;
+            }
+        }
+        assert_eq!(verified, 12);
+    }
+
+    #[test]
+    fn tampered_composed_proofs_are_rejected() {
+        let (sharded, alice) = fixture(2, 2);
+        for nonce in 0..8u64 {
+            let req = tx(&alice, nonce, Some(&format!("a{nonce}")));
+            let shard = sharded.route(&req);
+            sharded.shard(shard).append(req).unwrap();
+        }
+        sharded.seal_all();
+        sharded.ensure_epoch().unwrap();
+        let lsp = sharded.shard(0).lsp_public_key();
+        let delta = sharded.shard(0).fam_delta();
+        let mut client = ShardedClient::new(lsp, delta, 2).unwrap();
+        for shard in 0..2 {
+            client.sync_shard(shard, &sharded.shard(shard).blocks_from(0, u64::MAX)).unwrap();
+        }
+        client.ingest_epochs(&sharded.epochs_from(0)).unwrap();
+
+        let target = sharded.pack(0, 0);
+        let good = sharded.prove_composed(target, &client.anchor(0)).unwrap();
+        client.verify_composed(&good).unwrap();
+
+        // A swapped tx hash fails the shard proof.
+        let mut bad = good.clone();
+        bad.tx_hash = sha256(b"forged");
+        assert!(client.verify_composed(&bad).is_err());
+        // A forged anchored root fails the root cross-check.
+        let mut bad = good.clone();
+        bad.anchored_root = sha256(b"other root");
+        assert!(client.verify_composed(&bad).is_err());
+        // An unknown epoch is refused outright.
+        let mut bad = good.clone();
+        bad.epoch = 7;
+        assert!(client.verify_composed(&bad).is_err());
+        // A proof re-pointed at the wrong leaf index is refused.
+        let mut bad = good;
+        bad.anchor_proof.leaf_index ^= 1;
+        assert!(client.verify_composed(&bad).is_err());
+    }
+
+    #[test]
+    fn lying_epoch_records_are_rejected_by_the_mirror() {
+        let (sharded, alice) = fixture(2, 2);
+        for nonce in 0..6u64 {
+            let req = tx(&alice, nonce, Some(&format!("b{nonce}")));
+            let shard = sharded.route(&req);
+            sharded.shard(shard).append(req).unwrap();
+        }
+        sharded.seal_all();
+        sharded.ensure_epoch().unwrap();
+        let lsp = sharded.shard(0).lsp_public_key();
+        let delta = sharded.shard(0).fam_delta();
+        let mut client = ShardedClient::new(lsp, delta, 2).unwrap();
+        for shard in 0..2 {
+            client.sync_shard(shard, &sharded.shard(shard).blocks_from(0, u64::MAX)).unwrap();
+        }
+        let mut records = sharded.epochs_from(0);
+        // Tamper with one claimed root: the client must refuse the record.
+        let pristine = records.clone();
+        records[0].roots[1] = sha256(b"lying root");
+        assert!(client.ingest_epochs(&records).is_err());
+        assert_eq!(client.epoch_count(), 0);
+        // A record anchoring beyond the synced height is refused too.
+        let mut ahead = pristine.clone();
+        ahead[0].heights[0] += 10;
+        assert!(client.ingest_epochs(&ahead).is_err());
+        // The pristine record still ingests cleanly afterwards.
+        client.ingest_epochs(&pristine).unwrap();
+        assert_eq!(client.epoch_count(), 1);
+    }
+
+    /// The structural multi-core claim on a 1-CPU box (PR-5 precedent):
+    /// shard write locks are disjoint, so holding shard 0's write lock
+    /// hostage cannot block an append on shard 1.
+    #[test]
+    fn shard_lock_windows_are_independent() {
+        let (sharded, alice) = fixture(2, 64);
+        let hostage = sharded.shard(0).clone();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let (held_tx, held_rx) = std::sync::mpsc::channel::<()>();
+        let holder = std::thread::spawn(move || {
+            hostage.with_write(|_| {
+                held_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+            });
+        });
+        held_rx.recv().unwrap();
+        // Shard 0's write lock is held right now. Find a request that
+        // routes to shard 1 and append it — it must complete without
+        // waiting on the hostage lock.
+        let mut nonce = 0u64;
+        let req = loop {
+            let candidate = tx(&alice, nonce, Some(&format!("probe-{nonce}")));
+            if sharded.route(&candidate) == 1 {
+                break candidate;
+            }
+            nonce += 1;
+        };
+        let ack = sharded.shard(1).append(req).unwrap();
+        assert_eq!(ack.jsn, 0);
+        release_tx.send(()).unwrap();
+        holder.join().unwrap();
+    }
+}

@@ -11,8 +11,18 @@
 //!         [--block-size 16] [--seed demo] \
 //!         [--checkpoint-every-n-seals 64]   # 0 disables \
 //!         [--metrics-dump PATH] [--metrics-interval-ms 1000] \
-//!         [--slow-op-ms N]
+//!         [--slow-op-ms N] [--shards K]
 //! ```
+//!
+//! Sharding (`--shards K`, default 1): K independent shard ledgers —
+//! each with its own WAL, payload store, and checkpoint ladder under
+//! `DIR/shard-<i>` — served behind one address. Requests route by
+//! clue (first clue) or member key; global jsns carry the shard id in
+//! the high byte. Per-epoch sealed roots anchor into a top-level
+//! accumulator so one `GetComposedProof` answers with a shard proof
+//! plus the anchor path, verifiable end-to-end by a distrusting
+//! client (`RemoteLedger::sync_sharded` + `prove_composed`).
+//! `--shards 1` is byte-identical to the pre-sharding layout.
 //!
 //! Transports: the default server runs a thread per connection.
 //! `--event-loop` swaps in the epoll readiness loop
@@ -53,7 +63,7 @@
 //! and the recovery report is printed.
 
 use ledgerdb_core::recovery::{open_durable, CHECKPOINT_DIR};
-use ledgerdb_core::{LedgerConfig, MemberRegistry, SharedLedger};
+use ledgerdb_core::{LedgerConfig, MemberRegistry, ShardedLedger, SharedLedger};
 use ledgerdb_crypto::ca::{CertificateAuthority, Role};
 use ledgerdb_crypto::keys::KeyPair;
 use ledgerdb_server::{
@@ -78,7 +88,7 @@ fn usage() -> ! {
          [--block-size N] [--seed SEED] \
          [--checkpoint-every-n-seals N] [--metrics-dump PATH] \
          [--metrics-interval-ms MS] [--slow-op-ms MS] \
-         [--trace-dump PATH]"
+         [--trace-dump PATH] [--shards K]"
     );
     exit(2);
 }
@@ -102,6 +112,7 @@ struct Args {
     metrics_interval: Duration,
     slow_op: Option<Duration>,
     trace_dump: Option<PathBuf>,
+    shards: usize,
 }
 
 fn parse_args() -> Args {
@@ -124,6 +135,7 @@ fn parse_args() -> Args {
         metrics_interval: Duration::from_millis(1000),
         slow_op: None,
         trace_dump: None,
+        shards: 1,
     };
     let mut batch = BatchConfig::default();
     let mut batching = true;
@@ -192,6 +204,10 @@ fn parse_args() -> Args {
                 args.slow_op = Some(Duration::from_millis(parse_num(&value("--slow-op-ms"))));
             }
             "--trace-dump" => args.trace_dump = Some(PathBuf::from(value("--trace-dump"))),
+            // K shard ledgers behind one server. `--shards 1` (the
+            // default) keeps the flat single-ledger layout at DIR;
+            // K > 1 stores each shard at DIR/shard-<i>.
+            "--shards" => args.shards = parse_num(&value("--shards")),
             _ => usage(),
         }
     }
@@ -246,56 +262,74 @@ fn main() {
             .expect("spawn trace-dump thread");
     }
 
-    let ca = CertificateAuthority::from_seed(args.seed.as_bytes());
-    let alice = KeyPair::from_seed(format!("{}-alice", args.seed).as_bytes());
-    let mut registry = MemberRegistry::new(*ca.public_key());
-    registry
-        .register(ca.issue("alice", Role::User, alice.public()))
-        .expect("register demo member");
-
-    let config = LedgerConfig {
-        block_size: args.block_size,
-        fam_delta: 15,
-        name: format!("ledgerd-{}", args.seed),
-    };
+    if args.shards == 0 {
+        eprintln!("ledgerd: --shards must be at least 1");
+        exit(2);
+    }
     // With group commit the streams run at FsyncPolicy::Never and the
     // batcher supplies the per-batch durability barrier; without it,
     // the configured per-append policy applies.
     let policy = if args.batch.is_some() { FsyncPolicy::Never } else { args.fsync };
-    let (mut ledger, report) =
-        open_durable(config, registry, &args.dir, policy, Arc::new(SimClock::new()))
-            .unwrap_or_else(|e| {
-                eprintln!("ledgerd: cannot open ledger at {}: {e}", args.dir.display());
-                exit(1);
-            });
-    eprintln!(
-        "ledgerd: recovered {} journals / {} blocks (clean: {}, checkpoint: {}) from {}",
-        ledger.journal_count(),
-        ledger.block_count(),
-        report.is_clean(),
-        if report.checkpoint.is_some() {
-            format!("loaded, {} wal records skipped", report.skipped_wal_records)
+    // `--shards 1` keeps the flat directory layout (byte-compatible
+    // with every pre-sharding deployment); K > 1 gives each shard its
+    // own WAL, payload store, and checkpoint ladder under DIR/shard-<i>.
+    let mut shard_ledgers = Vec::with_capacity(args.shards);
+    for i in 0..args.shards {
+        let shard_dir = if args.shards == 1 {
+            args.dir.clone()
         } else {
-            "none".into()
-        },
-        args.dir.display()
-    );
-    if args.checkpoint_every_n_seals > 0 {
-        let store = CheckpointStore::open(&args.dir.join(CHECKPOINT_DIR)).unwrap_or_else(|e| {
-            eprintln!(
-                "ledgerd: cannot open checkpoint store under {}: {e}",
-                args.dir.display()
-            );
-            exit(1);
-        });
-        ledger.enable_checkpoints(
-            Arc::new(store),
-            Arc::new(CkptIo::new()),
-            args.checkpoint_every_n_seals,
+            args.dir.join(format!("shard-{i}"))
+        };
+        let ca = CertificateAuthority::from_seed(args.seed.as_bytes());
+        let alice = KeyPair::from_seed(format!("{}-alice", args.seed).as_bytes());
+        let mut registry = MemberRegistry::new(*ca.public_key());
+        registry
+            .register(ca.issue("alice", Role::User, alice.public()))
+            .expect("register demo member");
+        let config = LedgerConfig {
+            block_size: args.block_size,
+            fam_delta: 15,
+            name: format!("ledgerd-{}", args.seed),
+        };
+        let (mut ledger, report) =
+            open_durable(config, registry, &shard_dir, policy, Arc::new(SimClock::new()))
+                .unwrap_or_else(|e| {
+                    eprintln!("ledgerd: cannot open ledger at {}: {e}", shard_dir.display());
+                    exit(1);
+                });
+        eprintln!(
+            "ledgerd: recovered {} journals / {} blocks (clean: {}, checkpoint: {}) from {}",
+            ledger.journal_count(),
+            ledger.block_count(),
+            report.is_clean(),
+            if report.checkpoint.is_some() {
+                format!("loaded, {} wal records skipped", report.skipped_wal_records)
+            } else {
+                "none".into()
+            },
+            shard_dir.display()
         );
+        if args.checkpoint_every_n_seals > 0 {
+            let store =
+                CheckpointStore::open(&shard_dir.join(CHECKPOINT_DIR)).unwrap_or_else(|e| {
+                    eprintln!(
+                        "ledgerd: cannot open checkpoint store under {}: {e}",
+                        shard_dir.display()
+                    );
+                    exit(1);
+                });
+            ledger.enable_checkpoints(
+                Arc::new(store),
+                Arc::new(CkptIo::new()),
+                args.checkpoint_every_n_seals,
+            );
+        }
+        shard_ledgers.push(SharedLedger::new(ledger));
     }
-
-    let shared = SharedLedger::new(ledger);
+    let sharded = ShardedLedger::new(shard_ledgers).unwrap_or_else(|e| {
+        eprintln!("ledgerd: {e}");
+        exit(2);
+    });
     // `--workers N` sizes both thread pools: N connection threads, and
     // (for N > 1) an N-worker compute pool that pipelines batch
     // admission off the write lock, hashes seal subtrees in parallel,
@@ -321,7 +355,7 @@ fn main() {
             http_bind: args.http_bind.clone(),
             idle_timeout: args.idle_timeout,
         };
-        let server = EventLedgerd::start(shared, config).unwrap_or_else(|e| {
+        let server = EventLedgerd::start_sharded(sharded, config).unwrap_or_else(|e| {
             eprintln!("ledgerd: cannot bind {}: {e}", args.bind);
             exit(1);
         });
@@ -334,7 +368,7 @@ fn main() {
         }
     }
 
-    let server = Ledgerd::start(shared, server_config).unwrap_or_else(|e| {
+    let server = Ledgerd::start_sharded(sharded, server_config).unwrap_or_else(|e| {
         eprintln!("ledgerd: cannot bind {}: {e}", args.bind);
         exit(1);
     });

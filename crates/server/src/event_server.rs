@@ -45,7 +45,7 @@ use crate::protocol::{
 };
 use crate::server::ServerConfig;
 use crate::service::RequestService;
-use ledgerdb_core::SharedLedger;
+use ledgerdb_core::{ShardedLedger, SharedLedger};
 use ledgerdb_crypto::sync::Mutex;
 use ledgerdb_crypto::wire::Wire;
 use ledgerdb_netpoll::{Event, Interest, Poller, Token, Waker};
@@ -197,6 +197,12 @@ pub struct EventLedgerd {
 
 impl EventLedgerd {
     pub fn start(shared: SharedLedger, config: EventConfig) -> io::Result<EventLedgerd> {
+        EventLedgerd::start_sharded(ShardedLedger::single(shared), config)
+    }
+
+    /// Like [`EventLedgerd::start`], but serving K shard ledgers behind
+    /// the same event loop. With K=1 this is byte-identical to `start`.
+    pub fn start_sharded(sharded: ShardedLedger, config: EventConfig) -> io::Result<EventLedgerd> {
         let binary = TcpListener::bind(&config.server.bind)?;
         binary.set_nonblocking(true)?;
         let local_addr = binary.local_addr()?;
@@ -210,7 +216,7 @@ impl EventLedgerd {
         };
         let http_addr = http.as_ref().map(|l| l.local_addr()).transpose()?;
 
-        let service = Arc::new(RequestService::start(shared, &config.server));
+        let service = Arc::new(RequestService::start_sharded(sharded, &config.server));
         let loop_metrics = LoopMetrics::bind(&config.server.registry);
         let poller = Poller::new()?;
         let waker = Arc::new(Waker::new()?);
@@ -750,7 +756,17 @@ impl LoopState {
                 self.close_conn(item.conn);
                 continue;
             }
-            // More pipelined requests may already be buffered.
+            // More pipelined requests may already be buffered. Two
+            // paths keep a second frame that arrived in the same write
+            // alive while `in_flight` suppressed reads:
+            //  * bytes already in `read_buf` — this re-parse picks them
+            //    up immediately, no readiness event needed;
+            //  * bytes still in the kernel socket buffer — `after_io`
+            //    re-arms READABLE and level-triggered epoll re-reports
+            //    them on the next poll, even though the edge happened
+            //    while interest was NONE.
+            // Covered by the pipelined-frames tests in
+            // `tests/event_loop.rs`.
             self.parse_and_dispatch(item.conn);
             self.after_io(item.conn);
         }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 /// Wire-request kinds, in tag order. Indexed by [`kind_index`]. These
 /// double as the root stage names in the tracing span tree.
-pub const REQUEST_KINDS: [&str; 14] = [
+pub const REQUEST_KINDS: [&str; 18] = [
     "hello",
     "append",
     "append_committed",
@@ -27,6 +27,10 @@ pub const REQUEST_KINDS: [&str; 14] = [
     "append_batch",
     "get_proof_batch",
     "get_trace",
+    "get_topology",
+    "get_shard_block_feed",
+    "get_epoch_anchors",
+    "get_composed_proof",
 ];
 
 /// Position of a request's kind in [`REQUEST_KINDS`].
@@ -46,6 +50,10 @@ pub fn kind_index(request: &Request) -> usize {
         Request::AppendBatch(_) => 11,
         Request::GetProofBatch { .. } => 12,
         Request::GetTrace(_) => 13,
+        Request::GetTopology => 14,
+        Request::GetShardBlockFeed { .. } => 15,
+        Request::GetEpochAnchors { .. } => 16,
+        Request::GetComposedProof { .. } => 17,
     }
 }
 

@@ -20,7 +20,7 @@
 
 use ledgerdb_accumulator::fam::{FamProof, TrustedAnchor};
 use ledgerdb_clue::cm_tree::ClueProof;
-use ledgerdb_core::{Block, Journal, LedgerError, Receipt, TxRequest};
+use ledgerdb_core::{Block, ComposedProof, EpochAnchor, Journal, LedgerError, Receipt, TxRequest};
 use ledgerdb_crypto::digest::Digest;
 use ledgerdb_crypto::keys::PublicKey;
 use ledgerdb_crypto::wire::{Reader, Wire, WireError, Writer};
@@ -65,6 +65,12 @@ pub enum FrameError {
     /// prefix. Caught before any byte is written: silently truncating
     /// the prefix would desync the stream for every later frame.
     FrameTooLarge { len: u64 },
+    /// A batched response whose item count differs from the request's
+    /// item count. The framing itself is intact — this is a *lying or
+    /// buggy server*: silently zipping the short (or over-long) reply
+    /// against the local request list would truncate or misalign acks,
+    /// so the client refuses the whole batch with a typed error instead.
+    BatchLengthMismatch { sent: u64, got: u64 },
 }
 
 impl fmt::Display for FrameError {
@@ -79,6 +85,9 @@ impl fmt::Display for FrameError {
             }
             FrameError::FrameTooLarge { len } => {
                 write!(f, "body of {len} bytes exceeds the u32 frame length prefix")
+            }
+            FrameError::BatchLengthMismatch { sent, got } => {
+                write!(f, "batched {sent} requests, server answered {got} results")
             }
         }
     }
@@ -255,6 +264,20 @@ pub enum Request {
     /// flight recorder (ring buffers + pinned slow/error captures).
     /// An unknown or aged-out id answers with an empty span list.
     GetTrace(u64),
+    /// Shard topology: K, the epoch count, and the top-level anchor
+    /// root. On an unsharded server this answers K=1 — the probe is how
+    /// a shard-aware client discovers it can use the plain paths.
+    GetTopology,
+    /// Sealed blocks of one shard (the shard-aware distrusting sync;
+    /// shard 0's feed is identical to `GetBlockFeed` on K=1).
+    GetShardBlockFeed { shard: u32, from_height: u64, max_blocks: u64 },
+    /// Epoch anchor records from `from_epoch`, so a client can mirror
+    /// the top-level anchor tree from its own verified roots. Cuts a
+    /// fresh epoch first if any shard sealed since the last cut.
+    GetEpochAnchors { from_epoch: u64 },
+    /// Composed shard + anchor existence proof for a *global* jsn,
+    /// against the caller's anchor for the jsn's shard.
+    GetComposedProof { jsn: u64, anchor: TrustedAnchor },
 }
 
 impl Wire for Request {
@@ -313,6 +336,22 @@ impl Wire for Request {
                 w.put_u8(13);
                 w.put_u64(*id);
             }
+            Request::GetTopology => w.put_u8(14),
+            Request::GetShardBlockFeed { shard, from_height, max_blocks } => {
+                w.put_u8(15);
+                w.put_u32(*shard);
+                w.put_u64(*from_height);
+                w.put_u64(*max_blocks);
+            }
+            Request::GetEpochAnchors { from_epoch } => {
+                w.put_u8(16);
+                w.put_u64(*from_epoch);
+            }
+            Request::GetComposedProof { jsn, anchor } => {
+                w.put_u8(17);
+                w.put_u64(*jsn);
+                anchor.encode(w);
+            }
         }
     }
 
@@ -343,6 +382,17 @@ impl Wire for Request {
                 anchor: TrustedAnchor::decode(r)?,
             }),
             13 => Ok(Request::GetTrace(r.get_u64()?)),
+            14 => Ok(Request::GetTopology),
+            15 => Ok(Request::GetShardBlockFeed {
+                shard: r.get_u32()?,
+                from_height: r.get_u64()?,
+                max_blocks: r.get_u64()?,
+            }),
+            16 => Ok(Request::GetEpochAnchors { from_epoch: r.get_u64()? }),
+            17 => Ok(Request::GetComposedProof {
+                jsn: r.get_u64()?,
+                anchor: TrustedAnchor::decode(r)?,
+            }),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -490,6 +540,7 @@ impl ErrorFrame {
             | LedgerError::UnknownBlock(_)
             | LedgerError::Occulted(_)
             | LedgerError::Purged(_)
+            | LedgerError::Shard(_)
             | LedgerError::Clue(_) => ErrorCode::NotFound,
             LedgerError::BadClientSignature
             | LedgerError::UnknownMember
@@ -534,6 +585,40 @@ pub enum Response {
     /// The span events recorded for a [`Request::GetTrace`] id, ordered
     /// by start time. Empty when the trace is unknown or aged out.
     Trace(Vec<SpanRecord>),
+    /// The server's shard topology.
+    Topology(TopologyInfo),
+    /// Epoch anchor records (claims — the client verifies each root
+    /// against its own synced shard chains before mirroring).
+    EpochAnchors(Vec<EpochAnchor>),
+    /// A composed shard + anchor existence proof.
+    Composed(ComposedProof),
+}
+
+/// What [`Request::GetTopology`] answers.
+#[derive(Clone, Debug)]
+pub struct TopologyInfo {
+    /// Shard count K (1 on an unsharded deployment).
+    pub shards: u32,
+    /// Epoch anchors cut so far.
+    pub epochs: u64,
+    /// The top-level anchor root (ZERO before the first epoch).
+    pub top_root: Digest,
+}
+
+impl Wire for TopologyInfo {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.shards);
+        w.put_u64(self.epochs);
+        self.top_root.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(TopologyInfo {
+            shards: r.get_u32()?,
+            epochs: r.get_u64()?,
+            top_root: Digest::decode(r)?,
+        })
+    }
 }
 
 /// One recorded span, as served over the wire and joined client-side
@@ -702,6 +787,18 @@ impl Wire for Response {
                 w.put_u8(14);
                 spans.encode(w);
             }
+            Response::Topology(info) => {
+                w.put_u8(15);
+                info.encode(w);
+            }
+            Response::EpochAnchors(records) => {
+                w.put_u8(16);
+                records.encode(w);
+            }
+            Response::Composed(proof) => {
+                w.put_u8(17);
+                proof.encode(w);
+            }
         }
     }
 
@@ -725,6 +822,9 @@ impl Wire for Response {
             12 => Ok(Response::AppendBatchResult(decode_batch(r)?)),
             13 => Ok(Response::ProofBatch(decode_batch(r)?)),
             14 => Ok(Response::Trace(Vec::decode(r)?)),
+            15 => Ok(Response::Topology(TopologyInfo::decode(r)?)),
+            16 => Ok(Response::EpochAnchors(Vec::decode(r)?)),
+            17 => Ok(Response::Composed(ComposedProof::decode(r)?)),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -918,6 +1018,10 @@ mod tests {
                 TxRequest::signed(&keys, b"b1".to_vec(), vec!["c".into()], 9),
             ]),
             Request::GetProofBatch { jsns: vec![1, 5, 9], anchor: TrustedAnchor::default() },
+            Request::GetTopology,
+            Request::GetShardBlockFeed { shard: 3, from_height: 4, max_blocks: 64 },
+            Request::GetEpochAnchors { from_epoch: 11 },
+            Request::GetComposedProof { jsn: 1 << 56 | 9, anchor: TrustedAnchor::default() },
         ];
         for req in cases {
             let decoded = Request::from_wire(&req.to_wire()).unwrap();
@@ -928,6 +1032,51 @@ mod tests {
                 std::mem::discriminant(&req),
                 "{req:?}"
             );
+        }
+    }
+
+    #[test]
+    fn sharded_messages_round_trip() {
+        let shard_fields = Request::GetShardBlockFeed { shard: 7, from_height: 21, max_blocks: 8 };
+        match Request::from_wire(&shard_fields.to_wire()).unwrap() {
+            Request::GetShardBlockFeed { shard, from_height, max_blocks } => {
+                assert_eq!((shard, from_height, max_blocks), (7, 21, 8));
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+
+        let topo = TopologyInfo {
+            shards: 4,
+            epochs: 9,
+            top_root: ledgerdb_crypto::sha256(b"top"),
+        };
+        match Response::from_wire(&Response::Topology(topo.clone()).to_wire()).unwrap() {
+            Response::Topology(decoded) => {
+                assert_eq!(decoded.shards, topo.shards);
+                assert_eq!(decoded.epochs, topo.epochs);
+                assert_eq!(decoded.top_root, topo.top_root);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+
+        let record = EpochAnchor {
+            epoch: 3,
+            heights: vec![1, 0, 2],
+            roots: vec![
+                ledgerdb_crypto::sha256(b"r0"),
+                ledgerdb_crypto::sha256(b"r1"),
+                ledgerdb_crypto::sha256(b"r2"),
+            ],
+        };
+        match Response::from_wire(&Response::EpochAnchors(vec![record.clone()]).to_wire()).unwrap()
+        {
+            Response::EpochAnchors(decoded) => {
+                assert_eq!(decoded.len(), 1);
+                assert_eq!(decoded[0].epoch, record.epoch);
+                assert_eq!(decoded[0].heights, record.heights);
+                assert_eq!(decoded[0].roots, record.roots);
+            }
+            other => panic!("wrong decode: {other:?}"),
         }
     }
 

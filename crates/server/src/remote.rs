@@ -31,12 +31,12 @@
 
 use crate::protocol::{
     read_frame, write_frame, write_traced_frame, ErrorFrame, FrameError, ProofItem, Request,
-    Response, ServerInfo, SpanRecord, DEFAULT_MAX_FRAME,
+    Response, ServerInfo, SpanRecord, TopologyInfo, DEFAULT_MAX_FRAME,
 };
 use ledgerdb_accumulator::fam::FamProof;
 use ledgerdb_clue::cm_tree::ClueProof;
 use ledgerdb_core::client::{LedgerClient, SyncReport};
-use ledgerdb_core::{Journal, LedgerError, Receipt, TxRequest};
+use ledgerdb_core::{unpack_jsn, ComposedProof, Journal, LedgerError, Receipt, ShardedClient, TxRequest};
 use ledgerdb_crypto::digest::Digest;
 use ledgerdb_crypto::wire::{Wire, WireError};
 use std::fmt;
@@ -146,6 +146,10 @@ pub struct RemoteLedger {
     tracing: bool,
     /// Trace id of the most recent traced call; `0` before the first.
     last_trace_id: u64,
+    /// Per-shard distrusting replicas plus the client-grown anchor
+    /// mirror; built lazily on the first [`RemoteLedger::sync_sharded`]
+    /// from the server-reported shard count.
+    sharded: Option<ShardedClient>,
 }
 
 impl RemoteLedger {
@@ -194,6 +198,7 @@ impl RemoteLedger {
             max_frame: DEFAULT_MAX_FRAME,
             tracing: false,
             last_trace_id: 0,
+            sharded: None,
         })
     }
 
@@ -330,10 +335,15 @@ impl RemoteLedger {
             other => return Err(unexpected("AppendBatchResult", &other)),
         };
         if results.len() != n {
-            return Err(RemoteError::Protocol(format!(
-                "sent {n} batched appends, got {} results",
-                results.len()
-            )));
+            // A lying or truncating server answered the batch with the
+            // wrong cardinality: positional attribution is impossible,
+            // so the whole batch is refused with a typed frame error.
+            // The frame itself was well-formed — the stream is still
+            // synchronized — so the connection is *not* poisoned.
+            return Err(RemoteError::Frame(FrameError::BatchLengthMismatch {
+                sent: n as u64,
+                got: results.len() as u64,
+            }));
         }
         Ok(results
             .into_iter()
@@ -421,10 +431,13 @@ impl RemoteLedger {
             other => return Err(unexpected("ProofBatch", &other)),
         };
         if items.len() != n {
-            return Err(RemoteError::Protocol(format!(
-                "asked for {n} batched proofs, got {} items",
-                items.len()
-            )));
+            // Same posture as `append_batch`: wrong cardinality makes
+            // positional verification meaningless — refuse the batch
+            // with a typed error rather than mis-attribute proofs.
+            return Err(RemoteError::Frame(FrameError::BatchLengthMismatch {
+                sent: n as u64,
+                got: items.len() as u64,
+            }));
         }
         items
             .into_iter()
@@ -491,6 +504,113 @@ impl RemoteLedger {
             Response::Verified => Ok(()),
             other => Err(unexpected("Verified", &other)),
         }
+    }
+
+    /// The server's shard topology: shard count, epoch count, and its
+    /// *claimed* top anchor root. Claims, not proofs — the top root is
+    /// only trusted once [`RemoteLedger::sync_sharded`] re-derives it
+    /// from verified per-shard chains.
+    pub fn topology(&mut self) -> Result<TopologyInfo, RemoteError> {
+        match self.call(&Request::GetTopology)? {
+            Response::Topology(info) => Ok(info),
+            other => Err(unexpected("Topology", &other)),
+        }
+    }
+
+    /// The per-shard distrusting replicas, once built by
+    /// [`RemoteLedger::sync_sharded`].
+    pub fn sharded(&self) -> Option<&ShardedClient> {
+        self.sharded.as_ref()
+    }
+
+    /// Sync every shard's block feed through its own verified replica,
+    /// then mirror the server's epoch-anchor records — accepting only
+    /// records whose roots match roots this client itself verified —
+    /// and grow the client's own top anchor tree from them.
+    pub fn sync_sharded(&mut self) -> Result<SyncReport, RemoteError> {
+        let topo = self.topology()?;
+        let k = topo.shards as usize;
+        if self.sharded.as_ref().map(|s| s.k()) != Some(k) {
+            if self.sharded.is_some() {
+                return Err(RemoteError::Protocol(format!(
+                    "server changed shard count across calls (had {}, now {k})",
+                    self.sharded.as_ref().map(|s| s.k()).unwrap_or(0)
+                )));
+            }
+            self.sharded = Some(
+                ShardedClient::new(self.info.lsp_pk, self.info.fam_delta, k)
+                    .map_err(RemoteError::Verify)?,
+            );
+        }
+        let mut total = SyncReport::default();
+        for shard in 0..k {
+            loop {
+                let from_height =
+                    self.sharded.as_ref().expect("built above").height(shard);
+                let request = Request::GetShardBlockFeed {
+                    shard: shard as u32,
+                    from_height,
+                    max_blocks: SYNC_CHUNK,
+                };
+                let blocks = match self.call(&request)? {
+                    Response::BlockFeed(blocks) => blocks,
+                    other => return Err(unexpected("BlockFeed", &other)),
+                };
+                let n = blocks.len() as u64;
+                if n == 0 {
+                    break;
+                }
+                let report = self
+                    .sharded
+                    .as_mut()
+                    .expect("built above")
+                    .sync_shard(shard, &blocks)
+                    .map_err(RemoteError::Verify)?;
+                total.blocks_accepted += report.blocks_accepted;
+                total.journals_replayed += report.journals_replayed;
+                if n < SYNC_CHUNK {
+                    break;
+                }
+            }
+        }
+        let from_epoch = self.sharded.as_ref().expect("built above").epoch_count();
+        let records = match self.call(&Request::GetEpochAnchors { from_epoch })? {
+            Response::EpochAnchors(records) => records,
+            other => return Err(unexpected("EpochAnchors", &other)),
+        };
+        self.sharded
+            .as_mut()
+            .expect("built above")
+            .ingest_epochs(&records)
+            .map_err(RemoteError::Verify)?;
+        Ok(total)
+    }
+
+    /// Fetch a composed proof for a global jsn — shard existence proof
+    /// plus the anchor path placing that shard's sealed root in the
+    /// top tree — and verify *both* layers against this client's own
+    /// replicas and own top root before returning.
+    pub fn prove_composed(&mut self, jsn: u64) -> Result<ComposedProof, RemoteError> {
+        let sharded = self.sharded.as_ref().ok_or_else(|| {
+            RemoteError::Protocol("call sync_sharded before prove_composed".into())
+        })?;
+        let (shard, _) = unpack_jsn(jsn, sharded.k());
+        if shard >= sharded.k() {
+            return Err(RemoteError::Verify(LedgerError::Shard(format!(
+                "jsn {jsn} names unknown shard {shard}"
+            ))));
+        }
+        let anchor = sharded.anchor(shard);
+        let proof = match self.call(&Request::GetComposedProof { jsn, anchor })? {
+            Response::Composed(proof) => proof,
+            other => return Err(unexpected("Composed", &other)),
+        };
+        self.sharded
+            .as_ref()
+            .expect("checked above")
+            .verify_composed(&proof)
+            .map_err(RemoteError::Verify)?;
+        Ok(proof)
     }
 }
 
@@ -700,6 +820,122 @@ mod tests {
             "the deadline bounds the wait: {:?}",
             start.elapsed()
         );
+    }
+
+    #[test]
+    fn lying_batch_cardinality_is_a_typed_length_mismatch() {
+        // A stub that completes the handshake, then answers every batch
+        // with the wrong number of results: short (empty) for the first
+        // request, over-long for the second. Either way the client must
+        // refuse the whole batch with a typed error — positional
+        // attribution against a lying server is meaningless.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let lsp = ledgerdb_crypto::keys::KeyPair::from_seed(b"lying-stub");
+        thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { return };
+                let lsp_pk = *lsp.public();
+                thread::spawn(move || {
+                    if read_frame(&mut stream, DEFAULT_MAX_FRAME).is_err() {
+                        return;
+                    }
+                    let info = ServerInfo {
+                        protocol_version: crate::protocol::PROTOCOL_VERSION,
+                        ledger_id: ledgerdb_crypto::sha256(b"lying-ledger"),
+                        lsp_pk,
+                        fam_delta: 15,
+                        journal_count: 0,
+                        block_count: 0,
+                    };
+                    let _ = write_frame(&mut stream, &Response::Hello(info).to_wire());
+                    // First batch: answer short (no results at all).
+                    if read_frame(&mut stream, DEFAULT_MAX_FRAME).is_err() {
+                        return;
+                    }
+                    let short = Response::AppendBatchResult(Vec::new());
+                    let _ = write_frame(&mut stream, &short.to_wire());
+                    // Second batch: answer over-long (three rejections
+                    // for a single asked-for proof).
+                    if read_frame(&mut stream, DEFAULT_MAX_FRAME).is_err() {
+                        return;
+                    }
+                    let reject = || ErrorFrame {
+                        code: crate::protocol::ErrorCode::NotFound,
+                        detail: "fabricated".into(),
+                    };
+                    let long = Response::ProofBatch(vec![
+                        Err(reject()),
+                        Err(reject()),
+                        Err(reject()),
+                    ]);
+                    let _ = write_frame(&mut stream, &long.to_wire());
+                    // Hold the socket open so poisoning is observable.
+                    thread::sleep(Duration::from_secs(5));
+                });
+            }
+        });
+
+        let alice = ledgerdb_crypto::keys::KeyPair::from_seed(b"lying-alice");
+        let mut remote = RemoteLedger::connect_with(addr, fast_config()).unwrap();
+
+        let err = remote.append_batch(vec![tx(&alice, 0), tx(&alice, 1)]).unwrap_err();
+        match &err {
+            RemoteError::Frame(FrameError::BatchLengthMismatch { sent, got }) => {
+                assert_eq!((*sent, *got), (2, 0));
+            }
+            other => panic!("short batch reply must be a typed length mismatch, got: {other}"),
+        }
+        assert!(
+            remote.is_connected(),
+            "a well-framed lying reply leaves the stream synchronized; no redial needed"
+        );
+
+        let err = remote.prove_batch(vec![7]).unwrap_err();
+        match &err {
+            RemoteError::Frame(FrameError::BatchLengthMismatch { sent, got }) => {
+                assert_eq!((*sent, *got), (1, 3));
+            }
+            other => panic!("over-long batch reply must be a typed length mismatch, got: {other}"),
+        }
+        assert!(remote.is_connected());
+    }
+
+    #[test]
+    fn sharded_server_composed_proofs_verify_end_to_end() {
+        let (sharded, alice) = crate::testutil::sharded(4, 1);
+        let server = Ledgerd::start_sharded(sharded, ServerConfig::default()).unwrap();
+        let mut remote = RemoteLedger::connect_with(server.local_addr(), fast_config()).unwrap();
+
+        assert_eq!(remote.topology().unwrap().shards, 4);
+
+        // Clue-spread appends land on different shards; block_size 1
+        // seals each immediately, so every journal is anchorable.
+        let mut jsns = Vec::new();
+        for i in 0..12u64 {
+            let tx = TxRequest::signed(
+                &alice,
+                format!("shard-payload-{i}").into_bytes(),
+                vec![format!("clue-{i}")],
+                i,
+            );
+            let (jsn, _) = remote.append(tx).unwrap();
+            jsns.push(jsn);
+        }
+
+        remote.sync_sharded().unwrap();
+        let own_top = remote.sharded().unwrap().top_root();
+        assert_eq!(
+            remote.topology().unwrap().top_root,
+            own_top,
+            "client-derived top root must match the server's"
+        );
+
+        for jsn in jsns {
+            let proof = remote.prove_composed(jsn).unwrap();
+            assert_eq!(proof.shard as u64, jsn >> 56, "shard id rides in the jsn high byte");
+        }
+        server.shutdown();
     }
 
     #[test]

@@ -34,7 +34,7 @@ use crate::protocol::{
     DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 use crate::service::RequestService;
-use ledgerdb_core::SharedLedger;
+use ledgerdb_core::{ShardedLedger, SharedLedger};
 use ledgerdb_crypto::sync::Mutex;
 use ledgerdb_crypto::wire::Wire;
 use ledgerdb_telemetry::Registry;
@@ -116,11 +116,17 @@ pub struct Ledgerd {
 }
 
 impl Ledgerd {
-    /// Bind and start serving.
+    /// Bind and start serving a single-ledger deployment.
     pub fn start(shared: SharedLedger, config: ServerConfig) -> io::Result<Ledgerd> {
+        Ledgerd::start_sharded(ShardedLedger::single(shared), config)
+    }
+
+    /// Bind and start serving a sharded deployment. With K=1 this is
+    /// byte-identical to [`Ledgerd::start`].
+    pub fn start_sharded(sharded: ShardedLedger, config: ServerConfig) -> io::Result<Ledgerd> {
         let listener = TcpListener::bind(&config.bind)?;
         let local_addr = listener.local_addr()?;
-        let service = RequestService::start(shared, &config);
+        let service = RequestService::start_sharded(sharded, &config);
         let state = Arc::new(ServerState {
             service,
             config,
@@ -306,6 +312,8 @@ fn serve_connection(state: &ServerState, mut stream: TcpStream) {
             }
             // Write-side-only error; never produced by `read_frame`.
             Err(FrameError::FrameTooLarge { .. }) => return,
+            // Client-side batch-accounting error; never produced here.
+            Err(FrameError::BatchLengthMismatch { .. }) => return,
             Err(FrameError::Io(_)) => return,
         };
         // +5: the version byte and length prefix of the frame header.
@@ -358,6 +366,7 @@ fn hang_up(state: &ServerState, mut stream: TcpStream, response: Response) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::read_frame;
     use crate::remote::RemoteLedger;
     use crate::testutil::shared;
     use ledgerdb_core::TxRequest;

@@ -13,21 +13,40 @@ use crate::batcher::{Admission, CommitOutcome, GroupCommitter};
 use crate::metrics::{kind_index, ServerMetrics, REQUEST_KINDS};
 use crate::protocol::{
     AppendedAck, ErrorCode, ErrorFrame, ProofItem, Request, Response, ServerInfo, SpanRecord,
-    PROTOCOL_VERSION,
+    TopologyInfo, PROTOCOL_VERSION,
 };
 use crate::server::ServerConfig;
 use ledgerdb_accumulator::fam::TrustedAnchor;
-use ledgerdb_core::{SharedLedger, TxRequest, VerifyLevel};
+use ledgerdb_core::{ShardedLedger, SharedLedger, TxRequest, VerifyLevel};
 use ledgerdb_telemetry::trace::{self, StageSpan, TraceContext, TraceId, TraceScope};
 use ledgerdb_telemetry::{recorder, Registry};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Static span names tagging which shard a routed request landed on
+/// (flight-recorder names must be `'static`). Shards past the table
+/// share the last tag — the structural concurrency assertion only needs
+/// *distinct* tags for the shards under test.
+const SHARD_STAGES: [&str; 8] = [
+    "shard-0", "shard-1", "shard-2", "shard-3", "shard-4", "shard-5", "shard-6", "shard-7",
+];
+
+fn shard_stage(shard: usize) -> &'static str {
+    SHARD_STAGES[shard.min(SHARD_STAGES.len() - 1)]
+}
+
 /// The shared request-handling core of a running server.
 pub struct RequestService {
+    /// Shard 0 — on a K=1 deployment this *is* the ledger, and every
+    /// pre-sharding path (HTTP handlers, Hello, the block feed) reads
+    /// it exactly as before.
     pub shared: SharedLedger,
-    committer: Option<GroupCommitter>,
+    sharded: ShardedLedger,
+    /// One group committer per shard (all `None` without a batch
+    /// config): per-shard durability barriers are what lets K shards
+    /// commit concurrently instead of serializing on one WAL.
+    committers: Vec<Option<GroupCommitter>>,
     admission: Admission,
     pool: Option<Arc<ledgerdb_pool::Pool>>,
     registry: Arc<Registry>,
@@ -40,30 +59,52 @@ impl RequestService {
     /// group committer, and metric handles — exactly once, regardless of
     /// which transport will drive requests.
     pub fn start(shared: SharedLedger, config: &ServerConfig) -> RequestService {
-        shared.set_snapshot_reads(config.snapshot_reads);
-        // Wire the compute pool all the way down: the ledger uses it to
-        // hash seal subtrees in parallel, the committer to pipeline
-        // batch admission off the write lock.
-        shared.set_pool(config.pool.clone());
-        let committer = config.batch.map(|batch| {
-            GroupCommitter::start_with_pool(
-                shared.clone(),
-                batch,
-                config.admission,
-                &config.registry,
-                config.pool.clone(),
-            )
-        });
+        Self::start_sharded(ShardedLedger::single(shared), config)
+    }
+
+    /// As [`RequestService::start`], over K shard ledgers. Routing
+    /// lives entirely in this service, so both transports (threaded and
+    /// event loop) inherit sharding verbatim. K=1 is byte-identical to
+    /// the unsharded service: shard routing degenerates to shard 0 and
+    /// jsn packing to the identity.
+    pub fn start_sharded(sharded: ShardedLedger, config: &ServerConfig) -> RequestService {
+        let mut committers = Vec::with_capacity(sharded.k());
+        for shard in sharded.shards() {
+            shard.set_snapshot_reads(config.snapshot_reads);
+            // Wire the compute pool all the way down: the ledger uses it
+            // to hash seal subtrees in parallel, the committer to
+            // pipeline batch admission off the write lock.
+            shard.set_pool(config.pool.clone());
+            committers.push(config.batch.map(|batch| {
+                GroupCommitter::start_with_pool(
+                    shard.clone(),
+                    batch,
+                    config.admission,
+                    &config.registry,
+                    config.pool.clone(),
+                )
+            }));
+        }
         let metrics = ServerMetrics::bind(&config.registry);
         RequestService {
-            shared,
-            committer,
+            shared: sharded.shard(0).clone(),
+            sharded,
+            committers,
             admission: config.admission,
             pool: config.pool.clone(),
             registry: config.registry.clone(),
             metrics,
             shutdown: AtomicBool::new(false),
         }
+    }
+
+    fn k(&self) -> usize {
+        self.sharded.k()
+    }
+
+    /// The shard topology this service routes over.
+    pub fn sharded(&self) -> &ShardedLedger {
+        &self.sharded
     }
 
     /// The registry this service exposes on `Stats` and `/metrics`.
@@ -89,7 +130,7 @@ impl RequestService {
     /// enabled — flush the sealed prefix into a final checkpoint so the
     /// next start replays only the unsealed tail.
     pub fn finish_drain(&self, first: bool) {
-        if let Some(committer) = &self.committer {
+        for committer in self.committers.iter().flatten() {
             committer.shutdown();
         }
         // A checkpoint already in flight (an auto-seal fired one) holds
@@ -97,8 +138,12 @@ impl RequestService {
         // rather than abandoning it mid-ladder. A write failure lands
         // on the sticky `ledger_durability_error` gauge instead of
         // aborting the drain — the WAL already holds everything.
-        if first && self.shared.checkpoints_enabled() {
-            self.shared.checkpoint_on_drain();
+        if first {
+            for shard in self.sharded.shards() {
+                if shard.checkpoints_enabled() {
+                    shard.checkpoint_on_drain();
+                }
+            }
         }
     }
 
@@ -156,27 +201,41 @@ impl RequestService {
             }),
             Request::Append(tx) => self.handle_append(tx, false),
             Request::AppendCommitted(tx) => self.handle_append(tx, true),
-            Request::GetTx(jsn) => match self.shared.get_tx(jsn) {
-                Ok((journal, payload)) => Response::Tx { journal, payload },
-                Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
-            },
-            Request::ListTx(clue) => Response::TxList(self.shared.list_tx(&clue)),
-            Request::GetProof { jsn, anchor } => match self.shared.prove_existence(jsn, &anchor) {
-                Ok((tx_hash, proof)) => Response::Proof { tx_hash, proof },
-                Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
-            },
-            Request::GetClueProof(clue) => match self.shared.prove_clue(&clue) {
-                Ok(proof) => Response::ClueProof(proof),
-                Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
-            },
-            Request::Verify { jsn, tx_hash, proof, anchor } => {
-                match self
-                    .shared
-                    .verify_existence(jsn, &tx_hash, &proof, &anchor, VerifyLevel::Server)
-                {
-                    Ok(()) => Response::Verified,
+            Request::GetTx(jsn) => self.route_jsn(jsn, |shard, local| {
+                match shard.get_tx(local) {
+                    Ok((journal, payload)) => Response::Tx { journal, payload },
                     Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
                 }
+            }),
+            Request::ListTx(clue) => {
+                let shard_id = self.sharded.route_clue(&clue);
+                let _tag = self.shard_span(shard_id);
+                let jsns = self.sharded.shard(shard_id).list_tx(&clue);
+                Response::TxList(jsns.into_iter().map(|j| self.sharded.pack(shard_id, j)).collect())
+            }
+            Request::GetProof { jsn, anchor } => self.route_jsn(jsn, |shard, local| {
+                match shard.prove_existence(local, &anchor) {
+                    Ok((tx_hash, proof)) => Response::Proof { tx_hash, proof },
+                    Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
+                }
+            }),
+            Request::GetClueProof(clue) => {
+                let shard_id = self.sharded.route_clue(&clue);
+                let _tag = self.shard_span(shard_id);
+                match self.sharded.shard(shard_id).prove_clue(&clue) {
+                    Ok(proof) => Response::ClueProof(proof),
+                    Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
+                }
+            }
+            Request::Verify { jsn, tx_hash, proof, anchor } => {
+                self.route_jsn(jsn, |shard, local| {
+                    match shard
+                        .verify_existence(local, &tx_hash, &proof, &anchor, VerifyLevel::Server)
+                    {
+                        Ok(()) => Response::Verified,
+                        Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
+                    }
+                })
             }
             Request::GetAnchor => Response::Anchor(self.shared.anchor()),
             Request::GetBlockFeed { from_height, max_blocks } => {
@@ -197,6 +256,61 @@ impl RequestService {
                     })
                     .collect(),
             ),
+            Request::GetTopology => Response::Topology(TopologyInfo {
+                shards: self.k() as u32,
+                epochs: self.sharded.epoch_count(),
+                top_root: self.sharded.top_root(),
+            }),
+            Request::GetShardBlockFeed { shard, from_height, max_blocks } => {
+                match self.sharded.check_shard(shard as usize) {
+                    Ok(()) => Response::BlockFeed(
+                        self.sharded.shard(shard as usize).blocks_from(from_height, max_blocks),
+                    ),
+                    Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
+                }
+            }
+            Request::GetEpochAnchors { from_epoch } => {
+                // Cut a fresh epoch if any shard sealed since the last
+                // one, so the records a syncing client mirrors always
+                // cover the chains it just downloaded.
+                self.sharded.ensure_epoch();
+                Response::EpochAnchors(self.sharded.epochs_from(from_epoch))
+            }
+            Request::GetComposedProof { jsn, anchor } => {
+                let tag = self.sharded.unpack(jsn).ok().map(|(s, _)| self.shard_span(s));
+                let response = match self.sharded.prove_composed(jsn, &anchor) {
+                    Ok(proof) => Response::Composed(proof),
+                    Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
+                };
+                drop(tag);
+                response
+            }
+        }
+    }
+
+    /// Tag the current span tree with the shard a request routed to —
+    /// only on a sharded deployment, so K=1 trace output is unchanged.
+    /// These tags are what lets the flight recorder show per-shard lock
+    /// windows overlapping (the structural multi-core assertion).
+    fn shard_span(&self, shard: usize) -> Option<StageSpan> {
+        (self.k() > 1).then(|| StageSpan::begin(shard_stage(shard)))
+    }
+
+    /// Split a global jsn, run `f` on its shard with the local jsn, and
+    /// tag the span tree with the shard. On K=1 the split is the
+    /// identity and never fails — responses are byte-identical to the
+    /// unsharded service.
+    fn route_jsn(
+        &self,
+        jsn: u64,
+        f: impl FnOnce(&SharedLedger, u64) -> Response,
+    ) -> Response {
+        match self.sharded.unpack(jsn) {
+            Ok((shard, local)) => {
+                let _tag = self.shard_span(shard);
+                f(self.sharded.shard(shard), local)
+            }
+            Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
         }
     }
 
@@ -221,6 +335,9 @@ impl RequestService {
         // holds for both.
         let queue_wait = StageSpan::begin("batch_queue_wait");
         drop(queue_wait);
+        if self.k() > 1 {
+            return self.handle_append_batch_sharded(requests, proxy);
+        }
         let results = match (&self.pool, proxy) {
             (Some(pool), false) => self.shared.append_batch_pipelined(requests, pool),
             (Some(pool), true) => self.shared.append_batch_preverified_pipelined(requests, pool),
@@ -249,6 +366,63 @@ impl RequestService {
         )
     }
 
+    /// The K>1 batch path: scatter the frame's requests to their shards
+    /// (preserving per-shard arrival order, which fixes each shard's jsn
+    /// assignment), run each shard's sub-batch through the same pipelined
+    /// entry points, and gather the acks back into request order with
+    /// packed global jsns. Positionality is preserved exactly as on K=1.
+    fn handle_append_batch_sharded(&self, requests: Vec<TxRequest>, proxy: bool) -> Response {
+        let n = requests.len();
+        let mut by_shard: Vec<Vec<TxRequest>> = (0..self.k()).map(|_| Vec::new()).collect();
+        let mut origin: Vec<(usize, usize)> = Vec::with_capacity(n);
+        for tx in requests {
+            let shard_id = self.sharded.route(&tx);
+            origin.push((shard_id, by_shard[shard_id].len()));
+            by_shard[shard_id].push(tx);
+        }
+        let mut per_shard: Vec<Vec<Result<AppendedAck, ErrorFrame>>> = Vec::with_capacity(self.k());
+        for (shard_id, batch) in by_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                per_shard.push(Vec::new());
+                continue;
+            }
+            let _tag = self.shard_span(shard_id);
+            let shard = self.sharded.shard(shard_id);
+            let results = match (&self.pool, proxy) {
+                (Some(pool), false) => shard.append_batch_pipelined(batch, pool),
+                (Some(pool), true) => shard.append_batch_preverified_pipelined(batch, pool),
+                (None, false) => shard.append_batch(batch),
+                (None, true) => shard.append_batch_preverified(batch),
+            };
+            let results = match results {
+                Ok(results) => results,
+                Err(e) => return Response::Error(ErrorFrame::from_ledger_error(&e)),
+            };
+            if let Some(e) = shard.take_durability_error() {
+                return Response::Error(ErrorFrame::from_ledger_error(&e));
+            }
+            per_shard.push(
+                results
+                    .into_iter()
+                    .map(|result| {
+                        result
+                            .map(|ack| AppendedAck {
+                                jsn: self.sharded.pack(shard_id, ack.jsn),
+                                tx_hash: ack.tx_hash,
+                            })
+                            .map_err(|e| ErrorFrame::from_ledger_error(&e))
+                    })
+                    .collect(),
+            );
+        }
+        Response::AppendBatchResult(
+            origin
+                .into_iter()
+                .map(|(shard_id, slot)| per_shard[shard_id][slot].clone())
+                .collect(),
+        )
+    }
+
     /// Batch existence proofs. When the published
     /// [`ReadSnapshot`](ledgerdb_core::ReadSnapshot) covers every
     /// requested jsn, proofs are built from that immutable snapshot —
@@ -257,6 +431,26 @@ impl RequestService {
     /// the snapshot path disabled) falls back to per-item locked
     /// proving.
     fn handle_proof_batch(&self, jsns: Vec<u64>, anchor: TrustedAnchor) -> Response {
+        if self.k() > 1 {
+            // Sharded deployments prove per item against each jsn's own
+            // shard (a batch may mix shards, but the caller's anchor can
+            // only match one — mismatches fail per item, positionally,
+            // like any stale-anchor proof). The zero-lock snapshot fast
+            // path is a K=1 optimization.
+            let items = jsns
+                .iter()
+                .map(|&jsn| match self.sharded.unpack(jsn) {
+                    Ok((shard, local)) => self
+                        .sharded
+                        .shard(shard)
+                        .prove_existence(local, &anchor)
+                        .map(|(tx_hash, proof)| ProofItem { tx_hash, proof })
+                        .map_err(|e| ErrorFrame::from_ledger_error(&e)),
+                    Err(e) => Err(ErrorFrame::from_ledger_error(&e)),
+                })
+                .collect();
+            return Response::ProofBatch(items);
+        }
         let snap = self.shared.snapshot();
         let snapshot_serves = self.shared.snapshot_reads()
             && snap.can_prove()
@@ -301,31 +495,40 @@ impl RequestService {
             Admission::Verify => self.metrics.admission_verify.inc(),
             Admission::ProxyTrusted => self.metrics.admission_proxy.inc(),
         }
-        let response = match &self.committer {
+        // Stable clue/member routing: on K=1 this is always shard 0 and
+        // the packing below is the identity — the unsharded byte path.
+        let shard_id = self.sharded.route(&tx);
+        let _tag = self.shard_span(shard_id);
+        let shard = self.sharded.shard(shard_id);
+        let response = match &self.committers[shard_id] {
             Some(committer) => match committer.submit(tx, committed) {
                 Ok(CommitOutcome::Appended { jsn, tx_hash }) => {
-                    Response::Appended { jsn, tx_hash }
+                    Response::Appended { jsn: self.sharded.pack(shard_id, jsn), tx_hash }
                 }
                 Ok(CommitOutcome::Committed(receipt)) => Response::Committed(receipt),
                 Err(frame) => Response::Error(frame),
             },
             None => {
                 let proxy = self.admission == Admission::ProxyTrusted;
+                let pack = |ack: ledgerdb_core::AppendAck| Response::Appended {
+                    jsn: self.sharded.pack(shard_id, ack.jsn),
+                    tx_hash: ack.tx_hash,
+                };
                 match (committed, proxy) {
-                    (true, false) => match self.shared.append_committed(tx) {
+                    (true, false) => match shard.append_committed(tx) {
                         Ok(receipt) => Response::Committed(receipt),
                         Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
                     },
-                    (true, true) => match self.shared.append_committed_preverified(tx) {
+                    (true, true) => match shard.append_committed_preverified(tx) {
                         Ok(receipt) => Response::Committed(receipt),
                         Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
                     },
-                    (false, false) => match self.shared.append(tx) {
-                        Ok(ack) => Response::Appended { jsn: ack.jsn, tx_hash: ack.tx_hash },
+                    (false, false) => match shard.append(tx) {
+                        Ok(ack) => pack(ack),
                         Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
                     },
-                    (false, true) => match self.shared.append_preverified(tx) {
-                        Ok(ack) => Response::Appended { jsn: ack.jsn, tx_hash: ack.tx_hash },
+                    (false, true) => match shard.append_preverified(tx) {
+                        Ok(ack) => pack(ack),
                         Err(e) => Response::Error(ErrorFrame::from_ledger_error(&e)),
                     },
                 }
@@ -336,7 +539,7 @@ impl RequestService {
         // boundary failed to reach the WAL — refuse the ack so the
         // client retries (idempotent at-least-once) instead of trusting
         // a seal that may not survive a crash.
-        if let Some(e) = self.shared.take_durability_error() {
+        if let Some(e) = shard.take_durability_error() {
             return Response::Error(ErrorFrame::from_ledger_error(&e));
         }
         response

@@ -1,6 +1,6 @@
 //! Shared fixtures for the server crate's tests.
 
-use ledgerdb_core::{LedgerConfig, LedgerDb, MemberRegistry, SharedLedger};
+use ledgerdb_core::{LedgerConfig, LedgerDb, MemberRegistry, ShardedLedger, SharedLedger};
 use ledgerdb_crypto::ca::{CertificateAuthority, Role};
 use ledgerdb_crypto::keys::KeyPair;
 
@@ -19,4 +19,20 @@ pub fn shared(block_size: u64) -> (SharedLedger, KeyPair) {
     let config =
         LedgerConfig { block_size, fam_delta: 15, name: "server-test".into() };
     (SharedLedger::new(LedgerDb::new(config, registry)), alice)
+}
+
+/// K in-memory shard ledgers behind one [`ShardedLedger`], plus alice.
+/// Every shard shares the registry and config (and therefore the seeded
+/// LSP identity), exactly as a real deployment would.
+pub fn sharded(k: usize, block_size: u64) -> (ShardedLedger, KeyPair) {
+    let shards = (0..k)
+        .map(|_| {
+            let (registry, _) = registry();
+            let config =
+                LedgerConfig { block_size, fam_delta: 15, name: "server-test".into() };
+            SharedLedger::new(LedgerDb::new(config, registry))
+        })
+        .collect();
+    let (_, alice) = registry();
+    (ShardedLedger::new(shards).unwrap(), alice)
 }

@@ -241,6 +241,186 @@ fn every_checkpoint_crash_point_recovers_byte_identical() {
     assert_eq!(sweeps, schedule.len() as u64 + 2 * writes);
 }
 
+/// A distinctive byte string that appears *only* in purged payloads —
+/// long enough that an accidental collision with CRCs, digests, or
+/// framing bytes is implausible.
+const MARKER: &[u8] = b"PURGE-MARKER-must-never-resurrect";
+
+/// Purge-resurrection workload: four marker appends (sealed and covered
+/// by checkpoint HEAD), a purge erasing the first two, then two plain
+/// appends whose seal commits the rebuilt checkpoint. Returns completed
+/// steps.
+fn drive_purge(dir: &Path, registry: &MemberRegistry, m: &Members, io: Arc<CkptIo>) -> usize {
+    let (mut ledger, _) = open_durable(
+        config(),
+        registry.clone(),
+        dir,
+        FsyncPolicy::Always,
+        Arc::new(SimClock::new()),
+    )
+    .expect("the workload starts from a recoverable directory");
+    let store = Arc::new(CheckpointStore::open(&dir.join(CHECKPOINT_DIR)).unwrap());
+    ledger.enable_checkpoints(store, io, 1);
+
+    let mut done = 0;
+    // Steps 1..=4: appends jsn 0..3 (seals + checkpoints at jsn 1 and
+    // 3). Only jsn 0 and 1 — exactly the journals the purge below will
+    // erase — carry the marker; HEAD covers their block before the
+    // purge runs.
+    for i in 0..4u64 {
+        let payload = if i < 2 {
+            let mut p = MARKER.to_vec();
+            p.extend_from_slice(&i.to_be_bytes());
+            p
+        } else {
+            i.to_be_bytes().to_vec()
+        };
+        let tx = TxRequest::signed(&m.alice, payload, vec![format!("c{}", i % 3)], i);
+        if ledger.append(tx).is_err() {
+            return done;
+        }
+        done += 1;
+    }
+    // Step 5: purge to jsn 2 — erases the jsn-0/1 marker slots (both
+    // inside checkpoint HEAD) and schedules a rebuild at the next seal.
+    let digest = ledger.purge_approval_digest(2);
+    let mut ms = MultiSignature::new();
+    ms.add(&m.dba, &digest);
+    ms.add(&m.alice, &digest);
+    if ledger.purge(2, ms, &[], false).is_err() {
+        return done;
+    }
+    done += 1;
+    // Steps 6..=7: plain appends; the jsn-5 seal commits the rebuilt
+    // checkpoint that must *exclude* the purged payloads.
+    for i in 0..2u64 {
+        if ledger.append(tx(&m.alice, 200 + i)).is_err() {
+            return done;
+        }
+        done += 1;
+    }
+    done
+}
+
+fn control_purge_fingerprints(dir: &Path, registry: &MemberRegistry, m: &Members) -> Vec<Digest> {
+    let (mut ledger, _) = open_durable(
+        config(),
+        registry.clone(),
+        dir,
+        FsyncPolicy::Always,
+        Arc::new(SimClock::new()),
+    )
+    .unwrap();
+    let store = Arc::new(CheckpointStore::open(&dir.join(CHECKPOINT_DIR)).unwrap());
+    ledger.enable_checkpoints(store, Arc::new(CkptIo::new()), 1);
+
+    let mut fps = vec![ledger.state_fingerprint()];
+    for i in 0..4u64 {
+        let payload = if i < 2 {
+            let mut p = MARKER.to_vec();
+            p.extend_from_slice(&i.to_be_bytes());
+            p
+        } else {
+            i.to_be_bytes().to_vec()
+        };
+        let t = TxRequest::signed(&m.alice, payload, vec![format!("c{}", i % 3)], i);
+        ledger.append(t).unwrap();
+        fps.push(ledger.state_fingerprint());
+    }
+    let digest = ledger.purge_approval_digest(2);
+    let mut ms = MultiSignature::new();
+    ms.add(&m.dba, &digest);
+    ms.add(&m.alice, &digest);
+    ledger.purge(2, ms, &[], false).unwrap();
+    fps.push(ledger.state_fingerprint());
+    for i in 0..2u64 {
+        ledger.append(tx(&m.alice, 200 + i)).unwrap();
+        fps.push(ledger.state_fingerprint());
+    }
+    assert!(ledger.durability_error().is_none(), "control run checkpoints cleanly");
+    fps
+}
+
+/// Recovery must never resurrect purged payload bytes, at *any* crash
+/// point between the purge and the rebuilt checkpoint's commit. The WAL
+/// legitimately retains pre-purge append records until its reset — but
+/// after recovery replays it, the redo-erasure invariant must leave the
+/// payload store scrubbed on disk, the purged jsns unreadable, and the
+/// recovered state byte-identical to the never-crashed control.
+#[test]
+fn purged_payloads_never_resurrect_across_crash_points() {
+    let (registry, m) = members();
+
+    // Dry run: schedule + control fingerprints. Step 5 is the purge.
+    let control_dir = temp_dir("purge-control");
+    let io = Arc::new(CkptIo::new());
+    let steps = drive_purge(&control_dir, &registry, &m, Arc::clone(&io));
+    assert_eq!(steps, 7, "the whole workload completes without injection");
+    let schedule = io.op_kinds();
+    let fps = control_purge_fingerprints(&temp_dir("purge-control-fp"), &registry, &m);
+    assert_eq!(steps + 1, fps.len());
+    // The never-crashed end state is itself marker-free.
+    let payload_log =
+        std::fs::read(control_dir.join(ledgerdb::core::recovery::PAYLOAD_FILE)).unwrap();
+    assert!(
+        !payload_log.windows(MARKER.len()).any(|w| w == MARKER),
+        "control payload store still holds purged marker bytes"
+    );
+    std::fs::remove_dir_all(&control_dir).ok();
+
+    const PURGE_STEP: usize = 5;
+    for (idx, kind) in schedule.iter().enumerate() {
+        let op = idx as u64 + 1;
+        let variants: &[Option<usize>] =
+            if *kind == IoKind::Write { &[None, Some(0), Some(3)] } else { &[None] };
+        for &torn_keep in variants {
+            let dir = temp_dir("purge-kill");
+            let io = Arc::new(CkptIo::new());
+            io.arm(CrashPoint { op, torn_keep });
+            let done = drive_purge(&dir, &registry, &m, Arc::clone(&io));
+            assert_head_valid_or_absent(&dir, &format!("purge op {op} torn {torn_keep:?}"));
+
+            let (recovered, report) = open_durable(
+                config(),
+                registry.clone(),
+                &dir,
+                FsyncPolicy::Always,
+                Arc::new(SimClock::new()),
+            )
+            .unwrap_or_else(|e| {
+                panic!("purge op {op} torn {torn_keep:?}: kill residue must recover, got: {e}")
+            });
+            assert_eq!(
+                recovered.state_fingerprint(),
+                fps[done],
+                "purge op {op} ({kind:?}) torn {torn_keep:?}: recovered state must \
+                 match the control after {done} steps (report: {report:?})"
+            );
+            if done >= PURGE_STEP {
+                // The purge was acked before the kill: it must hold
+                // across recovery, however the checkpoint died.
+                for jsn in 0..2u64 {
+                    assert!(
+                        matches!(
+                            recovered.get_tx(jsn),
+                            Err(ledgerdb::core::LedgerError::Purged(_))
+                        ),
+                        "purge op {op} torn {torn_keep:?}: jsn {jsn} readable after purge"
+                    );
+                }
+                let payload_log = std::fs::read(dir.join(ledgerdb::core::recovery::PAYLOAD_FILE))
+                    .unwrap_or_default();
+                assert!(
+                    !payload_log.windows(MARKER.len()).any(|w| w == MARKER),
+                    "purge op {op} ({kind:?}) torn {torn_keep:?}: recovery resurrected \
+                     purged payload bytes into the payload store"
+                );
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
 /// A second ledger process starting from the *same* directory after a
 /// mid-checkpoint kill must also see a WAL bounded by the surviving
 /// checkpoint: recovery work is O(tail), never O(history), whichever

@@ -196,3 +196,74 @@ fn stalled_connections_free_their_slots_for_new_clients() {
     drop(stalled);
     server.shutdown();
 }
+
+#[test]
+fn pipelined_binary_frames_in_one_write_both_answer() {
+    // Two complete frames land in a single TCP segment. While the
+    // first is in flight the loop drops read interest; the second
+    // frame — already sitting in `read_buf` or still in the kernel
+    // buffer — must not be lost when interest is re-armed. Both
+    // responses must come back, in order.
+    let (server, alice) = tiny_server();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    let tx = TxRequest::signed(&alice, b"pipelined-0".to_vec(), vec![], 0);
+    let mut combined = Vec::new();
+    write_frame(&mut combined, &Request::Append(tx).to_wire()).unwrap();
+    write_frame(&mut combined, &Request::GetAnchor.to_wire()).unwrap();
+    stream.write_all(&combined).unwrap();
+
+    let body = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap();
+    match Response::from_wire(&body).unwrap() {
+        Response::Appended { jsn, .. } => assert_eq!(jsn, 0),
+        other => panic!("first pipelined response must be the append ack, got {other:?}"),
+    }
+    let body = read_frame(&mut stream, DEFAULT_MAX_FRAME).unwrap();
+    assert!(
+        matches!(Response::from_wire(&body).unwrap(), Response::Anchor(_)),
+        "second pipelined frame was lost"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_http_keepalive_requests_in_one_write_both_answer() {
+    // Same property on the HTTP surface: two keep-alive GETs in one
+    // write must yield two 200 responses on the same connection.
+    let (server, _) = tiny_server();
+    let http = server.http_addr().unwrap();
+    let mut stream = TcpStream::connect(http).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    stream
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n\
+              GET /status HTTP/1.1\r\nHost: x\r\n\r\n",
+        )
+        .unwrap();
+
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while buf.windows(12).filter(|w| w.starts_with(b"HTTP/1.1 200")).count() < 2 {
+        assert!(Instant::now() < deadline, "second keep-alive response never arrived");
+        match stream.read(&mut chunk) {
+            Ok(0) => panic!(
+                "EOF after {} bytes; second pipelined HTTP request was dropped",
+                buf.len()
+            ),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => panic!("read failed: {e}"),
+        }
+    }
+    server.shutdown();
+}
