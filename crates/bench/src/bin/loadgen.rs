@@ -55,6 +55,7 @@
 
 use ledgerdb_bench::XorShift;
 use ledgerdb_core::recovery::open_durable_with;
+use ledgerdb_core::state::{verify_state_proof, StateBackend, StateCommitment, WorldState};
 use ledgerdb_core::{
     LedgerConfig, LedgerDb, MemberRegistry, ShardedLedger, SharedLedger, TxRequest,
 };
@@ -90,6 +91,8 @@ struct Args {
     rounds: usize,
     trace: bool,
     shards: Vec<usize>,
+    state_ab: bool,
+    keys: u64,
 }
 
 fn parse_args() -> Args {
@@ -113,6 +116,8 @@ fn parse_args() -> Args {
         rounds: 3,
         trace: false,
         shards: Vec::new(),
+        state_ab: false,
+        keys: 100_000,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -130,6 +135,10 @@ fn parse_args() -> Args {
         }
         if flag == "--trace" {
             args.trace = true;
+            continue;
+        }
+        if flag == "--state-ab" {
+            args.state_ab = true;
             continue;
         }
         let value = it.next().unwrap_or_else(|| {
@@ -175,6 +184,7 @@ fn parse_args() -> Args {
                     .collect();
             }
             "--rounds" => args.rounds = value.parse().unwrap_or_else(|_| bad("count")),
+            "--keys" => args.keys = value.parse().unwrap_or_else(|_| bad("count")),
             "--shards" => {
                 args.shards = value
                     .split(',')
@@ -192,7 +202,8 @@ fn parse_args() -> Args {
                      [--workers N] [--batch-size N] [--reps R] \
                      | --connections 64,512,4096 [--rounds N] \
                      | --trace [--appends N] [--payload BYTES] [--reps R] \
-                     | --shards 1,2,4 [--appends N] [--payload BYTES]"
+                     | --shards 1,2,4 [--appends N] [--payload BYTES] \
+                     | --state-ab [--keys N] [--appends N] [--payload BYTES]"
                 );
                 std::process::exit(2);
             }
@@ -299,7 +310,7 @@ fn run_config(args: &Args, clients: usize, batch: bool, admission: Admission) ->
     );
     let dir = temp_dir(&tag);
     let (registry, alice) = registry();
-    let config = LedgerConfig { block_size: 64, fam_delta: 20, name: format!("loadgen-{tag}") };
+    let config = LedgerConfig { block_size: 64, fam_delta: 20, name: format!("loadgen-{tag}"), state_backend: Default::default() };
     // One registry per sweep cell: the scraped exposition covers exactly
     // this configuration's traffic.
     let telemetry = Arc::new(Registry::new());
@@ -524,7 +535,7 @@ fn read_mix_cell(args: &Args, snapshot_reads: bool) -> ReadMixRow {
     let dir = temp_dir(&tag);
     let (registry, alice) = registry();
     let telemetry = Arc::new(Registry::new());
-    let config = LedgerConfig { block_size: 64, fam_delta: 15, name: format!("loadgen-{tag}") };
+    let config = LedgerConfig { block_size: 64, fam_delta: 15, name: format!("loadgen-{tag}"), state_backend: Default::default() };
     // Per-append fsync and no batcher: every writer append holds the
     // ledger write lock across the disk barrier — exactly the stall the
     // snapshot path exists to take readers out of.
@@ -701,7 +712,7 @@ fn pipeline_cell(args: &Args, workers: usize, requests: &[TxRequest]) -> Pipelin
     let dir = temp_dir(&tag);
     let (registry, _) = registry();
     let telemetry = Arc::new(Registry::new());
-    let config = LedgerConfig { block_size: 64, fam_delta: 20, name: format!("loadgen-{tag}") };
+    let config = LedgerConfig { block_size: 64, fam_delta: 20, name: format!("loadgen-{tag}"), state_backend: Default::default() };
     let (ledger, _) = open_durable_with(
         config,
         registry,
@@ -870,7 +881,7 @@ fn shard_cell(args: &Args, k: usize) -> ShardRow {
         let (registry, _) = registry();
         let telemetry = Arc::new(Registry::new());
         let config =
-            LedgerConfig { block_size: 64, fam_delta: 20, name: "loadgen-shards".into() };
+            LedgerConfig { block_size: 64, fam_delta: 20, name: "loadgen-shards".into(), state_backend: Default::default() };
         let (ledger, _) = open_durable_with(
             config,
             registry,
@@ -1015,6 +1026,199 @@ fn run_shards(args: &Args) {
     }
 }
 
+/// One state-backend A/B cell: a direct `WorldState` microbench at
+/// `--keys` entries (witness size, proof build, verify) plus an
+/// in-process ledger append leg whose per-backend histograms are
+/// scraped back out of the telemetry registry.
+struct StateRow {
+    backend: StateBackend,
+    keys: u64,
+    insert: Duration,
+    root: Duration,
+    sampled: usize,
+    witness_bytes_mean: f64,
+    witness_bytes_p95: u64,
+    proof_build_mean: Duration,
+    verify_mean: Duration,
+    appends: u64,
+    append_elapsed: Duration,
+    /// `ledger_seal_state_seconds_sum` scraped after the append leg —
+    /// the state-commitment leg of the seal pipeline.
+    seal_state_s: f64,
+    /// Mean of `ledger_proof_bytes{backend=…}` scraped off /metrics
+    /// text — proves the labeled exposition path end to end.
+    scraped_proof_bytes_mean: f64,
+}
+
+impl StateRow {
+    fn appends_per_sec(&self) -> f64 {
+        self.appends as f64 / self.append_elapsed.as_secs_f64()
+    }
+
+    fn print(&self) {
+        println!(
+            "{{\"bench\":\"state_ab\",\"backend\":\"{}\",\"keys\":{},\
+             \"insert_s\":{:.3},\"root_s\":{:.3},\"sampled\":{},\
+             \"witness_bytes_mean\":{:.1},\"witness_bytes_p95\":{},\
+             \"proof_build_us_mean\":{:.2},\"verify_us_mean\":{:.2},\
+             \"appends\":{},\"append_elapsed_s\":{:.3},\"appends_per_sec\":{:.1},\
+             \"seal_state_s\":{:.4},\"scraped_proof_bytes_mean\":{:.1}}}",
+            self.backend,
+            self.keys,
+            self.insert.as_secs_f64(),
+            self.root.as_secs_f64(),
+            self.sampled,
+            self.witness_bytes_mean,
+            self.witness_bytes_p95,
+            self.proof_build_mean.as_secs_f64() * 1e6,
+            self.verify_mean.as_secs_f64() * 1e6,
+            self.appends,
+            self.append_elapsed.as_secs_f64(),
+            self.appends_per_sec(),
+            self.seal_state_s,
+            self.scraped_proof_bytes_mean,
+        );
+    }
+}
+
+fn state_cell(args: &Args, backend: StateBackend) -> StateRow {
+    use ledgerdb_crypto::sha256::sha256;
+    use ledgerdb_crypto::wire::Wire;
+
+    // ── Microbench leg: the commitment structure alone, 10^5+ keys. ──
+    let mut world = WorldState::new(backend);
+    let t = Instant::now();
+    for i in 0..args.keys {
+        let key = format!("acct-{i:08}");
+        world.insert_kv(key.as_bytes(), sha256(&i.to_be_bytes()).0.to_vec());
+    }
+    let insert = t.elapsed();
+    let t = Instant::now();
+    let root = world.commitment_root();
+    let root_elapsed = t.elapsed();
+
+    // Sample spread across the keyspace, plus absences: both proof
+    // shapes contribute to the witness-size story.
+    let mut sizes = Vec::new();
+    let mut build = Duration::ZERO;
+    let mut verify = Duration::ZERO;
+    let samples = 512.min(args.keys as usize);
+    for s in 0..samples {
+        let present = s % 8 != 7;
+        let key = if present {
+            format!("acct-{:08}", (s as u64 * args.keys / samples as u64) % args.keys)
+        } else {
+            format!("ghost-{s:08}")
+        };
+        let t = Instant::now();
+        let proof = world.prove_kv(key.as_bytes());
+        build += t.elapsed();
+        sizes.push(proof.to_wire().len() as u64);
+        let t = Instant::now();
+        let value = verify_state_proof(&root, &proof).expect("fresh proof verifies");
+        verify += t.elapsed();
+        assert_eq!(value.is_some(), present, "sample {s}: proven presence matches");
+    }
+    sizes.sort_unstable();
+    let witness_bytes_mean = sizes.iter().sum::<u64>() as f64 / sizes.len() as f64;
+    let witness_bytes_p95 = sizes[(sizes.len() * 95 / 100).min(sizes.len() - 1)];
+
+    // ── Append leg: the full ledger with this backend underneath. ──
+    let (registry, alice) = registry();
+    let config = LedgerConfig {
+        block_size: 64,
+        fam_delta: 20,
+        name: format!("loadgen-state-{backend}"),
+        state_backend: backend,
+    };
+    let telemetry = Arc::new(Registry::new());
+    let mut ledger = LedgerDb::new(config, registry);
+    ledger.bind_metrics(&telemetry);
+    let shared = SharedLedger::new(ledger);
+    let mut rng = XorShift::new(17);
+    let t = Instant::now();
+    for i in 0..args.appends {
+        let clue = format!("acct-{}", rng.next_u64() % 512);
+        shared
+            .append_preverified(TxRequest::signed(&alice, rng.payload(args.payload), vec![clue], i))
+            .expect("append");
+    }
+    shared.seal_block();
+    let append_elapsed = t.elapsed();
+
+    // Drive the labeled per-backend histograms, then scrape them back
+    // out of the rendered exposition — the same text /metrics serves.
+    let state_root = shared.state_root();
+    for i in 0..64u64 {
+        let proof = shared.prove_state(&format!("acct-{}", i * 8));
+        shared
+            .with_read(|l| l.verify_state_timed(&state_root, &proof).map(|v| v.map(<[u8]>::to_vec)))
+            .expect("state proof verifies");
+    }
+    let text = ledgerdb_telemetry::render(&telemetry);
+    let scraped = |token: &str| parse_value(&text, token).unwrap_or(0.0);
+    let label = format!("{{backend=\"{backend}\"}}");
+    let count = scraped(&format!("ledger_proof_bytes_count{label}"));
+    assert!(count >= 64.0, "per-backend proof-bytes histogram scraped from exposition");
+    let scraped_proof_bytes_mean =
+        if count > 0.0 { scraped(&format!("ledger_proof_bytes_sum{label}")) / count } else { 0.0 };
+    assert!(
+        scraped(&format!("ledger_verify_seconds_count{label}")) >= 64.0,
+        "per-backend verify histogram scraped from exposition"
+    );
+
+    StateRow {
+        backend,
+        keys: args.keys,
+        insert,
+        root: root_elapsed,
+        sampled: samples,
+        witness_bytes_mean,
+        witness_bytes_p95,
+        proof_build_mean: build / samples as u32,
+        verify_mean: verify / samples as u32,
+        appends: args.appends,
+        append_elapsed,
+        seal_state_s: scraped("ledger_seal_state_seconds_sum"),
+        scraped_proof_bytes_mean,
+    }
+}
+
+fn run_state_ab(args: &Args) {
+    eprintln!(
+        "loadgen: state-backend A/B — {} keys microbench + {} append leg per backend",
+        args.keys, args.appends
+    );
+    let mpt = state_cell(args, StateBackend::Mpt);
+    mpt.print();
+    let bin = state_cell(args, StateBackend::Bin);
+    bin.print();
+
+    let witness_ratio = mpt.witness_bytes_mean / bin.witness_bytes_mean;
+    let verify_ratio = mpt.verify_mean.as_secs_f64() / bin.verify_mean.as_secs_f64().max(1e-12);
+    let append_delta_pct =
+        (mpt.appends_per_sec() - bin.appends_per_sec()) / mpt.appends_per_sec() * 100.0;
+    println!(
+        "{{\"bench\":\"state_ab_summary\",\"keys\":{},\"witness_ratio\":{:.2},\
+         \"verify_ratio\":{:.2},\"append_delta_pct\":{:.2},\
+         \"mpt_witness_bytes_mean\":{:.1},\"bin_witness_bytes_mean\":{:.1}}}",
+        args.keys, witness_ratio, verify_ratio, append_delta_pct,
+        mpt.witness_bytes_mean, bin.witness_bytes_mean,
+    );
+    eprintln!(
+        "loadgen: binary witnesses {witness_ratio:.2}x smaller \
+         ({:.0} B vs {:.0} B mean at {} keys); verify {verify_ratio:.2}x; \
+         append delta {append_delta_pct:+.1}% (wall-clock meaningful only with >1 core)",
+        bin.witness_bytes_mean, mpt.witness_bytes_mean, args.keys,
+    );
+    // Structural acceptance: witness compression is a property of the
+    // trie shapes, not of machine speed — gate it here, always.
+    assert!(
+        witness_ratio >= 4.0,
+        "binary witnesses must be >=4x smaller than MPT witnesses, got {witness_ratio:.2}x"
+    );
+}
+
 /// One event-loop concurrency cell: `connections` sockets held open
 /// simultaneously while every one of them is driven through `rounds`
 /// request round trips.
@@ -1074,7 +1278,7 @@ fn connections_cell(args: &Args, n: usize) -> ConnRow {
 
     let (registry, alice) = registry();
     let config =
-        LedgerConfig { block_size: 64, fam_delta: 20, name: format!("loadgen-conn-{n}") };
+        LedgerConfig { block_size: 64, fam_delta: 20, name: format!("loadgen-conn-{n}"), state_backend: Default::default() };
     let telemetry = Arc::new(Registry::new());
     let mut ledger = LedgerDb::new(config, registry);
     ledger.bind_metrics(&telemetry);
@@ -1231,7 +1435,7 @@ fn run_trace(args: &Args) {
     let dir = temp_dir("trace");
     let (registry, alice) = registry();
     let config =
-        LedgerConfig { block_size: 64, fam_delta: 20, name: "loadgen-trace".into() };
+        LedgerConfig { block_size: 64, fam_delta: 20, name: "loadgen-trace".into(), state_backend: Default::default() };
     let telemetry = Arc::new(Registry::new());
     let (ledger, _) = open_durable_with(
         config,
@@ -1397,6 +1601,10 @@ fn run_trace(args: &Args) {
 
 fn main() {
     let args = parse_args();
+    if args.state_ab {
+        run_state_ab(&args);
+        return;
+    }
     if args.trace {
         run_trace(&args);
         return;

@@ -84,6 +84,7 @@ fn run_pipelined(
         block_size: u64::MAX, // no auto-seal: the seal stage is explicit
         fam_delta: 15,
         name: "prof-append".into(),
+        state_backend: Default::default(),
     };
     let (ledger, _) = open_durable_with(
         config,
@@ -151,7 +152,7 @@ fn run_baseline(requests: &[TxRequest], dir: &std::path::Path) -> (f64, u64, u64
     let registry = Arc::new(Registry::new());
     let seed = BenchLedger::new(4, 4);
     let config =
-        LedgerConfig { block_size: u64::MAX, fam_delta: 15, name: "prof-append-base".into() };
+        LedgerConfig { block_size: u64::MAX, fam_delta: 15, name: "prof-append-base".into(), state_backend: Default::default() };
     let (ledger, _) = open_durable_with(
         config,
         seed.ledger.registry().clone(),

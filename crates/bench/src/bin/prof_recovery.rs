@@ -36,7 +36,7 @@ fn registry() -> (MemberRegistry, KeyPair) {
 }
 
 fn config() -> LedgerConfig {
-    LedgerConfig { block_size: 256, fam_delta: 15, name: "prof-recovery".into() }
+    LedgerConfig { block_size: 256, fam_delta: 15, name: "prof-recovery".into(), state_backend: Default::default() }
 }
 
 fn requests(alice: &KeyPair, n: u64, payload_len: usize) -> Vec<TxRequest> {

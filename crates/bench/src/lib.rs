@@ -83,7 +83,7 @@ impl BenchLedger {
         registry
             .register(ca.issue("regulator", Role::Regulator, regulator.public()))
             .unwrap();
-        let config = LedgerConfig { block_size, fam_delta, name: "bench".into() };
+        let config = LedgerConfig { block_size, fam_delta, name: "bench".into(), state_backend: Default::default() };
         BenchLedger { ledger: LedgerDb::new(config, registry), alice, dba, regulator }
     }
 

@@ -1,0 +1,185 @@
+//! Binary-trie witnesses: one truncated sibling link per level, branch
+//! positions packed into a 256-bit bitmap, inclusion and absence in
+//! one shape.
+
+use crate::trie::{branch_hash, leaf_hash, link, path_bit, route, LINK_LEN, PATH_BITS};
+use crate::BinTrieError;
+use ledgerdb_crypto::digest::Digest;
+
+/// A witness that routing `sha256(key)` through the committed trie
+/// terminates at `leaf`.
+///
+/// * **Inclusion** — `leaf` holds the queried key itself.
+/// * **Absence** — `leaf` holds a *different* key (the one occupying
+///   the queried key's routing slot), or is `None` for the empty trie.
+///
+/// `bitmap` marks which of the 256 routing-bit indices have a branch
+/// on the path; `siblings` carries one [`LINK_LEN`]-byte link per set
+/// bit, root-to-leaf. The verifier re-derives each direction from
+/// `sha256(key)`, so a proof transplanted onto another path cannot
+/// reproduce the root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinProof {
+    /// The queried key.
+    pub key: Vec<u8>,
+    /// The `(key, value)` of the leaf reached by routing; `None` only
+    /// for the empty trie.
+    pub leaf: Option<(Vec<u8>, Vec<u8>)>,
+    /// 256-bit MSB-first bitmap of branch split positions on the path.
+    pub bitmap: [u8; 32],
+    /// One truncated sibling link per set bitmap bit, root-to-leaf.
+    pub siblings: Vec<[u8; LINK_LEN]>,
+}
+
+impl BinProof {
+    /// The proven value: `Some` when this is an inclusion proof for
+    /// `key`, `None` when it demonstrates absence.
+    pub fn value(&self) -> Option<&[u8]> {
+        match &self.leaf {
+            Some((k, v)) if *k == self.key => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// Whether this witness claims the key is present.
+    pub fn is_inclusion(&self) -> bool {
+        self.value().is_some()
+    }
+
+    /// Branch split positions in root-to-leaf (ascending) order.
+    pub(crate) fn set_bits(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..PATH_BITS).filter(|&i| self.bitmap[(i / 8) as usize] >> (7 - (i % 8)) & 1 == 1)
+    }
+}
+
+/// Verify a [`BinProof`] against a trusted root. On success returns
+/// the proven value (`None` = verified absence).
+pub fn verify_bin_proof<'a>(
+    root: &Digest,
+    proof: &'a BinProof,
+) -> Result<Option<&'a [u8]>, BinTrieError> {
+    let Some((leaf_key, leaf_value)) = &proof.leaf else {
+        // Empty-trie absence: nothing on the path, nothing beside it.
+        if !proof.siblings.is_empty() || proof.bitmap != [0u8; 32] {
+            return Err(BinTrieError::MalformedProof("empty-trie proof carries path data"));
+        }
+        if *root != Digest::ZERO {
+            return Err(BinTrieError::ProofMismatch);
+        }
+        return Ok(None);
+    };
+    let set: Vec<u32> = proof.set_bits().collect();
+    if set.len() != proof.siblings.len() {
+        return Err(BinTrieError::MalformedProof("bitmap popcount != sibling count"));
+    }
+    let path = route(&proof.key);
+    if leaf_key != &proof.key {
+        // Absence leg: the resident leaf must genuinely occupy the
+        // queried key's routing slot, i.e. agree with it on every
+        // branch bit of the path. Without this the hash chain below
+        // would still fail (directions enter the parent hashes), but
+        // checking here turns a subtle mismatch into a typed error.
+        let resident = route(leaf_key);
+        for &bit in &set {
+            if path_bit(&resident, bit) != path_bit(&path, bit) {
+                return Err(BinTrieError::MalformedProof("absence leaf off the key's path"));
+            }
+        }
+    }
+    // Chain bottom-up: deepest branch combines the leaf, shallower
+    // branches combine the running subtree; the final full hash must
+    // equal the trusted root.
+    let mut cur = leaf_hash(leaf_key, leaf_value);
+    for (&bit, sibling) in set.iter().rev().zip(proof.siblings.iter().rev()) {
+        let own = link(&cur);
+        cur = if path_bit(&path, bit) {
+            branch_hash(bit, sibling, &own)
+        } else {
+            branch_hash(bit, &own, sibling)
+        };
+    }
+    if cur != *root {
+        return Err(BinTrieError::ProofMismatch);
+    }
+    Ok(proof.value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trie::BinTrie;
+
+    fn populated(n: u64) -> BinTrie {
+        let mut t = BinTrie::new();
+        for i in 0..n {
+            t.insert(format!("key-{i}").as_bytes(), format!("value-{i}").into_bytes());
+        }
+        t
+    }
+
+    #[test]
+    fn inclusion_round_trip() {
+        let t = populated(300);
+        let root = t.root_hash();
+        for i in [0u64, 7, 150, 299] {
+            let proof = t.prove(format!("key-{i}").as_bytes());
+            assert!(proof.is_inclusion());
+            let value = verify_bin_proof(&root, &proof).unwrap();
+            assert_eq!(value, Some(format!("value-{i}").as_bytes()));
+        }
+    }
+
+    #[test]
+    fn absence_round_trip() {
+        let t = populated(300);
+        let root = t.root_hash();
+        for probe in ["missing", "key-300", "zzz"] {
+            let proof = t.prove(probe.as_bytes());
+            assert!(!proof.is_inclusion());
+            assert_eq!(verify_bin_proof(&root, &proof).unwrap(), None);
+        }
+        // Empty trie: trivially absent.
+        let empty = BinTrie::new();
+        let proof = empty.prove(b"anything");
+        assert_eq!(verify_bin_proof(&empty.root_hash(), &proof).unwrap(), None);
+    }
+
+    #[test]
+    fn tampered_proofs_fail() {
+        let t = populated(64);
+        let root = t.root_hash();
+        let good = t.prove(b"key-9");
+
+        let mut tampered = good.clone();
+        tampered.leaf.as_mut().unwrap().1 = b"forged".to_vec();
+        assert!(verify_bin_proof(&root, &tampered).is_err());
+
+        let mut tampered = good.clone();
+        if let Some(s) = tampered.siblings.first_mut() {
+            s[0] ^= 1;
+        }
+        assert!(verify_bin_proof(&root, &tampered).is_err());
+
+        let mut tampered = good.clone();
+        tampered.bitmap[31] ^= 1;
+        assert!(verify_bin_proof(&root, &tampered).is_err());
+
+        // Replaying a valid proof against a different root fails.
+        let other = populated(65).root_hash();
+        assert!(verify_bin_proof(&other, &good).is_err());
+
+        // Claiming a different key on a valid path fails.
+        let mut tampered = good.clone();
+        tampered.key = b"key-10".to_vec();
+        assert!(verify_bin_proof(&root, &tampered).is_err());
+    }
+
+    #[test]
+    fn witness_is_one_sibling_per_level() {
+        let t = populated(1000);
+        let proof = t.prove(b"key-500");
+        // ~log2(1000) ≈ 10 levels; each costs LINK_LEN bytes.
+        assert!(proof.siblings.len() < 32, "path unexpectedly deep");
+        assert_eq!(proof.siblings.len(), proof.set_bits().count());
+    }
+}

@@ -1,0 +1,92 @@
+//! Compact wire codec for [`BinProof`]: the sibling count is implied
+//! by the bitmap popcount, so the encoding is exactly
+//! `key · leaf-option · 32-byte bitmap · popcount × LINK_LEN bytes`.
+
+use crate::proof::BinProof;
+use crate::trie::LINK_LEN;
+use ledgerdb_crypto::wire::{Reader, Wire, WireError};
+
+impl Wire for BinProof {
+    fn encode(&self, w: &mut ledgerdb_crypto::wire::Writer) {
+        w.put_bytes(&self.key);
+        match &self.leaf {
+            Some((k, v)) => {
+                w.put_u8(1);
+                w.put_bytes(k);
+                w.put_bytes(v);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_raw(&self.bitmap);
+        for s in &self.siblings {
+            w.put_raw(s);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let key = r.get_bytes()?;
+        let leaf = match r.get_u8()? {
+            0 => None,
+            1 => Some((r.get_bytes()?, r.get_bytes()?)),
+            t => return Err(WireError::BadTag(t)),
+        };
+        let mut bitmap = [0u8; 32];
+        bitmap.copy_from_slice(r.get_raw(32)?);
+        let count = bitmap.iter().map(|b| b.count_ones() as usize).sum();
+        let mut siblings = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut s = [0u8; LINK_LEN];
+            s.copy_from_slice(r.get_raw(LINK_LEN)?);
+            siblings.push(s);
+        }
+        Ok(BinProof { key, leaf, bitmap, siblings })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trie::BinTrie;
+    use crate::verify_bin_proof;
+
+    #[test]
+    fn proof_round_trip_verifies() {
+        let mut t = BinTrie::new();
+        for i in 0..200u64 {
+            t.insert(format!("k{i}").as_bytes(), format!("v{i}").into_bytes());
+        }
+        let root = t.root_hash();
+        for probe in ["k7", "k199", "absent"] {
+            let proof = t.prove(probe.as_bytes());
+            let bytes = proof.to_wire();
+            let decoded = BinProof::from_wire(&bytes).unwrap();
+            assert_eq!(decoded, proof);
+            assert_eq!(
+                verify_bin_proof(&root, &decoded).unwrap(),
+                verify_bin_proof(&root, &proof).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut t = BinTrie::new();
+        t.insert(b"a", b"1".to_vec());
+        t.insert(b"b", b"2".to_vec());
+        let bytes = t.prove(b"a").to_wire();
+        for cut in 0..bytes.len() {
+            assert!(BinProof::from_wire(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut t = BinTrie::new();
+        t.insert(b"a", b"1".to_vec());
+        let mut bytes = t.prove(b"a").to_wire();
+        // The leaf-option tag sits right after the length-prefixed key.
+        let tag_at = 8 + 1; // u64 len + "a"
+        bytes[tag_at] = 9;
+        assert!(BinProof::from_wire(&bytes).is_err());
+    }
+}

@@ -32,7 +32,7 @@ use ledgerdb_clue::csl::ClueSkipList;
 use ledgerdb_crypto::digest::Digest;
 use ledgerdb_crypto::sha256::Sha256;
 use ledgerdb_crypto::wire::{Reader, Wire, WireError, Writer};
-use ledgerdb_mpt::Mpt;
+use crate::state::{StateBackend, StateCommitment, WorldState};
 use ledgerdb_storage::checkpoint::{CheckpointStore, CkptIo};
 use ledgerdb_storage::occult_index::OccultIndex;
 
@@ -229,7 +229,7 @@ pub(crate) fn write_checkpoint(
         ("blocks".to_string(), ledger.blocks.to_wire()),
         ("fam".to_string(), encode_fam(&ledger.fam.export_parts())),
         ("cm".to_string(), encode_cm(&ledger.cm_tree.export_parts())),
-        ("state".to_string(), ledger.world_state.entries().to_wire()),
+        ("state".to_string(), ledger.world_state.canonical_entries().to_wire()),
         ("aux".to_string(), encode_aux(&aux)),
     ];
     let ledger_id = ledger.id;
@@ -238,7 +238,7 @@ pub(crate) fn write_checkpoint(
     let info = LedgerInfo {
         journal_root: ledger.fam.root(),
         clue_root: ledger.cm_tree.root(),
-        state_root: ledger.world_state.root_hash(),
+        state_root: ledger.world_state.commitment_root(),
     };
     let (snapshot_id, bytes) = store.publish(
         &segments,
@@ -269,7 +269,7 @@ pub(crate) struct LoadedCheckpoint {
     pub fam: FamTree,
     pub cm_tree: CmTree,
     pub csl: ClueSkipList,
-    pub world_state: Mpt,
+    pub world_state: WorldState,
     pub occult_index: OccultIndex,
     pub pseudo_genesis: Option<PseudoGenesis>,
     pub survival: Vec<(u64, Vec<u8>)>,
@@ -290,6 +290,7 @@ pub(crate) fn load_checkpoint(
     store: &CheckpointStore,
     expected_id: &Digest,
     expected_delta: u32,
+    state_backend: StateBackend,
 ) -> Result<Option<LoadedCheckpoint>, LedgerError> {
     let Some((snapshot_id, manifest_bytes)) = store.load_head()? else {
         return Ok(None);
@@ -377,14 +378,18 @@ pub(crate) fn load_checkpoint(
         .map_err(|e| LedgerError::Recovery(format!("checkpoint fam rejected: {e}")))?;
     let cm_tree = CmTree::from_parts(cm_parts)
         .map_err(|e| LedgerError::Recovery(format!("checkpoint cm-tree rejected: {e}")))?;
-    let mut world_state = Mpt::new();
+    // The segment is backend-independent (canonical sorted pairs);
+    // the configured backend decides which commitment re-derives — and
+    // must reproduce the manifest roots, so a checkpoint written under
+    // a different backend is rejected rather than silently re-rooted.
+    let mut world_state = WorldState::new(state_backend);
     for (key, value) in &state_entries {
-        world_state.insert(key, value.clone());
+        world_state.insert_kv(key, value.clone());
     }
     let info = LedgerInfo {
         journal_root: fam.root(),
         clue_root: cm_tree.root(),
-        state_root: world_state.root_hash(),
+        state_root: world_state.commitment_root(),
     };
     if info != manifest.info {
         return Err(LedgerError::Recovery(
@@ -465,7 +470,7 @@ impl LedgerDb {
         }
         h.update(&self.fam.root().0);
         h.update(&self.cm_tree.root().0);
-        h.update(&self.world_state.root_hash().0);
+        h.update(&self.world_state.commitment_root().0);
         for root in self.fam.sealed_roots() {
             h.update(&root.0);
         }
@@ -523,7 +528,12 @@ mod tests {
     }
 
     fn config(block_size: u64) -> LedgerConfig {
-        LedgerConfig { block_size, fam_delta: 4, name: "ckpt-test".into() }
+        LedgerConfig {
+            block_size,
+            fam_delta: 4,
+            name: "ckpt-test".into(),
+            state_backend: Default::default(),
+        }
     }
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {

@@ -10,6 +10,7 @@
 //! proofs entirely from local trusted state plus wire-encoded proof
 //! objects.
 
+use crate::state::StateProof;
 use crate::types::{Block, Receipt};
 use crate::LedgerError;
 use ledgerdb_accumulator::fam::{FamProof, FamTree, TrustedAnchor};
@@ -211,6 +212,25 @@ impl LedgerClient {
             LedgerError::Clue(ledgerdb_clue::ClueError::MalformedProof("undecodable clue proof"))
         })?;
         self.verify_clue(&proof)?;
+        Ok(proof)
+    }
+
+    /// Verify a state-commitment proof (inclusion or absence, either
+    /// backend) against the trusted state root from the newest verified
+    /// block. Returns the proven latest-payload digest bytes, or `None`
+    /// for verified absence.
+    pub fn verify_state<'a>(
+        &self,
+        proof: &'a StateProof,
+    ) -> Result<Option<&'a [u8]>, LedgerError> {
+        crate::state::verify_state_proof(&self.state_root, proof)
+    }
+
+    /// Verify a wire-encoded state proof; returns it for inspection.
+    pub fn verify_state_bytes(&self, bytes: &[u8]) -> Result<StateProof, LedgerError> {
+        let proof = StateProof::from_wire(bytes)
+            .map_err(|_| LedgerError::State("undecodable state proof".into()))?;
+        self.verify_state(&proof)?;
         Ok(proof)
     }
 

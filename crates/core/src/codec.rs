@@ -8,6 +8,7 @@
 //! tampered snapshot is rejected rather than silently loaded. Payloads
 //! are restored into the target stream store alongside.
 
+use crate::state::StateCommitment;
 use crate::ledger::LedgerDb;
 use crate::types::{Block, Journal, JournalKind, LedgerInfo, Receipt};
 use crate::LedgerError;
@@ -297,7 +298,7 @@ impl LedgerDb {
                 let snapshot_info = LedgerInfo {
                     journal_root: ledger.fam.root(),
                     clue_root: ledger.cm_tree.root(),
-                    state_root: ledger.world_state.root_hash(),
+                    state_root: ledger.world_state.commitment_root(),
                 };
                 let genesis_hash = crate::ledger::pseudo_genesis_hash(
                     &ledger.id,
@@ -337,7 +338,7 @@ impl LedgerDb {
             for clue in &journal.clues {
                 ledger.cm_tree.append(clue, jsn, tx_hash);
                 ledger.csl.append(clue, jsn);
-                ledger.world_state.insert(
+                ledger.world_state.insert_kv(
                     ledgerdb_clue::clue_key(clue).as_bytes(),
                     journal.payload_digest.0.to_vec(),
                 );
@@ -352,7 +353,7 @@ impl LedgerDb {
                     let expected_roots = LedgerInfo {
                         journal_root: ledger.fam.root(),
                         clue_root: ledger.cm_tree.root(),
-                        state_root: ledger.world_state.root_hash(),
+                        state_root: ledger.world_state.commitment_root(),
                     };
                     if block.info != expected_roots {
                         return Err(LedgerError::AuditFailed(format!(

@@ -49,6 +49,8 @@ pub enum LedgerError {
     /// anchor the client cannot verify, or a composed proof that names
     /// state outside the verified mirror.
     Shard(String),
+    /// A world-state witness failed verification or was malformed.
+    State(String),
 }
 
 impl fmt::Display for LedgerError {
@@ -73,6 +75,7 @@ impl fmt::Display for LedgerError {
             LedgerError::BadReceipt => write!(f, "receipt failed verification"),
             LedgerError::TaskFailed(what) => write!(f, "pipeline task failed: {what}"),
             LedgerError::Shard(what) => write!(f, "shard failure: {what}"),
+            LedgerError::State(what) => write!(f, "state proof failure: {what}"),
         }
     }
 }

@@ -11,7 +11,8 @@ use ledgerdb_crypto::digest::Digest;
 use ledgerdb_crypto::keys::{KeyPair, PublicKey};
 use ledgerdb_crypto::multisig::MultiSignature;
 use ledgerdb_crypto::sha256::{sha256, Sha256};
-use ledgerdb_mpt::Mpt;
+use ledgerdb_crypto::Wire as _;
+use crate::state::{StateBackend, StateCommitment, StateProof, WorldState};
 use ledgerdb_storage::checkpoint::{CheckpointStore, CkptIo};
 use ledgerdb_storage::occult_index::OccultIndex;
 use ledgerdb_storage::stream::{MemoryStreamStore, StreamStore};
@@ -28,11 +29,22 @@ pub struct LedgerConfig {
     pub fam_delta: u32,
     /// Human-readable ledger name (mixed into the ledger id).
     pub name: String,
+    /// World-state commitment backend. The default ([`StateBackend::Mpt`])
+    /// is byte-identical to pre-trait ledgers; `Bin` opts into the
+    /// compact-witness binary trie. Never serialized: recovery re-reads
+    /// it from the operator's configuration, and checkpoint segments are
+    /// backend-independent.
+    pub state_backend: StateBackend,
 }
 
 impl Default for LedgerConfig {
     fn default() -> Self {
-        LedgerConfig { block_size: 16, fam_delta: 15, name: "ledger".to_string() }
+        LedgerConfig {
+            block_size: 16,
+            fam_delta: 15,
+            name: "ledger".to_string(),
+            state_backend: StateBackend::default(),
+        }
     }
 }
 
@@ -131,7 +143,7 @@ pub struct LedgerDb {
     pub(crate) fam: FamTree,
     pub(crate) cm_tree: CmTree,
     pub(crate) csl: ClueSkipList,
-    pub(crate) world_state: Mpt,
+    pub(crate) world_state: WorldState,
 
     pub(crate) occult_index: OccultIndex,
     pub(crate) survival: SurvivalStream,
@@ -184,6 +196,7 @@ impl LedgerDb {
     ) -> Self {
         let id = sha256(format!("ledgerdb:{}", config.name).as_bytes());
         let fam = FamTree::new(config.fam_delta);
+        let world_state = WorldState::new(config.state_backend);
         LedgerDb {
             id,
             config,
@@ -197,7 +210,7 @@ impl LedgerDb {
             fam,
             cm_tree: CmTree::new(),
             csl: ClueSkipList::new(),
-            world_state: Mpt::new(),
+            world_state,
             occult_index: OccultIndex::new(),
             survival: SurvivalStream::new(),
             pseudo_genesis: None,
@@ -459,7 +472,7 @@ impl LedgerDb {
 
     /// Current world-state root.
     pub fn state_root(&self) -> Digest {
-        self.world_state.root_hash()
+        self.world_state.commitment_root()
     }
 
     /// The pseudo genesis, if a purge has happened (Protocol 1's datum).
@@ -784,8 +797,10 @@ impl LedgerDb {
         for clue in &clues {
             self.cm_tree.append(clue, jsn, tx_hash);
             self.csl.append(clue, jsn);
-            self.world_state
-                .insert(ledgerdb_clue::clue_key(clue).as_bytes(), journal.payload_digest.0.to_vec());
+            self.world_state.insert_kv(
+                ledgerdb_clue::clue_key(clue).as_bytes(),
+                journal.payload_digest.0.to_vec(),
+            );
         }
         self.journals.push(journal);
         self.pending.push(jsn);
@@ -911,8 +926,8 @@ impl LedgerDb {
                     let _scope = scope.clone().map(trace::install);
                     let _leg = StageSpan::begin("seal_state");
                     let t = std::time::Instant::now();
-                    ws.hash_subtrees_with(pool);
-                    state_root = ws.root_hash();
+                    ws.warm_subtrees(pool);
+                    state_root = ws.commitment_root();
                     m.seal_state_seconds.observe_duration(t.elapsed());
                 });
             }),
@@ -932,7 +947,7 @@ impl LedgerDb {
                 {
                     let _leg = StageSpan::begin("seal_state");
                     let t = std::time::Instant::now();
-                    state_root = ws.root_hash();
+                    state_root = ws.commitment_root();
                     m.seal_state_seconds.observe_duration(t.elapsed());
                 }
             }
@@ -1193,7 +1208,7 @@ impl LedgerDb {
         let snapshot = LedgerInfo {
             journal_root: self.fam.root(),
             clue_root: self.cm_tree.root(),
-            state_root: self.world_state.root_hash(),
+            state_root: self.world_state.commitment_root(),
         };
         let genesis_hash = pseudo_genesis_hash(&self.id, purge_to, &snapshot);
 
@@ -1375,20 +1390,45 @@ impl LedgerDb {
         Ok((ack, targets))
     }
 
-    /// Produce a world-state proof: the latest payload digest recorded
-    /// under `clue`, proven against the current state root.
-    pub fn prove_state(&self, clue: &str) -> Result<ledgerdb_mpt::MptProof, LedgerError> {
-        self.world_state
-            .prove(ledgerdb_clue::clue_key(clue).as_bytes())
-            .map_err(|e| LedgerError::Clue(e.into()))
+    /// Produce a world-state witness for `clue`: the latest payload
+    /// digest recorded under it (inclusion), or a verifiable absence
+    /// statement, proven against the current state root.
+    pub fn prove_state(&self, clue: &str) -> StateProof {
+        let proof = self.world_state.prove_kv(ledgerdb_clue::clue_key(clue).as_bytes());
+        let (proof_bytes, _) = self.metrics.state_proof(self.state_backend());
+        proof_bytes.observe(proof.to_wire().len() as u64);
+        proof
     }
 
-    /// Verify a world-state proof against a trusted state root.
-    pub fn verify_state(
+    /// Which commitment backend anchors this ledger's world state.
+    pub fn state_backend(&self) -> StateBackend {
+        self.world_state.backend()
+    }
+
+    /// Verify a world-state witness against a trusted state root. On
+    /// success returns the proven payload digest bytes (`None` =
+    /// verified absence).
+    pub fn verify_state<'a>(
         state_root: &Digest,
-        proof: &ledgerdb_mpt::MptProof,
-    ) -> Result<(), LedgerError> {
-        ledgerdb_mpt::verify_proof(state_root, proof).map_err(|e| LedgerError::Clue(e.into()))
+        proof: &'a StateProof,
+    ) -> Result<Option<&'a [u8]>, LedgerError> {
+        crate::state::verify_state_proof(state_root, proof)
+    }
+
+    /// As [`LedgerDb::verify_state`], but records the verification
+    /// latency in `ledger_verify_seconds{backend="…"}` under the label
+    /// of the backend that built the proof (not necessarily this
+    /// ledger's own backend).
+    pub fn verify_state_timed<'a>(
+        &self,
+        state_root: &Digest,
+        proof: &'a StateProof,
+    ) -> Result<Option<&'a [u8]>, LedgerError> {
+        let start = std::time::Instant::now();
+        let result = Self::verify_state(state_root, proof);
+        let (_, verify_seconds) = self.metrics.state_proof(proof.backend());
+        verify_seconds.observe_duration(start.elapsed());
+        result
     }
 
     /// Produce a clue proof restricted to lineage versions `[lo, hi)`
@@ -1478,7 +1518,7 @@ pub(crate) mod tests {
             .unwrap();
         registry.register(ca.issue("alice", Role::User, alice.public())).unwrap();
         registry.register(ca.issue("bob", Role::User, bob.public())).unwrap();
-        let config = LedgerConfig { block_size, fam_delta: 4, name: "test".into() };
+        let config = LedgerConfig { block_size, fam_delta: 4, name: "test".into(), state_backend: Default::default() };
         let ledger = LedgerDb::new(config, registry);
         Fixture { ca, dba, regulator, alice, bob, ledger }
     }
@@ -1818,11 +1858,44 @@ pub(crate) mod tests {
         f.ledger.append(tx(&f.alice, b"v1", &["acct"], 0)).unwrap();
         f.ledger.append(tx(&f.alice, b"v2", &["acct"], 1)).unwrap();
         let state_root = f.ledger.state_root();
-        let proof = f.ledger.prove_state("acct").unwrap();
+        let proof = f.ledger.prove_state("acct");
         // The proven value is the *latest* payload digest.
-        assert_eq!(proof.value, sha256(b"v2").0.to_vec());
-        LedgerDb::verify_state(&state_root, &proof).unwrap();
-        assert!(f.ledger.prove_state("missing").is_err());
+        assert_eq!(proof.claimed_value(), Some(sha256(b"v2").0.as_slice()));
+        let value = LedgerDb::verify_state(&state_root, &proof).unwrap();
+        assert_eq!(value, Some(sha256(b"v2").0.as_slice()));
+        // Missing clues yield verifiable absence, not an error.
+        let absent = f.ledger.prove_state("missing");
+        assert_eq!(LedgerDb::verify_state(&state_root, &absent).unwrap(), None);
+    }
+
+    #[test]
+    fn state_proof_metrics_labeled_per_backend() {
+        let registry = ledgerdb_telemetry::Registry::new();
+        let mut f = fixture(4);
+        f.ledger.bind_metrics(&registry);
+        f.ledger.append(tx(&f.alice, b"v1", &["acct"], 0)).unwrap();
+        let state_root = f.ledger.state_root();
+        let proof = f.ledger.prove_state("acct");
+        f.ledger.verify_state_timed(&state_root, &proof).unwrap();
+
+        let text = ledgerdb_telemetry::render(&registry);
+        let label = f.ledger.state_backend();
+        let bytes = ledgerdb_telemetry::parse_value(
+            &text,
+            &format!("ledger_proof_bytes_count{{backend=\"{label}\"}}"),
+        );
+        assert_eq!(bytes, Some(1.0), "proof size observed under the backend label");
+        let verifies = ledgerdb_telemetry::parse_value(
+            &text,
+            &format!("ledger_verify_seconds_count{{backend=\"{label}\"}}"),
+        );
+        assert_eq!(verifies, Some(1.0), "verify latency observed under the backend label");
+        let size = ledgerdb_telemetry::parse_value(
+            &text,
+            &format!("ledger_proof_bytes_max{{backend=\"{label}\"}}"),
+        )
+        .unwrap();
+        assert!(size > 0.0, "recorded size is the non-empty wire encoding");
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod metrics;
 pub mod recovery;
 pub mod sharded;
 pub mod shared;
+pub mod state;
 pub mod snapshot;
 pub mod types;
 
@@ -43,5 +44,6 @@ pub use sharded::{
     ShardedLedger, MAX_SHARDS,
 };
 pub use shared::SharedLedger;
+pub use state::{verify_state_proof, StateBackend, StateCommitment, StateProof, WorldState};
 pub use snapshot::{ReadSnapshot, SnapshotHub};
 pub use types::{Block, Journal, JournalKind, LedgerInfo, Receipt, TxRequest, VerifyLevel};

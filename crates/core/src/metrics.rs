@@ -4,6 +4,7 @@
 //! registry unless rebound via [`crate::LedgerDb::bind_metrics`]).
 //! Recording is a couple of relaxed atomic ops on the append path.
 
+use crate::state::StateBackend;
 use ledgerdb_telemetry::{Counter, Gauge, Histogram, Registry, Unit};
 use std::sync::Arc;
 
@@ -59,10 +60,22 @@ pub struct CoreMetrics {
     /// `ledger_snapshot_age_ms` — age of the current snapshot at the
     /// last snapshot-served read (0 right after a publish).
     pub snapshot_age_ms: Arc<Gauge>,
+    /// `ledger_proof_bytes{backend="…"}` — wire-encoded size of each
+    /// state proof, labeled by the commitment backend that built it,
+    /// and `ledger_verify_seconds{backend="…"}` — state-proof
+    /// verification latency per backend. Indexed by
+    /// [`StateBackend`] discriminant so an A/B sweep reads both series
+    /// from one scrape.
+    pub state_proof_bytes: [Arc<Histogram>; 2],
+    pub state_verify_seconds: [Arc<Histogram>; 2],
 }
 
 impl CoreMetrics {
     pub fn bind(registry: &Registry) -> Self {
+        let per_backend = |base: &str, unit: Unit| -> [Arc<Histogram>; 2] {
+            [StateBackend::Mpt, StateBackend::Bin]
+                .map(|b| registry.histogram(&format!("{base}{{backend=\"{b}\"}}"), unit))
+        };
         CoreMetrics {
             appends: registry.counter("ledger_appends_total"),
             append_seconds: registry.histogram("ledger_append_seconds", Unit::Seconds),
@@ -85,7 +98,16 @@ impl CoreMetrics {
             snapshot_hits: registry.counter("ledger_snapshot_hit_total"),
             snapshot_fallbacks: registry.counter("ledger_snapshot_fallback_total"),
             snapshot_age_ms: registry.gauge("ledger_snapshot_age_ms"),
+            state_proof_bytes: per_backend("ledger_proof_bytes", Unit::Bytes),
+            state_verify_seconds: per_backend("ledger_verify_seconds", Unit::Seconds),
         }
+    }
+
+    /// The `(proof_bytes, verify_seconds)` histogram pair for one state
+    /// backend's label.
+    pub fn state_proof(&self, backend: StateBackend) -> (&Arc<Histogram>, &Arc<Histogram>) {
+        let i = backend as usize;
+        (&self.state_proof_bytes[i], &self.state_verify_seconds[i])
     }
 }
 

@@ -51,6 +51,7 @@
 //! invariants. Replay work is therefore bounded by the post-checkpoint
 //! tail, not the ledger's lifetime.
 
+use crate::state::StateCommitment;
 use crate::ledger::{LedgerConfig, LedgerDb, PseudoGenesis};
 use crate::member::MemberRegistry;
 use crate::types::{Block, Journal, JournalKind, LedgerInfo};
@@ -273,6 +274,7 @@ fn recover_with_checkpoint_inner(
                 ckpt_store,
                 &ledger.id,
                 ledger.config.fam_delta,
+                ledger.config.state_backend,
             )? {
                 Some(loaded) => {
                     let watermark =
@@ -455,7 +457,7 @@ fn replay_journal(ledger: &mut LedgerDb, journal: &Journal) -> Result<(), String
         let snapshot = LedgerInfo {
             journal_root: ledger.fam.root(),
             clue_root: ledger.cm_tree.root(),
-            state_root: ledger.world_state.root_hash(),
+            state_root: ledger.world_state.commitment_root(),
         };
         let genesis_hash = crate::ledger::pseudo_genesis_hash(&ledger.id, *purge_to, &snapshot);
         ledger.pseudo_genesis = Some(PseudoGenesis {
@@ -486,7 +488,7 @@ fn replay_journal(ledger: &mut LedgerDb, journal: &Journal) -> Result<(), String
         ledger.csl.append(clue, jsn);
         ledger
             .world_state
-            .insert(ledgerdb_clue::clue_key(clue).as_bytes(), journal.payload_digest.0.to_vec());
+            .insert_kv(ledgerdb_clue::clue_key(clue).as_bytes(), journal.payload_digest.0.to_vec());
     }
     ledger.journals.push(journal.clone());
     ledger.pending.push(jsn);
@@ -514,7 +516,7 @@ fn replay_seal(ledger: &mut LedgerDb, block: &Block) -> Result<(), String> {
     let expected_roots = LedgerInfo {
         journal_root: ledger.fam.root(),
         clue_root: ledger.cm_tree.root(),
-        state_root: ledger.world_state.root_hash(),
+        state_root: ledger.world_state.commitment_root(),
     };
     if block.info != expected_roots {
         return Err(format!("block {} roots do not replay", block.height));
@@ -637,7 +639,12 @@ mod tests {
     }
 
     fn config(block_size: u64) -> LedgerConfig {
-        LedgerConfig { block_size, fam_delta: 4, name: "recovery-test".into() }
+        LedgerConfig {
+            block_size,
+            fam_delta: 4,
+            name: "recovery-test".into(),
+            state_backend: Default::default(),
+        }
     }
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {

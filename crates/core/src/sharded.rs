@@ -545,6 +545,7 @@ mod tests {
                     block_size,
                     fam_delta: 15,
                     name: "shard-test".into(),
+                    state_backend: Default::default(),
                 };
                 SharedLedger::new(LedgerDb::new(config, registry))
             })

@@ -12,6 +12,7 @@
 
 use crate::ledger::{AppendAck, LedgerDb, OccultMode};
 use crate::snapshot::{ReadSnapshot, SnapshotHub};
+use crate::state::{StateBackend, StateProof};
 use crate::types::{Block, Journal, Receipt, TxRequest, VerifyLevel};
 use crate::LedgerError;
 use ledgerdb_accumulator::fam::{FamProof, TrustedAnchor};
@@ -404,6 +405,49 @@ impl SharedLedger {
         self.inner.read().prove_existence(jsn, anchor)
     }
 
+    /// Batched [`SharedLedger::prove_existence`] with *hoisted*
+    /// resolution: the snapshot is loaded and checked once for the
+    /// whole batch, and on the fallback the read lock is acquired once
+    /// — the per-item closure no longer re-resolves either. A batch
+    /// fully covered by a provable snapshot is served lock-free,
+    /// fanned out across `pool` when one is given (a panicking item
+    /// surfaces positionally as [`LedgerError::TaskFailed`]). Results
+    /// are positional.
+    pub fn prove_existence_batch(
+        &self,
+        jsns: &[u64],
+        anchor: &TrustedAnchor,
+        pool: Option<&ledgerdb_pool::Pool>,
+    ) -> Vec<Result<(Digest, FamProof), LedgerError>> {
+        if self.hub.reads_enabled() {
+            let snap = self.hub.load();
+            if snap.can_prove() && jsns.iter().all(|&jsn| snap.covers(jsn)) {
+                self.hub.note_hit(&snap);
+                if let Some(pool) = pool {
+                    // Worker spans carry the request's scope across the
+                    // fan-out, exactly as the pipelined append path.
+                    let scope = trace::current_scope();
+                    return pool
+                        .try_map(jsns, |_, &jsn| {
+                            let _scope = scope.clone().map(trace::install);
+                            let _span = StageSpan::begin("proof_task");
+                            snap.prove_existence(jsn, anchor)
+                        })
+                        .into_iter()
+                        .map(|slot| match slot {
+                            Ok(result) => result,
+                            Err(panic) => Err(LedgerError::TaskFailed(panic.message)),
+                        })
+                        .collect();
+                }
+                return jsns.iter().map(|&jsn| snap.prove_existence(jsn, anchor)).collect();
+            }
+            self.hub.note_fallback(&snap);
+        }
+        let inner = self.inner.read();
+        jsns.iter().map(|&jsn| inner.prove_existence(jsn, anchor)).collect()
+    }
+
     /// Verify an existence proof. Server level needs only the sealed
     /// journal record; client level checks against the snapshot's root.
     pub fn verify_existence(
@@ -427,6 +471,24 @@ impl SharedLedger {
     /// only by root).
     pub fn prove_clue(&self, clue: &str) -> Result<ClueProof, LedgerError> {
         self.inner.read().prove_clue(clue)
+    }
+
+    /// Produce a state-commitment proof for a clue: inclusion when the
+    /// clue has a committed latest-payload digest, verifiable absence
+    /// otherwise. Always locked — the world state lives only on the
+    /// live ledger; snapshots summarize it by root.
+    pub fn prove_state(&self, clue: &str) -> StateProof {
+        self.inner.read().prove_state(clue)
+    }
+
+    /// The current state-commitment root.
+    pub fn state_root(&self) -> Digest {
+        self.inner.read().state_root()
+    }
+
+    /// The state-commitment backend this ledger was configured with.
+    pub fn state_backend(&self) -> StateBackend {
+        self.inner.read().state_backend()
     }
 
     /// List a clue's jsns. Served from the snapshot only when no

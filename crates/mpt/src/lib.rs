@@ -24,7 +24,7 @@ pub mod trie;
 pub mod wire;
 
 pub use node::Node;
-pub use proof::{verify_proof, MptProof};
+pub use proof::{verify_absence, verify_proof, MptAbsenceProof, MptProof};
 pub use trie::Mpt;
 
 use std::fmt;
@@ -38,6 +38,8 @@ pub enum MptError {
     MalformedProof(&'static str),
     /// Key absent where presence was required.
     KeyNotFound,
+    /// Key present where absence was required.
+    KeyPresent,
 }
 
 impl fmt::Display for MptError {
@@ -46,6 +48,7 @@ impl fmt::Display for MptError {
             MptError::ProofMismatch => write!(f, "MPT proof does not match trusted root"),
             MptError::MalformedProof(w) => write!(f, "malformed MPT proof: {w}"),
             MptError::KeyNotFound => write!(f, "key not found in trie"),
+            MptError::KeyPresent => write!(f, "key unexpectedly present in trie"),
         }
     }
 }

@@ -1,4 +1,4 @@
-//! MPT inclusion proofs and their verification.
+//! MPT inclusion and absence proofs and their verification.
 
 use crate::nibble::to_nibbles;
 use crate::node::ProofNode;
@@ -22,6 +22,95 @@ impl MptProof {
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }
+}
+
+/// An absence proof: the node path from the root to the point where
+/// the key's nibble walk diverges from the trie. The final node is the
+/// divergence witness — a leaf with a different suffix, an extension
+/// whose prefix the key does not share, or a branch lacking the key's
+/// child slot (or a terminal value).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MptAbsenceProof {
+    pub key: Vec<u8>,
+    pub nodes: Vec<ProofNode>,
+}
+
+/// Verify an absence proof against a trusted root digest.
+///
+/// Walks the committed path exactly like [`verify_proof`] but demands
+/// that the final node *diverges* from the key instead of completing
+/// it: a proof whose walk would reach the value is rejected, as is one
+/// that stops early without demonstrating divergence.
+pub fn verify_absence(root: &Digest, proof: &MptAbsenceProof) -> Result<(), MptError> {
+    if proof.nodes.is_empty() {
+        // Only the empty trie proves absence with no nodes.
+        return if *root == Digest::ZERO {
+            Ok(())
+        } else {
+            Err(MptError::MalformedProof("empty node list for non-empty root"))
+        };
+    }
+    let nibbles = to_nibbles(&proof.key);
+    let mut path: &[u8] = &nibbles;
+    let mut expected = *root;
+    let mut nodes = proof.nodes.iter().peekable();
+    while let Some(node) = nodes.next() {
+        if node.hash() != expected {
+            return Err(MptError::ProofMismatch);
+        }
+        let last = nodes.peek().is_none();
+        match node {
+            ProofNode::Leaf { suffix, .. } => {
+                if !last {
+                    return Err(MptError::MalformedProof("trailing nodes after leaf"));
+                }
+                return if suffix.as_slice() != path {
+                    Ok(())
+                } else {
+                    Err(MptError::MalformedProof("key present at leaf"))
+                };
+            }
+            ProofNode::Extension { prefix, child_hash } => {
+                let diverges =
+                    path.len() < prefix.len() || &path[..prefix.len()] != prefix.as_slice();
+                if diverges {
+                    return if last {
+                        Ok(())
+                    } else {
+                        Err(MptError::MalformedProof("trailing nodes after divergence"))
+                    };
+                }
+                path = &path[prefix.len()..];
+                expected = *child_hash;
+            }
+            ProofNode::Branch { child_hashes, value } => {
+                if path.is_empty() {
+                    if !last {
+                        return Err(MptError::MalformedProof("trailing nodes after terminal branch"));
+                    }
+                    return if value.is_none() {
+                        Ok(())
+                    } else {
+                        Err(MptError::MalformedProof("key present at branch value"))
+                    };
+                }
+                match child_hashes[path[0] as usize] {
+                    Some(child) => {
+                        expected = child;
+                        path = &path[1..];
+                    }
+                    None => {
+                        return if last {
+                            Ok(())
+                        } else {
+                            Err(MptError::MalformedProof("trailing nodes after divergence"))
+                        };
+                    }
+                }
+            }
+        }
+    }
+    Err(MptError::MalformedProof("proof ended without demonstrating divergence"))
 }
 
 /// Verify an inclusion proof against a trusted root digest.
@@ -110,6 +199,53 @@ mod tests {
         assert!(proof.nodes.len() > 1);
         proof.nodes.pop();
         assert!(verify_proof(&root, &proof).is_err());
+    }
+
+    #[test]
+    fn absence_proofs_verify_and_presence_rejected() {
+        let mut t = Mpt::new();
+        for i in 0..64u64 {
+            t.insert(&ledgerdb_crypto::sha3_256(&i.to_be_bytes()).0, vec![i as u8]);
+        }
+        let root = t.root_hash();
+        for i in 64..96u64 {
+            let key = ledgerdb_crypto::sha3_256(&i.to_be_bytes());
+            let proof = t.prove_absence(&key.0).unwrap();
+            verify_absence(&root, &proof).unwrap_or_else(|e| panic!("probe {i}: {e}"));
+        }
+        // A present key cannot be proven absent.
+        let present = ledgerdb_crypto::sha3_256(&3u64.to_be_bytes());
+        assert_eq!(t.prove_absence(&present.0), Err(MptError::KeyPresent));
+        // Re-keying an absence proof to a present key fails verification.
+        let absent = ledgerdb_crypto::sha3_256(&70u64.to_be_bytes());
+        let mut proof = t.prove_absence(&absent.0).unwrap();
+        proof.key = present.0.to_vec();
+        assert!(verify_absence(&root, &proof).is_err());
+    }
+
+    #[test]
+    fn empty_trie_absence() {
+        let t = Mpt::new();
+        let proof = t.prove_absence(b"anything").unwrap();
+        verify_absence(&t.root_hash(), &proof).unwrap();
+        // Same (empty) proof against a non-empty root is rejected.
+        let mut other = Mpt::new();
+        other.insert(b"k", b"v".to_vec());
+        assert!(verify_absence(&other.root_hash(), &proof).is_err());
+    }
+
+    #[test]
+    fn truncated_absence_proof_rejected() {
+        let mut t = Mpt::new();
+        for i in 0..64u64 {
+            t.insert(&ledgerdb_crypto::sha3_256(&i.to_be_bytes()).0, vec![i as u8]);
+        }
+        let root = t.root_hash();
+        let absent = ledgerdb_crypto::sha3_256(&200u64.to_be_bytes());
+        let mut proof = t.prove_absence(&absent.0).unwrap();
+        assert!(proof.nodes.len() > 1, "need a multi-node path to truncate");
+        proof.nodes.pop();
+        assert!(verify_absence(&root, &proof).is_err());
     }
 
     #[test]

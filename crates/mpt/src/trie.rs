@@ -2,7 +2,7 @@
 
 use crate::nibble::{common_prefix_len, to_nibbles};
 use crate::node::{Node, NodeKind, ProofNode};
-use crate::proof::MptProof;
+use crate::proof::{MptAbsenceProof, MptProof};
 use crate::MptError;
 use ledgerdb_crypto::digest::Digest;
 
@@ -270,6 +270,54 @@ impl Mpt {
                         .as_deref()
                         .ok_or(MptError::KeyNotFound)?;
                     path = &path[1..];
+                }
+            }
+        }
+    }
+
+    /// Produce an absence proof for `key` (errors if the key is
+    /// present): the committed path down to the node where the key's
+    /// nibble walk diverges from the trie.
+    pub fn prove_absence(&self, key: &[u8]) -> Result<MptAbsenceProof, MptError> {
+        let nibbles = to_nibbles(key);
+        let mut nodes: Vec<ProofNode> = Vec::new();
+        let Some(mut node) = self.root.as_deref() else {
+            // Empty trie: absence is trivial (root == ZERO).
+            return Ok(MptAbsenceProof { key: key.to_vec(), nodes });
+        };
+        let mut path: &[u8] = &nibbles;
+        loop {
+            nodes.push(node.proof_encoding());
+            match &node.kind {
+                NodeKind::Leaf { suffix, .. } => {
+                    return if suffix.as_slice() == path {
+                        Err(MptError::KeyPresent)
+                    } else {
+                        Ok(MptAbsenceProof { key: key.to_vec(), nodes })
+                    };
+                }
+                NodeKind::Extension { prefix, child } => {
+                    if path.len() < prefix.len() || &path[..prefix.len()] != prefix.as_slice() {
+                        return Ok(MptAbsenceProof { key: key.to_vec(), nodes });
+                    }
+                    path = &path[prefix.len()..];
+                    node = child;
+                }
+                NodeKind::Branch { children, value } => {
+                    if path.is_empty() {
+                        return if value.is_some() {
+                            Err(MptError::KeyPresent)
+                        } else {
+                            Ok(MptAbsenceProof { key: key.to_vec(), nodes })
+                        };
+                    }
+                    match children[path[0] as usize].as_deref() {
+                        Some(child) => {
+                            node = child;
+                            path = &path[1..];
+                        }
+                        None => return Ok(MptAbsenceProof { key: key.to_vec(), nodes }),
+                    }
                 }
             }
         }

@@ -1,7 +1,7 @@
 //! Wire encodings for MPT proofs.
 
 use crate::node::ProofNode;
-use crate::proof::MptProof;
+use crate::proof::{MptAbsenceProof, MptProof};
 use ledgerdb_crypto::digest::Digest;
 use ledgerdb_crypto::wire::{Reader, Wire, WireError, Writer};
 
@@ -9,9 +9,20 @@ impl Wire for ProofNode {
     fn encode(&self, w: &mut Writer) {
         match self {
             ProofNode::Branch { child_hashes, value } => {
+                // Compact branch: a 16-bit presence bitmap (bit i =
+                // child i occupied, MSB-first) followed by only the
+                // occupied digests. A branch with k children costs
+                // 2 + 32k bytes instead of 16 + 32·16.
                 w.put_u8(0);
-                for child in child_hashes.iter() {
-                    child.encode(w);
+                let mut bitmap: u16 = 0;
+                for (i, child) in child_hashes.iter().enumerate() {
+                    if child.is_some() {
+                        bitmap |= 1 << (15 - i);
+                    }
+                }
+                w.put_raw(&bitmap.to_be_bytes());
+                for child in child_hashes.iter().flatten() {
+                    w.put_raw(&child.0);
                 }
                 value.encode(w);
             }
@@ -31,10 +42,15 @@ impl Wire for ProofNode {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         match r.get_u8()? {
             0 => {
+                let mut raw = [0u8; 2];
+                raw.copy_from_slice(r.get_raw(2)?);
+                let bitmap = u16::from_be_bytes(raw);
                 let mut child_hashes: Box<[Option<Digest>; 16]> =
                     Box::new(std::array::from_fn(|_| None));
-                for slot in child_hashes.iter_mut() {
-                    *slot = Option::decode(r)?;
+                for (i, slot) in child_hashes.iter_mut().enumerate() {
+                    if bitmap >> (15 - i) & 1 == 1 {
+                        *slot = Some(Digest::decode(r)?);
+                    }
                 }
                 Ok(ProofNode::Branch { child_hashes, value: Option::decode(r)? })
             }
@@ -57,6 +73,17 @@ impl Wire for MptProof {
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(MptProof { key: r.get_bytes()?, value: r.get_bytes()?, nodes: Vec::decode(r)? })
+    }
+}
+
+impl Wire for MptAbsenceProof {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(&self.key);
+        self.nodes.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(MptAbsenceProof { key: r.get_bytes()?, nodes: Vec::decode(r)? })
     }
 }
 

@@ -476,7 +476,7 @@ mod tests {
             .join(format!("ledgerdb-batch-telemetry-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let config =
-            LedgerConfig { block_size: 1024, fam_delta: 15, name: "batch-telemetry".into() };
+            LedgerConfig { block_size: 1024, fam_delta: 15, name: "batch-telemetry".into(), state_backend: Default::default() };
         // FsyncPolicy::Never: the committer's batch barrier is the only
         // fsync source, so the counter isolates group-commit behavior.
         let (ledger, _) = open_durable_with(

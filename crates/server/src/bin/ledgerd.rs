@@ -11,8 +11,17 @@
 //!         [--block-size 16] [--seed demo] \
 //!         [--checkpoint-every-n-seals 64]   # 0 disables \
 //!         [--metrics-dump PATH] [--metrics-interval-ms 1000] \
-//!         [--slow-op-ms N] [--shards K]
+//!         [--slow-op-ms N] [--shards K] [--state-backend mpt|bin]
 //! ```
+//!
+//! State backend (`--state-backend`, default `mpt`): which pluggable
+//! state-commitment structure anchors the per-clue latest-payload
+//! digests into each sealed block — the 16-ary Merkle Patricia trie
+//! (byte-compatible with every pre-flag deployment) or the cached
+//! binary trie (`bin`, ~4-8x smaller witnesses). The choice is
+//! per-deployment: a data directory written under one backend must be
+//! reopened with the same flag (recovery re-derives the state roots
+//! and rejects a mismatch).
 //!
 //! Sharding (`--shards K`, default 1): K independent shard ledgers —
 //! each with its own WAL, payload store, and checkpoint ladder under
@@ -63,7 +72,7 @@
 //! and the recovery report is printed.
 
 use ledgerdb_core::recovery::{open_durable, CHECKPOINT_DIR};
-use ledgerdb_core::{LedgerConfig, MemberRegistry, ShardedLedger, SharedLedger};
+use ledgerdb_core::{LedgerConfig, MemberRegistry, ShardedLedger, SharedLedger, StateBackend};
 use ledgerdb_crypto::ca::{CertificateAuthority, Role};
 use ledgerdb_crypto::keys::KeyPair;
 use ledgerdb_server::{
@@ -88,7 +97,7 @@ fn usage() -> ! {
          [--block-size N] [--seed SEED] \
          [--checkpoint-every-n-seals N] [--metrics-dump PATH] \
          [--metrics-interval-ms MS] [--slow-op-ms MS] \
-         [--trace-dump PATH] [--shards K]"
+         [--trace-dump PATH] [--shards K] [--state-backend mpt|bin]"
     );
     exit(2);
 }
@@ -113,6 +122,7 @@ struct Args {
     slow_op: Option<Duration>,
     trace_dump: Option<PathBuf>,
     shards: usize,
+    state_backend: StateBackend,
 }
 
 fn parse_args() -> Args {
@@ -136,6 +146,7 @@ fn parse_args() -> Args {
         slow_op: None,
         trace_dump: None,
         shards: 1,
+        state_backend: StateBackend::default(),
     };
     let mut batch = BatchConfig::default();
     let mut batching = true;
@@ -208,6 +219,16 @@ fn parse_args() -> Args {
             // default) keeps the flat single-ledger layout at DIR;
             // K > 1 stores each shard at DIR/shard-<i>.
             "--shards" => args.shards = parse_num(&value("--shards")),
+            // Which state-commitment structure anchors per-clue state
+            // into sealed blocks. Must match the data directory's
+            // history — recovery rejects a backend mismatch.
+            "--state-backend" => {
+                let v = value("--state-backend");
+                args.state_backend = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --state-backend {v:?} (want mpt or bin)");
+                    usage()
+                });
+            }
             _ => usage(),
         }
     }
@@ -290,6 +311,7 @@ fn main() {
             block_size: args.block_size,
             fam_delta: 15,
             name: format!("ledgerd-{}", args.seed),
+            state_backend: args.state_backend,
         };
         let (mut ledger, report) =
             open_durable(config, registry, &shard_dir, policy, Arc::new(SimClock::new()))

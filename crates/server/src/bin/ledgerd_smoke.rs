@@ -13,7 +13,7 @@
 //! acked. Exit code 0 means every check passed.
 
 use ledgerdb_core::recovery::open_durable;
-use ledgerdb_core::{LedgerConfig, MemberRegistry, TxRequest};
+use ledgerdb_core::{LedgerConfig, MemberRegistry, StateBackend, TxRequest};
 use ledgerdb_crypto::ca::{CertificateAuthority, Role};
 use ledgerdb_crypto::keys::KeyPair;
 use ledgerdb_server::RemoteLedger;
@@ -28,7 +28,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: ledgerd-smoke client --addr ADDR [--seed SEED] [--n N]\n\
          \x20      ledgerd-smoke recover --dir DIR [--seed SEED] [--expect-journals N] \
-         [--block-size N]"
+         [--block-size N] [--state-backend mpt|bin]"
     );
     exit(2);
 }
@@ -68,6 +68,10 @@ fn main() {
                 .get("--block-size")
                 .map(|n| n.parse().unwrap_or_else(|_| usage()))
                 .unwrap_or(16),
+            flags
+                .get("--state-backend")
+                .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                .unwrap_or_default(),
         ),
         _ => usage(),
     }
@@ -122,7 +126,13 @@ fn client(addr: &str, seed: &str, n: u64) {
     );
 }
 
-fn recover(dir: PathBuf, seed: &str, expect_journals: u64, block_size: u64) {
+fn recover(
+    dir: PathBuf,
+    seed: &str,
+    expect_journals: u64,
+    block_size: u64,
+    state_backend: StateBackend,
+) {
     let ca = CertificateAuthority::from_seed(seed.as_bytes());
     let alice = KeyPair::from_seed(format!("{seed}-alice").as_bytes());
     let mut registry = MemberRegistry::new(*ca.public_key());
@@ -133,6 +143,7 @@ fn recover(dir: PathBuf, seed: &str, expect_journals: u64, block_size: u64) {
         block_size,
         fam_delta: 15,
         name: format!("ledgerd-{seed}"),
+        state_backend,
     };
     let (ledger, report) = match open_durable(
         config,

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 /// Wire-request kinds, in tag order. Indexed by [`kind_index`]. These
 /// double as the root stage names in the tracing span tree.
-pub const REQUEST_KINDS: [&str; 18] = [
+pub const REQUEST_KINDS: [&str; 19] = [
     "hello",
     "append",
     "append_committed",
@@ -31,6 +31,7 @@ pub const REQUEST_KINDS: [&str; 18] = [
     "get_shard_block_feed",
     "get_epoch_anchors",
     "get_composed_proof",
+    "get_state_proof",
 ];
 
 /// Position of a request's kind in [`REQUEST_KINDS`].
@@ -54,6 +55,7 @@ pub fn kind_index(request: &Request) -> usize {
         Request::GetShardBlockFeed { .. } => 15,
         Request::GetEpochAnchors { .. } => 16,
         Request::GetComposedProof { .. } => 17,
+        Request::GetStateProof(_) => 18,
     }
 }
 

@@ -20,7 +20,9 @@
 
 use ledgerdb_accumulator::fam::{FamProof, TrustedAnchor};
 use ledgerdb_clue::cm_tree::ClueProof;
-use ledgerdb_core::{Block, ComposedProof, EpochAnchor, Journal, LedgerError, Receipt, TxRequest};
+use ledgerdb_core::{
+    Block, ComposedProof, EpochAnchor, Journal, LedgerError, Receipt, StateProof, TxRequest,
+};
 use ledgerdb_crypto::digest::Digest;
 use ledgerdb_crypto::keys::PublicKey;
 use ledgerdb_crypto::wire::{Reader, Wire, WireError, Writer};
@@ -278,6 +280,11 @@ pub enum Request {
     /// Composed shard + anchor existence proof for a *global* jsn,
     /// against the caller's anchor for the jsn's shard.
     GetComposedProof { jsn: u64, anchor: TrustedAnchor },
+    /// State-commitment proof for a clue: inclusion when the clue has a
+    /// committed latest-payload digest, verifiable absence otherwise.
+    /// The client checks it against its *own* synced state root — the
+    /// server's answer is a claim, not a fact.
+    GetStateProof(String),
 }
 
 impl Wire for Request {
@@ -352,6 +359,10 @@ impl Wire for Request {
                 w.put_u64(*jsn);
                 anchor.encode(w);
             }
+            Request::GetStateProof(clue) => {
+                w.put_u8(18);
+                clue.encode(w);
+            }
         }
     }
 
@@ -393,6 +404,7 @@ impl Wire for Request {
                 jsn: r.get_u64()?,
                 anchor: TrustedAnchor::decode(r)?,
             }),
+            18 => Ok(Request::GetStateProof(String::decode(r)?)),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -547,6 +559,7 @@ impl ErrorFrame {
             | LedgerError::BadPurgePoint(_)
             | LedgerError::InsufficientSignatures(_)
             | LedgerError::Accumulator(_)
+            | LedgerError::State(_)
             | LedgerError::BadReceipt => ErrorCode::Rejected,
             LedgerError::Storage(_) | LedgerError::Recovery(_) => ErrorCode::Durability,
             LedgerError::Time(_) | LedgerError::AuditFailed(_) | LedgerError::TaskFailed(_) => {
@@ -592,6 +605,8 @@ pub enum Response {
     EpochAnchors(Vec<EpochAnchor>),
     /// A composed shard + anchor existence proof.
     Composed(ComposedProof),
+    /// A state-commitment proof (inclusion or absence, either backend).
+    StateProof(StateProof),
 }
 
 /// What [`Request::GetTopology`] answers.
@@ -799,6 +814,10 @@ impl Wire for Response {
                 w.put_u8(17);
                 proof.encode(w);
             }
+            Response::StateProof(proof) => {
+                w.put_u8(18);
+                proof.encode(w);
+            }
         }
     }
 
@@ -825,6 +844,7 @@ impl Wire for Response {
             15 => Ok(Response::Topology(TopologyInfo::decode(r)?)),
             16 => Ok(Response::EpochAnchors(Vec::decode(r)?)),
             17 => Ok(Response::Composed(ComposedProof::decode(r)?)),
+            18 => Ok(Response::StateProof(StateProof::decode(r)?)),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -1022,6 +1042,7 @@ mod tests {
             Request::GetShardBlockFeed { shard: 3, from_height: 4, max_blocks: 64 },
             Request::GetEpochAnchors { from_epoch: 11 },
             Request::GetComposedProof { jsn: 1 << 56 | 9, anchor: TrustedAnchor::default() },
+            Request::GetStateProof("asset".into()),
         ];
         for req in cases {
             let decoded = Request::from_wire(&req.to_wire()).unwrap();

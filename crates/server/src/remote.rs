@@ -36,7 +36,9 @@ use crate::protocol::{
 use ledgerdb_accumulator::fam::FamProof;
 use ledgerdb_clue::cm_tree::ClueProof;
 use ledgerdb_core::client::{LedgerClient, SyncReport};
-use ledgerdb_core::{unpack_jsn, ComposedProof, Journal, LedgerError, Receipt, ShardedClient, TxRequest};
+use ledgerdb_core::{
+    unpack_jsn, ComposedProof, Journal, LedgerError, Receipt, ShardedClient, StateProof, TxRequest,
+};
 use ledgerdb_crypto::digest::Digest;
 use ledgerdb_crypto::wire::{Wire, WireError};
 use std::fmt;
@@ -462,6 +464,30 @@ impl RemoteLedger {
         };
         self.client.verify_clue(&proof).map_err(RemoteError::Verify)?;
         Ok(proof)
+    }
+
+    /// Fetch a state-commitment proof for a clue — inclusion of its
+    /// latest-payload digest, or verifiable absence — and verify it
+    /// against the client's **own** trusted state root (from the newest
+    /// verified block) before returning. Call [`RemoteLedger::sync`]
+    /// first; a proof the server built against a newer root than the
+    /// client has verified is rejected here, like any stale proof.
+    /// Returns the proof plus the proven digest bytes (`None` =
+    /// verified absence).
+    pub fn prove_state(
+        &mut self,
+        clue: &str,
+    ) -> Result<(StateProof, Option<Vec<u8>>), RemoteError> {
+        let proof = match self.call(&Request::GetStateProof(clue.to_string()))? {
+            Response::StateProof(proof) => proof,
+            other => return Err(unexpected("StateProof", &other)),
+        };
+        let value = self
+            .client
+            .verify_state(&proof)
+            .map_err(RemoteError::Verify)?
+            .map(|v| v.to_vec());
+        Ok((proof, value))
     }
 
     /// Fetch a journal and its payload (unverified convenience read;
@@ -983,6 +1009,7 @@ mod tests {
                 block_size: 4,
                 fam_delta: 15,
                 name: "imposter".into(),
+                state_backend: Default::default(),
             };
             (
                 ledgerdb_core::SharedLedger::new(ledgerdb_core::LedgerDb::new(config, registry)),

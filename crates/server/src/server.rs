@@ -660,7 +660,7 @@ mod tests {
         }
 
         fn ledger_config() -> LedgerConfig {
-            LedgerConfig { block_size: 4, fam_delta: 15, name: "server-ckpt".into() }
+            LedgerConfig { block_size: 4, fam_delta: 15, name: "server-ckpt".into(), state_backend: Default::default() }
         }
 
         /// A durable shared ledger with a checkpoint policy, plus its

@@ -285,6 +285,14 @@ impl RequestService {
                 drop(tag);
                 response
             }
+            Request::GetStateProof(clue) => {
+                // Routed like any clue query; the proof (inclusion or
+                // verifiable absence) is checked client-side against
+                // the caller's own synced state root.
+                let shard_id = self.sharded.route_clue(&clue);
+                let _tag = self.shard_span(shard_id);
+                Response::StateProof(self.sharded.shard(shard_id).prove_state(&clue))
+            }
         }
     }
 
@@ -423,71 +431,73 @@ impl RequestService {
         )
     }
 
-    /// Batch existence proofs. When the published
-    /// [`ReadSnapshot`](ledgerdb_core::ReadSnapshot) covers every
-    /// requested jsn, proofs are built from that immutable snapshot —
-    /// fanned out across the compute pool when one is configured, with
-    /// no ledger lock taken at all. Any jsn past the sealed prefix (or
-    /// the snapshot path disabled) falls back to per-item locked
-    /// proving.
+    /// Batch existence proofs. Snapshot and lock resolution are
+    /// *hoisted* out of the per-item closure (see
+    /// [`SharedLedger::prove_existence_batch`]): a batch fully covered
+    /// by the published [`ReadSnapshot`](ledgerdb_core::ReadSnapshot)
+    /// is served lock-free — fanned out across the compute pool when
+    /// one is configured — and anything else proves under a *single*
+    /// read-lock acquisition instead of one per item.
     fn handle_proof_batch(&self, jsns: Vec<u64>, anchor: TrustedAnchor) -> Response {
-        if self.k() > 1 {
-            // Sharded deployments prove per item against each jsn's own
-            // shard (a batch may mix shards, but the caller's anchor can
-            // only match one — mismatches fail per item, positionally,
-            // like any stale-anchor proof). The zero-lock snapshot fast
-            // path is a K=1 optimization.
-            let items = jsns
-                .iter()
-                .map(|&jsn| match self.sharded.unpack(jsn) {
-                    Ok((shard, local)) => self
-                        .sharded
-                        .shard(shard)
-                        .prove_existence(local, &anchor)
-                        .map(|(tx_hash, proof)| ProofItem { tx_hash, proof })
-                        .map_err(|e| ErrorFrame::from_ledger_error(&e)),
-                    Err(e) => Err(ErrorFrame::from_ledger_error(&e)),
-                })
-                .collect();
-            return Response::ProofBatch(items);
-        }
-        let snap = self.shared.snapshot();
-        let snapshot_serves = self.shared.snapshot_reads()
-            && snap.can_prove()
-            && jsns.iter().all(|&jsn| snap.covers(jsn));
+        let pool = self.pool.as_deref();
         let item = |result: Result<(ledgerdb_crypto::digest::Digest, _), _>| {
             result
                 .map(|(tx_hash, proof)| ProofItem { tx_hash, proof })
                 .map_err(|e| ErrorFrame::from_ledger_error(&e))
         };
-        // Capture the request's scope before the fan-out so worker
-        // spans land in this request's tree, whichever pool thread runs
-        // them.
-        let scope = trace::current_scope();
-        let items = match (&self.pool, snapshot_serves) {
-            (Some(pool), true) => pool
-                .try_map(&jsns, |_, &jsn| {
-                    let _scope = scope.clone().map(trace::install);
-                    let _span = StageSpan::begin("proof_task");
-                    snap.prove_existence(jsn, &anchor)
+        if self.k() > 1 {
+            // A batch may mix shards (the caller's anchor can only
+            // match one — mismatches fail per item, positionally, like
+            // any stale-anchor proof). Unpack once, group the locals
+            // per shard, prove each shard's sub-batch with hoisted
+            // resolution, and scatter results back into request order.
+            let mut by_shard: Vec<Vec<u64>> = (0..self.k()).map(|_| Vec::new()).collect();
+            let mut origin: Vec<Result<(usize, usize), ErrorFrame>> =
+                Vec::with_capacity(jsns.len());
+            for &jsn in &jsns {
+                match self.sharded.unpack(jsn) {
+                    Ok((shard, local)) => {
+                        origin.push(Ok((shard, by_shard[shard].len())));
+                        by_shard[shard].push(local);
+                    }
+                    Err(e) => origin.push(Err(ErrorFrame::from_ledger_error(&e))),
+                }
+            }
+            let mut per_shard: Vec<Vec<Option<_>>> = by_shard
+                .iter()
+                .enumerate()
+                .map(|(shard_id, locals)| {
+                    if locals.is_empty() {
+                        return Vec::new();
+                    }
+                    let _tag = self.shard_span(shard_id);
+                    self.sharded
+                        .shard(shard_id)
+                        .prove_existence_batch(locals, &anchor, pool)
+                        .into_iter()
+                        .map(Some)
+                        .collect()
                 })
+                .collect();
+            return Response::ProofBatch(
+                origin
+                    .into_iter()
+                    .map(|slot| match slot {
+                        Ok((shard, idx)) => {
+                            item(per_shard[shard][idx].take().expect("each slot consumed once"))
+                        }
+                        Err(e) => Err(e),
+                    })
+                    .collect(),
+            );
+        }
+        Response::ProofBatch(
+            self.shared
+                .prove_existence_batch(&jsns, &anchor, pool)
                 .into_iter()
-                .map(|slot| match slot {
-                    Ok(result) => item(result),
-                    Err(panic) => Err(ErrorFrame {
-                        code: ErrorCode::Internal,
-                        detail: format!("proof task failed: {}", panic.message),
-                    }),
-                })
+                .map(item)
                 .collect(),
-            (None, true) => {
-                jsns.iter().map(|&jsn| item(snap.prove_existence(jsn, &anchor))).collect()
-            }
-            (_, false) => {
-                jsns.iter().map(|&jsn| item(self.shared.prove_existence(jsn, &anchor))).collect()
-            }
-        };
-        Response::ProofBatch(items)
+        )
     }
 
     fn handle_append(&self, tx: TxRequest, committed: bool) -> Response {

@@ -17,7 +17,7 @@ pub fn registry() -> (MemberRegistry, KeyPair) {
 pub fn shared(block_size: u64) -> (SharedLedger, KeyPair) {
     let (registry, alice) = registry();
     let config =
-        LedgerConfig { block_size, fam_delta: 15, name: "server-test".into() };
+        LedgerConfig { block_size, fam_delta: 15, name: "server-test".into(), state_backend: Default::default() };
     (SharedLedger::new(LedgerDb::new(config, registry)), alice)
 }
 
@@ -29,7 +29,7 @@ pub fn sharded(k: usize, block_size: u64) -> (ShardedLedger, KeyPair) {
         .map(|_| {
             let (registry, _) = registry();
             let config =
-                LedgerConfig { block_size, fam_delta: 15, name: "server-test".into() };
+                LedgerConfig { block_size, fam_delta: 15, name: "server-test".into(), state_backend: Default::default() };
             SharedLedger::new(LedgerDb::new(config, registry))
         })
         .collect();

@@ -9,11 +9,27 @@ use std::fmt::Write as _;
 /// [`render`]'s output (Prometheus text exposition format 0.0.4).
 pub const EXPOSITION_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
 
+/// Split a registered metric name into its base name and an optional
+/// label set: `ledger_proof_bytes{backend="bin"}` →
+/// (`ledger_proof_bytes`, `Some("backend=\"bin\"")`). Labeled names let
+/// one logical metric fan out per dimension (e.g. per state backend)
+/// while scrapers still group every series under one base name.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((base, rest)) => (base, rest.strip_suffix('}')),
+        None => (name, None),
+    }
+}
+
 /// Render every metric in `registry` as Prometheus-style text.
 ///
 /// Deterministic (sorted by name). Histograms emit cumulative
 /// `_bucket{le="…"}` lines for non-empty buckets only (plus `+Inf`),
 /// `_sum`/`_count`, extracted `{quantile="…"}` lines, and `_max`.
+/// A metric registered with a label set in its name (see
+/// [`split_labels`]) has the labels spliced into every derived series —
+/// `base_bucket{backend="bin",le="…"}`, `base_sum{backend="bin"}` —
+/// and shares one `# TYPE` line per base name with its siblings.
 /// The walk over the registry is lock-free — see module docs — so this
 /// can allocate and format freely without ever holding a registry lock.
 pub fn render(registry: &Registry) -> String {
@@ -22,21 +38,37 @@ pub fn render(registry: &Registry) -> String {
     entries.sort_by(|a, b| a.0.cmp(&b.0));
 
     let mut out = String::with_capacity(entries.len() * 64);
+    let mut typed: std::collections::HashSet<&str> = std::collections::HashSet::new();
     for (name, metric) in &entries {
+        let (base, labels) = split_labels(name);
+        // One TYPE line per base name: labeled siblings (sorted
+        // adjacent) are a single logical metric to a scraper.
+        let mut type_line = |kind: &str, out: &mut String| {
+            if typed.insert(base) {
+                let _ = writeln!(out, "# TYPE {base} {kind}");
+            }
+        };
         match metric {
             Metric::Counter(c) => {
-                let _ = writeln!(out, "# TYPE {name} counter");
+                type_line("counter", &mut out);
                 let _ = writeln!(out, "{name} {}", c.get());
             }
             Metric::Gauge(g) => {
-                let _ = writeln!(out, "# TYPE {name} gauge");
+                type_line("gauge", &mut out);
                 let _ = writeln!(out, "{name} {}", g.get());
             }
             Metric::Histogram(h) => {
                 let unit = h.unit();
                 let counts = h.bucket_counts();
                 let snap = h.snapshot();
-                let _ = writeln!(out, "# TYPE {name} histogram");
+                type_line("histogram", &mut out);
+                // `backend="bin",` — spliced before le/quantile; empty
+                // for unlabeled metrics, preserving their exact format.
+                let inner = labels.map(|l| format!("{l},")).unwrap_or_default();
+                let series = |suffix: &str| match labels {
+                    Some(l) => format!("{base}{suffix}{{{l}}}"),
+                    None => format!("{base}{suffix}"),
+                };
                 let mut cumulative = 0u64;
                 for i in 0..NUM_BUCKETS {
                     if counts[i] == 0 {
@@ -44,17 +76,18 @@ pub fn render(registry: &Registry) -> String {
                     }
                     cumulative += counts[i];
                     let le = unit.scale(bucket_upper_bound(i));
-                    let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                    let _ = writeln!(out, "{base}_bucket{{{inner}le=\"{le}\"}} {cumulative}");
                 }
-                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
-                let _ = writeln!(out, "{name}_sum {}", unit.scale(snap.sum));
-                let _ = writeln!(out, "{name}_count {}", snap.count);
+                let _ = writeln!(out, "{base}_bucket{{{inner}le=\"+Inf\"}} {cumulative}");
+                let _ = writeln!(out, "{} {}", series("_sum"), unit.scale(snap.sum));
+                let _ = writeln!(out, "{} {}", series("_count"), snap.count);
                 for (q, v) in
                     [("0.5", snap.p50), ("0.95", snap.p95), ("0.99", snap.p99)]
                 {
-                    let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {}", unit.scale(v));
+                    let _ =
+                        writeln!(out, "{base}{{{inner}quantile=\"{q}\"}} {}", unit.scale(v));
                 }
-                let _ = writeln!(out, "{name}_max {}", unit.scale(snap.max));
+                let _ = writeln!(out, "{} {}", series("_max"), unit.scale(snap.max));
             }
         }
     }
@@ -170,6 +203,48 @@ mod tests {
         // Average derived the scraper way is sane.
         let avg = sum / count;
         assert!((0.1..=0.2).contains(&avg), "avg = {avg}");
+    }
+
+    #[test]
+    fn labeled_names_splice_into_every_derived_series() {
+        // A name registered as `base{labels}` fans out per label set:
+        // suffixes land before the braces, inner labels (le/quantile)
+        // merge after the registered ones, and the siblings share one
+        // TYPE line keyed by base name. `parse_value` keeps working on
+        // the full labeled tokens.
+        let reg = Registry::new();
+        let mpt = reg.histogram("lbl_proof_bytes{backend=\"mpt\"}", Unit::Bytes);
+        let bin = reg.histogram("lbl_proof_bytes{backend=\"bin\"}", Unit::Bytes);
+        mpt.observe(4096);
+        mpt.observe(4096);
+        bin.observe(512);
+        reg.counter("lbl_hits_total{backend=\"bin\"}").add(3);
+
+        let text = render(&reg);
+        assert_eq!(
+            text.matches("# TYPE lbl_proof_bytes histogram").count(),
+            1,
+            "one TYPE line per base name:\n{text}"
+        );
+        assert!(text.contains("# TYPE lbl_hits_total counter"));
+        assert!(
+            text.contains("lbl_proof_bytes_bucket{backend=\"bin\",le=\"+Inf\"} 1"),
+            "labels merge with le:\n{text}"
+        );
+        assert!(text.contains("lbl_proof_bytes{backend=\"mpt\",quantile=\"0.5\"}"));
+        assert_eq!(
+            parse_value(&text, "lbl_proof_bytes_count{backend=\"mpt\"}"),
+            Some(2.0)
+        );
+        assert_eq!(
+            parse_value(&text, "lbl_proof_bytes_sum{backend=\"bin\"}"),
+            Some(512.0)
+        );
+        assert_eq!(
+            parse_value(&text, "lbl_proof_bytes_max{backend=\"mpt\"}"),
+            Some(4096.0)
+        );
+        assert_eq!(parse_value(&text, "lbl_hits_total{backend=\"bin\"}"), Some(3.0));
     }
 
     #[test]

@@ -421,6 +421,12 @@ mod tests {
     fn finish_root_pins_slow_traces_by_threshold() {
         crate::set_slow_op_threshold(Some(std::time::Duration::from_nanos(1)));
         let ctx = TraceContext::root(TraceId::mint());
+        // `now_ns` counts from a process-wide epoch initialized on first
+        // use; give it room so the 5ms back-date below doesn't saturate
+        // to 0 when this test is the first caller.
+        while now_ns() < 5_000_000 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
         let t0 = now_ns().saturating_sub(5_000_000);
         finish_root(ctx, "slow_root", t0, false);
         crate::set_slow_op_threshold(None);

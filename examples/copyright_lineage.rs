@@ -31,7 +31,7 @@ fn main() {
     registry.register(ca.issue("gallery", Role::User, gallery.public())).unwrap();
     registry.register(ca.issue("collector", Role::User, collector.public())).unwrap();
 
-    let config = LedgerConfig { block_size: 4, fam_delta: 10, name: "copyright".into() };
+    let config = LedgerConfig { block_size: 4, fam_delta: 10, name: "copyright".into(), state_backend: Default::default() };
     let mut ledger = LedgerDb::new(config, registry);
     let clock: Arc<dyn Clock> = Arc::clone(ledger.clock());
     let tsa_pool = Arc::new(TsaPool::new(1, Arc::clone(&clock)));

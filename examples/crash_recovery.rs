@@ -27,7 +27,7 @@ fn registry() -> (MemberRegistry, KeyPair) {
 fn open(dir: &Path) -> Result<(LedgerDb, ledgerdb::core::RecoveryReport), LedgerError> {
     let (registry, _) = registry();
     open_durable(
-        LedgerConfig { block_size: 8, fam_delta: 6, name: "crash-demo".into() },
+        LedgerConfig { block_size: 8, fam_delta: 6, name: "crash-demo".into(), state_backend: Default::default() },
         registry,
         dir,
         FsyncPolicy::EveryN(4),

@@ -22,7 +22,7 @@ fn main() {
     let mut registry = MemberRegistry::new(*ca.public_key());
     registry.register(ca.issue("alice", Role::User, alice.public())).unwrap();
     let mut ledger = LedgerDb::new(
-        LedgerConfig { block_size: 8, fam_delta: 8, name: "audited".into() },
+        LedgerConfig { block_size: 8, fam_delta: 8, name: "audited".into(), state_backend: Default::default() },
         registry,
     );
     for i in 0..64u64 {

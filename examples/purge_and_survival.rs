@@ -23,7 +23,7 @@ fn main() {
     registry.register(ca.issue("broker", Role::User, broker.public())).unwrap();
     registry.register(ca.issue("dba", Role::Dba, dba.public())).unwrap();
 
-    let config = LedgerConfig { block_size: 8, fam_delta: 10, name: "bank".into() };
+    let config = LedgerConfig { block_size: 8, fam_delta: 10, name: "bank".into(), state_backend: Default::default() };
     let mut ledger = LedgerDb::new(config, registry);
 
     // Ten years of statements; jsn 13 is a milestone block trade.

@@ -21,7 +21,7 @@ fn main() {
     registry.register(ca.issue("alice", Role::User, alice.public())).unwrap();
 
     // 2. Create the ledger.
-    let config = LedgerConfig { block_size: 4, fam_delta: 10, name: "quickstart".into() };
+    let config = LedgerConfig { block_size: 4, fam_delta: 10, name: "quickstart".into(), state_backend: Default::default() };
     let mut ledger = LedgerDb::new(config, registry);
     println!("ledger id: {}", ledger.id());
 

@@ -48,7 +48,7 @@ fn main() {
         .register(ca.issue("regulator", Role::Regulator, regulator.public()))
         .unwrap();
 
-    let config = LedgerConfig { block_size: 8, fam_delta: 12, name: "gco-supply-chain".into() };
+    let config = LedgerConfig { block_size: 8, fam_delta: 12, name: "gco-supply-chain".into(), state_backend: Default::default() };
     let mut ledger = LedgerDb::new(config, registry);
 
     // --- Time notary ----------------------------------------------------

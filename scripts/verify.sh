@@ -96,6 +96,37 @@ else
   echo "note: single core — composed-proof audit is the gate (no wall-clock claim)"
 fi
 
+echo "== state-ab (pluggable commitment: differential suites + witness A/B) =="
+# The default backend must stay byte-identical to the pre-refactor
+# ledger (pinned fingerprints), both backends must agree on every
+# observable behavior, and the binary trie's proofs must survive the
+# tamper sweep.
+cargo test --release -q --test differential_state
+cargo test --release -q --test prop_bintrie
+# Witness-size A/B at 10^5 keys. loadgen itself hard-asserts the >=4x
+# structural gate (trie shape, valid on any core count) and that the
+# per-backend ledger_proof_bytes/ledger_verify_seconds histograms were
+# scraped off the exposition.
+mkdir -p results
+STATE_OUT="$(./target/release/loadgen --state-ab --keys 100000 --appends 2048 2>&1)"
+printf '%s\n' "$STATE_OUT" | grep '"bench"' > results/BENCH_state.json
+printf '%s\n' "$STATE_OUT" | tail -n1
+RATIO="$(sed -n 's/.*"witness_ratio":\([0-9.]*\).*/\1/p' results/BENCH_state.json | head -n1)"
+[[ -n "$RATIO" ]] || { echo "no witness_ratio in BENCH_state.json"; exit 1; }
+awk -v r="$RATIO" 'BEGIN { exit !(r >= 4.0) }' \
+  || { echo "binary witnesses not >=4x smaller (${RATIO}x)"; exit 1; }
+if [[ "$CORES" -gt 1 ]]; then
+  # Real cores: the binary backend may not cost more than 5% append
+  # throughput vs the MPT default (positive delta = bin slower).
+  DELTA="$(sed -n 's/.*"append_delta_pct":\(-\{0,1\}[0-9.]*\).*/\1/p' \
+    results/BENCH_state.json | head -n1)"
+  [[ -n "$DELTA" ]] || { echo "no append_delta_pct in BENCH_state.json"; exit 1; }
+  awk -v d="$DELTA" 'BEGIN { exit !(d <= 5.0) }' \
+    || { echo "binary backend regresses appends by ${DELTA}% (> 5%) on $CORES cores"; exit 1; }
+else
+  echo "note: single core — witness-ratio gate only (append delta not gated)"
+fi
+
 echo "== server smoke (ledgerd + remote verify + kill -9 + recovery) =="
 SMOKE_DIR="$(mktemp -d "${TMPDIR:-/tmp}/ledgerd-smoke.XXXXXX")"
 SMOKE_LOG="$SMOKE_DIR/ledgerd.log"

@@ -5,6 +5,7 @@
 
 pub use ledgerdb_accumulator as accumulator;
 pub use ledgerdb_baselines as baselines;
+pub use ledgerdb_bintrie as bintrie;
 pub use ledgerdb_clue as clue;
 pub use ledgerdb_core as core;
 pub use ledgerdb_crypto as crypto;

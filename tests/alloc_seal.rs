@@ -57,7 +57,7 @@ fn per_seal_allocations_do_not_scale_with_chain_length() {
     std::fs::remove_dir_all(&dir).ok();
     // block_size never auto-seals: every seal below is explicit, so the
     // counter windows contain exactly one seal each.
-    let config = LedgerConfig { block_size: u64::MAX, fam_delta: 10, name: "alloc".into() };
+    let config = LedgerConfig { block_size: u64::MAX, fam_delta: 10, name: "alloc".into(), state_backend: Default::default() };
     let (mut ledger, _) = open_durable(
         config,
         registry,

@@ -17,7 +17,7 @@ fn thousand_block_chain_hashes_each_header_exactly_once() {
     let alice = KeyPair::from_seed(b"once-alice");
     let mut registry = MemberRegistry::new(*ca.public_key());
     registry.register(ca.issue("alice", Role::User, alice.public())).unwrap();
-    let config = LedgerConfig { block_size: 1, fam_delta: 12, name: "once".into() };
+    let config = LedgerConfig { block_size: 1, fam_delta: 12, name: "once".into(), state_backend: Default::default() };
     let mut ledger = LedgerDb::new(config, registry);
 
     let blocks = 1000u64;

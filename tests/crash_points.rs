@@ -50,7 +50,7 @@ fn members() -> (MemberRegistry, Members) {
 }
 
 fn config() -> LedgerConfig {
-    LedgerConfig { block_size: 2, fam_delta: 4, name: "crash-points".into() }
+    LedgerConfig { block_size: 2, fam_delta: 4, name: "crash-points".into(), state_backend: Default::default() }
 }
 
 fn temp_dir(tag: &str) -> PathBuf {

@@ -36,7 +36,7 @@ fn world(block_size: u64) -> World {
     registry.register(ca.issue("bob", Role::User, bob.public())).unwrap();
     registry.register(ca.issue("dba", Role::Dba, dba.public())).unwrap();
     registry.register(ca.issue("reg", Role::Regulator, regulator.public())).unwrap();
-    let config = LedgerConfig { block_size, fam_delta: 6, name: "diff".into() };
+    let config = LedgerConfig { block_size, fam_delta: 6, name: "diff".into(), state_backend: Default::default() };
     World { shared: SharedLedger::new(LedgerDb::new(config, registry)), alice, bob, dba, regulator }
 }
 

@@ -27,7 +27,7 @@ fn fixture(seed: &str) -> (SharedLedger, KeyPair) {
     let alice = KeyPair::from_seed(format!("{seed}-alice").as_bytes());
     let mut registry = MemberRegistry::new(*ca.public_key());
     registry.register(ca.issue("alice", Role::User, alice.public())).unwrap();
-    let config = LedgerConfig { block_size: 4, fam_delta: 15, name: format!("diff-{seed}") };
+    let config = LedgerConfig { block_size: 4, fam_delta: 15, name: format!("diff-{seed}"), state_backend: Default::default() };
     let shared = SharedLedger::new(LedgerDb::new(config, registry));
     (shared, alice)
 }

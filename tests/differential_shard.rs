@@ -48,7 +48,7 @@ fn members() -> (MemberRegistry, Members) {
 
 fn shard_ledger(block_size: u64) -> SharedLedger {
     let (registry, _) = members();
-    let config = LedgerConfig { block_size, fam_delta: 6, name: "shard-diff".into() };
+    let config = LedgerConfig { block_size, fam_delta: 6, name: "shard-diff".into(), state_backend: Default::default() };
     SharedLedger::new(LedgerDb::new(config, registry))
 }
 

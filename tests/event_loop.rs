@@ -26,7 +26,7 @@ fn fixture() -> (SharedLedger, KeyPair) {
     let alice = KeyPair::from_seed(b"event-loop-test-alice");
     let mut registry = MemberRegistry::new(*ca.public_key());
     registry.register(ca.issue("alice", Role::User, alice.public())).unwrap();
-    let config = LedgerConfig { block_size: 4, fam_delta: 15, name: "event-loop-test".into() };
+    let config = LedgerConfig { block_size: 4, fam_delta: 15, name: "event-loop-test".into(), state_backend: Default::default() };
     (SharedLedger::new(LedgerDb::new(config, registry)), alice)
 }
 

@@ -14,7 +14,7 @@ fn ledger_with(n: u64, clue: &str) -> (LedgerDb, KeyPair) {
     let mut registry = MemberRegistry::new(*ca.public_key());
     registry.register(ca.issue("alice", Role::User, alice.public())).unwrap();
     let mut ledger = LedgerDb::new(
-        LedgerConfig { block_size: 64, fam_delta: 8, name: "bl".into() },
+        LedgerConfig { block_size: 64, fam_delta: 8, name: "bl".into(), state_backend: Default::default() },
         registry,
     );
     for i in 0..n {

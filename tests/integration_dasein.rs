@@ -27,7 +27,7 @@ fn world(block_size: u64) -> World {
     let mut registry = MemberRegistry::new(*ca.public_key());
     registry.register(ca.issue("alice", Role::User, alice.public())).unwrap();
     registry.register(ca.issue("bob", Role::User, bob.public())).unwrap();
-    let config = LedgerConfig { block_size, fam_delta: 6, name: "it".into() };
+    let config = LedgerConfig { block_size, fam_delta: 6, name: "it".into(), state_backend: Default::default() };
     let ledger = LedgerDb::new(config, registry);
     let clock: Arc<dyn Clock> = Arc::clone(ledger.clock());
     let pool = Arc::new(TsaPool::new(2, Arc::clone(&clock)));

@@ -28,7 +28,7 @@ fn world() -> World {
     registry.register(ca.issue("bob", Role::User, bob.public())).unwrap();
     registry.register(ca.issue("dba", Role::Dba, dba.public())).unwrap();
     registry.register(ca.issue("reg", Role::Regulator, regulator.public())).unwrap();
-    let config = LedgerConfig { block_size: 4, fam_delta: 5, name: "mut".into() };
+    let config = LedgerConfig { block_size: 4, fam_delta: 5, name: "mut".into(), state_backend: Default::default() };
     World { ledger: LedgerDb::new(config, registry), alice, bob, dba, regulator }
 }
 

@@ -32,7 +32,7 @@ fn world() -> World {
     registry.register(ca.issue("dba", Role::Dba, dba.public())).unwrap();
     registry.register(ca.issue("reg", Role::Regulator, regulator.public())).unwrap();
     let ledger = LedgerDb::new(
-        LedgerConfig { block_size: 4, fam_delta: 5, name: "persist".into() },
+        LedgerConfig { block_size: 4, fam_delta: 5, name: "persist".into(), state_backend: Default::default() },
         registry,
     );
     World { ledger, alice, dba, regulator, ca }
@@ -47,7 +47,7 @@ fn registry_of(w: &World) -> MemberRegistry {
 }
 
 fn config() -> LedgerConfig {
-    LedgerConfig { block_size: 4, fam_delta: 5, name: "persist".into() }
+    LedgerConfig { block_size: 4, fam_delta: 5, name: "persist".into(), state_backend: Default::default() }
 }
 
 fn populate(w: &mut World, n: u64) {

@@ -28,7 +28,7 @@ fn registry(seed: &str) -> (MemberRegistry, KeyPair) {
 
 fn mem_shared(seed: &str, block_size: u64) -> (SharedLedger, KeyPair) {
     let (registry, alice) = registry(seed);
-    let config = LedgerConfig { block_size, fam_delta: 15, name: format!("it-{seed}") };
+    let config = LedgerConfig { block_size, fam_delta: 15, name: format!("it-{seed}"), state_backend: Default::default() };
     (SharedLedger::new(LedgerDb::new(config, registry)), alice)
 }
 
@@ -153,7 +153,7 @@ fn remote_receipts_survive_server_restart_and_recovery() {
     const N: u64 = 12;
     let dir = temp_dir("restart");
     let seed = "restart";
-    let config = || LedgerConfig { block_size: 4, fam_delta: 15, name: "it-restart".into() };
+    let config = || LedgerConfig { block_size: 4, fam_delta: 15, name: "it-restart".into(), state_backend: Default::default() };
 
     // Generation 1: durable ledger behind a group-commit server. The
     // streams run at fsync=never — the batcher supplies the barrier.

@@ -18,7 +18,7 @@ fn setup() -> (SimClock, LedgerDb, Arc<TLedger>, KeyPair) {
     let clock = SimClock::new();
     let arc_clock: Arc<dyn Clock> = Arc::new(clock.clone());
     let ledger = LedgerDb::with_parts(
-        LedgerConfig { block_size: 4, fam_delta: 6, name: "time-it".into() },
+        LedgerConfig { block_size: 4, fam_delta: 6, name: "time-it".into(), state_backend: Default::default() },
         registry,
         Arc::new(ledgerdb::storage::stream::MemoryStreamStore::new()),
         Arc::clone(&arc_clock),

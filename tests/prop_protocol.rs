@@ -158,7 +158,7 @@ fn live_server_survives_hostile_streams() {
     let mut registry = MemberRegistry::new(*ca.public_key());
     registry.register(ca.issue("alice", Role::User, alice.public())).unwrap();
     let ledger = LedgerDb::new(
-        LedgerConfig { block_size: 4, fam_delta: 15, name: "fuzz".into() },
+        LedgerConfig { block_size: 4, fam_delta: 15, name: "fuzz".into(), state_backend: Default::default() },
         registry,
     );
     let server = Ledgerd::start(

@@ -36,7 +36,7 @@ fn members() -> (MemberRegistry, Members) {
 }
 
 fn config(block_size: u64) -> LedgerConfig {
-    LedgerConfig { block_size, fam_delta: 4, name: "torture".into() }
+    LedgerConfig { block_size, fam_delta: 4, name: "torture".into(), state_backend: Default::default() }
 }
 
 fn temp_dir(tag: &str) -> PathBuf {

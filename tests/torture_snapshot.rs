@@ -53,7 +53,7 @@ fn readers_verify_snapshots_while_writer_mutates() {
     let ledger = LedgerDb::new(
         // A small δ keeps per-seal snapshot freezes cheap and rolls the
         // fam through several sealed epochs during the run.
-        LedgerConfig { block_size: BLOCK_SIZE, fam_delta: 4, name: "torture-snapshot".into() },
+        LedgerConfig { block_size: BLOCK_SIZE, fam_delta: 4, name: "torture-snapshot".into(), state_backend: Default::default() },
         registry,
     );
     let shared = SharedLedger::new(ledger);

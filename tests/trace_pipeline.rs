@@ -39,7 +39,7 @@ fn durable_service(tag: &str) -> (RequestService, KeyPair, Arc<Registry>, PathBu
     let telemetry = Arc::new(Registry::new());
     let dir = temp_dir(tag);
     let (ledger, _) = open_durable_with(
-        LedgerConfig { block_size: 4, fam_delta: 15, name: format!("trace-{tag}") },
+        LedgerConfig { block_size: 4, fam_delta: 15, name: format!("trace-{tag}"), state_backend: Default::default() },
         registry,
         &dir,
         ledgerdb::storage::FsyncPolicy::Never,
